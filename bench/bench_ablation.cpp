@@ -1,0 +1,120 @@
+// Ablations of the two design choices DESIGN.md calls out:
+//
+//  A. Early failure detection (§2.5): failure is declared at the first
+//     violated deadline vs. (ablated) only after every deadline lapsed.
+//     Measured as failure-detection latency on an Example-1-shaped tree
+//     whose first decisive deadline is much earlier than its largest.
+//
+//  B. Compensation staging (§2.6): created+persisted at send time (the
+//     paper's crash-safe design) vs. (ablated) created on failure.
+//     Measured as send-path cost and failure-path cost; the crash-safety
+//     difference is functional, covered in tests, not timed here.
+#include <benchmark/benchmark.h>
+
+#include "cm/condition_builder.hpp"
+#include "cm/sender.hpp"
+#include "mq/queue_manager.hpp"
+
+namespace {
+
+using namespace cmx;
+using cm::DestBuilder;
+using cm::SetBuilder;
+
+// First decisive deadline at `first_ms`, largest deadline 10x later.
+cm::ConditionPtr two_deadline_condition(util::TimeMs first_ms) {
+  return SetBuilder()
+      .pick_up_within(first_ms)
+      .add(DestBuilder(mq::QueueAddress("QM", "A")).build())
+      .add(DestBuilder(mq::QueueAddress("QM", "B"))
+               .processing_within(first_ms * 10)
+               .build())
+      .build();
+}
+
+void failure_latency(benchmark::State& state, bool early) {
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  qm.create_queue("A").expect_ok("create");
+  qm.create_queue("B").expect_ok("create");
+  cm::ConditionalMessagingService service(qm);
+  auto condition = two_deadline_condition(2);
+  cm::SendOptions options;
+  options.early_failure_detection = early;
+  for (auto _ : state) {
+    auto cm_id = service.send_message("x", *condition, options);
+    cm_id.status().expect_ok("send");
+    auto outcome = service.await_outcome(cm_id.value(), 60'000);
+    outcome.status().expect_ok("outcome");
+    state.PauseTiming();
+    while (qm.get("A", 0).is_ok()) {
+    }
+    while (qm.get("B", 0).is_ok()) {
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_FailureLatency_EarlyDetection(benchmark::State& state) {
+  failure_latency(state, true);  // decides at the 2 ms deadline
+}
+BENCHMARK(BM_FailureLatency_EarlyDetection)->Unit(benchmark::kMillisecond);
+
+void BM_FailureLatency_LateDetection(benchmark::State& state) {
+  failure_latency(state, false);  // waits for the 20 ms deadline
+}
+BENCHMARK(BM_FailureLatency_LateDetection)->Unit(benchmark::kMillisecond);
+
+void send_cost(benchmark::State& state, cm::CompensationStaging staging) {
+  const int fanout = 4;
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  cm::SetBuilder builder;
+  builder.pick_up_within(1);
+  for (int i = 0; i < fanout; ++i) {
+    const std::string q = "D" + std::to_string(i);
+    qm.create_queue(q).expect_ok("create");
+    builder.add(DestBuilder(mq::QueueAddress("QM", q)).build());
+  }
+  cm::ConditionalMessagingService service(
+      qm, {.compensation_staging = staging});
+  auto condition = builder.build();
+  cm::SendOptions options;
+  options.evaluation_timeout_ms = 2;
+  int since_drain = 0;
+  for (auto _ : state) {
+    service.send_message("x", "undo", *condition, options)
+        .status()
+        .expect_ok("send");
+    if (++since_drain >= 200) {
+      state.PauseTiming();
+      while (service.evaluation_manager().in_flight() > 0) {
+        clock.sleep_ms(1);
+      }
+      for (int i = 0; i < fanout; ++i) {
+        while (qm.get("D" + std::to_string(i), 0).is_ok()) {
+        }
+      }
+      while (qm.get(cm::kOutcomeQueue, 0).is_ok()) {
+      }
+      since_drain = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SendCost_StagedAtSend(benchmark::State& state) {
+  send_cost(state, cm::CompensationStaging::kAtSendTime);
+}
+BENCHMARK(BM_SendCost_StagedAtSend)->Iterations(2000);
+
+void BM_SendCost_StagedOnFailure(benchmark::State& state) {
+  send_cost(state, cm::CompensationStaging::kOnFailure);
+}
+BENCHMARK(BM_SendCost_StagedOnFailure)->Iterations(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

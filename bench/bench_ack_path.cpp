@@ -1,0 +1,115 @@
+// E5 — receiver-side read + implicit-acknowledgment path (Figure 7):
+// plain MOM read (floor) vs. conditional non-transactional read (read ack
+// + RLOG entry) vs. transactional read-commit (processing ack bound to
+// commit). Also the cost of a rollback (no ack, message restored).
+#include <benchmark/benchmark.h>
+
+#include "cm/control.hpp"
+#include "cm/receiver.hpp"
+#include "mq/queue_manager.hpp"
+#include "util/id.hpp"
+
+namespace {
+
+using namespace cmx;
+
+// Crafts the standard message a conditional sender would generate.
+mq::Message conditional_data_msg(const std::string& queue) {
+  mq::Message m("payload");
+  m.id = util::generate_id("msg");
+  m.set_property(cm::prop::kKind, std::string("data"));
+  m.set_property(cm::prop::kCmId, util::generate_id("cm"));
+  m.set_property(cm::prop::kProcessingRequired, false);
+  m.set_property(cm::prop::kSenderQmgr, std::string("QM"));
+  m.set_property(cm::prop::kAckQueue, std::string(cm::kAckQueue));
+  m.set_property(cm::prop::kSendTs, std::int64_t{0});
+  m.set_property(cm::prop::kDest, "QM/" + queue);
+  return m;
+}
+
+struct Fixture {
+  util::SystemClock clock;
+  mq::QueueManager qm{"QM", clock};
+  Fixture() {
+    qm.create_queue("Q").expect_ok("create");
+    qm.ensure_queue(cm::kAckQueue).expect_ok("ensure ack");
+  }
+  void drain_acks() {
+    while (qm.get(cm::kAckQueue, 0).is_ok()) {
+    }
+    auto rlog = qm.find_queue(cm::kReceiverLogQueue);
+    if (rlog != nullptr) {
+      while (qm.get(cm::kReceiverLogQueue, 0).is_ok()) {
+      }
+    }
+  }
+};
+
+void BM_PlainRead(benchmark::State& state) {
+  Fixture f;
+  cm::ConditionalReceiver rx(f.qm, "reader");
+  for (auto _ : state) {
+    state.PauseTiming();
+    f.qm.put(mq::QueueAddress("", "Q"), mq::Message("plain"))
+        .expect_ok("put");
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(rx.read_message("Q", 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlainRead);
+
+void BM_NonTransactionalReadWithAck(benchmark::State& state) {
+  Fixture f;
+  cm::ConditionalReceiver rx(f.qm, "reader");
+  int since_drain = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    f.qm.put_local("Q", conditional_data_msg("Q")).expect_ok("put");
+    if (++since_drain >= 1000) {
+      f.drain_acks();
+      since_drain = 0;
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(rx.read_message("Q", 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NonTransactionalReadWithAck);
+
+void BM_TransactionalReadCommit(benchmark::State& state) {
+  Fixture f;
+  cm::ConditionalReceiver rx(f.qm, "reader");
+  int since_drain = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    f.qm.put_local("Q", conditional_data_msg("Q")).expect_ok("put");
+    if (++since_drain >= 1000) {
+      f.drain_acks();
+      since_drain = 0;
+    }
+    state.ResumeTiming();
+    rx.begin_tx().expect_ok("begin");
+    benchmark::DoNotOptimize(rx.read_message("Q", 0));
+    rx.commit_tx().expect_ok("commit");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransactionalReadCommit);
+
+void BM_TransactionalReadRollback(benchmark::State& state) {
+  Fixture f;
+  cm::ConditionalReceiver rx(f.qm, "reader");
+  f.qm.put_local("Q", conditional_data_msg("Q")).expect_ok("put");
+  for (auto _ : state) {
+    rx.begin_tx().expect_ok("begin");
+    benchmark::DoNotOptimize(rx.read_message("Q", 0));
+    rx.rollback_tx().expect_ok("rollback");  // message restored, no ack
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransactionalReadRollback);
+
+}  // namespace
+
+BENCHMARK_MAIN();

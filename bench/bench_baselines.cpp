@@ -1,0 +1,120 @@
+// E10 — conditional messaging vs. the Coyote-style single-server timeout
+// exchange (§4.1 related work): on the one workload Coyote handles (one
+// server, one timeout), both should cost about the same number of
+// messages; conditional messaging generalizes beyond it without new code.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "baseline/coyote.hpp"
+#include "cm/condition_builder.hpp"
+#include "cm/receiver.hpp"
+#include "cm/sender.hpp"
+#include "mq/queue_manager.hpp"
+
+namespace {
+
+using namespace cmx;
+
+void BM_CoyoteCall(benchmark::State& state) {
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  qm.create_queue("SERVER.Q").expect_ok("create");
+  baseline::CoyoteClient client(qm);
+  baseline::CoyoteServer server(qm);
+  std::atomic<bool> stop{false};
+  std::thread server_thread([&] {
+    while (!stop.load()) {
+      server.serve_one("SERVER.Q", 20);
+    }
+  });
+  for (auto _ : state) {
+    auto result = client.call(mq::QueueAddress("", "SERVER.Q"), "req", 60'000);
+    result.status().expect_ok("call");
+    if (result.value() != baseline::CoyoteResult::kAcknowledged) {
+      state.SkipWithError("unexpected cancellation");
+      break;
+    }
+  }
+  stop.store(true);
+  server_thread.join();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoyoteCall)->Unit(benchmark::kMicrosecond);
+
+void BM_ConditionalSingleServer(benchmark::State& state) {
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  qm.create_queue("SERVER.Q").expect_ok("create");
+  cm::ConditionalMessagingService service(qm);
+  auto condition = cm::DestBuilder(mq::QueueAddress("QM", "SERVER.Q"))
+                       .pick_up_within(60'000)
+                       .build();
+  std::atomic<bool> stop{false};
+  std::thread server_thread([&] {
+    cm::ConditionalReceiver rx(qm, "server");
+    while (!stop.load()) {
+      rx.read_message("SERVER.Q", 20);
+    }
+  });
+  for (auto _ : state) {
+    auto cm_id = service.send_message("req", *condition);
+    cm_id.status().expect_ok("send");
+    auto outcome = service.await_outcome(cm_id.value(), 60'000);
+    outcome.status().expect_ok("outcome");
+    if (outcome.value().outcome != cm::Outcome::kSuccess) {
+      state.SkipWithError("unexpected failure");
+      break;
+    }
+  }
+  stop.store(true);
+  server_thread.join();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConditionalSingleServer)->Unit(benchmark::kMicrosecond);
+
+// Failure path comparison: deadline lapses, the protocol must emit its
+// "undo" (Coyote: cancellation; conditional messaging: compensation).
+void BM_CoyoteTimeoutPath(benchmark::State& state) {
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  qm.create_queue("SERVER.Q").expect_ok("create");
+  baseline::CoyoteClient client(qm);
+  for (auto _ : state) {
+    auto result = client.call(mq::QueueAddress("", "SERVER.Q"), "req", 1);
+    result.status().expect_ok("call");
+    state.PauseTiming();
+    while (qm.get("SERVER.Q", 0).is_ok()) {
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoyoteTimeoutPath)->Unit(benchmark::kMicrosecond);
+
+void BM_ConditionalTimeoutPath(benchmark::State& state) {
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  qm.create_queue("SERVER.Q").expect_ok("create");
+  cm::ConditionalMessagingService service(qm);
+  auto condition = cm::DestBuilder(mq::QueueAddress("QM", "SERVER.Q"))
+                       .pick_up_within(1)
+                       .build();
+  for (auto _ : state) {
+    auto cm_id = service.send_message("req", *condition);
+    cm_id.status().expect_ok("send");
+    auto outcome = service.await_outcome(cm_id.value(), 60'000);
+    outcome.status().expect_ok("outcome");
+    state.PauseTiming();
+    while (qm.get("SERVER.Q", 0).is_ok()) {
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConditionalTimeoutPath)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,150 @@
+// E6 — compensation machinery (§2.6, Figure 8): staging cost at send
+// time, release cost on failure, receiver-side annihilation
+// (original + compensation cancel out) vs. delivered compensation
+// (original already consumed — RLOG lookup + delivery).
+#include <benchmark/benchmark.h>
+
+#include "cm/compensation_manager.hpp"
+#include "cm/control.hpp"
+#include "cm/receiver.hpp"
+#include "mq/queue_manager.hpp"
+#include "util/id.hpp"
+
+namespace {
+
+using namespace cmx;
+
+std::vector<std::pair<mq::QueueAddress, std::string>> deliveries(int n) {
+  std::vector<std::pair<mq::QueueAddress, std::string>> out;
+  for (int i = 0; i < n; ++i) {
+    out.emplace_back(mq::QueueAddress("QM", "DEST" + std::to_string(i)),
+                     util::generate_id("msg"));
+  }
+  return out;
+}
+
+void BM_StageCompensation(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  cm::CompensationManager comp(qm);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto id = util::generate_id("cm");
+    const auto dels = deliveries(fanout);
+    state.ResumeTiming();
+    comp.stage(id, "undo data", dels).expect_ok("stage");
+    state.PauseTiming();
+    comp.discard(id).expect_ok("discard");
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * fanout);
+}
+BENCHMARK(BM_StageCompensation)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_ReleaseCompensation(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  for (int i = 0; i < fanout; ++i) {
+    qm.create_queue("DEST" + std::to_string(i)).expect_ok("create");
+  }
+  cm::CompensationManager comp(qm);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto id = util::generate_id("cm");
+    comp.stage(id, std::nullopt, deliveries(fanout)).expect_ok("stage");
+    state.ResumeTiming();
+    comp.release(id).expect_ok("release");
+    state.PauseTiming();
+    for (int i = 0; i < fanout; ++i) {
+      while (qm.get("DEST" + std::to_string(i), 0).is_ok()) {
+      }
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * fanout);
+}
+BENCHMARK(BM_ReleaseCompensation)->Arg(1)->Arg(4)->Arg(16);
+
+mq::Message data_msg(const std::string& queue, const std::string& msg_id) {
+  mq::Message m("payload");
+  m.id = msg_id;
+  m.set_property(cm::prop::kKind, std::string("data"));
+  m.set_property(cm::prop::kCmId, util::generate_id("cm"));
+  m.set_property(cm::prop::kProcessingRequired, false);
+  m.set_property(cm::prop::kSenderQmgr, std::string("QM"));
+  m.set_property(cm::prop::kAckQueue, std::string(cm::kAckQueue));
+  m.set_property(cm::prop::kSendTs, std::int64_t{0});
+  m.set_property(cm::prop::kDest, "QM/" + queue);
+  return m;
+}
+
+mq::Message comp_msg(const std::string& original_id) {
+  mq::Message m;
+  m.set_property(cm::prop::kKind, std::string("compensation"));
+  m.set_property(cm::prop::kCmId, util::generate_id("cm"));
+  m.set_property(cm::prop::kOriginalMsgId, original_id);
+  m.correlation_id = original_id;
+  return m;
+}
+
+// Annihilation: original still unread when its compensation is read.
+void BM_Annihilation(benchmark::State& state) {
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  qm.create_queue("Q").expect_ok("create");
+  qm.ensure_queue(cm::kAckQueue).expect_ok("ensure");
+  cm::ConditionalReceiver rx(qm, "reader");
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto original_id = util::generate_id("msg");
+    qm.put_local("Q", data_msg("Q", original_id)).expect_ok("put data");
+    qm.put_local("Q", comp_msg(original_id)).expect_ok("put comp");
+    state.ResumeTiming();
+    // read finds the original, detects the trailing compensation, and
+    // annihilates the pair; nothing is delivered
+    benchmark::DoNotOptimize(rx.read_message("Q", 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Annihilation);
+
+// Delivered compensation: original consumed first (RLOG entry written),
+// compensation must be matched against the log and delivered.
+void BM_DeliveredCompensation(benchmark::State& state) {
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  qm.create_queue("Q").expect_ok("create");
+  qm.ensure_queue(cm::kAckQueue).expect_ok("ensure");
+  cm::ConditionalReceiver rx(qm, "reader");
+  int since_drain = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (++since_drain >= 500) {
+      // keep the RLOG scan bounded, like a receiver that trims its log
+      while (qm.get(cm::kReceiverLogQueue, 0).is_ok()) {
+      }
+      while (qm.get(cm::kAckQueue, 0).is_ok()) {
+      }
+      since_drain = 0;
+    }
+    const auto original_id = util::generate_id("msg");
+    qm.put_local("Q", data_msg("Q", original_id)).expect_ok("put data");
+    rx.read_message("Q", 0).status().expect_ok("consume original");
+    qm.put_local("Q", comp_msg(original_id)).expect_ok("put comp");
+    state.ResumeTiming();
+    auto comp = rx.read_message("Q", 0);
+    if (!comp.is_ok() ||
+        comp.value().kind != cm::MessageKind::kCompensation) {
+      state.SkipWithError("compensation not delivered");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeliveredCompensation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,128 @@
+// E3 — condition object model (Figure 3) micro-characterization:
+// construction, validation, deep clone, codec round-trip, and incremental
+// evaluation cost as a function of tree width and depth.
+#include <benchmark/benchmark.h>
+
+#include "cm/condition_builder.hpp"
+#include "cm/eval_state.hpp"
+
+namespace {
+
+using namespace cmx;
+using cm::DestBuilder;
+using cm::SetBuilder;
+
+// A set with `width` leaves, pick-up on the set, processing on each leaf.
+cm::ConditionPtr wide_tree(int width) {
+  SetBuilder builder;
+  builder.pick_up_within(10'000);
+  for (int i = 0; i < width; ++i) {
+    builder.add(DestBuilder(mq::QueueAddress("QM", "Q" + std::to_string(i)),
+                            "user" + std::to_string(i))
+                    .processing_within(20'000)
+                    .build());
+  }
+  return builder.build();
+}
+
+// A chain of nested sets `depth` levels deep with one leaf per level.
+cm::ConditionPtr deep_tree(int depth) {
+  cm::ConditionPtr inner =
+      DestBuilder(mq::QueueAddress("QM", "LEAF")).pick_up_within(1000).build();
+  for (int level = 0; level < depth; ++level) {
+    auto set = SetBuilder()
+                   .pick_up_within(1000 + level)
+                   .add(std::move(inner))
+                   .add(DestBuilder(mq::QueueAddress(
+                                        "QM", "Q" + std::to_string(level)))
+                            .build())
+                   .build();
+    inner = std::move(set);
+  }
+  return inner;
+}
+
+void BM_Build(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wide_tree(width));
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_Build)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Validate(benchmark::State& state) {
+  auto tree = wide_tree(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->validate());
+  }
+}
+BENCHMARK(BM_Validate)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Clone(benchmark::State& state) {
+  auto tree = wide_tree(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->clone());
+  }
+}
+BENCHMARK(BM_Clone)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CodecRoundTrip(benchmark::State& state) {
+  auto tree = wide_tree(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto bytes = tree->encode();
+    auto decoded = cm::Condition::decode(bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_CodecRoundTrip)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// Feed one ack and re-evaluate, at a given tree width: the per-ack cost
+// the evaluation manager pays (§2.5).
+void BM_AckApplyAndEvaluate(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  auto tree = wide_tree(width);
+  int i = 0;
+  auto eval = std::make_unique<cm::EvalState>("cm", *tree, 0);
+  for (auto _ : state) {
+    cm::AckRecord ack;
+    ack.cm_id = "cm";
+    ack.type = cm::AckType::kProcessing;
+    ack.queue = mq::QueueAddress("QM", "Q" + std::to_string(i % width));
+    ack.recipient_id = "user" + std::to_string(i % width);
+    ack.read_ts = 1;
+    ack.commit_ts = 2;
+    ++i;
+    eval->add_ack(ack);
+    benchmark::DoNotOptimize(eval->evaluate(3));
+    if (eval->decided()) {
+      state.PauseTiming();
+      eval = std::make_unique<cm::EvalState>("cm", *tree, 0);
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AckApplyAndEvaluate)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_EvaluateDeepTree(benchmark::State& state) {
+  auto tree = deep_tree(static_cast<int>(state.range(0)));
+  cm::EvalState eval("cm", *tree, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.evaluate(1));
+  }
+}
+BENCHMARK(BM_EvaluateDeepTree)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_NextDeadline(benchmark::State& state) {
+  auto tree = wide_tree(static_cast<int>(state.range(0)));
+  cm::EvalState eval("cm", *tree, 0, 60'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.next_deadline(5));
+  }
+}
+BENCHMARK(BM_NextDeadline)->Arg(4)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,142 @@
+// E8 — Dependency-Spheres (§3, Figure 10): sphere commit latency vs.
+// number of member messages, abort latency (compensating every member),
+// and 2PC cost vs. number of enlisted transactional resources.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cm/condition_builder.hpp"
+#include "cm/receiver.hpp"
+#include "cm/sender.hpp"
+#include "ds/dsphere.hpp"
+#include "mq/queue_manager.hpp"
+#include "txn/kvstore.hpp"
+#include "util/id.hpp"
+
+namespace {
+
+using namespace cmx;
+
+struct Harness {
+  util::SystemClock clock;
+  mq::QueueManager qm{"QM", clock};
+  cm::ConditionalMessagingService service{qm};
+  txn::TwoPhaseCoordinator coordinator;
+  ds::DSphereService spheres{service, coordinator};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+
+  explicit Harness(int queues, bool with_readers) {
+    for (int i = 0; i < queues; ++i) {
+      qm.create_queue("M" + std::to_string(i)).expect_ok("create");
+      if (with_readers) {
+        readers.emplace_back([this, i] {
+          cm::ConditionalReceiver rx(qm, "reader" + std::to_string(i));
+          while (!stop.load()) {
+            rx.read_message("M" + std::to_string(i), 20);
+          }
+        });
+      }
+    }
+  }
+  ~Harness() {
+    stop.store(true);
+    for (auto& t : readers) t.join();
+  }
+
+  cm::ConditionPtr member_condition(int i, util::TimeMs pick_up) {
+    return cm::DestBuilder(
+               mq::QueueAddress("QM", "M" + std::to_string(i)))
+        .pick_up_within(pick_up)
+        .build();
+  }
+};
+
+// Commit latency: all members are consumed by reader threads and succeed.
+void BM_SphereCommit(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  Harness h(members, /*with_readers=*/true);
+  for (auto _ : state) {
+    const auto ds = h.spheres.begin();
+    for (int i = 0; i < members; ++i) {
+      h.spheres.send_message(ds, "m", *h.member_condition(i, 60'000))
+          .status()
+          .expect_ok("send member");
+    }
+    auto result = h.spheres.commit(ds, 60'000);
+    result.status().expect_ok("commit");
+    if (result.value().outcome != ds::DSphereOutcome::kCommitted) {
+      state.SkipWithError("sphere unexpectedly aborted");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * members);
+}
+BENCHMARK(BM_SphereCommit)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+// Abort latency: members fail by deadline; abort must force-fail and
+// compensate every one of them.
+void BM_SphereAbort(benchmark::State& state) {
+  const int members = static_cast<int>(state.range(0));
+  Harness h(members, /*with_readers=*/false);
+  for (auto _ : state) {
+    const auto ds = h.spheres.begin();
+    for (int i = 0; i < members; ++i) {
+      h.spheres.send_message(ds, "m", *h.member_condition(i, 60'000))
+          .status()
+          .expect_ok("send member");
+    }
+    auto result = h.spheres.abort(ds);
+    result.status().expect_ok("abort");
+    state.PauseTiming();
+    // annihilate the original+compensation pairs left on the queues
+    for (int i = 0; i < members; ++i) {
+      cm::ConditionalReceiver rx(h.qm, "sweeper");
+      rx.read_message("M" + std::to_string(i), 0);
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * members);
+}
+BENCHMARK(BM_SphereAbort)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+// 2PC resource count scaling (no messages): prepare+commit across R
+// independent stores.
+void BM_SphereResources(benchmark::State& state) {
+  const int resources = static_cast<int>(state.range(0));
+  Harness h(0, false);
+  std::vector<std::unique_ptr<txn::TxKvStore>> stores;
+  for (int i = 0; i < resources; ++i) {
+    stores.push_back(
+        std::make_unique<txn::TxKvStore>("db" + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    const auto ds = h.spheres.begin();
+    auto tx = h.spheres.transaction_id(ds);
+    tx.status().expect_ok("tx id");
+    for (auto& store : stores) {
+      h.spheres.enlist(ds, *store).expect_ok("enlist");
+      store->put(tx.value(), util::generate_id("k"), "v").expect_ok("put");
+    }
+    auto result = h.spheres.commit(ds, 1000);
+    result.status().expect_ok("commit");
+  }
+  state.SetItemsProcessed(state.iterations() * resources);
+}
+BENCHMARK(BM_SphereResources)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// E7 — evaluation manager (§2.5, Figure 9): acknowledgment processing
+// throughput as a function of the number of in-flight conditional
+// messages, and the latency from final ack to decided outcome.
+#include <benchmark/benchmark.h>
+
+#include "cm/condition_builder.hpp"
+#include "cm/control.hpp"
+#include "cm/eval_state.hpp"
+#include "cm/evaluation_manager.hpp"
+#include "mq/queue_manager.hpp"
+#include "util/id.hpp"
+
+namespace {
+
+using namespace cmx;
+
+// A condition over two queues that a single ack can never decide, so the
+// state stays in flight while acks stream through it.
+cm::ConditionPtr undecidable_condition() {
+  return cm::SetBuilder()
+      .pick_up_within(10LL * 60 * 60 * 1000)
+      .add(cm::DestBuilder(mq::QueueAddress("QM", "QA")).build())
+      .add(cm::DestBuilder(mq::QueueAddress("QM", "QB")).build())
+      .build();
+}
+
+// Ack throughput with `range` undecided messages registered: measures the
+// demultiplex + apply + re-evaluate pipeline.
+void BM_AckThroughput(benchmark::State& state) {
+  const int in_flight = static_cast<int>(state.range(0));
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  cm::EvaluationManager manager(qm, {});
+  auto condition = undecidable_condition();
+  std::vector<std::string> ids;
+  for (int i = 0; i < in_flight; ++i) {
+    auto id = util::generate_id("cm");
+    ids.push_back(id);
+    manager.register_message(
+        std::make_unique<cm::EvalState>(id, *condition, clock.now_ms()),
+        false);
+  }
+  std::uint64_t sent = 0;
+  int target = 0;
+  for (auto _ : state) {
+    cm::AckRecord ack;
+    ack.cm_id = ids[target++ % ids.size()];
+    ack.type = cm::AckType::kRead;
+    ack.queue = mq::QueueAddress("QM", "QA");
+    ack.recipient_id = "reader";
+    ack.read_ts = clock.now_ms();
+    qm.put_local(cm::kAckQueue, ack.to_message()).expect_ok("put ack");
+    ++sent;
+  }
+  // wait for the background thread to chew through everything
+  while (manager.stats().acks_processed < sent) {
+    clock.sleep_ms(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["in_flight"] = in_flight;
+}
+BENCHMARK(BM_AckThroughput)->Arg(1)->Arg(16)->Arg(128)->Arg(1024)
+    ->Iterations(5000);
+
+// Final-ack-to-decision latency: one message, its single decisive ack.
+void BM_DecisionLatency(benchmark::State& state) {
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  cm::EvaluationManager manager(qm, {});
+  auto condition = cm::DestBuilder(mq::QueueAddress("QM", "QA"))
+                       .pick_up_within(10LL * 60 * 60 * 1000)
+                       .build();
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto id = util::generate_id("cm");
+    manager.register_message(
+        std::make_unique<cm::EvalState>(id, *condition, clock.now_ms()),
+        false);
+    cm::AckRecord ack;
+    ack.cm_id = id;
+    ack.type = cm::AckType::kRead;
+    ack.queue = mq::QueueAddress("QM", "QA");
+    ack.read_ts = clock.now_ms();
+    state.ResumeTiming();
+    qm.put_local(cm::kAckQueue, ack.to_message()).expect_ok("put ack");
+    if (!manager.await_decided(id, 10'000)) {
+      state.SkipWithError("decision did not arrive");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecisionLatency)->Unit(benchmark::kMicrosecond);
+
+// Deadline-driven decisions: how fast the manager retires a batch of
+// messages whose deadlines all lapse (the failure path of Example 2).
+void BM_DeadlineSweep(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  auto condition = cm::DestBuilder(mq::QueueAddress("QM", "QA"))
+                       .pick_up_within(1)
+                       .build();
+  for (auto _ : state) {
+    state.PauseTiming();
+    cm::EvaluationManager manager(qm, {});
+    state.ResumeTiming();
+    for (int i = 0; i < batch; ++i) {
+      manager.register_message(
+          std::make_unique<cm::EvalState>(util::generate_id("cm"),
+                                          *condition, clock.now_ms()),
+          false);
+    }
+    while (manager.stats().decided_failure <
+           static_cast<std::uint64_t>(batch)) {
+      clock.sleep_ms(1);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_DeadlineSweep)->Arg(16)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// E2 — the paper's Example 2 (Figures 2/5) as a measured workload: flights
+// arrive on one central queue; any controller must pick each flight up
+// within the deadline (paper: 20 s, scaled here to 200 ms), evaluation
+// timeout just above it (§2.5's 21 s -> 210 ms).
+//
+// Sweeps offered load (mean inter-arrival gap) against pool size and
+// prints the deadline-hit rate: the paper's qualitative claim — the
+// middleware detects late pick-up and triggers exception handling — shows
+// up as the hit-rate surface falling as load rises and recovering with
+// more controllers.
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cm/condition_builder.hpp"
+#include "cm/receiver.hpp"
+#include "cm/sender.hpp"
+#include "mq/queue_manager.hpp"
+#include "util/random.hpp"
+
+using namespace cmx;
+
+namespace {
+
+constexpr util::TimeMs kPickUpDeadline = 200;
+constexpr util::TimeMs kEvalTimeout = 210;
+constexpr util::TimeMs kServiceTimeMs = 35;  // per-flight controller work
+constexpr int kFlights = 60;
+
+struct CellResult {
+  double hit_rate;
+  double escalations;
+};
+
+CellResult run_cell(int controllers, util::TimeMs mean_gap_ms) {
+  util::SystemClock clock;
+  mq::QueueManager qm("QM.TOWER", clock);
+  qm.create_queue("Q.CENTRAL").expect_ok("create");
+  cm::ConditionalMessagingService service(qm);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> pool;
+  for (int i = 0; i < controllers; ++i) {
+    pool.emplace_back([&qm, &stop, i] {
+      cm::ConditionalReceiver rx(qm, "controller-" + std::to_string(i));
+      while (!stop.load()) {
+        auto msg = rx.read_message("Q.CENTRAL", 20);
+        if (msg.is_ok() && msg.value().kind == cm::MessageKind::kData) {
+          qm.clock().sleep_ms(kServiceTimeMs);  // handle the flight
+        }
+      }
+    });
+  }
+
+  auto condition = cm::DestBuilder(mq::QueueAddress("QM.TOWER", "Q.CENTRAL"))
+                       .pick_up_within(kPickUpDeadline)
+                       .build();
+  cm::SendOptions options;
+  options.evaluation_timeout_ms = kEvalTimeout;
+
+  util::Rng rng(controllers * 1000 + mean_gap_ms);
+  std::vector<std::string> ids;
+  for (int i = 0; i < kFlights; ++i) {
+    auto cm_id = service.send_message("flight " + std::to_string(i),
+                                      *condition, options);
+    cm_id.status().expect_ok("send");
+    ids.push_back(cm_id.value());
+    clock.sleep_ms(static_cast<util::TimeMs>(rng.exponential(
+        static_cast<double>(mean_gap_ms))));
+  }
+
+  int hits = 0;
+  for (const auto& id : ids) {
+    auto outcome = service.await_outcome(id, 30'000);
+    outcome.status().expect_ok("outcome");
+    if (outcome.value().outcome == cm::Outcome::kSuccess) ++hits;
+  }
+  stop.store(true);
+  for (auto& t : pool) t.join();
+  return CellResult{static_cast<double>(hits) / kFlights,
+                    static_cast<double>(kFlights - hits)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E2: Example 2 deadline-hit rate (pick-up within %lld ms, "
+              "service time %lld ms, %d flights per cell)\n\n",
+              static_cast<long long>(kPickUpDeadline),
+              static_cast<long long>(kServiceTimeMs), kFlights);
+  const int controller_counts[] = {1, 2, 4};
+  const util::TimeMs gaps[] = {60, 30, 15, 8};
+
+  std::printf("%-22s", "mean arrival gap (ms)");
+  for (auto gap : gaps) std::printf("%8lld", static_cast<long long>(gap));
+  std::printf("\n");
+  for (int controllers : controller_counts) {
+    std::printf("%d controller%-9s", controllers,
+                controllers == 1 ? "" : "s");
+    for (auto gap : gaps) {
+      auto cell = run_cell(controllers, gap);
+      std::printf("%7.0f%%", cell.hit_rate * 100.0);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nexpected shape: hit rate falls as arrival gaps shrink below\n"
+      "controllers * deadline/service capacity, and recovers as the pool\n"
+      "grows — every miss was detected by the evaluation manager and\n"
+      "compensated (the paper's exception-handling hook).\n");
+  return 0;
+}

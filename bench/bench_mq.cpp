@@ -1,0 +1,218 @@
+// E9 — reliable-messaging substrate characterization: put/get throughput
+// by persistence class and store backend, priority handling, transacted
+// batches, selector matching, and cross-queue-manager transfer.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "mq/network.hpp"
+#include "mq/queue_manager.hpp"
+#include "mq/selector.hpp"
+#include "mq/session.hpp"
+#include "util/clock.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace cmx;
+
+mq::Message make_msg(int priority, mq::Persistence persistence) {
+  mq::Message m("benchmark payload: forty-seven bytes of data....");
+  m.priority = priority;
+  m.persistence = persistence;
+  return m;
+}
+
+void BM_PutGet_NonPersistent(benchmark::State& state) {
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  qm.create_queue("Q").expect_ok("create");
+  for (auto _ : state) {
+    qm.put(mq::QueueAddress("", "Q"),
+           make_msg(4, mq::Persistence::kNonPersistent))
+        .expect_ok("put");
+    benchmark::DoNotOptimize(qm.get("Q", 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PutGet_NonPersistent);
+
+void BM_PutGet_PersistentMemoryStore(benchmark::State& state) {
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock, std::make_unique<mq::MemoryStore>());
+  qm.create_queue("Q").expect_ok("create");
+  for (auto _ : state) {
+    qm.put(mq::QueueAddress("", "Q"),
+           make_msg(4, mq::Persistence::kPersistent))
+        .expect_ok("put");
+    benchmark::DoNotOptimize(qm.get("Q", 0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PutGet_PersistentMemoryStore);
+
+void BM_PutGet_PersistentFileStore(benchmark::State& state) {
+  util::SystemClock clock;
+  const auto path = std::filesystem::temp_directory_path() / "cmx_bench.log";
+  std::filesystem::remove(path);
+  {
+    mq::QueueManager qm("QM", clock,
+                        std::make_unique<mq::FileStore>(path.string()));
+    qm.create_queue("Q").expect_ok("create");
+    for (auto _ : state) {
+      qm.put(mq::QueueAddress("", "Q"),
+             make_msg(4, mq::Persistence::kPersistent))
+          .expect_ok("put");
+      benchmark::DoNotOptimize(qm.get("Q", 0));
+    }
+  }
+  std::filesystem::remove(path);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PutGet_PersistentFileStore);
+
+// Priority queues: put a burst of mixed priorities, drain in order.
+void BM_PriorityBurst(benchmark::State& state) {
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  qm.create_queue("Q").expect_ok("create");
+  util::Rng rng(1);
+  const int burst = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int i = 0; i < burst; ++i) {
+      qm.put(mq::QueueAddress("", "Q"),
+             make_msg(static_cast<int>(rng.uniform(0, 9)),
+                      mq::Persistence::kNonPersistent))
+          .expect_ok("put");
+    }
+    for (int i = 0; i < burst; ++i) {
+      benchmark::DoNotOptimize(qm.get("Q", 0));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * burst);
+}
+BENCHMARK(BM_PriorityBurst)->Arg(8)->Arg(64)->Arg(512);
+
+// Transacted batch commit: N puts + N gets per transaction.
+void BM_TransactedBatch(benchmark::State& state) {
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock, std::make_unique<mq::MemoryStore>());
+  qm.create_queue("IN").expect_ok("create");
+  qm.create_queue("OUT").expect_ok("create");
+  const int batch = static_cast<int>(state.range(0));
+  for (int i = 0; i < batch; ++i) {
+    qm.put(mq::QueueAddress("", "IN"),
+           make_msg(4, mq::Persistence::kPersistent))
+        .expect_ok("seed");
+  }
+  for (auto _ : state) {
+    auto session = qm.create_session(true);
+    for (int i = 0; i < batch; ++i) {
+      auto got = session->get("IN", 0);
+      got.status().expect_ok("tx get");
+      session->put(mq::QueueAddress("", "OUT"), std::move(got).value())
+          .expect_ok("tx put");
+    }
+    session->commit().expect_ok("commit");
+    // swap queues for the next iteration: move everything back
+    auto back = qm.create_session(true);
+    for (int i = 0; i < batch; ++i) {
+      auto got = back->get("OUT", 0);
+      got.status().expect_ok("back get");
+      back->put(mq::QueueAddress("", "IN"), std::move(got).value())
+          .expect_ok("back put");
+    }
+    back->commit().expect_ok("back commit");
+  }
+  state.SetItemsProcessed(state.iterations() * batch * 2);
+}
+BENCHMARK(BM_TransactedBatch)->Arg(1)->Arg(8)->Arg(64);
+
+// Rollback cost: destructive get then restore.
+void BM_TransactedRollback(benchmark::State& state) {
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  qm.create_queue("Q").expect_ok("create");
+  qm.put(mq::QueueAddress("", "Q"),
+         make_msg(4, mq::Persistence::kNonPersistent))
+      .expect_ok("seed");
+  for (auto _ : state) {
+    auto session = qm.create_session(true);
+    benchmark::DoNotOptimize(session->get("Q", 0));
+    session->rollback().expect_ok("rollback");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransactedRollback);
+
+// Selector matching cost against a queue where only 1 in `range` matches.
+void BM_SelectorFilteredGet(benchmark::State& state) {
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  qm.create_queue("Q").expect_ok("create");
+  const int spread = static_cast<int>(state.range(0));
+  auto selector = mq::Selector::parse("shard = 0 AND amount >= 10");
+  selector.status().expect_ok("selector");
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < spread; ++i) {
+      mq::Message m = make_msg(4, mq::Persistence::kNonPersistent);
+      m.set_property("shard", std::int64_t{i % spread});
+      m.set_property("amount", std::int64_t{100});
+      qm.put(mq::QueueAddress("", "Q"), std::move(m)).expect_ok("put");
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(qm.get("Q", 0, &selector.value()));
+    state.PauseTiming();
+    while (qm.get("Q", 0).is_ok()) {
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SelectorFilteredGet)->Arg(4)->Arg(32)->Arg(256);
+
+// Cross-queue-manager transfer through a channel (zero latency).
+void BM_RemoteTransfer(benchmark::State& state) {
+  util::SystemClock clock;
+  mq::QueueManager qma("QMA", clock);
+  mq::QueueManager qmb("QMB", clock);
+  qmb.create_queue("IN").expect_ok("create");
+  mq::Network net;
+  net.add(qma);
+  net.add(qmb);
+  for (auto _ : state) {
+    qma.put(mq::QueueAddress("QMB", "IN"),
+            make_msg(4, mq::Persistence::kNonPersistent))
+        .expect_ok("put");
+    benchmark::DoNotOptimize(qmb.get("IN", 10000));
+  }
+  net.shutdown();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RemoteTransfer);
+
+// Store recovery: cost of replaying a log with `backlog` retained messages.
+void BM_Recovery(benchmark::State& state) {
+  util::SystemClock clock;
+  const int backlog = static_cast<int>(state.range(0));
+  auto store = std::make_unique<mq::MemoryStore>();
+  auto* raw = store.get();  // outlives the move: owned by the queue manager
+  mq::QueueManager writer("QM", clock, std::move(store));
+  writer.create_queue("Q").expect_ok("create");
+  for (int i = 0; i < backlog; ++i) {
+    writer.put(mq::QueueAddress("", "Q"),
+               make_msg(4, mq::Persistence::kPersistent))
+        .expect_ok("put");
+  }
+  for (auto _ : state) {
+    auto records = raw->replay();
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetItemsProcessed(state.iterations() * backlog);
+}
+BENCHMARK(BM_Recovery)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Pub/sub extension characterization: broker match + fan-out cost vs.
+// subscription count and pattern kind, and the conditional-publish path
+// (condition synthesis over the subscriber snapshot + the full
+// fan-out/ack/outcome cycle).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "cm/conditional_publisher.hpp"
+#include "cm/receiver.hpp"
+#include "cm/sender.hpp"
+#include "mq/pubsub.hpp"
+#include "mq/queue_manager.hpp"
+
+namespace {
+
+using namespace cmx;
+
+void BM_PublishFanOut(benchmark::State& state) {
+  const int subscribers = static_cast<int>(state.range(0));
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  mq::TopicBroker broker(qm);
+  std::vector<std::string> queues;
+  for (int i = 0; i < subscribers; ++i) {
+    auto sub = broker.subscribe("market.#");
+    sub.status().expect_ok("subscribe");
+    queues.push_back(sub.value().queue);
+  }
+  int since_drain = 0;
+  for (auto _ : state) {
+    broker.publish("market.emea.fx", mq::Message("tick")).expect_ok("pub");
+    if (++since_drain >= 200) {
+      state.PauseTiming();
+      for (const auto& q : queues) {
+        while (qm.get(q, 0).is_ok()) {
+        }
+      }
+      since_drain = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * subscribers);
+}
+BENCHMARK(BM_PublishFanOut)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+// Matching cost when most subscriptions do NOT match (selective broker).
+void BM_PublishSelective(benchmark::State& state) {
+  const int subscriptions = static_cast<int>(state.range(0));
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  mq::TopicBroker broker(qm);
+  std::string hit_queue;
+  for (int i = 0; i < subscriptions; ++i) {
+    auto sub = broker.subscribe("other.topic." + std::to_string(i));
+    sub.status().expect_ok("subscribe");
+  }
+  auto hit = broker.subscribe("the.one");
+  hit.status().expect_ok("subscribe");
+  hit_queue = hit.value().queue;
+  int since_drain = 0;
+  for (auto _ : state) {
+    broker.publish("the.one", mq::Message("x")).expect_ok("pub");
+    if (++since_drain >= 500) {
+      state.PauseTiming();
+      while (qm.get(hit_queue, 0).is_ok()) {
+      }
+      since_drain = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PublishSelective)->Arg(8)->Arg(64)->Arg(512);
+
+// Full conditional-publish round trip: condition over the subscriber
+// snapshot, k-of-n pick-up, subscribers served by reader threads.
+void BM_ConditionalPublishRoundTrip(benchmark::State& state) {
+  const int subscribers = static_cast<int>(state.range(0));
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  mq::TopicBroker broker(qm);
+  cm::ConditionalMessagingService service(qm);
+  cm::ConditionalPublisher publisher(service, broker);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < subscribers; ++i) {
+    auto sub = broker.subscribe("alerts");
+    sub.status().expect_ok("subscribe");
+    readers.emplace_back([&qm, &stop, queue = sub.value().queue, i] {
+      cm::ConditionalReceiver rx(qm, "sub" + std::to_string(i));
+      while (!stop.load()) {
+        rx.read_message(queue, 20);
+      }
+    });
+  }
+  cm::PublishConditions conditions;
+  conditions.pick_up_within = 60'000;
+  for (auto _ : state) {
+    auto cm_id = publisher.publish("alerts", "event", conditions);
+    cm_id.status().expect_ok("publish");
+    auto outcome = service.await_outcome(cm_id.value(), 60'000);
+    outcome.status().expect_ok("outcome");
+    if (outcome.value().outcome != cm::Outcome::kSuccess) {
+      state.SkipWithError("unexpected failure");
+      break;
+    }
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConditionalPublishRoundTrip)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,201 @@
+// E4 — cost of the conditional messaging indirection (Figure 6):
+//   * raw MOM put (the floor),
+//   * conditional send (control properties + SLOG + staged compensation +
+//     evaluation registration) as a function of fan-out N,
+//   * full round-trip to a decided SUCCESS outcome, middleware vs. the
+//     hand-rolled application baseline doing the same protocol.
+//
+// Expected shape (paper §4): the middleware's messages are the ones the
+// application would have to create anyway, so middleware and app-managed
+// round-trips are comparable, both paying ~O(N) over the raw put.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "baseline/app_managed.hpp"
+#include "cm/condition_builder.hpp"
+#include "cm/receiver.hpp"
+#include "cm/sender.hpp"
+#include "mq/queue_manager.hpp"
+
+namespace {
+
+using namespace cmx;
+
+std::vector<std::string> queue_names(int n) {
+  std::vector<std::string> names;
+  for (int i = 0; i < n; ++i) names.push_back("DEST" + std::to_string(i));
+  return names;
+}
+
+// --- floor: N raw puts ------------------------------------------------------
+
+void BM_RawPut(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  for (const auto& q : queue_names(fanout)) {
+    qm.create_queue(q).expect_ok("create");
+  }
+  const auto queues = queue_names(fanout);
+  int since_drain = 0;
+  for (auto _ : state) {
+    for (const auto& q : queues) {
+      qm.put(mq::QueueAddress("", q), mq::Message("payload"))
+          .expect_ok("put");
+    }
+    if (++since_drain >= 500) {
+      state.PauseTiming();
+      for (const auto& q : queues) {
+        while (qm.get(q, 0).is_ok()) {
+        }
+      }
+      since_drain = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * fanout);
+}
+BENCHMARK(BM_RawPut)->Arg(1)->Arg(4)->Arg(16)->Iterations(3000);
+
+// --- conditional send only (outcome resolves in the background) -----------
+
+void BM_ConditionalSend(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  for (const auto& q : queue_names(fanout)) {
+    qm.create_queue(q).expect_ok("create");
+  }
+  cm::ConditionalMessagingService service(qm);
+  cm::SetBuilder builder;
+  builder.pick_up_within(1);
+  for (const auto& q : queue_names(fanout)) {
+    builder.add(cm::DestBuilder(mq::QueueAddress("QM", q)).build());
+  }
+  auto condition = builder.build();
+  cm::SendOptions options;
+  options.evaluation_timeout_ms = 2;  // states self-clean quickly
+  int since_drain = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        service.send_message("payload", *condition, options));
+    if (++since_drain >= 200) {
+      // Steady state, not an ever-growing backlog: let the evaluation
+      // manager retire the outstanding messages and sweep the queues the
+      // failure path filled, outside the timed region.
+      state.PauseTiming();
+      while (service.evaluation_manager().in_flight() > 0) {
+        clock.sleep_ms(1);
+      }
+      for (const auto& q : queue_names(fanout)) {
+        while (qm.get(q, 0).is_ok()) {
+        }
+      }
+      while (qm.get(cm::kOutcomeQueue, 0).is_ok()) {
+      }
+      since_drain = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * fanout);
+}
+BENCHMARK(BM_ConditionalSend)->Arg(1)->Arg(4)->Arg(16)->Iterations(3000);
+
+// --- full round trip: send -> receivers ack -> SUCCESS outcome ------------
+
+class ReaderPool {
+ public:
+  ReaderPool(mq::QueueManager& qm, const std::vector<std::string>& queues,
+             bool conditional) {
+    for (const auto& q : queues) {
+      threads_.emplace_back([&qm, q, conditional, this] {
+        cm::ConditionalReceiver cond_rx(qm, "reader-" + q);
+        baseline::AppManagedReceiver app_rx(qm);
+        while (!stop_.load()) {
+          if (conditional) {
+            cond_rx.read_message(q, 20);
+          } else {
+            app_rx.read_and_ack(q, 20);
+          }
+        }
+      });
+    }
+  }
+  ~ReaderPool() {
+    stop_.store(true);
+    for (auto& t : threads_) t.join();
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> threads_;
+};
+
+void BM_ConditionalRoundTrip(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  const auto queues = queue_names(fanout);
+  for (const auto& q : queues) qm.create_queue(q).expect_ok("create");
+  cm::ConditionalMessagingService service(qm);
+  cm::SetBuilder builder;
+  builder.pick_up_within(60'000);
+  for (const auto& q : queues) {
+    builder.add(cm::DestBuilder(mq::QueueAddress("QM", q)).build());
+  }
+  auto condition = builder.build();
+  ReaderPool readers(qm, queues, /*conditional=*/true);
+  for (auto _ : state) {
+    auto cm_id = service.send_message("payload", *condition);
+    cm_id.status().expect_ok("send");
+    auto outcome = service.await_outcome(cm_id.value(), 60'000);
+    outcome.status().expect_ok("outcome");
+    if (outcome.value().outcome != cm::Outcome::kSuccess) {
+      state.SkipWithError("unexpected failure outcome");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConditionalRoundTrip)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_AppManagedRoundTrip(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  const auto queues = queue_names(fanout);
+  std::vector<mq::QueueAddress> dests;
+  for (const auto& q : queues) {
+    qm.create_queue(q).expect_ok("create");
+    dests.emplace_back("", q);
+  }
+  baseline::AppManagedSender sender(qm);
+  ReaderPool readers(qm, queues, /*conditional=*/false);
+  for (auto _ : state) {
+    auto id = sender.send_all_must_read("payload", dests, 60'000);
+    id.status().expect_ok("send");
+    auto outcome = sender.await_outcome(id.value());
+    outcome.status().expect_ok("outcome");
+    if (!outcome.value().success) {
+      state.SkipWithError("unexpected baseline failure");
+      break;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AppManagedRoundTrip)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// The paper's Example 2 (Figures 2 and 5): incoming flights are announced
+// on one central queue; ANY controller must pick a flight up within a
+// deadline, otherwise exception handling starts (here: the compensation
+// message withdraws the flight and it is re-routed).
+//
+// The example runs a small workload: flights arrive continuously while a
+// pool of controller threads — occasionally distracted — consumes them.
+// Each flight carries a pick-up condition (scaled to 200 ms) plus an
+// evaluation timeout, exactly the 20 s / 21 s structure of §2.5. At the
+// end the sender tallies accepted vs. escalated flights.
+//
+//   $ ./air_traffic [num_controllers=3] [num_flights=40]
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cm/condition_builder.hpp"
+#include "cm/receiver.hpp"
+#include "cm/sender.hpp"
+#include "mq/queue_manager.hpp"
+#include "util/random.hpp"
+
+using namespace cmx;
+
+namespace {
+
+constexpr util::TimeMs kPickUpDeadline = 200;  // the paper's "20 seconds"
+constexpr util::TimeMs kEvalTimeout = 210;     // the paper's "21 seconds"
+
+struct Controller {
+  int id;
+  std::atomic<bool>* stop;
+  mq::QueueManager* qm;
+  util::TimeMs distraction_ms;  // how long this controller dawdles
+  int handled = 0;
+
+  void operator()() {
+    cm::ConditionalReceiver rx(*qm, "controller-" + std::to_string(id));
+    util::Rng rng(17 + id);
+    while (!stop->load()) {
+      auto msg = rx.read_message("Q.CENTRAL", 50);
+      if (!msg.is_ok()) continue;
+      if (msg.value().kind != cm::MessageKind::kData) continue;
+      ++handled;
+      // handling a flight takes a while, and sometimes the controller is
+      // busy with a handover before the next read
+      qm->clock().sleep_ms(rng.uniform(5, 15));
+      if (rng.chance(0.3)) qm->clock().sleep_ms(distraction_ms);
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_controllers = argc > 1 ? std::atoi(argv[1]) : 3;
+  const int num_flights = argc > 2 ? std::atoi(argv[2]) : 40;
+
+  util::SystemClock clock;
+  mq::QueueManager qm("QM.TOWER", clock);
+  qm.create_queue("Q.CENTRAL").expect_ok("create");
+  cm::ConditionalMessagingService service(qm);
+
+  std::atomic<bool> stop{false};
+  std::vector<Controller> controllers;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < num_controllers; ++i) {
+    controllers.push_back(Controller{i, &stop, &qm, /*distraction_ms=*/120});
+  }
+  threads.reserve(controllers.size());
+  for (auto& controller : controllers) {
+    threads.emplace_back(std::ref(controller));
+  }
+
+  // The flight condition of Figure 5: central queue, anonymous recipient,
+  // pick-up within the deadline.
+  auto condition = cm::DestBuilder(mq::QueueAddress("QM.TOWER", "Q.CENTRAL"))
+                       .pick_up_within(kPickUpDeadline)
+                       .build();
+  cm::SendOptions options;
+  options.evaluation_timeout_ms = kEvalTimeout;
+
+  util::Rng arrivals(99);
+  std::vector<std::string> flight_ids;
+  for (int i = 0; i < num_flights; ++i) {
+    auto cm_id = service.send_message(
+        "flight LH" + std::to_string(1000 + i) + " entering sector", *condition,
+        options);
+    cm_id.status().expect_ok("send flight");
+    flight_ids.push_back(cm_id.value());
+    clock.sleep_ms(arrivals.uniform(10, 40));  // inter-arrival gap
+  }
+
+  int accepted = 0, escalated = 0;
+  for (const auto& id : flight_ids) {
+    auto outcome = service.await_outcome(id, 5000);
+    outcome.status().expect_ok("outcome");
+    if (outcome.value().outcome == cm::Outcome::kSuccess) {
+      ++accepted;
+    } else {
+      ++escalated;
+    }
+  }
+  stop.store(true);
+  for (auto& t : threads) t.join();
+
+  std::printf("flights: %d  controllers: %d\n", num_flights, num_controllers);
+  std::printf("picked up within %lldms : %d\n",
+              static_cast<long long>(kPickUpDeadline), accepted);
+  std::printf("escalated (deadline miss): %d\n", escalated);
+  int handled = 0;
+  for (const auto& c : controllers) {
+    std::printf("  controller-%d handled %d flights\n", c.id, c.handled);
+    handled += c.handled;
+  }
+  std::printf(
+      "total flight reads: %d — note the condition is about TIMELY pick-up;\n"
+      "delivery itself is already guaranteed by the MOM. Escalated flights\n"
+      "whose original was still unread were annihilated by their\n"
+      "compensation message (§2.6) and never surfaced to a controller.\n",
+      handled);
+  return 0;
+}

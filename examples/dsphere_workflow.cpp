@@ -1,0 +1,118 @@
+// Dependency-Spheres (§3): a contract-negotiation workflow groups two
+// conditional messages and a transactional database update into ONE atomic
+// unit-of-work:
+//
+//   * a notification to the legal department (must be picked up),
+//   * a signature request to the partner company (must be processed
+//     transactionally),
+//   * the contract record in a transactional store (2PC resource).
+//
+// If every message meets its conditions and the resource votes commit, the
+// sphere commits: the contract is persisted and success notifications go
+// out. If any member fails, everything is compensated and rolled back —
+// including members that individually succeeded.
+//
+//   $ ./dsphere_workflow
+#include <cstdio>
+
+#include "cm/condition_builder.hpp"
+#include "cm/receiver.hpp"
+#include "cm/sender.hpp"
+#include "ds/dsphere.hpp"
+#include "mq/network.hpp"
+#include "txn/kvstore.hpp"
+
+using namespace cmx;
+
+namespace {
+
+void run(const char* title, bool partner_signs) {
+  std::printf("\n=== %s ===\n", title);
+  util::SystemClock clock;
+  mq::QueueManager hq("QM.HQ", clock);
+  mq::QueueManager partner("QM.PARTNER", clock);
+  hq.create_queue("Q.LEGAL").expect_ok("create");
+  partner.create_queue("Q.SIGNATURES").expect_ok("create");
+  mq::Network net;
+  net.add(hq);
+  net.add(partner);
+
+  cm::ConditionalMessagingService service(hq,
+                                          {.success_notifications = true});
+  txn::TwoPhaseCoordinator coordinator;
+  ds::DSphereService spheres(service, coordinator);
+  txn::TxKvStore contracts("contract-db");
+
+  // --- begin_DS ----------------------------------------------------------
+  const auto sphere = spheres.begin();
+
+  // transactional object work inside the sphere (§3.2)
+  spheres.enlist(sphere, contracts).expect_ok("enlist");
+  const auto tx = spheres.transaction_id(sphere).value();
+  contracts.put(tx, "contract/4711", "draft v3, pending signature")
+      .expect_ok("stage contract");
+
+  // member 1: legal must see the draft within 500 ms
+  auto legal_note = spheres.send_message(
+      sphere, "contract 4711 draft for review", "review withdrawn",
+      *cm::DestBuilder(mq::QueueAddress("QM.HQ", "Q.LEGAL"), "legal")
+           .pick_up_within(500)
+           .build());
+  legal_note.status().expect_ok("send legal note");
+
+  // member 2: the partner must transactionally countersign within 500 ms
+  auto signature_req = spheres.send_message(
+      sphere, "please countersign contract 4711", "signature request void",
+      *cm::DestBuilder(mq::QueueAddress("QM.PARTNER", "Q.SIGNATURES"),
+                       "partner-inc")
+           .processing_within(500)
+           .build());
+  signature_req.status().expect_ok("send signature request");
+
+  // --- the participants act ------------------------------------------------
+  cm::ConditionalReceiver legal(hq, "legal");
+  legal.read_message("Q.LEGAL", 2000).status().expect_ok("legal read");
+  std::printf("legal picked up the draft\n");
+
+  cm::ConditionalReceiver partner_rx(partner, "partner-inc");
+  if (partner_signs) {
+    partner_rx.begin_tx().expect_ok("begin");
+    partner_rx.read_message("Q.SIGNATURES", 2000)
+        .status()
+        .expect_ok("partner read");
+    partner_rx.commit_tx().expect_ok("commit");
+    std::printf("partner countersigned (transactional processing)\n");
+  } else {
+    std::printf("partner never signs (processing deadline will lapse)\n");
+  }
+
+  // --- commit_DS ----------------------------------------------------------
+  auto result = spheres.commit(sphere, 5000);
+  result.status().expect_ok("commit_DS");
+  std::printf("D-Sphere outcome: %s%s%s\n",
+              ds::dsphere_outcome_name(result.value().outcome),
+              result.value().reason.empty() ? "" : " — ",
+              result.value().reason.c_str());
+
+  std::printf("contract record: %s\n",
+              contracts.read_committed("contract/4711")
+                  .value_or("<rolled back>")
+                  .c_str());
+
+  // outcome actions reached the members?
+  auto follow_up = legal.read_message("Q.LEGAL", 2000);
+  if (follow_up.is_ok()) {
+    std::printf("legal received %s message\n",
+                cm::message_kind_name(follow_up.value().kind));
+  }
+  net.shutdown();
+}
+
+}  // namespace
+
+int main() {
+  run("scenario A: partner signs -> sphere commits", true);
+  run("scenario B: partner silent -> sphere aborts, contract rolled back",
+      false);
+  return 0;
+}

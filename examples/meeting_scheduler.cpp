@@ -1,0 +1,171 @@
+// The paper's Example 1 (Figures 1 and 4): a group-meeting notification
+// sent to four recipients on a remote queue manager, with
+//   * a pick-up deadline on all four recipients,
+//   * required transactional processing (calendar update) for receiver3,
+//   * at-least-2-of-{receiver1, receiver2, receiver4} processing.
+//
+// The example runs the scenario twice — once with cooperative recipients
+// (SUCCESS: the meeting is scheduled) and once where too few recipients
+// process the invitation (FAILURE: compensations cancel the meeting and
+// the calendar updates are undone by the receiving applications).
+//
+// Deadlines are scaled from the paper's days to milliseconds so the
+// example runs in about a second.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cm/condition_builder.hpp"
+#include "cm/receiver.hpp"
+#include "cm/sender.hpp"
+#include "mq/network.hpp"
+#include "mq/queue_manager.hpp"
+#include "txn/kvstore.hpp"
+
+using namespace cmx;
+
+namespace {
+
+// Scaled time: 1 "day" = 100 ms.
+constexpr util::TimeMs kDay = 100;
+constexpr util::TimeMs kWeek = 7 * kDay;
+
+cm::ConditionPtr meeting_condition() {
+  return cm::SetBuilder()
+      .pick_up_within(2 * kDay)
+      .add(cm::DestBuilder(mq::QueueAddress("QM.OFFICE", "Q.RECEIVER3"),
+                           "receiver3")
+               .processing_within(kWeek)
+               .build())
+      .add(cm::SetBuilder()
+               .processing_within(3 * kDay)
+               .min_nr_processing(2)
+               .add(cm::DestBuilder(mq::QueueAddress("QM.OFFICE", "Q.RECEIVER1"),
+                                    "receiver1")
+                        .build())
+               .add(cm::DestBuilder(mq::QueueAddress("QM.OFFICE", "Q.RECEIVER2"),
+                                    "receiver2")
+                        .build())
+               .add(cm::DestBuilder(mq::QueueAddress("QM.OFFICE", "Q.RECEIVER4"),
+                                    "receiver4")
+                        .build())
+               .build())
+      .build();
+}
+
+// One meeting participant: reads the invitation and (optionally) processes
+// it by updating a calendar database inside a messaging transaction
+// (§2.4's read-process-commit pattern).
+struct Participant {
+  std::string name;
+  std::string queue;
+  bool processes;  // accept and update the calendar, or only read
+
+  void run(mq::QueueManager& qm, txn::TxKvStore& calendar) {
+    cm::ConditionalReceiver rx(qm, name);
+    if (processes) {
+      rx.begin_tx().expect_ok("begin_tx");
+      auto msg = rx.read_message(queue, 5000);
+      msg.status().expect_ok("read");
+      calendar.put(name + "-tx", name + "/meeting", msg.value().body())
+          .expect_ok("calendar update");
+      calendar.prepare(name + "-tx");
+      calendar.commit(name + "-tx");
+      rx.commit_tx().expect_ok("commit_tx");
+      std::printf("  %-10s processed the invitation (calendar updated)\n",
+                  name.c_str());
+    } else {
+      auto msg = rx.read_message(queue, 5000);
+      msg.status().expect_ok("read");
+      std::printf("  %-10s read the invitation (no processing)\n",
+                  name.c_str());
+    }
+  }
+
+  // After a failed meeting: pick up the compensation and undo.
+  void compensate(mq::QueueManager& qm, txn::TxKvStore& calendar) {
+    cm::ConditionalReceiver rx(qm, name);
+    auto msg = rx.read_message(queue, 5000);
+    if (msg.is_ok() && msg.value().kind == cm::MessageKind::kCompensation) {
+      calendar.put(name + "-undo", name + "/meeting", "<cancelled>")
+          .expect_ok("calendar undo");
+      calendar.prepare(name + "-undo");
+      calendar.commit(name + "-undo");
+      std::printf("  %-10s received compensation -> meeting cancelled\n",
+                  name.c_str());
+    } else if (msg.code() == util::ErrorCode::kTimeout) {
+      std::printf("  %-10s nothing to compensate (original annihilated)\n",
+                  name.c_str());
+    }
+  }
+};
+
+void run_scenario(const char* title, const std::vector<Participant>& people) {
+  std::printf("\n=== %s ===\n", title);
+  util::SystemClock clock;
+  mq::QueueManager hq("QM.HQ", clock);
+  mq::QueueManager office("QM.OFFICE", clock);
+  for (const auto& p : people) {
+    office.create_queue(p.queue).expect_ok("create");
+  }
+  mq::Network net;
+  net.add(hq);
+  net.add(office);
+
+  cm::ConditionalMessagingService service(hq, {.success_notifications = false});
+  txn::TxKvStore calendar("calendar-db");
+
+  auto cm_id = service.send_message(
+      "team meeting Fri 10:00, room 4-D",
+      "MEETING CANCELLED - please remove from calendar", *meeting_condition());
+  cm_id.status().expect_ok("send");
+  std::printf("sent meeting notification %s to %zu queues\n",
+              cm_id.value().c_str(), people.size());
+
+  for (auto participant : people) {
+    participant.run(office, calendar);
+  }
+
+  auto outcome = service.await_outcome(cm_id.value(), 10000);
+  outcome.status().expect_ok("outcome");
+  std::printf("meeting outcome: %s%s%s\n",
+              cm::outcome_name(outcome.value().outcome),
+              outcome.value().reason.empty() ? "" : " — ",
+              outcome.value().reason.c_str());
+
+  if (outcome.value().outcome == cm::Outcome::kFailure) {
+    for (auto participant : people) {
+      participant.compensate(office, calendar);
+    }
+  }
+  std::printf("calendar entries after scenario:\n");
+  for (const auto& p : people) {
+    auto entry = calendar.read_committed(p.name + "/meeting");
+    std::printf("  %-10s : %s\n", p.name.c_str(),
+                entry.value_or("<none>").c_str());
+  }
+  net.shutdown();
+}
+
+}  // namespace
+
+int main() {
+  // Scenario A: receiver3 processes (required), receivers 1+2 process
+  // (2-of-3 satisfied), receiver4 only reads -> SUCCESS.
+  run_scenario("scenario A: enough participants accept",
+               {{"receiver1", "Q.RECEIVER1", true},
+                {"receiver2", "Q.RECEIVER2", true},
+                {"receiver3", "Q.RECEIVER3", true},
+                {"receiver4", "Q.RECEIVER4", false}});
+
+  // Scenario B: only receiver1 processes; 2-of-3 subset cannot be reached
+  // and receiver3's required processing is missing -> FAILURE, followed by
+  // compensation delivery to everyone who consumed the invitation.
+  run_scenario("scenario B: too few participants accept",
+               {{"receiver1", "Q.RECEIVER1", true},
+                {"receiver2", "Q.RECEIVER2", false},
+                {"receiver3", "Q.RECEIVER3", false},
+                {"receiver4", "Q.RECEIVER4", false}});
+  return 0;
+}

@@ -1,0 +1,136 @@
+#include "baseline/app_managed.hpp"
+
+#include <algorithm>
+
+#include "util/id.hpp"
+
+namespace cmx::baseline {
+
+AppManagedSender::AppManagedSender(mq::QueueManager& qm,
+                                   std::string ack_queue)
+    : qm_(qm), ack_queue_(std::move(ack_queue)) {
+  qm_.ensure_queue(ack_queue_).expect_ok("ensure app ack queue");
+}
+
+util::Result<std::string> AppManagedSender::send_all_must_read(
+    const std::string& body, const std::vector<mq::QueueAddress>& dests,
+    util::TimeMs pick_up_within_ms) {
+  if (dests.empty()) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "no destinations");
+  }
+  const std::string app_msg_id = util::generate_id("app");
+  const util::TimeMs send_ts = qm_.clock().now_ms();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    Pending pending;
+    pending.dests = dests;
+    pending.send_ts = send_ts;
+    pending.deadline = send_ts + pick_up_within_ms;
+    pending_[app_msg_id] = std::move(pending);
+  }
+  for (const auto& dest : dests) {
+    mq::Message msg(body);
+    msg.set_property(kAppMsgId, app_msg_id);
+    msg.set_property(kAppAckQueue, ack_queue_);
+    msg.set_property(kAppSenderQmgr, qm_.name());
+    msg.set_property(std::string("APP_DEST"), dest.to_string());
+    if (auto s = qm_.put(dest, std::move(msg)); !s) return s;
+  }
+  return app_msg_id;
+}
+
+util::Result<AppManagedOutcome> AppManagedSender::await_outcome(
+    const std::string& app_msg_id) {
+  Pending pending;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = pending_.find(app_msg_id);
+    if (it == pending_.end()) {
+      return util::make_error(util::ErrorCode::kNotFound,
+                              "unknown app message " + app_msg_id);
+    }
+    pending = it->second;
+  }
+
+  AppManagedOutcome outcome;
+  // The application's hand-rolled evaluation loop: read acks off the ack
+  // queue, match them by correlation property, check timestamps, stop at
+  // the deadline. Acks for other in-flight messages must be re-sorted by
+  // hand — exactly the bookkeeping §2.5's evaluation manager centralizes.
+  while (true) {
+    const util::TimeMs now = qm_.clock().now_ms();
+    if (static_cast<int>(pending.acked_from.size()) ==
+        static_cast<int>(pending.dests.size())) {
+      outcome.success = true;
+      break;
+    }
+    if (now > pending.deadline) {
+      outcome.reason = "deadline passed with " +
+                       std::to_string(pending.acked_from.size()) + "/" +
+                       std::to_string(pending.dests.size()) + " acks";
+      break;
+    }
+    auto got = qm_.get(ack_queue_, pending.deadline - now);
+    if (!got) {
+      if (got.code() == util::ErrorCode::kTimeout) continue;
+      return got.status();
+    }
+    const auto& ack = got.value();
+    if (ack.get_string(kAppMsgId) != app_msg_id) {
+      // Ack for some other message: this naive implementation drops it on
+      // the floor (a real application would need yet more bookkeeping —
+      // with the middleware, DS.ACK.Q demultiplexing is built in).
+      continue;
+    }
+    const auto read_ts = ack.get_int(kAppReadTs).value_or(0);
+    const auto from = ack.get_string("APP_DEST").value_or("");
+    if (read_ts <= pending.deadline &&
+        std::find(pending.acked_from.begin(), pending.acked_from.end(),
+                  from) == pending.acked_from.end()) {
+      pending.acked_from.push_back(from);
+    }
+  }
+  outcome.acks_received = static_cast<int>(pending.acked_from.size());
+
+  if (!outcome.success) {
+    // Hand-rolled compensation: one message per destination.
+    for (const auto& dest : pending.dests) {
+      mq::Message comp;
+      comp.set_property(kAppMsgId, app_msg_id);
+      comp.set_property(kAppCompensation, true);
+      qm_.put(dest, std::move(comp));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    pending_.erase(app_msg_id);
+  }
+  return outcome;
+}
+
+AppManagedReceiver::AppManagedReceiver(mq::QueueManager& qm) : qm_(qm) {}
+
+util::Result<mq::Message> AppManagedReceiver::read_and_ack(
+    const std::string& queue_name, util::TimeMs timeout_ms) {
+  auto got = qm_.get(queue_name, timeout_ms);
+  if (!got) return got;
+  const auto& msg = got.value();
+  if (msg.get_bool(kAppCompensation).value_or(false)) {
+    return got;  // compensation: nothing to ack
+  }
+  const auto app_msg_id = msg.get_string(kAppMsgId);
+  const auto ack_queue = msg.get_string(kAppAckQueue);
+  const auto sender_qmgr = msg.get_string(kAppSenderQmgr);
+  if (app_msg_id && ack_queue && sender_qmgr) {
+    mq::Message ack;
+    ack.set_property(kAppMsgId, *app_msg_id);
+    ack.set_property(kAppReadTs, qm_.clock().now_ms());
+    ack.set_property(std::string("APP_DEST"),
+                     msg.get_string("APP_DEST").value_or(""));
+    qm_.put(mq::QueueAddress(*sender_qmgr, *ack_queue), std::move(ack));
+  }
+  return got;
+}
+
+}  // namespace cmx::baseline

@@ -1,0 +1,87 @@
+// Application-managed conditions: the status quo the paper argues against
+// (§1: "applications themselves are forced to implement the management of
+// such conditions on messages as part of the application").
+//
+// This baseline implements the same observable protocol as the conditional
+// messaging middleware — fan-out, receiver acknowledgments, deadline
+// evaluation, compensation on failure — but entirely in "application"
+// code against the raw mq:: API: the sender hand-rolls its ack queue,
+// correlation bookkeeping, deadline timers, and compensation sends, and
+// every receiver must remember to acknowledge explicitly with the exact
+// property layout this particular sender expects. Benchmarks use it to
+// show that the middleware's infrastructure messages are the ones the
+// application would otherwise create itself (paper §4), while the tests
+// document how much per-application machinery it takes.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mq/queue_manager.hpp"
+#include "util/status.hpp"
+
+namespace cmx::baseline {
+
+// Property names of this application's private ack protocol. Another
+// application team would invent different ones — that incompatibility is
+// the point of the baseline.
+inline constexpr const char* kAppMsgId = "APP_MSG_ID";
+inline constexpr const char* kAppAckQueue = "APP_ACK_QUEUE";
+inline constexpr const char* kAppSenderQmgr = "APP_SENDER_QMGR";
+inline constexpr const char* kAppReadTs = "APP_READ_TS";
+inline constexpr const char* kAppCompensation = "APP_COMPENSATION";
+
+struct AppManagedOutcome {
+  bool success = false;
+  int acks_received = 0;
+  std::string reason;
+};
+
+class AppManagedSender {
+ public:
+  explicit AppManagedSender(mq::QueueManager& qm,
+                            std::string ack_queue = "APP.ACK.Q");
+
+  // Sends `body` to every destination; the message succeeds iff every
+  // destination acknowledges within `pick_up_within_ms` of the send.
+  util::Result<std::string> send_all_must_read(
+      const std::string& body, const std::vector<mq::QueueAddress>& dests,
+      util::TimeMs pick_up_within_ms);
+
+  // Blocks until the outcome is decided (all acks in, or deadline passed).
+  // On failure, sends the application's compensation message to every
+  // destination — by hand, like everything else here.
+  util::Result<AppManagedOutcome> await_outcome(const std::string& app_msg_id);
+
+ private:
+  struct Pending {
+    std::vector<mq::QueueAddress> dests;
+    util::TimeMs send_ts = 0;
+    util::TimeMs deadline = 0;
+    std::vector<std::string> acked_from;  // dest addresses seen
+  };
+
+  mq::QueueManager& qm_;
+  const std::string ack_queue_;
+  std::mutex mu_;
+  std::map<std::string, Pending> pending_;
+};
+
+class AppManagedReceiver {
+ public:
+  explicit AppManagedReceiver(mq::QueueManager& qm);
+
+  // Reads a message and — as this sender's protocol demands — immediately
+  // sends the acknowledgment back. Forgetting this (or using a different
+  // property set) silently breaks the sender's conditions; the middleware
+  // version makes that mistake impossible.
+  util::Result<mq::Message> read_and_ack(const std::string& queue_name,
+                                         util::TimeMs timeout_ms);
+
+ private:
+  mq::QueueManager& qm_;
+};
+
+}  // namespace cmx::baseline

@@ -1,0 +1,67 @@
+#include "baseline/coyote.hpp"
+
+#include "mq/selector.hpp"
+#include "util/id.hpp"
+
+namespace cmx::baseline {
+
+CoyoteClient::CoyoteClient(mq::QueueManager& qm, std::string reply_queue)
+    : qm_(qm), reply_queue_(std::move(reply_queue)) {
+  qm_.ensure_queue(reply_queue_).expect_ok("ensure coyote reply queue");
+}
+
+util::Result<CoyoteResult> CoyoteClient::call(
+    const mq::QueueAddress& server_queue, const std::string& body,
+    util::TimeMs timeout_ms) {
+  const std::string req_id = util::generate_id("coyote");
+  mq::Message request(body);
+  request.set_property(kCoyoteReqId, req_id);
+  request.set_property(kCoyoteKind, std::string("request"));
+  request.set_property(kCoyoteReplyQueue, reply_queue_);
+  request.set_property(kCoyoteReplyQmgr, qm_.name());
+  if (auto s = qm_.put(server_queue, std::move(request)); !s) return s;
+
+  auto selector =
+      mq::Selector::parse(std::string(kCoyoteReqId) + " = '" + req_id + "'");
+  if (!selector) return selector.status();
+  auto ack = qm_.get(reply_queue_, timeout_ms, &selector.value());
+  if (ack) return CoyoteResult::kAcknowledged;
+  if (ack.code() != util::ErrorCode::kTimeout) return ack.status();
+
+  // Deadline passed: emit the cancellation (the Coyote "compensation").
+  mq::Message cancel;
+  cancel.set_property(kCoyoteReqId, req_id);
+  cancel.set_property(kCoyoteKind, std::string("cancel"));
+  if (auto s = qm_.put(server_queue, std::move(cancel)); !s) return s;
+  return CoyoteResult::kCancelled;
+}
+
+CoyoteServer::CoyoteServer(mq::QueueManager& qm) : qm_(qm) {}
+
+util::Result<mq::Message> CoyoteServer::serve_one(
+    const std::string& queue_name, util::TimeMs timeout_ms) {
+  auto got = qm_.get(queue_name, timeout_ms);
+  if (!got) return got;
+  const auto& msg = got.value();
+  const auto kind = msg.get_string(kCoyoteKind).value_or("");
+  if (kind == "cancel") {
+    ++cancels_seen_;
+    return got;
+  }
+  const auto req_id = msg.get_string(kCoyoteReqId);
+  const auto reply_queue = msg.get_string(kCoyoteReplyQueue);
+  const auto reply_qmgr = msg.get_string(kCoyoteReplyQmgr);
+  if (req_id && reply_queue && reply_qmgr) {
+    mq::Message ack;
+    ack.set_property(kCoyoteReqId, *req_id);
+    ack.set_property(kCoyoteKind, std::string("ack"));
+    if (auto s = qm_.put(mq::QueueAddress(*reply_qmgr, *reply_queue),
+                         std::move(ack));
+        s) {
+      ++acks_sent_;
+    }
+  }
+  return got;
+}
+
+}  // namespace cmx::baseline

@@ -1,0 +1,64 @@
+// Coyote-style exchange (paper §4.1 related work, [2]): a
+// timeout-constrained request/acknowledgment/cancellation protocol with a
+// SINGLE server. The client sends a request with a response deadline; if
+// the server's acknowledgment does not arrive in time the client sends a
+// cancellation message. Conditional messaging generalizes this to many
+// (required/optional) recipients and richer conditions; the benchmark in
+// bench_baselines.cpp compares both on the single-server workload where
+// Coyote is at home.
+#pragma once
+
+#include <string>
+
+#include "mq/queue_manager.hpp"
+#include "util/status.hpp"
+
+namespace cmx::baseline {
+
+inline constexpr const char* kCoyoteReqId = "COYOTE_REQ_ID";
+inline constexpr const char* kCoyoteKind = "COYOTE_KIND";  // request|ack|cancel
+inline constexpr const char* kCoyoteReplyQueue = "COYOTE_REPLY_Q";
+inline constexpr const char* kCoyoteReplyQmgr = "COYOTE_REPLY_QMGR";
+
+enum class CoyoteResult {
+  kAcknowledged,  // server confirmed within the deadline
+  kCancelled,     // deadline passed; cancellation was sent
+};
+
+class CoyoteClient {
+ public:
+  explicit CoyoteClient(mq::QueueManager& qm,
+                        std::string reply_queue = "COYOTE.REPLY.Q");
+
+  // Sends a request and blocks until the server's ack or the deadline.
+  // On deadline, emits the cancellation message to the server queue and
+  // reports kCancelled.
+  util::Result<CoyoteResult> call(const mq::QueueAddress& server_queue,
+                                  const std::string& body,
+                                  util::TimeMs timeout_ms);
+
+ private:
+  mq::QueueManager& qm_;
+  const std::string reply_queue_;
+};
+
+class CoyoteServer {
+ public:
+  explicit CoyoteServer(mq::QueueManager& qm);
+
+  // Serves one message from `queue_name`: requests are acknowledged to the
+  // client's reply queue; cancellations are surfaced to the caller so the
+  // application can undo work. Returns the served message.
+  util::Result<mq::Message> serve_one(const std::string& queue_name,
+                                      util::TimeMs timeout_ms);
+
+  std::uint64_t acks_sent() const { return acks_sent_; }
+  std::uint64_t cancels_seen() const { return cancels_seen_; }
+
+ private:
+  mq::QueueManager& qm_;
+  std::uint64_t acks_sent_ = 0;
+  std::uint64_t cancels_seen_ = 0;
+};
+
+}  // namespace cmx::baseline

@@ -1,0 +1,108 @@
+#include "cm/compensation_manager.hpp"
+
+#include "util/logging.hpp"
+
+namespace cmx::cm {
+
+CompensationManager::CompensationManager(mq::QueueManager& qm) : qm_(qm) {
+  qm_.ensure_queue(kCompensationQueue,
+                   mq::QueueOptions{.max_depth = SIZE_MAX, .system = true})
+      .expect_ok("ensure DS.COMP.Q");
+}
+
+util::Status CompensationManager::stage(
+    const std::string& cm_id,
+    const std::optional<std::string>& compensation_body,
+    const std::vector<std::pair<mq::QueueAddress, std::string>>& deliveries) {
+  for (const auto& [addr, original_msg_id] : deliveries) {
+    mq::Message comp(compensation_body.value_or(""));
+    comp.set_property(prop::kKind, std::string("compensation"));
+    comp.set_property(prop::kCmId, cm_id);
+    comp.set_property(prop::kOriginalMsgId, original_msg_id);
+    comp.set_property(prop::kCompType,
+                      std::string(compensation_body.has_value()
+                                      ? "application"
+                                      : "system"));
+    comp.set_property(prop::kDest, addr.to_string());
+    comp.correlation_id = original_msg_id;
+    comp.persistence = mq::Persistence::kPersistent;
+    if (auto s = qm_.put_local(kCompensationQueue, std::move(comp)); !s) {
+      return s;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.staged;
+  }
+  return util::ok_status();
+}
+
+std::vector<mq::Message> CompensationManager::take_staged(
+    const std::string& cm_id) {
+  std::vector<mq::Message> staged;
+  auto selector =
+      mq::Selector::parse(std::string(prop::kCmId) + " = '" + cm_id + "'");
+  selector.status().expect_ok("compensation selector");
+  while (true) {
+    auto got = qm_.get(kCompensationQueue, 0, &selector.value());
+    if (!got) break;
+    staged.push_back(std::move(got).value());
+  }
+  return staged;
+}
+
+util::Status CompensationManager::release(const std::string& cm_id) {
+  auto staged = take_staged(cm_id);
+  for (auto& comp : staged) {
+    const auto dest = comp.get_string(prop::kDest).value_or("");
+    comp.properties.erase(prop::kDest);
+    const auto addr = mq::QueueAddress::parse(dest);
+    if (auto s = qm_.put(addr, std::move(comp)); !s) {
+      CMX_WARN("cm.comp") << "failed to release compensation for " << cm_id
+                          << " to " << dest << ": " << s.to_string();
+      return s;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.released;
+  }
+  return util::ok_status();
+}
+
+util::Status CompensationManager::discard(const std::string& cm_id) {
+  auto staged = take_staged(cm_id);
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.discarded += staged.size();
+  return util::ok_status();
+}
+
+util::Status CompensationManager::send_success_notifications(
+    const std::string& cm_id,
+    const std::vector<std::pair<mq::QueueAddress, std::string>>& deliveries) {
+  for (const auto& [addr, original_msg_id] : deliveries) {
+    mq::Message note;
+    note.set_property(prop::kKind, std::string("success"));
+    note.set_property(prop::kCmId, cm_id);
+    note.set_property(prop::kOriginalMsgId, original_msg_id);
+    note.correlation_id = original_msg_id;
+    note.persistence = mq::Persistence::kPersistent;
+    if (auto s = qm_.put(addr, std::move(note)); !s) return s;
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.success_notifications;
+  }
+  return util::ok_status();
+}
+
+std::size_t CompensationManager::staged_count(const std::string& cm_id) const {
+  auto queue = qm_.find_queue(kCompensationQueue);
+  if (queue == nullptr) return 0;
+  std::size_t count = 0;
+  for (const auto& msg : queue->browse()) {
+    if (msg.get_string(prop::kCmId) == cm_id) ++count;
+  }
+  return count;
+}
+
+CompensationStats CompensationManager::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace cmx::cm

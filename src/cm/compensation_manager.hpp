@@ -1,0 +1,71 @@
+// CompensationManager (§2.6): stages compensation messages on the
+// persistent DS.COMP.Q at send time, and performs outcome actions once the
+// evaluation manager reaches a verdict:
+//   failure  → release the staged compensation messages to every
+//              destination the original message was delivered to;
+//   success  → optionally send success notifications to all destinations
+//              and discard the staged compensations.
+//
+// Compensation messages are correlated to the original standard message
+// they compensate (correlation_id = original message id), which is what
+// the receiver side uses for annihilation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cm/control.hpp"
+#include "mq/queue_manager.hpp"
+
+namespace cmx::cm {
+
+struct CompensationStats {
+  std::uint64_t staged = 0;
+  std::uint64_t released = 0;
+  std::uint64_t discarded = 0;
+  std::uint64_t success_notifications = 0;
+};
+
+class CompensationManager {
+ public:
+  explicit CompensationManager(mq::QueueManager& qm);
+
+  CompensationManager(const CompensationManager&) = delete;
+  CompensationManager& operator=(const CompensationManager&) = delete;
+
+  // Creates one compensation message per delivery and parks them on
+  // DS.COMP.Q (paper: "generated ... at the time the original messages are
+  // created and sent out"). `compensation_body` empty+absent produces the
+  // system-generated compensation (sendMessage/2); a value produces the
+  // application-defined compensation (sendMessage/3).
+  util::Status stage(
+      const std::string& cm_id,
+      const std::optional<std::string>& compensation_body,
+      const std::vector<std::pair<mq::QueueAddress, std::string>>& deliveries);
+
+  // Failure action: move every staged compensation for `cm_id` from
+  // DS.COMP.Q to its recorded destination.
+  util::Status release(const std::string& cm_id);
+
+  // Success actions.
+  util::Status discard(const std::string& cm_id);
+  util::Status send_success_notifications(
+      const std::string& cm_id,
+      const std::vector<std::pair<mq::QueueAddress, std::string>>& deliveries);
+
+  // Number of compensation messages currently staged for `cm_id`.
+  std::size_t staged_count(const std::string& cm_id) const;
+
+  CompensationStats stats() const;
+
+ private:
+  // Destructively collects all staged compensations for cm_id.
+  std::vector<mq::Message> take_staged(const std::string& cm_id);
+
+  mq::QueueManager& qm_;
+  mutable std::mutex mu_;
+  CompensationStats stats_;
+};
+
+}  // namespace cmx::cm

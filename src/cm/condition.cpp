@@ -1,0 +1,399 @@
+#include "cm/condition.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/codec.hpp"
+
+namespace cmx::cm {
+
+// ---------------------------------------------------------------------
+// Condition (base)
+// ---------------------------------------------------------------------
+
+void Condition::add(ConditionPtr) {
+  throw std::logic_error("add() on a leaf Condition");
+}
+void Condition::remove(const ConditionPtr&) {
+  throw std::logic_error("remove() on a leaf Condition");
+}
+const std::vector<ConditionPtr>& Condition::children() const {
+  static const std::vector<ConditionPtr> kEmpty;
+  return kEmpty;
+}
+
+void Condition::copy_base_to(Condition& other) const {
+  other.pick_up_ = pick_up_;
+  other.processing_ = processing_;
+  other.expiry_ = expiry_;
+  other.persistence_ = persistence_;
+  other.priority_ = priority_;
+}
+
+std::vector<const Destination*> Condition::leaves() const {
+  std::vector<const Destination*> out;
+  if (const auto* dest = as_destination()) {
+    out.push_back(dest);
+    return out;
+  }
+  for (const auto& child : children()) {
+    auto sub = child->leaves();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+util::Status Condition::validate() const {
+  std::vector<const Condition*> path;
+  if (auto s = validate_tree(path); !s) return s;
+  if (leaves().empty()) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "condition has no destinations");
+  }
+  return util::ok_status();
+}
+
+util::Status Condition::validate_tree(
+    std::vector<const Condition*>& path) const {
+  using util::ErrorCode;
+  if (std::find(path.begin(), path.end(), this) != path.end()) {
+    return util::make_error(ErrorCode::kInvalidArgument,
+                            "condition tree contains a cycle");
+  }
+  // Shared structure (a node reachable twice) would make ack accounting
+  // ambiguous; forbid it by checking global uniqueness, not just the path.
+  // `path` doubles as the visited set because validate_tree visits nodes
+  // in preorder and never removes entries.
+  path.push_back(this);
+
+  if (auto pick_up = msg_pick_up_time();
+      pick_up.has_value() && *pick_up <= 0) {
+    return util::make_error(ErrorCode::kInvalidArgument,
+                            "MsgPickUpTime must be positive");
+  }
+  if (auto processing = msg_processing_time();
+      processing.has_value() && *processing <= 0) {
+    return util::make_error(ErrorCode::kInvalidArgument,
+                            "MsgProcessingTime must be positive");
+  }
+  if (auto expiry = msg_expiry(); expiry.has_value() && *expiry <= 0) {
+    return util::make_error(ErrorCode::kInvalidArgument,
+                            "MsgExpiry must be positive");
+  }
+  if (auto priority = msg_priority();
+      priority.has_value() &&
+      (*priority < mq::kMinPriority || *priority > mq::kMaxPriority)) {
+    return util::make_error(ErrorCode::kInvalidArgument,
+                            "MsgPriority out of range 0..9");
+  }
+  if (auto s = validate_node(); !s) return s;
+  for (const auto& child : children()) {
+    if (child == nullptr) {
+      return util::make_error(ErrorCode::kInvalidArgument, "null child");
+    }
+    if (auto s = child->validate_tree(path); !s) return s;
+  }
+  return util::ok_status();
+}
+
+// ---------------------------------------------------------------------
+// Destination
+// ---------------------------------------------------------------------
+
+std::shared_ptr<Destination> Destination::make(mq::QueueAddress address,
+                                               std::string recipient_id) {
+  auto dest = std::shared_ptr<Destination>(new Destination());
+  dest->address_ = std::move(address);
+  dest->recipient_id_ = std::move(recipient_id);
+  return dest;
+}
+
+ConditionPtr Destination::clone() const {
+  auto copy = std::shared_ptr<Destination>(new Destination());
+  copy_base_to(*copy);
+  copy->address_ = address_;
+  copy->recipient_id_ = recipient_id_;
+  return copy;
+}
+
+util::Status Destination::validate_node() const {
+  if (address_.queue.empty()) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "Destination must specify a queue");
+  }
+  return util::ok_status();
+}
+
+std::string Destination::describe() const {
+  std::ostringstream out;
+  out << "Destination(" << address_.to_string();
+  if (!recipient_id_.empty()) out << ", recipient=" << recipient_id_;
+  if (auto t = msg_pick_up_time()) out << ", pickUp=" << *t << "ms";
+  if (auto t = msg_processing_time()) out << ", processing=" << *t << "ms";
+  out << (required() ? ", required" : ", optional") << ")";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------
+// DestinationSet
+// ---------------------------------------------------------------------
+
+std::shared_ptr<DestinationSet> DestinationSet::make() {
+  return std::shared_ptr<DestinationSet>(new DestinationSet());
+}
+
+void DestinationSet::add(ConditionPtr child) {
+  if (child == nullptr) {
+    throw std::logic_error("DestinationSet::add(nullptr)");
+  }
+  children_.push_back(std::move(child));
+}
+
+void DestinationSet::remove(const ConditionPtr& child) {
+  children_.erase(std::remove(children_.begin(), children_.end(), child),
+                  children_.end());
+}
+
+ConditionPtr DestinationSet::clone() const {
+  auto copy = std::shared_ptr<DestinationSet>(new DestinationSet());
+  copy_base_to(*copy);
+  copy->min_pick_up_ = min_pick_up_;
+  copy->max_pick_up_ = max_pick_up_;
+  copy->min_processing_ = min_processing_;
+  copy->max_processing_ = max_processing_;
+  copy->min_anonymous_ = min_anonymous_;
+  copy->max_anonymous_ = max_anonymous_;
+  for (const auto& child : children_) {
+    copy->children_.push_back(child->clone());
+  }
+  return copy;
+}
+
+util::Status DestinationSet::validate_node() const {
+  using util::ErrorCode;
+  auto check_pair = [](std::optional<int> lo, std::optional<int> hi,
+                       const char* what) -> util::Status {
+    if (lo.has_value() && *lo < 0) {
+      return util::make_error(ErrorCode::kInvalidArgument,
+                              std::string("negative Min") + what);
+    }
+    if (hi.has_value() && *hi < 0) {
+      return util::make_error(ErrorCode::kInvalidArgument,
+                              std::string("negative Max") + what);
+    }
+    if (lo.has_value() && hi.has_value() && *lo > *hi) {
+      return util::make_error(ErrorCode::kInvalidArgument,
+                              std::string("Min") + what + " > Max" + what);
+    }
+    return util::ok_status();
+  };
+  if (auto s = check_pair(min_pick_up_, max_pick_up_, "NrPickUp"); !s) {
+    return s;
+  }
+  if (auto s = check_pair(min_processing_, max_processing_, "NrProcessing");
+      !s) {
+    return s;
+  }
+  if (auto s = check_pair(min_anonymous_, max_anonymous_, "NrAnonymous");
+      !s) {
+    return s;
+  }
+  // Cardinality subsets are meaningful only with an associated deadline
+  // (paper: the Min/Max values narrow the set's time condition).
+  const bool has_pick_up_card =
+      min_pick_up_.has_value() || max_pick_up_.has_value() ||
+      min_anonymous_.has_value() || max_anonymous_.has_value();
+  if (has_pick_up_card && !msg_pick_up_time().has_value()) {
+    return util::make_error(
+        ErrorCode::kInvalidArgument,
+        "pick-up/anonymous cardinality requires MsgPickUpTime on the set");
+  }
+  const bool has_processing_card =
+      min_processing_.has_value() || max_processing_.has_value();
+  if (has_processing_card && !msg_processing_time().has_value()) {
+    return util::make_error(
+        ErrorCode::kInvalidArgument,
+        "processing cardinality requires MsgProcessingTime on the set");
+  }
+  // A named-leaf minimum larger than the subtree can never be satisfied.
+  const auto leaf_count = static_cast<int>(leaves().size());
+  if (min_pick_up_.has_value() && *min_pick_up_ > leaf_count) {
+    return util::make_error(ErrorCode::kInvalidArgument,
+                            "MinNrPickUp exceeds number of destinations");
+  }
+  if (min_processing_.has_value() && *min_processing_ > leaf_count) {
+    return util::make_error(ErrorCode::kInvalidArgument,
+                            "MinNrProcessing exceeds number of destinations");
+  }
+  return util::ok_status();
+}
+
+std::string DestinationSet::describe() const {
+  std::ostringstream out;
+  out << "DestinationSet(";
+  if (auto t = msg_pick_up_time()) out << "pickUp=" << *t << "ms ";
+  if (auto t = msg_processing_time()) out << "processing=" << *t << "ms ";
+  if (min_pick_up_) out << "minPickUp=" << *min_pick_up_ << " ";
+  if (max_pick_up_) out << "maxPickUp=" << *max_pick_up_ << " ";
+  if (min_processing_) out << "minProcessing=" << *min_processing_ << " ";
+  if (max_processing_) out << "maxProcessing=" << *max_processing_ << " ";
+  if (min_anonymous_) out << "minAnon=" << *min_anonymous_ << " ";
+  if (max_anonymous_) out << "maxAnon=" << *max_anonymous_ << " ";
+  out << "children=[";
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << children_[i]->describe();
+  }
+  out << "])";
+  return out.str();
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+class ConditionCodec {
+ public:
+  static constexpr std::uint8_t kLeafTag = 0;
+  static constexpr std::uint8_t kSetTag = 1;
+  static constexpr std::uint32_t kVersion = 1;
+
+  static void encode_node(const Condition& node, util::BinaryWriter& w) {
+    w.put_u8(node.is_leaf() ? kLeafTag : kSetTag);
+    encode_opt_i64(node.pick_up_, w);
+    encode_opt_i64(node.processing_, w);
+    encode_opt_i64(node.expiry_, w);
+    w.put_bool(node.persistence_.has_value());
+    if (node.persistence_) {
+      w.put_u8(static_cast<std::uint8_t>(*node.persistence_));
+    }
+    encode_opt_int(node.priority_, w);
+    if (const auto* dest = node.as_destination()) {
+      w.put_string(dest->address_.qmgr);
+      w.put_string(dest->address_.queue);
+      w.put_string(dest->recipient_id_);
+    } else {
+      const auto* set = node.as_destination_set();
+      encode_opt_int(set->min_pick_up_, w);
+      encode_opt_int(set->max_pick_up_, w);
+      encode_opt_int(set->min_processing_, w);
+      encode_opt_int(set->max_processing_, w);
+      encode_opt_int(set->min_anonymous_, w);
+      encode_opt_int(set->max_anonymous_, w);
+      w.put_u32(static_cast<std::uint32_t>(set->children_.size()));
+      for (const auto& child : set->children_) {
+        encode_node(*child, w);
+      }
+    }
+  }
+
+  static util::Result<ConditionPtr> decode_node(util::BinaryReader& r) {
+    auto tag = r.get_u8();
+    if (!tag) return tag.status();
+    ConditionPtr node;
+    if (tag.value() == kLeafTag) {
+      node = std::shared_ptr<Destination>(new Destination());
+    } else if (tag.value() == kSetTag) {
+      node = std::shared_ptr<DestinationSet>(new DestinationSet());
+    } else {
+      return util::make_error(util::ErrorCode::kIoError,
+                              "bad condition node tag");
+    }
+    if (auto s = decode_opt_i64(node->pick_up_, r); !s) return s;
+    if (auto s = decode_opt_i64(node->processing_, r); !s) return s;
+    if (auto s = decode_opt_i64(node->expiry_, r); !s) return s;
+    auto has_persistence = r.get_bool();
+    if (!has_persistence) return has_persistence.status();
+    if (has_persistence.value()) {
+      auto p = r.get_u8();
+      if (!p) return p.status();
+      node->persistence_ = static_cast<mq::Persistence>(p.value());
+    }
+    if (auto s = decode_opt_int(node->priority_, r); !s) return s;
+
+    if (tag.value() == kLeafTag) {
+      auto* dest = static_cast<Destination*>(node.get());
+      auto qmgr = r.get_string();
+      if (!qmgr) return qmgr.status();
+      auto queue = r.get_string();
+      if (!queue) return queue.status();
+      auto recipient = r.get_string();
+      if (!recipient) return recipient.status();
+      dest->address_ = mq::QueueAddress(std::move(qmgr).value(),
+                                        std::move(queue).value());
+      dest->recipient_id_ = std::move(recipient).value();
+      return node;
+    }
+    auto* set = static_cast<DestinationSet*>(node.get());
+    if (auto s = decode_opt_int(set->min_pick_up_, r); !s) return s;
+    if (auto s = decode_opt_int(set->max_pick_up_, r); !s) return s;
+    if (auto s = decode_opt_int(set->min_processing_, r); !s) return s;
+    if (auto s = decode_opt_int(set->max_processing_, r); !s) return s;
+    if (auto s = decode_opt_int(set->min_anonymous_, r); !s) return s;
+    if (auto s = decode_opt_int(set->max_anonymous_, r); !s) return s;
+    auto count = r.get_u32();
+    if (!count) return count.status();
+    for (std::uint32_t i = 0; i < count.value(); ++i) {
+      auto child = decode_node(r);
+      if (!child) return child;
+      set->children_.push_back(std::move(child).value());
+    }
+    return node;
+  }
+
+ private:
+  static void encode_opt_i64(const std::optional<util::TimeMs>& v,
+                             util::BinaryWriter& w) {
+    w.put_bool(v.has_value());
+    if (v) w.put_i64(*v);
+  }
+  static util::Status decode_opt_i64(std::optional<util::TimeMs>& out,
+                                     util::BinaryReader& r) {
+    auto has = r.get_bool();
+    if (!has) return has.status();
+    if (has.value()) {
+      auto v = r.get_i64();
+      if (!v) return v.status();
+      out = v.value();
+    }
+    return util::ok_status();
+  }
+  static void encode_opt_int(const std::optional<int>& v,
+                             util::BinaryWriter& w) {
+    w.put_bool(v.has_value());
+    if (v) w.put_i64(*v);
+  }
+  static util::Status decode_opt_int(std::optional<int>& out,
+                                     util::BinaryReader& r) {
+    auto has = r.get_bool();
+    if (!has) return has.status();
+    if (has.value()) {
+      auto v = r.get_i64();
+      if (!v) return v.status();
+      out = static_cast<int>(v.value());
+    }
+    return util::ok_status();
+  }
+};
+
+std::string Condition::encode() const {
+  util::BinaryWriter w;
+  w.put_u32(ConditionCodec::kVersion);
+  ConditionCodec::encode_node(*this, w);
+  return w.take();
+}
+
+util::Result<ConditionPtr> Condition::decode(std::string_view data) {
+  util::BinaryReader r(data);
+  auto version = r.get_u32();
+  if (!version) return version.status();
+  if (version.value() != ConditionCodec::kVersion) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "unknown condition codec version");
+  }
+  return ConditionCodec::decode_node(r);
+}
+
+}  // namespace cmx::cm

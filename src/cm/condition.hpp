@@ -1,0 +1,217 @@
+// The paper's condition object model (§2.2, Figure 3): conditions are
+// represented as a Composite of Destination leaves under DestinationSet
+// composites, rooted at any Condition node.
+//
+//   Condition        — base: time conditions + pass-through MOM properties
+//   Destination      — leaf: one queue, optional named final recipient
+//   DestinationSet   — composite: cardinality (min/max) subsets and
+//                      anonymous-recipient counts over its subtree
+//
+// Semantics implemented here and in eval_state.cpp:
+//   * Times are milliseconds RELATIVE to the sender's send timestamp
+//     (paper: "interpreted relative to the sender's time clock and the
+//     timestamp of sending the message").
+//   * A Destination with its own MsgPickUpTime/MsgProcessingTime is a
+//     REQUIRED destination; a Destination covered only by an ancestor
+//     set's times is OPTIONAL (it may stay silent if enough other members
+//     of the set respond).
+//   * A set's time conditions apply to every leaf destination in its
+//     subtree, unless MinNr*/MaxNr* narrow them to a subset cardinality.
+//   * MinNrAnonymous/MaxNrAnonymous count distinct anonymous recipients
+//     (recipients not named by any leaf) reading from the subtree's queues
+//     within the set's MsgPickUpTime.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mq/message.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace cmx::cm {
+
+class Condition;
+using ConditionPtr = std::shared_ptr<Condition>;
+
+class Destination;
+class DestinationSet;
+
+class Condition : public std::enable_shared_from_this<Condition> {
+ public:
+  virtual ~Condition() = default;
+
+  // ---- time conditions (ms, relative to send time) -----------------------
+  std::optional<util::TimeMs> msg_pick_up_time() const { return pick_up_; }
+  void set_msg_pick_up_time(util::TimeMs relative_ms) {
+    pick_up_ = relative_ms;
+  }
+  void clear_msg_pick_up_time() { pick_up_.reset(); }
+
+  std::optional<util::TimeMs> msg_processing_time() const {
+    return processing_;
+  }
+  void set_msg_processing_time(util::TimeMs relative_ms) {
+    processing_ = relative_ms;
+  }
+  void clear_msg_processing_time() { processing_.reset(); }
+
+  // ---- pass-through MOM properties ---------------------------------------
+  // (paper: "common properties of standard messaging middleware")
+  std::optional<util::TimeMs> msg_expiry() const { return expiry_; }
+  void set_msg_expiry(util::TimeMs relative_ms) { expiry_ = relative_ms; }
+
+  std::optional<mq::Persistence> msg_persistence() const {
+    return persistence_;
+  }
+  void set_msg_persistence(mq::Persistence p) { persistence_ = p; }
+
+  std::optional<int> msg_priority() const { return priority_; }
+  void set_msg_priority(int priority) { priority_ = priority; }
+
+  // ---- Composite interface -------------------------------------------------
+  virtual bool is_leaf() const = 0;
+  // Throws std::logic_error on leaves (GoF "transparent" composite).
+  virtual void add(ConditionPtr child);
+  virtual void remove(const ConditionPtr& child);
+  virtual const std::vector<ConditionPtr>& children() const;
+
+  virtual ConditionPtr clone() const = 0;
+
+  // Structural + semantic validation of the subtree rooted here (see the
+  // rule list in validate_tree's implementation). OK for a valid tree.
+  util::Status validate() const;
+
+  // All Destination leaves in this subtree, in left-to-right order.
+  std::vector<const Destination*> leaves() const;
+
+  // Narrowing accessors (nullptr when the node is of the other kind).
+  virtual const Destination* as_destination() const { return nullptr; }
+  virtual const DestinationSet* as_destination_set() const { return nullptr; }
+
+  // ---- serialization ---------------------------------------------------
+  // Round-trip used by the sender log so evaluation state can be rebuilt
+  // during recovery.
+  std::string encode() const;
+  static util::Result<ConditionPtr> decode(std::string_view data);
+
+  // Human-readable one-line rendering (tests, logs, examples).
+  virtual std::string describe() const = 0;
+
+ protected:
+  Condition() = default;
+  Condition(const Condition&) = default;
+
+  void copy_base_to(Condition& other) const;
+  virtual util::Status validate_node() const = 0;
+
+ private:
+  util::Status validate_tree(std::vector<const Condition*>& path) const;
+
+  std::optional<util::TimeMs> pick_up_;
+  std::optional<util::TimeMs> processing_;
+  std::optional<util::TimeMs> expiry_;
+  std::optional<mq::Persistence> persistence_;
+  std::optional<int> priority_;
+
+  friend class ConditionCodec;
+};
+
+// Leaf: a particular queue, optionally bound to a named final recipient.
+class Destination final : public Condition {
+ public:
+  static std::shared_ptr<Destination> make(mq::QueueAddress address,
+                                           std::string recipient_id = "");
+
+  const mq::QueueAddress& address() const { return address_; }
+  void set_address(mq::QueueAddress address) {
+    address_ = std::move(address);
+  }
+
+  // Identification string for a final recipient ("a defined name such as a
+  // userid in a namespace"); empty means any/anonymous recipient.
+  const std::string& recipient_id() const { return recipient_id_; }
+  void set_recipient_id(std::string id) { recipient_id_ = std::move(id); }
+
+  // Required destination: has its own time condition (paper §2.2).
+  bool required() const {
+    return msg_pick_up_time().has_value() ||
+           msg_processing_time().has_value();
+  }
+  // Processing (not just receipt) is demanded from this destination.
+  bool processing_required() const {
+    return msg_processing_time().has_value();
+  }
+
+  bool is_leaf() const override { return true; }
+  ConditionPtr clone() const override;
+  const Destination* as_destination() const override { return this; }
+  std::string describe() const override;
+
+ protected:
+  util::Status validate_node() const override;
+
+ private:
+  Destination() = default;
+
+  mq::QueueAddress address_;
+  std::string recipient_id_;
+
+  friend class ConditionCodec;
+};
+
+// Composite: conditions over a set (or hierarchy of sets) of destinations.
+class DestinationSet final : public Condition {
+ public:
+  static std::shared_ptr<DestinationSet> make();
+
+  void add(ConditionPtr child) override;
+  void remove(const ConditionPtr& child) override;
+  const std::vector<ConditionPtr>& children() const override {
+    return children_;
+  }
+
+  // Subset cardinalities. When unset, the set's time conditions apply to
+  // ALL leaf destinations of the subtree.
+  std::optional<int> min_nr_pick_up() const { return min_pick_up_; }
+  void set_min_nr_pick_up(int n) { min_pick_up_ = n; }
+  std::optional<int> max_nr_pick_up() const { return max_pick_up_; }
+  void set_max_nr_pick_up(int n) { max_pick_up_ = n; }
+
+  std::optional<int> min_nr_processing() const { return min_processing_; }
+  void set_min_nr_processing(int n) { min_processing_ = n; }
+  std::optional<int> max_nr_processing() const { return max_processing_; }
+  void set_max_nr_processing(int n) { max_processing_ = n; }
+
+  // Anonymous-recipient cardinalities (distinct unnamed recipients reading
+  // from subtree queues within the set's MsgPickUpTime).
+  std::optional<int> min_nr_anonymous() const { return min_anonymous_; }
+  void set_min_nr_anonymous(int n) { min_anonymous_ = n; }
+  std::optional<int> max_nr_anonymous() const { return max_anonymous_; }
+  void set_max_nr_anonymous(int n) { max_anonymous_ = n; }
+
+  bool is_leaf() const override { return false; }
+  ConditionPtr clone() const override;
+  const DestinationSet* as_destination_set() const override { return this; }
+  std::string describe() const override;
+
+ protected:
+  util::Status validate_node() const override;
+
+ private:
+  DestinationSet() = default;
+
+  std::vector<ConditionPtr> children_;
+  std::optional<int> min_pick_up_;
+  std::optional<int> max_pick_up_;
+  std::optional<int> min_processing_;
+  std::optional<int> max_processing_;
+  std::optional<int> min_anonymous_;
+  std::optional<int> max_anonymous_;
+
+  friend class ConditionCodec;
+};
+
+}  // namespace cmx::cm

@@ -1,0 +1,124 @@
+// Fluent construction helpers for condition trees. Purely convenience on
+// top of the Destination/DestinationSet factories; examples and tests use
+// these to express conditions close to the paper's notation, e.g. the
+// paper's Example 1 (Figure 4):
+//
+//   auto root = SetBuilder()
+//       .pick_up_within(2 * kDay)
+//       .add(DestBuilder({"qmB", "Q.R3"}, "receiver3")
+//                .processing_within(kWeek).build())
+//       .add(SetBuilder()
+//                .processing_within(3 * kDay)
+//                .min_nr_processing(2)
+//                .add(DestBuilder({"qmB", "Q.R1"}, "receiver1").build())
+//                .add(DestBuilder({"qmB", "Q.R2"}, "receiver2").build())
+//                .add(DestBuilder({"qmB", "Q.R4"}, "receiver4").build())
+//                .build())
+//       .build();
+#pragma once
+
+#include <utility>
+
+#include "cm/condition.hpp"
+
+namespace cmx::cm {
+
+class DestBuilder {
+ public:
+  explicit DestBuilder(mq::QueueAddress address, std::string recipient = "")
+      : dest_(Destination::make(std::move(address), std::move(recipient))) {}
+
+  DestBuilder& pick_up_within(util::TimeMs relative_ms) {
+    dest_->set_msg_pick_up_time(relative_ms);
+    return *this;
+  }
+  DestBuilder& processing_within(util::TimeMs relative_ms) {
+    dest_->set_msg_processing_time(relative_ms);
+    return *this;
+  }
+  DestBuilder& expiry(util::TimeMs relative_ms) {
+    dest_->set_msg_expiry(relative_ms);
+    return *this;
+  }
+  DestBuilder& priority(int priority) {
+    dest_->set_msg_priority(priority);
+    return *this;
+  }
+  DestBuilder& persistence(mq::Persistence p) {
+    dest_->set_msg_persistence(p);
+    return *this;
+  }
+
+  std::shared_ptr<Destination> build() { return std::move(dest_); }
+
+ private:
+  std::shared_ptr<Destination> dest_;
+};
+
+class SetBuilder {
+ public:
+  SetBuilder() : set_(DestinationSet::make()) {}
+
+  SetBuilder& add(ConditionPtr child) {
+    set_->add(std::move(child));
+    return *this;
+  }
+  SetBuilder& pick_up_within(util::TimeMs relative_ms) {
+    set_->set_msg_pick_up_time(relative_ms);
+    return *this;
+  }
+  SetBuilder& processing_within(util::TimeMs relative_ms) {
+    set_->set_msg_processing_time(relative_ms);
+    return *this;
+  }
+  SetBuilder& min_nr_pick_up(int n) {
+    set_->set_min_nr_pick_up(n);
+    return *this;
+  }
+  SetBuilder& max_nr_pick_up(int n) {
+    set_->set_max_nr_pick_up(n);
+    return *this;
+  }
+  SetBuilder& min_nr_processing(int n) {
+    set_->set_min_nr_processing(n);
+    return *this;
+  }
+  SetBuilder& max_nr_processing(int n) {
+    set_->set_max_nr_processing(n);
+    return *this;
+  }
+  SetBuilder& min_nr_anonymous(int n) {
+    set_->set_min_nr_anonymous(n);
+    return *this;
+  }
+  SetBuilder& max_nr_anonymous(int n) {
+    set_->set_max_nr_anonymous(n);
+    return *this;
+  }
+  SetBuilder& expiry(util::TimeMs relative_ms) {
+    set_->set_msg_expiry(relative_ms);
+    return *this;
+  }
+  SetBuilder& priority(int priority) {
+    set_->set_msg_priority(priority);
+    return *this;
+  }
+  SetBuilder& persistence(mq::Persistence p) {
+    set_->set_msg_persistence(p);
+    return *this;
+  }
+
+  std::shared_ptr<DestinationSet> build() { return std::move(set_); }
+
+ private:
+  std::shared_ptr<DestinationSet> set_;
+};
+
+// Common time units for readable condition definitions.
+inline constexpr util::TimeMs kSecond = 1000;
+inline constexpr util::TimeMs kMinute = 60 * kSecond;
+inline constexpr util::TimeMs kHour = 60 * kMinute;
+inline constexpr util::TimeMs kDay = 24 * kHour;
+inline constexpr util::TimeMs kWeek = 7 * kDay;
+
+}  // namespace cmx::cm

@@ -1,0 +1,365 @@
+#include "cm/condition_text.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "cm/condition_builder.hpp"
+
+namespace cmx::cm {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kEnd, kLParen, kRParen, kKeyword, kString, kAtom } kind =
+      Kind::kEnd;
+  std::string text;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) { advance(); }
+
+  const Token& current() const { return cur_; }
+
+  void advance() {
+    skip_ws();
+    cur_ = Token{};
+    cur_.pos = pos_;
+    if (pos_ >= input_.size()) return;
+    const char c = input_[pos_];
+    if (c == '(') {
+      cur_.kind = Token::Kind::kLParen;
+      ++pos_;
+      return;
+    }
+    if (c == ')') {
+      cur_.kind = Token::Kind::kRParen;
+      ++pos_;
+      return;
+    }
+    if (c == '"') {
+      ++pos_;
+      std::string out;
+      while (pos_ < input_.size() && input_[pos_] != '"') {
+        if (input_[pos_] == '\\' && pos_ + 1 < input_.size()) ++pos_;
+        out += input_[pos_++];
+      }
+      if (pos_ < input_.size()) ++pos_;  // closing quote
+      cur_.kind = Token::Kind::kString;
+      cur_.text = std::move(out);
+      return;
+    }
+    if (c == ':') {
+      ++pos_;
+      cur_.kind = Token::Kind::kKeyword;
+      cur_.text = take_atom();
+      return;
+    }
+    cur_.kind = Token::Kind::kAtom;
+    cur_.text = take_atom();
+  }
+
+ private:
+  std::string take_atom() {
+    std::string out;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c)) || c == '(' ||
+          c == ')' || c == '"') {
+        break;
+      }
+      out += c;
+      ++pos_;
+    }
+    return out;
+  }
+
+  void skip_ws() {
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (c == ';') {  // comment to end of line
+        while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (!std::isspace(static_cast<unsigned char>(c))) break;
+      ++pos_;
+    }
+  }
+
+  const std::string& input_;
+  std::size_t pos_ = 0;
+  Token cur_;
+};
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+util::Status error_at(const Token& token, const std::string& what) {
+  return util::make_error(util::ErrorCode::kInvalidArgument,
+                          "condition text: " + what + " at position " +
+                              std::to_string(token.pos));
+}
+
+util::Result<util::TimeMs> parse_duration(const std::string& text) {
+  std::size_t i = 0;
+  while (i < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  if (i == 0) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "expected duration, got '" + text + "'");
+  }
+  const util::TimeMs value = std::stoll(text.substr(0, i));
+  const std::string unit = text.substr(i);
+  if (unit.empty() || unit == "ms") return value;
+  if (unit == "s") return value * kSecond;
+  if (unit == "m") return value * kMinute;
+  if (unit == "h") return value * kHour;
+  if (unit == "d") return value * kDay;
+  if (unit == "w") return value * kWeek;
+  return util::make_error(util::ErrorCode::kInvalidArgument,
+                          "unknown duration unit '" + unit + "'");
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& input) : lex_(input) {}
+
+  util::Result<ConditionPtr> parse() {
+    auto node = parse_condition();
+    if (!node) return node;
+    if (lex_.current().kind != Token::Kind::kEnd) {
+      return error_at(lex_.current(), "unexpected trailing input");
+    }
+    return node;
+  }
+
+ private:
+  util::Result<ConditionPtr> parse_condition() {
+    if (lex_.current().kind != Token::Kind::kLParen) {
+      return error_at(lex_.current(), "expected '('");
+    }
+    lex_.advance();
+    if (lex_.current().kind != Token::Kind::kAtom) {
+      return error_at(lex_.current(), "expected 'dest' or 'set'");
+    }
+    const std::string head = lex_.current().text;
+    lex_.advance();
+    if (head == "dest") return parse_dest();
+    if (head == "set") return parse_set();
+    return error_at(lex_.current(), "unknown form '" + head + "'");
+  }
+
+  util::Result<ConditionPtr> parse_dest() {
+    const auto& addr_token = lex_.current();
+    if (addr_token.kind != Token::Kind::kString &&
+        addr_token.kind != Token::Kind::kAtom) {
+      return error_at(addr_token, "expected destination address");
+    }
+    auto dest = Destination::make(mq::QueueAddress::parse(addr_token.text));
+    lex_.advance();
+    while (lex_.current().kind == Token::Kind::kKeyword) {
+      const std::string key = lex_.current().text;
+      lex_.advance();
+      const auto& value = lex_.current();
+      if (value.kind != Token::Kind::kAtom &&
+          value.kind != Token::Kind::kString) {
+        return error_at(value, "expected value for :" + key);
+      }
+      if (key == "recipient") {
+        dest->set_recipient_id(value.text);
+      } else if (auto s = apply_common(*dest, key, value.text); !s) {
+        return s;
+      }
+      lex_.advance();
+    }
+    if (lex_.current().kind != Token::Kind::kRParen) {
+      return error_at(lex_.current(), "expected ')'");
+    }
+    lex_.advance();
+    return ConditionPtr(std::move(dest));
+  }
+
+  util::Result<ConditionPtr> parse_set() {
+    auto set = DestinationSet::make();
+    while (lex_.current().kind == Token::Kind::kKeyword) {
+      const std::string key = lex_.current().text;
+      lex_.advance();
+      const auto& value = lex_.current();
+      if (value.kind != Token::Kind::kAtom &&
+          value.kind != Token::Kind::kString) {
+        return error_at(value, "expected value for :" + key);
+      }
+      if (auto s = apply_set(*set, key, value.text); !s) return s;
+      lex_.advance();
+    }
+    while (lex_.current().kind == Token::Kind::kLParen) {
+      auto child = parse_condition();
+      if (!child) return child;
+      set->add(std::move(child).value());
+    }
+    if (lex_.current().kind != Token::Kind::kRParen) {
+      return error_at(lex_.current(), "expected ')' or child condition");
+    }
+    lex_.advance();
+    return ConditionPtr(std::move(set));
+  }
+
+  // Attributes shared by both node kinds.
+  util::Status apply_common(Condition& node, const std::string& key,
+                            const std::string& value) {
+    if (key == "pickUp") {
+      auto d = parse_duration(value);
+      if (!d) return d.status();
+      node.set_msg_pick_up_time(d.value());
+      return util::ok_status();
+    }
+    if (key == "processing") {
+      auto d = parse_duration(value);
+      if (!d) return d.status();
+      node.set_msg_processing_time(d.value());
+      return util::ok_status();
+    }
+    if (key == "expiry") {
+      auto d = parse_duration(value);
+      if (!d) return d.status();
+      node.set_msg_expiry(d.value());
+      return util::ok_status();
+    }
+    if (key == "priority") {
+      node.set_msg_priority(std::stoi(value));
+      return util::ok_status();
+    }
+    if (key == "persistent") {
+      node.set_msg_persistence(value == "true"
+                                   ? mq::Persistence::kPersistent
+                                   : mq::Persistence::kNonPersistent);
+      return util::ok_status();
+    }
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "unknown attribute :" + key);
+  }
+
+  util::Status apply_set(DestinationSet& set, const std::string& key,
+                         const std::string& value) {
+    const auto as_int = [&]() { return std::stoi(value); };
+    if (key == "minPickUp") {
+      set.set_min_nr_pick_up(as_int());
+    } else if (key == "maxPickUp") {
+      set.set_max_nr_pick_up(as_int());
+    } else if (key == "minProcessing") {
+      set.set_min_nr_processing(as_int());
+    } else if (key == "maxProcessing") {
+      set.set_max_nr_processing(as_int());
+    } else if (key == "minAnonymous") {
+      set.set_min_nr_anonymous(as_int());
+    } else if (key == "maxAnonymous") {
+      set.set_max_nr_anonymous(as_int());
+    } else {
+      return apply_common(set, key, value);
+    }
+    return util::ok_status();
+  }
+
+  Lexer lex_;
+};
+
+// ---------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------
+
+std::string duration_to_text(util::TimeMs ms) {
+  struct Unit {
+    util::TimeMs scale;
+    const char* suffix;
+  };
+  static constexpr Unit kUnits[] = {
+      {kWeek, "w"}, {kDay, "d"}, {kHour, "h"},
+      {kMinute, "m"}, {kSecond, "s"},
+  };
+  for (const auto& unit : kUnits) {
+    if (ms != 0 && ms % unit.scale == 0) {
+      return std::to_string(ms / unit.scale) + unit.suffix;
+    }
+  }
+  return std::to_string(ms) + "ms";
+}
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void print_common(const Condition& node, std::ostringstream& out) {
+  if (auto t = node.msg_pick_up_time()) {
+    out << " :pickUp " << duration_to_text(*t);
+  }
+  if (auto t = node.msg_processing_time()) {
+    out << " :processing " << duration_to_text(*t);
+  }
+  if (auto t = node.msg_expiry()) {
+    out << " :expiry " << duration_to_text(*t);
+  }
+  if (auto p = node.msg_priority()) {
+    out << " :priority " << *p;
+  }
+  if (auto p = node.msg_persistence()) {
+    out << " :persistent "
+        << (*p == mq::Persistence::kPersistent ? "true" : "false");
+  }
+}
+
+void print_node(const Condition& node, std::ostringstream& out, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  if (const auto* dest = node.as_destination()) {
+    out << pad << "(dest " << quote(dest->address().to_string());
+    if (!dest->recipient_id().empty()) {
+      out << " :recipient " << quote(dest->recipient_id());
+    }
+    print_common(node, out);
+    out << ")";
+    return;
+  }
+  const auto* set = node.as_destination_set();
+  out << pad << "(set";
+  print_common(node, out);
+  if (auto v = set->min_nr_pick_up()) out << " :minPickUp " << *v;
+  if (auto v = set->max_nr_pick_up()) out << " :maxPickUp " << *v;
+  if (auto v = set->min_nr_processing()) out << " :minProcessing " << *v;
+  if (auto v = set->max_nr_processing()) out << " :maxProcessing " << *v;
+  if (auto v = set->min_nr_anonymous()) out << " :minAnonymous " << *v;
+  if (auto v = set->max_nr_anonymous()) out << " :maxAnonymous " << *v;
+  for (const auto& child : set->children()) {
+    out << "\n";
+    print_node(*child, out, indent + 1);
+  }
+  out << ")";
+}
+
+}  // namespace
+
+util::Result<ConditionPtr> parse_condition_text(const std::string& text) {
+  Parser parser(text);
+  return parser.parse();
+}
+
+std::string condition_to_text(const Condition& condition) {
+  std::ostringstream out;
+  print_node(condition, out, 0);
+  return out.str();
+}
+
+}  // namespace cmx::cm

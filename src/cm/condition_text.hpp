@@ -1,0 +1,49 @@
+// Human-readable text representation of condition trees — the "more
+// flexible representation of conditions" the paper's future-work section
+// (§4.2) calls for. Conditions can be authored in configuration files or
+// message bodies and parsed at runtime, instead of being wired up in code.
+//
+// Grammar (S-expressions; keywords are case-sensitive):
+//
+//   condition := dest | set
+//   dest      := '(' 'dest' address pair* ')'
+//   set       := '(' 'set' pair* condition+ ')'
+//   address   := string            ; "qmgr/queue" or "queue"
+//   pair      := keyword value
+//   keyword   := ':pickUp' | ':processing' | ':expiry' | ':priority'
+//              | ':persistent' | ':recipient'
+//              | ':minPickUp' | ':maxPickUp'
+//              | ':minProcessing' | ':maxProcessing'
+//              | ':minAnonymous' | ':maxAnonymous'
+//   value     := duration | integer | boolean | string
+//   duration  := integer ('ms' | 's' | 'm' | 'h' | 'd' | 'w')?   ; default ms
+//
+// Example (the paper's Example 1, Figure 4):
+//
+//   (set :pickUp 2d
+//     (dest "QMB/Q.R3" :recipient "receiver3" :processing 1w)
+//     (set :processing 3d :minProcessing 2
+//       (dest "QMB/Q.R1" :recipient "receiver1")
+//       (dest "QMB/Q.R2" :recipient "receiver2")
+//       (dest "QMB/Q.R4" :recipient "receiver4")))
+#pragma once
+
+#include <string>
+
+#include "cm/condition.hpp"
+#include "util/status.hpp"
+
+namespace cmx::cm {
+
+// Parses the textual form. Returns kInvalidArgument with a
+// position-tagged message on syntax errors; the resulting tree is NOT
+// validated (call Condition::validate() before use, as with trees built
+// in code).
+util::Result<ConditionPtr> parse_condition_text(const std::string& text);
+
+// Renders a condition tree in the grammar above. Durations are printed
+// with the largest exact unit (e.g. 172800000 -> "2d"). The output parses
+// back to an equivalent tree.
+std::string condition_to_text(const Condition& condition);
+
+}  // namespace cmx::cm

@@ -1,0 +1,85 @@
+#include "cm/conditional_publisher.hpp"
+
+#include "cm/condition_builder.hpp"
+
+namespace cmx::cm {
+
+ConditionalPublisher::ConditionalPublisher(
+    ConditionalMessagingService& service, mq::TopicBroker& broker)
+    : service_(service), broker_(broker) {}
+
+util::Result<ConditionPtr> ConditionalPublisher::build_condition(
+    const std::string& topic, const PublishConditions& conditions) const {
+  const auto subs = broker_.matching(topic);
+  if (subs.empty()) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "no subscription matches topic '" + topic + "'");
+  }
+  const int n = static_cast<int>(subs.size());
+  if (conditions.min_subscribers.value_or(0) > n ||
+      conditions.min_processing.value_or(0) > n) {
+    return util::make_error(
+        util::ErrorCode::kInvalidArgument,
+        "required subscriber count exceeds matched subscriptions (" +
+            std::to_string(n) + ")");
+  }
+  if (!conditions.pick_up_within.has_value() &&
+      !conditions.processing_within.has_value()) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "publish conditions specify no deadline");
+  }
+
+  SetBuilder builder;
+  const auto& qm_name = service_.queue_manager().name();
+  for (const auto& sub : subs) {
+    // Subscribers are anonymous from the publisher's perspective: the
+    // destination is the subscription's backing queue.
+    builder.add(
+        DestBuilder(mq::QueueAddress(qm_name, sub.queue)).build());
+  }
+  if (conditions.pick_up_within.has_value()) {
+    builder.pick_up_within(*conditions.pick_up_within);
+    if (conditions.min_subscribers.has_value()) {
+      builder.min_nr_pick_up(*conditions.min_subscribers);
+    }
+  }
+  if (conditions.processing_within.has_value()) {
+    builder.processing_within(*conditions.processing_within);
+    if (conditions.min_processing.has_value()) {
+      builder.min_nr_processing(*conditions.min_processing);
+    }
+  }
+  return ConditionPtr(builder.build());
+}
+
+util::Result<std::string> ConditionalPublisher::publish(
+    const std::string& topic, const std::string& body,
+    const PublishConditions& conditions) {
+  return publish_internal(topic, body, std::nullopt, conditions);
+}
+
+util::Result<std::string> ConditionalPublisher::publish(
+    const std::string& topic, const std::string& body,
+    const std::string& compensation_body,
+    const PublishConditions& conditions) {
+  return publish_internal(topic, body, compensation_body, conditions);
+}
+
+util::Result<std::string> ConditionalPublisher::publish_internal(
+    const std::string& topic, const std::string& body,
+    const std::optional<std::string>& compensation_body,
+    const PublishConditions& conditions) {
+  auto condition = build_condition(topic, conditions);
+  if (!condition) return condition.status();
+
+  SendOptions options;
+  options.evaluation_timeout_ms = conditions.evaluation_timeout_ms;
+  options.properties[mq::kTopicProperty] = topic;
+  if (compensation_body.has_value()) {
+    return service_.send_message(body, *compensation_body,
+                                 *condition.value(), options);
+  }
+  return service_.send_message(body, *condition.value(), options);
+}
+
+}  // namespace cmx::cm

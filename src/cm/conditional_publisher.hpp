@@ -1,0 +1,73 @@
+// Conditional messaging for publish/subscribe — the second messaging
+// model the paper's definition ranges over (§2: "specific models of
+// conditional messaging can be defined with respect to specific models of
+// messaging, such as message queuing and publish/subscribe systems") and
+// part of its future-work agenda.
+//
+// A conditional publish resolves the topic against the broker's current
+// subscriptions and attaches pick-up / processing conditions over that
+// snapshot of subscribers: "at least k of the current subscribers must
+// read (or transactionally process) the event within T". Everything
+// downstream — fan-out, implicit acknowledgments, evaluation, outcome
+// actions — is the queuing machinery of §§2.3–2.6, reused unchanged.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cm/sender.hpp"
+#include "mq/pubsub.hpp"
+
+namespace cmx::cm {
+
+struct PublishConditions {
+  // Read deadline over the matched subscriptions (ms after publish).
+  std::optional<util::TimeMs> pick_up_within;
+  // How many matched subscribers must read in time; default: all.
+  std::optional<int> min_subscribers;
+
+  // Transactional-processing deadline and cardinality (optional).
+  std::optional<util::TimeMs> processing_within;
+  std::optional<int> min_processing;
+
+  // Evaluation hard cap (0 = none beyond the condition deadlines).
+  util::TimeMs evaluation_timeout_ms = 0;
+};
+
+class ConditionalPublisher {
+ public:
+  // `service` must live on the broker's queue manager (subscription
+  // queues are local queues there).
+  ConditionalPublisher(ConditionalMessagingService& service,
+                       mq::TopicBroker& broker);
+
+  // Publishes `body` to `topic` under `conditions`; returns the
+  // conditional message id. Fails with kFailedPrecondition when no
+  // subscription matches (a condition over zero subscribers is vacuous
+  // and almost certainly an application error), kInvalidArgument when the
+  // cardinalities exceed the matched-subscriber count.
+  util::Result<std::string> publish(const std::string& topic,
+                                    const std::string& body,
+                                    const PublishConditions& conditions);
+
+  // As above with application-defined compensation data (§2.6).
+  util::Result<std::string> publish(const std::string& topic,
+                                    const std::string& body,
+                                    const std::string& compensation_body,
+                                    const PublishConditions& conditions);
+
+ private:
+  util::Result<std::string> publish_internal(
+      const std::string& topic, const std::string& body,
+      const std::optional<std::string>& compensation_body,
+      const PublishConditions& conditions);
+
+  // Builds the condition tree over the currently-matching subscriptions.
+  util::Result<ConditionPtr> build_condition(
+      const std::string& topic, const PublishConditions& conditions) const;
+
+  ConditionalMessagingService& service_;
+  mq::TopicBroker& broker_;
+};
+
+}  // namespace cmx::cm

@@ -1,0 +1,262 @@
+#include "cm/control.hpp"
+
+#include "util/codec.hpp"
+
+namespace cmx::cm {
+
+namespace {
+
+util::Status missing(const char* what) {
+  return util::make_error(util::ErrorCode::kIoError,
+                          std::string("message lacks ") + what);
+}
+
+}  // namespace
+
+const char* message_kind_name(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kData:
+      return "data";
+    case MessageKind::kAck:
+      return "ack";
+    case MessageKind::kCompensation:
+      return "compensation";
+    case MessageKind::kSuccess:
+      return "success";
+    case MessageKind::kOutcome:
+      return "outcome";
+  }
+  return "?";
+}
+
+MessageKind classify(const mq::Message& msg) {
+  const auto kind = msg.get_string(prop::kKind);
+  if (!kind.has_value()) return MessageKind::kData;
+  if (*kind == "ack") return MessageKind::kAck;
+  if (*kind == "compensation") return MessageKind::kCompensation;
+  if (*kind == "success") return MessageKind::kSuccess;
+  if (*kind == "outcome") return MessageKind::kOutcome;
+  return MessageKind::kData;
+}
+
+bool is_conditional(const mq::Message& msg) {
+  return msg.has_property(prop::kCmId);
+}
+
+// ---------------------------------------------------------------------
+// AckRecord
+// ---------------------------------------------------------------------
+
+mq::Message AckRecord::to_message() const {
+  mq::Message msg;
+  msg.set_property(prop::kKind, std::string("ack"));
+  msg.set_property(prop::kCmId, cm_id);
+  msg.set_property(prop::kAckType, std::string(type == AckType::kRead
+                                                   ? "read"
+                                                   : "processing"));
+  msg.set_property(prop::kQueue, queue.to_string());
+  msg.set_property(prop::kRecipient, recipient_id);
+  msg.set_property(prop::kReadTs, read_ts);
+  msg.set_property(prop::kCommitTs, commit_ts);
+  msg.persistence = mq::Persistence::kPersistent;
+  return msg;
+}
+
+util::Result<AckRecord> AckRecord::from_message(const mq::Message& msg) {
+  AckRecord ack;
+  auto cm_id = msg.get_string(prop::kCmId);
+  if (!cm_id) return missing(prop::kCmId);
+  ack.cm_id = *cm_id;
+  auto type = msg.get_string(prop::kAckType);
+  if (!type) return missing(prop::kAckType);
+  ack.type = (*type == "processing") ? AckType::kProcessing : AckType::kRead;
+  auto queue = msg.get_string(prop::kQueue);
+  if (!queue) return missing(prop::kQueue);
+  ack.queue = mq::QueueAddress::parse(*queue);
+  ack.recipient_id = msg.get_string(prop::kRecipient).value_or("");
+  auto read_ts = msg.get_int(prop::kReadTs);
+  if (!read_ts) return missing(prop::kReadTs);
+  ack.read_ts = *read_ts;
+  ack.commit_ts = msg.get_int(prop::kCommitTs).value_or(0);
+  return ack;
+}
+
+// ---------------------------------------------------------------------
+// OutcomeRecord
+// ---------------------------------------------------------------------
+
+const char* outcome_name(Outcome outcome) {
+  return outcome == Outcome::kSuccess ? "success" : "failure";
+}
+
+mq::Message OutcomeRecord::to_message() const {
+  mq::Message msg;
+  msg.set_property(prop::kKind, std::string("outcome"));
+  msg.set_property(prop::kCmId, cm_id);
+  msg.set_property(prop::kOutcome, std::string(outcome_name(outcome)));
+  msg.set_property(prop::kReason, reason);
+  msg.set_property(prop::kDecidedTs, decided_ts);
+  msg.persistence = mq::Persistence::kPersistent;
+  return msg;
+}
+
+util::Result<OutcomeRecord> OutcomeRecord::from_message(
+    const mq::Message& msg) {
+  OutcomeRecord record;
+  auto cm_id = msg.get_string(prop::kCmId);
+  if (!cm_id) return missing(prop::kCmId);
+  record.cm_id = *cm_id;
+  auto outcome = msg.get_string(prop::kOutcome);
+  if (!outcome) return missing(prop::kOutcome);
+  record.outcome =
+      (*outcome == "success") ? Outcome::kSuccess : Outcome::kFailure;
+  record.reason = msg.get_string(prop::kReason).value_or("");
+  record.decided_ts = msg.get_int(prop::kDecidedTs).value_or(0);
+  return record;
+}
+
+// ---------------------------------------------------------------------
+// SenderLogEntry
+// ---------------------------------------------------------------------
+
+mq::Message SenderLogEntry::to_message() const {
+  util::BinaryWriter w;
+  w.put_string(cm_id);
+  w.put_i64(send_ts);
+  w.put_i64(evaluation_timeout_ms);
+  w.put_bool(has_compensation_data);
+  w.put_string(condition != nullptr ? condition->encode() : "");
+  w.put_u32(static_cast<std::uint32_t>(deliveries.size()));
+  for (const auto& [addr, msg_id] : deliveries) {
+    w.put_string(addr.qmgr);
+    w.put_string(addr.queue);
+    w.put_string(msg_id);
+  }
+  mq::Message msg(w.take());
+  msg.set_property(prop::kCmId, cm_id);
+  msg.persistence = mq::Persistence::kPersistent;
+  return msg;
+}
+
+util::Result<SenderLogEntry> SenderLogEntry::from_message(
+    const mq::Message& msg) {
+  util::BinaryReader r(msg.body);
+  SenderLogEntry entry;
+  auto cm_id = r.get_string();
+  if (!cm_id) return cm_id.status();
+  entry.cm_id = std::move(cm_id).value();
+  auto send_ts = r.get_i64();
+  if (!send_ts) return send_ts.status();
+  entry.send_ts = send_ts.value();
+  auto timeout = r.get_i64();
+  if (!timeout) return timeout.status();
+  entry.evaluation_timeout_ms = timeout.value();
+  auto has_comp = r.get_bool();
+  if (!has_comp) return has_comp.status();
+  entry.has_compensation_data = has_comp.value();
+  auto condition_bytes = r.get_string();
+  if (!condition_bytes) return condition_bytes.status();
+  if (!condition_bytes.value().empty()) {
+    auto condition = Condition::decode(condition_bytes.value());
+    if (!condition) return condition.status();
+    entry.condition = std::move(condition).value();
+  }
+  auto count = r.get_u32();
+  if (!count) return count.status();
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto qmgr = r.get_string();
+    if (!qmgr) return qmgr.status();
+    auto queue = r.get_string();
+    if (!queue) return queue.status();
+    auto msg_id = r.get_string();
+    if (!msg_id) return msg_id.status();
+    entry.deliveries.emplace_back(
+        mq::QueueAddress(std::move(qmgr).value(), std::move(queue).value()),
+        std::move(msg_id).value());
+  }
+  return entry;
+}
+
+// ---------------------------------------------------------------------
+// PendingActionMarker
+// ---------------------------------------------------------------------
+
+mq::Message PendingActionMarker::to_message() const {
+  util::BinaryWriter w;
+  w.put_bool(success_notifications);
+  w.put_u32(static_cast<std::uint32_t>(deliveries.size()));
+  for (const auto& [addr, msg_id] : deliveries) {
+    w.put_string(addr.qmgr);
+    w.put_string(addr.queue);
+    w.put_string(msg_id);
+  }
+  mq::Message msg(w.take());
+  msg.set_property(prop::kCmId, cm_id);
+  msg.set_property(prop::kOutcome, std::string(outcome_name(outcome)));
+  msg.set_property(prop::kReason, reason);
+  msg.persistence = mq::Persistence::kPersistent;
+  return msg;
+}
+
+util::Result<PendingActionMarker> PendingActionMarker::from_message(
+    const mq::Message& msg) {
+  PendingActionMarker marker;
+  auto cm_id = msg.get_string(prop::kCmId);
+  if (!cm_id) return missing(prop::kCmId);
+  marker.cm_id = *cm_id;
+  auto outcome = msg.get_string(prop::kOutcome);
+  if (!outcome) return missing(prop::kOutcome);
+  marker.outcome =
+      (*outcome == "success") ? Outcome::kSuccess : Outcome::kFailure;
+  marker.reason = msg.get_string(prop::kReason).value_or("");
+  util::BinaryReader r(msg.body);
+  auto notify = r.get_bool();
+  if (!notify) return notify.status();
+  marker.success_notifications = notify.value();
+  auto count = r.get_u32();
+  if (!count) return count.status();
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto qmgr = r.get_string();
+    if (!qmgr) return qmgr.status();
+    auto queue = r.get_string();
+    if (!queue) return queue.status();
+    auto msg_id = r.get_string();
+    if (!msg_id) return msg_id.status();
+    marker.deliveries.emplace_back(
+        mq::QueueAddress(std::move(qmgr).value(), std::move(queue).value()),
+        std::move(msg_id).value());
+  }
+  return marker;
+}
+
+// ---------------------------------------------------------------------
+// ReceiverLogEntry
+// ---------------------------------------------------------------------
+
+mq::Message ReceiverLogEntry::to_message() const {
+  mq::Message msg;
+  msg.set_property(prop::kCmId, cm_id);
+  msg.set_property(prop::kOriginalMsgId, original_msg_id);
+  msg.set_property(prop::kQueue, queue);
+  msg.set_property(prop::kRecipient, recipient_id);
+  msg.set_property(prop::kReadTs, read_ts);
+  msg.persistence = mq::Persistence::kPersistent;
+  return msg;
+}
+
+util::Result<ReceiverLogEntry> ReceiverLogEntry::from_message(
+    const mq::Message& msg) {
+  ReceiverLogEntry entry;
+  auto cm_id = msg.get_string(prop::kCmId);
+  if (!cm_id) return missing(prop::kCmId);
+  entry.cm_id = *cm_id;
+  auto original = msg.get_string(prop::kOriginalMsgId);
+  if (!original) return missing(prop::kOriginalMsgId);
+  entry.original_msg_id = *original;
+  entry.queue = msg.get_string(prop::kQueue).value_or("");
+  entry.recipient_id = msg.get_string(prop::kRecipient).value_or("");
+  entry.read_ts = msg.get_int(prop::kReadTs).value_or(0);
+  return entry;
+}
+
+}  // namespace cmx::cm

@@ -1,0 +1,157 @@
+// Control information the conditional messaging system attaches to the
+// standard messages it generates (paper §2.3: "The generated standard
+// messages ... are attributed by the conditional messaging system with
+// control information required for purposes of monitoring and evaluating
+// the conditional message"), plus the record types flowing through the
+// system queues:
+//
+//   DS.SLOG.Q    sender log      (SenderLogEntry, persistent)
+//   DS.ACK.Q     acknowledgments (AckRecord)
+//   DS.COMP.Q    compensations   (staged compensation messages)
+//   DS.OUTCOME.Q outcomes        (OutcomeRecord)
+//   DS.RLOG.Q    receiver log    (ReceiverLogEntry, persistent)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cm/condition.hpp"
+#include "mq/message.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace cmx::cm {
+
+// ---- system queue names (paper §2.7, Figure 9) --------------------------
+inline constexpr const char* kSenderLogQueue = "DS.SLOG.Q";
+inline constexpr const char* kAckQueue = "DS.ACK.Q";
+inline constexpr const char* kCompensationQueue = "DS.COMP.Q";
+inline constexpr const char* kOutcomeQueue = "DS.OUTCOME.Q";
+inline constexpr const char* kReceiverLogQueue = "DS.RLOG.Q";
+// Pending-outcome-action markers: guarantee that compensation / success
+// actions survive a sender crash between decision and completion (the
+// queuing patterns of the paper's reference [16]). A marker is written
+// before the actions run and removed after; recovery re-drives actions
+// for any marker still present (at-least-once).
+inline constexpr const char* kPendingActionQueue = "DS.PEND.Q";
+
+// ---- control property keys ------------------------------------------------
+namespace prop {
+inline constexpr const char* kKind = "CMX_KIND";
+inline constexpr const char* kCmId = "CMX_CM_ID";
+inline constexpr const char* kProcessingRequired = "CMX_PROCESSING_REQUIRED";
+inline constexpr const char* kSenderQmgr = "CMX_SENDER_QMGR";
+inline constexpr const char* kAckQueue = "CMX_ACK_QUEUE";
+inline constexpr const char* kRecipient = "CMX_RECIPIENT";
+inline constexpr const char* kSendTs = "CMX_SEND_TS";
+inline constexpr const char* kAckType = "CMX_ACK_TYPE";
+inline constexpr const char* kQueue = "CMX_QUEUE";
+inline constexpr const char* kReadTs = "CMX_READ_TS";
+inline constexpr const char* kCommitTs = "CMX_COMMIT_TS";
+inline constexpr const char* kOriginalMsgId = "CMX_ORIGINAL_MSG_ID";
+inline constexpr const char* kCompType = "CMX_COMP_TYPE";
+inline constexpr const char* kDest = "CMX_DEST";
+inline constexpr const char* kOutcome = "CMX_OUTCOME";
+inline constexpr const char* kReason = "CMX_REASON";
+inline constexpr const char* kDecidedTs = "CMX_DECIDED_TS";
+}  // namespace prop
+
+// ---- message kinds ---------------------------------------------------------
+enum class MessageKind {
+  kData,          // application payload of a conditional message
+  kAck,           // internal acknowledgment (read or processing)
+  kCompensation,  // compensation released after a failure outcome
+  kSuccess,       // success notification released after a success outcome
+  kOutcome,       // outcome notification on DS.OUTCOME.Q
+};
+
+const char* message_kind_name(MessageKind kind);
+// Kind of a received standard message; kData for plain messages without a
+// CMX_KIND property (the paper's "unconditional" messages never carry it,
+// and such messages are handed to the application unchanged).
+MessageKind classify(const mq::Message& msg);
+bool is_conditional(const mq::Message& msg);
+
+// ---- acknowledgments (§2.4) ---------------------------------------------
+enum class AckType {
+  kRead,        // successful non-transactional read
+  kProcessing,  // successful transactional read == successful processing
+};
+
+struct AckRecord {
+  std::string cm_id;
+  AckType type = AckType::kRead;
+  mq::QueueAddress queue;    // destination queue the message was read from
+  std::string recipient_id;  // reading recipient ("" = anonymous)
+  util::TimeMs read_ts = 0;    // sender-clock-relative; see note below
+  util::TimeMs commit_ts = 0;  // only meaningful for kProcessing
+
+  // NOTE on clocks: the paper interprets all times "relative to the
+  // sender's time clock". Our receivers therefore compute read/commit
+  // timestamps as (local now - message put time) + message send time, i.e.
+  // elapsed-time-since-send re-anchored at the sender's send timestamp.
+  // With the shared Clock used in-process this is exact; across real
+  // machines it would inherit clock skew, as the paper's system does.
+
+  mq::Message to_message() const;
+  static util::Result<AckRecord> from_message(const mq::Message& msg);
+};
+
+// ---- outcomes (§2.5) ------------------------------------------------------
+enum class Outcome { kSuccess, kFailure };
+
+const char* outcome_name(Outcome outcome);
+
+struct OutcomeRecord {
+  std::string cm_id;
+  Outcome outcome = Outcome::kFailure;
+  std::string reason;  // human-readable cause, e.g. the violated condition
+  util::TimeMs decided_ts = 0;
+
+  mq::Message to_message() const;
+  static util::Result<OutcomeRecord> from_message(const mq::Message& msg);
+};
+
+// ---- sender log entries (§2.3) ---------------------------------------------
+// One entry per conditional message; carries everything the evaluation
+// manager needs to rebuild its state after a sender restart.
+struct SenderLogEntry {
+  std::string cm_id;
+  util::TimeMs send_ts = 0;
+  util::TimeMs evaluation_timeout_ms = 0;  // relative; 0 = none
+  ConditionPtr condition;
+  bool has_compensation_data = false;
+  // (queue address, generated standard-message id) per fan-out message
+  std::vector<std::pair<mq::QueueAddress, std::string>> deliveries;
+
+  mq::Message to_message() const;
+  static util::Result<SenderLogEntry> from_message(const mq::Message& msg);
+};
+
+// ---- pending-action markers (guaranteed compensation) ----------------------
+// Everything needed to re-run the outcome actions of one decided message.
+struct PendingActionMarker {
+  std::string cm_id;
+  Outcome outcome = Outcome::kFailure;
+  std::string reason;
+  bool success_notifications = false;
+  std::vector<std::pair<mq::QueueAddress, std::string>> deliveries;
+
+  mq::Message to_message() const;
+  static util::Result<PendingActionMarker> from_message(
+      const mq::Message& msg);
+};
+
+// ---- receiver log entries (§2.4) ------------------------------------------
+struct ReceiverLogEntry {
+  std::string cm_id;
+  std::string original_msg_id;
+  std::string queue;  // local queue the message was consumed from
+  std::string recipient_id;
+  util::TimeMs read_ts = 0;
+
+  mq::Message to_message() const;
+  static util::Result<ReceiverLogEntry> from_message(const mq::Message& msg);
+};
+
+}  // namespace cmx::cm

@@ -1,0 +1,335 @@
+#include "cm/eval_state.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace cmx::cm {
+
+const char* tri_state_name(TriState s) {
+  switch (s) {
+    case TriState::kPending:
+      return "pending";
+    case TriState::kSatisfied:
+      return "satisfied";
+    case TriState::kViolated:
+      return "violated";
+  }
+  return "?";
+}
+
+EvalState::EvalState(std::string cm_id, const Condition& condition,
+                     util::TimeMs send_ts,
+                     util::TimeMs evaluation_timeout_ms,
+                     EvalStateOptions options)
+    : cm_id_(std::move(cm_id)),
+      send_ts_(send_ts),
+      evaluation_timeout_ms_(evaluation_timeout_ms),
+      options_(options),
+      condition_(condition.clone()) {
+  for (const auto* leaf : condition_->leaves()) {
+    leaf_states_.push_back(LeafState{leaf, std::nullopt, std::nullopt});
+  }
+  std::vector<util::TimeMs> deadlines;
+  collect_deadlines(condition_.get(), deadlines);
+  for (const util::TimeMs d : deadlines) {
+    max_deadline_ = std::max(max_deadline_, d);
+  }
+}
+
+TriState EvalState::combine(TriState a, TriState b) {
+  if (a == TriState::kViolated || b == TriState::kViolated) {
+    return TriState::kViolated;
+  }
+  if (a == TriState::kPending || b == TriState::kPending) {
+    return TriState::kPending;
+  }
+  return TriState::kSatisfied;
+}
+
+void EvalState::add_ack(const AckRecord& ack) {
+  if (decided_.has_value()) return;
+  ++acks_seen_;
+
+  // Assignment: exact recipient match first, then an anonymous leaf on the
+  // same queue. A processing ack also witnesses the read.
+  auto matches_queue = [&](const LeafState& ls) {
+    return ls.leaf->address() == ack.queue;
+  };
+  auto assign = [&](LeafState& ls) {
+    if (!ls.read_ts.has_value() || ack.read_ts < *ls.read_ts) {
+      ls.read_ts = ack.read_ts;
+    }
+    if (ack.type == AckType::kProcessing &&
+        (!ls.processing_ts.has_value() || ack.commit_ts < *ls.processing_ts)) {
+      ls.processing_ts = ack.commit_ts;
+    }
+  };
+
+  LeafState* chosen = nullptr;
+  if (!ack.recipient_id.empty()) {
+    for (auto& ls : leaf_states_) {
+      if (matches_queue(ls) && ls.leaf->recipient_id() == ack.recipient_id) {
+        chosen = &ls;
+        break;
+      }
+    }
+  }
+  if (chosen == nullptr) {
+    // Prefer an anonymous leaf still missing the event this ack provides.
+    const bool provides_processing = ack.type == AckType::kProcessing;
+    for (auto& ls : leaf_states_) {
+      if (!matches_queue(ls) || !ls.leaf->recipient_id().empty()) continue;
+      const bool useful = provides_processing ? !ls.processing_ts.has_value()
+                                              : !ls.read_ts.has_value();
+      if (useful) {
+        chosen = &ls;
+        break;
+      }
+      if (chosen == nullptr) chosen = &ls;  // fall back to first anonymous
+    }
+  }
+  if (chosen != nullptr) {
+    assign(*chosen);
+  } else {
+    unassigned_acks_.push_back(ack);
+  }
+}
+
+const std::vector<std::size_t>& EvalState::subtree_leaves(
+    const Condition* node) {
+  auto it = subtree_cache_.find(node);
+  if (it != subtree_cache_.end()) return it->second;
+  std::vector<std::size_t> indices;
+  const auto node_leaves = node->leaves();
+  for (const auto* leaf : node_leaves) {
+    for (std::size_t i = 0; i < leaf_states_.size(); ++i) {
+      if (leaf_states_[i].leaf == leaf) {
+        indices.push_back(i);
+        break;
+      }
+    }
+  }
+  return subtree_cache_.emplace(node, std::move(indices)).first->second;
+}
+
+EvalState::NodeVerdict EvalState::eval_leaf(const LeafState& ls,
+                                            util::TimeMs now) const {
+  NodeVerdict verdict;
+  verdict.state = TriState::kSatisfied;
+  if (auto t = ls.leaf->msg_pick_up_time()) {
+    const util::TimeMs deadline = send_ts_ + *t;
+    const bool read_in_time =
+        ls.read_ts.has_value() && *ls.read_ts <= deadline;
+    if (read_in_time) {
+      // satisfied part
+    } else if (now > deadline) {
+      return {TriState::kViolated,
+              "pick-up deadline missed: " + ls.leaf->describe()};
+    } else {
+      verdict.state = TriState::kPending;
+    }
+  }
+  if (auto t = ls.leaf->msg_processing_time()) {
+    const util::TimeMs deadline = send_ts_ + *t;
+    const bool processed_in_time =
+        ls.processing_ts.has_value() && *ls.processing_ts <= deadline;
+    if (processed_in_time) {
+      // satisfied part
+    } else if (now > deadline) {
+      return {TriState::kViolated,
+              "processing deadline missed: " + ls.leaf->describe()};
+    } else {
+      verdict.state = TriState::kPending;
+    }
+  }
+  return verdict;
+}
+
+EvalState::NodeVerdict EvalState::eval_set(const DestinationSet* set,
+                                           util::TimeMs now) {
+  NodeVerdict verdict;
+  verdict.state = TriState::kSatisfied;
+  const auto& leaf_indices = subtree_leaves(set);
+
+  // --- own pick-up condition over subtree leaves -------------------------
+  if (auto t = set->msg_pick_up_time()) {
+    const util::TimeMs deadline = send_ts_ + *t;
+    int count = 0;
+    for (std::size_t idx : leaf_indices) {
+      const auto& ls = leaf_states_[idx];
+      if (ls.read_ts.has_value() && *ls.read_ts <= deadline) ++count;
+    }
+    const bool window_closed = now > deadline;
+    const auto min_req = set->min_nr_pick_up();
+    const auto max_req = set->max_nr_pick_up();
+    const int needed = min_req.has_value()
+                           ? *min_req
+                           : static_cast<int>(leaf_indices.size());
+    if (max_req.has_value() && count > *max_req) {
+      return {TriState::kViolated,
+              "MaxNrPickUp exceeded (" + std::to_string(count) + " > " +
+                  std::to_string(*max_req) + ")"};
+    }
+    if (count >= needed) {
+      // satisfied part (max can still be exceeded later; checked above on
+      // each evaluation while pending overall)
+    } else if (window_closed) {
+      return {TriState::kViolated,
+              "pick-up subset not reached: " + std::to_string(count) + "/" +
+                  std::to_string(needed) + " within " + std::to_string(*t) +
+                  "ms"};
+    } else {
+      verdict.state = TriState::kPending;
+    }
+
+    // --- anonymous counts share the pick-up window ----------------------
+    const auto min_anon = set->min_nr_anonymous();
+    const auto max_anon = set->max_nr_anonymous();
+    if (min_anon.has_value() || max_anon.has_value()) {
+      std::set<std::string> named;
+      std::set<mq::QueueAddress> queues;
+      for (std::size_t idx : leaf_indices) {
+        const auto* leaf = leaf_states_[idx].leaf;
+        queues.insert(leaf->address());
+        if (!leaf->recipient_id().empty()) named.insert(leaf->recipient_id());
+      }
+      std::set<std::string> distinct_named_strangers;
+      int anonymous_reads = 0;
+      for (const auto& ack : unassigned_acks_) {
+        if (ack.read_ts > deadline) continue;
+        if (queues.count(ack.queue) == 0) continue;
+        if (ack.recipient_id.empty()) {
+          ++anonymous_reads;
+        } else if (named.count(ack.recipient_id) == 0) {
+          distinct_named_strangers.insert(ack.recipient_id);
+        }
+      }
+      const int anon_count =
+          anonymous_reads + static_cast<int>(distinct_named_strangers.size());
+      if (max_anon.has_value() && anon_count > *max_anon) {
+        return {TriState::kViolated,
+                "MaxNrAnonymous exceeded (" + std::to_string(anon_count) +
+                    ")"};
+      }
+      if (min_anon.has_value()) {
+        if (anon_count >= *min_anon) {
+          // satisfied part
+        } else if (now > deadline) {
+          return {TriState::kViolated,
+                  "MinNrAnonymous not reached: " + std::to_string(anon_count) +
+                      "/" + std::to_string(*min_anon)};
+        } else {
+          verdict.state = combine(verdict.state, TriState::kPending);
+        }
+      }
+    }
+  }
+
+  // --- own processing condition over subtree leaves -----------------------
+  if (auto t = set->msg_processing_time()) {
+    const util::TimeMs deadline = send_ts_ + *t;
+    int count = 0;
+    for (std::size_t idx : leaf_indices) {
+      const auto& ls = leaf_states_[idx];
+      if (ls.processing_ts.has_value() && *ls.processing_ts <= deadline) {
+        ++count;
+      }
+    }
+    const bool window_closed = now > deadline;
+    const auto min_req = set->min_nr_processing();
+    const auto max_req = set->max_nr_processing();
+    const int needed = min_req.has_value()
+                           ? *min_req
+                           : static_cast<int>(leaf_indices.size());
+    if (max_req.has_value() && count > *max_req) {
+      return {TriState::kViolated,
+              "MaxNrProcessing exceeded (" + std::to_string(count) + " > " +
+                  std::to_string(*max_req) + ")"};
+    }
+    if (count >= needed) {
+      // satisfied part
+    } else if (window_closed) {
+      return {TriState::kViolated,
+              "processing subset not reached: " + std::to_string(count) +
+                  "/" + std::to_string(needed) + " within " +
+                  std::to_string(*t) + "ms"};
+    } else {
+      verdict.state = combine(verdict.state, TriState::kPending);
+    }
+  }
+
+  // --- children must individually hold -------------------------------------
+  for (const auto& child : set->children()) {
+    NodeVerdict child_verdict = eval_node(child.get(), now);
+    if (child_verdict.state == TriState::kViolated) return child_verdict;
+    verdict.state = combine(verdict.state, child_verdict.state);
+  }
+  return verdict;
+}
+
+EvalState::NodeVerdict EvalState::eval_node(const Condition* node,
+                                            util::TimeMs now) {
+  if (const auto* set = node->as_destination_set()) {
+    return eval_set(set, now);
+  }
+  for (const auto& ls : leaf_states_) {
+    if (ls.leaf == node->as_destination()) {
+      return eval_leaf(ls, now);
+    }
+  }
+  return {TriState::kViolated, "internal: leaf state not found"};
+}
+
+EvalState::Verdict EvalState::evaluate(util::TimeMs now) {
+  if (decided_.has_value()) return *decided_;
+  const NodeVerdict root = eval_node(condition_.get(), now);
+  if (root.state == TriState::kSatisfied) {
+    decided_ = Verdict{TriState::kSatisfied, ""};
+    return *decided_;
+  }
+  if (root.state == TriState::kViolated) {
+    // Ablation hook: without early failure detection the verdict is held
+    // back until every deadline has lapsed (success remains immediate).
+    if (!options_.early_failure_detection && now <= max_deadline_ &&
+        (evaluation_timeout_ms_ == 0 ||
+         now < send_ts_ + evaluation_timeout_ms_)) {
+      return Verdict{TriState::kPending, ""};
+    }
+    decided_ = Verdict{TriState::kViolated, root.reason};
+    return *decided_;
+  }
+  if (evaluation_timeout_ms_ > 0 &&
+      now >= send_ts_ + evaluation_timeout_ms_) {
+    decided_ = Verdict{TriState::kViolated,
+                       "evaluation timeout after " +
+                           std::to_string(evaluation_timeout_ms_) + "ms"};
+    return *decided_;
+  }
+  return Verdict{TriState::kPending, ""};
+}
+
+void EvalState::collect_deadlines(const Condition* node,
+                                  std::vector<util::TimeMs>& out) const {
+  if (auto t = node->msg_pick_up_time()) out.push_back(send_ts_ + *t);
+  if (auto t = node->msg_processing_time()) out.push_back(send_ts_ + *t);
+  for (const auto& child : node->children()) {
+    collect_deadlines(child.get(), out);
+  }
+}
+
+util::TimeMs EvalState::next_deadline(util::TimeMs now) const {
+  if (decided_.has_value()) return util::kNoDeadline;
+  std::vector<util::TimeMs> deadlines;
+  collect_deadlines(condition_.get(), deadlines);
+  if (evaluation_timeout_ms_ > 0) {
+    deadlines.push_back(send_ts_ + evaluation_timeout_ms_);
+  }
+  util::TimeMs best = util::kNoDeadline;
+  for (const util::TimeMs d : deadlines) {
+    // A deadline resolves conditions the instant now > d, i.e. at d+1.
+    if (d + 1 > now) best = std::min(best, d + 1);
+  }
+  return best;
+}
+
+}  // namespace cmx::cm

@@ -1,0 +1,123 @@
+// Per-conditional-message evaluation state (§2.5): folds the stream of
+// incoming acknowledgments into the condition tree and decides success or
+// failure.
+//
+// Decision rules (formalizing the paper's prose; see DESIGN.md §4):
+//   * Leaf with own MsgPickUpTime T: satisfied once a matching recipient's
+//     read timestamp <= send+T; violated as soon as now > send+T without
+//     such a read. Analogous for MsgProcessingTime with the transactional
+//     commit timestamp.
+//   * A set's time conditions range over the leaf destinations of its
+//     subtree. Without Min/Max they demand ALL leaves; with MinNr* m the
+//     set needs >= m leaves within the deadline, and with MaxNr* M it is
+//     violated if more than M leaves respond within the deadline.
+//   * MinNrAnonymous/MaxNrAnonymous count readers not matching any leaf
+//     (distinct named recipients; unassigned anonymous reads counted each).
+//   * A node is violated if any of its own parts is violated or any child
+//     is violated ("if any single condition is violated, the overall
+//     outcome ... is declared to be a failure"); satisfied when all own
+//     parts and all children are satisfied; otherwise pending.
+//   * Evaluation is monotone: once a verdict of success/failure is
+//     reached it never changes, and every condition resolves no later
+//     than its deadline, so evaluation always terminates by the largest
+//     deadline (or the explicit evaluation timeout, whichever is first).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cm/condition.hpp"
+#include "cm/control.hpp"
+#include "util/clock.hpp"
+
+namespace cmx::cm {
+
+enum class TriState { kPending, kSatisfied, kViolated };
+
+const char* tri_state_name(TriState s);
+
+struct EvalStateOptions {
+  // Early failure detection (the default, matching §2.5): a violated
+  // required condition or unreachable cardinality fails the message as
+  // soon as it is known. When disabled (ablation), failure is only
+  // declared once every deadline has passed (or at the evaluation
+  // timeout) — success can still be declared early either way.
+  bool early_failure_detection = true;
+};
+
+class EvalState {
+ public:
+  // `condition` must be valid (validate() == OK); it is cloned so later
+  // caller mutations cannot affect a running evaluation.
+  // `evaluation_timeout_ms` is relative to send_ts; 0 means "no explicit
+  // timeout" (evaluation still resolves at the largest condition deadline).
+  EvalState(std::string cm_id, const Condition& condition,
+            util::TimeMs send_ts, util::TimeMs evaluation_timeout_ms = 0,
+            EvalStateOptions options = {});
+
+  const std::string& cm_id() const { return cm_id_; }
+  util::TimeMs send_ts() const { return send_ts_; }
+
+  // Feeds one acknowledgment. Acks arriving after a decision are ignored.
+  void add_ack(const AckRecord& ack);
+
+  struct Verdict {
+    TriState state = TriState::kPending;
+    std::string reason;  // for kViolated / timeout: what failed
+  };
+
+  // Evaluates at (sender-clock) time `now`. Monotone.
+  Verdict evaluate(util::TimeMs now);
+
+  // Earliest time strictly after `now` at which evaluate() could change
+  // its verdict; kNoDeadline once decided.
+  util::TimeMs next_deadline(util::TimeMs now) const;
+
+  // ---- introspection (tests, stats) -------------------------------------
+  std::size_t ack_count() const { return acks_seen_; }
+  bool decided() const { return decided_.has_value(); }
+
+ private:
+  struct LeafState {
+    const Destination* leaf = nullptr;
+    std::optional<util::TimeMs> read_ts;
+    std::optional<util::TimeMs> processing_ts;
+  };
+
+  struct NodeVerdict {
+    TriState state = TriState::kSatisfied;
+    std::string reason;
+  };
+
+  // Returns indices of leaf states under `node` (cached per node).
+  const std::vector<std::size_t>& subtree_leaves(const Condition* node);
+
+  NodeVerdict eval_node(const Condition* node, util::TimeMs now);
+  NodeVerdict eval_leaf(const LeafState& ls, util::TimeMs now) const;
+  NodeVerdict eval_set(const DestinationSet* set, util::TimeMs now);
+
+  void collect_deadlines(const Condition* node,
+                         std::vector<util::TimeMs>& out) const;
+
+  static TriState combine(TriState a, TriState b);
+
+  const std::string cm_id_;
+  const util::TimeMs send_ts_;
+  const util::TimeMs evaluation_timeout_ms_;
+  const EvalStateOptions options_;
+  util::TimeMs max_deadline_ = 0;  // largest condition deadline (absolute)
+  ConditionPtr condition_;
+
+  std::vector<LeafState> leaf_states_;
+  std::map<const Condition*, std::vector<std::size_t>> subtree_cache_;
+
+  // Acks not assigned to any leaf; feed set-level anonymous counts.
+  std::vector<AckRecord> unassigned_acks_;
+  std::size_t acks_seen_ = 0;
+
+  std::optional<Verdict> decided_;
+};
+
+}  // namespace cmx::cm

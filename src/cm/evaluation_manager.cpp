@@ -1,0 +1,208 @@
+#include "cm/evaluation_manager.hpp"
+
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace cmx::cm {
+
+EvaluationManager::EvaluationManager(mq::QueueManager& qm,
+                                     OutcomeAction on_outcome)
+    : qm_(qm), on_outcome_(std::move(on_outcome)) {
+  qm_.ensure_queue(kAckQueue, mq::QueueOptions{.max_depth = SIZE_MAX,
+                                               .system = true})
+      .expect_ok("ensure DS.ACK.Q");
+  if (auto queue = qm_.find_queue(kAckQueue)) {
+    queue->set_put_listener([this] {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        wake_ = true;
+      }
+      cv_.notify_all();
+    });
+  }
+  worker_ = std::thread([this] { loop(); });
+}
+
+EvaluationManager::~EvaluationManager() { stop(); }
+
+void EvaluationManager::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) {
+      // fallthrough: still join if the thread is alive
+    }
+    stopping_ = true;
+    wake_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  if (auto queue = qm_.find_queue(kAckQueue)) {
+    queue->set_put_listener({});
+  }
+}
+
+void EvaluationManager::register_message(std::unique_ptr<EvalState> state,
+                                         bool deferred) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Read the id before the move: the assignment's right side is
+    // sequenced before the subscript expression.
+    const std::string cm_id = state->cm_id();
+    states_[cm_id] = Entry{std::move(state), deferred};
+    wake_ = true;
+  }
+  cv_.notify_all();
+}
+
+util::Status EvaluationManager::force_decision(const std::string& cm_id,
+                                               Outcome outcome,
+                                               const std::string& reason) {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = states_.find(cm_id);
+  if (it == states_.end()) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            cm_id + " is not in flight");
+  }
+  Entry entry = std::move(it->second);
+  states_.erase(it);
+  const EvalState::Verdict verdict{outcome == Outcome::kSuccess
+                                       ? TriState::kSatisfied
+                                       : TriState::kViolated,
+                                   reason};
+  finalize_locked(lk, cm_id, std::move(entry), verdict);
+  return util::ok_status();
+}
+
+bool EvaluationManager::is_in_flight(const std::string& cm_id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return states_.count(cm_id) > 0;
+}
+
+std::size_t EvaluationManager::in_flight() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return states_.size();
+}
+
+EvaluationStats EvaluationManager::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+bool EvaluationManager::await_decided(const std::string& cm_id,
+                                      util::TimeMs real_cap_ms) const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return cv_.wait_for(lk, std::chrono::milliseconds(real_cap_ms), [&] {
+    return decisions_.count(cm_id) > 0;
+  });
+}
+
+std::size_t EvaluationManager::drain_acks_locked(
+    std::unique_lock<std::mutex>& lk) {
+  auto ack_queue = qm_.find_queue(kAckQueue);
+  if (ack_queue == nullptr) return 0;
+  std::size_t applied = 0;
+  while (true) {
+    std::optional<mq::Queue::GotMessage> got;
+    {
+      // try_get does its own locking; do not hold ours while calling into
+      // the queue manager's durable-get path.
+      lk.unlock();
+      auto result = qm_.get(kAckQueue, 0);
+      lk.lock();
+      if (!result) break;
+      got = mq::Queue::GotMessage{0, std::move(result).value()};
+    }
+    auto ack = AckRecord::from_message(got->msg);
+    if (!ack) {
+      CMX_WARN("cm.eval") << "malformed ack dropped: "
+                          << ack.status().to_string();
+      continue;
+    }
+    auto it = states_.find(ack.value().cm_id);
+    if (it == states_.end()) {
+      ++stats_.acks_orphaned;
+      continue;
+    }
+    it->second.state->add_ack(ack.value());
+    ++stats_.acks_processed;
+    ++applied;
+  }
+  return applied;
+}
+
+void EvaluationManager::finalize_locked(std::unique_lock<std::mutex>& lk,
+                                        const std::string& cm_id, Entry entry,
+                                        const EvalState::Verdict& verdict) {
+  OutcomeRecord record;
+  record.cm_id = cm_id;
+  record.outcome = verdict.state == TriState::kSatisfied ? Outcome::kSuccess
+                                                         : Outcome::kFailure;
+  record.reason = verdict.reason;
+  record.decided_ts = qm_.clock().now_ms();
+  decisions_[cm_id] = record.outcome;
+  if (record.outcome == Outcome::kSuccess) {
+    ++stats_.decided_success;
+  } else {
+    ++stats_.decided_failure;
+  }
+  const bool deferred = entry.deferred;
+  CMX_DEBUG("cm.eval") << cm_id << " decided " << outcome_name(record.outcome)
+                       << (verdict.reason.empty() ? ""
+                                                  : " (" + verdict.reason +
+                                                        ")");
+  // Run the action without holding the lock: it puts messages (outcome
+  // notification, compensations) and may call back into this manager.
+  lk.unlock();
+  if (on_outcome_) on_outcome_(record, deferred);
+  lk.lock();
+  cv_.notify_all();  // wake await_decided()
+}
+
+void EvaluationManager::evaluate_all_locked(std::unique_lock<std::mutex>& lk,
+                                            util::TimeMs scan_time) {
+  const util::TimeMs now = scan_time;
+  std::vector<std::pair<std::string, EvalState::Verdict>> decided;
+  for (auto& [cm_id, entry] : states_) {
+    auto verdict = entry.state->evaluate(now);
+    if (verdict.state != TriState::kPending) {
+      decided.emplace_back(cm_id, verdict);
+    }
+  }
+  for (auto& [cm_id, verdict] : decided) {
+    auto it = states_.find(cm_id);
+    if (it == states_.end()) continue;
+    Entry entry = std::move(it->second);
+    states_.erase(it);
+    finalize_locked(lk, cm_id, std::move(entry), verdict);
+  }
+}
+
+util::TimeMs EvaluationManager::earliest_deadline_locked(
+    util::TimeMs scan_time) const {
+  const util::TimeMs now = scan_time;
+  util::TimeMs best = util::kNoDeadline;
+  for (const auto& [cm_id, entry] : states_) {
+    best = std::min(best, entry.state->next_deadline(now));
+  }
+  return best;
+}
+
+void EvaluationManager::loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stopping_) {
+    wake_ = false;
+    drain_acks_locked(lk);
+    const util::TimeMs scan_time = qm_.clock().now_ms();
+    evaluate_all_locked(lk, scan_time);
+    if (stopping_) break;
+    // Deadlines are judged against scan_time, not a fresh now: any
+    // deadline that lapsed while the outcome actions above ran makes the
+    // wait below expire immediately and re-scan.
+    const util::TimeMs deadline = earliest_deadline_locked(scan_time);
+    qm_.clock().wait_until(lk, cv_, deadline,
+                           [&] { return wake_ || stopping_; });
+  }
+}
+
+}  // namespace cmx::cm

@@ -1,0 +1,103 @@
+// EvaluationManager (§2.5): the sender-side component that consumes the
+// acknowledgment queue (DS.ACK.Q), demultiplexes acks by conditional
+// message id, drives each message's EvalState, and — at the moment a
+// verdict is reached (by acks or by a deadline passing) — invokes the
+// outcome action exactly once per conditional message.
+//
+// Threading: one internal thread. It sleeps on its own condition variable
+// (woken by a put-listener on DS.ACK.Q, by registrations, and by the
+// clock when the earliest pending deadline arrives), so it is idle unless
+// there is work — no polling.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "cm/control.hpp"
+#include "cm/eval_state.hpp"
+#include "mq/queue_manager.hpp"
+
+namespace cmx::cm {
+
+struct EvaluationStats {
+  std::uint64_t acks_processed = 0;
+  std::uint64_t acks_orphaned = 0;  // ack for an unknown/decided message
+  std::uint64_t decided_success = 0;
+  std::uint64_t decided_failure = 0;
+};
+
+class EvaluationManager {
+ public:
+  // `on_outcome(record, deferred)` runs on the evaluation thread. The
+  // `deferred` flag echoes register_message(): Dependency-Sphere members
+  // get their outcome recorded but their outcome ACTIONS postponed (§3.1).
+  using OutcomeAction =
+      std::function<void(const OutcomeRecord& record, bool deferred)>;
+
+  EvaluationManager(mq::QueueManager& qm, OutcomeAction on_outcome);
+  ~EvaluationManager();
+
+  EvaluationManager(const EvaluationManager&) = delete;
+  EvaluationManager& operator=(const EvaluationManager&) = delete;
+
+  // Begins monitoring a conditional message. Must be called before the
+  // fan-out messages are sent so no ack can race the registration.
+  void register_message(std::unique_ptr<EvalState> state, bool deferred);
+
+  // Forces a decision for a pending message, bypassing its condition tree
+  // (used by Dependency-Spheres when the sphere resolves while a member is
+  // still pending, and by send-failure cleanup). Returns kNotFound if the
+  // message is not in flight. The outcome action runs as usual.
+  util::Status force_decision(const std::string& cm_id, Outcome outcome,
+                              const std::string& reason);
+
+  bool is_in_flight(const std::string& cm_id) const;
+  std::size_t in_flight() const;
+  EvaluationStats stats() const;
+
+  // Blocks (bounded by the real-time cap used in tests) until `cm_id` has
+  // been decided or `real_cap_ms` elapses. Returns true when decided.
+  bool await_decided(const std::string& cm_id, util::TimeMs real_cap_ms) const;
+
+  void stop();
+
+ private:
+  struct Entry {
+    std::unique_ptr<EvalState> state;
+    bool deferred = false;
+  };
+
+  void loop();
+  // Drains DS.ACK.Q without blocking; returns number of acks applied.
+  std::size_t drain_acks_locked(std::unique_lock<std::mutex>& lk);
+  // Both take the loop's scan timestamp: deadlines are computed against
+  // the same instant the states were evaluated at, so a deadline passing
+  // while outcome actions run yields an immediate (expired) wait instead
+  // of being filtered out as "already past" — which would strand a
+  // decidable state until the next external wake-up.
+  void evaluate_all_locked(std::unique_lock<std::mutex>& lk,
+                           util::TimeMs scan_time);
+  util::TimeMs earliest_deadline_locked(util::TimeMs scan_time) const;
+  void finalize_locked(std::unique_lock<std::mutex>& lk,
+                       const std::string& cm_id, Entry entry,
+                       const EvalState::Verdict& verdict);
+
+  mq::QueueManager& qm_;
+  OutcomeAction on_outcome_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::map<std::string, Entry> states_;
+  std::map<std::string, Outcome> decisions_;
+  EvaluationStats stats_;
+  bool wake_ = false;
+  bool stopping_ = false;
+  std::thread worker_;
+};
+
+}  // namespace cmx::cm

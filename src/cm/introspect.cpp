@@ -1,0 +1,135 @@
+#include "cm/introspect.hpp"
+
+#include <iomanip>
+
+#include "cm/condition_text.hpp"
+#include "cm/control.hpp"
+
+namespace cmx::cm {
+
+namespace {
+
+void describe_message(const std::string& queue_name, const mq::Message& msg,
+                      std::ostream& out) {
+  out << "    ";
+  if (queue_name == kSenderLogQueue) {
+    auto entry = SenderLogEntry::from_message(msg);
+    if (entry) {
+      const auto& e = entry.value();
+      out << "slog " << e.cm_id << " sent@" << e.send_ts << "ms, "
+          << e.deliveries.size() << " deliveries";
+      if (e.evaluation_timeout_ms > 0) {
+        out << ", eval timeout " << e.evaluation_timeout_ms << "ms";
+      }
+      if (e.has_compensation_data) out << ", app compensation";
+      if (e.condition != nullptr) {
+        out << "\n      condition: " << condition_to_text(*e.condition);
+      }
+      out << "\n";
+      return;
+    }
+  }
+  if (queue_name == kAckQueue) {
+    auto ack = AckRecord::from_message(msg);
+    if (ack) {
+      const auto& a = ack.value();
+      out << (a.type == AckType::kProcessing ? "processing" : "read")
+          << " ack for " << a.cm_id << " from "
+          << (a.recipient_id.empty() ? "<anonymous>" : a.recipient_id)
+          << " @ " << a.queue.to_string() << " read=" << a.read_ts;
+      if (a.type == AckType::kProcessing) out << " commit=" << a.commit_ts;
+      out << "\n";
+      return;
+    }
+  }
+  if (queue_name == kOutcomeQueue) {
+    auto record = OutcomeRecord::from_message(msg);
+    if (record) {
+      const auto& r = record.value();
+      out << "outcome " << r.cm_id << " = " << outcome_name(r.outcome)
+          << " @ " << r.decided_ts;
+      if (!r.reason.empty()) out << " (" << r.reason << ")";
+      out << "\n";
+      return;
+    }
+  }
+  if (queue_name == kPendingActionQueue) {
+    auto marker = PendingActionMarker::from_message(msg);
+    if (marker) {
+      const auto& m = marker.value();
+      out << "PENDING actions for " << m.cm_id << " ("
+          << outcome_name(m.outcome) << ", " << m.deliveries.size()
+          << " deliveries)\n";
+      return;
+    }
+  }
+  if (queue_name == kReceiverLogQueue) {
+    auto entry = ReceiverLogEntry::from_message(msg);
+    if (entry) {
+      const auto& e = entry.value();
+      out << "consumed " << e.original_msg_id << " of " << e.cm_id
+          << " from " << e.queue << " by "
+          << (e.recipient_id.empty() ? "<anonymous>" : e.recipient_id)
+          << " @ " << e.read_ts << "\n";
+      return;
+    }
+  }
+  // generic rendering (application queues, DS.COMP.Q contents)
+  const MessageKind kind = classify(msg);
+  out << message_kind_name(kind);
+  if (auto cm_id = msg.get_string(prop::kCmId)) out << " of " << *cm_id;
+  if (auto dest = msg.get_string(prop::kDest)) out << " -> " << *dest;
+  out << " id=" << msg.id << " prio=" << msg.priority
+      << (msg.persistent() ? " persistent" : " volatile") << " body="
+      << msg.body.size() << "B";
+  if (kind == MessageKind::kData && !msg.body.empty() &&
+      msg.body.size() <= 48) {
+    out << " \"" << msg.body << "\"";
+  }
+  out << "\n";
+}
+
+}  // namespace
+
+void dump_queue(mq::QueueManager& qm, const std::string& queue_name,
+                std::ostream& out) {
+  auto queue = qm.find_queue(queue_name);
+  if (queue == nullptr) {
+    out << "  " << queue_name << ": <absent>\n";
+    return;
+  }
+  const auto messages = queue->browse();
+  const auto stats = queue->stats();
+  out << "  " << queue_name << ": depth=" << messages.size()
+      << " puts=" << stats.puts << " gets=" << stats.gets
+      << " expired=" << stats.expired << "\n";
+  for (const auto& msg : messages) {
+    describe_message(queue_name, msg, out);
+  }
+}
+
+void dump_system_state(mq::QueueManager& qm, std::ostream& out) {
+  out << "conditional-messaging state on queue manager '" << qm.name()
+      << "':\n";
+  for (const char* queue : {kSenderLogQueue, kAckQueue, kCompensationQueue,
+                            kOutcomeQueue, kPendingActionQueue,
+                            kReceiverLogQueue}) {
+    if (qm.find_queue(queue) != nullptr) {
+      dump_queue(qm, queue, out);
+    }
+  }
+}
+
+void dump_all(mq::QueueManager& qm, std::ostream& out) {
+  dump_system_state(qm, out);
+  out << "application queues:\n";
+  for (const auto& name : qm.queue_names()) {
+    const bool is_system =
+        name.rfind("DS.", 0) == 0 || name.rfind("SYSTEM.", 0) == 0;
+    if (!is_system) {
+      dump_queue(qm, name, out);
+    }
+  }
+}
+
+}  // namespace cmx::cm

@@ -1,0 +1,29 @@
+// Operational introspection: human-readable dumps of the conditional
+// messaging system queues on a queue manager — what an operator would
+// reach for when a conditional message "hangs". Decodes the records the
+// middleware keeps (sender log entries, staged compensations, outcome
+// notifications, pending-action markers, receiver log entries) instead of
+// printing raw bytes.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "mq/queue_manager.hpp"
+
+namespace cmx::cm {
+
+// One-line summary per message for a single queue. Unknown/opaque
+// messages are summarized by kind, id, and body size.
+void dump_queue(mq::QueueManager& qm, const std::string& queue_name,
+                std::ostream& out);
+
+// Dumps all conditional-messaging system queues present on `qm`
+// (DS.SLOG.Q, DS.ACK.Q, DS.COMP.Q, DS.OUTCOME.Q, DS.PEND.Q, DS.RLOG.Q)
+// with decoded records.
+void dump_system_state(mq::QueueManager& qm, std::ostream& out);
+
+// Everything: system queues plus application queue depths.
+void dump_all(mq::QueueManager& qm, std::ostream& out);
+
+}  // namespace cmx::cm

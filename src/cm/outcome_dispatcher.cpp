@@ -1,0 +1,92 @@
+#include "cm/outcome_dispatcher.hpp"
+
+#include "util/logging.hpp"
+
+namespace cmx::cm {
+
+OutcomeDispatcher::OutcomeDispatcher(mq::QueueManager& qm, Handler fallback)
+    : qm_(qm), fallback_(std::move(fallback)) {
+  qm_.ensure_queue(kOutcomeQueue,
+                   mq::QueueOptions{.max_depth = SIZE_MAX, .system = true})
+      .expect_ok("ensure DS.OUTCOME.Q");
+  worker_ = std::thread([this] { loop(); });
+}
+
+OutcomeDispatcher::~OutcomeDispatcher() { stop(); }
+
+void OutcomeDispatcher::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) {
+      if (worker_.joinable()) worker_.join();
+      return;
+    }
+    stopping_ = true;
+  }
+  // Wake the blocking get by closing... we must not close the queue (it
+  // belongs to the service); instead enqueue a no-op wake-up message.
+  mq::Message poke;
+  poke.set_property(prop::kKind, std::string("outcome"));
+  poke.set_property(prop::kCmId, std::string("__dispatcher_stop__"));
+  poke.set_property(prop::kOutcome, std::string("failure"));
+  poke.persistence = mq::Persistence::kNonPersistent;
+  qm_.put_local(kOutcomeQueue, std::move(poke));
+  if (worker_.joinable()) worker_.join();
+}
+
+void OutcomeDispatcher::on_outcome(const std::string& cm_id,
+                                   Handler handler) {
+  std::lock_guard<std::mutex> lk(mu_);
+  handlers_[cm_id] = std::move(handler);
+}
+
+bool OutcomeDispatcher::await_dispatched(std::size_t n,
+                                         util::TimeMs cap_ms) const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return cv_.wait_for(lk, std::chrono::milliseconds(cap_ms),
+                      [&] { return dispatched_ >= n; });
+}
+
+std::size_t OutcomeDispatcher::dispatched() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dispatched_;
+}
+
+void OutcomeDispatcher::loop() {
+  while (true) {
+    auto got = qm_.get(kOutcomeQueue, util::kNoDeadline);
+    if (!got) {
+      if (got.code() == util::ErrorCode::kClosed) return;
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stopping_) return;
+    }
+    auto record = OutcomeRecord::from_message(got.value());
+    if (!record) {
+      CMX_WARN("cm.dispatch") << "malformed outcome dropped: "
+                              << record.status().to_string();
+      continue;
+    }
+    Handler handler;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = handlers_.find(record.value().cm_id);
+      if (it != handlers_.end()) {
+        handler = std::move(it->second);
+        handlers_.erase(it);
+      } else {
+        handler = fallback_;
+      }
+    }
+    if (handler) handler(record.value());
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++dispatched_;
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace cmx::cm

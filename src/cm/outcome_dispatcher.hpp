@@ -1,0 +1,62 @@
+// OutcomeDispatcher: a convenience consumer of DS.OUTCOME.Q. The paper's
+// model has the application read outcome notifications from the queue
+// (§2.3); most applications want callbacks instead. The dispatcher runs
+// one background thread, demultiplexes outcome notifications by
+// conditional-message id, and invokes registered handlers (or a catch-all
+// for unclaimed outcomes).
+//
+// Ownership note: the dispatcher destructively consumes DS.OUTCOME.Q; do
+// not combine it with direct await_outcome()/next_outcome() calls on the
+// same queue manager.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "cm/control.hpp"
+#include "mq/queue_manager.hpp"
+
+namespace cmx::cm {
+
+class OutcomeDispatcher {
+ public:
+  using Handler = std::function<void(const OutcomeRecord&)>;
+
+  // `fallback` (may be empty) receives outcomes with no registered
+  // handler. Starts the consumer thread immediately.
+  explicit OutcomeDispatcher(mq::QueueManager& qm, Handler fallback = {});
+  ~OutcomeDispatcher();
+
+  OutcomeDispatcher(const OutcomeDispatcher&) = delete;
+  OutcomeDispatcher& operator=(const OutcomeDispatcher&) = delete;
+
+  // Registers a one-shot handler for `cm_id` (replaces any previous one).
+  // Handlers run on the dispatcher thread and are removed after firing.
+  void on_outcome(const std::string& cm_id, Handler handler);
+
+  // Blocks (bounded by real time `cap_ms`) until `n` outcomes have been
+  // dispatched in total. Test/synchronization helper.
+  bool await_dispatched(std::size_t n, util::TimeMs cap_ms = 5000) const;
+
+  std::size_t dispatched() const;
+  void stop();
+
+ private:
+  void loop();
+
+  mq::QueueManager& qm_;
+  Handler fallback_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::map<std::string, Handler> handlers_;
+  std::size_t dispatched_ = 0;
+  bool stopping_ = false;
+  std::thread worker_;
+};
+
+}  // namespace cmx::cm

@@ -1,0 +1,260 @@
+#include "cm/receiver.hpp"
+
+#include "util/logging.hpp"
+
+namespace cmx::cm {
+
+ConditionalReceiver::ConditionalReceiver(mq::QueueManager& qm,
+                                         std::string recipient_id)
+    : qm_(qm), recipient_id_(std::move(recipient_id)) {
+  qm_.ensure_queue(kReceiverLogQueue,
+                   mq::QueueOptions{.max_depth = SIZE_MAX, .system = true})
+      .expect_ok("ensure DS.RLOG.Q");
+}
+
+ConditionalReceiver::~ConditionalReceiver() {
+  if (session_ != nullptr) {
+    session_->rollback();
+  }
+}
+
+util::Status ConditionalReceiver::begin_tx() {
+  if (session_ != nullptr) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "transaction already in progress");
+  }
+  session_ = qm_.create_session(/*transacted=*/true);
+  return util::ok_status();
+}
+
+util::Status ConditionalReceiver::commit_tx() {
+  if (session_ == nullptr) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "no transaction in progress");
+  }
+  auto session = std::move(session_);
+  return session->commit();
+}
+
+util::Status ConditionalReceiver::rollback_tx() {
+  if (session_ == nullptr) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "no transaction in progress");
+  }
+  auto session = std::move(session_);
+  return session->rollback();
+}
+
+util::Status ConditionalReceiver::put(const mq::QueueAddress& addr,
+                                      mq::Message msg) {
+  if (session_ != nullptr) return session_->put(addr, std::move(msg));
+  return qm_.put(addr, std::move(msg));
+}
+
+util::Result<ReceivedMessage> ConditionalReceiver::read_message(
+    const std::string& queue_name, util::TimeMs timeout_ms) {
+  const util::TimeMs deadline =
+      timeout_ms == util::kNoDeadline ? util::kNoDeadline
+                                      : qm_.clock().now_ms() + timeout_ms;
+  current_queue_ = queue_name;
+  while (true) {
+    const util::TimeMs now = qm_.clock().now_ms();
+    const util::TimeMs remaining =
+        deadline == util::kNoDeadline
+            ? util::kNoDeadline
+            : (deadline > now ? deadline - now : 0);
+    auto got = session_ != nullptr
+                   ? session_->get(queue_name, remaining)
+                   : qm_.get(queue_name, remaining);
+    if (!got) return got.status();
+
+    ReceivedMessage out;
+    if (handle(std::move(got).value(), out)) {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.delivered;
+      return out;
+    }
+    if (remaining == 0) {
+      return util::make_error(util::ErrorCode::kTimeout,
+                              "no deliverable message before deadline");
+    }
+    // The message was consumed internally; keep reading.
+  }
+}
+
+bool ConditionalReceiver::handle(mq::Message msg, ReceivedMessage& out) {
+  const MessageKind kind = classify(msg);
+  switch (kind) {
+    case MessageKind::kData:
+      if (!is_conditional(msg)) {
+        // Plain standard message: handed over untouched (paper Figure 6 —
+        // applications keep using the MOM directly).
+        out.kind = MessageKind::kData;
+        out.conditional = false;
+        out.message = std::move(msg);
+        return true;
+      }
+      // Conditional data: check for a trailing compensation first — if one
+      // is already queued behind us, the pair annihilates (§2.6).
+      if (!msg.id.empty()) {
+        auto selector = mq::Selector::parse(
+            std::string(prop::kKind) + " = 'compensation' AND " +
+            prop::kOriginalMsgId + " = '" + msg.id + "'");
+        selector.status().expect_ok("annihilation selector");
+        auto comp = session_ != nullptr
+                        ? session_->get(current_queue_, 0, &selector.value())
+                        : qm_.get(current_queue_, 0, &selector.value());
+        if (comp) {
+          std::lock_guard<std::mutex> lk(mu_);
+          ++stats_.annihilated;
+          return false;  // both consumed, nothing delivered
+        }
+      }
+      handle_conditional_data(std::move(msg), out);
+      return true;
+    case MessageKind::kCompensation:
+      return handle_compensation(std::move(msg), current_queue_, out);
+    case MessageKind::kSuccess:
+      out.kind = MessageKind::kSuccess;
+      out.conditional = true;
+      out.cm_id = msg.get_string(prop::kCmId).value_or("");
+      out.message = std::move(msg);
+      return true;
+    case MessageKind::kAck:
+    case MessageKind::kOutcome:
+      // System messages never belong on application queues; drop loudly.
+      CMX_WARN("cm.recv") << "unexpected " << message_kind_name(kind)
+                          << " message on application queue";
+      return false;
+  }
+  return false;
+}
+
+void ConditionalReceiver::handle_conditional_data(mq::Message msg,
+                                                  ReceivedMessage& out) {
+  const util::TimeMs read_ts = qm_.clock().now_ms();
+  const std::string cm_id = msg.get_string(prop::kCmId).value_or("");
+  const std::string sender_qmgr =
+      msg.get_string(prop::kSenderQmgr).value_or("");
+  const std::string ack_queue =
+      msg.get_string(prop::kAckQueue).value_or(kAckQueue);
+  const std::string dest = msg.get_string(prop::kDest).value_or("");
+
+  ReceiverLogEntry log_entry;
+  log_entry.cm_id = cm_id;
+  log_entry.original_msg_id = msg.id;
+  log_entry.queue = current_queue_;
+  log_entry.recipient_id = recipient_id_;
+  log_entry.read_ts = read_ts;
+
+  AckRecord ack;
+  ack.cm_id = cm_id;
+  ack.queue = mq::QueueAddress::parse(dest);
+  ack.recipient_id = recipient_id_;
+  ack.read_ts = read_ts;
+
+  if (session_ != nullptr) {
+    // Transactional read: the RLOG entry is written through the session
+    // (visible only on commit), and the processing ack is bound to commit.
+    session_->put(mq::QueueAddress("", kReceiverLogQueue),
+                  log_entry.to_message());
+    session_->on_commit([this, ack, sender_qmgr, ack_queue]() mutable {
+      ack.type = AckType::kProcessing;
+      ack.commit_ts = qm_.clock().now_ms();
+      send_ack(ack, sender_qmgr, ack_queue);
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.processing_acks;
+    });
+  } else {
+    log_consumption(log_entry);
+    ack.type = AckType::kRead;
+    send_ack(ack, sender_qmgr, ack_queue);
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.read_acks;
+  }
+
+  out.kind = MessageKind::kData;
+  out.conditional = true;
+  out.cm_id = cm_id;
+  out.processing_required =
+      msg.get_bool(prop::kProcessingRequired).value_or(false);
+  out.message = std::move(msg);
+}
+
+bool ConditionalReceiver::handle_compensation(mq::Message msg,
+                                              const std::string& queue_name,
+                                              ReceivedMessage& out) {
+  const std::string original_id =
+      msg.get_string(prop::kOriginalMsgId).value_or("");
+  if (!original_id.empty() && remove_original(queue_name, original_id)) {
+    // Original still unread: both messages cancel out (§2.6).
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.annihilated;
+    return false;
+  }
+  if (!original_id.empty() && rlog_contains(original_id)) {
+    // The original was consumed here: deliver the compensation so the
+    // application can undo its effects.
+    out.kind = MessageKind::kCompensation;
+    out.conditional = true;
+    out.cm_id = msg.get_string(prop::kCmId).value_or("");
+    out.message = std::move(msg);
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.compensations_delivered;
+    return true;
+  }
+  // No local consumption record (e.g. a shared queue whose original went
+  // to another receiver): not ours to compensate.
+  CMX_DEBUG("cm.recv") << "dropping compensation for foreign message "
+                       << original_id;
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.compensations_dropped;
+  return false;
+}
+
+bool ConditionalReceiver::remove_original(const std::string& queue_name,
+                                          const std::string& original_msg_id) {
+  if (session_ != nullptr) {
+    auto selector = mq::Selector::parse("JMSMessageID = '" + original_msg_id +
+                                        "'");
+    selector.status().expect_ok("original-removal selector");
+    auto got = session_->get(queue_name, 0, &selector.value());
+    return got.is_ok();
+  }
+  return qm_.remove_message(queue_name, original_msg_id).is_ok();
+}
+
+void ConditionalReceiver::send_ack(const AckRecord& ack,
+                                   const std::string& sender_qmgr,
+                                   const std::string& ack_queue) {
+  auto msg = ack.to_message();
+  auto s = qm_.put(mq::QueueAddress(sender_qmgr, ack_queue), std::move(msg));
+  if (!s) {
+    CMX_WARN("cm.recv") << "failed to send ack for " << ack.cm_id << ": "
+                        << s.to_string();
+  }
+}
+
+void ConditionalReceiver::log_consumption(const ReceiverLogEntry& entry) {
+  auto s = qm_.put_local(kReceiverLogQueue, entry.to_message());
+  if (!s) {
+    CMX_WARN("cm.recv") << "failed to log consumption: " << s.to_string();
+  }
+}
+
+bool ConditionalReceiver::rlog_contains(
+    const std::string& original_msg_id) const {
+  auto rlog = qm_.find_queue(kReceiverLogQueue);
+  if (rlog == nullptr) return false;
+  for (const auto& msg : rlog->browse()) {
+    if (msg.get_string(prop::kOriginalMsgId) == original_msg_id) return true;
+  }
+  return false;
+}
+
+ReceiverStats ConditionalReceiver::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace cmx::cm

@@ -1,0 +1,109 @@
+// ConditionalReceiver: the receiver-side facade (paper §2.4, Figure 7).
+// Final recipients read conditional messages through readMessage() and
+// demarcate processing transactions with begin_tx()/commit_tx(); the
+// service then generates the internal acknowledgments automatically:
+//
+//   * non-transactional read  → "read" ack, sent immediately;
+//   * transactional read      → "processing" ack, emitted if and only if
+//     the receiver's transaction commits (a rollback restores the message
+//     to the queue and produces no ack — there is never more than one ack
+//     per receiver per message).
+//
+// Every consumed conditional message is logged to the persistent
+// DS.RLOG.Q. Compensation semantics (§2.6): when a compensation message
+// and its original are both in the queue they annihilate (neither is
+// delivered); a compensation is delivered to the application only when
+// DS.RLOG.Q proves the original was consumed here.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cm/control.hpp"
+#include "mq/queue_manager.hpp"
+#include "mq/session.hpp"
+
+namespace cmx::cm {
+
+struct ReceivedMessage {
+  mq::Message message;
+  MessageKind kind = MessageKind::kData;
+  std::string cm_id;  // empty for unconditional (plain) messages
+  bool conditional = false;
+  bool processing_required = false;
+
+  const std::string& body() const { return message.body; }
+};
+
+struct ReceiverStats {
+  std::uint64_t delivered = 0;       // messages handed to the application
+  std::uint64_t read_acks = 0;       // non-transactional acks sent
+  std::uint64_t processing_acks = 0;  // commit-bound acks sent
+  std::uint64_t annihilated = 0;     // original+compensation pairs removed
+  std::uint64_t compensations_delivered = 0;
+  std::uint64_t compensations_dropped = 0;  // original consumed elsewhere
+};
+
+class ConditionalReceiver {
+ public:
+  // `recipient_id` is this recipient's identification string (§2.2 "a
+  // defined name such as a userid"); it is echoed in acknowledgments and
+  // matched against Destination recipients. Empty = anonymous.
+  ConditionalReceiver(mq::QueueManager& qm, std::string recipient_id = "");
+  ~ConditionalReceiver();
+
+  ConditionalReceiver(const ConditionalReceiver&) = delete;
+  ConditionalReceiver& operator=(const ConditionalReceiver&) = delete;
+
+  const std::string& recipient_id() const { return recipient_id_; }
+
+  // paper: readMessage(String). Returns the next application-visible
+  // message on `queue_name`: a conditional data message (triggering the
+  // implicit ack protocol), an unconditional message (untouched), a
+  // deliverable compensation, or a success notification. Annihilating
+  // compensation pairs are consumed internally and never surface.
+  util::Result<ReceivedMessage> read_message(const std::string& queue_name,
+                                             util::TimeMs timeout_ms);
+
+  // ---- transaction demarcation facade (paper §2.4) -----------------------
+  util::Status begin_tx();
+  util::Status commit_tx();
+  util::Status rollback_tx();
+  bool in_tx() const { return session_ != nullptr; }
+
+  // The receiver may also send messages within the ongoing transaction
+  // (the classic read-process-reply pattern); delegates to the session or
+  // queue manager.
+  util::Status put(const mq::QueueAddress& addr, mq::Message msg);
+
+  ReceiverStats stats() const;
+
+ private:
+  // Handles one raw message; sets `out` when it is application-visible.
+  // Returns false when the message was consumed internally (annihilation,
+  // dropped compensation) and reading should continue.
+  bool handle(mq::Message msg, ReceivedMessage& out);
+
+  void handle_conditional_data(mq::Message msg, ReceivedMessage& out);
+  bool handle_compensation(mq::Message msg, const std::string& queue_name,
+                           ReceivedMessage& out);
+
+  void send_ack(const AckRecord& ack, const std::string& sender_qmgr,
+                const std::string& ack_queue);
+  void log_consumption(const ReceiverLogEntry& entry);
+  bool rlog_contains(const std::string& original_msg_id) const;
+  // Annihilation helper: removes the original message (by id) from the
+  // local queue, honouring the ongoing transaction if any.
+  bool remove_original(const std::string& queue_name,
+                       const std::string& original_msg_id);
+
+  mq::QueueManager& qm_;
+  const std::string recipient_id_;
+  std::unique_ptr<mq::Session> session_;
+  std::string current_queue_;  // queue of the in-progress read loop
+
+  mutable std::mutex mu_;
+  ReceiverStats stats_;
+};
+
+}  // namespace cmx::cm

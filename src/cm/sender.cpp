@@ -1,0 +1,432 @@
+#include "cm/sender.hpp"
+
+#include <set>
+
+#include "util/id.hpp"
+#include "util/logging.hpp"
+
+namespace cmx::cm {
+
+ConditionalMessagingService::ConditionalMessagingService(
+    mq::QueueManager& qm, SenderOptions options)
+    : qm_(qm), options_(options) {
+  qm_.ensure_queue(kSenderLogQueue,
+                   mq::QueueOptions{.max_depth = SIZE_MAX, .system = true})
+      .expect_ok("ensure DS.SLOG.Q");
+  qm_.ensure_queue(kOutcomeQueue,
+                   mq::QueueOptions{.max_depth = SIZE_MAX, .system = true})
+      .expect_ok("ensure DS.OUTCOME.Q");
+  qm_.ensure_queue(kPendingActionQueue,
+                   mq::QueueOptions{.max_depth = SIZE_MAX, .system = true})
+      .expect_ok("ensure DS.PEND.Q");
+  comp_ = std::make_unique<CompensationManager>(qm_);
+  eval_ = std::make_unique<EvaluationManager>(
+      qm_, [this](const OutcomeRecord& record, bool deferred) {
+        on_outcome(record, deferred);
+      });
+}
+
+ConditionalMessagingService::~ConditionalMessagingService() {
+  eval_->stop();
+}
+
+util::Result<std::string> ConditionalMessagingService::send_message(
+    const std::string& body, const Condition& condition,
+    SendOptions options) {
+  return send_internal(body, std::nullopt, condition, options);
+}
+
+util::Result<std::string> ConditionalMessagingService::send_message(
+    const std::string& body, const std::string& compensation_body,
+    const Condition& condition, SendOptions options) {
+  return send_internal(body, compensation_body, condition, options);
+}
+
+util::Result<std::string> ConditionalMessagingService::send_internal(
+    const std::string& body,
+    const std::optional<std::string>& compensation_body,
+    const Condition& condition, const SendOptions& options) {
+  if (auto s = condition.validate(); !s) return s;
+  const util::TimeMs send_ts = qm_.clock().now_ms();
+  const std::string cm_id = util::generate_id("cm");
+
+  // --- plan the fan-out: one standard message per distinct queue ---------
+  // (JMS has no distribution lists, §2.3). Recipients on a shared queue
+  // are distinguished by acks, not by separate messages.
+  const auto leaves = condition.leaves();
+  std::vector<mq::Message> outgoing;
+  std::vector<std::pair<mq::QueueAddress, std::string>> deliveries;
+  std::set<mq::QueueAddress> planned;
+  for (const auto* leaf : leaves) {
+    if (!planned.insert(leaf->address()).second) continue;
+    bool processing_required = false;
+    for (const auto* other : leaves) {
+      if (other->address() == leaf->address() &&
+          other->processing_required()) {
+        processing_required = true;
+        break;
+      }
+    }
+    mq::Message msg(body);
+    msg.id = util::generate_id("msg");
+    for (const auto& [key, value] : options.properties) {
+      msg.set_property(key, value);
+    }
+    msg.set_property(prop::kKind, std::string("data"));
+    msg.set_property(prop::kCmId, cm_id);
+    msg.set_property(prop::kProcessingRequired, processing_required);
+    msg.set_property(prop::kSenderQmgr, qm_.name());
+    msg.set_property(prop::kAckQueue, std::string(kAckQueue));
+    msg.set_property(prop::kSendTs, send_ts);
+    msg.set_property(prop::kDest, leaf->address().to_string());
+    if (!leaf->recipient_id().empty()) {
+      msg.set_property(prop::kRecipient, leaf->recipient_id());
+    }
+    // MOM pass-through properties: leaf-specific value, else the root's.
+    const auto priority = leaf->msg_priority().has_value()
+                              ? leaf->msg_priority()
+                              : condition.msg_priority();
+    if (priority.has_value()) msg.priority = *priority;
+    const auto persistence = leaf->msg_persistence().has_value()
+                                 ? leaf->msg_persistence()
+                                 : condition.msg_persistence();
+    msg.persistence = persistence.value_or(mq::Persistence::kPersistent);
+    const auto expiry = leaf->msg_expiry().has_value()
+                            ? leaf->msg_expiry()
+                            : condition.msg_expiry();
+    if (expiry.has_value()) msg.expiry_ms = send_ts + *expiry;
+    deliveries.emplace_back(leaf->address(), msg.id);
+    outgoing.push_back(std::move(msg));
+  }
+
+  // --- persistent intent: sender log entry (§2.3) -------------------------
+  SenderLogEntry log_entry;
+  log_entry.cm_id = cm_id;
+  log_entry.send_ts = send_ts;
+  log_entry.evaluation_timeout_ms = options.evaluation_timeout_ms;
+  log_entry.condition = condition.clone();
+  log_entry.has_compensation_data = compensation_body.has_value();
+  log_entry.deliveries = deliveries;
+  if (auto s = qm_.put_local(kSenderLogQueue, log_entry.to_message()); !s) {
+    return s;
+  }
+
+  // --- stage compensation messages (§2.6) ---------------------------------
+  const bool stage_now =
+      options_.compensation_staging == CompensationStaging::kAtSendTime;
+  if (stage_now) {
+    if (auto s = comp_->stage(cm_id, compensation_body, deliveries); !s) {
+      return s;
+    }
+  }
+
+  // --- register evaluation BEFORE sending so no ack can race it -----------
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    Registration reg;
+    reg.deliveries = deliveries;
+    reg.success_notifications =
+        options.success_notifications.value_or(options_.success_notifications);
+    reg.deferred = options.defer_outcome_actions;
+    if (!stage_now) {
+      reg.stage_on_failure = true;
+      reg.deferred_compensation_body = compensation_body;
+    }
+    registry_[cm_id] = std::move(reg);
+  }
+  eval_->register_message(
+      std::make_unique<EvalState>(
+          cm_id, condition, send_ts, options.evaluation_timeout_ms,
+          EvalStateOptions{options.early_failure_detection}),
+      options.defer_outcome_actions);
+
+  // --- fan out -----------------------------------------------------------
+  for (std::size_t i = 0; i < outgoing.size(); ++i) {
+    const auto addr = deliveries[i].first;
+    if (auto s = qm_.put(addr, std::move(outgoing[i])); !s) {
+      // The message is partially delivered. Fail it through the normal
+      // outcome path so compensations reach the destinations already hit.
+      CMX_WARN("cm.send") << cm_id << " fan-out to " << addr.to_string()
+                          << " failed: " << s.to_string();
+      eval_->force_decision(cm_id, Outcome::kFailure,
+                            "fan-out failed: " + s.to_string());
+      return s;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.conditional_messages;
+    stats_.standard_messages += outgoing.size();
+  }
+  return cm_id;
+}
+
+void ConditionalMessagingService::on_outcome(const OutcomeRecord& record,
+                                             bool deferred) {
+  OutcomeListener listener;
+  Registration reg;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    outcomes_[record.cm_id] = record.outcome;
+    listener = listener_;
+    auto it = registry_.find(record.cm_id);
+    if (it != registry_.end()) reg = it->second;
+  }
+
+  // 1. Guaranteed actions: a persistent marker records the decided
+  //    outcome BEFORE the sender log entry disappears, so a crash at any
+  //    point from here on can re-drive the actions from DS.PEND.Q.
+  if (!deferred) {
+    PendingActionMarker marker;
+    marker.cm_id = record.cm_id;
+    marker.outcome = record.outcome;
+    marker.reason = record.reason;
+    marker.success_notifications = reg.success_notifications;
+    marker.deliveries = reg.deliveries;
+    qm_.put_local(kPendingActionQueue, marker.to_message())
+        .expect_ok("pending-action marker");
+  }
+
+  // 2. The sender log entry is consumed: the message is no longer
+  //    in flight, so recovery must not resurrect its evaluation.
+  remove_slog_entry(record.cm_id).expect_ok("remove SLOG entry");
+
+  // 3. Outcome actions — immediately, unless deferred to a D-Sphere.
+  //    Run BEFORE the outcome notification so an application that reacts
+  //    to the notification already observes the compensations / success
+  //    notifications in flight.
+  if (!deferred) {
+    run_outcome_actions(record.cm_id, record.outcome, reg);
+    remove_pending_marker(record.cm_id);
+    std::lock_guard<std::mutex> lk(mu_);
+    registry_.erase(record.cm_id);
+  }
+
+  // 4. Outcome notification "sent to the sender's DS.OUTCOME.Q as soon as
+  //    a condition evaluation process has completed" (§2.3).
+  qm_.put_local(kOutcomeQueue, record.to_message())
+      .expect_ok("outcome notification");
+  if (listener) listener(record);
+}
+
+void ConditionalMessagingService::run_outcome_actions(
+    const std::string& cm_id, Outcome outcome, const Registration& reg) {
+  if (outcome == Outcome::kFailure) {
+    if (reg.stage_on_failure) {
+      // kOnFailure ablation: materialize the compensations only now.
+      comp_->stage(cm_id, reg.deferred_compensation_body, reg.deliveries)
+          .expect_ok("late compensation staging");
+    }
+    comp_->release(cm_id);
+  } else {
+    comp_->discard(cm_id);
+    if (reg.success_notifications) {
+      comp_->send_success_notifications(cm_id, reg.deliveries);
+    }
+  }
+}
+
+util::Status ConditionalMessagingService::remove_pending_marker(
+    const std::string& cm_id) {
+  auto selector =
+      mq::Selector::parse(std::string(prop::kCmId) + " = '" + cm_id + "'");
+  if (!selector) return selector.status();
+  auto got = qm_.get(kPendingActionQueue, 0, &selector.value());
+  if (!got && got.code() != util::ErrorCode::kTimeout) return got.status();
+  return util::ok_status();
+}
+
+util::Status ConditionalMessagingService::remove_slog_entry(
+    const std::string& cm_id) {
+  auto selector =
+      mq::Selector::parse(std::string(prop::kCmId) + " = '" + cm_id + "'");
+  if (!selector) return selector.status();
+  auto got = qm_.get(kSenderLogQueue, 0, &selector.value());
+  if (!got && got.code() != util::ErrorCode::kTimeout) return got.status();
+  return util::ok_status();
+}
+
+util::Result<OutcomeRecord> ConditionalMessagingService::next_outcome(
+    util::TimeMs timeout_ms) {
+  auto got = qm_.get(kOutcomeQueue, timeout_ms);
+  if (!got) return got.status();
+  return OutcomeRecord::from_message(got.value());
+}
+
+util::Result<OutcomeRecord> ConditionalMessagingService::await_outcome(
+    const std::string& cm_id, util::TimeMs timeout_ms) {
+  auto selector =
+      mq::Selector::parse(std::string(prop::kCmId) + " = '" + cm_id + "'");
+  if (!selector) return selector.status();
+  auto got = qm_.get(kOutcomeQueue, timeout_ms, &selector.value());
+  if (!got) return got.status();
+  return OutcomeRecord::from_message(got.value());
+}
+
+std::optional<Outcome> ConditionalMessagingService::outcome_of(
+    const std::string& cm_id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = outcomes_.find(cm_id);
+  if (it == outcomes_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ConditionalMessagingService::set_outcome_listener(
+    OutcomeListener listener) {
+  std::lock_guard<std::mutex> lk(mu_);
+  listener_ = std::move(listener);
+}
+
+util::Status ConditionalMessagingService::release_deferred_actions(
+    const std::string& cm_id, Outcome outcome) {
+  Registration reg;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = registry_.find(cm_id);
+    if (it == registry_.end()) {
+      return util::make_error(util::ErrorCode::kNotFound,
+                              "no deferred actions for " + cm_id);
+    }
+    reg = it->second;
+    registry_.erase(it);
+  }
+  // Same marker discipline as the immediate path: the sphere's decision
+  // must not be lost between "resolved" and "actions done".
+  PendingActionMarker marker;
+  marker.cm_id = cm_id;
+  marker.outcome = outcome;
+  marker.success_notifications = reg.success_notifications;
+  marker.deliveries = reg.deliveries;
+  if (auto s = qm_.put_local(kPendingActionQueue, marker.to_message()); !s) {
+    return s;
+  }
+  run_outcome_actions(cm_id, outcome, reg);
+  return remove_pending_marker(cm_id);
+}
+
+util::Status ConditionalMessagingService::release_success_actions(
+    const std::string& cm_id) {
+  return release_deferred_actions(cm_id, Outcome::kSuccess);
+}
+
+util::Status ConditionalMessagingService::release_failure_actions(
+    const std::string& cm_id) {
+  return release_deferred_actions(cm_id, Outcome::kFailure);
+}
+
+util::Status ConditionalMessagingService::force_decision(
+    const std::string& cm_id, Outcome outcome, const std::string& reason) {
+  return eval_->force_decision(cm_id, outcome, reason);
+}
+
+util::Status ConditionalMessagingService::recover() {
+  // Pass 1 — re-drive interrupted outcome actions (guaranteed
+  // compensation): each marker on DS.PEND.Q is a decision whose actions
+  // may not have completed. Re-running them is at-least-once: releasing
+  // already-released compensations is a no-op (the staged messages are
+  // gone), success notifications may duplicate.
+  if (auto pend = qm_.find_queue(kPendingActionQueue)) {
+    for (const auto& msg : pend->browse()) {
+      auto marker = PendingActionMarker::from_message(msg);
+      if (!marker) {
+        CMX_WARN("cm.recover") << "bad pending-action marker: "
+                               << marker.status().to_string();
+        continue;
+      }
+      const auto& m = marker.value();
+      CMX_INFO("cm.recover") << "re-driving outcome actions for " << m.cm_id;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        outcomes_[m.cm_id] = m.outcome;
+      }
+      Registration reg;
+      reg.deliveries = m.deliveries;
+      reg.success_notifications = m.success_notifications;
+      run_outcome_actions(m.cm_id, m.outcome, reg);
+      // The SLOG entry may still exist if the crash hit between marker
+      // and log removal; consume it so pass 2 does not resurrect the
+      // evaluation of an already-decided message.
+      remove_slog_entry(m.cm_id).expect_ok("remove SLOG after re-drive");
+      remove_pending_marker(m.cm_id);
+      OutcomeRecord record;
+      record.cm_id = m.cm_id;
+      record.outcome = m.outcome;
+      record.reason = m.reason;
+      record.decided_ts = qm_.clock().now_ms();
+      qm_.put_local(kOutcomeQueue, record.to_message())
+          .expect_ok("outcome notification (recovery)");
+    }
+  }
+
+  // Pass 2 — re-register evaluation for still-undecided messages.
+  auto slog = qm_.find_queue(kSenderLogQueue);
+  if (slog == nullptr) {
+    return util::make_error(util::ErrorCode::kNotFound, "no DS.SLOG.Q");
+  }
+  std::size_t recovered = 0;
+  for (const auto& msg : slog->browse()) {
+    auto entry = SenderLogEntry::from_message(msg);
+    if (!entry) {
+      CMX_WARN("cm.recover") << "bad SLOG entry: "
+                             << entry.status().to_string();
+      continue;
+    }
+    auto& log_entry = entry.value();
+    if (eval_->is_in_flight(log_entry.cm_id)) continue;
+    if (log_entry.condition == nullptr) continue;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (outcomes_.count(log_entry.cm_id) > 0) continue;
+      Registration reg;
+      reg.deliveries = log_entry.deliveries;
+      reg.success_notifications = options_.success_notifications;
+      registry_[log_entry.cm_id] = std::move(reg);
+    }
+    eval_->register_message(
+        std::make_unique<EvalState>(log_entry.cm_id, *log_entry.condition,
+                                    log_entry.send_ts,
+                                    log_entry.evaluation_timeout_ms),
+        /*deferred=*/false);
+    ++recovered;
+  }
+  CMX_INFO("cm.recover") << "re-registered " << recovered
+                         << " in-flight conditional messages";
+
+  // Pass 3 — orphaned compensation sweep: staged compensations whose
+  // conditional message is neither in flight (pass 2) nor decided (pass 1)
+  // belong to Dependency-Sphere members whose sphere died with the sender.
+  // A crashed sphere can never commit, so fail them: release the
+  // compensations (§3.1's "if the D-Sphere fails as a whole").
+  if (auto comp_queue = qm_.find_queue(kCompensationQueue)) {
+    std::set<std::string> orphaned;
+    for (const auto& msg : comp_queue->browse()) {
+      const auto cm_id = msg.get_string(prop::kCmId).value_or("");
+      if (cm_id.empty() || eval_->is_in_flight(cm_id)) continue;
+      std::lock_guard<std::mutex> lk(mu_);
+      if (outcomes_.count(cm_id) == 0) orphaned.insert(cm_id);
+    }
+    for (const auto& cm_id : orphaned) {
+      CMX_INFO("cm.recover") << "failing orphaned sphere member " << cm_id;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        outcomes_[cm_id] = Outcome::kFailure;
+      }
+      comp_->release(cm_id);
+      OutcomeRecord record;
+      record.cm_id = cm_id;
+      record.outcome = Outcome::kFailure;
+      record.reason = "sender crashed while the D-Sphere was unresolved";
+      record.decided_ts = qm_.clock().now_ms();
+      qm_.put_local(kOutcomeQueue, record.to_message())
+          .expect_ok("outcome notification (orphan sweep)");
+    }
+  }
+  return util::ok_status();
+}
+
+SenderStats ConditionalMessagingService::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace cmx::cm

@@ -1,0 +1,173 @@
+// ConditionalMessagingService: the sender-side facade of the conditional
+// messaging system (paper §2.3–§2.6, Figure 9). It is "a simple
+// indirection to standard messaging middleware": the application hands it
+// message data and a Condition; the service
+//
+//   1. fans the conditional message out into one standard message per
+//      destination queue, stamped with control properties,
+//   2. writes a persistent sender-log entry (DS.SLOG.Q),
+//   3. stages compensation messages (DS.COMP.Q),
+//   4. registers the message with the evaluation manager, which consumes
+//      acknowledgments (DS.ACK.Q) and decides success/failure,
+//   5. on a verdict, publishes an outcome notification (DS.OUTCOME.Q) and
+//      performs the outcome actions (release compensations on failure;
+//      discard them — and optionally send success notifications — on
+//      success), unless the message is part of a Dependency-Sphere, in
+//      which case the actions are deferred to the sphere.
+//
+// The application can keep using the queue manager directly for
+// unconditional messaging (paper Figure 6).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cm/compensation_manager.hpp"
+#include "cm/condition.hpp"
+#include "cm/control.hpp"
+#include "cm/evaluation_manager.hpp"
+#include "mq/queue_manager.hpp"
+
+namespace cmx::cm {
+
+// When compensation messages come into existence (ablation of the §2.6
+// design decision).
+enum class CompensationStaging {
+  // The paper's design: created and persisted on DS.COMP.Q at send time,
+  // which is what makes compensation crash-safe (a decided failure can
+  // always be compensated from durable state).
+  kAtSendTime,
+  // Ablation: created only when the failure outcome is known. Cheaper
+  // sends, but a crash between decision and release loses the
+  // application's compensation data (the recovery marker can re-drive the
+  // action, yet has nothing staged to send).
+  kOnFailure,
+};
+
+struct SenderOptions {
+  // Send success notifications to all destinations on message success
+  // (§2.6 "the system can send out a notification message of evaluation
+  // success to all destinations"). Per-send override in SendOptions.
+  bool success_notifications = false;
+  CompensationStaging compensation_staging = CompensationStaging::kAtSendTime;
+};
+
+struct SendOptions {
+  // Hard cap on the evaluation (§2.5), relative to the send timestamp.
+  // 0 = none; evaluation still terminates at the largest condition
+  // deadline.
+  util::TimeMs evaluation_timeout_ms = 0;
+  std::optional<bool> success_notifications;
+  // Dependency-Sphere members: record the outcome but defer the outcome
+  // actions until the sphere resolves (§3.1). Set by DSphereService.
+  bool defer_outcome_actions = false;
+  // Application properties copied onto every generated standard message
+  // (e.g. a topic tag, routing hints); CMX_-prefixed keys are reserved.
+  std::map<std::string, mq::PropertyValue> properties;
+  // Ablation switch, see EvalStateOptions::early_failure_detection.
+  bool early_failure_detection = true;
+};
+
+struct SenderStats {
+  std::uint64_t conditional_messages = 0;
+  std::uint64_t standard_messages = 0;  // fan-out total
+};
+
+class ConditionalMessagingService {
+ public:
+  explicit ConditionalMessagingService(mq::QueueManager& qm,
+                                       SenderOptions options = {});
+  ~ConditionalMessagingService();
+
+  ConditionalMessagingService(const ConditionalMessagingService&) = delete;
+  ConditionalMessagingService& operator=(const ConditionalMessagingService&) =
+      delete;
+
+  // paper: sendMessage(Object, Condition) — system-generated compensation.
+  util::Result<std::string> send_message(const std::string& body,
+                                         const Condition& condition,
+                                         SendOptions options = {});
+
+  // paper: sendMessage(Object, Object, Condition) — application-defined
+  // compensation data.
+  util::Result<std::string> send_message(const std::string& body,
+                                         const std::string& compensation_body,
+                                         const Condition& condition,
+                                         SendOptions options = {});
+
+  // ---- outcome consumption (DS.OUTCOME.Q) --------------------------------
+  // Next outcome notification of any conditional message.
+  util::Result<OutcomeRecord> next_outcome(util::TimeMs timeout_ms);
+  // Outcome notification for one conditional message (destructive).
+  util::Result<OutcomeRecord> await_outcome(const std::string& cm_id,
+                                            util::TimeMs timeout_ms);
+  // The decided outcome, if any, without touching DS.OUTCOME.Q.
+  std::optional<Outcome> outcome_of(const std::string& cm_id) const;
+
+  // ---- Dependency-Sphere integration -------------------------------------
+  // Listener invoked (on the evaluation thread) for every decision,
+  // deferred or not. One listener; setting replaces.
+  using OutcomeListener = std::function<void(const OutcomeRecord&)>;
+  void set_outcome_listener(OutcomeListener listener);
+
+  // Executes the deferred outcome actions for a sphere member once the
+  // sphere has resolved: success_actions discards compensations (and sends
+  // success notifications per options); failure_actions releases them.
+  util::Status release_success_actions(const std::string& cm_id);
+  util::Status release_failure_actions(const std::string& cm_id);
+  // Forces a pending member to a verdict (sphere timeout/abort).
+  util::Status force_decision(const std::string& cm_id, Outcome outcome,
+                              const std::string& reason);
+
+  // ---- recovery -------------------------------------------------------------
+  // Rebuilds evaluation state from DS.SLOG.Q after a restart: every logged,
+  // still-undecided conditional message is re-registered for evaluation.
+  // (Acks consumed before the crash are lost — see DESIGN.md limitations —
+  // so recovered messages may fail conservatively.)
+  util::Status recover();
+
+  SenderStats stats() const;
+  EvaluationManager& evaluation_manager() { return *eval_; }
+  CompensationManager& compensation_manager() { return *comp_; }
+  mq::QueueManager& queue_manager() { return qm_; }
+
+ private:
+  struct Registration {
+    std::vector<std::pair<mq::QueueAddress, std::string>> deliveries;
+    bool success_notifications = false;
+    bool deferred = false;
+    // Only used in CompensationStaging::kOnFailure mode: the compensation
+    // data to materialize when (and only when) the message fails.
+    std::optional<std::string> deferred_compensation_body;
+    bool stage_on_failure = false;
+  };
+
+  util::Result<std::string> send_internal(
+      const std::string& body,
+      const std::optional<std::string>& compensation_body,
+      const Condition& condition, const SendOptions& options);
+
+  void on_outcome(const OutcomeRecord& record, bool deferred);
+  void run_outcome_actions(const std::string& cm_id, Outcome outcome,
+                           const Registration& reg);
+  util::Status release_deferred_actions(const std::string& cm_id,
+                                        Outcome outcome);
+  util::Status remove_slog_entry(const std::string& cm_id);
+  util::Status remove_pending_marker(const std::string& cm_id);
+
+  mq::QueueManager& qm_;
+  const SenderOptions options_;
+  std::unique_ptr<CompensationManager> comp_;
+  std::unique_ptr<EvaluationManager> eval_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Registration> registry_;
+  std::map<std::string, Outcome> outcomes_;
+  OutcomeListener listener_;
+  SenderStats stats_;
+};
+
+}  // namespace cmx::cm

@@ -1,0 +1,264 @@
+#include "ds/dsphere.hpp"
+
+#include "util/id.hpp"
+#include "util/logging.hpp"
+
+namespace cmx::ds {
+
+const char* dsphere_outcome_name(DSphereOutcome outcome) {
+  return outcome == DSphereOutcome::kCommitted ? "committed" : "aborted";
+}
+
+DSphereService::DSphereService(cm::ConditionalMessagingService& cm_service,
+                               txn::TwoPhaseCoordinator& coordinator)
+    : cm_(cm_service), coordinator_(coordinator) {
+  cm_.set_outcome_listener(
+      [this](const cm::OutcomeRecord& record) { on_member_outcome(record); });
+}
+
+DSphereService::~DSphereService() { cm_.set_outcome_listener({}); }
+
+std::string DSphereService::begin() {
+  const std::string ds_id = util::generate_id("ds");
+  std::lock_guard<std::mutex> lk(mu_);
+  spheres_[ds_id] = Sphere{};
+  ++stats_.begun;
+  return ds_id;
+}
+
+util::Result<std::string> DSphereService::send_message(
+    const std::string& ds_id, const std::string& body,
+    const cm::Condition& condition, cm::SendOptions options) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = spheres_.find(ds_id);
+    if (it == spheres_.end() || it->second.state != State::kActive) {
+      return util::make_error(util::ErrorCode::kFailedPrecondition,
+                              "D-Sphere " + ds_id + " is not active");
+    }
+  }
+  options.defer_outcome_actions = true;
+  auto cm_id = cm_.send_message(body, condition, options);
+  if (!cm_id) return cm_id;
+  record_member(ds_id, cm_id.value());
+  return cm_id;
+}
+
+util::Result<std::string> DSphereService::send_message(
+    const std::string& ds_id, const std::string& body,
+    const std::string& compensation_body, const cm::Condition& condition,
+    cm::SendOptions options) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = spheres_.find(ds_id);
+    if (it == spheres_.end() || it->second.state != State::kActive) {
+      return util::make_error(util::ErrorCode::kFailedPrecondition,
+                              "D-Sphere " + ds_id + " is not active");
+    }
+  }
+  options.defer_outcome_actions = true;
+  auto cm_id = cm_.send_message(body, compensation_body, condition, options);
+  if (!cm_id) return cm_id;
+  record_member(ds_id, cm_id.value());
+  return cm_id;
+}
+
+void DSphereService::record_member(const std::string& ds_id,
+                                   const std::string& cm_id) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    spheres_[ds_id].members.push_back(cm_id);
+    member_to_sphere_[cm_id] = ds_id;
+  }
+  // The member may already have been decided between the fan-out and this
+  // registration (a fast receiver's ack); the outcome listener could not
+  // attribute that decision to the sphere, so backfill it here.
+  if (auto outcome = cm_.outcome_of(cm_id); outcome.has_value()) {
+    cm::OutcomeRecord record;
+    record.cm_id = cm_id;
+    record.outcome = *outcome;
+    on_member_outcome(record);
+  }
+}
+
+util::Result<std::string> DSphereService::transaction_id(
+    const std::string& ds_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = spheres_.find(ds_id);
+  if (it == spheres_.end() || it->second.state != State::kActive) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "D-Sphere " + ds_id + " is not active");
+  }
+  if (!it->second.tx_id.has_value()) {
+    it->second.tx_id = coordinator_.begin();
+  }
+  return *it->second.tx_id;
+}
+
+util::Status DSphereService::enlist(const std::string& ds_id,
+                                    txn::TransactionalResource& resource) {
+  auto tx = transaction_id(ds_id);
+  if (!tx) return tx.status();
+  return coordinator_.enlist(tx.value(), resource);
+}
+
+void DSphereService::on_member_outcome(const cm::OutcomeRecord& record) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto member_it = member_to_sphere_.find(record.cm_id);
+  if (member_it == member_to_sphere_.end()) return;  // not a sphere member
+  auto sphere_it = spheres_.find(member_it->second);
+  if (sphere_it == spheres_.end()) return;
+  sphere_it->second.decided[record.cm_id] = record.outcome;
+  cv_.notify_all();
+}
+
+util::Result<DSphereResult> DSphereService::commit(const std::string& ds_id,
+                                                   util::TimeMs timeout_ms) {
+  return resolve(ds_id, /*force_abort=*/false, "", timeout_ms);
+}
+
+util::Result<DSphereResult> DSphereService::abort(const std::string& ds_id) {
+  return resolve(ds_id, /*force_abort=*/true, "abort_DS called", 0);
+}
+
+util::Result<DSphereResult> DSphereService::resolve(
+    const std::string& ds_id, bool force_abort,
+    const std::string& abort_reason, util::TimeMs timeout_ms) {
+  util::Clock& clock = cm_.queue_manager().clock();
+  std::vector<std::string> members;
+  std::optional<std::string> tx_id;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    auto it = spheres_.find(ds_id);
+    if (it == spheres_.end()) {
+      return util::make_error(util::ErrorCode::kNotFound,
+                              "unknown D-Sphere " + ds_id);
+    }
+    if (it->second.state != State::kActive) {
+      return util::make_error(util::ErrorCode::kFailedPrecondition,
+                              "D-Sphere " + ds_id + " already resolving");
+    }
+    it->second.state = State::kResolving;
+    members = it->second.members;
+    tx_id = it->second.tx_id;
+
+    if (!force_abort) {
+      // Wait until every member is decided — or any member has already
+      // failed (the sphere outcome is then determined), or timeout.
+      // timeout 0 = resolve immediately with whatever is decided so far.
+      const util::TimeMs deadline =
+          timeout_ms == util::kNoDeadline ? util::kNoDeadline
+                                          : clock.now_ms() + timeout_ms;
+      auto& sphere = it->second;
+      clock.wait_until(lk, cv_, deadline, [&] {
+        if (sphere.decided.size() >= sphere.members.size()) return true;
+        for (const auto& [cm_id, outcome] : sphere.decided) {
+          if (outcome == cm::Outcome::kFailure) return true;
+        }
+        return false;
+      });
+    }
+  }
+
+  // Force-fail members still pending (timeout / abort / early failure).
+  // force_decision() synchronously runs the outcome path, which calls back
+  // into on_member_outcome — our lock must not be held here.
+  for (const auto& cm_id : members) {
+    bool pending;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      pending = spheres_[ds_id].decided.count(cm_id) == 0;
+    }
+    if (pending) {
+      cm_.force_decision(cm_id, cm::Outcome::kFailure,
+                         force_abort ? abort_reason : "D-Sphere timeout");
+    }
+  }
+
+  // Determine the overall outcome.
+  bool all_success = !force_abort;
+  std::string reason = force_abort ? abort_reason : "";
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto& sphere = spheres_[ds_id];
+    for (const auto& cm_id : sphere.members) {
+      auto it = sphere.decided.find(cm_id);
+      if (it == sphere.decided.end() ||
+          it->second == cm::Outcome::kFailure) {
+        if (all_success) reason = "member " + cm_id + " failed";
+        all_success = false;
+      }
+    }
+  }
+
+  // Transactional resources (§3.2): their votes gate the sphere, and the
+  // sphere outcome drives their phase two.
+  if (tx_id.has_value()) {
+    if (all_success) {
+      auto decision = coordinator_.commit(*tx_id);
+      if (!decision || decision.value() == txn::Decision::kAborted) {
+        all_success = false;
+        reason = "transactional resource voted abort";
+      }
+    } else {
+      coordinator_.rollback(*tx_id);
+    }
+  }
+
+  // Release the deferred outcome actions for every member.
+  for (const auto& cm_id : members) {
+    if (all_success) {
+      cm_.release_success_actions(cm_id);
+    } else {
+      cm_.release_failure_actions(cm_id);
+    }
+  }
+
+  DSphereResult result;
+  result.outcome =
+      all_success ? DSphereOutcome::kCommitted : DSphereOutcome::kAborted;
+  result.reason = reason;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& sphere = spheres_[ds_id];
+    sphere.state = all_success ? State::kCommitted : State::kAborted;
+    sphere.result = result;
+    for (const auto& cm_id : members) member_to_sphere_.erase(cm_id);
+    if (all_success) {
+      ++stats_.committed;
+    } else {
+      ++stats_.aborted;
+    }
+  }
+  CMX_INFO("ds") << ds_id << " resolved "
+                 << dsphere_outcome_name(result.outcome)
+                 << (reason.empty() ? "" : " (" + reason + ")");
+  return result;
+}
+
+std::optional<DSphereResult> DSphereService::outcome(
+    const std::string& ds_id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = spheres_.find(ds_id);
+  if (it == spheres_.end()) return std::nullopt;
+  if (it->second.state != State::kCommitted &&
+      it->second.state != State::kAborted) {
+    return std::nullopt;
+  }
+  return it->second.result;
+}
+
+std::vector<std::string> DSphereService::members(
+    const std::string& ds_id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = spheres_.find(ds_id);
+  if (it == spheres_.end()) return {};
+  return it->second.members;
+}
+
+DSphereStats DSphereService::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace cmx::ds

@@ -1,0 +1,128 @@
+// Dependency-Spheres (paper §3, [14]): a global context grouping multiple
+// conditional messages — and optionally transactional-object work — into
+// one atomic unit-of-work.
+//
+// Semantics reproduced from §3.1/§3.2:
+//   * Members are sent IMMEDIATELY (unlike messaging transactions); only
+//     their outcome ACTIONS (success notifications / compensations) are
+//     deferred until the sphere resolves.
+//   * The sphere succeeds iff every member message succeeds AND every
+//     enlisted transactional resource votes commit; then resources commit
+//     and success actions are released for all members.
+//   * If any member fails, a resource votes abort, the sphere times out,
+//     or abort_DS is called, the sphere fails: resources roll back and
+//     compensation is released for every member (including members that
+//     individually succeeded).
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cm/sender.hpp"
+#include "txn/coordinator.hpp"
+
+namespace cmx::ds {
+
+enum class DSphereOutcome { kCommitted, kAborted };
+
+const char* dsphere_outcome_name(DSphereOutcome outcome);
+
+struct DSphereResult {
+  DSphereOutcome outcome = DSphereOutcome::kAborted;
+  std::string reason;  // why the sphere aborted (empty on commit)
+};
+
+struct DSphereStats {
+  std::uint64_t begun = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+};
+
+class DSphereService {
+ public:
+  // Installs itself as the conditional-messaging service's outcome
+  // listener (the sphere needs to observe member decisions). Non-sphere
+  // sends keep working normally through `cm_service`.
+  DSphereService(cm::ConditionalMessagingService& cm_service,
+                 txn::TwoPhaseCoordinator& coordinator);
+  ~DSphereService();
+
+  DSphereService(const DSphereService&) = delete;
+  DSphereService& operator=(const DSphereService&) = delete;
+
+  // ---- demarcation (paper: begin_DS / commit_DS / abort_DS) --------------
+  std::string begin();
+
+  // Waits (up to `timeout_ms` on the sender's clock) for every member's
+  // evaluation to complete, then resolves the sphere atomically as
+  // described above. Members still pending at the timeout are force-failed
+  // ("D-Sphere timeout"). Errors on unknown/already-resolved spheres.
+  util::Result<DSphereResult> commit(const std::string& ds_id,
+                                     util::TimeMs timeout_ms);
+
+  // Unilateral abort: rolls back resources and compensates all members
+  // (pending members are force-failed first).
+  util::Result<DSphereResult> abort(const std::string& ds_id);
+
+  // ---- membership ------------------------------------------------------
+  // Sends a conditional message as a member of the sphere. The message is
+  // delivered immediately; its outcome actions are deferred to the sphere.
+  util::Result<std::string> send_message(const std::string& ds_id,
+                                         const std::string& body,
+                                         const cm::Condition& condition,
+                                         cm::SendOptions options = {});
+  util::Result<std::string> send_message(const std::string& ds_id,
+                                         const std::string& body,
+                                         const std::string& compensation_body,
+                                         const cm::Condition& condition,
+                                         cm::SendOptions options = {});
+
+  // Enlists a transactional resource (§3.2); the caller then performs its
+  // object requests against the resource using transaction_id().
+  util::Status enlist(const std::string& ds_id,
+                      txn::TransactionalResource& resource);
+  // The coordinator transaction bound to this sphere (begun lazily).
+  util::Result<std::string> transaction_id(const std::string& ds_id);
+
+  // ---- introspection ------------------------------------------------------
+  std::optional<DSphereResult> outcome(const std::string& ds_id) const;
+  std::vector<std::string> members(const std::string& ds_id) const;
+  DSphereStats stats() const;
+
+ private:
+  enum class State { kActive, kResolving, kCommitted, kAborted };
+
+  struct Sphere {
+    State state = State::kActive;
+    std::vector<std::string> members;           // cm ids, send order
+    std::map<std::string, cm::Outcome> decided;  // member outcomes
+    std::optional<std::string> tx_id;           // coordinator transaction
+    DSphereResult result;
+  };
+
+  void on_member_outcome(const cm::OutcomeRecord& record);
+  // Adds the member and backfills an already-decided outcome (the send /
+  // decision race).
+  void record_member(const std::string& ds_id, const std::string& cm_id);
+  util::Result<DSphereResult> resolve(const std::string& ds_id,
+                                      bool force_abort,
+                                      const std::string& abort_reason,
+                                      util::TimeMs timeout_ms);
+
+  cm::ConditionalMessagingService& cm_;
+  txn::TwoPhaseCoordinator& coordinator_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::map<std::string, Sphere> spheres_;
+  std::map<std::string, std::string> member_to_sphere_;
+  DSphereStats stats_;
+};
+
+}  // namespace cmx::ds

@@ -1,0 +1,106 @@
+#include "mq/channel.hpp"
+
+#include "mq/queue_manager.hpp"
+#include "util/logging.hpp"
+
+namespace cmx::mq {
+
+Channel::Channel(QueueManager& from, QueueManager& to, ChannelOptions options)
+    : from_(from),
+      to_(to),
+      options_(options),
+      xmit_queue_(std::string(kXmitQueuePrefix) + to.name()),
+      rng_(options.seed) {
+  paused_.store(options.start_paused);
+  from_.ensure_queue(xmit_queue_, QueueOptions{.max_depth = SIZE_MAX,
+                                               .system = true})
+      .expect_ok("create xmit queue");
+  mover_ = std::thread([this] { mover_loop(); });
+}
+
+Channel::~Channel() { stop(); }
+
+const std::string& Channel::source() const { return from_.name(); }
+const std::string& Channel::destination() const { return to_.name(); }
+
+void Channel::pause() { paused_.store(true); }
+
+void Channel::resume() {
+  paused_.store(false);
+  pause_cv_.notify_all();
+}
+
+void Channel::stop() {
+  if (stopping_.exchange(true)) {
+    if (mover_.joinable()) mover_.join();
+    return;
+  }
+  // Close the transmission queue: wakes the mover's blocking get with
+  // kClosed. Messages still on it stay persisted (recoverable).
+  if (auto queue = from_.find_queue(xmit_queue_)) queue->close();
+  pause_cv_.notify_all();
+  if (mover_.joinable()) mover_.join();
+}
+
+ChannelStats Channel::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void Channel::mover_loop() {
+  while (!stopping_.load()) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      pause_cv_.wait(lk, [&] { return !paused_.load() || stopping_.load(); });
+    }
+    if (stopping_.load()) break;
+    auto got = from_.get(xmit_queue_, util::kNoDeadline);
+    if (!got) {
+      if (got.code() == util::ErrorCode::kClosed) break;
+      continue;
+    }
+    deliver(std::move(got).value());
+  }
+}
+
+void Channel::deliver(Message msg) {
+  util::TimeMs delay = options_.latency_ms;
+  if (options_.jitter_ms > 0) delay += rng_.uniform(0, options_.jitter_ms);
+  if (delay > 0) from_.clock().sleep_ms(delay);
+
+  if (!msg.persistent() && rng_.chance(options_.drop_nonpersistent)) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.dropped;
+    return;
+  }
+  const bool duplicate = rng_.chance(options_.duplicate);
+
+  const std::string dest =
+      msg.get_string(kXmitDestProperty).value_or("");
+  msg.properties.erase(kXmitDestProperty);
+  const QueueAddress addr = QueueAddress::parse(dest);
+
+  Message copy = msg;  // kept for duplication / dead-lettering
+  auto s = to_.put_local(addr.queue, std::move(msg));
+  if (!s && s.code() == util::ErrorCode::kNotFound) {
+    // Unknown destination queue at the remote side: dead-letter it, with
+    // the intended destination recorded for an operator to inspect.
+    to_.ensure_queue(kDeadLetterQueue).expect_ok("ensure DLQ");
+    copy.set_property(kXmitDestProperty, dest);
+    to_.put_local(kDeadLetterQueue, std::move(copy));
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.dead_lettered;
+    return;
+  }
+  if (!s) return;  // remote shutting down; message is lost from this hop
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.transferred;
+  }
+  if (duplicate && to_.put_local(addr.queue, std::move(copy))) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.duplicated;
+  }
+}
+
+}  // namespace cmx::mq

@@ -1,0 +1,88 @@
+// Channel: unidirectional store-and-forward link between two queue
+// managers, modeled after MQSeries sender/receiver channels. Messages
+// routed to a remote queue manager are first persisted on a local
+// transmission queue (SYSTEM.XMIT.<remote>) and a mover thread transfers
+// them, applying configurable latency/jitter and fault injection:
+// non-persistent messages may be dropped, any message may be duplicated
+// (at-least-once delivery), and the channel can be paused to simulate a
+// network partition (messages accumulate on the transmission queue and
+// flow again on resume — the substrate's "resilience under partial
+// failure" the paper relies on).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "mq/message.hpp"
+#include "util/clock.hpp"
+#include "util/random.hpp"
+
+namespace cmx::mq {
+
+class QueueManager;
+
+struct ChannelOptions {
+  util::TimeMs latency_ms = 0;       // base one-way latency
+  util::TimeMs jitter_ms = 0;        // uniform extra [0, jitter]
+  double drop_nonpersistent = 0.0;   // P(drop) for non-persistent messages
+  double duplicate = 0.0;            // P(deliver twice)
+  // Create the channel in the paused state (deterministic partition
+  // setup: pause() on a running channel races its blocking dequeue and
+  // can let one message through).
+  bool start_paused = false;
+  std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+};
+
+struct ChannelStats {
+  std::uint64_t transferred = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t dead_lettered = 0;
+};
+
+class Channel {
+ public:
+  Channel(QueueManager& from, QueueManager& to, ChannelOptions options);
+  ~Channel();
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  const std::string& xmit_queue_name() const { return xmit_queue_; }
+  const std::string& source() const;
+  const std::string& destination() const;
+
+  // Suspends/resumes transfers (partition simulation). Messages put while
+  // paused wait on the transmission queue.
+  void pause();
+  void resume();
+  bool paused() const { return paused_.load(); }
+
+  // Stops the mover thread permanently and joins it.
+  void stop();
+
+  ChannelStats stats() const;
+
+ private:
+  void mover_loop();
+  void deliver(Message msg);
+
+  QueueManager& from_;
+  QueueManager& to_;
+  const ChannelOptions options_;
+  const std::string xmit_queue_;
+  util::Rng rng_;
+
+  std::atomic<bool> paused_{false};
+  std::atomic<bool> stopping_{false};
+  mutable std::mutex mu_;  // guards stats_ and pause cv
+  std::condition_variable pause_cv_;
+  ChannelStats stats_;
+  std::thread mover_;
+};
+
+}  // namespace cmx::mq

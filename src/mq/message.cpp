@@ -1,0 +1,183 @@
+#include "mq/message.hpp"
+
+#include "util/codec.hpp"
+
+namespace cmx::mq {
+
+namespace {
+constexpr std::uint32_t kMessageCodecVersion = 1;
+
+enum class PropTag : std::uint8_t {
+  kBool = 0,
+  kInt = 1,
+  kDouble = 2,
+  kString = 3,
+};
+}  // namespace
+
+std::string QueueAddress::to_string() const {
+  if (qmgr.empty()) return queue;
+  return qmgr + "/" + queue;
+}
+
+QueueAddress QueueAddress::parse(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) return QueueAddress("", text);
+  return QueueAddress(text.substr(0, slash), text.substr(slash + 1));
+}
+
+std::string property_to_string(const PropertyValue& v) {
+  struct Visitor {
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+    std::string operator()(std::int64_t i) const { return std::to_string(i); }
+    std::string operator()(double d) const { return std::to_string(d); }
+    std::string operator()(const std::string& s) const { return s; }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+void Message::set_property(const std::string& key, PropertyValue value) {
+  properties[key] = std::move(value);
+}
+
+bool Message::has_property(const std::string& key) const {
+  return properties.count(key) > 0;
+}
+
+std::optional<std::string> Message::get_string(const std::string& key) const {
+  auto it = properties.find(key);
+  if (it == properties.end()) return std::nullopt;
+  if (const auto* s = std::get_if<std::string>(&it->second)) return *s;
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> Message::get_int(const std::string& key) const {
+  auto it = properties.find(key);
+  if (it == properties.end()) return std::nullopt;
+  if (const auto* i = std::get_if<std::int64_t>(&it->second)) return *i;
+  return std::nullopt;
+}
+
+std::optional<bool> Message::get_bool(const std::string& key) const {
+  auto it = properties.find(key);
+  if (it == properties.end()) return std::nullopt;
+  if (const auto* b = std::get_if<bool>(&it->second)) return *b;
+  return std::nullopt;
+}
+
+std::optional<double> Message::get_double(const std::string& key) const {
+  auto it = properties.find(key);
+  if (it == properties.end()) return std::nullopt;
+  if (const auto* d = std::get_if<double>(&it->second)) return *d;
+  return std::nullopt;
+}
+
+std::string Message::encode() const {
+  util::BinaryWriter w;
+  w.put_u32(kMessageCodecVersion);
+  w.put_string(id);
+  w.put_string(correlation_id);
+  w.put_string(reply_to.qmgr);
+  w.put_string(reply_to.queue);
+  w.put_u8(static_cast<std::uint8_t>(priority));
+  w.put_u8(static_cast<std::uint8_t>(persistence));
+  w.put_i64(expiry_ms);
+  w.put_i64(put_time_ms);
+  w.put_u32(static_cast<std::uint32_t>(delivery_count));
+  w.put_u32(static_cast<std::uint32_t>(properties.size()));
+  for (const auto& [key, value] : properties) {
+    w.put_string(key);
+    if (const auto* b = std::get_if<bool>(&value)) {
+      w.put_u8(static_cast<std::uint8_t>(PropTag::kBool));
+      w.put_bool(*b);
+    } else if (const auto* i = std::get_if<std::int64_t>(&value)) {
+      w.put_u8(static_cast<std::uint8_t>(PropTag::kInt));
+      w.put_i64(*i);
+    } else if (const auto* d = std::get_if<double>(&value)) {
+      w.put_u8(static_cast<std::uint8_t>(PropTag::kDouble));
+      w.put_f64(*d);
+    } else {
+      w.put_u8(static_cast<std::uint8_t>(PropTag::kString));
+      w.put_string(std::get<std::string>(value));
+    }
+  }
+  w.put_string(body);
+  return w.take();
+}
+
+util::Result<Message> Message::decode(std::string_view data) {
+  using util::ErrorCode;
+  util::BinaryReader r(data);
+  auto version = r.get_u32();
+  if (!version) return version.status();
+  if (version.value() != kMessageCodecVersion) {
+    return util::make_error(ErrorCode::kIoError, "unknown message version");
+  }
+  Message m;
+  auto read_str = [&](std::string& out) -> util::Status {
+    auto s = r.get_string();
+    if (!s) return s.status();
+    out = std::move(s).value();
+    return util::ok_status();
+  };
+  if (auto s = read_str(m.id); !s) return s;
+  if (auto s = read_str(m.correlation_id); !s) return s;
+  if (auto s = read_str(m.reply_to.qmgr); !s) return s;
+  if (auto s = read_str(m.reply_to.queue); !s) return s;
+  auto prio = r.get_u8();
+  if (!prio) return prio.status();
+  m.priority = prio.value();
+  auto pers = r.get_u8();
+  if (!pers) return pers.status();
+  m.persistence = static_cast<Persistence>(pers.value());
+  auto expiry = r.get_i64();
+  if (!expiry) return expiry.status();
+  m.expiry_ms = expiry.value();
+  auto put_time = r.get_i64();
+  if (!put_time) return put_time.status();
+  m.put_time_ms = put_time.value();
+  auto delivery = r.get_u32();
+  if (!delivery) return delivery.status();
+  m.delivery_count = static_cast<int>(delivery.value());
+
+  auto prop_count = r.get_u32();
+  if (!prop_count) return prop_count.status();
+  for (std::uint32_t i = 0; i < prop_count.value(); ++i) {
+    auto key = r.get_string();
+    if (!key) return key.status();
+    auto tag = r.get_u8();
+    if (!tag) return tag.status();
+    switch (static_cast<PropTag>(tag.value())) {
+      case PropTag::kBool: {
+        auto v = r.get_bool();
+        if (!v) return v.status();
+        m.properties[key.value()] = v.value();
+        break;
+      }
+      case PropTag::kInt: {
+        auto v = r.get_i64();
+        if (!v) return v.status();
+        m.properties[key.value()] = v.value();
+        break;
+      }
+      case PropTag::kDouble: {
+        auto v = r.get_f64();
+        if (!v) return v.status();
+        m.properties[key.value()] = v.value();
+        break;
+      }
+      case PropTag::kString: {
+        auto v = r.get_string();
+        if (!v) return v.status();
+        m.properties[key.value()] = std::move(v).value();
+        break;
+      }
+      default:
+        return util::make_error(ErrorCode::kIoError, "bad property tag");
+    }
+  }
+  if (auto s = read_str(m.body); !s) return s;
+  return m;
+}
+
+}  // namespace cmx::mq

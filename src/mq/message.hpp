@@ -1,0 +1,91 @@
+// Standard message model of the reliable-messaging substrate: the role
+// MQSeries/JMS messages play in the paper. A message has a header (id,
+// correlation id, reply-to, priority, persistence, expiry), a free-form
+// property map (used by the conditional messaging layer for its control
+// information, and by selectors), and an opaque body.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace cmx::mq {
+
+// "queue manager / queue" pair addressing a queue anywhere in the network.
+struct QueueAddress {
+  std::string qmgr;   // owning queue manager; empty means "local"
+  std::string queue;  // queue name within that manager
+
+  QueueAddress() = default;
+  QueueAddress(std::string qmgr_name, std::string queue_name)
+      : qmgr(std::move(qmgr_name)), queue(std::move(queue_name)) {}
+
+  bool empty() const { return queue.empty(); }
+  std::string to_string() const;           // "qmgr/queue" or "queue"
+  static QueueAddress parse(const std::string& text);
+
+  friend bool operator==(const QueueAddress& a, const QueueAddress& b) {
+    return a.qmgr == b.qmgr && a.queue == b.queue;
+  }
+  friend auto operator<=>(const QueueAddress& a, const QueueAddress& b) {
+    if (auto c = a.qmgr <=> b.qmgr; c != 0) return c;
+    return a.queue <=> b.queue;
+  }
+};
+
+enum class Persistence : std::uint8_t {
+  kNonPersistent = 0,  // survives in memory only; lost on restart
+  kPersistent = 1,     // logged to the queue manager's message store
+};
+
+// Typed property values, as in JMS message properties.
+using PropertyValue = std::variant<bool, std::int64_t, double, std::string>;
+
+std::string property_to_string(const PropertyValue& v);
+
+constexpr int kMinPriority = 0;
+constexpr int kMaxPriority = 9;
+constexpr int kDefaultPriority = 4;
+
+class Message {
+ public:
+  Message() = default;
+  explicit Message(std::string body_bytes) : body(std::move(body_bytes)) {}
+
+  // -- header ---------------------------------------------------------
+  std::string id;              // assigned by the queue manager on put
+  std::string correlation_id;  // application correlation
+  QueueAddress reply_to;       // where replies should be sent
+  int priority = kDefaultPriority;        // kMinPriority..kMaxPriority
+  Persistence persistence = Persistence::kPersistent;
+  util::TimeMs expiry_ms = util::kNoDeadline;  // absolute; discard after
+  util::TimeMs put_time_ms = 0;                // stamped on put
+  int delivery_count = 0;  // how many times delivered (rollbacks increment)
+
+  // -- application content ---------------------------------------------
+  std::map<std::string, PropertyValue> properties;
+  std::string body;
+
+  bool persistent() const { return persistence == Persistence::kPersistent; }
+  bool expired(util::TimeMs now_ms) const { return now_ms >= expiry_ms; }
+
+  // Property helpers. Setters overwrite; typed getters return nullopt when
+  // the property is absent or has a different type.
+  void set_property(const std::string& key, PropertyValue value);
+  bool has_property(const std::string& key) const;
+  std::optional<std::string> get_string(const std::string& key) const;
+  std::optional<std::int64_t> get_int(const std::string& key) const;
+  std::optional<bool> get_bool(const std::string& key) const;
+  std::optional<double> get_double(const std::string& key) const;
+
+  // Binary round-trip used by the message store and channel transport.
+  std::string encode() const;
+  static util::Result<Message> decode(std::string_view data);
+};
+
+}  // namespace cmx::mq

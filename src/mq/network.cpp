@@ -1,0 +1,110 @@
+#include "mq/network.hpp"
+
+#include "mq/queue_manager.hpp"
+#include "util/logging.hpp"
+
+namespace cmx::mq {
+
+Network::~Network() { shutdown(); }
+
+void Network::add(QueueManager& qm) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    qms_[qm.name()] = &qm;
+  }
+  qm.attach_network(this);
+}
+
+QueueManager* Network::find(const std::string& qmgr_name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = qms_.find(qmgr_name);
+  return it == qms_.end() ? nullptr : it->second;
+}
+
+void Network::set_default_channel_options(ChannelOptions options) {
+  std::lock_guard<std::mutex> lk(mu_);
+  default_options_ = options;
+}
+
+util::Status Network::connect(const std::string& from, const std::string& to,
+                              ChannelOptions options) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto from_it = qms_.find(from);
+  auto to_it = qms_.find(to);
+  if (from_it == qms_.end() || to_it == qms_.end()) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "unknown queue manager in connect(" + from +
+                                ", " + to + ")");
+  }
+  auto key = std::make_pair(from, to);
+  auto existing = channels_.find(key);
+  if (existing != channels_.end()) {
+    existing->second->stop();
+    channels_.erase(existing);
+  }
+  channels_[key] =
+      std::make_unique<Channel>(*from_it->second, *to_it->second, options);
+  return util::ok_status();
+}
+
+Channel* Network::channel(const std::string& from,
+                          const std::string& to) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = channels_.find(std::make_pair(from, to));
+  return it == channels_.end() ? nullptr : it->second.get();
+}
+
+Channel* Network::channel_locked(const std::string& from,
+                                 const std::string& to) {
+  auto key = std::make_pair(from, to);
+  auto it = channels_.find(key);
+  if (it != channels_.end()) return it->second.get();
+  auto from_it = qms_.find(from);
+  auto to_it = qms_.find(to);
+  if (from_it == qms_.end() || to_it == qms_.end()) return nullptr;
+  auto channel =
+      std::make_unique<Channel>(*from_it->second, *to_it->second,
+                                default_options_);
+  Channel* raw = channel.get();
+  channels_[key] = std::move(channel);
+  return raw;
+}
+
+util::Status Network::route(QueueManager& from, const QueueAddress& addr,
+                            Message msg) {
+  Channel* channel;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shut_down_) {
+      return util::make_error(util::ErrorCode::kClosed, "network shut down");
+    }
+    if (qms_.count(addr.qmgr) == 0) {
+      return util::make_error(util::ErrorCode::kNotFound,
+                              "unknown queue manager " + addr.qmgr);
+    }
+    channel = channel_locked(from.name(), addr.qmgr);
+  }
+  if (channel == nullptr) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "no channel " + from.name() + " -> " + addr.qmgr);
+  }
+  msg.set_property(kXmitDestProperty, addr.to_string());
+  return from.put_local(channel->xmit_queue_name(), std::move(msg));
+}
+
+void Network::shutdown() {
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<Channel>>
+      channels;
+  std::map<std::string, QueueManager*> qms;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    channels.swap(channels_);
+    qms.swap(qms_);
+  }
+  for (auto& [key, channel] : channels) channel->stop();
+  for (auto& [name, qm] : qms) qm->attach_network(nullptr);
+}
+
+}  // namespace cmx::mq

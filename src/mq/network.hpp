@@ -1,0 +1,66 @@
+// Network: registry of queue managers plus the channels connecting them.
+// QueueManager::put() with a remote address routes through here: the
+// message is stamped with its final destination, persisted on the local
+// transmission queue, and a Channel mover carries it to the remote side.
+//
+// Lifetime: the Network must be destroyed (or shutdown()) before the
+// queue managers it references.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mq/channel.hpp"
+#include "mq/message.hpp"
+#include "util/status.hpp"
+
+namespace cmx::mq {
+
+class QueueManager;
+
+class Network {
+ public:
+  Network() = default;
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Registers a queue manager and attaches this network to it.
+  void add(QueueManager& qm);
+
+  QueueManager* find(const std::string& qmgr_name) const;
+
+  // Options applied to channels created on demand by route().
+  void set_default_channel_options(ChannelOptions options);
+
+  // Explicitly creates (or reconfigures by recreating) the from→to channel.
+  util::Status connect(const std::string& from, const std::string& to,
+                       ChannelOptions options);
+
+  // The from→to channel, or nullptr if it has not been created yet.
+  Channel* channel(const std::string& from, const std::string& to) const;
+
+  // Routes a message from `from` to a queue on a remote queue manager.
+  // Creates the channel on demand. Called by QueueManager::put().
+  util::Status route(QueueManager& from, const QueueAddress& addr,
+                     Message msg);
+
+  // Stops all channel movers. Idempotent.
+  void shutdown();
+
+ private:
+  Channel* channel_locked(const std::string& from, const std::string& to);
+
+  mutable std::mutex mu_;
+  std::map<std::string, QueueManager*> qms_;
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<Channel>>
+      channels_;
+  ChannelOptions default_options_;
+  bool shut_down_ = false;
+};
+
+}  // namespace cmx::mq

@@ -1,0 +1,238 @@
+#include "mq/pubsub.hpp"
+
+#include "util/id.hpp"
+#include "util/logging.hpp"
+
+namespace cmx::mq {
+
+namespace {
+
+std::vector<std::string> split_levels(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const auto dot = s.find('.', start);
+    if (dot == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, dot - start));
+    start = dot + 1;
+  }
+}
+
+}  // namespace
+
+bool topic_matches(const std::string& pattern, const std::string& topic) {
+  const auto p = split_levels(pattern);
+  const auto t = split_levels(topic);
+  std::size_t i = 0;
+  for (; i < p.size(); ++i) {
+    if (p[i] == "#") {
+      // '#' must be the last pattern level; matches any remainder
+      return i + 1 == p.size();
+    }
+    if (i >= t.size()) return false;
+    if (p[i] == "*") continue;
+    if (p[i] != t[i]) return false;
+  }
+  return i == t.size();
+}
+
+TopicBroker::TopicBroker(QueueManager& qm) : qm_(qm) {
+  qm_.ensure_queue(kSubscriptionRegistryQueue,
+                   QueueOptions{.max_depth = SIZE_MAX, .system = true})
+      .expect_ok("ensure subscription registry");
+}
+
+util::Status TopicBroker::recover() {
+  auto registry = qm_.find_queue(kSubscriptionRegistryQueue);
+  if (registry == nullptr) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "no subscription registry queue");
+  }
+  std::size_t recovered = 0;
+  for (const auto& msg : registry->browse()) {
+    Subscription sub;
+    sub.info.name = msg.get_string("SUB_NAME").value_or("");
+    sub.info.pattern = msg.get_string("SUB_PATTERN").value_or("");
+    sub.info.queue = msg.get_string("SUB_QUEUE").value_or("");
+    sub.info.durable = true;
+    const auto selector_text = msg.get_string("SUB_SELECTOR").value_or("");
+    if (sub.info.name.empty() || sub.info.pattern.empty() ||
+        sub.info.queue.empty()) {
+      CMX_WARN("mq.broker") << "skipping malformed subscription record";
+      continue;
+    }
+    if (!selector_text.empty()) {
+      auto selector = Selector::parse(selector_text);
+      if (!selector) {
+        CMX_WARN("mq.broker") << "skipping subscription " << sub.info.name
+                              << ": " << selector.status().to_string();
+        continue;
+      }
+      sub.selector = std::move(selector).value();
+    }
+    // The backing queue itself was recovered by the queue manager (it is
+    // created durably); ensure it in case the store was compacted oddly.
+    qm_.ensure_queue(sub.info.queue, QueueOptions{.max_depth = SIZE_MAX,
+                                                  .system = true})
+        .expect_ok("ensure subscription queue");
+    std::lock_guard<std::mutex> lk(mu_);
+    if (subs_.count(sub.info.name) == 0) {
+      subs_[sub.info.name] = std::move(sub);
+      ++recovered;
+    }
+  }
+  CMX_INFO("mq.broker") << "recovered " << recovered
+                        << " durable subscriptions";
+  return util::ok_status();
+}
+
+util::Result<SubscriptionInfo> TopicBroker::subscribe(
+    const std::string& pattern, SubscriptionOptions options) {
+  if (pattern.empty()) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "empty topic pattern");
+  }
+  Subscription sub;
+  sub.info.name =
+      options.name.empty() ? util::generate_id("sub") : options.name;
+  sub.info.pattern = pattern;
+  sub.info.queue = std::string(kSubscriptionQueuePrefix) + sub.info.name;
+  sub.info.durable = options.durable;
+  if (!options.selector.empty()) {
+    auto selector = Selector::parse(options.selector);
+    if (!selector) return selector.status();
+    sub.selector = std::move(selector).value();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (subs_.count(sub.info.name) > 0) {
+      return util::make_error(util::ErrorCode::kAlreadyExists,
+                              "subscription " + sub.info.name + " exists");
+    }
+  }
+  if (auto s = qm_.ensure_queue(sub.info.queue,
+                                QueueOptions{.max_depth = SIZE_MAX,
+                                             .system = true});
+      !s) {
+    return s;
+  }
+  if (options.durable) {
+    // Record the subscription persistently so recover() can rebuild it.
+    Message record;
+    record.set_property("SUB_NAME", sub.info.name);
+    record.set_property("SUB_PATTERN", sub.info.pattern);
+    record.set_property("SUB_QUEUE", sub.info.queue);
+    record.set_property("SUB_SELECTOR", options.selector);
+    record.persistence = Persistence::kPersistent;
+    if (auto s = qm_.put_local(kSubscriptionRegistryQueue, std::move(record));
+        !s) {
+      return s;
+    }
+  }
+  SubscriptionInfo info = sub.info;
+  std::lock_guard<std::mutex> lk(mu_);
+  subs_[info.name] = std::move(sub);
+  return info;
+}
+
+util::Status TopicBroker::unsubscribe(const std::string& name) {
+  std::string queue;
+  bool durable = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = subs_.find(name);
+    if (it == subs_.end()) {
+      return util::make_error(util::ErrorCode::kNotFound,
+                              "no subscription " + name);
+    }
+    queue = it->second.info.queue;
+    durable = it->second.info.durable;
+    subs_.erase(it);
+  }
+  if (durable) {
+    auto selector = Selector::parse("SUB_NAME = '" + name + "'");
+    selector.status().expect_ok("registry selector");
+    qm_.get(kSubscriptionRegistryQueue, 0, &selector.value());
+  }
+  return qm_.delete_queue(queue);
+}
+
+util::Status TopicBroker::publish(const std::string& topic, Message msg) {
+  if (topic.empty()) {
+    return util::make_error(util::ErrorCode::kInvalidArgument, "empty topic");
+  }
+  msg.set_property(kTopicProperty, topic);
+  // Collect matching subscriptions under the lock; deliver outside it.
+  struct Target {
+    std::string queue;
+    bool durable;
+  };
+  std::vector<Target> targets;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.published;
+    for (const auto& [name, sub] : subs_) {
+      if (!topic_matches(sub.info.pattern, topic)) continue;
+      if (sub.selector.has_value() && !sub.selector->matches(msg)) {
+        ++stats_.selector_filtered;
+        continue;
+      }
+      targets.push_back(Target{sub.info.queue, sub.info.durable});
+    }
+    if (targets.empty()) {
+      ++stats_.unmatched_publishes;
+      return util::ok_status();
+    }
+  }
+  for (const auto& target : targets) {
+    Message copy = msg;
+    copy.id.clear();  // each delivery is its own standard message
+    if (!target.durable) {
+      copy.persistence = Persistence::kNonPersistent;
+    }
+    if (auto s = qm_.put_local(target.queue, std::move(copy)); !s) {
+      CMX_WARN("mq.broker") << "delivery to " << target.queue
+                            << " failed: " << s.to_string();
+      return s;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.deliveries;
+  }
+  return util::ok_status();
+}
+
+std::optional<SubscriptionInfo> TopicBroker::find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = subs_.find(name);
+  if (it == subs_.end()) return std::nullopt;
+  return it->second.info;
+}
+
+std::vector<SubscriptionInfo> TopicBroker::matching(
+    const std::string& topic) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<SubscriptionInfo> out;
+  for (const auto& [name, sub] : subs_) {
+    if (topic_matches(sub.info.pattern, topic)) out.push_back(sub.info);
+  }
+  return out;
+}
+
+std::vector<SubscriptionInfo> TopicBroker::subscriptions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<SubscriptionInfo> out;
+  out.reserve(subs_.size());
+  for (const auto& [name, sub] : subs_) out.push_back(sub.info);
+  return out;
+}
+
+BrokerStats TopicBroker::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace cmx::mq

@@ -1,0 +1,107 @@
+// Publish/subscribe layer over the queue substrate: the "message broker"
+// role the paper lists as the second mediation form ("message queues
+// and/or publish/subscribe message brokers", §1). Subscriptions
+// materialize as queues on the broker's queue manager, so everything else
+// (persistence, transacted reads, selectors, conditional messaging)
+// composes unchanged.
+//
+// Topics are hierarchical, '.'-separated ("market.emea.fx"). Subscription
+// patterns support JMS-style wildcards:
+//   *  matches exactly one level      ("market.*.fx")
+//   #  matches zero or more trailing levels ("market.#")
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mq/message.hpp"
+#include "mq/queue_manager.hpp"
+#include "mq/selector.hpp"
+
+namespace cmx::mq {
+
+// Message property carrying the topic a message was published to.
+inline constexpr const char* kTopicProperty = "CMX_TOPIC";
+// Prefix of the backing queues created for subscriptions.
+inline constexpr const char* kSubscriptionQueuePrefix = "SYSTEM.SUB.";
+// Persistent registry of durable subscriptions (one message each), so a
+// broker can be reconstructed over a recovered queue manager.
+inline constexpr const char* kSubscriptionRegistryQueue = "SYSTEM.SUBS.META";
+
+struct SubscriptionOptions {
+  // Durable subscriptions keep messages persistent (survive a broker
+  // restart via the queue manager's store); non-durable subscriptions
+  // force their copies non-persistent.
+  bool durable = false;
+  // Optional selector: only matching messages are delivered.
+  std::string selector;
+  // Explicit name (for durable resubscription); generated when empty.
+  std::string name;
+};
+
+struct SubscriptionInfo {
+  std::string name;
+  std::string pattern;
+  std::string queue;  // backing queue on the broker's queue manager
+  bool durable = false;
+};
+
+struct BrokerStats {
+  std::uint64_t published = 0;
+  std::uint64_t deliveries = 0;         // copies placed on subscriptions
+  std::uint64_t unmatched_publishes = 0;  // no subscription matched
+  std::uint64_t selector_filtered = 0;
+};
+
+// True iff `topic` matches the subscription `pattern` (wildcards above).
+bool topic_matches(const std::string& pattern, const std::string& topic);
+
+class TopicBroker {
+ public:
+  explicit TopicBroker(QueueManager& qm);
+
+  TopicBroker(const TopicBroker&) = delete;
+  TopicBroker& operator=(const TopicBroker&) = delete;
+
+  // Creates a subscription; returns its info (queue name is what a
+  // consumer reads from). Fails on duplicate names or a bad selector.
+  util::Result<SubscriptionInfo> subscribe(const std::string& pattern,
+                                           SubscriptionOptions options = {});
+
+  util::Status unsubscribe(const std::string& name);
+
+  // Publishes: one copy per matching subscription. A publish that matches
+  // nothing succeeds (and is counted) — pub/sub has no "queue not found".
+  util::Status publish(const std::string& topic, Message msg);
+
+  // Rebuilds durable subscriptions from the persistent registry after the
+  // underlying queue manager was recovered. Non-durable subscriptions do
+  // not survive (their queues were volatile). Call once, before use.
+  util::Status recover();
+
+  std::optional<SubscriptionInfo> find(const std::string& name) const;
+  // Subscriptions whose pattern matches `topic` (what a conditional
+  // publish fans out over).
+  std::vector<SubscriptionInfo> matching(const std::string& topic) const;
+  std::vector<SubscriptionInfo> subscriptions() const;
+
+  BrokerStats stats() const;
+  QueueManager& queue_manager() { return qm_; }
+
+ private:
+  struct Subscription {
+    SubscriptionInfo info;
+    std::optional<Selector> selector;
+  };
+
+  QueueManager& qm_;
+  mutable std::mutex mu_;
+  std::map<std::string, Subscription> subs_;
+  BrokerStats stats_;
+};
+
+}  // namespace cmx::mq

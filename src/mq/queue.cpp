@@ -1,0 +1,163 @@
+#include "mq/queue.hpp"
+
+#include <algorithm>
+
+namespace cmx::mq {
+
+Queue::Queue(std::string name, QueueOptions options, util::Clock& clock,
+             std::function<void(const Message&)> on_discard)
+    : name_(std::move(name)),
+      options_(options),
+      clock_(clock),
+      on_discard_(std::move(on_discard)) {}
+
+void Queue::set_put_listener(std::function<void()> listener) {
+  std::lock_guard<std::mutex> lk(mu_);
+  put_listener_ = std::move(listener);
+}
+
+util::Status Queue::put(Message msg) {
+  std::function<void()> listener;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) {
+      return util::make_error(util::ErrorCode::kClosed,
+                              "queue " + name_ + " is closed");
+    }
+    drop_expired_locked(clock_.now_ms());
+    if (entries_.size() >= options_.max_depth) {
+      return util::make_error(util::ErrorCode::kFailedPrecondition,
+                              "queue " + name_ + " is full");
+    }
+    const int prio =
+        std::clamp(msg.priority, kMinPriority, kMaxPriority);
+    entries_.emplace(OrderKey{kMaxPriority - prio, next_seq_++},
+                     std::move(msg));
+    ++stats_.puts;
+    listener = put_listener_;
+  }
+  cv_.notify_all();
+  if (listener) listener();
+  return util::ok_status();
+}
+
+void Queue::drop_expired_locked(util::TimeMs now_ms) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.expired(now_ms)) {
+      ++stats_.expired;
+      if (on_discard_) on_discard_(it->second);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<Queue::GotMessage> Queue::take_first_match_locked(
+    const Selector* selector, util::TimeMs now_ms) {
+  drop_expired_locked(now_ms);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (selector != nullptr && !selector->matches(it->second)) continue;
+    GotMessage got{it->first.seq, std::move(it->second)};
+    ++got.msg.delivery_count;
+    entries_.erase(it);
+    ++stats_.gets;
+    return got;
+  }
+  return std::nullopt;
+}
+
+util::Result<Queue::GotMessage> Queue::get(util::TimeMs deadline_ms,
+                                           const Selector* selector) {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::optional<GotMessage> got;
+  const auto ready = [&] {
+    if (closed_) return true;
+    got = take_first_match_locked(selector, clock_.now_ms());
+    return got.has_value();
+  };
+  clock_.wait_until(lk, cv_, deadline_ms, ready);
+  if (got.has_value()) return std::move(*got);
+  if (closed_) {
+    return util::make_error(util::ErrorCode::kClosed,
+                            "queue " + name_ + " is closed");
+  }
+  return util::make_error(util::ErrorCode::kTimeout,
+                          "no message on " + name_ + " before deadline");
+}
+
+std::optional<Queue::GotMessage> Queue::try_get(const Selector* selector) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (closed_) return std::nullopt;
+  return take_first_match_locked(selector, clock_.now_ms());
+}
+
+void Queue::restore(std::uint64_t seq, Message msg) {
+  std::function<void()> listener;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) return;
+    const int prio = std::clamp(msg.priority, kMinPriority, kMaxPriority);
+    entries_.emplace(OrderKey{kMaxPriority - prio, seq}, std::move(msg));
+    ++stats_.restored;
+    listener = put_listener_;
+  }
+  cv_.notify_all();
+  if (listener) listener();
+}
+
+std::optional<Message> Queue::remove_by_id(const std::string& msg_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.id == msg_id) {
+      Message msg = std::move(it->second);
+      entries_.erase(it);
+      return msg;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Queue::contains_id(const std::string& msg_id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [key, msg] : entries_) {
+    if (msg.id == msg_id) return true;
+  }
+  return false;
+}
+
+std::vector<Message> Queue::browse() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const util::TimeMs now = clock_.now_ms();
+  std::vector<Message> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, msg] : entries_) {
+    if (!msg.expired(now)) out.push_back(msg);
+  }
+  return out;
+}
+
+std::size_t Queue::depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+QueueStats Queue::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void Queue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Queue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+}  // namespace cmx::mq

@@ -1,0 +1,126 @@
+// A single message queue: priority-ordered (higher first), FIFO within a
+// priority class, with lazy expiry, optional depth limit, selector-filtered
+// destructive gets, and restore() support for transacted-session rollback
+// (the message reappears at its original position, as MQSeries does).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mq/message.hpp"
+#include "mq/selector.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace cmx::mq {
+
+struct QueueOptions {
+  std::size_t max_depth = SIZE_MAX;  // put fails with kFailedPrecondition
+  bool system = false;               // DS.* queues; informational marker
+  // Poison-message handling (MQSeries "backout" semantics): when a
+  // transacted session rolls back a message whose delivery count has
+  // already reached this threshold, the message is moved to
+  // `backout_queue` instead of being restored, so a message that
+  // repeatedly fails processing cannot wedge its consumer forever.
+  // 0 disables backout.
+  int backout_threshold = 0;
+  std::string backout_queue;
+};
+
+struct QueueStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t restored = 0;  // rollback re-inserts
+};
+
+class Queue {
+ public:
+  // `on_discard` (may be empty) is invoked — under the queue lock — for
+  // every message dropped due to expiry, so the owning queue manager can
+  // log the removal of persistent messages.
+  Queue(std::string name, QueueOptions options, util::Clock& clock,
+        std::function<void(const Message&)> on_discard = {});
+
+  Queue(const Queue&) = delete;
+  Queue& operator=(const Queue&) = delete;
+
+  const std::string& name() const { return name_; }
+  const QueueOptions& options() const { return options_; }
+
+  struct GotMessage {
+    std::uint64_t seq = 0;  // position token, used by restore()
+    Message msg;
+  };
+
+  // Enqueues. Fails with kFailedPrecondition when the depth limit is hit,
+  // kClosed after close().
+  util::Status put(Message msg);
+
+  // Destructive get of the highest-priority matching message. Blocks until
+  // a match arrives or `deadline_ms` (absolute clock time) passes; returns
+  // kTimeout then, kClosed if the queue is closed while waiting.
+  util::Result<GotMessage> get(util::TimeMs deadline_ms,
+                               const Selector* selector = nullptr);
+
+  // Non-blocking get.
+  std::optional<GotMessage> try_get(const Selector* selector = nullptr);
+
+  // Re-inserts a message at its original position (session rollback).
+  void restore(std::uint64_t seq, Message msg);
+
+  // Removes a specific message by message id (compensation annihilation).
+  std::optional<Message> remove_by_id(const std::string& msg_id);
+
+  bool contains_id(const std::string& msg_id) const;
+
+  // Copies of all live (non-expired) messages, in delivery order.
+  std::vector<Message> browse() const;
+
+  std::size_t depth() const;
+  QueueStats stats() const;
+
+  // Wakes all blocked getters with kClosed and rejects future puts.
+  void close();
+  bool closed() const;
+
+  // Registers a callback invoked (outside the queue lock) after every
+  // successful put/restore. Used by consumers that multiplex a queue with
+  // their own timers (e.g. the conditional-messaging evaluation manager).
+  void set_put_listener(std::function<void()> listener);
+
+ private:
+  // Delivery order key: lower compares first. Priority is inverted so the
+  // map iterates highest priority first; seq preserves FIFO arrival order.
+  struct OrderKey {
+    int inv_priority;
+    std::uint64_t seq;
+    auto operator<=>(const OrderKey&) const = default;
+  };
+
+  void drop_expired_locked(util::TimeMs now_ms);
+  std::optional<GotMessage> take_first_match_locked(const Selector* selector,
+                                                    util::TimeMs now_ms);
+
+  const std::string name_;
+  const QueueOptions options_;
+  util::Clock& clock_;
+  std::function<void(const Message&)> on_discard_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::function<void()> put_listener_;
+  std::map<OrderKey, Message> entries_;
+  std::uint64_t next_seq_ = 1;
+  bool closed_ = false;
+  QueueStats stats_;
+};
+
+}  // namespace cmx::mq

@@ -1,0 +1,302 @@
+#include "mq/queue_manager.hpp"
+
+#include "mq/network.hpp"
+#include "mq/session.hpp"
+#include "util/id.hpp"
+#include "util/logging.hpp"
+
+namespace cmx::mq {
+
+QueueManager::QueueManager(std::string name, util::Clock& clock,
+                           std::unique_ptr<MessageStore> store,
+                           QueueManagerOptions options)
+    : name_(std::move(name)),
+      clock_(clock),
+      store_(store ? std::move(store) : std::make_unique<NullStore>()),
+      options_(options) {}
+
+QueueManager::~QueueManager() { shutdown(); }
+
+std::shared_ptr<Queue> QueueManager::make_queue_locked(
+    const std::string& queue_name, QueueOptions options) {
+  // The discard callback logs the expiry-removal of persistent messages so
+  // recovery does not resurrect them.
+  auto on_discard = [this, queue_name](const Message& msg) {
+    if (msg.persistent()) {
+      store_->append(LogRecord::get(queue_name, msg.id));
+    }
+  };
+  return std::make_shared<Queue>(queue_name, options, clock_,
+                                 std::move(on_discard));
+}
+
+util::Status QueueManager::create_queue(const std::string& queue_name,
+                                        QueueOptions options) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shut_down_) {
+      return util::make_error(util::ErrorCode::kClosed, "qm is shut down");
+    }
+    if (queues_.count(queue_name) > 0) {
+      return util::make_error(util::ErrorCode::kAlreadyExists,
+                              "queue " + queue_name + " already exists");
+    }
+    queues_[queue_name] = make_queue_locked(queue_name, options);
+  }
+  store_->append(LogRecord::queue_create(queue_name)).expect_ok("log create");
+  maybe_compact();
+  return util::ok_status();
+}
+
+util::Status QueueManager::ensure_queue(const std::string& queue_name,
+                                        QueueOptions options) {
+  auto s = create_queue(queue_name, options);
+  if (!s && s.code() == util::ErrorCode::kAlreadyExists) {
+    return util::ok_status();
+  }
+  return s;
+}
+
+util::Status QueueManager::delete_queue(const std::string& queue_name) {
+  std::shared_ptr<Queue> victim;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = queues_.find(queue_name);
+    if (it == queues_.end()) {
+      return util::make_error(util::ErrorCode::kNotFound,
+                              "queue " + queue_name + " not found");
+    }
+    victim = it->second;
+    queues_.erase(it);
+  }
+  victim->close();
+  store_->append(LogRecord::queue_delete(queue_name)).expect_ok("log delete");
+  maybe_compact();
+  return util::ok_status();
+}
+
+std::shared_ptr<Queue> QueueManager::find_queue(
+    const std::string& queue_name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = queues_.find(queue_name);
+  return it == queues_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> QueueManager::queue_names() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> names;
+  names.reserve(queues_.size());
+  for (const auto& [name, queue] : queues_) names.push_back(name);
+  return names;
+}
+
+util::Status QueueManager::put(const QueueAddress& addr, Message msg) {
+  if (addr.qmgr.empty() || addr.qmgr == name_) {
+    return put_local(addr.queue, std::move(msg));
+  }
+  Network* net;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    net = network_;
+  }
+  if (net == nullptr) {
+    return util::make_error(
+        util::ErrorCode::kFailedPrecondition,
+        "no network attached; cannot reach qmgr " + addr.qmgr);
+  }
+  if (msg.id.empty()) msg.id = util::generate_id("msg");
+  msg.put_time_ms = clock_.now_ms();
+  return net->route(*this, addr, std::move(msg));
+}
+
+util::Status QueueManager::put_local(const std::string& queue_name,
+                                     Message msg, bool log) {
+  auto queue = find_queue(queue_name);
+  if (queue == nullptr) {
+    // Arriving messages for unknown queues go to the dead-letter queue
+    // (mirrors MQSeries behaviour); puts from local applications fail.
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "queue " + queue_name + " not found on " + name_);
+  }
+  if (msg.id.empty()) msg.id = util::generate_id("msg");
+  if (msg.put_time_ms == 0) msg.put_time_ms = clock_.now_ms();
+  if (msg.expired(clock_.now_ms())) {
+    return util::make_error(util::ErrorCode::kExpired,
+                            "message already expired");
+  }
+  const bool log_it = log && msg.persistent();
+  if (log_it) {
+    if (auto s = store_->append(LogRecord::put(queue_name, msg)); !s) {
+      return s;
+    }
+  }
+  auto s = queue->put(std::move(msg));
+  if (log_it) maybe_compact();
+  return s;
+}
+
+util::Result<Message> QueueManager::get(const std::string& queue_name,
+                                        util::TimeMs timeout_ms,
+                                        const Selector* selector) {
+  auto queue = find_queue(queue_name);
+  if (queue == nullptr) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "queue " + queue_name + " not found on " + name_);
+  }
+  const util::TimeMs deadline =
+      timeout_ms == util::kNoDeadline ? util::kNoDeadline
+                                      : clock_.now_ms() + timeout_ms;
+  auto got = queue->get(deadline, selector);
+  if (!got) return got.status();
+  Message msg = std::move(got).value().msg;
+  if (msg.persistent()) {
+    store_->append(LogRecord::get(queue_name, msg.id)).expect_ok("log get");
+    maybe_compact();
+  }
+  return msg;
+}
+
+util::Result<Message> QueueManager::remove_message(
+    const std::string& queue_name, const std::string& msg_id) {
+  auto queue = find_queue(queue_name);
+  if (queue == nullptr) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "queue " + queue_name + " not found on " + name_);
+  }
+  auto removed = queue->remove_by_id(msg_id);
+  if (!removed.has_value()) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "message " + msg_id + " not on " + queue_name);
+  }
+  if (removed->persistent()) {
+    store_->append(LogRecord::get(queue_name, msg_id)).expect_ok("log remove");
+    maybe_compact();
+  }
+  return std::move(*removed);
+}
+
+std::unique_ptr<Session> QueueManager::create_session(bool transacted) {
+  return std::make_unique<Session>(*this, transacted);
+}
+
+void QueueManager::attach_network(Network* network) {
+  std::lock_guard<std::mutex> lk(mu_);
+  network_ = network;
+}
+
+Network* QueueManager::network() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return network_;
+}
+
+util::Status QueueManager::recover() {
+  auto records = store_->replay();
+  if (!records) return records.status();
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& rec : records.value()) {
+    switch (rec.type) {
+      case LogRecord::Type::kQueueCreate:
+        if (queues_.count(rec.queue) == 0) {
+          queues_[rec.queue] = make_queue_locked(rec.queue, QueueOptions{});
+        }
+        break;
+      case LogRecord::Type::kQueueDelete: {
+        auto it = queues_.find(rec.queue);
+        if (it != queues_.end()) {
+          it->second->close();
+          queues_.erase(it);
+        }
+        break;
+      }
+      case LogRecord::Type::kPut: {
+        auto it = queues_.find(rec.queue);
+        if (it != queues_.end()) {
+          it->second->put(std::move(rec.message)).expect_ok("recover put");
+        }
+        break;
+      }
+      case LogRecord::Type::kGet: {
+        auto it = queues_.find(rec.queue);
+        if (it != queues_.end()) {
+          it->second->remove_by_id(rec.msg_id);
+        }
+        break;
+      }
+      case LogRecord::Type::kTxBegin:
+      case LogRecord::Type::kTxCommit:
+        break;  // filtered out by replay(); ignore defensively
+    }
+  }
+  CMX_INFO("mq.qm") << name_ << " recovered " << queues_.size() << " queues";
+  return util::ok_status();
+}
+
+std::vector<LogRecord> QueueManager::snapshot_locked() const {
+  std::vector<LogRecord> snapshot;
+  for (const auto& [queue_name, queue] : queues_) {
+    snapshot.push_back(LogRecord::queue_create(queue_name));
+    for (auto& msg : queue->browse()) {
+      if (msg.persistent()) {
+        snapshot.push_back(LogRecord::put(queue_name, std::move(msg)));
+      }
+    }
+  }
+  // Messages held by open transacted sessions are in no queue but must not
+  // be lost by compaction: a post-crash recovery treats them as un-consumed
+  // (their consuming transaction can no longer commit).
+  for (const auto& [msg_id, entry] : inflight_) {
+    snapshot.push_back(LogRecord::put(entry.first, entry.second));
+  }
+  return snapshot;
+}
+
+util::Status QueueManager::compact() {
+  std::vector<LogRecord> snapshot;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    snapshot = snapshot_locked();
+  }
+  return store_->rewrite(snapshot);
+}
+
+void QueueManager::maybe_compact() {
+  if (store_->appended_since_compaction() < options_.compaction_threshold) {
+    return;
+  }
+  if (auto s = compact(); !s) {
+    CMX_WARN("mq.qm") << name_ << " compaction failed: " << s.to_string();
+  }
+}
+
+util::Status QueueManager::append_log_batch(
+    const std::vector<LogRecord>& records) {
+  auto s = store_->append_batch(records);
+  if (s) maybe_compact();
+  return s;
+}
+
+void QueueManager::register_inflight(const std::string& queue_name,
+                                     const Message& msg) {
+  if (!msg.persistent()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  inflight_[msg.id] = {queue_name, msg};
+}
+
+void QueueManager::unregister_inflight(const std::string& msg_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  inflight_.erase(msg_id);
+}
+
+void QueueManager::shutdown() {
+  std::map<std::string, std::shared_ptr<Queue>> queues;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    queues = queues_;
+    network_ = nullptr;
+  }
+  for (auto& [name, queue] : queues) queue->close();
+}
+
+}  // namespace cmx::mq

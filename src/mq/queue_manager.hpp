@@ -1,0 +1,124 @@
+// QueueManager: the unit of deployment of the messaging substrate (the
+// MQSeries "queue manager" role). Owns named queues, a persistent message
+// store for crash recovery, and an attachment to a Network for
+// store-and-forward delivery to remote queue managers.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mq/message.hpp"
+#include "mq/queue.hpp"
+#include "mq/store.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace cmx::mq {
+
+class Network;
+class Session;
+
+// Dead-letter queue for messages arriving for a nonexistent queue.
+inline constexpr const char* kDeadLetterQueue = "SYSTEM.DLQ";
+// Prefix of per-remote transmission queues managed by the network layer.
+inline constexpr const char* kXmitQueuePrefix = "SYSTEM.XMIT.";
+// Property carrying the final destination while a message sits on an
+// transmission queue.
+inline constexpr const char* kXmitDestProperty = "CMX_XMIT_DEST";
+
+struct QueueManagerOptions {
+  // Compact the store once this many records have been appended since the
+  // last compaction.
+  std::size_t compaction_threshold = 8192;
+};
+
+class QueueManager {
+ public:
+  // A null `store` means NullStore (no durability).
+  QueueManager(std::string name, util::Clock& clock,
+               std::unique_ptr<MessageStore> store = nullptr,
+               QueueManagerOptions options = {});
+  ~QueueManager();
+
+  QueueManager(const QueueManager&) = delete;
+  QueueManager& operator=(const QueueManager&) = delete;
+
+  const std::string& name() const { return name_; }
+  util::Clock& clock() { return clock_; }
+
+  // ---- queue administration -------------------------------------------
+  util::Status create_queue(const std::string& queue_name,
+                            QueueOptions options = {});
+  // create_queue that tolerates kAlreadyExists.
+  util::Status ensure_queue(const std::string& queue_name,
+                            QueueOptions options = {});
+  util::Status delete_queue(const std::string& queue_name);
+  std::shared_ptr<Queue> find_queue(const std::string& queue_name) const;
+  std::vector<std::string> queue_names() const;
+
+  // ---- messaging -------------------------------------------------------
+  // Sends `msg` to a local queue (addr.qmgr empty or equal to name()) or
+  // routes it through the attached network. Stamps id and put time.
+  util::Status put(const QueueAddress& addr, Message msg);
+
+  // Destructive, auto-acknowledged get with a relative timeout.
+  util::Result<Message> get(const std::string& queue_name,
+                            util::TimeMs timeout_ms,
+                            const Selector* selector = nullptr);
+
+  // Removes a specific message (by message id) from a local queue, logging
+  // the removal of persistent messages. Used for compensation annihilation
+  // (paper §2.6). Returns the removed message or kNotFound.
+  util::Result<Message> remove_message(const std::string& queue_name,
+                                       const std::string& msg_id);
+
+  // Creates a session; transacted sessions group puts/gets atomically.
+  std::unique_ptr<Session> create_session(bool transacted);
+
+  // ---- network ----------------------------------------------------------
+  void attach_network(Network* network);
+  Network* network() const;
+
+  // ---- durability --------------------------------------------------------
+  // Replays the store to rebuild queue contents. Call once, before use.
+  util::Status recover();
+  // Forces a store compaction now.
+  util::Status compact();
+
+  // Closes all queues (wakes blocked getters) and detaches the network.
+  void shutdown();
+
+  // ---- internal API (used by Session, Channel, Network) ------------------
+  // Local put that bypasses routing. Stamps id/time, enforces expiry,
+  // logs persistent messages unless `log` is false.
+  util::Status put_local(const std::string& queue_name, Message msg,
+                         bool log = true);
+  // Appends session-commit records atomically.
+  util::Status append_log_batch(const std::vector<LogRecord>& records);
+  // In-flight registry: messages destructively read under an open
+  // transaction. They are outside any queue but must survive compaction.
+  void register_inflight(const std::string& queue_name, const Message& msg);
+  void unregister_inflight(const std::string& msg_id);
+
+ private:
+  std::shared_ptr<Queue> make_queue_locked(const std::string& queue_name,
+                                           QueueOptions options);
+  void maybe_compact();
+  std::vector<LogRecord> snapshot_locked() const;
+
+  const std::string name_;
+  util::Clock& clock_;
+  std::unique_ptr<MessageStore> store_;
+  const QueueManagerOptions options_;
+
+  mutable std::mutex mu_;  // guards queues_, inflight_, network_
+  std::map<std::string, std::shared_ptr<Queue>> queues_;
+  std::map<std::string, std::pair<std::string, Message>> inflight_;
+  Network* network_ = nullptr;
+  bool shut_down_ = false;
+};
+
+}  // namespace cmx::mq

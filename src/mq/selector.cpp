@@ -1,0 +1,827 @@
+#include "mq/selector.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace cmx::mq {
+namespace detail {
+
+// ---------------------------------------------------------------------
+// Three-valued runtime values. Unknown arises from absent properties and
+// propagates through comparisons and arithmetic per SQL-92 rules.
+// ---------------------------------------------------------------------
+
+enum class Tri { kFalse, kTrue, kUnknown };
+
+inline Tri tri_not(Tri t) {
+  switch (t) {
+    case Tri::kTrue:
+      return Tri::kFalse;
+    case Tri::kFalse:
+      return Tri::kTrue;
+    default:
+      return Tri::kUnknown;
+  }
+}
+inline Tri tri_and(Tri a, Tri b) {
+  if (a == Tri::kFalse || b == Tri::kFalse) return Tri::kFalse;
+  if (a == Tri::kTrue && b == Tri::kTrue) return Tri::kTrue;
+  return Tri::kUnknown;
+}
+inline Tri tri_or(Tri a, Tri b) {
+  if (a == Tri::kTrue || b == Tri::kTrue) return Tri::kTrue;
+  if (a == Tri::kFalse && b == Tri::kFalse) return Tri::kFalse;
+  return Tri::kUnknown;
+}
+inline Tri tri_of(bool b) { return b ? Tri::kTrue : Tri::kFalse; }
+
+// Unknown | bool | number | string (numbers unified as double for
+// comparison; exact int64 kept for equality of large values).
+struct Value {
+  enum class Kind { kUnknown, kBool, kInt, kDouble, kString } kind =
+      Kind::kUnknown;
+  bool b = false;
+  std::int64_t i = 0;
+  double d = 0;
+  std::string s;
+
+  static Value unknown() { return Value{}; }
+  static Value of(bool v) {
+    Value x;
+    x.kind = Kind::kBool;
+    x.b = v;
+    return x;
+  }
+  static Value of(std::int64_t v) {
+    Value x;
+    x.kind = Kind::kInt;
+    x.i = v;
+    return x;
+  }
+  static Value of(double v) {
+    Value x;
+    x.kind = Kind::kDouble;
+    x.d = v;
+    return x;
+  }
+  static Value of(std::string v) {
+    Value x;
+    x.kind = Kind::kString;
+    x.s = std::move(v);
+    return x;
+  }
+
+  bool is_unknown() const { return kind == Kind::kUnknown; }
+  bool is_numeric() const {
+    return kind == Kind::kInt || kind == Kind::kDouble;
+  }
+  double as_double() const { return kind == Kind::kInt ? double(i) : d; }
+};
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp { kAdd, kSub, kMul, kDiv, kNeg };
+
+Tri compare(const Value& a, CmpOp op, const Value& b) {
+  if (a.is_unknown() || b.is_unknown()) return Tri::kUnknown;
+  // Type-mismatched comparisons are UNKNOWN per JMS (they never match).
+  if (a.kind == Value::Kind::kBool || b.kind == Value::Kind::kBool) {
+    if (a.kind != Value::Kind::kBool || b.kind != Value::Kind::kBool) {
+      return Tri::kUnknown;
+    }
+    if (op == CmpOp::kEq) return tri_of(a.b == b.b);
+    if (op == CmpOp::kNe) return tri_of(a.b != b.b);
+    return Tri::kUnknown;  // ordering of booleans is not defined
+  }
+  if (a.kind == Value::Kind::kString || b.kind == Value::Kind::kString) {
+    if (a.kind != Value::Kind::kString || b.kind != Value::Kind::kString) {
+      return Tri::kUnknown;
+    }
+    if (op == CmpOp::kEq) return tri_of(a.s == b.s);
+    if (op == CmpOp::kNe) return tri_of(a.s != b.s);
+    return Tri::kUnknown;  // JMS: strings support only = and <>
+  }
+  // numeric vs numeric
+  if (a.kind == Value::Kind::kInt && b.kind == Value::Kind::kInt) {
+    switch (op) {
+      case CmpOp::kEq:
+        return tri_of(a.i == b.i);
+      case CmpOp::kNe:
+        return tri_of(a.i != b.i);
+      case CmpOp::kLt:
+        return tri_of(a.i < b.i);
+      case CmpOp::kLe:
+        return tri_of(a.i <= b.i);
+      case CmpOp::kGt:
+        return tri_of(a.i > b.i);
+      case CmpOp::kGe:
+        return tri_of(a.i >= b.i);
+    }
+  }
+  const double x = a.as_double();
+  const double y = b.as_double();
+  switch (op) {
+    case CmpOp::kEq:
+      return tri_of(x == y);
+    case CmpOp::kNe:
+      return tri_of(x != y);
+    case CmpOp::kLt:
+      return tri_of(x < y);
+    case CmpOp::kLe:
+      return tri_of(x <= y);
+    case CmpOp::kGt:
+      return tri_of(x > y);
+    case CmpOp::kGe:
+      return tri_of(x >= y);
+  }
+  return Tri::kUnknown;
+}
+
+// LIKE with % (any run) and _ (any one char), optional escape character.
+bool like_match(const std::string& text, const std::string& pattern,
+                char escape, std::size_t ti = 0, std::size_t pi = 0) {
+  while (pi < pattern.size()) {
+    const char pc = pattern[pi];
+    if (escape != '\0' && pc == escape && pi + 1 < pattern.size()) {
+      if (ti >= text.size() || text[ti] != pattern[pi + 1]) return false;
+      ++ti;
+      pi += 2;
+      continue;
+    }
+    if (pc == '%') {
+      // Try every possible consumption length.
+      for (std::size_t skip = 0; ti + skip <= text.size(); ++skip) {
+        if (like_match(text, pattern, escape, ti + skip, pi + 1)) return true;
+      }
+      return false;
+    }
+    if (pc == '_') {
+      if (ti >= text.size()) return false;
+      ++ti;
+      ++pi;
+      continue;
+    }
+    if (ti >= text.size() || text[ti] != pc) return false;
+    ++ti;
+    ++pi;
+  }
+  return ti == text.size();
+}
+
+// ---------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------
+
+class SelectorNode {
+ public:
+  virtual ~SelectorNode() = default;
+  virtual Value eval(const Message& m) const = 0;
+};
+
+using NodePtr = std::unique_ptr<SelectorNode>;
+
+Tri as_tri(const Value& v) {
+  if (v.kind == Value::Kind::kBool) return tri_of(v.b);
+  return Tri::kUnknown;
+}
+Value tri_value(Tri t) {
+  if (t == Tri::kUnknown) return Value::unknown();
+  return Value::of(t == Tri::kTrue);
+}
+
+class LiteralNode final : public SelectorNode {
+ public:
+  explicit LiteralNode(Value v) : value_(std::move(v)) {}
+  Value eval(const Message&) const override { return value_; }
+
+ private:
+  Value value_;
+};
+
+class IdentNode final : public SelectorNode {
+ public:
+  explicit IdentNode(std::string name) : name_(std::move(name)) {}
+  Value eval(const Message& m) const override {
+    if (name_ == "JMSPriority") return Value::of(std::int64_t{m.priority});
+    if (name_ == "JMSDeliveryCount") {
+      return Value::of(std::int64_t{m.delivery_count});
+    }
+    if (name_ == "JMSCorrelationID") return Value::of(m.correlation_id);
+    if (name_ == "JMSMessageID") return Value::of(m.id);
+    auto it = m.properties.find(name_);
+    if (it == m.properties.end()) return Value::unknown();
+    if (const auto* b = std::get_if<bool>(&it->second)) return Value::of(*b);
+    if (const auto* i = std::get_if<std::int64_t>(&it->second)) {
+      return Value::of(*i);
+    }
+    if (const auto* d = std::get_if<double>(&it->second)) {
+      return Value::of(*d);
+    }
+    return Value::of(std::get<std::string>(it->second));
+  }
+
+ private:
+  std::string name_;
+};
+
+class NotNode final : public SelectorNode {
+ public:
+  explicit NotNode(NodePtr child) : child_(std::move(child)) {}
+  Value eval(const Message& m) const override {
+    return tri_value(tri_not(as_tri(child_->eval(m))));
+  }
+
+ private:
+  NodePtr child_;
+};
+
+class AndNode final : public SelectorNode {
+ public:
+  AndNode(NodePtr l, NodePtr r) : l_(std::move(l)), r_(std::move(r)) {}
+  Value eval(const Message& m) const override {
+    const Tri left = as_tri(l_->eval(m));
+    if (left == Tri::kFalse) return Value::of(false);
+    return tri_value(tri_and(left, as_tri(r_->eval(m))));
+  }
+
+ private:
+  NodePtr l_, r_;
+};
+
+class OrNode final : public SelectorNode {
+ public:
+  OrNode(NodePtr l, NodePtr r) : l_(std::move(l)), r_(std::move(r)) {}
+  Value eval(const Message& m) const override {
+    const Tri left = as_tri(l_->eval(m));
+    if (left == Tri::kTrue) return Value::of(true);
+    return tri_value(tri_or(left, as_tri(r_->eval(m))));
+  }
+
+ private:
+  NodePtr l_, r_;
+};
+
+class CmpNode final : public SelectorNode {
+ public:
+  CmpNode(NodePtr l, CmpOp op, NodePtr r)
+      : l_(std::move(l)), op_(op), r_(std::move(r)) {}
+  Value eval(const Message& m) const override {
+    return tri_value(compare(l_->eval(m), op_, r_->eval(m)));
+  }
+
+ private:
+  NodePtr l_;
+  CmpOp op_;
+  NodePtr r_;
+};
+
+class ArithNode final : public SelectorNode {
+ public:
+  ArithNode(NodePtr l, ArithOp op, NodePtr r)
+      : l_(std::move(l)), op_(op), r_(std::move(r)) {}
+  Value eval(const Message& m) const override {
+    const Value a = l_->eval(m);
+    if (op_ == ArithOp::kNeg) {
+      if (a.kind == Value::Kind::kInt) return Value::of(-a.i);
+      if (a.kind == Value::Kind::kDouble) return Value::of(-a.d);
+      return Value::unknown();
+    }
+    const Value b = r_->eval(m);
+    if (!a.is_numeric() || !b.is_numeric()) return Value::unknown();
+    if (a.kind == Value::Kind::kInt && b.kind == Value::Kind::kInt &&
+        op_ != ArithOp::kDiv) {
+      switch (op_) {
+        case ArithOp::kAdd:
+          return Value::of(a.i + b.i);
+        case ArithOp::kSub:
+          return Value::of(a.i - b.i);
+        case ArithOp::kMul:
+          return Value::of(a.i * b.i);
+        default:
+          break;
+      }
+    }
+    const double x = a.as_double();
+    const double y = b.as_double();
+    switch (op_) {
+      case ArithOp::kAdd:
+        return Value::of(x + y);
+      case ArithOp::kSub:
+        return Value::of(x - y);
+      case ArithOp::kMul:
+        return Value::of(x * y);
+      case ArithOp::kDiv:
+        return y == 0 ? Value::unknown() : Value::of(x / y);
+      case ArithOp::kNeg:
+        break;
+    }
+    return Value::unknown();
+  }
+
+ private:
+  NodePtr l_;
+  ArithOp op_;
+  NodePtr r_;
+};
+
+class IsNullNode final : public SelectorNode {
+ public:
+  IsNullNode(NodePtr child, bool negated)
+      : child_(std::move(child)), negated_(negated) {}
+  Value eval(const Message& m) const override {
+    const bool is_null = child_->eval(m).is_unknown();
+    return Value::of(negated_ ? !is_null : is_null);
+  }
+
+ private:
+  NodePtr child_;
+  bool negated_;
+};
+
+class InNode final : public SelectorNode {
+ public:
+  InNode(NodePtr child, std::vector<Value> items, bool negated)
+      : child_(std::move(child)), items_(std::move(items)), negated_(negated) {}
+  Value eval(const Message& m) const override {
+    const Value v = child_->eval(m);
+    if (v.is_unknown()) return Value::unknown();
+    for (const auto& item : items_) {
+      if (compare(v, CmpOp::kEq, item) == Tri::kTrue) {
+        return Value::of(!negated_);
+      }
+    }
+    return Value::of(negated_);
+  }
+
+ private:
+  NodePtr child_;
+  std::vector<Value> items_;
+  bool negated_;
+};
+
+class LikeNode final : public SelectorNode {
+ public:
+  LikeNode(NodePtr child, std::string pattern, char escape, bool negated)
+      : child_(std::move(child)),
+        pattern_(std::move(pattern)),
+        escape_(escape),
+        negated_(negated) {}
+  Value eval(const Message& m) const override {
+    const Value v = child_->eval(m);
+    if (v.is_unknown()) return Value::unknown();
+    if (v.kind != Value::Kind::kString) return Value::unknown();
+    const bool hit = like_match(v.s, pattern_, escape_);
+    return Value::of(negated_ ? !hit : hit);
+  }
+
+ private:
+  NodePtr child_;
+  std::string pattern_;
+  char escape_;
+  bool negated_;
+};
+
+class BetweenNode final : public SelectorNode {
+ public:
+  BetweenNode(NodePtr child, NodePtr lo, NodePtr hi, bool negated)
+      : child_(std::move(child)),
+        lo_(std::move(lo)),
+        hi_(std::move(hi)),
+        negated_(negated) {}
+  Value eval(const Message& m) const override {
+    const Value v = child_->eval(m);
+    const Tri in_range = tri_and(compare(v, CmpOp::kGe, lo_->eval(m)),
+                                 compare(v, CmpOp::kLe, hi_->eval(m)));
+    const Tri result = negated_ ? tri_not(in_range) : in_range;
+    return tri_value(result);
+  }
+
+ private:
+  NodePtr child_, lo_, hi_;
+  bool negated_;
+};
+
+// ---------------------------------------------------------------------
+// Tokenizer + recursive-descent parser
+// ---------------------------------------------------------------------
+
+struct Token {
+  enum class Kind {
+    kEnd,
+    kIdent,
+    kKeyword,
+    kInt,
+    kFloat,
+    kString,
+    kOp,  // = <> < <= > >= ( ) , + - * /
+  } kind = Kind::kEnd;
+  std::string text;      // keyword/op text (keywords upper-cased)
+  std::int64_t int_val = 0;
+  double float_val = 0;
+  std::size_t pos = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& input) : input_(input) { advance(); }
+
+  util::Result<NodePtr> parse() {
+    auto expr = parse_or();
+    if (!expr) return expr;
+    if (cur_.kind != Token::Kind::kEnd) {
+      return error("unexpected trailing input");
+    }
+    return expr;
+  }
+
+ private:
+  util::Status error_status(const std::string& what) const {
+    return util::make_error(
+        util::ErrorCode::kInvalidArgument,
+        "selector: " + what + " at position " + std::to_string(cur_.pos));
+  }
+  util::Result<NodePtr> error(const std::string& what) const {
+    return error_status(what);
+  }
+
+  bool is_keyword(const char* kw) const {
+    return cur_.kind == Token::Kind::kKeyword && cur_.text == kw;
+  }
+  bool is_op(const char* op) const {
+    return cur_.kind == Token::Kind::kOp && cur_.text == op;
+  }
+  bool accept_keyword(const char* kw) {
+    if (!is_keyword(kw)) return false;
+    advance();
+    return true;
+  }
+  bool accept_op(const char* op) {
+    if (!is_op(op)) return false;
+    advance();
+    return true;
+  }
+
+  util::Result<NodePtr> parse_or() {
+    auto left = parse_and();
+    if (!left) return left;
+    NodePtr node = std::move(left).value();
+    while (accept_keyword("OR")) {
+      auto right = parse_and();
+      if (!right) return right;
+      node = std::make_unique<OrNode>(std::move(node),
+                                      std::move(right).value());
+    }
+    return node;
+  }
+
+  util::Result<NodePtr> parse_and() {
+    auto left = parse_unary();
+    if (!left) return left;
+    NodePtr node = std::move(left).value();
+    while (accept_keyword("AND")) {
+      auto right = parse_unary();
+      if (!right) return right;
+      node = std::make_unique<AndNode>(std::move(node),
+                                       std::move(right).value());
+    }
+    return node;
+  }
+
+  util::Result<NodePtr> parse_unary() {
+    if (accept_keyword("NOT")) {
+      auto child = parse_unary();
+      if (!child) return child;
+      return NodePtr(std::make_unique<NotNode>(std::move(child).value()));
+    }
+    return parse_cmp();
+  }
+
+  util::Result<NodePtr> parse_cmp() {
+    auto left = parse_sum();
+    if (!left) return left;
+    NodePtr node = std::move(left).value();
+
+    static constexpr std::pair<const char*, CmpOp> kOps[] = {
+        {"<>", CmpOp::kNe}, {"<=", CmpOp::kLe}, {">=", CmpOp::kGe},
+        {"=", CmpOp::kEq},  {"<", CmpOp::kLt},  {">", CmpOp::kGt},
+    };
+    for (const auto& [text, op] : kOps) {
+      if (is_op(text)) {
+        advance();
+        auto right = parse_sum();
+        if (!right) return right;
+        return NodePtr(std::make_unique<CmpNode>(std::move(node), op,
+                                                 std::move(right).value()));
+      }
+    }
+
+    if (accept_keyword("IS")) {
+      const bool negated = accept_keyword("NOT");
+      if (!accept_keyword("NULL")) return error("expected NULL after IS");
+      return NodePtr(std::make_unique<IsNullNode>(std::move(node), negated));
+    }
+
+    bool negated = false;
+    if (is_keyword("NOT")) {
+      // lookahead: NOT IN / NOT LIKE / NOT BETWEEN
+      advance();
+      negated = true;
+    }
+    if (accept_keyword("IN")) {
+      if (!accept_op("(")) return error("expected ( after IN");
+      std::vector<Value> items;
+      while (true) {
+        auto lit = parse_literal_value();
+        if (!lit) return lit.status();
+        items.push_back(std::move(lit).value());
+        if (accept_op(",")) continue;
+        if (accept_op(")")) break;
+        return error("expected , or ) in IN list");
+      }
+      return NodePtr(std::make_unique<InNode>(std::move(node),
+                                              std::move(items), negated));
+    }
+    if (accept_keyword("LIKE")) {
+      if (cur_.kind != Token::Kind::kString) {
+        return error("expected string pattern after LIKE");
+      }
+      std::string pattern = cur_.text;
+      advance();
+      char escape = '\0';
+      if (accept_keyword("ESCAPE")) {
+        if (cur_.kind != Token::Kind::kString || cur_.text.size() != 1) {
+          return error("ESCAPE requires a single-character string");
+        }
+        escape = cur_.text[0];
+        advance();
+      }
+      return NodePtr(std::make_unique<LikeNode>(
+          std::move(node), std::move(pattern), escape, negated));
+    }
+    if (accept_keyword("BETWEEN")) {
+      auto lo = parse_sum();
+      if (!lo) return lo;
+      if (!accept_keyword("AND")) return error("expected AND in BETWEEN");
+      auto hi = parse_sum();
+      if (!hi) return hi;
+      return NodePtr(std::make_unique<BetweenNode>(
+          std::move(node), std::move(lo).value(), std::move(hi).value(),
+          negated));
+    }
+    if (negated) {
+      // we consumed NOT but found no IN/LIKE/BETWEEN: treat as logical NOT
+      return NodePtr(std::make_unique<NotNode>(std::move(node)));
+    }
+    return node;
+  }
+
+  util::Result<NodePtr> parse_sum() {
+    auto left = parse_prod();
+    if (!left) return left;
+    NodePtr node = std::move(left).value();
+    while (true) {
+      if (accept_op("+")) {
+        auto right = parse_prod();
+        if (!right) return right;
+        node = std::make_unique<ArithNode>(std::move(node), ArithOp::kAdd,
+                                           std::move(right).value());
+      } else if (accept_op("-")) {
+        auto right = parse_prod();
+        if (!right) return right;
+        node = std::make_unique<ArithNode>(std::move(node), ArithOp::kSub,
+                                           std::move(right).value());
+      } else {
+        return node;
+      }
+    }
+  }
+
+  util::Result<NodePtr> parse_prod() {
+    auto left = parse_atom();
+    if (!left) return left;
+    NodePtr node = std::move(left).value();
+    while (true) {
+      if (accept_op("*")) {
+        auto right = parse_atom();
+        if (!right) return right;
+        node = std::make_unique<ArithNode>(std::move(node), ArithOp::kMul,
+                                           std::move(right).value());
+      } else if (accept_op("/")) {
+        auto right = parse_atom();
+        if (!right) return right;
+        node = std::make_unique<ArithNode>(std::move(node), ArithOp::kDiv,
+                                           std::move(right).value());
+      } else {
+        return node;
+      }
+    }
+  }
+
+  util::Result<NodePtr> parse_atom() {
+    if (accept_op("-")) {
+      auto child = parse_atom();
+      if (!child) return child;
+      return NodePtr(std::make_unique<ArithNode>(std::move(child).value(),
+                                                 ArithOp::kNeg, nullptr));
+    }
+    if (accept_op("(")) {
+      auto inner = parse_or();
+      if (!inner) return inner;
+      if (!accept_op(")")) return error("expected )");
+      return inner;
+    }
+    if (cur_.kind == Token::Kind::kIdent) {
+      auto node = std::make_unique<IdentNode>(cur_.text);
+      advance();
+      return NodePtr(std::move(node));
+    }
+    auto lit = parse_literal_value();
+    if (!lit) return lit.status();
+    return NodePtr(std::make_unique<LiteralNode>(std::move(lit).value()));
+  }
+
+  util::Result<Value> parse_literal_value() {
+    switch (cur_.kind) {
+      case Token::Kind::kInt: {
+        Value v = Value::of(cur_.int_val);
+        advance();
+        return v;
+      }
+      case Token::Kind::kFloat: {
+        Value v = Value::of(cur_.float_val);
+        advance();
+        return v;
+      }
+      case Token::Kind::kString: {
+        Value v = Value::of(cur_.text);
+        advance();
+        return v;
+      }
+      case Token::Kind::kKeyword:
+        if (cur_.text == "TRUE") {
+          advance();
+          return Value::of(true);
+        }
+        if (cur_.text == "FALSE") {
+          advance();
+          return Value::of(false);
+        }
+        [[fallthrough]];
+      default:
+        return error_status("expected literal");
+    }
+  }
+
+  void advance() {
+    skip_ws();
+    cur_ = Token{};
+    cur_.pos = pos_;
+    if (pos_ >= input_.size()) {
+      cur_.kind = Token::Kind::kEnd;
+      return;
+    }
+    const char c = input_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      std::size_t start = pos_;
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_' || input_[pos_] == '$' ||
+              input_[pos_] == '.')) {
+        ++pos_;
+      }
+      std::string word = input_.substr(start, pos_ - start);
+      std::string upper = word;
+      for (auto& ch : upper) ch = char(std::toupper(unsigned(ch)));
+      static const char* kKeywords[] = {"AND",  "OR",   "NOT",     "IS",
+                                        "NULL", "IN",   "LIKE",    "ESCAPE",
+                                        "TRUE", "FALSE", "BETWEEN"};
+      for (const char* kw : kKeywords) {
+        if (upper == kw) {
+          cur_.kind = Token::Kind::kKeyword;
+          cur_.text = upper;
+          return;
+        }
+      }
+      cur_.kind = Token::Kind::kIdent;
+      cur_.text = std::move(word);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      bool is_float = false;
+      while (pos_ < input_.size() &&
+             (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '.')) {
+        if (input_[pos_] == '.') is_float = true;
+        ++pos_;
+      }
+      const std::string num = input_.substr(start, pos_ - start);
+      if (is_float) {
+        cur_.kind = Token::Kind::kFloat;
+        cur_.float_val = std::strtod(num.c_str(), nullptr);
+      } else {
+        cur_.kind = Token::Kind::kInt;
+        cur_.int_val = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      return;
+    }
+    if (c == '\'') {
+      ++pos_;
+      std::string out;
+      while (pos_ < input_.size()) {
+        if (input_[pos_] == '\'') {
+          if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '\'') {
+            out += '\'';  // doubled quote escape
+            pos_ += 2;
+            continue;
+          }
+          ++pos_;
+          cur_.kind = Token::Kind::kString;
+          cur_.text = std::move(out);
+          return;
+        }
+        out += input_[pos_++];
+      }
+      // unterminated string: surface as END so the parser errors out
+      cur_.kind = Token::Kind::kEnd;
+      return;
+    }
+    // operators (two-char first)
+    static const char* kTwoChar[] = {"<>", "<=", ">="};
+    for (const char* op : kTwoChar) {
+      if (input_.compare(pos_, 2, op) == 0) {
+        cur_.kind = Token::Kind::kOp;
+        cur_.text = op;
+        pos_ += 2;
+        return;
+      }
+    }
+    static const char kOneChar[] = "=<>(),+-*/";
+    for (char op : std::string_view(kOneChar)) {
+      if (c == op) {
+        cur_.kind = Token::Kind::kOp;
+        cur_.text = std::string(1, c);
+        ++pos_;
+        return;
+      }
+    }
+    // unrecognized character: stop tokenizing; parser reports the error
+    cur_.kind = Token::Kind::kEnd;
+    pos_ = input_.size();
+  }
+
+  void skip_ws() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& input_;
+  std::size_t pos_ = 0;
+  Token cur_;
+};
+
+// Always-true node used for the empty selector.
+class TrueNode final : public SelectorNode {
+ public:
+  Value eval(const Message&) const override { return Value::of(true); }
+};
+
+}  // namespace detail
+
+Selector::Selector(std::string expression,
+                   std::shared_ptr<const detail::SelectorNode> root)
+    : expression_(std::move(expression)), root_(std::move(root)) {}
+
+Selector::Selector(Selector&&) noexcept = default;
+Selector& Selector::operator=(Selector&&) noexcept = default;
+Selector::~Selector() = default;
+
+util::Result<Selector> Selector::parse(const std::string& expression) {
+  bool blank = true;
+  for (char c : expression) {
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      blank = false;
+      break;
+    }
+  }
+  if (blank) {
+    return Selector(expression, std::make_shared<detail::TrueNode>());
+  }
+  detail::Parser parser(expression);
+  auto root = parser.parse();
+  if (!root) return root.status();
+  return Selector(expression, std::shared_ptr<const detail::SelectorNode>(
+                                  std::move(root).value()));
+}
+
+bool Selector::matches(const Message& message) const {
+  const detail::Value v = root_->eval(message);
+  return v.kind == detail::Value::Kind::kBool && v.b;
+}
+
+}  // namespace cmx::mq

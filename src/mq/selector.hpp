@@ -1,0 +1,61 @@
+// JMS-style message selectors: a SQL-92-flavoured boolean expression over
+// message properties and header fields, with three-valued logic (TRUE /
+// FALSE / UNKNOWN, where references to absent properties yield UNKNOWN).
+// A message matches iff the expression evaluates to TRUE.
+//
+// Supported grammar (case-insensitive keywords):
+//   expr    := or
+//   or      := and (OR and)*
+//   and     := unary (AND unary)*
+//   unary   := NOT unary | cmp
+//   cmp     := sum ( (= | <> | < | <= | > | >=) sum
+//                  | IS [NOT] NULL
+//                  | [NOT] IN '(' literal (',' literal)* ')'
+//                  | [NOT] LIKE string [ESCAPE string]
+//                  | [NOT] BETWEEN sum AND sum )?
+//   sum     := prod (('+' | '-') prod)*
+//   prod    := atom (('*' | '/') atom)*
+//   atom    := '-' atom | '(' expr ')' | ident | literal
+//   literal := integer | float | 'string' | TRUE | FALSE
+//
+// Header fields are exposed as identifiers: JMSPriority (int),
+// JMSDeliveryCount (int), JMSCorrelationID (string), JMSMessageID (string).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mq/message.hpp"
+#include "util/status.hpp"
+
+namespace cmx::mq {
+
+namespace detail {
+class SelectorNode;
+}
+
+// A compiled selector. Immutable and thread-safe after construction.
+class Selector {
+ public:
+  Selector(Selector&&) noexcept;
+  Selector& operator=(Selector&&) noexcept;
+  ~Selector();
+
+  // Compiles `expression`; returns kInvalidArgument with a position-tagged
+  // message on syntax errors. An empty expression matches every message.
+  static util::Result<Selector> parse(const std::string& expression);
+
+  // True iff the expression evaluates to TRUE for this message.
+  bool matches(const Message& message) const;
+
+  const std::string& expression() const { return expression_; }
+
+ private:
+  Selector(std::string expression,
+           std::shared_ptr<const detail::SelectorNode> root);
+
+  std::string expression_;
+  std::shared_ptr<const detail::SelectorNode> root_;
+};
+
+}  // namespace cmx::mq

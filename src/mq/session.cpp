@@ -1,0 +1,142 @@
+#include "mq/session.hpp"
+
+#include "mq/queue_manager.hpp"
+#include "mq/store.hpp"
+#include "util/id.hpp"
+#include "util/logging.hpp"
+
+namespace cmx::mq {
+
+Session::Session(QueueManager& qm, bool transacted)
+    : qm_(qm), transacted_(transacted) {}
+
+Session::~Session() {
+  if (transacted_ && has_pending_work()) {
+    CMX_DEBUG("mq.session") << "rolling back abandoned session";
+    rollback();
+  }
+}
+
+bool Session::has_pending_work() const {
+  return !pending_puts_.empty() || !pending_gets_.empty();
+}
+
+util::Status Session::put(const QueueAddress& addr, Message msg) {
+  if (!transacted_) {
+    return qm_.put(addr, std::move(msg));
+  }
+  pending_puts_.emplace_back(addr, std::move(msg));
+  return util::ok_status();
+}
+
+util::Result<Message> Session::get(const std::string& queue_name,
+                                   util::TimeMs timeout_ms,
+                                   const Selector* selector) {
+  if (!transacted_) {
+    return qm_.get(queue_name, timeout_ms, selector);
+  }
+  auto queue = qm_.find_queue(queue_name);
+  if (queue == nullptr) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "queue " + queue_name + " not found");
+  }
+  const util::TimeMs deadline =
+      timeout_ms == util::kNoDeadline ? util::kNoDeadline
+                                      : qm_.clock().now_ms() + timeout_ms;
+  auto got = queue->get(deadline, selector);
+  if (!got) return got.status();
+  PendingGet pending{queue, queue_name, got.value().seq, got.value().msg};
+  qm_.register_inflight(queue_name, pending.msg);
+  pending_gets_.push_back(pending);
+  return std::move(got).value().msg;
+}
+
+util::Status Session::commit() {
+  if (!transacted_) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "commit on non-transacted session");
+  }
+  // Order: puts become visible first, then the consumption of gets is made
+  // durable. A crash in between yields redelivery (at-least-once), which is
+  // the standard messaging-transaction guarantee.
+  for (auto& [addr, msg] : pending_puts_) {
+    if (auto s = qm_.put(addr, std::move(msg)); !s) {
+      CMX_WARN("mq.session") << "commit put failed: " << s.to_string();
+      return s;
+    }
+  }
+  pending_puts_.clear();
+
+  std::vector<LogRecord> get_records;
+  for (const auto& pending : pending_gets_) {
+    if (pending.msg.persistent()) {
+      get_records.push_back(LogRecord::get(pending.queue_name,
+                                           pending.msg.id));
+    }
+  }
+  if (!get_records.empty()) {
+    if (auto s = qm_.append_log_batch(get_records); !s) return s;
+  }
+  for (const auto& pending : pending_gets_) {
+    qm_.unregister_inflight(pending.msg.id);
+  }
+  pending_gets_.clear();
+
+  auto hooks = std::move(commit_hooks_);
+  clear_hooks();
+  for (auto& hook : hooks) hook();
+  return util::ok_status();
+}
+
+util::Status Session::rollback() {
+  if (!transacted_) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "rollback on non-transacted session");
+  }
+  pending_puts_.clear();
+  for (auto& pending : pending_gets_) {
+    qm_.unregister_inflight(pending.msg.id);
+    const auto& options = pending.queue->options();
+    if (options.backout_threshold > 0 &&
+        pending.msg.delivery_count >= options.backout_threshold &&
+        !options.backout_queue.empty()) {
+      // Poison message: repeatedly rolled back. Move it to the backout
+      // queue (durably: consume from the source, append to the target).
+      qm_.ensure_queue(options.backout_queue).expect_ok("ensure backout");
+      if (pending.msg.persistent()) {
+        qm_.append_log_batch({LogRecord::get(pending.queue_name,
+                                             pending.msg.id)})
+            .expect_ok("log backout");
+      }
+      CMX_WARN("mq.session")
+          << "backing out message " << pending.msg.id << " from "
+          << pending.queue_name << " after " << pending.msg.delivery_count
+          << " deliveries";
+      qm_.put_local(options.backout_queue, std::move(pending.msg))
+          .expect_ok("backout put");
+      continue;
+    }
+    pending.queue->restore(pending.seq, std::move(pending.msg));
+  }
+  pending_gets_.clear();
+
+  auto hooks = std::move(rollback_hooks_);
+  clear_hooks();
+  for (auto& hook : hooks) hook();
+  return util::ok_status();
+}
+
+void Session::on_commit(std::function<void()> hook) {
+  commit_hooks_.push_back(std::move(hook));
+}
+
+void Session::on_rollback(std::function<void()> hook) {
+  rollback_hooks_.push_back(std::move(hook));
+}
+
+void Session::clear_hooks() {
+  commit_hooks_.clear();
+  rollback_hooks_.clear();
+}
+
+}  // namespace cmx::mq

@@ -1,0 +1,82 @@
+// Session: the unit of (optionally transacted) interaction with a queue
+// manager, mirroring JMS transacted sessions / MQSeries syncpoints.
+//
+// Transacted semantics (the substrate behaviour §2.4 of the paper builds
+// its processing acknowledgments on):
+//   * put()  — buffered; the message is only sent on commit().
+//   * get()  — destructive immediately (invisible to other consumers), but
+//              rollback() restores the message to its original queue
+//              position with an incremented delivery count.
+//   * commit() — sends buffered puts, durably logs the consumption of
+//              persistent gets (one atomic batch), then runs commit hooks.
+//   * rollback() — discards buffered puts, restores gets, runs rollback
+//              hooks.
+//
+// The conditional-messaging receiver registers its "processing
+// acknowledgment" emission as a commit hook, which is exactly the paper's
+// rule that a transactional read is acknowledged iff the transaction
+// commits.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mq/message.hpp"
+#include "mq/queue.hpp"
+#include "util/status.hpp"
+
+namespace cmx::mq {
+
+class QueueManager;
+
+class Session {
+ public:
+  Session(QueueManager& qm, bool transacted);
+  // An open transacted session with work is rolled back on destruction.
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  bool transacted() const { return transacted_; }
+  // True if a transacted session has uncommitted work.
+  bool has_pending_work() const;
+
+  // Sends (transacted: buffers) a message.
+  util::Status put(const QueueAddress& addr, Message msg);
+
+  // Receives a message; under a transacted session the read is provisional
+  // until commit.
+  util::Result<Message> get(const std::string& queue_name,
+                            util::TimeMs timeout_ms,
+                            const Selector* selector = nullptr);
+
+  // No-ops (returning kFailedPrecondition) on non-transacted sessions.
+  util::Status commit();
+  util::Status rollback();
+
+  // Hooks run after a successful commit / after a rollback, then cleared.
+  // Used by the conditional messaging layer for ack emission.
+  void on_commit(std::function<void()> hook);
+  void on_rollback(std::function<void()> hook);
+
+ private:
+  struct PendingGet {
+    std::shared_ptr<Queue> queue;
+    std::string queue_name;
+    std::uint64_t seq = 0;
+    Message msg;
+  };
+
+  void clear_hooks();
+
+  QueueManager& qm_;
+  const bool transacted_;
+  std::vector<std::pair<QueueAddress, Message>> pending_puts_;
+  std::vector<PendingGet> pending_gets_;
+  std::vector<std::function<void()>> commit_hooks_;
+  std::vector<std::function<void()>> rollback_hooks_;
+};
+
+}  // namespace cmx::mq

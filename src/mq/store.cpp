@@ -1,0 +1,369 @@
+#include "mq/store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+#include "util/codec.hpp"
+#include "util/id.hpp"
+
+namespace cmx::mq {
+
+// ---------------------------------------------------------------------
+// LogRecord
+// ---------------------------------------------------------------------
+
+LogRecord LogRecord::queue_create(std::string queue_name) {
+  LogRecord r;
+  r.type = Type::kQueueCreate;
+  r.queue = std::move(queue_name);
+  return r;
+}
+LogRecord LogRecord::queue_delete(std::string queue_name) {
+  LogRecord r;
+  r.type = Type::kQueueDelete;
+  r.queue = std::move(queue_name);
+  return r;
+}
+LogRecord LogRecord::put(std::string queue_name, Message msg) {
+  LogRecord r;
+  r.type = Type::kPut;
+  r.queue = std::move(queue_name);
+  r.message = std::move(msg);
+  return r;
+}
+LogRecord LogRecord::get(std::string queue_name, std::string message_id) {
+  LogRecord r;
+  r.type = Type::kGet;
+  r.queue = std::move(queue_name);
+  r.msg_id = std::move(message_id);
+  return r;
+}
+LogRecord LogRecord::tx_begin(std::string id) {
+  LogRecord r;
+  r.type = Type::kTxBegin;
+  r.tx_id = std::move(id);
+  return r;
+}
+LogRecord LogRecord::tx_commit(std::string id) {
+  LogRecord r;
+  r.type = Type::kTxCommit;
+  r.tx_id = std::move(id);
+  return r;
+}
+
+std::string LogRecord::encode() const {
+  util::BinaryWriter w;
+  w.put_u8(static_cast<std::uint8_t>(type));
+  w.put_string(queue);
+  w.put_string(msg_id);
+  w.put_string(tx_id);
+  if (type == Type::kPut) {
+    w.put_string(message.encode());
+  } else {
+    w.put_string("");
+  }
+  return w.take();
+}
+
+util::Result<LogRecord> LogRecord::decode(std::string_view data) {
+  util::BinaryReader r(data);
+  auto type = r.get_u8();
+  if (!type) return type.status();
+  LogRecord rec;
+  rec.type = static_cast<Type>(type.value());
+  auto queue = r.get_string();
+  if (!queue) return queue.status();
+  rec.queue = std::move(queue).value();
+  auto msg_id = r.get_string();
+  if (!msg_id) return msg_id.status();
+  rec.msg_id = std::move(msg_id).value();
+  auto tx_id = r.get_string();
+  if (!tx_id) return tx_id.status();
+  rec.tx_id = std::move(tx_id).value();
+  auto msg_bytes = r.get_string();
+  if (!msg_bytes) return msg_bytes.status();
+  if (rec.type == Type::kPut) {
+    auto msg = Message::decode(msg_bytes.value());
+    if (!msg) return msg.status();
+    rec.message = std::move(msg).value();
+  }
+  return rec;
+}
+
+// ---------------------------------------------------------------------
+// crc32
+// ---------------------------------------------------------------------
+
+namespace {
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const auto table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------
+// Batch filtering shared by MemoryStore and FileStore replay: drop records
+// belonging to batches without a commit marker.
+// ---------------------------------------------------------------------
+
+namespace {
+std::vector<LogRecord> filter_committed(std::vector<LogRecord> raw) {
+  std::vector<LogRecord> out;
+  out.reserve(raw.size());
+  std::vector<LogRecord> batch;
+  bool in_batch = false;
+  std::string batch_id;
+  for (auto& rec : raw) {
+    if (rec.type == LogRecord::Type::kTxBegin) {
+      // A new begin while a batch is open means the previous batch never
+      // committed: discard it.
+      batch.clear();
+      in_batch = true;
+      batch_id = rec.tx_id;
+      continue;
+    }
+    if (rec.type == LogRecord::Type::kTxCommit) {
+      if (in_batch && rec.tx_id == batch_id) {
+        for (auto& b : batch) out.push_back(std::move(b));
+      }
+      batch.clear();
+      in_batch = false;
+      continue;
+    }
+    if (in_batch) {
+      batch.push_back(std::move(rec));
+    } else {
+      out.push_back(std::move(rec));
+    }
+  }
+  // An open batch at the tail is an uncommitted (torn) batch: discard.
+  return out;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------
+// MemoryStore
+// ---------------------------------------------------------------------
+
+util::Status MemoryStore::append(const LogRecord& record) {
+  std::lock_guard<std::mutex> lk(mu_);
+  records_.push_back(record.encode());
+  ++appended_;
+  return util::ok_status();
+}
+
+util::Status MemoryStore::append_batch(const std::vector<LogRecord>& records) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::string tx_id = util::generate_id("batch");
+  records_.push_back(LogRecord::tx_begin(tx_id).encode());
+  for (const auto& rec : records) {
+    records_.push_back(rec.encode());
+  }
+  records_.push_back(LogRecord::tx_commit(tx_id).encode());
+  appended_ += records.size() + 2;
+  return util::ok_status();
+}
+
+util::Result<std::vector<LogRecord>> MemoryStore::replay() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<LogRecord> raw;
+  raw.reserve(records_.size());
+  for (const auto& bytes : records_) {
+    auto rec = LogRecord::decode(bytes);
+    if (!rec) break;  // torn tail
+    raw.push_back(std::move(rec).value());
+  }
+  return filter_committed(std::move(raw));
+}
+
+util::Status MemoryStore::rewrite(const std::vector<LogRecord>& snapshot) {
+  std::lock_guard<std::mutex> lk(mu_);
+  records_.clear();
+  for (const auto& rec : snapshot) {
+    records_.push_back(rec.encode());
+  }
+  appended_ = 0;
+  return util::ok_status();
+}
+
+std::size_t MemoryStore::appended_since_compaction() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return appended_;
+}
+
+void MemoryStore::truncate_tail(std::size_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::size_t keep = records_.size() > n ? records_.size() - n : 0;
+  records_.resize(keep);
+}
+
+std::size_t MemoryStore::record_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_.size();
+}
+
+// ---------------------------------------------------------------------
+// FileStore
+// ---------------------------------------------------------------------
+
+FileStore::FileStore(std::string path) : path_(std::move(path)) {
+  open_for_append().expect_ok("FileStore open");
+}
+
+FileStore::~FileStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+util::Status FileStore::open_for_append() {
+  fd_ = ::open(path_.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd_ < 0) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "open " + path_ + ": " + std::strerror(errno));
+  }
+  return util::ok_status();
+}
+
+util::Status FileStore::append_encoded(const std::string& payload) {
+  util::BinaryWriter frame;
+  frame.put_u32(static_cast<std::uint32_t>(payload.size()));
+  frame.put_u32(crc32(payload));
+  std::string bytes = frame.take() + payload;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::make_error(util::ErrorCode::kIoError,
+                              "write " + path_ + ": " + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return util::ok_status();
+}
+
+util::Status FileStore::append(const LogRecord& record) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto s = append_encoded(record.encode());
+  if (s) ++appended_;
+  return s;
+}
+
+util::Status FileStore::append_batch(const std::vector<LogRecord>& records) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::string tx_id = util::generate_id("batch");
+  if (auto s = append_encoded(LogRecord::tx_begin(tx_id).encode()); !s) {
+    return s;
+  }
+  for (const auto& rec : records) {
+    if (auto s = append_encoded(rec.encode()); !s) return s;
+  }
+  if (auto s = append_encoded(LogRecord::tx_commit(tx_id).encode()); !s) {
+    return s;
+  }
+  appended_ += records.size() + 2;
+  return util::ok_status();
+}
+
+util::Result<std::vector<LogRecord>> FileStore::replay() {
+  std::lock_guard<std::mutex> lk(mu_);
+  const int rfd = ::open(path_.c_str(), O_RDONLY);
+  if (rfd < 0) {
+    if (errno == ENOENT) return std::vector<LogRecord>{};
+    return util::make_error(util::ErrorCode::kIoError,
+                            "open " + path_ + ": " + std::strerror(errno));
+  }
+  std::string content;
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::read(rfd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(rfd);
+      return util::make_error(util::ErrorCode::kIoError,
+                              "read " + path_ + ": " + std::strerror(errno));
+    }
+    if (n == 0) break;
+    content.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(rfd);
+
+  std::vector<LogRecord> raw;
+  std::size_t pos = 0;
+  while (pos + 8 <= content.size()) {
+    util::BinaryReader header(std::string_view(content).substr(pos, 8));
+    const std::uint32_t len = header.get_u32().value();
+    const std::uint32_t crc = header.get_u32().value();
+    if (pos + 8 + len > content.size()) break;  // torn tail
+    const std::string_view payload =
+        std::string_view(content).substr(pos + 8, len);
+    if (crc32(payload) != crc) break;  // corrupt tail
+    auto rec = LogRecord::decode(payload);
+    if (!rec) break;
+    raw.push_back(std::move(rec).value());
+    pos += 8 + len;
+  }
+  return filter_committed(std::move(raw));
+}
+
+util::Status FileStore::rewrite(const std::vector<LogRecord>& snapshot) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::string tmp = path_ + ".compact";
+  const int tfd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (tfd < 0) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "open " + tmp + ": " + std::strerror(errno));
+  }
+  const int old_fd = fd_;
+  fd_ = tfd;
+  util::Status status = util::ok_status();
+  for (const auto& rec : snapshot) {
+    status = append_encoded(rec.encode());
+    if (!status) break;
+  }
+  if (status) {
+    ::fsync(tfd);
+    if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+      status = util::make_error(util::ErrorCode::kIoError,
+                                "rename: " + std::string(std::strerror(errno)));
+    }
+  }
+  if (!status) {
+    // Keep writing to the original log; discard the partial compaction.
+    fd_ = old_fd;
+    ::close(tfd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  ::close(old_fd);
+  // fd_ (== tfd) now refers to the renamed file; keep appending to it.
+  appended_ = 0;
+  return util::ok_status();
+}
+
+std::size_t FileStore::appended_since_compaction() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return appended_;
+}
+
+}  // namespace cmx::mq

@@ -1,0 +1,138 @@
+// Persistent message store: the write-ahead log behind a queue manager's
+// "reliable" delivery guarantee. Every persistent put/get and every queue
+// create/delete is appended as a record; recovery replays the log to
+// rebuild queue contents after a crash/restart.
+//
+// Batches (used by transacted sessions) are bracketed by kTxBegin/kTxCommit
+// markers; replay discards records of a batch whose commit marker never
+// made it to disk, so a torn commit leaves the pre-transaction state.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mq/message.hpp"
+#include "util/status.hpp"
+
+namespace cmx::mq {
+
+struct LogRecord {
+  enum class Type : std::uint8_t {
+    kQueueCreate = 0,
+    kQueueDelete = 1,
+    kPut = 2,     // message enqueued on `queue`
+    kGet = 3,     // message `msg_id` consumed from `queue`
+    kTxBegin = 4,  // start of an atomic batch `tx_id`
+    kTxCommit = 5,
+  };
+
+  Type type = Type::kPut;
+  std::string queue;
+  std::string msg_id;  // kGet only
+  std::string tx_id;   // kTxBegin/kTxCommit only
+  Message message;     // kPut only
+
+  static LogRecord queue_create(std::string queue_name);
+  static LogRecord queue_delete(std::string queue_name);
+  static LogRecord put(std::string queue_name, Message msg);
+  static LogRecord get(std::string queue_name, std::string message_id);
+  static LogRecord tx_begin(std::string id);
+  static LogRecord tx_commit(std::string id);
+
+  std::string encode() const;
+  static util::Result<LogRecord> decode(std::string_view data);
+};
+
+class MessageStore {
+ public:
+  virtual ~MessageStore() = default;
+
+  // Appends one record durably (fsync policy is implementation-defined).
+  virtual util::Status append(const LogRecord& record) = 0;
+
+  // Appends a group of records that must be applied all-or-nothing on
+  // recovery. Implementations bracket them with tx markers.
+  virtual util::Status append_batch(const std::vector<LogRecord>& records) = 0;
+
+  // Reads back every committed record, in order. Tolerates a torn tail
+  // (stops at the first corrupt/truncated record).
+  virtual util::Result<std::vector<LogRecord>> replay() = 0;
+
+  // Replaces the log with the given snapshot (compaction).
+  virtual util::Status rewrite(const std::vector<LogRecord>& snapshot) = 0;
+
+  // Records appended since the last rewrite()/construction; the queue
+  // manager uses this to trigger compaction.
+  virtual std::size_t appended_since_compaction() const = 0;
+};
+
+// Discards everything; "recovery" finds an empty log. For tests and for
+// benchmarks isolating in-memory behaviour.
+class NullStore final : public MessageStore {
+ public:
+  util::Status append(const LogRecord&) override { return util::ok_status(); }
+  util::Status append_batch(const std::vector<LogRecord>&) override {
+    return util::ok_status();
+  }
+  util::Result<std::vector<LogRecord>> replay() override {
+    return std::vector<LogRecord>{};
+  }
+  util::Status rewrite(const std::vector<LogRecord>&) override {
+    return util::ok_status();
+  }
+  std::size_t appended_since_compaction() const override { return 0; }
+};
+
+// In-memory log with full replay/rewrite semantics: durability without the
+// filesystem. Used to test recovery logic deterministically and to model
+// "restart" by constructing a new QueueManager over the same MemoryStore.
+class MemoryStore final : public MessageStore {
+ public:
+  util::Status append(const LogRecord& record) override;
+  util::Status append_batch(const std::vector<LogRecord>& records) override;
+  util::Result<std::vector<LogRecord>> replay() override;
+  util::Status rewrite(const std::vector<LogRecord>& snapshot) override;
+  std::size_t appended_since_compaction() const override;
+
+  // Test hook: drop the last `n` records, emulating a crash that lost a
+  // log suffix (e.g. a torn batch).
+  void truncate_tail(std::size_t n);
+
+  std::size_t record_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> records_;  // encoded
+  std::size_t appended_ = 0;
+};
+
+// File-backed log. Record framing: u32 length, u32 crc32(payload), payload.
+// Replay stops at the first frame that is truncated or fails its checksum.
+class FileStore final : public MessageStore {
+ public:
+  explicit FileStore(std::string path);
+  ~FileStore() override;
+
+  util::Status append(const LogRecord& record) override;
+  util::Status append_batch(const std::vector<LogRecord>& records) override;
+  util::Result<std::vector<LogRecord>> replay() override;
+  util::Status rewrite(const std::vector<LogRecord>& snapshot) override;
+  std::size_t appended_since_compaction() const override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  util::Status append_encoded(const std::string& payload);
+  util::Status open_for_append();
+
+  std::string path_;
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  std::size_t appended_ = 0;
+};
+
+// Computes the CRC32 (IEEE polynomial) of a byte range.
+std::uint32_t crc32(std::string_view data);
+
+}  // namespace cmx::mq

@@ -1,0 +1,134 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "cm/condition_builder.hpp"
+#include "cm/receiver.hpp"
+#include "mq/queue_manager.hpp"
+
+namespace cmx::sim {
+
+namespace {
+constexpr const char* kQueue = "SIM.WORK.Q";
+}  // namespace
+
+std::string WorkloadReport::to_string() const {
+  std::ostringstream out;
+  out << "sent=" << sent << " ok=" << succeeded << " failed=" << failed
+      << " success=" << static_cast<int>(success_rate * 100.0) << "%"
+      << " latency mean=" << static_cast<long long>(mean_outcome_latency_ms)
+      << "ms p50=" << p50_outcome_latency_ms
+      << "ms p95=" << p95_outcome_latency_ms << "ms acks=" << acks_processed
+      << " comps=" << compensations_released << " rollbacks=" << rollbacks;
+  return out.str();
+}
+
+WorkloadReport run_workload(const WorkloadSpec& spec,
+                            const ReceiverProfile& profile) {
+  util::SystemClock clock;
+  mq::QueueManager qm("QM.SIM", clock);
+  qm.create_queue(kQueue).expect_ok("create workload queue");
+  cm::ConditionalMessagingService service(qm);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> rollbacks{0};
+  std::vector<std::thread> pool;
+  for (int i = 0; i < profile.count; ++i) {
+    pool.emplace_back([&, i] {
+      cm::ConditionalReceiver rx(qm, "sim-rx-" + std::to_string(i));
+      util::Rng rng(spec.seed * 1000 + static_cast<std::uint64_t>(i));
+      while (!stop.load()) {
+        if (profile.transactional) {
+          rx.begin_tx().expect_ok("begin");
+          auto msg = rx.read_message(kQueue, 20);
+          if (!msg.is_ok()) {
+            rx.rollback_tx();
+            continue;
+          }
+          clock.sleep_ms(rng.uniform(profile.service_time_min_ms,
+                                     profile.service_time_max_ms));
+          if (rng.chance(profile.rollback_probability)) {
+            rx.rollback_tx().expect_ok("rollback");
+            rollbacks.fetch_add(1);
+          } else {
+            rx.commit_tx().expect_ok("commit");
+          }
+        } else {
+          auto msg = rx.read_message(kQueue, 20);
+          if (!msg.is_ok()) continue;
+          clock.sleep_ms(rng.uniform(profile.service_time_min_ms,
+                                     profile.service_time_max_ms));
+        }
+      }
+    });
+  }
+
+  // The per-message condition: shared queue, anonymous recipient.
+  cm::DestBuilder dest(mq::QueueAddress("QM.SIM", kQueue));
+  util::TimeMs decisive_deadline = spec.pick_up_deadline_ms;
+  if (spec.processing_deadline_ms.has_value()) {
+    dest.processing_within(*spec.processing_deadline_ms);
+    decisive_deadline = *spec.processing_deadline_ms;
+  } else {
+    dest.pick_up_within(spec.pick_up_deadline_ms);
+  }
+  auto condition = dest.build();
+  cm::SendOptions options;
+  options.evaluation_timeout_ms = spec.evaluation_timeout_ms > 0
+                                      ? spec.evaluation_timeout_ms
+                                      : decisive_deadline + 10;
+
+  util::Rng arrivals(spec.seed);
+  std::vector<std::string> ids;
+  std::vector<util::TimeMs> send_ts;
+  ids.reserve(static_cast<std::size_t>(spec.messages));
+  for (int i = 0; i < spec.messages; ++i) {
+    send_ts.push_back(clock.now_ms());
+    auto cm_id = service.send_message("job " + std::to_string(i), *condition,
+                                      options);
+    cm_id.status().expect_ok("workload send");
+    ids.push_back(cm_id.value());
+    clock.sleep_ms(static_cast<util::TimeMs>(
+        arrivals.exponential(spec.mean_interarrival_ms)));
+  }
+
+  WorkloadReport report;
+  report.sent = spec.messages;
+  std::vector<util::TimeMs> latencies;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    auto outcome = service.await_outcome(ids[i], 120'000);
+    outcome.status().expect_ok("workload outcome");
+    if (outcome.value().outcome == cm::Outcome::kSuccess) {
+      ++report.succeeded;
+    } else {
+      ++report.failed;
+    }
+    latencies.push_back(outcome.value().decided_ts - send_ts[i]);
+  }
+  stop.store(true);
+  for (auto& t : pool) t.join();
+
+  report.success_rate =
+      report.sent == 0 ? 0.0
+                       : static_cast<double>(report.succeeded) / report.sent;
+  if (!latencies.empty()) {
+    double sum = 0;
+    for (auto l : latencies) sum += static_cast<double>(l);
+    report.mean_outcome_latency_ms = sum / static_cast<double>(latencies.size());
+    std::sort(latencies.begin(), latencies.end());
+    report.p50_outcome_latency_ms = latencies[latencies.size() / 2];
+    report.p95_outcome_latency_ms =
+        latencies[std::min(latencies.size() - 1,
+                           latencies.size() * 95 / 100)];
+  }
+  report.acks_processed = service.evaluation_manager().stats().acks_processed;
+  report.compensations_released =
+      service.compensation_manager().stats().released;
+  report.rollbacks = rollbacks.load();
+  return report;
+}
+
+}  // namespace cmx::sim

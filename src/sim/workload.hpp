@@ -1,0 +1,66 @@
+// Workload-study harness: drives the conditional messaging system with a
+// configurable open workload (Poisson arrivals on a shared queue) against
+// a pool of receivers with a behaviour profile (service times, rollback
+// probability, read-without-processing probability), and reports outcome
+// statistics. Generalizes the paper's Example 2 study; used by
+// bench_workload and available to applications for capacity planning.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cm/sender.hpp"
+#include "util/clock.hpp"
+#include "util/random.hpp"
+
+namespace cmx::sim {
+
+struct ReceiverProfile {
+  int count = 1;
+  // Uniform per-message service time [min, max] ms.
+  util::TimeMs service_time_min_ms = 5;
+  util::TimeMs service_time_max_ms = 15;
+  // Read transactionally (processing acks) instead of plain reads.
+  bool transactional = false;
+  // P(transaction rolls back after the service time) — the message is
+  // redelivered; only meaningful when transactional.
+  double rollback_probability = 0.0;
+};
+
+struct WorkloadSpec {
+  int messages = 100;
+  double mean_interarrival_ms = 20.0;  // exponential gaps
+  util::TimeMs pick_up_deadline_ms = 200;
+  // When set, messages demand transactional processing in this window
+  // instead of mere pick-up.
+  std::optional<util::TimeMs> processing_deadline_ms;
+  // Evaluation timeout; defaults to the relevant deadline + 10ms.
+  util::TimeMs evaluation_timeout_ms = 0;
+  std::uint64_t seed = 1;
+};
+
+struct WorkloadReport {
+  int sent = 0;
+  int succeeded = 0;
+  int failed = 0;
+  double success_rate = 0.0;
+  // Latency from send to decided outcome, over all messages.
+  double mean_outcome_latency_ms = 0.0;
+  util::TimeMs p50_outcome_latency_ms = 0;
+  util::TimeMs p95_outcome_latency_ms = 0;
+  // Middleware-side counters for the run.
+  std::uint64_t acks_processed = 0;
+  std::uint64_t compensations_released = 0;
+  std::uint64_t rollbacks = 0;
+
+  std::string to_string() const;
+};
+
+// Runs one self-contained scenario (its own queue manager, service, and
+// receiver pool) on the real clock and returns the report. Deterministic
+// given the seed up to OS scheduling.
+WorkloadReport run_workload(const WorkloadSpec& spec,
+                            const ReceiverProfile& profile);
+
+}  // namespace cmx::sim

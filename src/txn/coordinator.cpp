@@ -1,0 +1,113 @@
+#include "txn/coordinator.hpp"
+
+#include <algorithm>
+
+#include "util/id.hpp"
+#include "util/logging.hpp"
+
+namespace cmx::txn {
+
+std::string TwoPhaseCoordinator::begin() {
+  const std::string tx_id = util::generate_id("tx");
+  std::lock_guard<std::mutex> lk(mu_);
+  active_[tx_id] = TxRecord{};
+  ++stats_.begun;
+  return tx_id;
+}
+
+util::Status TwoPhaseCoordinator::enlist(const std::string& tx_id,
+                                         TransactionalResource& r) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = active_.find(tx_id);
+  if (it == active_.end()) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "unknown transaction " + tx_id);
+  }
+  auto& resources = it->second.resources;
+  if (std::find(resources.begin(), resources.end(), &r) == resources.end()) {
+    resources.push_back(&r);
+  }
+  return util::ok_status();
+}
+
+util::Result<Decision> TwoPhaseCoordinator::commit(const std::string& tx_id) {
+  TxRecord record;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = active_.find(tx_id);
+    if (it == active_.end()) {
+      return util::make_error(util::ErrorCode::kNotFound,
+                              "unknown transaction " + tx_id);
+    }
+    record = std::move(it->second);
+    active_.erase(it);
+  }
+
+  // Phase one: collect votes. Stop at the first abort (presumed abort:
+  // later resources have nothing prepared yet and are rolled back anyway).
+  bool all_commit = true;
+  std::size_t prepared = 0;
+  for (auto* resource : record.resources) {
+    if (resource->prepare(tx_id) == Vote::kAbort) {
+      all_commit = false;
+      CMX_DEBUG("txn.2pc") << tx_id << " abort vote from "
+                           << resource->resource_name();
+      break;
+    }
+    ++prepared;
+  }
+
+  // Phase two.
+  const Decision decision =
+      all_commit ? Decision::kCommitted : Decision::kAborted;
+  if (all_commit) {
+    for (auto* resource : record.resources) resource->commit(tx_id);
+  } else {
+    // Roll back everything, including the resource that voted abort (a
+    // well-behaved resource treats this as a no-op after its own abort).
+    for (auto* resource : record.resources) resource->rollback(tx_id);
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  decisions_[tx_id] = decision;
+  if (decision == Decision::kCommitted) {
+    ++stats_.committed;
+  } else {
+    ++stats_.aborted;
+  }
+  return decision;
+}
+
+util::Status TwoPhaseCoordinator::rollback(const std::string& tx_id) {
+  TxRecord record;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = active_.find(tx_id);
+    if (it == active_.end()) {
+      return util::make_error(util::ErrorCode::kNotFound,
+                              "unknown transaction " + tx_id);
+    }
+    record = std::move(it->second);
+    active_.erase(it);
+  }
+  for (auto* resource : record.resources) resource->rollback(tx_id);
+  std::lock_guard<std::mutex> lk(mu_);
+  decisions_[tx_id] = Decision::kAborted;
+  ++stats_.aborted;
+  return util::ok_status();
+}
+
+std::optional<Decision> TwoPhaseCoordinator::decision(
+    const std::string& tx_id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = decisions_.find(tx_id);
+  if (it == decisions_.end()) return std::nullopt;
+  return it->second;
+}
+
+CoordinatorStats TwoPhaseCoordinator::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace cmx::txn

@@ -1,0 +1,65 @@
+// TwoPhaseCoordinator: a presumed-abort two-phase-commit coordinator for
+// the transactional resources enlisted in a Dependency-Sphere (paper §3.2:
+// "In case that a transactional object request fails, the D-Sphere as a
+// whole fails. In case that the D-Sphere fails, all object requests need
+// to be rolled back.").
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "txn/resource.hpp"
+#include "util/status.hpp"
+
+namespace cmx::txn {
+
+enum class Decision { kCommitted, kAborted };
+
+struct CoordinatorStats {
+  std::uint64_t begun = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+};
+
+class TwoPhaseCoordinator {
+ public:
+  TwoPhaseCoordinator() = default;
+
+  TwoPhaseCoordinator(const TwoPhaseCoordinator&) = delete;
+  TwoPhaseCoordinator& operator=(const TwoPhaseCoordinator&) = delete;
+
+  // Starts a transaction and returns its id.
+  std::string begin();
+
+  // Enlists a resource (idempotent per (tx, resource)). The resource must
+  // outlive the transaction.
+  util::Status enlist(const std::string& tx_id, TransactionalResource& r);
+
+  // Runs 2PC. Returns the decision: kCommitted when every resource voted
+  // commit, kAborted otherwise (all resources then rolled back). Errors
+  // only on unknown/finished transactions.
+  util::Result<Decision> commit(const std::string& tx_id);
+
+  // Unilateral rollback of every enlisted resource.
+  util::Status rollback(const std::string& tx_id);
+
+  // The durable decision for a finished transaction.
+  std::optional<Decision> decision(const std::string& tx_id) const;
+
+  CoordinatorStats stats() const;
+
+ private:
+  struct TxRecord {
+    std::vector<TransactionalResource*> resources;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, TxRecord> active_;
+  std::map<std::string, Decision> decisions_;
+  CoordinatorStats stats_;
+};
+
+}  // namespace cmx::txn

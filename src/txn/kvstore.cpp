@@ -1,0 +1,136 @@
+#include "txn/kvstore.hpp"
+
+namespace cmx::txn {
+
+TxKvStore::TxKvStore(std::string name) : name_(std::move(name)) {}
+
+util::Status TxKvStore::lock_key(const std::string& tx_id,
+                                 const std::string& key) {
+  auto it = lock_owner_.find(key);
+  if (it != lock_owner_.end() && it->second != tx_id) {
+    return util::make_error(util::ErrorCode::kConflict,
+                            "key '" + key + "' locked by " + it->second);
+  }
+  lock_owner_[key] = tx_id;
+  return util::ok_status();
+}
+
+util::Status TxKvStore::put(const std::string& tx_id, const std::string& key,
+                            const std::string& value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& tx = open_[tx_id];
+  if (tx.prepared) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "transaction already prepared");
+  }
+  if (auto s = lock_key(tx_id, key); !s) return s;
+  tx.writes[key] = value;
+  return util::ok_status();
+}
+
+util::Status TxKvStore::erase(const std::string& tx_id,
+                              const std::string& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& tx = open_[tx_id];
+  if (tx.prepared) {
+    return util::make_error(util::ErrorCode::kFailedPrecondition,
+                            "transaction already prepared");
+  }
+  if (auto s = lock_key(tx_id, key); !s) return s;
+  tx.writes[key] = std::nullopt;
+  return util::ok_status();
+}
+
+util::Result<std::string> TxKvStore::get(const std::string& tx_id,
+                                         const std::string& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto tx_it = open_.find(tx_id);
+  if (tx_it != open_.end()) {
+    auto w = tx_it->second.writes.find(key);
+    if (w != tx_it->second.writes.end()) {
+      if (!w->second.has_value()) {
+        return util::make_error(util::ErrorCode::kNotFound,
+                                "key '" + key + "' erased in transaction");
+      }
+      return *w->second;
+    }
+  }
+  auto it = committed_.find(key);
+  if (it == committed_.end()) {
+    return util::make_error(util::ErrorCode::kNotFound,
+                            "key '" + key + "' not found");
+  }
+  return it->second;
+}
+
+std::optional<std::string> TxKvStore::read_committed(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = committed_.find(key);
+  if (it == committed_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t TxKvStore::committed_size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return committed_.size();
+}
+
+Vote TxKvStore::prepare(const std::string& tx_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = open_.find(tx_id);
+  if (it == open_.end()) {
+    // A transaction with no writes here prepares trivially.
+    return fail_next_prepare_ ? (fail_next_prepare_ = false, Vote::kAbort)
+                              : Vote::kCommit;
+  }
+  if (fail_next_prepare_) {
+    fail_next_prepare_ = false;
+    release_locks(it->second);
+    open_.erase(it);
+    return Vote::kAbort;
+  }
+  it->second.prepared = true;
+  return Vote::kCommit;
+}
+
+void TxKvStore::commit(const std::string& tx_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = open_.find(tx_id);
+  if (it == open_.end()) return;  // nothing written here
+  for (const auto& [key, value] : it->second.writes) {
+    if (value.has_value()) {
+      committed_[key] = *value;
+    } else {
+      committed_.erase(key);
+    }
+  }
+  release_locks(it->second);
+  open_.erase(it);
+}
+
+void TxKvStore::rollback(const std::string& tx_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = open_.find(tx_id);
+  if (it == open_.end()) return;
+  release_locks(it->second);
+  open_.erase(it);
+}
+
+void TxKvStore::release_locks(const TxState& tx) {
+  for (const auto& [key, value] : tx.writes) {
+    lock_owner_.erase(key);
+  }
+}
+
+void TxKvStore::fail_next_prepare() {
+  std::lock_guard<std::mutex> lk(mu_);
+  fail_next_prepare_ = true;
+}
+
+std::size_t TxKvStore::active_transactions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return open_.size();
+}
+
+}  // namespace cmx::txn

@@ -1,0 +1,70 @@
+// TxKvStore: a lock-based transactional key-value store, standing in for
+// the "calendar database" / "room reservation database" resources of the
+// paper's Example 1 and for generic distributed-object state in D-Spheres.
+//
+// Concurrency control: strict per-key write locks acquired at write time;
+// a conflicting write by another transaction fails fast with kConflict
+// (no blocking, hence no deadlock). Reads see the transaction's own writes
+// first, then the last committed value.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "txn/resource.hpp"
+#include "util/status.hpp"
+
+namespace cmx::txn {
+
+class TxKvStore final : public TransactionalResource {
+ public:
+  explicit TxKvStore(std::string name);
+
+  // ---- transactional operations ----------------------------------------
+  util::Status put(const std::string& tx_id, const std::string& key,
+                   const std::string& value);
+  util::Status erase(const std::string& tx_id, const std::string& key);
+  // Read-your-writes get.
+  util::Result<std::string> get(const std::string& tx_id,
+                                const std::string& key) const;
+
+  // ---- non-transactional observation ------------------------------------
+  std::optional<std::string> read_committed(const std::string& key) const;
+  std::size_t committed_size() const;
+
+  // ---- TransactionalResource ---------------------------------------------
+  const std::string& resource_name() const override { return name_; }
+  Vote prepare(const std::string& tx_id) override;
+  void commit(const std::string& tx_id) override;
+  void rollback(const std::string& tx_id) override;
+
+  // ---- fault injection -----------------------------------------------------
+  // Forces the next prepare() to vote kAbort (simulates a resource that
+  // cannot commit, e.g. a constraint violation found at prepare time).
+  void fail_next_prepare();
+
+  // Number of transactions currently holding locks (open or prepared).
+  std::size_t active_transactions() const;
+
+ private:
+  struct TxState {
+    // key -> new value; nullopt value means tombstone (erase)
+    std::map<std::string, std::optional<std::string>> writes;
+    bool prepared = false;
+  };
+
+  util::Status lock_key(const std::string& tx_id, const std::string& key);
+  void release_locks(const TxState& tx);
+
+  const std::string name_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> committed_;
+  std::map<std::string, std::string> lock_owner_;  // key -> tx_id
+  std::map<std::string, TxState> open_;
+  bool fail_next_prepare_ = false;
+};
+
+}  // namespace cmx::txn

@@ -1,0 +1,31 @@
+// Transactional-resource abstraction: the role CORBA OTS / JTS resources
+// play in the paper's Dependency-Spheres section. Resources are enlisted
+// with a coordinator and driven through the classic two-phase protocol.
+#pragma once
+
+#include <string>
+
+namespace cmx::txn {
+
+enum class Vote {
+  kCommit,  // resource is prepared and guarantees commit on request
+  kAbort,   // resource cannot commit; the transaction must roll back
+};
+
+class TransactionalResource {
+ public:
+  virtual ~TransactionalResource() = default;
+
+  virtual const std::string& resource_name() const = 0;
+
+  // Phase one. After voting kCommit the resource must be able to commit
+  // `tx_id` even across a crash (we do not simulate resource crashes during
+  // the window, but the contract is stated for fidelity).
+  virtual Vote prepare(const std::string& tx_id) = 0;
+
+  // Phase two.
+  virtual void commit(const std::string& tx_id) = 0;
+  virtual void rollback(const std::string& tx_id) = 0;
+};
+
+}  // namespace cmx::txn

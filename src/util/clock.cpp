@@ -1,0 +1,115 @@
+#include "util/clock.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace cmx::util {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+SystemClock::SystemClock() : epoch_(steady_clock::now()) {}
+
+TimeMs SystemClock::now_ms() const {
+  return std::chrono::duration_cast<milliseconds>(steady_clock::now() - epoch_)
+      .count();
+}
+
+bool SystemClock::wait_until(std::unique_lock<std::mutex>& lock,
+                             std::condition_variable& cv, TimeMs deadline_ms,
+                             const std::function<bool()>& pred) {
+  if (deadline_ms == kNoDeadline) {
+    cv.wait(lock, pred);
+    return true;
+  }
+  const auto deadline = epoch_ + milliseconds(deadline_ms);
+  return cv.wait_until(lock, deadline, pred);
+}
+
+void SystemClock::sleep_ms(TimeMs ms) {
+  if (ms > 0) {
+    std::this_thread::sleep_for(milliseconds(ms));
+  }
+}
+
+SimClock::SimClock(TimeMs start_ms) : now_(start_ms) {}
+
+SimClock::~SimClock() = default;
+
+TimeMs SimClock::now_ms() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return now_;
+}
+
+bool SimClock::wait_until(std::unique_lock<std::mutex>& lock,
+                          std::condition_variable& cv, TimeMs deadline_ms,
+                          const std::function<bool()>& pred) {
+  // Register the caller's cv so advance_ms() can wake it. The caller holds
+  // its own lock; we briefly take ours for bookkeeping. advance_ms() never
+  // takes a caller lock, so there is no ordering cycle.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    waiters_.insert(&cv);
+    ++waiter_count_;
+    waiter_cv_.notify_all();
+  }
+  const auto deadline_reached = [&] {
+    std::lock_guard<std::mutex> lk(mu_);
+    return now_ >= deadline_ms;
+  };
+  // advance_ms() notifies registered cvs, but cannot hold the caller's
+  // mutex, so a notification can race with this thread's decision to block.
+  // The bounded wait_for below is the backstop that makes a lost wakeup a
+  // short real-time delay instead of a hang.
+  //
+  // pred may have side effects (e.g. a destructive queue match), so it is
+  // evaluated exactly once per iteration and its last value is returned.
+  bool result = false;
+  while (!(result = pred()) && !deadline_reached()) {
+    cv.wait_for(lock, std::chrono::milliseconds(2));
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    waiters_.erase(waiters_.find(&cv));
+    --waiter_count_;
+    waiter_cv_.notify_all();
+  }
+  return result;
+}
+
+void SimClock::sleep_ms(TimeMs ms) {
+  std::mutex local_mu;
+  std::condition_variable local_cv;
+  std::unique_lock<std::mutex> lk(local_mu);
+  const TimeMs wake_at = now_ms() + ms;
+  wait_until(lk, local_cv, wake_at, [] { return false; });
+}
+
+void SimClock::advance_ms(TimeMs delta_ms) {
+  std::lock_guard<std::mutex> lk(mu_);
+  now_ += delta_ms;
+  for (auto* cv : waiters_) {
+    cv->notify_all();
+  }
+}
+
+void SimClock::set_ms(TimeMs now_ms) {
+  std::lock_guard<std::mutex> lk(mu_);
+  now_ = now_ms;
+  for (auto* cv : waiters_) {
+    cv->notify_all();
+  }
+}
+
+int SimClock::waiter_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return waiter_count_;
+}
+
+bool SimClock::await_waiters(int n, TimeMs real_timeout_ms) const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return waiter_cv_.wait_for(lk, std::chrono::milliseconds(real_timeout_ms),
+                             [&] { return waiter_count_ >= n; });
+}
+
+}  // namespace cmx::util

@@ -1,0 +1,93 @@
+// Time source abstraction. Every deadline in the system (MsgPickUpTime,
+// MsgProcessingTime, evaluation timeouts, channel delays) is computed
+// through a Clock so tests can run on a deterministic virtual clock.
+//
+// The tricky part of a virtual clock is interaction with blocking waits:
+// components wait on their own condition variables for "a message arrived OR
+// the deadline passed". Clock::wait_until() therefore takes the caller's
+// lock/cv pair; SimClock registers the cv so that advance() can wake timed
+// waiters, while SystemClock simply maps the deadline to steady_clock.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+
+namespace cmx::util {
+
+// Milliseconds since an arbitrary epoch (process start for SystemClock,
+// zero for SimClock).
+using TimeMs = std::int64_t;
+
+constexpr TimeMs kNoDeadline = INT64_MAX;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  virtual TimeMs now_ms() const = 0;
+
+  // Blocks until pred() is true (returns true) or now_ms() >= deadline_ms
+  // (returns pred() at that moment). The caller must hold `lock`, and pred
+  // is evaluated under it. `cv` is the caller's condition variable; anyone
+  // changing pred's inputs must notify it.
+  virtual bool wait_until(std::unique_lock<std::mutex>& lock,
+                          std::condition_variable& cv, TimeMs deadline_ms,
+                          const std::function<bool()>& pred) = 0;
+
+  // Blocks the calling thread for `ms` milliseconds of this clock's time.
+  virtual void sleep_ms(TimeMs ms) = 0;
+};
+
+// Real time, anchored at process start.
+class SystemClock final : public Clock {
+ public:
+  SystemClock();
+  TimeMs now_ms() const override;
+  bool wait_until(std::unique_lock<std::mutex>& lock,
+                  std::condition_variable& cv, TimeMs deadline_ms,
+                  const std::function<bool()>& pred) override;
+  void sleep_ms(TimeMs ms) override;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+// Deterministic virtual time. now_ms() only moves when advance()/set() is
+// called. Threads blocked in wait_until() are woken on every advance so
+// their deadline re-check happens at each virtual time step.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(TimeMs start_ms = 0);
+  ~SimClock() override;
+
+  TimeMs now_ms() const override;
+  bool wait_until(std::unique_lock<std::mutex>& lock,
+                  std::condition_variable& cv, TimeMs deadline_ms,
+                  const std::function<bool()>& pred) override;
+  void sleep_ms(TimeMs ms) override;
+
+  // Moves virtual time forward and wakes all timed waiters.
+  void advance_ms(TimeMs delta_ms);
+  void set_ms(TimeMs now_ms);
+
+  // Number of threads currently blocked in wait_until/sleep_ms. Tests use
+  // this to advance time only once the system has quiesced.
+  int waiter_count() const;
+
+  // Blocks (in real time) until at least `n` threads are waiting on this
+  // clock. Returns false if `real_timeout_ms` elapses first.
+  bool await_waiters(int n, TimeMs real_timeout_ms = 5000) const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable waiter_cv_;  // signaled when waiter set changes
+  TimeMs now_;
+  std::multiset<std::condition_variable*> waiters_;
+  int waiter_count_ = 0;
+};
+
+}  // namespace cmx::util

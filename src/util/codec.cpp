@@ -1,0 +1,80 @@
+#include "util/codec.hpp"
+
+#include <cstring>
+
+namespace cmx::util {
+
+namespace {
+template <typename T>
+void append_raw(std::string& buf, T v) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  buf.append(bytes, sizeof(T));
+}
+}  // namespace
+
+void BinaryWriter::put_u8(std::uint8_t v) { append_raw(buf_, v); }
+void BinaryWriter::put_u32(std::uint32_t v) { append_raw(buf_, v); }
+void BinaryWriter::put_u64(std::uint64_t v) { append_raw(buf_, v); }
+void BinaryWriter::put_i64(std::int64_t v) { append_raw(buf_, v); }
+void BinaryWriter::put_f64(double v) { append_raw(buf_, v); }
+void BinaryWriter::put_bool(bool v) { put_u8(v ? 1 : 0); }
+
+void BinaryWriter::put_string(std::string_view v) {
+  put_u32(static_cast<std::uint32_t>(v.size()));
+  buf_.append(v.data(), v.size());
+}
+
+Status BinaryReader::need(std::size_t n) {
+  if (data_.size() - pos_ < n) {
+    return make_error(ErrorCode::kIoError, "truncated record");
+  }
+  return ok_status();
+}
+
+namespace {
+template <typename T>
+Result<T> read_raw(std::string_view data, std::size_t& pos) {
+  T v;
+  std::memcpy(&v, data.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return v;
+}
+}  // namespace
+
+Result<std::uint8_t> BinaryReader::get_u8() {
+  if (auto s = need(1); !s) return s;
+  return read_raw<std::uint8_t>(data_, pos_);
+}
+Result<std::uint32_t> BinaryReader::get_u32() {
+  if (auto s = need(4); !s) return s;
+  return read_raw<std::uint32_t>(data_, pos_);
+}
+Result<std::uint64_t> BinaryReader::get_u64() {
+  if (auto s = need(8); !s) return s;
+  return read_raw<std::uint64_t>(data_, pos_);
+}
+Result<std::int64_t> BinaryReader::get_i64() {
+  if (auto s = need(8); !s) return s;
+  return read_raw<std::int64_t>(data_, pos_);
+}
+Result<double> BinaryReader::get_f64() {
+  if (auto s = need(8); !s) return s;
+  return read_raw<double>(data_, pos_);
+}
+Result<bool> BinaryReader::get_bool() {
+  auto v = get_u8();
+  if (!v) return v.status();
+  return v.value() != 0;
+}
+
+Result<std::string> BinaryReader::get_string() {
+  auto len = get_u32();
+  if (!len) return len.status();
+  if (auto s = need(len.value()); !s) return s;
+  std::string out(data_.substr(pos_, len.value()));
+  pos_ += len.value();
+  return out;
+}
+
+}  // namespace cmx::util

@@ -1,0 +1,59 @@
+// Minimal binary encoding used for the persistent message store, for
+// channel transport between queue managers, and for condition / ack / log
+// record serialization. Fixed-width little-endian integers plus
+// length-prefixed strings; a leading field-type tag is NOT used — each
+// record type owns its layout and versions it with a leading u32.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace cmx::util {
+
+class BinaryWriter {
+ public:
+  void put_u8(std::uint8_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v);
+  void put_f64(double v);
+  void put_bool(bool v);
+  void put_string(std::string_view v);
+
+  const std::string& data() const& { return buf_; }
+  std::string take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+// Reader over a borrowed buffer. All getters return kIoError status-wrapped
+// results on truncated input rather than throwing, because truncation is an
+// expected outcome when recovering a torn log tail.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Result<std::uint8_t> get_u8();
+  Result<std::uint32_t> get_u32();
+  Result<std::uint64_t> get_u64();
+  Result<std::int64_t> get_i64();
+  Result<double> get_f64();
+  Result<bool> get_bool();
+  Result<std::string> get_string();
+
+  bool at_end() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Status need(std::size_t n);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cmx::util

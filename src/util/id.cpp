@@ -1,0 +1,35 @@
+#include "util/id.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <random>
+
+namespace cmx::util {
+
+namespace {
+
+std::uint64_t process_random() {
+  static const std::uint64_t value = [] {
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  }();
+  return value;
+}
+
+std::atomic<std::uint64_t> g_sequence{0};
+
+}  // namespace
+
+std::uint64_t next_sequence() {
+  return g_sequence.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::string generate_id(const std::string& prefix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "-%016llx-%llu",
+                static_cast<unsigned long long>(process_random()),
+                static_cast<unsigned long long>(next_sequence()));
+  return prefix + buf;
+}
+
+}  // namespace cmx::util

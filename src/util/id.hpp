@@ -1,0 +1,18 @@
+// Process-unique identifier generation for messages, conditional messages,
+// transactions, and Dependency-Spheres.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cmx::util {
+
+// Returns an id of the form "<prefix>-<random64hex>-<seq>", unique within
+// the process and unlikely to collide across processes (random component is
+// seeded from the system entropy source once per process).
+std::string generate_id(const std::string& prefix);
+
+// Monotonic per-process sequence number (starts at 1).
+std::uint64_t next_sequence();
+
+}  // namespace cmx::util

@@ -1,0 +1,49 @@
+// Leveled, thread-safe diagnostic logging to stderr. Off by default above
+// WARN so tests and benchmarks stay quiet; set_level() or the CMX_LOG env
+// var ("debug", "info", "warn", "error", "off") changes it globally.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cmx::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Emits one formatted line: "LEVEL [component] message". Thread-safe.
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { log_line(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace cmx::util
+
+#define CMX_LOG(level, component)                                      \
+  if (::cmx::util::log_level() <= (level))                             \
+  ::cmx::util::detail::LogStream((level), (component))
+
+#define CMX_DEBUG(component) CMX_LOG(::cmx::util::LogLevel::kDebug, component)
+#define CMX_INFO(component) CMX_LOG(::cmx::util::LogLevel::kInfo, component)
+#define CMX_WARN(component) CMX_LOG(::cmx::util::LogLevel::kWarn, component)
+#define CMX_ERROR(component) CMX_LOG(::cmx::util::LogLevel::kError, component)

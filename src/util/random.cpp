@@ -1,0 +1,28 @@
+#include "util/random.hpp"
+
+#include <algorithm>
+
+namespace cmx::util {
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::uniform01() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::exponential(double mean) {
+  std::exponential_distribution<double> dist(1.0 / std::max(mean, 1e-9));
+  return dist(engine_);
+}
+
+}  // namespace cmx::util

@@ -1,0 +1,33 @@
+// Seedable pseudo-random source for workload generators and fault
+// injection. Deterministic given a seed, so every benchmark scenario is
+// reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace cmx::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double uniform01();
+
+  // True with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  // Exponentially distributed inter-arrival gap with the given mean.
+  double exponential(double mean);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace cmx::util

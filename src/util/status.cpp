@@ -1,0 +1,54 @@
+#include "util/status.hpp"
+
+namespace cmx::util {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kTimeout:
+      return "TIMEOUT";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kConflict:
+      return "CONFLICT";
+    case ErrorCode::kAborted:
+      return "ABORTED";
+    case ErrorCode::kClosed:
+      return "CLOSED";
+    case ErrorCode::kExpired:
+      return "EXPIRED";
+    case ErrorCode::kIoError:
+      return "IO_ERROR";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string out = error_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+void Status::expect_ok(const char* context) const {
+  if (!is_ok()) {
+    std::string what = to_string();
+    if (context != nullptr && context[0] != '\0') {
+      what = std::string(context) + ": " + what;
+    }
+    throw std::runtime_error(what);
+  }
+}
+
+}  // namespace cmx::util

@@ -1,0 +1,112 @@
+// Status / Result: lightweight expected-style error propagation for outcomes
+// that are part of normal operation (timeouts, missing queues, conflicts).
+// Programmer errors (precondition violations) throw std::logic_error instead.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace cmx::util {
+
+enum class ErrorCode {
+  kOk = 0,
+  kTimeout,          // a timed wait elapsed without the awaited event
+  kNotFound,         // named entity (queue, key, id) does not exist
+  kAlreadyExists,    // attempt to create an entity that already exists
+  kInvalidArgument,  // caller-supplied data failed validation
+  kFailedPrecondition,  // operation not legal in the current state
+  kConflict,            // transactional conflict (lock or version)
+  kAborted,             // operation was rolled back / voted abort
+  kClosed,              // target component has been shut down
+  kExpired,             // message or deadline already expired
+  kIoError,             // persistent store failure
+  kUnavailable,         // transient failure (injected fault, channel down)
+};
+
+const char* error_code_name(ErrorCode code);
+
+// A success-or-error value. Cheap to copy on the success path.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" form.
+  std::string to_string() const;
+
+  // Throws std::runtime_error if not ok. For call sites where failure is
+  // a bug rather than an expected outcome.
+  void expect_ok(const char* context = "") const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status ok_status() { return Status::ok(); }
+
+inline Status make_error(ErrorCode code, std::string message) {
+  return Status(code, std::move(message));
+}
+
+// A value or an error. Modeled after std::expected (not available on the
+// target toolchain's libstdc++ for C++20).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.is_ok()) {
+      throw std::logic_error("Result constructed from OK status without value");
+    }
+  }
+
+  bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  const Status& status() const { return status_; }
+  ErrorCode code() const {
+    return is_ok() ? ErrorCode::kOk : status_.code();
+  }
+
+  T& value() & {
+    require_value();
+    return *value_;
+  }
+  const T& value() const& {
+    require_value();
+    return *value_;
+  }
+  T&& value() && {
+    require_value();
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const {
+    return is_ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void require_value() const {
+    if (!value_.has_value()) {
+      throw std::runtime_error("Result::value() on error: " +
+                               status_.to_string());
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace cmx::util

@@ -1,0 +1,65 @@
+// Small concurrency helpers shared across modules.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace cmx::util {
+
+// Unbounded multi-producer multi-consumer queue with shutdown support.
+// Used for in-process handoff (e.g. between a channel mover and a queue
+// manager); the durable message queues in src/mq are a separate, richer
+// structure.
+template <typename T>
+class MpmcQueue {
+ public:
+  void push(T item) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return;  // drop on closed queue; receiver is gone
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  // Blocks until an item is available or the queue is closed.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace cmx::util

@@ -1,0 +1,180 @@
+// Tests for the two ablation switches DESIGN.md calls out:
+//   * early failure detection (EvalStateOptions / SendOptions)
+//   * compensation staging at send time vs. on failure (SenderOptions)
+#include <gtest/gtest.h>
+
+#include "cm/condition_builder.hpp"
+#include "cm/eval_state.hpp"
+#include "cm/receiver.hpp"
+#include "cm/sender.hpp"
+#include "tests/test_support.hpp"
+
+namespace cmx::cm {
+namespace {
+
+using mq::QueueAddress;
+
+// ---------------------------------------------------------------------
+// Early failure detection
+// ---------------------------------------------------------------------
+
+ConditionPtr two_stage_condition() {
+  // first decisive deadline at 100, largest deadline at 1000
+  return SetBuilder()
+      .pick_up_within(100)
+      .add(DestBuilder(QueueAddress("QM", "A")).build())
+      .add(DestBuilder(QueueAddress("QM", "B"))
+               .processing_within(1000)
+               .build())
+      .build();
+}
+
+TEST(EarlyFailureAblation, EarlyModeFailsAtFirstViolatedDeadline) {
+  EvalState state("cm", *two_stage_condition(), 0, 0, {true});
+  EXPECT_EQ(state.evaluate(100).state, TriState::kPending);
+  EXPECT_EQ(state.evaluate(101).state, TriState::kViolated);
+}
+
+TEST(EarlyFailureAblation, LateModeHoldsVerdictUntilLastDeadline) {
+  EvalState state("cm", *two_stage_condition(), 0, 0, {false});
+  EXPECT_EQ(state.evaluate(101).state, TriState::kPending);
+  EXPECT_EQ(state.evaluate(500).state, TriState::kPending);
+  EXPECT_EQ(state.evaluate(1000).state, TriState::kPending);
+  auto verdict = state.evaluate(1001);
+  EXPECT_EQ(verdict.state, TriState::kViolated);
+  // the reason is the real violated condition, not a generic timeout
+  EXPECT_NE(verdict.reason.find("pick-up"), std::string::npos);
+}
+
+TEST(EarlyFailureAblation, LateModeStillDecidesSuccessEarly) {
+  auto cond = DestBuilder(QueueAddress("QM", "A")).pick_up_within(500).build();
+  EvalState state("cm", *cond, 0, 0, {false});
+  AckRecord ack;
+  ack.cm_id = "cm";
+  ack.type = AckType::kRead;
+  ack.queue = QueueAddress("QM", "A");
+  ack.read_ts = 10;
+  state.add_ack(ack);
+  EXPECT_EQ(state.evaluate(10).state, TriState::kSatisfied);
+}
+
+TEST(EarlyFailureAblation, LateModeRespectsEvaluationTimeout) {
+  EvalState state("cm", *two_stage_condition(), 0, /*timeout=*/300, {false});
+  EXPECT_EQ(state.evaluate(200).state, TriState::kPending);
+  EXPECT_EQ(state.evaluate(300).state, TriState::kViolated);
+}
+
+TEST(EarlyFailureAblation, EndToEndLatencyDifference) {
+  util::SimClock clock;
+  mq::QueueManager qm("QM", clock);
+  qm.create_queue("A").expect_ok("create");
+  qm.create_queue("B").expect_ok("create");
+  ConditionalMessagingService service(qm);
+
+  auto cond = SetBuilder()
+                  .pick_up_within(100)
+                  .add(DestBuilder(QueueAddress("QM", "A")).build())
+                  .add(DestBuilder(QueueAddress("QM", "B"))
+                           .processing_within(1000)
+                           .build())
+                  .build();
+  SendOptions early;
+  SendOptions late;
+  late.early_failure_detection = false;
+  auto fast = service.send_message("x", *cond, early);
+  auto slow = service.send_message("x", *cond, late);
+  ASSERT_TRUE(fast.is_ok());
+  ASSERT_TRUE(slow.is_ok());
+
+  clock.advance_ms(101);
+  auto fast_outcome = service.await_outcome(fast.value(), 60'000);
+  ASSERT_TRUE(fast_outcome.is_ok());
+  EXPECT_EQ(fast_outcome.value().outcome, Outcome::kFailure);
+  EXPECT_FALSE(service.outcome_of(slow.value()).has_value());  // held back
+
+  clock.advance_ms(900);  // past the largest deadline
+  auto slow_outcome = service.await_outcome(slow.value(), 60'000);
+  ASSERT_TRUE(slow_outcome.is_ok());
+  EXPECT_EQ(slow_outcome.value().outcome, Outcome::kFailure);
+}
+
+// ---------------------------------------------------------------------
+// Compensation staging mode
+// ---------------------------------------------------------------------
+
+class CompStagingTest : public ::testing::Test {
+ protected:
+  CompStagingTest() : qm_("QM", clock_) {
+    qm_.create_queue("Q").expect_ok("create");
+  }
+  ConditionPtr cond() {
+    return DestBuilder(QueueAddress("QM", "Q")).pick_up_within(100).build();
+  }
+  util::SimClock clock_;
+  mq::QueueManager qm_;
+};
+
+TEST_F(CompStagingTest, OnFailureModeStagesNothingAtSend) {
+  ConditionalMessagingService service(
+      qm_, {.compensation_staging = CompensationStaging::kOnFailure});
+  auto cm_id = service.send_message("do", "undo", *cond());
+  ASSERT_TRUE(cm_id.is_ok());
+  EXPECT_EQ(qm_.find_queue(kCompensationQueue)->depth(), 0u);
+
+  clock_.advance_ms(101);
+  auto outcome = service.await_outcome(cm_id.value(), 60'000);
+  ASSERT_TRUE(outcome.is_ok());
+  ASSERT_EQ(outcome.value().outcome, Outcome::kFailure);
+  // compensation materialized on failure and released to the queue
+  ASSERT_TRUE(test::eventually(
+      [&] { return qm_.find_queue("Q")->depth() == 2u; }));
+  EXPECT_EQ(qm_.find_queue(kCompensationQueue)->depth(), 0u);
+}
+
+TEST_F(CompStagingTest, OnFailureModeDeliversSameCompensationData) {
+  ConditionalMessagingService service(
+      qm_, {.compensation_staging = CompensationStaging::kOnFailure});
+  auto cond_processing = DestBuilder(QueueAddress("QM", "Q"), "w")
+                             .processing_within(100)
+                             .build();
+  auto cm_id = service.send_message("do", "undo-data", *cond_processing);
+  ASSERT_TRUE(cm_id.is_ok());
+  ConditionalReceiver rx(qm_, "w");
+  ASSERT_TRUE(rx.read_message("Q", 0).is_ok());  // read only -> failure
+  clock_.advance_ms(101);
+  ASSERT_TRUE(service.await_outcome(cm_id.value(), 60'000).is_ok());
+  auto comp = rx.read_message("Q", 5000);
+  ASSERT_TRUE(comp.is_ok());
+  EXPECT_EQ(comp.value().kind, MessageKind::kCompensation);
+  EXPECT_EQ(comp.value().body(), "undo-data");
+}
+
+TEST_F(CompStagingTest, OnFailureModeSuccessPathIsClean) {
+  ConditionalMessagingService service(
+      qm_, {.compensation_staging = CompensationStaging::kOnFailure});
+  auto cm_id = service.send_message("do", "undo", *cond());
+  ASSERT_TRUE(cm_id.is_ok());
+  ConditionalReceiver rx(qm_, "r");
+  ASSERT_TRUE(rx.read_message("Q", 0).is_ok());
+  auto outcome = service.await_outcome(cm_id.value(), 60'000);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(outcome.value().outcome, Outcome::kSuccess);
+  EXPECT_EQ(qm_.find_queue(kCompensationQueue)->depth(), 0u);
+  EXPECT_EQ(qm_.find_queue("Q")->depth(), 0u);
+}
+
+TEST_F(CompStagingTest, AtSendModeSurvivesCrashButOnFailureDoesNot) {
+  // The crash-safety difference the ablation is about: after a decided
+  // failure whose actions were interrupted, the staged-at-send mode still
+  // has the compensation on DS.COMP.Q; the on-failure mode has nothing.
+  ConditionalMessagingService staged(
+      qm_, {.compensation_staging = CompensationStaging::kAtSendTime});
+  auto cm_id = staged.send_message("do", "undo", *cond());
+  ASSERT_TRUE(cm_id.is_ok());
+  EXPECT_EQ(staged.compensation_manager().staged_count(cm_id.value()), 1u);
+  // (the recovery path over this durable state is covered in
+  // guaranteed_compensation_test.cpp)
+}
+
+}  // namespace
+}  // namespace cmx::cm

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "baseline/app_managed.hpp"
+#include "baseline/coyote.hpp"
+#include "tests/test_support.hpp"
+
+namespace cmx::baseline {
+namespace {
+
+using mq::QueueAddress;
+
+class AppManagedTest : public ::testing::Test {
+ protected:
+  AppManagedTest() {
+    qm_ = std::make_unique<mq::QueueManager>("QM1", clock_);
+    qm_->create_queue("D1").expect_ok("create");
+    qm_->create_queue("D2").expect_ok("create");
+  }
+  util::SimClock clock_;
+  std::unique_ptr<mq::QueueManager> qm_;
+};
+
+TEST_F(AppManagedTest, AllAcksYieldSuccess) {
+  AppManagedSender sender(*qm_);
+  auto id = sender.send_all_must_read(
+      "note", {QueueAddress("", "D1"), QueueAddress("", "D2")}, 1000);
+  ASSERT_TRUE(id.is_ok());
+  AppManagedReceiver rx(*qm_);
+  ASSERT_TRUE(rx.read_and_ack("D1", 0).is_ok());
+  ASSERT_TRUE(rx.read_and_ack("D2", 0).is_ok());
+  auto outcome = sender.await_outcome(id.value());
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_TRUE(outcome.value().success);
+  EXPECT_EQ(outcome.value().acks_received, 2);
+}
+
+TEST_F(AppManagedTest, MissingAckFailsAndCompensates) {
+  AppManagedSender sender(*qm_);
+  auto id = sender.send_all_must_read(
+      "note", {QueueAddress("", "D1"), QueueAddress("", "D2")}, 500);
+  ASSERT_TRUE(id.is_ok());
+  AppManagedReceiver rx(*qm_);
+  ASSERT_TRUE(rx.read_and_ack("D1", 0).is_ok());
+  // D2 never reads; the sender's hand-rolled loop must give up at the
+  // deadline. await_outcome blocks on the ack queue, so advance the clock
+  // from another thread once it is waiting.
+  std::thread advancer([&] {
+    ASSERT_TRUE(clock_.await_waiters(1, 5000));
+    clock_.advance_ms(501);
+  });
+  auto outcome = sender.await_outcome(id.value());
+  advancer.join();
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_FALSE(outcome.value().success);
+  EXPECT_EQ(outcome.value().acks_received, 1);
+  // hand-rolled compensation reached both destinations
+  auto comp1 = qm_->get("D1", 0);
+  ASSERT_TRUE(comp1.is_ok());
+  EXPECT_EQ(comp1.value().get_bool(kAppCompensation), true);
+  // D2 still holds the original AND the compensation — the baseline has no
+  // annihilation logic; the application would have to handle the pair.
+  EXPECT_EQ(qm_->find_queue("D2")->depth(), 2u);
+}
+
+TEST_F(AppManagedTest, ReceiverIgnoresForeignAckProperties) {
+  AppManagedSender sender(*qm_);
+  // a message that did NOT come from the AppManagedSender protocol
+  ASSERT_TRUE(qm_->put(QueueAddress("", "D1"), mq::Message("plain")));
+  AppManagedReceiver rx(*qm_);
+  auto got = rx.read_and_ack("D1", 0);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().body, "plain");  // no crash, no ack
+}
+
+TEST_F(AppManagedTest, UnknownOutcomeIdErrors) {
+  AppManagedSender sender(*qm_);
+  EXPECT_EQ(sender.await_outcome("nope").code(), util::ErrorCode::kNotFound);
+}
+
+TEST_F(AppManagedTest, EmptyDestinationsRejected) {
+  AppManagedSender sender(*qm_);
+  EXPECT_EQ(sender.send_all_must_read("x", {}, 100).code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+class CoyoteTest : public ::testing::Test {
+ protected:
+  CoyoteTest() {
+    qm_ = std::make_unique<mq::QueueManager>("QM1", clock_);
+    qm_->create_queue("SERVER.Q").expect_ok("create");
+  }
+  util::SimClock clock_;
+  std::unique_ptr<mq::QueueManager> qm_;
+};
+
+TEST_F(CoyoteTest, AckWithinDeadline) {
+  CoyoteClient client(*qm_);
+  CoyoteServer server(*qm_);
+  std::thread server_thread([&] {
+    ASSERT_TRUE(server.serve_one("SERVER.Q", 5000).is_ok());
+  });
+  auto result = client.call(QueueAddress("", "SERVER.Q"), "req", 5000);
+  server_thread.join();
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), CoyoteResult::kAcknowledged);
+  EXPECT_EQ(server.acks_sent(), 1u);
+}
+
+TEST_F(CoyoteTest, TimeoutSendsCancellation) {
+  CoyoteClient client(*qm_);
+  std::thread advancer([&] {
+    ASSERT_TRUE(clock_.await_waiters(1, 5000));
+    clock_.advance_ms(1001);
+  });
+  auto result = client.call(QueueAddress("", "SERVER.Q"), "req", 1000);
+  advancer.join();
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), CoyoteResult::kCancelled);
+  // the server later sees both the request and the cancellation
+  CoyoteServer server(*qm_);
+  ASSERT_TRUE(server.serve_one("SERVER.Q", 0).is_ok());
+  ASSERT_TRUE(server.serve_one("SERVER.Q", 0).is_ok());
+  EXPECT_EQ(server.cancels_seen(), 1u);
+}
+
+TEST_F(CoyoteTest, LateAckIgnoredByCorrelation) {
+  CoyoteClient client(*qm_);
+  CoyoteServer server(*qm_);
+  // first call times out; its late ack must not satisfy the second call
+  std::thread advancer([&] {
+    ASSERT_TRUE(clock_.await_waiters(1, 5000));
+    clock_.advance_ms(101);
+  });
+  auto first = client.call(QueueAddress("", "SERVER.Q"), "r1", 100);
+  advancer.join();
+  ASSERT_EQ(first.value(), CoyoteResult::kCancelled);
+  ASSERT_TRUE(server.serve_one("SERVER.Q", 0).is_ok());  // acks r1 (late)
+  ASSERT_TRUE(server.serve_one("SERVER.Q", 0).is_ok());  // sees cancel
+
+  std::thread advancer2([&] {
+    ASSERT_TRUE(clock_.await_waiters(1, 5000));
+    clock_.advance_ms(101);
+  });
+  auto second = client.call(QueueAddress("", "SERVER.Q"), "r2", 100);
+  advancer2.join();
+  EXPECT_EQ(second.value(), CoyoteResult::kCancelled);
+}
+
+}  // namespace
+}  // namespace cmx::baseline

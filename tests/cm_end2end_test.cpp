@@ -1,0 +1,495 @@
+// End-to-end tests of the conditional messaging system: sender service,
+// receiver service, evaluation manager, compensation manager, across one
+// queue manager and across a network of two.
+#include <gtest/gtest.h>
+
+#include "cm/condition_builder.hpp"
+#include "cm/receiver.hpp"
+#include "cm/sender.hpp"
+#include "mq/network.hpp"
+#include "tests/test_support.hpp"
+
+namespace cmx::cm {
+namespace {
+
+using mq::QueueAddress;
+
+class CmLocalTest : public ::testing::Test {
+ protected:
+  CmLocalTest() {
+    qm_ = std::make_unique<mq::QueueManager>("QM1", clock_);
+    for (const char* q : {"R1", "R2", "R3", "R4", "SHARED"}) {
+      qm_->create_queue(q).expect_ok("create");
+    }
+    service_ = std::make_unique<ConditionalMessagingService>(*qm_);
+  }
+
+  ConditionPtr all_must_read(util::TimeMs within,
+                             std::vector<std::string> queues) {
+    SetBuilder builder;
+    builder.pick_up_within(within);
+    for (auto& q : queues) {
+      builder.add(DestBuilder(QueueAddress("QM1", q)).build());
+    }
+    return builder.build();
+  }
+
+  OutcomeRecord outcome_of(const std::string& cm_id) {
+    auto record = service_->await_outcome(cm_id, 60 * kSecond);
+    record.status().expect_ok("await_outcome");
+    return record.value();
+  }
+
+  util::SimClock clock_;
+  std::unique_ptr<mq::QueueManager> qm_;
+  std::unique_ptr<ConditionalMessagingService> service_;
+};
+
+TEST_F(CmLocalTest, FanOutOneMessagePerDistinctQueue) {
+  auto cond = SetBuilder()
+                  .pick_up_within(1000)
+                  .add(DestBuilder(QueueAddress("QM1", "R1"), "u1").build())
+                  .add(DestBuilder(QueueAddress("QM1", "R1"), "u2").build())
+                  .add(DestBuilder(QueueAddress("QM1", "R2"), "u3")
+                           .processing_within(2000)
+                           .build())
+                  .build();
+  auto cm_id = service_->send_message("payload", *cond);
+  ASSERT_TRUE(cm_id.is_ok());
+
+  // Two distinct queues -> two standard messages (R1 shared by u1+u2).
+  EXPECT_EQ(qm_->find_queue("R1")->depth(), 1u);
+  EXPECT_EQ(qm_->find_queue("R2")->depth(), 1u);
+  auto on_r2 = qm_->find_queue("R2")->browse();
+  ASSERT_EQ(on_r2.size(), 1u);
+  EXPECT_EQ(on_r2[0].body, "payload");
+  EXPECT_EQ(on_r2[0].get_string(prop::kCmId), cm_id.value());
+  EXPECT_EQ(on_r2[0].get_bool(prop::kProcessingRequired), true);
+  EXPECT_EQ(on_r2[0].get_string(prop::kSenderQmgr), "QM1");
+  EXPECT_EQ(on_r2[0].get_string(prop::kAckQueue), std::string(kAckQueue));
+  auto on_r1 = qm_->find_queue("R1")->browse();
+  EXPECT_EQ(on_r1[0].get_bool(prop::kProcessingRequired), false);
+
+  // Sender log entry and staged compensations (one per delivery).
+  EXPECT_EQ(qm_->find_queue(kSenderLogQueue)->depth(), 1u);
+  EXPECT_EQ(service_->compensation_manager().staged_count(cm_id.value()), 2u);
+  auto stats = service_->stats();
+  EXPECT_EQ(stats.conditional_messages, 1u);
+  EXPECT_EQ(stats.standard_messages, 2u);
+}
+
+TEST_F(CmLocalTest, InvalidConditionRejected) {
+  auto bad = DestinationSet::make();
+  auto result = service_->send_message("x", *bad);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(CmLocalTest, NonTransactionalReadsYieldSuccess) {
+  auto cm_id =
+      service_->send_message("hi", *all_must_read(1000, {"R1", "R2"}));
+  ASSERT_TRUE(cm_id.is_ok());
+
+  ConditionalReceiver rx1(*qm_, "alice"), rx2(*qm_, "bob");
+  auto m1 = rx1.read_message("R1", 0);
+  ASSERT_TRUE(m1.is_ok());
+  EXPECT_EQ(m1.value().body(), "hi");
+  EXPECT_TRUE(m1.value().conditional);
+  EXPECT_FALSE(m1.value().processing_required);
+  ASSERT_TRUE(rx2.read_message("R2", 0).is_ok());
+
+  auto record = outcome_of(cm_id.value());
+  EXPECT_EQ(record.outcome, Outcome::kSuccess);
+  EXPECT_EQ(service_->outcome_of(cm_id.value()), Outcome::kSuccess);
+  // success discards the staged compensations and consumes the log entry
+  EXPECT_TRUE(test::eventually([&] {
+    return service_->compensation_manager().staged_count(cm_id.value()) == 0;
+  }));
+  EXPECT_EQ(qm_->find_queue(kSenderLogQueue)->depth(), 0u);
+  EXPECT_EQ(rx1.stats().read_acks, 1u);
+}
+
+TEST_F(CmLocalTest, PickUpDeadlineMissFailsAndCompensates) {
+  auto cm_id = service_->send_message("doomed",
+                                      *all_must_read(1000, {"R1", "R2"}));
+  ASSERT_TRUE(cm_id.is_ok());
+  clock_.advance_ms(1001);
+  auto record = outcome_of(cm_id.value());
+  EXPECT_EQ(record.outcome, Outcome::kFailure);
+  EXPECT_NE(record.reason.find("pick-up"), std::string::npos);
+
+  // Compensations were released to the destination queues...
+  ASSERT_TRUE(test::eventually([&] {
+    return qm_->find_queue("R1")->depth() == 2u &&
+           qm_->find_queue("R2")->depth() == 2u;
+  }));
+  // ...and an unread original + compensation annihilate at the receiver.
+  ConditionalReceiver rx(*qm_, "late-reader");
+  auto read = rx.read_message("R1", 0);
+  EXPECT_EQ(read.code(), util::ErrorCode::kTimeout);
+  EXPECT_EQ(rx.stats().annihilated, 1u);
+  EXPECT_EQ(qm_->find_queue("R1")->depth(), 0u);
+}
+
+TEST_F(CmLocalTest, CompensationDeliveredAfterConsumption) {
+  // Condition demands processing; the receiver only reads, so the message
+  // fails — and the receiver, having consumed the original, must get the
+  // application-defined compensation data.
+  auto cond = DestBuilder(QueueAddress("QM1", "R1"), "alice")
+                  .processing_within(500)
+                  .build();
+  auto cm_id = service_->send_message("do-work", "undo-work", *cond);
+  ASSERT_TRUE(cm_id.is_ok());
+
+  ConditionalReceiver rx(*qm_, "alice");
+  ASSERT_TRUE(rx.read_message("R1", 0).is_ok());  // read ack only
+  clock_.advance_ms(501);
+  EXPECT_EQ(outcome_of(cm_id.value()).outcome, Outcome::kFailure);
+
+  ASSERT_TRUE(
+      test::eventually([&] { return qm_->find_queue("R1")->depth() == 1u; }));
+  auto comp = rx.read_message("R1", 0);
+  ASSERT_TRUE(comp.is_ok());
+  EXPECT_EQ(comp.value().kind, MessageKind::kCompensation);
+  EXPECT_EQ(comp.value().body(), "undo-work");
+  EXPECT_EQ(comp.value().cm_id, cm_id.value());
+  EXPECT_EQ(rx.stats().compensations_delivered, 1u);
+}
+
+TEST_F(CmLocalTest, SystemCompensationHasEmptyBody) {
+  auto cond = DestBuilder(QueueAddress("QM1", "R1"), "alice")
+                  .processing_within(500)
+                  .build();
+  auto cm_id = service_->send_message("work", *cond);  // two-arg form
+  ASSERT_TRUE(cm_id.is_ok());
+  ConditionalReceiver rx(*qm_, "alice");
+  ASSERT_TRUE(rx.read_message("R1", 0).is_ok());
+  clock_.advance_ms(501);
+  ASSERT_EQ(outcome_of(cm_id.value()).outcome, Outcome::kFailure);
+  ASSERT_TRUE(
+      test::eventually([&] { return qm_->find_queue("R1")->depth() == 1u; }));
+  auto comp = rx.read_message("R1", 0);
+  ASSERT_TRUE(comp.is_ok());
+  EXPECT_TRUE(comp.value().body().empty());
+  EXPECT_EQ(comp.value().message.get_string(prop::kCompType), "system");
+}
+
+TEST_F(CmLocalTest, TransactionalCommitSatisfiesProcessing) {
+  auto cond = DestBuilder(QueueAddress("QM1", "R1"), "alice")
+                  .processing_within(1000)
+                  .build();
+  auto cm_id = service_->send_message("task", *cond);
+  ASSERT_TRUE(cm_id.is_ok());
+
+  ConditionalReceiver rx(*qm_, "alice");
+  ASSERT_TRUE(rx.begin_tx());
+  auto msg = rx.read_message("R1", 0);
+  ASSERT_TRUE(msg.is_ok());
+  EXPECT_TRUE(msg.value().processing_required);
+  // Not committed yet: no ack, evaluation still pending.
+  EXPECT_EQ(service_->evaluation_manager().stats().acks_processed, 0u);
+  clock_.advance_ms(100);
+  ASSERT_TRUE(rx.commit_tx());
+  EXPECT_EQ(outcome_of(cm_id.value()).outcome, Outcome::kSuccess);
+  EXPECT_EQ(rx.stats().processing_acks, 1u);
+  EXPECT_EQ(rx.stats().read_acks, 0u);  // never two acks for one read
+}
+
+TEST_F(CmLocalTest, RollbackProducesNoAckAndRedelivers) {
+  auto cond = DestBuilder(QueueAddress("QM1", "R1"), "alice")
+                  .pick_up_within(5000)
+                  .build();
+  auto cm_id = service_->send_message("retry-me", *cond);
+  ASSERT_TRUE(cm_id.is_ok());
+
+  ConditionalReceiver rx(*qm_, "alice");
+  ASSERT_TRUE(rx.begin_tx());
+  ASSERT_TRUE(rx.read_message("R1", 0).is_ok());
+  ASSERT_TRUE(rx.rollback_tx());
+  EXPECT_EQ(rx.stats().processing_acks, 0u);
+  EXPECT_EQ(rx.stats().read_acks, 0u);
+  // message restored by the MOM (§2.4)
+  EXPECT_EQ(qm_->find_queue("R1")->depth(), 1u);
+
+  // second attempt, non-transactional: exactly one ack, success
+  auto again = rx.read_message("R1", 0);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again.value().message.delivery_count, 2);
+  EXPECT_EQ(outcome_of(cm_id.value()).outcome, Outcome::kSuccess);
+  EXPECT_EQ(rx.stats().read_acks, 1u);
+}
+
+TEST_F(CmLocalTest, SuccessNotificationsWhenEnabled) {
+  SendOptions options;
+  options.success_notifications = true;
+  auto cm_id = service_->send_message("meet", *all_must_read(1000, {"R1"}),
+                                      options);
+  ASSERT_TRUE(cm_id.is_ok());
+  ConditionalReceiver rx(*qm_, "alice");
+  ASSERT_TRUE(rx.read_message("R1", 0).is_ok());
+  ASSERT_EQ(outcome_of(cm_id.value()).outcome, Outcome::kSuccess);
+  ASSERT_TRUE(
+      test::eventually([&] { return qm_->find_queue("R1")->depth() == 1u; }));
+  auto note = rx.read_message("R1", 0);
+  ASSERT_TRUE(note.is_ok());
+  EXPECT_EQ(note.value().kind, MessageKind::kSuccess);
+  EXPECT_EQ(note.value().cm_id, cm_id.value());
+}
+
+TEST_F(CmLocalTest, SharedQueueAnyReaderExample2) {
+  // Example 2: one shared queue, any controller must read within 20 s.
+  auto cond = DestBuilder(QueueAddress("QM1", "SHARED"))
+                  .pick_up_within(20 * kSecond)
+                  .build();
+  SendOptions options;
+  options.evaluation_timeout_ms = 21 * kSecond;
+  auto cm_id = service_->send_message("flight LH123", *cond, options);
+  ASSERT_TRUE(cm_id.is_ok());
+  clock_.advance_ms(5 * kSecond);
+  ConditionalReceiver controller2(*qm_, "controller2");
+  ASSERT_TRUE(controller2.read_message("SHARED", 0).is_ok());
+  EXPECT_EQ(outcome_of(cm_id.value()).outcome, Outcome::kSuccess);
+}
+
+TEST_F(CmLocalTest, SharedQueueNobodyReadsTimesOut) {
+  auto cond = DestBuilder(QueueAddress("QM1", "SHARED"))
+                  .pick_up_within(20 * kSecond)
+                  .build();
+  SendOptions options;
+  options.evaluation_timeout_ms = 21 * kSecond;
+  auto cm_id = service_->send_message("flight XY999", *cond, options);
+  ASSERT_TRUE(cm_id.is_ok());
+  clock_.advance_ms(20 * kSecond + 1);
+  auto record = outcome_of(cm_id.value());
+  EXPECT_EQ(record.outcome, Outcome::kFailure);
+}
+
+TEST_F(CmLocalTest, UnconditionalMessagesPassThroughUntouched) {
+  ASSERT_TRUE(qm_->put(QueueAddress("", "R1"), mq::Message("plain")));
+  ConditionalReceiver rx(*qm_, "alice");
+  auto msg = rx.read_message("R1", 0);
+  ASSERT_TRUE(msg.is_ok());
+  EXPECT_FALSE(msg.value().conditional);
+  EXPECT_EQ(msg.value().body(), "plain");
+  EXPECT_EQ(rx.stats().read_acks, 0u);
+  EXPECT_EQ(qm_->find_queue(kReceiverLogQueue)->depth(), 0u);
+}
+
+TEST_F(CmLocalTest, MultipleInFlightMessagesDemultiplexed) {
+  // §2.5: "Incoming acknowledgment messages must be sorted with respect to
+  // the conditional message they address".
+  auto id_a = service_->send_message("a", *all_must_read(1000, {"R1"}));
+  auto id_b = service_->send_message("b", *all_must_read(1000, {"R2"}));
+  auto id_c = service_->send_message("c", *all_must_read(1000, {"R3"}));
+  ASSERT_TRUE(id_a.is_ok());
+  ASSERT_TRUE(id_b.is_ok());
+  ASSERT_TRUE(id_c.is_ok());
+  EXPECT_EQ(service_->evaluation_manager().in_flight(), 3u);
+
+  ConditionalReceiver rx(*qm_, "worker");
+  ASSERT_TRUE(rx.read_message("R2", 0).is_ok());
+  ASSERT_TRUE(rx.read_message("R1", 0).is_ok());
+  EXPECT_EQ(outcome_of(id_a.value()).outcome, Outcome::kSuccess);
+  EXPECT_EQ(outcome_of(id_b.value()).outcome, Outcome::kSuccess);
+  // c untouched: still pending
+  EXPECT_FALSE(service_->outcome_of(id_c.value()).has_value());
+  clock_.advance_ms(1001);
+  EXPECT_EQ(outcome_of(id_c.value()).outcome, Outcome::kFailure);
+}
+
+TEST_F(CmLocalTest, OrphanAcksAreCountedAndIgnored) {
+  AckRecord bogus;
+  bogus.cm_id = "cm-never-sent";
+  bogus.type = AckType::kRead;
+  bogus.queue = QueueAddress("QM1", "R1");
+  bogus.read_ts = clock_.now_ms();
+  ASSERT_TRUE(qm_->put_local(kAckQueue, bogus.to_message()));
+  EXPECT_TRUE(test::eventually([&] {
+    return service_->evaluation_manager().stats().acks_orphaned == 1u;
+  }));
+}
+
+TEST_F(CmLocalTest, MalformedAckDoesNotKillEvaluator) {
+  ASSERT_TRUE(qm_->put_local(kAckQueue, mq::Message("not an ack")));
+  auto cm_id = service_->send_message("still-works",
+                                      *all_must_read(1000, {"R1"}));
+  ASSERT_TRUE(cm_id.is_ok());
+  ConditionalReceiver rx(*qm_, "alice");
+  ASSERT_TRUE(rx.read_message("R1", 0).is_ok());
+  EXPECT_EQ(outcome_of(cm_id.value()).outcome, Outcome::kSuccess);
+}
+
+TEST_F(CmLocalTest, RecoveryRebuildsEvaluationFromSenderLog) {
+  auto cm_id = service_->send_message("survive",
+                                      *all_must_read(5000, {"R1"}));
+  ASSERT_TRUE(cm_id.is_ok());
+  // "Crash" the sender service (the queue manager, with its persistent
+  // queues, survives — DS.SLOG.Q still holds the entry).
+  service_.reset();
+  service_ = std::make_unique<ConditionalMessagingService>(*qm_);
+  EXPECT_EQ(service_->evaluation_manager().in_flight(), 0u);
+  ASSERT_TRUE(service_->recover());
+  EXPECT_EQ(service_->evaluation_manager().in_flight(), 1u);
+
+  ConditionalReceiver rx(*qm_, "alice");
+  ASSERT_TRUE(rx.read_message("R1", 0).is_ok());
+  EXPECT_EQ(outcome_of(cm_id.value()).outcome, Outcome::kSuccess);
+}
+
+TEST_F(CmLocalTest, RecoverySkipsDecidedMessages) {
+  auto cm_id = service_->send_message("done", *all_must_read(1000, {"R1"}));
+  ASSERT_TRUE(cm_id.is_ok());
+  ConditionalReceiver rx(*qm_, "alice");
+  ASSERT_TRUE(rx.read_message("R1", 0).is_ok());
+  ASSERT_EQ(outcome_of(cm_id.value()).outcome, Outcome::kSuccess);
+  ASSERT_TRUE(service_->recover());
+  EXPECT_EQ(service_->evaluation_manager().in_flight(), 0u);
+}
+
+TEST_F(CmLocalTest, AnnihilationInsideTransaction) {
+  auto cond = DestBuilder(QueueAddress("QM1", "R1"), "alice")
+                  .pick_up_within(100)
+                  .build();
+  auto cm_id = service_->send_message("never-read", *cond);
+  ASSERT_TRUE(cm_id.is_ok());
+  clock_.advance_ms(101);
+  ASSERT_EQ(outcome_of(cm_id.value()).outcome, Outcome::kFailure);
+  ASSERT_TRUE(
+      test::eventually([&] { return qm_->find_queue("R1")->depth() == 2u; }));
+
+  ConditionalReceiver rx(*qm_, "alice");
+  ASSERT_TRUE(rx.begin_tx());
+  EXPECT_EQ(rx.read_message("R1", 0).code(), util::ErrorCode::kTimeout);
+  ASSERT_TRUE(rx.commit_tx());
+  EXPECT_EQ(rx.stats().annihilated, 1u);
+  EXPECT_EQ(qm_->find_queue("R1")->depth(), 0u);
+}
+
+TEST_F(CmLocalTest, MomPropertiesFromConditionApplied) {
+  auto cond = DestBuilder(QueueAddress("QM1", "R1"))
+                  .pick_up_within(1000)
+                  .priority(9)
+                  .expiry(5000)
+                  .persistence(mq::Persistence::kNonPersistent)
+                  .build();
+  ASSERT_TRUE(service_->send_message("urgent", *cond).is_ok());
+  auto msgs = qm_->find_queue("R1")->browse();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].priority, 9);
+  EXPECT_EQ(msgs[0].expiry_ms, clock_.now_ms() + 5000);
+  EXPECT_FALSE(msgs[0].persistent());
+}
+
+// ---------------------------------------------------------------------
+// Distributed: sender and receivers on different queue managers
+// ---------------------------------------------------------------------
+
+class CmDistributedTest : public ::testing::Test {
+ protected:
+  CmDistributedTest() {
+    qm_sender_ = std::make_unique<mq::QueueManager>("QMA", clock_);
+    qm_recv_ = std::make_unique<mq::QueueManager>("QMB", clock_);
+    qm_recv_->create_queue("IN1").expect_ok("create");
+    qm_recv_->create_queue("IN2").expect_ok("create");
+    net_ = std::make_unique<mq::Network>();
+    net_->add(*qm_sender_);
+    net_->add(*qm_recv_);
+    service_ = std::make_unique<ConditionalMessagingService>(*qm_sender_);
+  }
+  ~CmDistributedTest() override {
+    service_.reset();
+    net_->shutdown();
+  }
+
+  util::SimClock clock_;
+  std::unique_ptr<mq::QueueManager> qm_sender_;
+  std::unique_ptr<mq::QueueManager> qm_recv_;
+  std::unique_ptr<mq::Network> net_;
+  std::unique_ptr<ConditionalMessagingService> service_;
+};
+
+TEST_F(CmDistributedTest, AcksFlowBackAcrossTheNetwork) {
+  auto cond = SetBuilder()
+                  .pick_up_within(10 * kSecond)
+                  .add(DestBuilder(QueueAddress("QMB", "IN1"), "r1").build())
+                  .add(DestBuilder(QueueAddress("QMB", "IN2"), "r2").build())
+                  .build();
+  auto cm_id = service_->send_message("cross-qm", *cond);
+  ASSERT_TRUE(cm_id.is_ok());
+
+  ConditionalReceiver rx1(*qm_recv_, "r1"), rx2(*qm_recv_, "r2");
+  auto m1 = rx1.read_message("IN1", 5000);
+  ASSERT_TRUE(m1.is_ok());
+  EXPECT_EQ(m1.value().body(), "cross-qm");
+  ASSERT_TRUE(rx2.read_message("IN2", 5000).is_ok());
+
+  auto record = service_->await_outcome(cm_id.value(), 60 * kSecond);
+  ASSERT_TRUE(record.is_ok());
+  EXPECT_EQ(record.value().outcome, Outcome::kSuccess);
+}
+
+TEST_F(CmDistributedTest, TransactionalProcessingAcrossNetwork) {
+  auto cond = DestBuilder(QueueAddress("QMB", "IN1"), "worker")
+                  .processing_within(10 * kSecond)
+                  .build();
+  auto cm_id = service_->send_message("job", *cond);
+  ASSERT_TRUE(cm_id.is_ok());
+
+  ConditionalReceiver rx(*qm_recv_, "worker");
+  ASSERT_TRUE(rx.begin_tx());
+  ASSERT_TRUE(rx.read_message("IN1", 5000).is_ok());
+  ASSERT_TRUE(rx.commit_tx());
+  auto record = service_->await_outcome(cm_id.value(), 60 * kSecond);
+  ASSERT_TRUE(record.is_ok());
+  EXPECT_EQ(record.value().outcome, Outcome::kSuccess);
+}
+
+TEST_F(CmDistributedTest, CompensationTravelsToRemoteReceiver) {
+  auto cond = DestBuilder(QueueAddress("QMB", "IN1"), "worker")
+                  .processing_within(1000)
+                  .build();
+  auto cm_id = service_->send_message("do", "undo", *cond);
+  ASSERT_TRUE(cm_id.is_ok());
+  ConditionalReceiver rx(*qm_recv_, "worker");
+  ASSERT_TRUE(rx.read_message("IN1", 5000).is_ok());  // read-only: will fail
+  clock_.advance_ms(1001);
+  auto record = service_->await_outcome(cm_id.value(), 60 * kSecond);
+  ASSERT_TRUE(record.is_ok());
+  ASSERT_EQ(record.value().outcome, Outcome::kFailure);
+  auto comp = rx.read_message("IN1", 5000);
+  ASSERT_TRUE(comp.is_ok());
+  EXPECT_EQ(comp.value().kind, MessageKind::kCompensation);
+  EXPECT_EQ(comp.value().body(), "undo");
+}
+
+TEST_F(CmDistributedTest, PausedChannelDelaysAckPastDeadline) {
+  // Partition the ack path: the receiver reads in time, but its ack cannot
+  // reach the sender before the evaluation timeout — the sender-side view
+  // must fail the message (exactly the asynchrony §2.5 reasons about).
+  ASSERT_TRUE(net_->connect("QMB", "QMA", mq::ChannelOptions{}));
+  auto* back_channel = net_->channel("QMB", "QMA");
+  ASSERT_NE(back_channel, nullptr);
+  back_channel->pause();
+
+  auto cond = DestBuilder(QueueAddress("QMB", "IN1"), "worker")
+                  .pick_up_within(1000)
+                  .build();
+  SendOptions options;
+  options.evaluation_timeout_ms = 1500;
+  auto cm_id = service_->send_message("partitioned", *cond, options);
+  ASSERT_TRUE(cm_id.is_ok());
+
+  ConditionalReceiver rx(*qm_recv_, "worker");
+  ASSERT_TRUE(rx.read_message("IN1", 5000).is_ok());  // ack stuck on QMB
+  clock_.advance_ms(1501);
+  auto record = service_->await_outcome(cm_id.value(), 60 * kSecond);
+  ASSERT_TRUE(record.is_ok());
+  EXPECT_EQ(record.value().outcome, Outcome::kFailure);
+  back_channel->resume();  // late ack arrives and is counted as orphaned
+  EXPECT_TRUE(test::eventually([&] {
+    return service_->evaluation_manager().stats().acks_orphaned == 1u;
+  }));
+}
+
+}  // namespace
+}  // namespace cmx::cm

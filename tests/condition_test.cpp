@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include "cm/condition.hpp"
+#include "cm/condition_builder.hpp"
+
+namespace cmx::cm {
+namespace {
+
+using mq::QueueAddress;
+
+// The paper's Example 1 condition tree (Figure 4): four recipients, a
+// two-day pick-up condition on all, required processing for receiver3
+// within a week, and at-least-two-of-three processing within three days.
+ConditionPtr example1() {
+  return SetBuilder()
+      .pick_up_within(2 * kDay)
+      .add(DestBuilder(QueueAddress("QMB", "Q.R3"), "receiver3")
+               .processing_within(kWeek)
+               .build())
+      .add(SetBuilder()
+               .processing_within(3 * kDay)
+               .min_nr_processing(2)
+               .add(DestBuilder(QueueAddress("QMB", "Q.R1"), "receiver1")
+                        .build())
+               .add(DestBuilder(QueueAddress("QMB", "Q.R2"), "receiver2")
+                        .build())
+               .add(DestBuilder(QueueAddress("QMB", "Q.R4"), "receiver4")
+                        .build())
+               .build())
+      .build();
+}
+
+// Example 2 (Figure 5): one shared queue, anonymous pick-up within 20 s.
+ConditionPtr example2() {
+  return DestBuilder(QueueAddress("QMC", "Q.CENTRAL"))
+      .pick_up_within(20 * kSecond)
+      .build();
+}
+
+TEST(ConditionTest, Example1StructureMatchesFigure4) {
+  auto root = example1();
+  ASSERT_TRUE(root->validate());
+  EXPECT_FALSE(root->is_leaf());
+  EXPECT_EQ(root->msg_pick_up_time(), 2 * kDay);
+  ASSERT_EQ(root->children().size(), 2u);
+
+  const auto* qr3 = root->children()[0]->as_destination();
+  ASSERT_NE(qr3, nullptr);
+  EXPECT_EQ(qr3->recipient_id(), "receiver3");
+  EXPECT_TRUE(qr3->required());
+  EXPECT_TRUE(qr3->processing_required());
+  EXPECT_EQ(qr3->msg_processing_time(), kWeek);
+
+  const auto* sub = root->children()[1]->as_destination_set();
+  ASSERT_NE(sub, nullptr);
+  EXPECT_EQ(sub->min_nr_processing(), 2);
+  EXPECT_EQ(sub->msg_processing_time(), 3 * kDay);
+  EXPECT_EQ(sub->children().size(), 3u);
+  for (const auto& child : sub->children()) {
+    const auto* leaf = child->as_destination();
+    ASSERT_NE(leaf, nullptr);
+    EXPECT_FALSE(leaf->required()) << "subset members are optional";
+  }
+  EXPECT_EQ(root->leaves().size(), 4u);
+}
+
+TEST(ConditionTest, Example2StructureMatchesFigure5) {
+  auto cond = example2();
+  ASSERT_TRUE(cond->validate());
+  const auto* leaf = cond->as_destination();
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_TRUE(leaf->recipient_id().empty());
+  EXPECT_EQ(leaf->msg_pick_up_time(), 20 * kSecond);
+  EXPECT_FALSE(leaf->msg_processing_time().has_value());
+  EXPECT_TRUE(leaf->required());
+}
+
+TEST(ConditionTest, CompositeRejectsChildOpsOnLeaf) {
+  auto leaf = Destination::make(QueueAddress("", "Q"));
+  EXPECT_THROW(leaf->add(Destination::make(QueueAddress("", "Q2"))),
+               std::logic_error);
+  EXPECT_THROW(leaf->remove(nullptr), std::logic_error);
+  EXPECT_TRUE(leaf->children().empty());
+}
+
+TEST(ConditionTest, AddRemoveChildren) {
+  auto set = DestinationSet::make();
+  auto a = Destination::make(QueueAddress("", "A"));
+  auto b = Destination::make(QueueAddress("", "B"));
+  set->add(a);
+  set->add(b);
+  EXPECT_EQ(set->children().size(), 2u);
+  set->remove(a);
+  ASSERT_EQ(set->children().size(), 1u);
+  EXPECT_EQ(set->children()[0], b);
+  EXPECT_THROW(set->add(nullptr), std::logic_error);
+}
+
+TEST(ConditionTest, CloneIsDeep) {
+  auto root = example1();
+  auto copy = root->clone();
+  ASSERT_TRUE(copy->validate());
+  EXPECT_EQ(copy->leaves().size(), 4u);
+  // mutate the copy; the original must be unaffected
+  auto* copy_set = const_cast<DestinationSet*>(copy->as_destination_set());
+  copy_set->set_msg_pick_up_time(1);
+  copy_set->children()[0]->set_msg_processing_time(2);
+  EXPECT_EQ(root->msg_pick_up_time(), 2 * kDay);
+  EXPECT_EQ(root->children()[0]->msg_processing_time(), kWeek);
+}
+
+TEST(ConditionTest, CodecRoundTripPreservesEverything) {
+  auto root = SetBuilder()
+                  .pick_up_within(1000)
+                  .processing_within(2000)
+                  .min_nr_pick_up(1)
+                  .max_nr_pick_up(3)
+                  .min_nr_processing(1)
+                  .max_nr_processing(2)
+                  .min_nr_anonymous(1)
+                  .max_nr_anonymous(5)
+                  .priority(7)
+                  .expiry(9999)
+                  .persistence(mq::Persistence::kNonPersistent)
+                  .add(DestBuilder(QueueAddress("QM", "Q1"), "alice")
+                           .pick_up_within(500)
+                           .priority(2)
+                           .build())
+                  .add(SetBuilder()
+                           .pick_up_within(800)
+                           .add(DestBuilder(QueueAddress("QM", "Q2")).build())
+                           .build())
+                  .build();
+  auto decoded = Condition::decode(root->encode());
+  ASSERT_TRUE(decoded.is_ok());
+  const auto* set = decoded.value()->as_destination_set();
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->msg_pick_up_time(), 1000);
+  EXPECT_EQ(set->msg_processing_time(), 2000);
+  EXPECT_EQ(set->min_nr_pick_up(), 1);
+  EXPECT_EQ(set->max_nr_pick_up(), 3);
+  EXPECT_EQ(set->min_nr_processing(), 1);
+  EXPECT_EQ(set->max_nr_processing(), 2);
+  EXPECT_EQ(set->min_nr_anonymous(), 1);
+  EXPECT_EQ(set->max_nr_anonymous(), 5);
+  EXPECT_EQ(set->msg_priority(), 7);
+  EXPECT_EQ(set->msg_expiry(), 9999);
+  EXPECT_EQ(set->msg_persistence(), mq::Persistence::kNonPersistent);
+  ASSERT_EQ(set->children().size(), 2u);
+  const auto* leaf = set->children()[0]->as_destination();
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(leaf->address(), QueueAddress("QM", "Q1"));
+  EXPECT_EQ(leaf->recipient_id(), "alice");
+  EXPECT_EQ(leaf->msg_pick_up_time(), 500);
+  EXPECT_EQ(leaf->msg_priority(), 2);
+  const auto* sub = set->children()[1]->as_destination_set();
+  ASSERT_NE(sub, nullptr);
+  EXPECT_EQ(sub->children().size(), 1u);
+}
+
+TEST(ConditionTest, CodecRejectsGarbage) {
+  EXPECT_FALSE(Condition::decode("").is_ok());
+  EXPECT_FALSE(Condition::decode("garbage").is_ok());
+  auto bytes = example2()->encode();
+  EXPECT_FALSE(
+      Condition::decode(std::string_view(bytes).substr(0, bytes.size() / 2))
+          .is_ok());
+}
+
+TEST(ConditionTest, DescribeMentionsKeyFacts) {
+  const auto text = example1()->describe();
+  EXPECT_NE(text.find("receiver3"), std::string::npos);
+  EXPECT_NE(text.find("minProcessing=2"), std::string::npos);
+  EXPECT_NE(text.find("required"), std::string::npos);
+}
+
+// --- validation matrix ----------------------------------------------------
+
+struct InvalidCase {
+  const char* name;
+  ConditionPtr (*make)();
+};
+
+class ConditionValidation : public ::testing::TestWithParam<InvalidCase> {};
+
+TEST_P(ConditionValidation, Rejected) {
+  auto cond = GetParam().make();
+  auto s = cond->validate();
+  EXPECT_FALSE(s.is_ok()) << GetParam().name;
+  EXPECT_EQ(s.code(), util::ErrorCode::kInvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Invalid, ConditionValidation,
+    ::testing::Values(
+        InvalidCase{"empty queue",
+                    [] {
+                      return std::static_pointer_cast<Condition>(
+                          Destination::make(QueueAddress("", "")));
+                    }},
+        InvalidCase{"empty set",
+                    [] {
+                      return std::static_pointer_cast<Condition>(
+                          DestinationSet::make());
+                    }},
+        InvalidCase{"negative pickup time",
+                    [] {
+                      return std::static_pointer_cast<Condition>(
+                          DestBuilder(QueueAddress("", "Q"))
+                              .pick_up_within(-5)
+                              .build());
+                    }},
+        InvalidCase{"zero processing time",
+                    [] {
+                      return std::static_pointer_cast<Condition>(
+                          DestBuilder(QueueAddress("", "Q"))
+                              .processing_within(0)
+                              .build());
+                    }},
+        InvalidCase{"priority out of range",
+                    [] {
+                      return std::static_pointer_cast<Condition>(
+                          DestBuilder(QueueAddress("", "Q"))
+                              .priority(10)
+                              .build());
+                    }},
+        InvalidCase{"min above max",
+                    [] {
+                      return std::static_pointer_cast<Condition>(
+                          SetBuilder()
+                              .pick_up_within(100)
+                              .min_nr_pick_up(3)
+                              .max_nr_pick_up(1)
+                              .add(DestBuilder(QueueAddress("", "Q")).build())
+                              .build());
+                    }},
+        InvalidCase{"cardinality without deadline",
+                    [] {
+                      return std::static_pointer_cast<Condition>(
+                          SetBuilder()
+                              .min_nr_pick_up(1)
+                              .add(DestBuilder(QueueAddress("", "Q")).build())
+                              .build());
+                    }},
+        InvalidCase{"processing cardinality without deadline",
+                    [] {
+                      return std::static_pointer_cast<Condition>(
+                          SetBuilder()
+                              .min_nr_processing(1)
+                              .add(DestBuilder(QueueAddress("", "Q")).build())
+                              .build());
+                    }},
+        InvalidCase{"min exceeds leaves",
+                    [] {
+                      return std::static_pointer_cast<Condition>(
+                          SetBuilder()
+                              .pick_up_within(100)
+                              .min_nr_pick_up(5)
+                              .add(DestBuilder(QueueAddress("", "Q")).build())
+                              .build());
+                    }},
+        InvalidCase{"negative anonymous",
+                    [] {
+                      return std::static_pointer_cast<Condition>(
+                          SetBuilder()
+                              .pick_up_within(100)
+                              .min_nr_anonymous(-1)
+                              .add(DestBuilder(QueueAddress("", "Q")).build())
+                              .build());
+                    }}));
+
+TEST(ConditionTest, SharedNodeRejected) {
+  auto shared = Destination::make(QueueAddress("", "Q"));
+  auto root = SetBuilder().pick_up_within(100).add(shared).add(shared).build();
+  EXPECT_FALSE(root->validate().is_ok());
+}
+
+TEST(ConditionTest, ValidMinimalForms) {
+  EXPECT_TRUE(DestBuilder(QueueAddress("", "Q")).build()->validate());
+  EXPECT_TRUE(example1()->validate());
+  EXPECT_TRUE(example2()->validate());
+  auto nested = SetBuilder()
+                    .add(SetBuilder()
+                             .add(DestBuilder(QueueAddress("", "Q")).build())
+                             .build())
+                    .build();
+  EXPECT_TRUE(nested->validate());
+}
+
+TEST(ConditionTest, RequiredVsOptional) {
+  auto required_pickup =
+      DestBuilder(QueueAddress("", "Q")).pick_up_within(10).build();
+  auto required_processing =
+      DestBuilder(QueueAddress("", "Q")).processing_within(10).build();
+  auto optional = DestBuilder(QueueAddress("", "Q")).build();
+  EXPECT_TRUE(required_pickup->required());
+  EXPECT_TRUE(required_processing->required());
+  EXPECT_FALSE(optional->required());
+  EXPECT_FALSE(required_pickup->processing_required());
+  EXPECT_TRUE(required_processing->processing_required());
+}
+
+TEST(ConditionTest, LeavesAreLeftToRight) {
+  auto root = example1();
+  auto leaves = root->leaves();
+  ASSERT_EQ(leaves.size(), 4u);
+  EXPECT_EQ(leaves[0]->recipient_id(), "receiver3");
+  EXPECT_EQ(leaves[1]->recipient_id(), "receiver1");
+  EXPECT_EQ(leaves[2]->recipient_id(), "receiver2");
+  EXPECT_EQ(leaves[3]->recipient_id(), "receiver4");
+}
+
+}  // namespace
+}  // namespace cmx::cm

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+
+#include "cm/condition_builder.hpp"
+#include "cm/condition_text.hpp"
+
+namespace cmx::cm {
+namespace {
+
+TEST(ConditionTextTest, ParsesExample1) {
+  const char* text = R"(
+    ; the paper's Figure 4
+    (set :pickUp 2d
+      (dest "QMB/Q.R3" :recipient "receiver3" :processing 1w)
+      (set :processing 3d :minProcessing 2
+        (dest "QMB/Q.R1" :recipient "receiver1")
+        (dest "QMB/Q.R2" :recipient "receiver2")
+        (dest "QMB/Q.R4" :recipient "receiver4")))
+  )";
+  auto parsed = parse_condition_text(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const auto& root = *parsed.value();
+  ASSERT_TRUE(root.validate());
+  EXPECT_EQ(root.msg_pick_up_time(), 2 * kDay);
+  ASSERT_EQ(root.children().size(), 2u);
+  const auto* r3 = root.children()[0]->as_destination();
+  ASSERT_NE(r3, nullptr);
+  EXPECT_EQ(r3->recipient_id(), "receiver3");
+  EXPECT_EQ(r3->msg_processing_time(), kWeek);
+  const auto* sub = root.children()[1]->as_destination_set();
+  ASSERT_NE(sub, nullptr);
+  EXPECT_EQ(sub->min_nr_processing(), 2);
+  EXPECT_EQ(sub->msg_processing_time(), 3 * kDay);
+  EXPECT_EQ(root.leaves().size(), 4u);
+}
+
+TEST(ConditionTextTest, ParsesSingleDestination) {
+  auto parsed = parse_condition_text("(dest \"QMC/Q.CENTRAL\" :pickUp 20s)");
+  ASSERT_TRUE(parsed.is_ok());
+  const auto* dest = parsed.value()->as_destination();
+  ASSERT_NE(dest, nullptr);
+  EXPECT_EQ(dest->address(), mq::QueueAddress("QMC", "Q.CENTRAL"));
+  EXPECT_EQ(dest->msg_pick_up_time(), 20 * kSecond);
+  EXPECT_TRUE(dest->recipient_id().empty());
+}
+
+TEST(ConditionTextTest, DurationUnits) {
+  struct Case {
+    const char* text;
+    util::TimeMs expected;
+  };
+  const Case cases[] = {
+      {"(dest q :pickUp 500)", 500},        {"(dest q :pickUp 500ms)", 500},
+      {"(dest q :pickUp 2s)", 2000},        {"(dest q :pickUp 3m)", 180'000},
+      {"(dest q :pickUp 1h)", 3'600'000},   {"(dest q :pickUp 2d)", 2 * kDay},
+      {"(dest q :pickUp 1w)", kWeek},
+  };
+  for (const auto& c : cases) {
+    auto parsed = parse_condition_text(c.text);
+    ASSERT_TRUE(parsed.is_ok()) << c.text;
+    EXPECT_EQ(parsed.value()->msg_pick_up_time(), c.expected) << c.text;
+  }
+}
+
+TEST(ConditionTextTest, AllAttributes) {
+  auto parsed = parse_condition_text(
+      "(set :pickUp 1s :processing 2s :expiry 3s :priority 7 "
+      ":persistent false :minPickUp 1 :maxPickUp 2 :minProcessing 1 "
+      ":maxProcessing 2 :minAnonymous 1 :maxAnonymous 3 "
+      "(dest q :recipient bob :priority 2 :persistent true))");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const auto* set = parsed.value()->as_destination_set();
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->msg_expiry(), 3000);
+  EXPECT_EQ(set->msg_priority(), 7);
+  EXPECT_EQ(set->msg_persistence(), mq::Persistence::kNonPersistent);
+  EXPECT_EQ(set->min_nr_pick_up(), 1);
+  EXPECT_EQ(set->max_nr_pick_up(), 2);
+  EXPECT_EQ(set->min_nr_anonymous(), 1);
+  EXPECT_EQ(set->max_nr_anonymous(), 3);
+  const auto* dest = set->children()[0]->as_destination();
+  EXPECT_EQ(dest->recipient_id(), "bob");
+  EXPECT_EQ(dest->msg_priority(), 2);
+  EXPECT_EQ(dest->msg_persistence(), mq::Persistence::kPersistent);
+}
+
+TEST(ConditionTextTest, RoundTripPreservesStructure) {
+  auto original = SetBuilder()
+                      .pick_up_within(2 * kDay)
+                      .min_nr_pick_up(2)
+                      .priority(8)
+                      .add(DestBuilder(mq::QueueAddress("QM", "A"), "alice")
+                               .processing_within(90 * kMinute)
+                               .build())
+                      .add(SetBuilder()
+                               .processing_within(45 * kSecond)
+                               .min_nr_processing(1)
+                               .add(DestBuilder(mq::QueueAddress("QM", "B"))
+                                        .expiry(777)
+                                        .build())
+                               .build())
+                      .build();
+  const std::string text = condition_to_text(*original);
+  auto reparsed = parse_condition_text(text);
+  ASSERT_TRUE(reparsed.is_ok()) << text << "\n"
+                                << reparsed.status().to_string();
+  // structural equality via the binary codec
+  EXPECT_EQ(reparsed.value()->encode(), original->encode()) << text;
+}
+
+TEST(ConditionTextTest, RoundTripOddDurations) {
+  // 777 ms has no larger exact unit; 60000 ms should print as 1m.
+  auto tree = DestBuilder(mq::QueueAddress("", "Q"))
+                  .pick_up_within(777)
+                  .processing_within(60'000)
+                  .build();
+  const auto text = condition_to_text(*tree);
+  EXPECT_NE(text.find("777ms"), std::string::npos);
+  EXPECT_NE(text.find("1m"), std::string::npos);
+  auto reparsed = parse_condition_text(text);
+  ASSERT_TRUE(reparsed.is_ok());
+  EXPECT_EQ(reparsed.value()->encode(), tree->encode());
+}
+
+TEST(ConditionTextTest, QuotingAndEscapes) {
+  auto tree = Destination::make(mq::QueueAddress("QM", "Q"), "odd \"name\"");
+  const auto text = condition_to_text(*tree);
+  auto reparsed = parse_condition_text(text);
+  ASSERT_TRUE(reparsed.is_ok()) << text;
+  EXPECT_EQ(reparsed.value()->as_destination()->recipient_id(),
+            "odd \"name\"");
+}
+
+struct BadText {
+  const char* text;
+};
+class ConditionTextErrors : public ::testing::TestWithParam<BadText> {};
+
+TEST_P(ConditionTextErrors, Rejected) {
+  auto parsed = parse_condition_text(GetParam().text);
+  ASSERT_FALSE(parsed.is_ok()) << GetParam().text;
+  EXPECT_EQ(parsed.status().code(), util::ErrorCode::kInvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Syntax, ConditionTextErrors,
+    ::testing::Values(BadText{""}, BadText{"dest q"},
+                      BadText{"(dest)"},
+                      BadText{"(dest q :pickUp)"},
+                      BadText{"(dest q :pickUp abc)"},
+                      BadText{"(dest q :pickUp 5y)"},
+                      BadText{"(dest q :unknownKey 5)"},
+                      BadText{"(frobnicate q)"},
+                      BadText{"(set :minPickUp 1"},
+                      BadText{"(dest q) trailing"}));
+
+// Property: every randomly-generated condition tree round-trips through
+// the text format to a structurally identical tree (binary-codec equal).
+class TextRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TextRoundTripProperty, RandomTreesRoundTrip) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  auto chance = [&](int pct) { return int(rng() % 100) < pct; };
+  int queue_counter = 0;
+
+  std::function<ConditionPtr(int)> make_node = [&](int depth) -> ConditionPtr {
+    if (depth == 0 || chance(55)) {
+      auto leaf = DestBuilder(
+          mq::QueueAddress(chance(50) ? "QM" + std::to_string(rng() % 3) : "",
+                           "Q" + std::to_string(queue_counter++)),
+          chance(40) ? "user " + std::to_string(rng() % 9) : "");
+      if (chance(60)) leaf.pick_up_within(1 + util::TimeMs(rng() % 100000));
+      if (chance(40)) leaf.processing_within(1 + util::TimeMs(rng() % 9999));
+      if (chance(25)) leaf.priority(int(rng() % 10));
+      if (chance(25)) leaf.expiry(1 + util::TimeMs(rng() % 777));
+      if (chance(20)) {
+        leaf.persistence(chance(50) ? mq::Persistence::kPersistent
+                                    : mq::Persistence::kNonPersistent);
+      }
+      return leaf.build();
+    }
+    SetBuilder set;
+    const int children = 1 + int(rng() % 3);
+    for (int i = 0; i < children; ++i) set.add(make_node(depth - 1));
+    if (chance(70)) set.pick_up_within(1 + util::TimeMs(rng() % kWeek));
+    if (chance(40)) set.processing_within(1 + util::TimeMs(rng() % kDay));
+    if (chance(30)) set.min_nr_pick_up(int(rng() % 4));
+    if (chance(20)) set.max_nr_pick_up(4 + int(rng() % 4));
+    if (chance(30)) set.min_nr_processing(int(rng() % 4));
+    if (chance(20)) set.max_nr_processing(4 + int(rng() % 4));
+    if (chance(15)) set.min_nr_anonymous(int(rng() % 3));
+    if (chance(15)) set.max_nr_anonymous(3 + int(rng() % 3));
+    return set.build();
+  };
+
+  for (int round = 0; round < 25; ++round) {
+    auto tree = make_node(3);
+    const std::string text = condition_to_text(*tree);
+    auto reparsed = parse_condition_text(text);
+    ASSERT_TRUE(reparsed.is_ok())
+        << reparsed.status().to_string() << "\n" << text;
+    EXPECT_EQ(reparsed.value()->encode(), tree->encode()) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TextRoundTripProperty,
+                         ::testing::Range(1, 11));
+
+TEST(ConditionTextTest, ParsedTreeIsUsableEndToEnd) {
+  auto parsed = parse_condition_text(
+      "(set :pickUp 100 :minPickUp 1 (dest \"QM/A\") (dest \"QM/B\"))");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_TRUE(parsed.value()->validate());
+  EXPECT_EQ(parsed.value()->leaves().size(), 2u);
+}
+
+}  // namespace
+}  // namespace cmx::cm

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "cm/condition_builder.hpp"
+#include "cm/outcome_dispatcher.hpp"
+#include "cm/receiver.hpp"
+#include "cm/sender.hpp"
+#include "tests/test_support.hpp"
+
+namespace cmx::cm {
+namespace {
+
+using mq::QueueAddress;
+
+class DispatcherTest : public ::testing::Test {
+ protected:
+  DispatcherTest() : qm_("QM", clock_), service_(qm_) {
+    qm_.create_queue("Q").expect_ok("create");
+  }
+  ConditionPtr pick_up(util::TimeMs within) {
+    return DestBuilder(QueueAddress("QM", "Q")).pick_up_within(within).build();
+  }
+  util::SimClock clock_;
+  mq::QueueManager qm_;
+  ConditionalMessagingService service_;
+};
+
+TEST_F(DispatcherTest, HandlerReceivesItsOutcome) {
+  OutcomeDispatcher dispatcher(qm_);
+  auto cm_id = service_.send_message("x", *pick_up(1000));
+  ASSERT_TRUE(cm_id.is_ok());
+  std::atomic<int> calls{0};
+  Outcome seen = Outcome::kFailure;
+  dispatcher.on_outcome(cm_id.value(), [&](const OutcomeRecord& record) {
+    seen = record.outcome;
+    calls.fetch_add(1);
+  });
+  ConditionalReceiver rx(qm_, "reader");
+  ASSERT_TRUE(rx.read_message("Q", 0).is_ok());
+  ASSERT_TRUE(dispatcher.await_dispatched(1));
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen, Outcome::kSuccess);
+}
+
+TEST_F(DispatcherTest, FallbackReceivesUnclaimedOutcomes) {
+  std::atomic<int> fallback_calls{0};
+  OutcomeDispatcher dispatcher(
+      qm_, [&](const OutcomeRecord&) { fallback_calls.fetch_add(1); });
+  auto cm_id = service_.send_message("x", *pick_up(100));
+  ASSERT_TRUE(cm_id.is_ok());
+  clock_.advance_ms(101);
+  ASSERT_TRUE(dispatcher.await_dispatched(1));
+  EXPECT_EQ(fallback_calls.load(), 1);
+}
+
+TEST_F(DispatcherTest, HandlersAreOneShotAndPerMessage) {
+  OutcomeDispatcher dispatcher(qm_);
+  auto a = service_.send_message("a", *pick_up(1000));
+  auto b = service_.send_message("b", *pick_up(100));
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  std::atomic<int> a_calls{0}, b_calls{0};
+  std::atomic<bool> b_failed{false};
+  dispatcher.on_outcome(a.value(),
+                        [&](const OutcomeRecord&) { a_calls.fetch_add(1); });
+  dispatcher.on_outcome(b.value(), [&](const OutcomeRecord& record) {
+    b_calls.fetch_add(1);
+    b_failed = record.outcome == Outcome::kFailure;
+  });
+  ConditionalReceiver rx(qm_, "reader");
+  ASSERT_TRUE(rx.read_message("Q", 0).is_ok());  // delivers "a"'s message
+  clock_.advance_ms(101);                        // fails "b"
+  ASSERT_TRUE(dispatcher.await_dispatched(2));
+  EXPECT_EQ(a_calls.load(), 1);
+  EXPECT_EQ(b_calls.load(), 1);
+  EXPECT_TRUE(b_failed.load());
+}
+
+TEST_F(DispatcherTest, StopIsIdempotentAndJoins) {
+  OutcomeDispatcher dispatcher(qm_);
+  dispatcher.stop();
+  dispatcher.stop();
+  EXPECT_EQ(dispatcher.dispatched(), 0u);
+}
+
+}  // namespace
+}  // namespace cmx::cm

@@ -1,0 +1,296 @@
+// Tests for Dependency-Spheres (§3): atomic groups of conditional
+// messages, optionally integrating 2PC-managed transactional resources.
+#include <gtest/gtest.h>
+
+#include "cm/condition_builder.hpp"
+#include "cm/receiver.hpp"
+#include "ds/dsphere.hpp"
+#include "tests/test_support.hpp"
+#include "txn/kvstore.hpp"
+
+namespace cmx::ds {
+namespace {
+
+using cm::DestBuilder;
+using cm::MessageKind;
+using mq::QueueAddress;
+
+class DSphereTest : public ::testing::Test {
+ protected:
+  DSphereTest() {
+    qm_ = std::make_unique<mq::QueueManager>("QM1", clock_);
+    for (const char* q : {"A", "B", "C"}) {
+      qm_->create_queue(q).expect_ok("create");
+    }
+    service_ = std::make_unique<cm::ConditionalMessagingService>(*qm_);
+    spheres_ = std::make_unique<DSphereService>(*service_, coordinator_);
+  }
+
+  cm::ConditionPtr read_within(const char* queue, util::TimeMs within) {
+    return DestBuilder(QueueAddress("QM1", queue))
+        .pick_up_within(within)
+        .build();
+  }
+
+  // Reads one message from `queue` so its member message succeeds.
+  void consume(const char* queue, const std::string& recipient) {
+    cm::ConditionalReceiver rx(*qm_, recipient);
+    rx.read_message(queue, 0).status().expect_ok("consume");
+  }
+
+  util::SimClock clock_;
+  std::unique_ptr<mq::QueueManager> qm_;
+  std::unique_ptr<cm::ConditionalMessagingService> service_;
+  txn::TwoPhaseCoordinator coordinator_;
+  std::unique_ptr<DSphereService> spheres_;
+};
+
+TEST_F(DSphereTest, EmptySphereCommits) {
+  const auto ds = spheres_->begin();
+  auto result = spheres_->commit(ds, 0);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().outcome, DSphereOutcome::kCommitted);
+  EXPECT_EQ(spheres_->outcome(ds)->outcome, DSphereOutcome::kCommitted);
+}
+
+TEST_F(DSphereTest, MembersAreSentImmediately) {
+  // §3.1: unlike messaging transactions, D-Sphere messages are NOT held
+  // back until commit.
+  const auto ds = spheres_->begin();
+  ASSERT_TRUE(spheres_->send_message(ds, "m1", *read_within("A", 1000)));
+  EXPECT_EQ(qm_->find_queue("A")->depth(), 1u);  // already delivered
+  EXPECT_EQ(spheres_->members(ds).size(), 1u);
+}
+
+TEST_F(DSphereTest, AllMembersSucceedSphereCommits) {
+  const auto ds = spheres_->begin();
+  auto m1 = spheres_->send_message(ds, "m1", *read_within("A", 1000));
+  auto m2 = spheres_->send_message(ds, "m2", *read_within("B", 1000));
+  ASSERT_TRUE(m1.is_ok());
+  ASSERT_TRUE(m2.is_ok());
+  consume("A", "ra");
+  consume("B", "rb");
+  ASSERT_TRUE(service_->evaluation_manager().await_decided(m1.value(), 5000));
+  ASSERT_TRUE(service_->evaluation_manager().await_decided(m2.value(), 5000));
+
+  auto result = spheres_->commit(ds, 10 * cm::kSecond);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().outcome, DSphereOutcome::kCommitted);
+  // success actions released: compensations discarded
+  EXPECT_EQ(service_->compensation_manager().staged_count(m1.value()), 0u);
+  EXPECT_EQ(service_->compensation_manager().staged_count(m2.value()), 0u);
+}
+
+TEST_F(DSphereTest, OutcomeActionsDeferredUntilSphereResolves) {
+  const auto ds = spheres_->begin();
+  auto m1 = spheres_->send_message(ds, "m1", *read_within("A", 100));
+  ASSERT_TRUE(m1.is_ok());
+  clock_.advance_ms(101);  // member fails
+  ASSERT_TRUE(service_->evaluation_manager().await_decided(m1.value(), 5000));
+  // The member is decided (failure), but its compensation must still be
+  // parked: outcome actions wait for the sphere (§3.1).
+  EXPECT_EQ(service_->outcome_of(m1.value()), cm::Outcome::kFailure);
+  EXPECT_EQ(service_->compensation_manager().staged_count(m1.value()), 1u);
+  EXPECT_EQ(qm_->find_queue("A")->depth(), 1u);  // no compensation yet
+
+  auto result = spheres_->commit(ds, 0);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().outcome, DSphereOutcome::kAborted);
+  // now the compensation flows
+  EXPECT_TRUE(test::eventually(
+      [&] { return qm_->find_queue("A")->depth() == 2u; }));
+}
+
+TEST_F(DSphereTest, OneFailedMemberAbortsSphereAndCompensatesAll) {
+  const auto ds = spheres_->begin();
+  auto good = spheres_->send_message(ds, "good", *read_within("A", 1000));
+  auto bad = spheres_->send_message(ds, "bad", *read_within("B", 100));
+  ASSERT_TRUE(good.is_ok());
+  ASSERT_TRUE(bad.is_ok());
+  consume("A", "ra");  // good member succeeds
+  ASSERT_TRUE(
+      service_->evaluation_manager().await_decided(good.value(), 5000));
+  clock_.advance_ms(101);  // bad member times out
+  ASSERT_TRUE(service_->evaluation_manager().await_decided(bad.value(), 5000));
+
+  auto result = spheres_->commit(ds, 10 * cm::kSecond);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().outcome, DSphereOutcome::kAborted);
+  EXPECT_NE(result.value().reason.find(bad.value()), std::string::npos);
+
+  // Compensation reaches BOTH members — including the one that succeeded
+  // individually (its effects must be undone for group atomicity).
+  cm::ConditionalReceiver ra(*qm_, "ra");
+  auto comp = ra.read_message("A", 5000);
+  ASSERT_TRUE(comp.is_ok());
+  EXPECT_EQ(comp.value().kind, MessageKind::kCompensation);
+  // B's original and compensation annihilate
+  cm::ConditionalReceiver rb(*qm_, "rb");
+  EXPECT_EQ(rb.read_message("B", 0).code(), util::ErrorCode::kTimeout);
+  EXPECT_EQ(rb.stats().annihilated, 1u);
+}
+
+TEST_F(DSphereTest, TimeoutForceFailsPendingMembers) {
+  const auto ds = spheres_->begin();
+  auto m1 = spheres_->send_message(ds, "m1", *read_within("A", cm::kHour));
+  ASSERT_TRUE(m1.is_ok());
+  // commit with a zero timeout: the member is still pending and gets
+  // force-failed with the D-Sphere timeout reason
+  auto result = spheres_->commit(ds, 0);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().outcome, DSphereOutcome::kAborted);
+  EXPECT_EQ(service_->outcome_of(m1.value()), cm::Outcome::kFailure);
+  auto record = service_->await_outcome(m1.value(), 1000);
+  ASSERT_TRUE(record.is_ok());
+  EXPECT_NE(record.value().reason.find("timeout"), std::string::npos);
+}
+
+TEST_F(DSphereTest, AbortRollsBackEverything) {
+  const auto ds = spheres_->begin();
+  auto m1 = spheres_->send_message(ds, "m1", *read_within("A", 1000));
+  ASSERT_TRUE(m1.is_ok());
+  consume("A", "ra");
+  ASSERT_TRUE(service_->evaluation_manager().await_decided(m1.value(), 5000));
+  auto result = spheres_->abort(ds);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().outcome, DSphereOutcome::kAborted);
+  cm::ConditionalReceiver ra(*qm_, "ra");
+  auto comp = ra.read_message("A", 5000);
+  ASSERT_TRUE(comp.is_ok());
+  EXPECT_EQ(comp.value().kind, MessageKind::kCompensation);
+}
+
+TEST_F(DSphereTest, TransactionalResourceCommitsWithSphere) {
+  txn::TxKvStore calendar("calendar");
+  const auto ds = spheres_->begin();
+  ASSERT_TRUE(spheres_->enlist(ds, calendar));
+  auto tx = spheres_->transaction_id(ds);
+  ASSERT_TRUE(tx.is_ok());
+  ASSERT_TRUE(calendar.put(tx.value(), "meeting", "room-42"));
+
+  auto m1 = spheres_->send_message(ds, "invite", *read_within("A", 1000));
+  ASSERT_TRUE(m1.is_ok());
+  consume("A", "ra");
+  ASSERT_TRUE(service_->evaluation_manager().await_decided(m1.value(), 5000));
+
+  auto result = spheres_->commit(ds, 10 * cm::kSecond);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().outcome, DSphereOutcome::kCommitted);
+  EXPECT_EQ(calendar.read_committed("meeting"), "room-42");
+  EXPECT_EQ(coordinator_.stats().committed, 1u);
+}
+
+TEST_F(DSphereTest, ResourceAbortVoteFailsSphere) {
+  // §3.2: "In case that a transactional object request fails, the
+  // D-Sphere as a whole fails."
+  txn::TxKvStore flaky("flaky");
+  const auto ds = spheres_->begin();
+  ASSERT_TRUE(spheres_->enlist(ds, flaky));
+  auto tx = spheres_->transaction_id(ds);
+  ASSERT_TRUE(flaky.put(tx.value(), "k", "v"));
+  flaky.fail_next_prepare();
+
+  auto m1 = spheres_->send_message(ds, "msg", *read_within("A", 1000));
+  ASSERT_TRUE(m1.is_ok());
+  consume("A", "ra");
+  ASSERT_TRUE(service_->evaluation_manager().await_decided(m1.value(), 5000));
+
+  auto result = spheres_->commit(ds, 10 * cm::kSecond);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().outcome, DSphereOutcome::kAborted);
+  EXPECT_NE(result.value().reason.find("resource"), std::string::npos);
+  EXPECT_FALSE(flaky.read_committed("k").has_value());
+  // ...and even the successful message is compensated
+  cm::ConditionalReceiver ra(*qm_, "ra");
+  EXPECT_EQ(ra.read_message("A", 5000).value().kind,
+            MessageKind::kCompensation);
+}
+
+TEST_F(DSphereTest, MemberFailureRollsBackResources) {
+  // §3.2: "In case that the D-Sphere fails, all object requests need to
+  // be rolled back."
+  txn::TxKvStore db("db");
+  const auto ds = spheres_->begin();
+  ASSERT_TRUE(spheres_->enlist(ds, db));
+  auto tx = spheres_->transaction_id(ds);
+  ASSERT_TRUE(db.put(tx.value(), "k", "v"));
+  auto m1 = spheres_->send_message(ds, "msg", *read_within("A", 100));
+  ASSERT_TRUE(m1.is_ok());
+  clock_.advance_ms(101);
+  ASSERT_TRUE(service_->evaluation_manager().await_decided(m1.value(), 5000));
+
+  auto result = spheres_->commit(ds, 10 * cm::kSecond);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().outcome, DSphereOutcome::kAborted);
+  EXPECT_FALSE(db.read_committed("k").has_value());
+  EXPECT_EQ(db.active_transactions(), 0u);
+}
+
+TEST_F(DSphereTest, SendOnResolvedSphereRejected) {
+  const auto ds = spheres_->begin();
+  ASSERT_TRUE(spheres_->commit(ds, 0).is_ok());
+  auto result = spheres_->send_message(ds, "late", *read_within("A", 100));
+  EXPECT_EQ(result.code(), util::ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(spheres_->commit(ds, 0).code(),
+            util::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(DSphereTest, UnknownSphereErrors) {
+  EXPECT_EQ(spheres_->commit("nope", 0).code(), util::ErrorCode::kNotFound);
+  EXPECT_EQ(spheres_->abort("nope").code(), util::ErrorCode::kNotFound);
+  EXPECT_FALSE(spheres_->outcome("nope").has_value());
+  EXPECT_TRUE(spheres_->members("nope").empty());
+}
+
+TEST_F(DSphereTest, NonSphereMessagesUnaffected) {
+  // Conditional messages outside any sphere keep their immediate outcome
+  // actions even while the sphere service is installed.
+  auto cm_id = service_->send_message("solo", *read_within("C", 100));
+  ASSERT_TRUE(cm_id.is_ok());
+  clock_.advance_ms(101);
+  auto record = service_->await_outcome(cm_id.value(), 60 * cm::kSecond);
+  ASSERT_TRUE(record.is_ok());
+  EXPECT_EQ(record.value().outcome, cm::Outcome::kFailure);
+  // compensation released immediately (not deferred)
+  EXPECT_TRUE(test::eventually(
+      [&] { return qm_->find_queue("C")->depth() == 2u; }));
+}
+
+TEST_F(DSphereTest, TwoSpheresIndependent) {
+  const auto ds1 = spheres_->begin();
+  const auto ds2 = spheres_->begin();
+  auto m1 = spheres_->send_message(ds1, "one", *read_within("A", 1000));
+  auto m2 = spheres_->send_message(ds2, "two", *read_within("B", 100));
+  ASSERT_TRUE(m1.is_ok());
+  ASSERT_TRUE(m2.is_ok());
+  consume("A", "ra");
+  ASSERT_TRUE(service_->evaluation_manager().await_decided(m1.value(), 5000));
+  clock_.advance_ms(101);
+  ASSERT_TRUE(service_->evaluation_manager().await_decided(m2.value(), 5000));
+  EXPECT_EQ(spheres_->commit(ds1, 5000).value().outcome,
+            DSphereOutcome::kCommitted);
+  EXPECT_EQ(spheres_->commit(ds2, 5000).value().outcome,
+            DSphereOutcome::kAborted);
+  auto stats = spheres_->stats();
+  EXPECT_EQ(stats.begun, 2u);
+  EXPECT_EQ(stats.committed, 1u);
+  EXPECT_EQ(stats.aborted, 1u);
+}
+
+TEST_F(DSphereTest, CommitWaitsForInFlightMembers) {
+  const auto ds = spheres_->begin();
+  auto m1 = spheres_->send_message(ds, "slow", *read_within("A", 5000));
+  ASSERT_TRUE(m1.is_ok());
+  // Reader acts while commit() is blocked waiting on the member.
+  std::thread reader([&] {
+    ASSERT_TRUE(clock_.await_waiters(1, 5000));
+    consume("A", "ra");
+  });
+  auto result = spheres_->commit(ds, 60 * cm::kSecond);
+  reader.join();
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().outcome, DSphereOutcome::kCommitted);
+}
+
+}  // namespace
+}  // namespace cmx::ds

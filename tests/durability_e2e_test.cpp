@@ -1,0 +1,211 @@
+// Full-stack durability: the conditional messaging system running over
+// FILE-backed queue managers, killed and restarted at interesting points.
+// This exercises the actual recovery path an operator would rely on —
+// store replay, sender-log re-registration, transmission-queue survival.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "cm/condition_builder.hpp"
+#include "cm/receiver.hpp"
+#include "cm/sender.hpp"
+#include "mq/network.hpp"
+#include "tests/test_support.hpp"
+
+namespace cmx::cm {
+namespace {
+
+using mq::QueueAddress;
+
+class DurabilityE2ETest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cmx_e2e_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<mq::QueueManager> make_qm(const std::string& name) {
+    return std::make_unique<mq::QueueManager>(
+        name, clock_,
+        std::make_unique<mq::FileStore>((dir_ / (name + ".log")).string()));
+  }
+
+  util::SimClock clock_;
+  std::filesystem::path dir_;
+};
+
+TEST_F(DurabilityE2ETest, InFlightConditionalMessageSurvivesFullRestart) {
+  std::string cm_id;
+  {
+    auto qm = make_qm("QM1");
+    qm->recover().expect_ok("recover");
+    qm->create_queue("Q").expect_ok("create");
+    ConditionalMessagingService service(*qm);
+    auto sent = service.send_message(
+        "durable work", "durable undo",
+        *DestBuilder(QueueAddress("QM1", "Q")).pick_up_within(60'000).build());
+    ASSERT_TRUE(sent.is_ok());
+    cm_id = sent.value();
+    service.evaluation_manager().stop();
+  }  // hard stop: queue manager and service destroyed
+
+  // Restart everything from the log files.
+  auto qm = make_qm("QM1");
+  qm->recover().expect_ok("recover");
+  ConditionalMessagingService service(*qm);
+  ASSERT_TRUE(service.recover());
+  EXPECT_EQ(service.evaluation_manager().in_flight(), 1u);
+  EXPECT_EQ(qm->find_queue("Q")->depth(), 1u);  // data message survived
+  EXPECT_EQ(service.compensation_manager().staged_count(cm_id), 1u);
+
+  // The message can complete normally after the restart.
+  ConditionalReceiver rx(*qm, "worker");
+  ASSERT_TRUE(rx.read_message("Q", 0).is_ok());
+  auto outcome = service.await_outcome(cm_id, 60'000);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(outcome.value().outcome, Outcome::kSuccess);
+}
+
+TEST_F(DurabilityE2ETest, DeadlineFailureAfterRestartCompensates) {
+  std::string cm_id;
+  {
+    auto qm = make_qm("QM1");
+    qm->recover().expect_ok("recover");
+    qm->create_queue("Q").expect_ok("create");
+    ConditionalMessagingService service(*qm);
+    auto sent = service.send_message(
+        "to-fail", "undo-it",
+        *DestBuilder(QueueAddress("QM1", "Q")).pick_up_within(500).build());
+    ASSERT_TRUE(sent.is_ok());
+    cm_id = sent.value();
+  }
+
+  clock_.advance_ms(501);  // the deadline passes while the sender is down
+  auto qm = make_qm("QM1");
+  qm->recover().expect_ok("recover");
+  ConditionalMessagingService service(*qm);
+  ASSERT_TRUE(service.recover());
+  auto outcome = service.await_outcome(cm_id, 60'000);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(outcome.value().outcome, Outcome::kFailure);
+  // compensation released; the unread pair annihilates
+  ConditionalReceiver rx(*qm, "late");
+  EXPECT_EQ(rx.read_message("Q", 0).code(), util::ErrorCode::kTimeout);
+  EXPECT_EQ(rx.stats().annihilated, 1u);
+}
+
+TEST_F(DurabilityE2ETest, ReceiverLogSurvivesRestartForCompensation) {
+  auto qm_sender = make_qm("QMA");
+  qm_sender->recover().expect_ok("recover");
+  std::string cm_id;
+  {
+    auto qm_recv = make_qm("QMB");
+    qm_recv->recover().expect_ok("recover");
+    qm_recv->create_queue("IN").expect_ok("create");
+    mq::Network net;
+    net.add(*qm_sender);
+    net.add(*qm_recv);
+    ConditionalMessagingService service(*qm_sender);
+    auto sent = service.send_message(
+        "process-me", "undo-me",
+        *DestBuilder(QueueAddress("QMB", "IN"), "worker")
+             .processing_within(1000)
+             .build());
+    ASSERT_TRUE(sent.is_ok());
+    cm_id = sent.value();
+    ConditionalReceiver rx(*qm_recv, "worker");
+    ASSERT_TRUE(rx.read_message("IN", 5000).is_ok());  // read only
+    clock_.advance_ms(1001);
+    auto outcome = service.await_outcome(cm_id, 60'000);
+    ASSERT_TRUE(outcome.is_ok());
+    ASSERT_EQ(outcome.value().outcome, Outcome::kFailure);
+    // compensation reaches QMB before we "crash" it
+    ASSERT_TRUE(test::eventually(
+        [&] { return qm_recv->find_queue("IN")->depth() == 1u; }));
+    net.shutdown();
+  }  // receiver-side queue manager crashes
+
+  auto qm_recv = make_qm("QMB");
+  qm_recv->recover().expect_ok("recover");
+  // The RLOG entry and the compensation are both durable: after the
+  // restart the compensation is still deliverable to the application.
+  ConditionalReceiver rx(*qm_recv, "worker");
+  auto comp = rx.read_message("IN", 0);
+  ASSERT_TRUE(comp.is_ok());
+  EXPECT_EQ(comp.value().kind, MessageKind::kCompensation);
+  EXPECT_EQ(comp.value().body(), "undo-me");
+}
+
+TEST_F(DurabilityE2ETest, XmitQueueSurvivesRestartAndDelivers) {
+  // A message routed to a remote queue manager sits on the persistent
+  // transmission queue while the channel is down; after a full restart of
+  // the sending side, a fresh network attachment drains it.
+  auto qm_recv = make_qm("QMB");
+  qm_recv->recover().expect_ok("recover");
+  qm_recv->create_queue("IN").expect_ok("create");
+  {
+    auto qm_sender = make_qm("QMA");
+    qm_sender->recover().expect_ok("recover");
+    mq::Network net;
+    net.add(*qm_sender);
+    net.add(*qm_recv);
+    ASSERT_TRUE(net.connect("QMA", "QMB",
+                            mq::ChannelOptions{.start_paused = true}));
+    ASSERT_TRUE(
+        qm_sender->put(QueueAddress("QMB", "IN"), mq::Message("stranded")));
+    net.shutdown();
+  }  // sender crashes with the message still on SYSTEM.XMIT.QMB
+
+  auto qm_sender = make_qm("QMA");
+  qm_sender->recover().expect_ok("recover");
+  const auto xmit = std::string(mq::kXmitQueuePrefix) + "QMB";
+  ASSERT_NE(qm_sender->find_queue(xmit), nullptr);
+  EXPECT_EQ(qm_sender->find_queue(xmit)->depth(), 1u);
+
+  mq::Network net;
+  net.add(*qm_sender);
+  net.add(*qm_recv);
+  ASSERT_TRUE(net.connect("QMA", "QMB", mq::ChannelOptions{}));
+  auto got = qm_recv->get("IN", 5000);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().body, "stranded");
+  net.shutdown();
+}
+
+TEST_F(DurabilityE2ETest, TransactionalConsumptionDurableAcrossRestart) {
+  std::string cm_id;
+  {
+    auto qm = make_qm("QM1");
+    qm->recover().expect_ok("recover");
+    qm->create_queue("Q").expect_ok("create");
+    ConditionalMessagingService service(*qm);
+    auto sent = service.send_message(
+        "tx-work", *DestBuilder(QueueAddress("QM1", "Q"), "worker")
+                        .processing_within(60'000)
+                        .build());
+    ASSERT_TRUE(sent.is_ok());
+    cm_id = sent.value();
+    ConditionalReceiver rx(*qm, "worker");
+    ASSERT_TRUE(rx.begin_tx());
+    ASSERT_TRUE(rx.read_message("Q", 0).is_ok());
+    ASSERT_TRUE(rx.commit_tx());
+    auto outcome = service.await_outcome(cm_id, 60'000);
+    ASSERT_TRUE(outcome.is_ok());
+    ASSERT_EQ(outcome.value().outcome, Outcome::kSuccess);
+  }
+  auto qm = make_qm("QM1");
+  qm->recover().expect_ok("recover");
+  // the committed consumption must not resurrect the message
+  EXPECT_EQ(qm->find_queue("Q")->depth(), 0u);
+  // and the RLOG still proves the consumption
+  EXPECT_EQ(qm->find_queue(kReceiverLogQueue)->depth(), 1u);
+  ConditionalMessagingService service(*qm);
+  ASSERT_TRUE(service.recover());
+  EXPECT_EQ(service.evaluation_manager().in_flight(), 0u);
+}
+
+}  // namespace
+}  // namespace cmx::cm

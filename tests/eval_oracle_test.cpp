@@ -1,0 +1,249 @@
+// Property test: the incremental evaluation engine (EvalState) must agree
+// with an independently-written brute-force oracle that evaluates the
+// §2.2/§2.5 semantics directly over the final set of acknowledgments.
+//
+// Trees are generated with one distinct queue per leaf (so ack-to-leaf
+// assignment is unambiguous and the oracle stays simple); each leaf
+// randomly gets pick-up/processing conditions, each set randomly gets
+// windowed cardinalities. Acks arrive in random order, interleaved with
+// evaluations at random times. Checked properties:
+//   1. final verdict == oracle verdict,
+//   2. monotonicity: once decided, later evaluations agree,
+//   3. early decisions are sound: a decision at time t equals the oracle.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cm/condition_builder.hpp"
+#include "cm/eval_state.hpp"
+
+namespace cmx::cm {
+namespace {
+
+using mq::QueueAddress;
+
+constexpr util::TimeMs kHorizon = 1000;  // all deadlines < kHorizon
+
+struct LeafAcks {
+  // at most one read event and one processing event per leaf
+  std::optional<util::TimeMs> read_ts;
+  std::optional<util::TimeMs> commit_ts;  // implies a read at read_ts
+};
+
+struct World {
+  ConditionPtr tree;
+  std::vector<const Destination*> leaves;
+  std::vector<LeafAcks> acks;
+};
+
+// ---------------------------------------------------------------------
+// Oracle: direct recursive satisfaction at a time when every deadline has
+// passed (so tri-state collapses to boolean).
+// ---------------------------------------------------------------------
+
+bool oracle_leaf(const Destination& leaf, const LeafAcks& acks) {
+  if (auto t = leaf.msg_pick_up_time()) {
+    if (!acks.read_ts.has_value() || *acks.read_ts > *t) return false;
+  }
+  if (auto t = leaf.msg_processing_time()) {
+    if (!acks.commit_ts.has_value() || *acks.commit_ts > *t) return false;
+  }
+  return true;
+}
+
+bool oracle_node(const Condition& node, const World& world);
+
+bool oracle_set(const DestinationSet& set, const World& world) {
+  // indices of the leaves in this subtree
+  std::vector<std::size_t> idx;
+  for (const auto* leaf : set.leaves()) {
+    for (std::size_t i = 0; i < world.leaves.size(); ++i) {
+      if (world.leaves[i] == leaf) idx.push_back(i);
+    }
+  }
+  if (auto t = set.msg_pick_up_time()) {
+    int count = 0;
+    for (auto i : idx) {
+      const auto& a = world.acks[i];
+      if (a.read_ts.has_value() && *a.read_ts <= *t) ++count;
+    }
+    const int needed = set.min_nr_pick_up().value_or(int(idx.size()));
+    if (count < needed) return false;
+    if (auto max = set.max_nr_pick_up(); max.has_value() && count > *max) {
+      return false;
+    }
+  }
+  if (auto t = set.msg_processing_time()) {
+    int count = 0;
+    for (auto i : idx) {
+      const auto& a = world.acks[i];
+      if (a.commit_ts.has_value() && *a.commit_ts <= *t) ++count;
+    }
+    const int needed = set.min_nr_processing().value_or(int(idx.size()));
+    if (count < needed) return false;
+    if (auto max = set.max_nr_processing();
+        max.has_value() && count > *max) {
+      return false;
+    }
+  }
+  for (const auto& child : set.children()) {
+    if (!oracle_node(*child, world)) return false;
+  }
+  return true;
+}
+
+bool oracle_node(const Condition& node, const World& world) {
+  if (const auto* leaf = node.as_destination()) {
+    for (std::size_t i = 0; i < world.leaves.size(); ++i) {
+      if (world.leaves[i] == leaf) return oracle_leaf(*leaf, world.acks[i]);
+    }
+    ADD_FAILURE() << "leaf not found";
+    return false;
+  }
+  return oracle_set(*node.as_destination_set(), world);
+}
+
+// ---------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------
+
+class Gen {
+ public:
+  explicit Gen(unsigned seed) : rng_(seed) {}
+
+  World make_world() {
+    World world;
+    next_queue_ = 0;
+    world.tree = make_set(2);
+    world.leaves = world.tree->leaves();
+    std::uniform_int_distribution<int> kind(0, 3);
+    std::uniform_int_distribution<util::TimeMs> when(1, kHorizon - 1);
+    for (std::size_t i = 0; i < world.leaves.size(); ++i) {
+      LeafAcks acks;
+      switch (kind(rng_)) {
+        case 0:  // silent leaf
+          break;
+        case 1:  // read only
+          acks.read_ts = when(rng_);
+          break;
+        default: {  // transactional: read then commit
+          const auto read = when(rng_);
+          acks.read_ts = read;
+          acks.commit_ts = std::min<util::TimeMs>(
+              kHorizon - 1, read + when(rng_) % 200);
+          break;
+        }
+      }
+      world.acks.push_back(acks);
+    }
+    return world;
+  }
+
+  std::mt19937& rng() { return rng_; }
+
+ private:
+  ConditionPtr make_leaf() {
+    auto builder = DestBuilder(
+        QueueAddress("QM", "Q" + std::to_string(next_queue_++)),
+        chance(50) ? "user" + std::to_string(next_queue_) : "");
+    if (chance(50)) builder.pick_up_within(duration());
+    if (chance(35)) builder.processing_within(duration());
+    return builder.build();
+  }
+
+  ConditionPtr make_set(int max_depth) {
+    SetBuilder builder;
+    const int children = 1 + int(rng_() % 3);
+    int leaf_count = 0;
+    for (int i = 0; i < children; ++i) {
+      if (max_depth > 0 && chance(30)) {
+        auto sub = make_set(max_depth - 1);
+        leaf_count += int(sub->leaves().size());
+        builder.add(std::move(sub));
+      } else {
+        builder.add(make_leaf());
+        ++leaf_count;
+      }
+    }
+    const bool pick_up = chance(70);
+    if (pick_up) {
+      builder.pick_up_within(duration());
+      if (chance(50)) {
+        builder.min_nr_pick_up(1 + int(rng_() % leaf_count));
+        if (chance(30)) builder.max_nr_pick_up(leaf_count);
+      }
+    }
+    if (chance(40)) {
+      builder.processing_within(duration());
+      if (chance(60)) {
+        builder.min_nr_processing(1 + int(rng_() % leaf_count));
+      }
+    }
+    return builder.build();
+  }
+
+  util::TimeMs duration() { return 50 + util::TimeMs(rng_() % 900); }
+  bool chance(int pct) { return int(rng_() % 100) < pct; }
+
+  std::mt19937 rng_;
+  int next_queue_ = 0;
+};
+
+AckRecord to_record(const Destination& leaf, const LeafAcks& acks) {
+  AckRecord record;
+  record.cm_id = "cm";
+  record.queue = leaf.address();
+  record.recipient_id = leaf.recipient_id();
+  record.read_ts = acks.read_ts.value_or(0);
+  if (acks.commit_ts.has_value()) {
+    record.type = AckType::kProcessing;
+    record.commit_ts = *acks.commit_ts;
+  } else {
+    record.type = AckType::kRead;
+  }
+  return record;
+}
+
+class EvalOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(EvalOracle, IncrementalAgreesWithBruteForce) {
+  Gen gen(static_cast<unsigned>(GetParam()));
+  for (int round = 0; round < 20; ++round) {
+    World world = gen.make_world();
+    ASSERT_TRUE(world.tree->validate()) << world.tree->describe();
+
+    const bool expected = oracle_node(*world.tree, world);
+
+    // Complete-knowledge evaluation: apply every ack (in random order —
+    // order independence is its own property), then evaluate once after
+    // all deadlines. The engine must agree with the oracle exactly.
+    //
+    // (Early decisions interleaved with arrivals are deliberately NOT
+    // compared against the oracle: a witness ack still in flight at a
+    // deadline makes the engine legitimately more pessimistic than ground
+    // truth — the asynchrony §2.5's evaluation timeout exists to bound.
+    // Early-decision monotonicity is covered in eval_state_test.cpp.)
+    std::vector<AckRecord> arrivals;
+    for (std::size_t i = 0; i < world.leaves.size(); ++i) {
+      if (!world.acks[i].read_ts.has_value()) continue;
+      arrivals.push_back(to_record(*world.leaves[i], world.acks[i]));
+    }
+    std::shuffle(arrivals.begin(), arrivals.end(), gen.rng());
+
+    EvalState state("cm", *world.tree, 0);
+    for (const auto& record : arrivals) {
+      state.add_ack(record);
+    }
+    const auto final_verdict = state.evaluate(kHorizon + 1);
+    ASSERT_NE(final_verdict.state, TriState::kPending);
+    const bool got = final_verdict.state == TriState::kSatisfied;
+    EXPECT_EQ(got, expected)
+        << "tree: " << world.tree->describe()
+        << "\nreason: " << final_verdict.reason;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvalOracle, ::testing::Range(1, 26));
+
+}  // namespace
+}  // namespace cmx::cm

@@ -1,0 +1,527 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "cm/condition_builder.hpp"
+#include "cm/eval_state.hpp"
+
+namespace cmx::cm {
+namespace {
+
+using mq::QueueAddress;
+
+AckRecord read_ack(const QueueAddress& queue, util::TimeMs read_ts,
+                   const std::string& recipient = "") {
+  AckRecord ack;
+  ack.cm_id = "cm-1";
+  ack.type = AckType::kRead;
+  ack.queue = queue;
+  ack.recipient_id = recipient;
+  ack.read_ts = read_ts;
+  return ack;
+}
+
+AckRecord processing_ack(const QueueAddress& queue, util::TimeMs read_ts,
+                         util::TimeMs commit_ts,
+                         const std::string& recipient = "") {
+  AckRecord ack = read_ack(queue, read_ts, recipient);
+  ack.type = AckType::kProcessing;
+  ack.commit_ts = commit_ts;
+  return ack;
+}
+
+// ---------------------------------------------------------------------
+// Single destination (Example 2 shape)
+// ---------------------------------------------------------------------
+
+class LeafEval : public ::testing::Test {
+ protected:
+  QueueAddress q_{"QM", "Q"};
+};
+
+TEST_F(LeafEval, PickUpInTimeSucceeds) {
+  auto cond = DestBuilder(q_).pick_up_within(100).build();
+  EvalState state("cm-1", *cond, /*send_ts=*/1000);
+  EXPECT_EQ(state.evaluate(1000).state, TriState::kPending);
+  state.add_ack(read_ack(q_, 1050));
+  EXPECT_EQ(state.evaluate(1050).state, TriState::kSatisfied);
+}
+
+TEST_F(LeafEval, PickUpAtExactDeadlineSucceeds) {
+  auto cond = DestBuilder(q_).pick_up_within(100).build();
+  EvalState state("cm-1", *cond, 1000);
+  state.add_ack(read_ack(q_, 1100));  // == send + 100
+  EXPECT_EQ(state.evaluate(1100).state, TriState::kSatisfied);
+}
+
+TEST_F(LeafEval, NoAckFailsOncePastDeadline) {
+  auto cond = DestBuilder(q_).pick_up_within(100).build();
+  EvalState state("cm-1", *cond, 1000);
+  EXPECT_EQ(state.evaluate(1100).state, TriState::kPending);  // not yet past
+  auto verdict = state.evaluate(1101);
+  EXPECT_EQ(verdict.state, TriState::kViolated);
+  EXPECT_NE(verdict.reason.find("pick-up deadline"), std::string::npos);
+}
+
+TEST_F(LeafEval, LateAckStillFails) {
+  auto cond = DestBuilder(q_).pick_up_within(100).build();
+  EvalState state("cm-1", *cond, 1000);
+  state.add_ack(read_ack(q_, 1200));  // after the deadline
+  EXPECT_EQ(state.evaluate(1250).state, TriState::kViolated);
+}
+
+TEST_F(LeafEval, ProcessingRequiresCommitTimestamp) {
+  auto cond = DestBuilder(q_).processing_within(200).build();
+  EvalState state("cm-1", *cond, 1000);
+  // A plain read ack does not satisfy a processing condition.
+  state.add_ack(read_ack(q_, 1010));
+  EXPECT_EQ(state.evaluate(1010).state, TriState::kPending);
+  EXPECT_EQ(state.evaluate(1201).state, TriState::kViolated);
+}
+
+TEST_F(LeafEval, ProcessingAckSatisfies) {
+  auto cond = DestBuilder(q_).processing_within(200).build();
+  EvalState state("cm-1", *cond, 1000);
+  state.add_ack(processing_ack(q_, 1010, 1150));
+  EXPECT_EQ(state.evaluate(1150).state, TriState::kSatisfied);
+}
+
+TEST_F(LeafEval, PickUpAndProcessingBothRequired) {
+  auto cond =
+      DestBuilder(q_).pick_up_within(50).processing_within(200).build();
+  EvalState state("cm-1", *cond, 1000);
+  // processed in time but read too late -> violated
+  state.add_ack(processing_ack(q_, 1080, 1100));
+  EXPECT_EQ(state.evaluate(1100).state, TriState::kViolated);
+}
+
+TEST_F(LeafEval, RecipientMismatchDoesNotCount) {
+  auto cond = DestBuilder(q_, "alice").pick_up_within(100).build();
+  EvalState state("cm-1", *cond, 1000);
+  state.add_ack(read_ack(q_, 1010, "bob"));
+  EXPECT_EQ(state.evaluate(1010).state, TriState::kPending);
+  state.add_ack(read_ack(q_, 1020, "alice"));
+  EXPECT_EQ(state.evaluate(1020).state, TriState::kSatisfied);
+}
+
+TEST_F(LeafEval, AnonymousLeafAcceptsAnyRecipient) {
+  auto cond = DestBuilder(q_).pick_up_within(100).build();
+  EvalState state("cm-1", *cond, 1000);
+  state.add_ack(read_ack(q_, 1010, "whoever"));
+  EXPECT_EQ(state.evaluate(1010).state, TriState::kSatisfied);
+}
+
+TEST_F(LeafEval, WrongQueueDoesNotCount) {
+  auto cond = DestBuilder(q_).pick_up_within(100).build();
+  EvalState state("cm-1", *cond, 1000);
+  state.add_ack(read_ack(QueueAddress("QM", "OTHER"), 1010));
+  EXPECT_EQ(state.evaluate(1010).state, TriState::kPending);
+}
+
+TEST_F(LeafEval, NoConditionsIsImmediatelySatisfied) {
+  auto cond = DestBuilder(q_).build();
+  EvalState state("cm-1", *cond, 1000);
+  EXPECT_EQ(state.evaluate(1000).state, TriState::kSatisfied);
+}
+
+TEST_F(LeafEval, DecisionIsMonotone) {
+  auto cond = DestBuilder(q_).pick_up_within(100).build();
+  EvalState state("cm-1", *cond, 1000);
+  ASSERT_EQ(state.evaluate(2000).state, TriState::kViolated);
+  // a late ack cannot resurrect it
+  state.add_ack(read_ack(q_, 1010));
+  EXPECT_EQ(state.evaluate(2001).state, TriState::kViolated);
+  EXPECT_TRUE(state.decided());
+}
+
+TEST_F(LeafEval, EvaluationTimeoutForcesFailure) {
+  auto cond = DestBuilder(q_).pick_up_within(10 * kSecond).build();
+  EvalState state("cm-1", *cond, 1000, /*evaluation_timeout_ms=*/500);
+  EXPECT_EQ(state.evaluate(1400).state, TriState::kPending);
+  auto verdict = state.evaluate(1500);
+  EXPECT_EQ(verdict.state, TriState::kViolated);
+  EXPECT_NE(verdict.reason.find("timeout"), std::string::npos);
+}
+
+TEST_F(LeafEval, NextDeadlineTracksConditionTimes) {
+  auto cond =
+      DestBuilder(q_).pick_up_within(100).processing_within(300).build();
+  EvalState state("cm-1", *cond, 1000, 500);
+  EXPECT_EQ(state.next_deadline(1000), 1101);  // pickup resolves at 1101
+  EXPECT_EQ(state.next_deadline(1101), 1301);  // then processing
+  EXPECT_EQ(state.next_deadline(1301), 1501);  // then the eval timeout
+  state.evaluate(1600);                        // decided (violated)
+  EXPECT_EQ(state.next_deadline(1600), util::kNoDeadline);
+}
+
+// ---------------------------------------------------------------------
+// Destination sets
+// ---------------------------------------------------------------------
+
+class SetEval : public ::testing::Test {
+ protected:
+  QueueAddress q1_{"QM", "Q1"};
+  QueueAddress q2_{"QM", "Q2"};
+  QueueAddress q3_{"QM", "Q3"};
+
+  ConditionPtr all_must_read(util::TimeMs within) {
+    return SetBuilder()
+        .pick_up_within(within)
+        .add(DestBuilder(q1_).build())
+        .add(DestBuilder(q2_).build())
+        .add(DestBuilder(q3_).build())
+        .build();
+  }
+};
+
+TEST_F(SetEval, AllMembersMustReadWithoutMin) {
+  EvalState state("cm-1", *all_must_read(100), 0);
+  state.add_ack(read_ack(q1_, 10));
+  state.add_ack(read_ack(q2_, 20));
+  EXPECT_EQ(state.evaluate(20).state, TriState::kPending);
+  state.add_ack(read_ack(q3_, 99));
+  EXPECT_EQ(state.evaluate(99).state, TriState::kSatisfied);
+}
+
+TEST_F(SetEval, MissingMemberViolatesAtDeadline) {
+  EvalState state("cm-1", *all_must_read(100), 0);
+  state.add_ack(read_ack(q1_, 10));
+  state.add_ack(read_ack(q2_, 20));
+  auto verdict = state.evaluate(101);
+  EXPECT_EQ(verdict.state, TriState::kViolated);
+  EXPECT_NE(verdict.reason.find("2/3"), std::string::npos);
+}
+
+TEST_F(SetEval, MinSubsetSatisfiedEarly) {
+  auto cond = SetBuilder()
+                  .pick_up_within(100)
+                  .min_nr_pick_up(2)
+                  .add(DestBuilder(q1_).build())
+                  .add(DestBuilder(q2_).build())
+                  .add(DestBuilder(q3_).build())
+                  .build();
+  EvalState state("cm-1", *cond, 0);
+  state.add_ack(read_ack(q1_, 10));
+  EXPECT_EQ(state.evaluate(10).state, TriState::kPending);
+  state.add_ack(read_ack(q3_, 30));
+  EXPECT_EQ(state.evaluate(30).state, TriState::kSatisfied);
+}
+
+TEST_F(SetEval, MaxSubsetExceededViolates) {
+  auto cond = SetBuilder()
+                  .pick_up_within(100)
+                  .min_nr_pick_up(1)
+                  .max_nr_pick_up(1)
+                  .add(DestBuilder(q1_).build())
+                  .add(DestBuilder(q2_).build())
+                  .build();
+  EvalState state("cm-1", *cond, 0);
+  state.add_ack(read_ack(q1_, 10));
+  state.add_ack(read_ack(q2_, 20));
+  auto verdict = state.evaluate(20);
+  EXPECT_EQ(verdict.state, TriState::kViolated);
+  EXPECT_NE(verdict.reason.find("MaxNrPickUp"), std::string::npos);
+}
+
+TEST_F(SetEval, ProcessingSubset) {
+  auto cond = SetBuilder()
+                  .processing_within(200)
+                  .min_nr_processing(2)
+                  .add(DestBuilder(q1_).build())
+                  .add(DestBuilder(q2_).build())
+                  .add(DestBuilder(q3_).build())
+                  .build();
+  EvalState state("cm-1", *cond, 0);
+  state.add_ack(processing_ack(q1_, 10, 50));
+  state.add_ack(read_ack(q2_, 20));  // read only: does not count
+  EXPECT_EQ(state.evaluate(60).state, TriState::kPending);
+  state.add_ack(processing_ack(q3_, 30, 150));
+  EXPECT_EQ(state.evaluate(150).state, TriState::kSatisfied);
+}
+
+TEST_F(SetEval, ProcessingSubsetFailsAtDeadline) {
+  auto cond = SetBuilder()
+                  .processing_within(200)
+                  .min_nr_processing(2)
+                  .add(DestBuilder(q1_).build())
+                  .add(DestBuilder(q2_).build())
+                  .build();
+  EvalState state("cm-1", *cond, 0);
+  state.add_ack(processing_ack(q1_, 10, 50));
+  EXPECT_EQ(state.evaluate(201).state, TriState::kViolated);
+}
+
+TEST_F(SetEval, RequiredChildViolationFailsWholeTree) {
+  auto cond = SetBuilder()
+                  .pick_up_within(1000)
+                  .add(DestBuilder(q1_, "vip").processing_within(50).build())
+                  .add(DestBuilder(q2_).build())
+                  .build();
+  EvalState state("cm-1", *cond, 0);
+  state.add_ack(read_ack(q1_, 10, "vip"));
+  state.add_ack(read_ack(q2_, 10));
+  // both read well within the set window, but the required processing of
+  // the vip leaf lapses at t=51
+  auto verdict = state.evaluate(51);
+  EXPECT_EQ(verdict.state, TriState::kViolated);
+  EXPECT_NE(verdict.reason.find("processing deadline"), std::string::npos);
+}
+
+TEST_F(SetEval, AnonymousMinCount) {
+  auto cond = SetBuilder()
+                  .pick_up_within(100)
+                  .min_nr_pick_up(0)
+                  .min_nr_anonymous(2)
+                  .add(DestBuilder(q1_, "named").build())
+                  .build();
+  EvalState state("cm-1", *cond, 0);
+  state.add_ack(read_ack(q1_, 5, "named"));  // assigned to the named leaf
+  EXPECT_EQ(state.evaluate(5).state, TriState::kPending);
+  state.add_ack(read_ack(q1_, 10, "stranger1"));
+  state.add_ack(read_ack(q1_, 15, "stranger1"));  // duplicate: 1 distinct
+  EXPECT_EQ(state.evaluate(15).state, TriState::kPending);
+  state.add_ack(read_ack(q1_, 20, "stranger2"));
+  EXPECT_EQ(state.evaluate(20).state, TriState::kSatisfied);
+}
+
+TEST_F(SetEval, AnonymousMaxViolated) {
+  auto cond = SetBuilder()
+                  .pick_up_within(100)
+                  .min_nr_pick_up(1)
+                  .max_nr_anonymous(1)
+                  .add(DestBuilder(q1_, "named").build())
+                  .build();
+  EvalState state("cm-1", *cond, 0);
+  state.add_ack(read_ack(q1_, 5, "named"));
+  state.add_ack(read_ack(q1_, 10, "s1"));
+  EXPECT_EQ(state.evaluate(10).state, TriState::kSatisfied);
+  // (monotone: decided already; build a fresh state to see the violation)
+  EvalState fresh("cm-2", *cond, 0);
+  fresh.add_ack(read_ack(q1_, 10, "s1"));
+  fresh.add_ack(read_ack(q1_, 12, "s2"));
+  auto verdict = fresh.evaluate(12);
+  EXPECT_EQ(verdict.state, TriState::kViolated);
+  EXPECT_NE(verdict.reason.find("MaxNrAnonymous"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Example 1: the full truth table of the paper's scenario
+// ---------------------------------------------------------------------
+
+class Example1Eval : public ::testing::Test {
+ protected:
+  QueueAddress r1_{"QMB", "Q.R1"};
+  QueueAddress r2_{"QMB", "Q.R2"};
+  QueueAddress r3_{"QMB", "Q.R3"};
+  QueueAddress r4_{"QMB", "Q.R4"};
+
+  ConditionPtr cond_ = SetBuilder()
+                           .pick_up_within(2 * kDay)
+                           .add(DestBuilder(r3_, "receiver3")
+                                    .processing_within(kWeek)
+                                    .build())
+                           .add(SetBuilder()
+                                    .processing_within(3 * kDay)
+                                    .min_nr_processing(2)
+                                    .add(DestBuilder(r1_, "receiver1").build())
+                                    .add(DestBuilder(r2_, "receiver2").build())
+                                    .add(DestBuilder(r4_, "receiver4").build())
+                                    .build())
+                           .build();
+
+  void all_pickups(EvalState& state, util::TimeMs at) {
+    state.add_ack(read_ack(r1_, at, "receiver1"));
+    state.add_ack(read_ack(r2_, at, "receiver2"));
+    state.add_ack(read_ack(r3_, at, "receiver3"));
+    state.add_ack(read_ack(r4_, at, "receiver4"));
+  }
+};
+
+TEST_F(Example1Eval, HappyPath) {
+  EvalState state("cm-1", *cond_, 0);
+  // everyone reads on day 1; r3 processes on day 5; r1+r2 process on day 2
+  state.add_ack(processing_ack(r3_, kDay, 5 * kDay, "receiver3"));
+  state.add_ack(processing_ack(r1_, kDay, 2 * kDay, "receiver1"));
+  state.add_ack(processing_ack(r2_, kDay, 2 * kDay, "receiver2"));
+  state.add_ack(read_ack(r4_, kDay, "receiver4"));
+  EXPECT_EQ(state.evaluate(5 * kDay).state, TriState::kSatisfied);
+}
+
+TEST_F(Example1Eval, OneLatePickupFails) {
+  EvalState state("cm-1", *cond_, 0);
+  state.add_ack(processing_ack(r3_, kDay, 5 * kDay, "receiver3"));
+  state.add_ack(processing_ack(r1_, kDay, 2 * kDay, "receiver1"));
+  state.add_ack(processing_ack(r2_, kDay, 2 * kDay, "receiver2"));
+  state.add_ack(read_ack(r4_, 3 * kDay, "receiver4"));  // past the 2-day window
+  EXPECT_EQ(state.evaluate(8 * kDay).state, TriState::kViolated);
+}
+
+TEST_F(Example1Eval, Receiver3MissingProcessingFails) {
+  EvalState state("cm-1", *cond_, 0);
+  all_pickups(*&state, kDay);
+  state.add_ack(processing_ack(r1_, kDay, 2 * kDay, "receiver1"));
+  state.add_ack(processing_ack(r2_, kDay, 2 * kDay, "receiver2"));
+  // receiver3 reads but never processes
+  EXPECT_EQ(state.evaluate(kWeek).state, TriState::kPending);
+  EXPECT_EQ(state.evaluate(kWeek + 1).state, TriState::kViolated);
+}
+
+TEST_F(Example1Eval, OnlyOneOfThreeProcessesFails) {
+  EvalState state("cm-1", *cond_, 0);
+  all_pickups(state, kDay);
+  state.add_ack(processing_ack(r3_, kDay, 2 * kDay, "receiver3"));
+  state.add_ack(processing_ack(r1_, kDay, 2 * kDay, "receiver1"));
+  // r2/r4 never process: the min-2-of-3 subset lapses after day 3
+  EXPECT_EQ(state.evaluate(3 * kDay).state, TriState::kPending);
+  auto verdict = state.evaluate(3 * kDay + 1);
+  EXPECT_EQ(verdict.state, TriState::kViolated);
+  EXPECT_NE(verdict.reason.find("1/2"), std::string::npos);
+}
+
+TEST_F(Example1Eval, TwoOfThreeProcessingSufficesWithAllPickups) {
+  EvalState state("cm-1", *cond_, 0);
+  all_pickups(state, kDay);
+  state.add_ack(processing_ack(r3_, kDay, 6 * kDay, "receiver3"));
+  state.add_ack(processing_ack(r2_, kDay, 2 * kDay, "receiver2"));
+  state.add_ack(processing_ack(r4_, kDay, 3 * kDay, "receiver4"));
+  EXPECT_EQ(state.evaluate(6 * kDay).state, TriState::kSatisfied);
+}
+
+TEST_F(Example1Eval, ProcessingAfterSubsetDeadlineDoesNotCount) {
+  EvalState state("cm-1", *cond_, 0);
+  all_pickups(state, kDay);
+  state.add_ack(processing_ack(r3_, kDay, 2 * kDay, "receiver3"));
+  state.add_ack(processing_ack(r1_, kDay, 2 * kDay, "receiver1"));
+  state.add_ack(
+      processing_ack(r2_, kDay, 3 * kDay + kHour, "receiver2"));  // too late
+  EXPECT_EQ(state.evaluate(4 * kDay).state, TriState::kViolated);
+}
+
+// ---------------------------------------------------------------------
+// Property-style sweeps
+// ---------------------------------------------------------------------
+
+// Ack arrival ORDER must not affect the verdict: feed the same ack multiset
+// in random permutations and expect identical outcomes.
+class AckOrderInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(AckOrderInvariance, VerdictIndependentOfArrivalOrder) {
+  const QueueAddress r1{"QM", "R1"}, r2{"QM", "R2"}, r3{"QM", "R3"};
+  auto cond = SetBuilder()
+                  .pick_up_within(100)
+                  .add(DestBuilder(r1, "a").processing_within(200).build())
+                  .add(SetBuilder()
+                           .processing_within(150)
+                           .min_nr_processing(1)
+                           .add(DestBuilder(r2).build())
+                           .add(DestBuilder(r3).build())
+                           .build())
+                  .build();
+  std::vector<AckRecord> acks = {
+      processing_ack(r1, 50, 180, "a"),
+      processing_ack(r2, 60, 140),
+      read_ack(r3, 70),
+  };
+  // Reference verdict with canonical order.
+  EvalState reference("cm-ref", *cond, 0);
+  for (const auto& ack : acks) reference.add_ack(ack);
+  const auto expected = reference.evaluate(1000).state;
+  ASSERT_EQ(expected, TriState::kSatisfied);
+
+  std::mt19937 rng(GetParam());
+  std::shuffle(acks.begin(), acks.end(), rng);
+  EvalState shuffled("cm-shuf", *cond, 0);
+  for (const auto& ack : acks) shuffled.add_ack(ack);
+  EXPECT_EQ(shuffled.evaluate(1000).state, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AckOrderInvariance,
+                         ::testing::Range(1, 21));
+
+// Interleaving evaluation calls between acks must not change the verdict,
+// as long as no deadline passes in between (incremental == batch).
+class IncrementalEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalEquivalence, InterleavedEvaluationsHarmless) {
+  const QueueAddress q{"QM", "Q"};
+  auto cond = SetBuilder()
+                  .pick_up_within(1000)
+                  .min_nr_pick_up(3)
+                  .add(DestBuilder(q, "u1").build())
+                  .add(DestBuilder(q, "u2").build())
+                  .add(DestBuilder(q, "u3").build())
+                  .add(DestBuilder(q, "u4").build())
+                  .build();
+  std::mt19937 rng(GetParam());
+  EvalState state("cm-1", *cond, 0);
+  std::vector<std::string> users = {"u1", "u2", "u3"};
+  std::shuffle(users.begin(), users.end(), rng);
+  util::TimeMs t = 1;
+  for (const auto& user : users) {
+    if (rng() % 2 == 0) {
+      EXPECT_NE(state.evaluate(t).state, TriState::kViolated);
+    }
+    state.add_ack(read_ack(q, t, user));
+    t += 10;
+  }
+  EXPECT_EQ(state.evaluate(t).state, TriState::kSatisfied);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalEquivalence,
+                         ::testing::Range(1, 16));
+
+// Every condition tree resolves by its largest deadline: never pending
+// after that, whatever subset of acks arrived.
+class TerminationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TerminationProperty, ResolvedByLargestDeadline) {
+  const QueueAddress q1{"QM", "Q1"}, q2{"QM", "Q2"};
+  std::mt19937 rng(GetParam());
+  auto maybe = [&](int pct) { return int(rng() % 100) < pct; };
+
+  auto d1 = DestBuilder(q1, "a");
+  if (maybe(50)) d1.pick_up_within(50 + rng() % 100);
+  if (maybe(50)) d1.processing_within(100 + rng() % 200);
+  auto d2 = DestBuilder(q2);
+  if (maybe(30)) d2.pick_up_within(50 + rng() % 100);
+  auto cond = SetBuilder()
+                  .pick_up_within(100 + rng() % 400)
+                  .add(d1.build())
+                  .add(d2.build())
+                  .build();
+  ASSERT_TRUE(cond->validate());
+
+  EvalState state("cm-1", *cond, 0);
+  if (maybe(60)) state.add_ack(read_ack(q1, rng() % 600, "a"));
+  if (maybe(60)) state.add_ack(processing_ack(q1, rng() % 300,
+                                              rng() % 600, "a"));
+  if (maybe(60)) state.add_ack(read_ack(q2, rng() % 600));
+  // Largest possible deadline in this generator is < 1000.
+  EXPECT_NE(state.evaluate(1001).state, TriState::kPending);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TerminationProperty,
+                         ::testing::Range(1, 31));
+
+TEST(EvalStateMisc, AcksAfterDecisionAreIgnored) {
+  const QueueAddress q{"QM", "Q"};
+  auto cond = DestBuilder(q).pick_up_within(10).build();
+  EvalState state("cm-1", *cond, 0);
+  ASSERT_EQ(state.evaluate(11).state, TriState::kViolated);
+  const auto before = state.ack_count();
+  state.add_ack(read_ack(q, 5));
+  EXPECT_EQ(state.ack_count(), before);
+}
+
+TEST(EvalStateMisc, DuplicateAcksKeepEarliestTimestamp) {
+  const QueueAddress q{"QM", "Q"};
+  auto cond = DestBuilder(q, "a").pick_up_within(100).build();
+  EvalState state("cm-1", *cond, 0);
+  state.add_ack(read_ack(q, 90, "a"));
+  state.add_ack(read_ack(q, 150, "a"));  // later duplicate must not regress
+  EXPECT_EQ(state.evaluate(95).state, TriState::kSatisfied);
+}
+
+}  // namespace
+}  // namespace cmx::cm

@@ -1,0 +1,164 @@
+// Conditional messaging over a misbehaving network: duplicated messages,
+// duplicated acknowledgments, partitions, and lost (non-persistent)
+// deliveries. The middleware must stay correct — one outcome per
+// conditional message, no stuck evaluations, compensations that cannot
+// reach a consumer are dropped, not misdelivered.
+#include <gtest/gtest.h>
+
+#include "cm/condition_builder.hpp"
+#include "cm/receiver.hpp"
+#include "cm/sender.hpp"
+#include "mq/network.hpp"
+#include "tests/test_support.hpp"
+
+namespace cmx::cm {
+namespace {
+
+using mq::QueueAddress;
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  FaultInjectionTest() {
+    qm_sender_ = std::make_unique<mq::QueueManager>("QMA", clock_);
+    qm_recv_ = std::make_unique<mq::QueueManager>("QMB", clock_);
+    qm_recv_->create_queue("IN").expect_ok("create");
+    net_ = std::make_unique<mq::Network>();
+    net_->add(*qm_sender_);
+    net_->add(*qm_recv_);
+    service_ = std::make_unique<ConditionalMessagingService>(*qm_sender_);
+  }
+  ~FaultInjectionTest() override {
+    service_.reset();
+    net_->shutdown();
+  }
+
+  ConditionPtr pick_up(util::TimeMs within) {
+    return DestBuilder(QueueAddress("QMB", "IN")).pick_up_within(within).build();
+  }
+
+  util::SimClock clock_;
+  std::unique_ptr<mq::QueueManager> qm_sender_;
+  std::unique_ptr<mq::QueueManager> qm_recv_;
+  std::unique_ptr<mq::Network> net_;
+  std::unique_ptr<ConditionalMessagingService> service_;
+};
+
+TEST_F(FaultInjectionTest, DuplicatedDataMessageSingleOutcome) {
+  // The forward channel duplicates every message: two copies arrive, two
+  // receivers read them, two acks flow back — but there is exactly ONE
+  // outcome, and the late ack is absorbed/orphaned, never a second decision.
+  ASSERT_TRUE(net_->connect("QMA", "QMB", mq::ChannelOptions{.duplicate = 1.0}));
+  auto cm_id = service_->send_message("dup-me", *pick_up(10'000));
+  ASSERT_TRUE(cm_id.is_ok());
+
+  ConditionalReceiver rx1(*qm_recv_, "r1"), rx2(*qm_recv_, "r2");
+  ASSERT_TRUE(rx1.read_message("IN", 5000).is_ok());
+  ASSERT_TRUE(rx2.read_message("IN", 5000).is_ok());
+
+  auto outcome = service_->await_outcome(cm_id.value(), 60'000);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(outcome.value().outcome, Outcome::kSuccess);
+  // no second outcome notification for this message
+  auto again = service_->await_outcome(cm_id.value(), 0);
+  EXPECT_EQ(again.code(), util::ErrorCode::kTimeout);
+  // both acks were consumed (one decided, one absorbed or orphaned)
+  EXPECT_TRUE(test::eventually([&] {
+    const auto stats = service_->evaluation_manager().stats();
+    return stats.acks_processed + stats.acks_orphaned == 2;
+  }));
+}
+
+TEST_F(FaultInjectionTest, DuplicatedAckHarmless) {
+  // The REVERSE channel duplicates: one read produces two identical acks.
+  ASSERT_TRUE(net_->connect("QMB", "QMA", mq::ChannelOptions{.duplicate = 1.0}));
+  auto cm_id = service_->send_message("ack-dup", *pick_up(10'000));
+  ASSERT_TRUE(cm_id.is_ok());
+  ConditionalReceiver rx(*qm_recv_, "r1");
+  ASSERT_TRUE(rx.read_message("IN", 5000).is_ok());
+  auto outcome = service_->await_outcome(cm_id.value(), 60'000);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(outcome.value().outcome, Outcome::kSuccess);
+  EXPECT_EQ(service_->await_outcome(cm_id.value(), 0).code(),
+            util::ErrorCode::kTimeout);
+}
+
+TEST_F(FaultInjectionTest, PartitionDelaysDeliveryPastDeadline) {
+  // The forward channel is partitioned: the message arrives only after the
+  // pick-up deadline. The receiver still reads it (delivery is guaranteed),
+  // but the read is late, so the condition fails.
+  ASSERT_TRUE(net_->connect("QMA", "QMB", mq::ChannelOptions{}));
+  auto* forward = net_->channel("QMA", "QMB");
+  forward->pause();
+
+  auto cm_id = service_->send_message("partitioned", "undo", *pick_up(1000));
+  ASSERT_TRUE(cm_id.is_ok());
+  clock_.advance_ms(1500);  // partition outlives the deadline
+  auto outcome = service_->await_outcome(cm_id.value(), 60'000);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(outcome.value().outcome, Outcome::kFailure);
+
+  forward->resume();
+  // Both the late original and its compensation cross the healed channel
+  // (guaranteed delivery), and cancel out at the receiver (§2.6): the
+  // application never sees a message whose condition already failed.
+  ASSERT_TRUE(test::eventually(
+      [&] { return qm_recv_->find_queue("IN")->depth() == 2u; }));
+  ConditionalReceiver rx(*qm_recv_, "r1");
+  EXPECT_EQ(rx.read_message("IN", 0).code(), util::ErrorCode::kTimeout);
+  EXPECT_EQ(rx.stats().annihilated, 1u);
+  EXPECT_EQ(qm_recv_->find_queue("IN")->depth(), 0u);
+}
+
+TEST_F(FaultInjectionTest, LostNonPersistentMessageFailsAndDropsComp) {
+  // A non-persistent conditional message is dropped by the channel. The
+  // condition fails at its deadline; the (persistent) compensation crosses
+  // fine, but no consumption record exists at the receiver, so it is
+  // dropped rather than delivered to an application that never saw the
+  // original.
+  ASSERT_TRUE(net_->connect(
+      "QMA", "QMB", mq::ChannelOptions{.drop_nonpersistent = 1.0}));
+  auto condition = DestBuilder(QueueAddress("QMB", "IN"))
+                       .pick_up_within(1000)
+                       .persistence(mq::Persistence::kNonPersistent)
+                       .build();
+  auto cm_id = service_->send_message("lost", "undo-lost", *condition);
+  ASSERT_TRUE(cm_id.is_ok());
+  clock_.advance_ms(1001);
+  auto outcome = service_->await_outcome(cm_id.value(), 60'000);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(outcome.value().outcome, Outcome::kFailure);
+
+  // compensation arrives at the receiver queue...
+  ASSERT_TRUE(test::eventually(
+      [&] { return qm_recv_->find_queue("IN")->depth() == 1u; }));
+  // ...but the receiver must not deliver it to the application
+  ConditionalReceiver rx(*qm_recv_, "r1");
+  EXPECT_EQ(rx.read_message("IN", 0).code(), util::ErrorCode::kTimeout);
+  EXPECT_EQ(rx.stats().compensations_dropped, 1u);
+}
+
+TEST_F(FaultInjectionTest, JitteredChannelStillDecidesCorrectly) {
+  ASSERT_TRUE(net_->connect(
+      "QMA", "QMB",
+      mq::ChannelOptions{.latency_ms = 1, .jitter_ms = 3, .seed = 7}));
+  // With SimClock, channel latency consumes virtual time: advance it from
+  // a helper thread while the receiver blocks.
+  auto cm_id = service_->send_message("jittered", *pick_up(10'000));
+  ASSERT_TRUE(cm_id.is_ok());
+  std::thread ticker([&] {
+    for (int i = 0; i < 100; ++i) {
+      clock_.advance_ms(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  ConditionalReceiver rx(*qm_recv_, "r1");
+  auto msg = rx.read_message("IN", 10'000);
+  ticker.join();
+  ASSERT_TRUE(msg.is_ok());
+  auto outcome = service_->await_outcome(cm_id.value(), 60'000);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(outcome.value().outcome, Outcome::kSuccess);
+}
+
+}  // namespace
+}  // namespace cmx::cm

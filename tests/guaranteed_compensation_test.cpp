@@ -1,0 +1,182 @@
+// Guaranteed compensation (paper §2.6, reference [16]): outcome actions
+// must survive a sender crash. The sender writes a persistent
+// pending-action marker (DS.PEND.Q) before running compensation/success
+// actions; recovery re-drives any marker still present, and sweeps
+// compensations orphaned by a crashed Dependency-Sphere.
+#include <gtest/gtest.h>
+
+#include "cm/condition_builder.hpp"
+#include "cm/receiver.hpp"
+#include "cm/sender.hpp"
+#include "ds/dsphere.hpp"
+#include "tests/test_support.hpp"
+#include "txn/coordinator.hpp"
+
+namespace cmx::cm {
+namespace {
+
+using mq::QueueAddress;
+
+class GuaranteedCompensationTest : public ::testing::Test {
+ protected:
+  GuaranteedCompensationTest() {
+    qm_ = std::make_unique<mq::QueueManager>("QM", clock_);
+    qm_->create_queue("Q").expect_ok("create");
+  }
+
+  ConditionPtr pick_up(util::TimeMs within) {
+    return DestBuilder(QueueAddress("QM", "Q")).pick_up_within(within).build();
+  }
+
+  util::SimClock clock_;
+  std::unique_ptr<mq::QueueManager> qm_;
+};
+
+TEST_F(GuaranteedCompensationTest, MarkerRemovedAfterNormalOutcome) {
+  ConditionalMessagingService service(*qm_);
+  auto cm_id = service.send_message("x", *pick_up(100));
+  ASSERT_TRUE(cm_id.is_ok());
+  clock_.advance_ms(101);
+  ASSERT_TRUE(service.await_outcome(cm_id.value(), 60'000).is_ok());
+  // the failure path ran to completion: no marker left behind
+  EXPECT_EQ(qm_->find_queue(kPendingActionQueue)->depth(), 0u);
+}
+
+TEST_F(GuaranteedCompensationTest, RecoveryRedrivesInterruptedFailure) {
+  // Simulate a sender that crashed AFTER deciding failure and writing the
+  // marker, but BEFORE releasing the compensations: the durable state is
+  // a PEND marker + staged compensations + (already removed) SLOG entry.
+  std::string cm_id;
+  std::string msg_id;
+  {
+    ConditionalMessagingService crashed(*qm_);
+    auto sent = crashed.send_message("do", "undo", *pick_up(100));
+    ASSERT_TRUE(sent.is_ok());
+    cm_id = sent.value();
+    msg_id = qm_->find_queue("Q")->browse().at(0).id;
+    // hand-craft the crash point: marker present, SLOG consumed, staged
+    // compensation untouched, actions never ran
+    PendingActionMarker marker;
+    marker.cm_id = cm_id;
+    marker.outcome = Outcome::kFailure;
+    marker.reason = "pick-up deadline missed";
+    marker.deliveries = {{QueueAddress("QM", "Q"), msg_id}};
+    ASSERT_TRUE(qm_->put_local(kPendingActionQueue, marker.to_message()));
+    auto selector =
+        mq::Selector::parse(std::string(prop::kCmId) + " = '" + cm_id + "'");
+    ASSERT_TRUE(qm_->get(kSenderLogQueue, 0, &selector.value()).is_ok());
+  }  // service destroyed = crash
+
+  ConditionalMessagingService recovered(*qm_);
+  ASSERT_TRUE(recovered.recover());
+  // actions re-driven: compensation released to the destination queue
+  EXPECT_EQ(recovered.compensation_manager().staged_count(cm_id), 0u);
+  EXPECT_EQ(qm_->find_queue(kPendingActionQueue)->depth(), 0u);
+  EXPECT_EQ(qm_->find_queue("Q")->depth(), 2u);  // original + compensation
+  // an outcome notification was (re)emitted
+  auto outcome = recovered.await_outcome(cm_id, 0);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(outcome.value().outcome, Outcome::kFailure);
+  // and the evaluation was NOT resurrected (the message is decided)
+  EXPECT_EQ(recovered.evaluation_manager().in_flight(), 0u);
+
+  // a late reader finds nothing: the pair annihilates
+  ConditionalReceiver rx(*qm_, "late");
+  EXPECT_EQ(rx.read_message("Q", 0).code(), util::ErrorCode::kTimeout);
+  EXPECT_EQ(rx.stats().annihilated, 1u);
+}
+
+TEST_F(GuaranteedCompensationTest, RecoveryRedriveIsIdempotentOnRelease) {
+  // Crash after the actions ran but before the marker was removed: the
+  // re-drive must not duplicate compensations.
+  std::string cm_id;
+  {
+    ConditionalMessagingService crashed(*qm_);
+    auto sent = crashed.send_message("do", "undo", *pick_up(100));
+    ASSERT_TRUE(sent.is_ok());
+    cm_id = sent.value();
+    clock_.advance_ms(101);
+    ASSERT_TRUE(crashed.await_outcome(cm_id, 60'000).is_ok());
+    // normal path completed; now re-plant the marker as if removal raced
+    // the crash
+    PendingActionMarker marker;
+    marker.cm_id = cm_id;
+    marker.outcome = Outcome::kFailure;
+    ASSERT_TRUE(qm_->put_local(kPendingActionQueue, marker.to_message()));
+  }
+  ASSERT_EQ(qm_->find_queue("Q")->depth(), 2u);  // original + compensation
+
+  ConditionalMessagingService recovered(*qm_);
+  ASSERT_TRUE(recovered.recover());
+  EXPECT_EQ(qm_->find_queue(kPendingActionQueue)->depth(), 0u);
+  // release re-ran but found nothing staged: still exactly one comp
+  EXPECT_EQ(qm_->find_queue("Q")->depth(), 2u);
+}
+
+TEST_F(GuaranteedCompensationTest, OrphanedSphereMemberFailedOnRecovery) {
+  // A Dependency-Sphere member whose sphere died with the sender: its
+  // outcome actions were deferred, SLOG consumed, no marker. The staged
+  // compensation is the only durable trace; the sweep must fail it.
+  std::string cm_id;
+  {
+    ConditionalMessagingService crashed(*qm_);
+    txn::TwoPhaseCoordinator coordinator;
+    ds::DSphereService spheres(crashed, coordinator);
+    const auto ds = spheres.begin();
+    auto sent = spheres.send_message(ds, "do", "undo", *pick_up(1000));
+    ASSERT_TRUE(sent.is_ok());
+    cm_id = sent.value();
+    ConditionalReceiver rx(*qm_, "reader");
+    ASSERT_TRUE(rx.read_message("Q", 0).is_ok());  // member SUCCEEDS
+    ASSERT_TRUE(crashed.evaluation_manager().await_decided(cm_id, 5000));
+    // sphere never resolves: crash
+  }
+  EXPECT_EQ(qm_->find_queue(kCompensationQueue)->depth(), 1u);
+
+  ConditionalMessagingService recovered(*qm_);
+  ASSERT_TRUE(recovered.recover());
+  // swept: compensation released to the (consumed) destination
+  EXPECT_EQ(qm_->find_queue(kCompensationQueue)->depth(), 0u);
+  // Two outcome notifications exist: the member's individual evaluation
+  // result (success, emitted before the crash) and the sweep's final
+  // failure. Outcome records arrive in order.
+  auto individual = recovered.await_outcome(cm_id, 0);
+  ASSERT_TRUE(individual.is_ok());
+  EXPECT_EQ(individual.value().outcome, Outcome::kSuccess);
+  auto final_outcome = recovered.await_outcome(cm_id, 0);
+  ASSERT_TRUE(final_outcome.is_ok());
+  EXPECT_EQ(final_outcome.value().outcome, Outcome::kFailure);
+  EXPECT_NE(final_outcome.value().reason.find("D-Sphere"),
+            std::string::npos);
+  // the reader, having consumed the original, receives the compensation
+  ConditionalReceiver rx(*qm_, "reader");
+  auto comp = rx.read_message("Q", 0);
+  ASSERT_TRUE(comp.is_ok());
+  EXPECT_EQ(comp.value().kind, MessageKind::kCompensation);
+  EXPECT_EQ(comp.value().body(), "undo");
+}
+
+TEST_F(GuaranteedCompensationTest, SweepSparesInFlightAndDecided) {
+  ConditionalMessagingService service(*qm_);
+  ASSERT_TRUE(qm_->create_queue("Q2"));
+  // in-flight message with staged compensation (never read)
+  auto in_flight = service.send_message(
+      "later", "undo-later",
+      *DestBuilder(QueueAddress("QM", "Q2")).pick_up_within(60'000).build());
+  ASSERT_TRUE(in_flight.is_ok());
+  // decided-success message (compensation already discarded)
+  auto decided = service.send_message("now", *pick_up(1000));
+  ASSERT_TRUE(decided.is_ok());
+  ConditionalReceiver rx(*qm_, "reader");
+  ASSERT_TRUE(rx.read_message("Q", 0).is_ok());
+  ASSERT_TRUE(service.await_outcome(decided.value(), 60'000).is_ok());
+
+  // recover() on the live service: the sweep must not touch either
+  ASSERT_TRUE(service.recover());
+  EXPECT_EQ(service.compensation_manager().staged_count(in_flight.value()),
+            1u);
+  EXPECT_FALSE(service.outcome_of(in_flight.value()).has_value());
+}
+
+}  // namespace
+}  // namespace cmx::cm

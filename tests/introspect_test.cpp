@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cm/condition_builder.hpp"
+#include "cm/introspect.hpp"
+#include "cm/receiver.hpp"
+#include "cm/sender.hpp"
+
+namespace cmx::cm {
+namespace {
+
+TEST(IntrospectTest, DumpShowsDecodedSystemState) {
+  util::SimClock clock;
+  mq::QueueManager qm("QM", clock);
+  qm.create_queue("APPQ").expect_ok("create");
+  ConditionalMessagingService service(qm);
+
+  auto pending = service.send_message(
+      "visible body",
+      *DestBuilder(mq::QueueAddress("QM", "APPQ"), "ops")
+           .pick_up_within(kHour)
+           .build());
+  ASSERT_TRUE(pending.is_ok());
+
+  std::ostringstream out;
+  dump_all(qm, out);
+  const std::string text = out.str();
+
+  // sender log entry with the condition in text form
+  EXPECT_NE(text.find("slog " + pending.value()), std::string::npos);
+  EXPECT_NE(text.find(":recipient \"ops\""), std::string::npos);
+  EXPECT_NE(text.find(":pickUp 1h"), std::string::npos);
+  // staged compensation on DS.COMP.Q
+  EXPECT_NE(text.find("DS.COMP.Q: depth=1"), std::string::npos);
+  // application queue with the data message and its body
+  EXPECT_NE(text.find("APPQ: depth=1"), std::string::npos);
+  EXPECT_NE(text.find("visible body"), std::string::npos);
+}
+
+TEST(IntrospectTest, DumpShowsAcksOutcomesAndRlog) {
+  util::SimClock clock;
+  mq::QueueManager qm("QM", clock);
+  qm.create_queue("APPQ").expect_ok("create");
+  ConditionalMessagingService service(qm);
+
+  // Stop the evaluator from consuming the ack so the dump can show it.
+  service.evaluation_manager().stop();
+  auto cm_id = service.send_message(
+      "x", *DestBuilder(mq::QueueAddress("QM", "APPQ")).pick_up_within(1000)
+               .build());
+  ASSERT_TRUE(cm_id.is_ok());
+  ConditionalReceiver rx(qm, "reader-7");
+  ASSERT_TRUE(rx.read_message("APPQ", 0).is_ok());
+
+  std::ostringstream out;
+  dump_system_state(qm, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("read ack for " + cm_id.value()), std::string::npos);
+  EXPECT_NE(text.find("from reader-7"), std::string::npos);
+  EXPECT_NE(text.find("consumed"), std::string::npos);  // RLOG entry
+}
+
+TEST(IntrospectTest, AbsentQueueReported) {
+  util::SimClock clock;
+  mq::QueueManager qm("QM", clock);
+  std::ostringstream out;
+  dump_queue(qm, "NO.SUCH.Q", out);
+  EXPECT_NE(out.str().find("<absent>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cmx::cm

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "mq/message.hpp"
+
+namespace cmx::mq {
+namespace {
+
+TEST(QueueAddressTest, ToStringAndParse) {
+  QueueAddress a("QM1", "ORDERS");
+  EXPECT_EQ(a.to_string(), "QM1/ORDERS");
+  EXPECT_EQ(QueueAddress::parse("QM1/ORDERS"), a);
+
+  QueueAddress local("", "LOCAL.Q");
+  EXPECT_EQ(local.to_string(), "LOCAL.Q");
+  EXPECT_EQ(QueueAddress::parse("LOCAL.Q"), local);
+}
+
+TEST(QueueAddressTest, Ordering) {
+  QueueAddress a("A", "Q1"), b("A", "Q2"), c("B", "Q0");
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_TRUE(QueueAddress().empty());
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(MessageTest, DefaultsMatchMomConventions) {
+  Message m;
+  EXPECT_EQ(m.priority, kDefaultPriority);
+  EXPECT_TRUE(m.persistent());
+  EXPECT_EQ(m.expiry_ms, util::kNoDeadline);
+  EXPECT_FALSE(m.expired(0));
+}
+
+TEST(MessageTest, TypedPropertyAccess) {
+  Message m;
+  m.set_property("s", std::string("text"));
+  m.set_property("i", std::int64_t{42});
+  m.set_property("b", true);
+  m.set_property("d", 2.5);
+
+  EXPECT_EQ(m.get_string("s"), "text");
+  EXPECT_EQ(m.get_int("i"), 42);
+  EXPECT_EQ(m.get_bool("b"), true);
+  EXPECT_EQ(m.get_double("d"), 2.5);
+
+  // wrong-type and missing lookups yield nullopt
+  EXPECT_FALSE(m.get_int("s").has_value());
+  EXPECT_FALSE(m.get_string("i").has_value());
+  EXPECT_FALSE(m.get_bool("nope").has_value());
+  EXPECT_TRUE(m.has_property("s"));
+  EXPECT_FALSE(m.has_property("nope"));
+}
+
+TEST(MessageTest, PropertyOverwrite) {
+  Message m;
+  m.set_property("k", std::int64_t{1});
+  m.set_property("k", std::string("two"));
+  EXPECT_EQ(m.get_string("k"), "two");
+  EXPECT_FALSE(m.get_int("k").has_value());
+}
+
+TEST(MessageTest, Expiry) {
+  Message m;
+  m.expiry_ms = 100;
+  EXPECT_FALSE(m.expired(99));
+  EXPECT_TRUE(m.expired(100));
+  EXPECT_TRUE(m.expired(101));
+}
+
+TEST(MessageTest, EncodeDecodeRoundTrip) {
+  Message m("the payload bytes \x01\x02");
+  m.id = "msg-1";
+  m.correlation_id = "corr-9";
+  m.reply_to = QueueAddress("QM2", "REPLY.Q");
+  m.priority = 8;
+  m.persistence = Persistence::kNonPersistent;
+  m.expiry_ms = 123456;
+  m.put_time_ms = 777;
+  m.delivery_count = 3;
+  m.set_property("s", std::string("str"));
+  m.set_property("i", std::int64_t{-5});
+  m.set_property("b", false);
+  m.set_property("d", 1.75);
+
+  auto decoded = Message::decode(m.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  const Message& d = decoded.value();
+  EXPECT_EQ(d.id, "msg-1");
+  EXPECT_EQ(d.correlation_id, "corr-9");
+  EXPECT_EQ(d.reply_to, m.reply_to);
+  EXPECT_EQ(d.priority, 8);
+  EXPECT_EQ(d.persistence, Persistence::kNonPersistent);
+  EXPECT_EQ(d.expiry_ms, 123456);
+  EXPECT_EQ(d.put_time_ms, 777);
+  EXPECT_EQ(d.delivery_count, 3);
+  EXPECT_EQ(d.body, m.body);
+  EXPECT_EQ(d.get_string("s"), "str");
+  EXPECT_EQ(d.get_int("i"), -5);
+  EXPECT_EQ(d.get_bool("b"), false);
+  EXPECT_EQ(d.get_double("d"), 1.75);
+}
+
+TEST(MessageTest, DecodeRejectsTruncation) {
+  Message m("body");
+  m.set_property("k", std::string("v"));
+  const std::string bytes = m.encode();
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, bytes.size() / 2,
+                          bytes.size() - 1}) {
+    auto r = Message::decode(std::string_view(bytes).substr(0, cut));
+    EXPECT_FALSE(r.is_ok()) << "cut at " << cut;
+  }
+}
+
+TEST(MessageTest, DecodeRejectsBadVersion) {
+  Message m("x");
+  std::string bytes = m.encode();
+  bytes[0] = 99;
+  EXPECT_FALSE(Message::decode(bytes).is_ok());
+}
+
+TEST(MessageTest, PropertyToString) {
+  EXPECT_EQ(property_to_string(PropertyValue(true)), "true");
+  EXPECT_EQ(property_to_string(PropertyValue(std::int64_t{7})), "7");
+  EXPECT_EQ(property_to_string(PropertyValue(std::string("abc"))), "abc");
+}
+
+TEST(MessageTest, EmptyMessageRoundTrip) {
+  Message m;
+  auto decoded = Message::decode(m.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_TRUE(decoded.value().body.empty());
+  EXPECT_TRUE(decoded.value().properties.empty());
+}
+
+}  // namespace
+}  // namespace cmx::mq

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "mq/network.hpp"
+#include "mq/queue_manager.hpp"
+#include "tests/test_support.hpp"
+
+namespace cmx::mq {
+namespace {
+
+Message msg(const std::string& body,
+            Persistence persistence = Persistence::kPersistent) {
+  Message m(body);
+  m.persistence = persistence;
+  return m;
+}
+
+// Network/channel tests use the real clock: the movers are real threads
+// and zero-latency channels deliver promptly without time control.
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() {
+    qma_ = std::make_unique<QueueManager>("QMA", clock_);
+    qmb_ = std::make_unique<QueueManager>("QMB", clock_);
+    qmb_->create_queue("IN").expect_ok("create IN");
+    net_ = std::make_unique<Network>();
+    net_->add(*qma_);
+    net_->add(*qmb_);
+  }
+  ~NetworkTest() override { net_->shutdown(); }
+
+  util::SystemClock clock_;
+  std::unique_ptr<QueueManager> qma_;
+  std::unique_ptr<QueueManager> qmb_;
+  std::unique_ptr<Network> net_;
+};
+
+TEST_F(NetworkTest, RemotePutArrives) {
+  ASSERT_TRUE(qma_->put(QueueAddress("QMB", "IN"), msg("cross")));
+  auto got = qmb_->get("IN", 2000);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().body, "cross");
+  // transport property must not leak to the application
+  EXPECT_FALSE(got.value().has_property(kXmitDestProperty));
+}
+
+TEST_F(NetworkTest, UnknownQmgrFails) {
+  EXPECT_EQ(qma_->put(QueueAddress("NOWHERE", "IN"), msg("x")).code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(NetworkTest, UnknownRemoteQueueIsDeadLettered) {
+  ASSERT_TRUE(qma_->put(QueueAddress("QMB", "MISSING"), msg("lost")));
+  ASSERT_TRUE(test::eventually(
+      [&] { return qmb_->find_queue(kDeadLetterQueue) != nullptr &&
+                   qmb_->find_queue(kDeadLetterQueue)->depth() > 0; }));
+  auto dead = qmb_->get(kDeadLetterQueue, 1000);
+  ASSERT_TRUE(dead.is_ok());
+  EXPECT_EQ(dead.value().body, "lost");
+  EXPECT_EQ(dead.value().get_string(kXmitDestProperty), "QMB/MISSING");
+  auto* channel = net_->channel("QMA", "QMB");
+  ASSERT_NE(channel, nullptr);
+  EXPECT_EQ(channel->stats().dead_lettered, 1u);
+}
+
+TEST_F(NetworkTest, PausedChannelAccumulatesThenDrains) {
+  ASSERT_TRUE(net_->connect("QMA", "QMB", ChannelOptions{}));
+  auto* channel = net_->channel("QMA", "QMB");
+  ASSERT_NE(channel, nullptr);
+  channel->pause();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(qma_->put(QueueAddress("QMB", "IN"), msg("m")));
+  }
+  // Give the mover a moment: nothing must arrive while paused (the mover
+  // may hold at most the one message it already pulled before pausing).
+  auto in_queue = qmb_->find_queue("IN");
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_LE(in_queue->depth(), 1u);
+  channel->resume();
+  ASSERT_TRUE(test::eventually([&] { return in_queue->depth() == 5u; }));
+  EXPECT_TRUE(channel->paused() == false);
+}
+
+TEST_F(NetworkTest, NonPersistentDropsWithFaultInjection) {
+  ASSERT_TRUE(net_->connect("QMA", "QMB",
+                            ChannelOptions{.drop_nonpersistent = 1.0}));
+  ASSERT_TRUE(qma_->put(QueueAddress("QMB", "IN"),
+                        msg("gone", Persistence::kNonPersistent)));
+  ASSERT_TRUE(qma_->put(QueueAddress("QMB", "IN"), msg("kept")));
+  auto got = qmb_->get("IN", 2000);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().body, "kept");  // persistent never dropped
+  auto* channel = net_->channel("QMA", "QMB");
+  EXPECT_EQ(channel->stats().dropped, 1u);
+}
+
+TEST_F(NetworkTest, DuplicateFaultInjectionDeliversTwice) {
+  ASSERT_TRUE(net_->connect("QMA", "QMB", ChannelOptions{.duplicate = 1.0}));
+  ASSERT_TRUE(qma_->put(QueueAddress("QMB", "IN"), msg("twice")));
+  EXPECT_EQ(qmb_->get("IN", 2000).value().body, "twice");
+  EXPECT_EQ(qmb_->get("IN", 2000).value().body, "twice");
+  auto* channel = net_->channel("QMA", "QMB");
+  EXPECT_TRUE(
+      test::eventually([&] { return channel->stats().duplicated == 1u; }));
+}
+
+TEST_F(NetworkTest, LatencyDelaysDelivery) {
+  ASSERT_TRUE(net_->connect("QMA", "QMB", ChannelOptions{.latency_ms = 50}));
+  const auto start = clock_.now_ms();
+  ASSERT_TRUE(qma_->put(QueueAddress("QMB", "IN"), msg("slow")));
+  auto got = qmb_->get("IN", 5000);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_GE(clock_.now_ms() - start, 45);
+}
+
+TEST_F(NetworkTest, BidirectionalTraffic) {
+  qma_->create_queue("BACK").expect_ok("create BACK");
+  ASSERT_TRUE(qma_->put(QueueAddress("QMB", "IN"), msg("ping")));
+  auto ping = qmb_->get("IN", 2000);
+  ASSERT_TRUE(ping.is_ok());
+  ASSERT_TRUE(qmb_->put(QueueAddress("QMA", "BACK"), msg("pong")));
+  auto pong = qma_->get("BACK", 2000);
+  ASSERT_TRUE(pong.is_ok());
+  EXPECT_EQ(pong.value().body, "pong");
+}
+
+TEST_F(NetworkTest, ChannelStatsCountTransfers) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(qma_->put(QueueAddress("QMB", "IN"), msg("x")));
+  }
+  ASSERT_TRUE(test::eventually(
+      [&] { return qmb_->find_queue("IN")->depth() == 10u; }));
+  auto* channel = net_->channel("QMA", "QMB");
+  EXPECT_EQ(channel->stats().transferred, 10u);
+  EXPECT_EQ(channel->source(), "QMA");
+  EXPECT_EQ(channel->destination(), "QMB");
+}
+
+TEST_F(NetworkTest, XmitQueueSurvivesChannelPauseAcrossMessages) {
+  ASSERT_TRUE(net_->connect("QMA", "QMB", ChannelOptions{}));
+  auto* channel = net_->channel("QMA", "QMB");
+  channel->pause();
+  ASSERT_TRUE(qma_->put(QueueAddress("QMB", "IN"), msg("queued")));
+  auto xmit = qma_->find_queue(channel->xmit_queue_name());
+  ASSERT_NE(xmit, nullptr);
+  // message waits on the transmission queue (or is held by the mover)
+  channel->resume();
+  EXPECT_TRUE(test::eventually(
+      [&] { return qmb_->find_queue("IN")->depth() == 1u; }));
+}
+
+TEST_F(NetworkTest, ShutdownStopsMovers) {
+  net_->shutdown();
+  EXPECT_EQ(qma_->put(QueueAddress("QMB", "IN"), msg("x")).code(),
+            util::ErrorCode::kFailedPrecondition);  // network detached
+}
+
+}  // namespace
+}  // namespace cmx::mq

@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include "cm/conditional_publisher.hpp"
+#include "cm/receiver.hpp"
+#include "cm/sender.hpp"
+#include "mq/pubsub.hpp"
+#include "tests/test_support.hpp"
+
+namespace cmx::mq {
+namespace {
+
+// ---------------------------------------------------------------------
+// Topic pattern matching
+// ---------------------------------------------------------------------
+
+struct MatchCase {
+  const char* pattern;
+  const char* topic;
+  bool expected;
+};
+
+class TopicMatch : public ::testing::TestWithParam<MatchCase> {};
+
+TEST_P(TopicMatch, Evaluates) {
+  EXPECT_EQ(topic_matches(GetParam().pattern, GetParam().topic),
+            GetParam().expected)
+      << GetParam().pattern << " vs " << GetParam().topic;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, TopicMatch,
+    ::testing::Values(
+        MatchCase{"a.b.c", "a.b.c", true},
+        MatchCase{"a.b.c", "a.b.d", false},
+        MatchCase{"a.b.c", "a.b", false},
+        MatchCase{"a.b", "a.b.c", false},
+        MatchCase{"a.*.c", "a.b.c", true},
+        MatchCase{"a.*.c", "a.x.c", true},
+        MatchCase{"a.*.c", "a.b.d", false},
+        MatchCase{"a.*.c", "a.c", false},       // * matches exactly one level
+        MatchCase{"*", "a", true},
+        MatchCase{"*", "a.b", false},
+        MatchCase{"a.#", "a", true},  // '#' matches zero trailing levels too
+        MatchCase{"a.#", "a.b", true},
+        MatchCase{"a.#", "a.b.c.d", true},
+        MatchCase{"#", "a.b.c", true},
+        MatchCase{"#", "a", true},
+        MatchCase{"a.#.c", "a.b.c", false}));    // # only valid at the end
+
+// ---------------------------------------------------------------------
+// Broker
+// ---------------------------------------------------------------------
+
+class BrokerTest : public ::testing::Test {
+ protected:
+  BrokerTest() : qm_("QM", clock_), broker_(qm_) {}
+  util::SimClock clock_;
+  QueueManager qm_;
+  TopicBroker broker_;
+};
+
+TEST_F(BrokerTest, PublishReachesMatchingSubscriptions) {
+  auto emea = broker_.subscribe("market.emea.*");
+  auto all = broker_.subscribe("market.#");
+  auto apac = broker_.subscribe("market.apac.*");
+  ASSERT_TRUE(emea.is_ok());
+  ASSERT_TRUE(all.is_ok());
+  ASSERT_TRUE(apac.is_ok());
+
+  ASSERT_TRUE(broker_.publish("market.emea.fx", Message("tick")));
+  EXPECT_EQ(qm_.find_queue(emea.value().queue)->depth(), 1u);
+  EXPECT_EQ(qm_.find_queue(all.value().queue)->depth(), 1u);
+  EXPECT_EQ(qm_.find_queue(apac.value().queue)->depth(), 0u);
+
+  auto got = qm_.get(emea.value().queue, 0);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().body, "tick");
+  EXPECT_EQ(got.value().get_string(kTopicProperty), "market.emea.fx");
+}
+
+TEST_F(BrokerTest, EachDeliveryIsAnIndependentMessage) {
+  auto s1 = broker_.subscribe("t");
+  auto s2 = broker_.subscribe("t");
+  ASSERT_TRUE(s1.is_ok());
+  ASSERT_TRUE(s2.is_ok());
+  ASSERT_TRUE(broker_.publish("t", Message("x")));
+  auto m1 = qm_.get(s1.value().queue, 0);
+  auto m2 = qm_.get(s2.value().queue, 0);
+  ASSERT_TRUE(m1.is_ok());
+  ASSERT_TRUE(m2.is_ok());
+  EXPECT_NE(m1.value().id, m2.value().id);  // distinct message identities
+}
+
+TEST_F(BrokerTest, SelectorSubscription) {
+  auto urgent =
+      broker_.subscribe("alerts.#", {.selector = "severity >= 3"});
+  ASSERT_TRUE(urgent.is_ok());
+  Message low("low");
+  low.set_property("severity", std::int64_t{1});
+  Message high("high");
+  high.set_property("severity", std::int64_t{5});
+  ASSERT_TRUE(broker_.publish("alerts.db", low));
+  ASSERT_TRUE(broker_.publish("alerts.db", high));
+  auto got = qm_.get(urgent.value().queue, 0);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().body, "high");
+  EXPECT_EQ(qm_.get(urgent.value().queue, 0).code(),
+            util::ErrorCode::kTimeout);
+  EXPECT_EQ(broker_.stats().selector_filtered, 1u);
+}
+
+TEST_F(BrokerTest, BadSelectorRejected) {
+  auto bad = broker_.subscribe("t", {.selector = "((("});
+  ASSERT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(BrokerTest, UnmatchedPublishSucceedsAndIsCounted) {
+  ASSERT_TRUE(broker_.publish("nobody.cares", Message("x")));
+  EXPECT_EQ(broker_.stats().unmatched_publishes, 1u);
+  EXPECT_EQ(broker_.stats().published, 1u);
+}
+
+TEST_F(BrokerTest, DurabilityControlsPersistenceClass) {
+  auto durable = broker_.subscribe("t", {.durable = true});
+  auto volatile_sub = broker_.subscribe("t", {.durable = false});
+  ASSERT_TRUE(durable.is_ok());
+  ASSERT_TRUE(volatile_sub.is_ok());
+  Message m("event");
+  m.persistence = Persistence::kPersistent;
+  ASSERT_TRUE(broker_.publish("t", m));
+  EXPECT_TRUE(qm_.get(durable.value().queue, 0).value().persistent());
+  EXPECT_FALSE(qm_.get(volatile_sub.value().queue, 0).value().persistent());
+}
+
+TEST_F(BrokerTest, NamedSubscriptionsAndDuplicates) {
+  auto named = broker_.subscribe("t", {.name = "reports"});
+  ASSERT_TRUE(named.is_ok());
+  EXPECT_EQ(named.value().name, "reports");
+  EXPECT_TRUE(broker_.find("reports").has_value());
+  auto dup = broker_.subscribe("other", {.name = "reports"});
+  EXPECT_EQ(dup.code(), util::ErrorCode::kAlreadyExists);
+}
+
+TEST_F(BrokerTest, UnsubscribeRemovesQueue) {
+  auto sub = broker_.subscribe("t", {.name = "temp"});
+  ASSERT_TRUE(sub.is_ok());
+  ASSERT_TRUE(broker_.unsubscribe("temp"));
+  EXPECT_EQ(qm_.find_queue(sub.value().queue), nullptr);
+  EXPECT_EQ(broker_.unsubscribe("temp").code(), util::ErrorCode::kNotFound);
+  ASSERT_TRUE(broker_.publish("t", Message("x")));  // no crash, unmatched
+}
+
+TEST(BrokerRecoveryTest, DurableSubscriptionsSurviveRestart) {
+  util::SimClock clock;
+  auto store = std::make_shared<MemoryStore>();
+  {
+    auto qm = cmx::test::make_qm("QM", clock, store);
+    qm->recover().expect_ok("recover qm");
+    TopicBroker broker(*qm);
+    ASSERT_TRUE(broker
+                    .subscribe("alerts.#", {.durable = true,
+                                            .selector = "severity >= 2",
+                                            .name = "ops"})
+                    .is_ok());
+    ASSERT_TRUE(broker.subscribe("alerts.#", {.durable = false,
+                                              .name = "ephemeral"})
+                    .is_ok());
+    // a persistent message waits on the durable subscription
+    Message m("pending-alert");
+    m.set_property("severity", std::int64_t{4});
+    ASSERT_TRUE(broker.publish("alerts.db", m));
+  }
+
+  // restart: new queue manager over the same store, new broker
+  auto qm = cmx::test::make_qm("QM", clock, store);
+  qm->recover().expect_ok("recover qm");
+  TopicBroker broker(*qm);
+  ASSERT_TRUE(broker.recover());
+  ASSERT_EQ(broker.subscriptions().size(), 1u);  // only the durable one
+  auto ops = broker.find("ops");
+  ASSERT_TRUE(ops.has_value());
+  EXPECT_EQ(ops->pattern, "alerts.#");
+  EXPECT_TRUE(ops->durable);
+
+  // the queued message survived and the selector still applies
+  auto got = qm->get(ops->queue, 0);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().body, "pending-alert");
+  Message low("low");
+  low.set_property("severity", std::int64_t{1});
+  ASSERT_TRUE(broker.publish("alerts.db", low));
+  EXPECT_EQ(qm->get(ops->queue, 0).code(), util::ErrorCode::kTimeout);
+}
+
+TEST(BrokerRecoveryTest, UnsubscribedDurableDoesNotResurrect) {
+  util::SimClock clock;
+  auto store = std::make_shared<MemoryStore>();
+  {
+    auto qm = cmx::test::make_qm("QM", clock, store);
+    qm->recover().expect_ok("recover qm");
+    TopicBroker broker(*qm);
+    ASSERT_TRUE(
+        broker.subscribe("t", {.durable = true, .name = "gone"}).is_ok());
+    ASSERT_TRUE(broker.unsubscribe("gone"));
+  }
+  auto qm = cmx::test::make_qm("QM", clock, store);
+  qm->recover().expect_ok("recover qm");
+  TopicBroker broker(*qm);
+  ASSERT_TRUE(broker.recover());
+  EXPECT_TRUE(broker.subscriptions().empty());
+}
+
+TEST_F(BrokerTest, MatchingSnapshot) {
+  broker_.subscribe("a.#", {.name = "s1"});
+  broker_.subscribe("a.b", {.name = "s2"});
+  broker_.subscribe("c", {.name = "s3"});
+  auto matched = broker_.matching("a.b");
+  EXPECT_EQ(matched.size(), 2u);
+  EXPECT_EQ(broker_.subscriptions().size(), 3u);
+}
+
+}  // namespace
+}  // namespace cmx::mq
+
+// ---------------------------------------------------------------------
+// Conditional publish (publisher-side conditions over subscribers)
+// ---------------------------------------------------------------------
+
+namespace cmx::cm {
+namespace {
+
+class ConditionalPublishTest : public ::testing::Test {
+ protected:
+  ConditionalPublishTest()
+      : qm_("QM", clock_), broker_(qm_), service_(qm_),
+        publisher_(service_, broker_) {}
+
+  util::SimClock clock_;
+  mq::QueueManager qm_;
+  mq::TopicBroker broker_;
+  ConditionalMessagingService service_;
+  ConditionalPublisher publisher_;
+};
+
+TEST_F(ConditionalPublishTest, AllSubscribersReadInTime) {
+  auto s1 = broker_.subscribe("news.#", {.name = "desk1"});
+  auto s2 = broker_.subscribe("news.tech", {.name = "desk2"});
+  ASSERT_TRUE(s1.is_ok());
+  ASSERT_TRUE(s2.is_ok());
+
+  PublishConditions conditions;
+  conditions.pick_up_within = 1000;
+  auto cm_id = publisher_.publish("news.tech", "headline", conditions);
+  ASSERT_TRUE(cm_id.is_ok());
+
+  // Note: conditional publish fans out through the conditional messaging
+  // service (one message per subscription queue), with the topic stamped.
+  ConditionalReceiver rx1(qm_, "desk1-reader");
+  auto got = rx1.read_message(s1.value().queue, 0);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().body(), "headline");
+  EXPECT_EQ(got.value().message.get_string(mq::kTopicProperty), "news.tech");
+
+  ConditionalReceiver rx2(qm_, "desk2-reader");
+  ASSERT_TRUE(rx2.read_message(s2.value().queue, 0).is_ok());
+
+  auto outcome = service_.await_outcome(cm_id.value(), 60'000);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(outcome.value().outcome, Outcome::kSuccess);
+}
+
+TEST_F(ConditionalPublishTest, KOfNSubscribers) {
+  for (const char* name : {"a", "b", "c"}) {
+    ASSERT_TRUE(broker_.subscribe("evt", {.name = name}).is_ok());
+  }
+  PublishConditions conditions;
+  conditions.pick_up_within = 1000;
+  conditions.min_subscribers = 2;
+  auto cm_id = publisher_.publish("evt", "payload", conditions);
+  ASSERT_TRUE(cm_id.is_ok());
+
+  ConditionalReceiver rx(qm_, "reader");
+  ASSERT_TRUE(
+      rx.read_message(broker_.find("a")->queue, 0).is_ok());
+  ASSERT_TRUE(
+      rx.read_message(broker_.find("c")->queue, 0).is_ok());
+  auto outcome = service_.await_outcome(cm_id.value(), 60'000);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(outcome.value().outcome, Outcome::kSuccess);
+}
+
+TEST_F(ConditionalPublishTest, TooFewReadersFailsAndCompensates) {
+  for (const char* name : {"a", "b"}) {
+    ASSERT_TRUE(broker_.subscribe("evt", {.name = name}).is_ok());
+  }
+  PublishConditions conditions;
+  conditions.pick_up_within = 500;
+  auto cm_id =
+      publisher_.publish("evt", "payload", "retraction", conditions);
+  ASSERT_TRUE(cm_id.is_ok());
+
+  ConditionalReceiver rx(qm_, "reader");
+  ASSERT_TRUE(rx.read_message(broker_.find("a")->queue, 0).is_ok());
+  clock_.advance_ms(501);  // subscriber b never reads
+  auto outcome = service_.await_outcome(cm_id.value(), 60'000);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(outcome.value().outcome, Outcome::kFailure);
+
+  // reader a consumed the event: it receives the retraction
+  ASSERT_TRUE(test::eventually([&] {
+    return qm_.find_queue(broker_.find("a")->queue)->depth() == 1u;
+  }));
+  auto comp = rx.read_message(broker_.find("a")->queue, 0);
+  ASSERT_TRUE(comp.is_ok());
+  EXPECT_EQ(comp.value().kind, MessageKind::kCompensation);
+  EXPECT_EQ(comp.value().body(), "retraction");
+}
+
+TEST_F(ConditionalPublishTest, ProcessingConditionOverSubscribers) {
+  ASSERT_TRUE(broker_.subscribe("job", {.name = "worker"}).is_ok());
+  PublishConditions conditions;
+  conditions.processing_within = 1000;
+  auto cm_id = publisher_.publish("job", "task", conditions);
+  ASSERT_TRUE(cm_id.is_ok());
+
+  ConditionalReceiver rx(qm_, "w1");
+  ASSERT_TRUE(rx.begin_tx());
+  ASSERT_TRUE(rx.read_message(broker_.find("worker")->queue, 0).is_ok());
+  ASSERT_TRUE(rx.commit_tx());
+  auto outcome = service_.await_outcome(cm_id.value(), 60'000);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(outcome.value().outcome, Outcome::kSuccess);
+}
+
+TEST_F(ConditionalPublishTest, NoMatchingSubscriptionRejected) {
+  PublishConditions conditions;
+  conditions.pick_up_within = 100;
+  auto result = publisher_.publish("ghost.topic", "x", conditions);
+  EXPECT_EQ(result.code(), util::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(ConditionalPublishTest, CardinalityBeyondSubscribersRejected) {
+  ASSERT_TRUE(broker_.subscribe("t", {.name = "only"}).is_ok());
+  PublishConditions conditions;
+  conditions.pick_up_within = 100;
+  conditions.min_subscribers = 3;
+  EXPECT_EQ(publisher_.publish("t", "x", conditions).code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ConditionalPublishTest, NoDeadlineRejected) {
+  ASSERT_TRUE(broker_.subscribe("t", {.name = "s"}).is_ok());
+  EXPECT_EQ(publisher_.publish("t", "x", PublishConditions{}).code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ConditionalPublishTest, SubscriptionSnapshotAtPublishTime) {
+  ASSERT_TRUE(broker_.subscribe("t", {.name = "early"}).is_ok());
+  PublishConditions conditions;
+  conditions.pick_up_within = 1000;
+  auto cm_id = publisher_.publish("t", "x", conditions);
+  ASSERT_TRUE(cm_id.is_ok());
+  // A subscriber arriving after the publish is NOT part of the condition.
+  ASSERT_TRUE(broker_.subscribe("t", {.name = "late"}).is_ok());
+  ConditionalReceiver rx(qm_, "reader");
+  ASSERT_TRUE(rx.read_message(broker_.find("early")->queue, 0).is_ok());
+  auto outcome = service_.await_outcome(cm_id.value(), 60'000);
+  ASSERT_TRUE(outcome.is_ok());
+  EXPECT_EQ(outcome.value().outcome, Outcome::kSuccess);
+  // and it received nothing (the conditional fan-out predates it)
+  EXPECT_EQ(qm_.find_queue(broker_.find("late")->queue)->depth(), 0u);
+}
+
+}  // namespace
+}  // namespace cmx::cm

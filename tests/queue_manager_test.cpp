@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include "mq/queue_manager.hpp"
+#include "mq/session.hpp"
+#include "tests/test_support.hpp"
+
+namespace cmx::mq {
+namespace {
+
+Message msg(const std::string& body,
+            Persistence persistence = Persistence::kPersistent) {
+  Message m(body);
+  m.persistence = persistence;
+  return m;
+}
+
+class QueueManagerTest : public ::testing::Test {
+ protected:
+  QueueManagerTest() : store_(std::make_shared<MemoryStore>()) {
+    qm_ = test::make_qm("QM1", clock_, store_);
+    qm_->recover().expect_ok("recover");
+    qm_->create_queue("Q").expect_ok("create");
+  }
+
+  // Simulates a crash/restart: a new queue manager over the same store.
+  std::unique_ptr<QueueManager> restart() {
+    qm_.reset();
+    auto fresh = test::make_qm("QM1", clock_, store_);
+    fresh->recover().expect_ok("recover");
+    return fresh;
+  }
+
+  util::SimClock clock_;
+  std::shared_ptr<MemoryStore> store_;
+  std::unique_ptr<QueueManager> qm_;
+};
+
+TEST_F(QueueManagerTest, CreateDuplicateFails) {
+  EXPECT_EQ(qm_->create_queue("Q").code(), util::ErrorCode::kAlreadyExists);
+  EXPECT_TRUE(qm_->ensure_queue("Q"));
+  EXPECT_TRUE(qm_->ensure_queue("Q2"));
+}
+
+TEST_F(QueueManagerTest, PutGetLocal) {
+  ASSERT_TRUE(qm_->put(QueueAddress("", "Q"), msg("hello")));
+  auto got = qm_->get("Q", 0);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().body, "hello");
+  EXPECT_FALSE(got.value().id.empty());
+  EXPECT_EQ(got.value().put_time_ms, clock_.now_ms());
+}
+
+TEST_F(QueueManagerTest, PutToOwnNameIsLocal) {
+  ASSERT_TRUE(qm_->put(QueueAddress("QM1", "Q"), msg("x")));
+  EXPECT_TRUE(qm_->get("Q", 0).is_ok());
+}
+
+TEST_F(QueueManagerTest, PutUnknownQueueFails) {
+  EXPECT_EQ(qm_->put(QueueAddress("", "NOPE"), msg("x")).code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(QueueManagerTest, RemotePutWithoutNetworkFails) {
+  EXPECT_EQ(qm_->put(QueueAddress("OTHER", "Q"), msg("x")).code(),
+            util::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(QueueManagerTest, GetTimeout) {
+  auto got = qm_->get("Q", 0);
+  EXPECT_EQ(got.code(), util::ErrorCode::kTimeout);
+}
+
+TEST_F(QueueManagerTest, ExpiredPutRejected) {
+  clock_.set_ms(500);
+  Message m = msg("old");
+  m.expiry_ms = 100;
+  EXPECT_EQ(qm_->put(QueueAddress("", "Q"), m).code(),
+            util::ErrorCode::kExpired);
+}
+
+TEST_F(QueueManagerTest, PersistentMessagesSurviveRestart) {
+  ASSERT_TRUE(qm_->put(QueueAddress("", "Q"), msg("durable")));
+  ASSERT_TRUE(qm_->put(QueueAddress("", "Q"),
+                       msg("volatile", Persistence::kNonPersistent)));
+  auto fresh = restart();
+  auto got = fresh->get("Q", 0);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().body, "durable");
+  EXPECT_EQ(fresh->get("Q", 0).code(), util::ErrorCode::kTimeout);
+}
+
+TEST_F(QueueManagerTest, ConsumedMessagesStayConsumedAfterRestart) {
+  ASSERT_TRUE(qm_->put(QueueAddress("", "Q"), msg("a")));
+  ASSERT_TRUE(qm_->put(QueueAddress("", "Q"), msg("b")));
+  ASSERT_TRUE(qm_->get("Q", 0).is_ok());  // consume "a"
+  auto fresh = restart();
+  auto got = fresh->get("Q", 0);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().body, "b");
+  EXPECT_EQ(fresh->get("Q", 0).code(), util::ErrorCode::kTimeout);
+}
+
+TEST_F(QueueManagerTest, DeletedQueueGoneAfterRestart) {
+  ASSERT_TRUE(qm_->create_queue("DOOMED"));
+  ASSERT_TRUE(qm_->delete_queue("DOOMED"));
+  auto fresh = restart();
+  EXPECT_EQ(fresh->find_queue("DOOMED"), nullptr);
+  EXPECT_NE(fresh->find_queue("Q"), nullptr);
+}
+
+TEST_F(QueueManagerTest, RemoveMessageLogsRemoval) {
+  ASSERT_TRUE(qm_->put(QueueAddress("", "Q"), msg("kill-me")));
+  auto all = qm_->find_queue("Q")->browse();
+  ASSERT_EQ(all.size(), 1u);
+  auto removed = qm_->remove_message("Q", all[0].id);
+  ASSERT_TRUE(removed.is_ok());
+  EXPECT_EQ(removed.value().body, "kill-me");
+  EXPECT_EQ(qm_->remove_message("Q", all[0].id).code(),
+            util::ErrorCode::kNotFound);
+  auto fresh = restart();
+  EXPECT_EQ(fresh->get("Q", 0).code(), util::ErrorCode::kTimeout);
+}
+
+TEST_F(QueueManagerTest, CompactionPreservesState) {
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(qm_->put(QueueAddress("", "Q"), msg("m" + std::to_string(i))));
+  }
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(qm_->get("Q", 0).is_ok());
+  }
+  const auto before = store_->record_count();
+  ASSERT_TRUE(qm_->compact());
+  EXPECT_LT(store_->record_count(), before);
+  auto fresh = restart();
+  int remaining = 0;
+  while (fresh->get("Q", 0).is_ok()) ++remaining;
+  EXPECT_EQ(remaining, 30);
+}
+
+TEST_F(QueueManagerTest, ExplicitCompactionShrinksEmptyQueueLog) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(qm_->put(QueueAddress("", "Q"), msg("x")));
+    ASSERT_TRUE(qm_->get("Q", 0).is_ok());
+  }
+  ASSERT_TRUE(qm_->compact());
+  // After compaction of an empty queue only the create record remains.
+  EXPECT_LE(store_->record_count(), 2u);
+}
+
+TEST_F(QueueManagerTest, QueueNamesListsAll) {
+  ASSERT_TRUE(qm_->create_queue("ANOTHER"));
+  auto names = qm_->queue_names();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST_F(QueueManagerTest, ShutdownClosesQueues) {
+  qm_->shutdown();
+  EXPECT_EQ(qm_->put(QueueAddress("", "Q"), msg("x")).code(),
+            util::ErrorCode::kClosed);
+}
+
+// ---------------------------------------------------------------------
+// Transacted sessions
+// ---------------------------------------------------------------------
+
+class SessionTest : public QueueManagerTest {};
+
+TEST_F(SessionTest, NonTransactedPassThrough) {
+  auto session = qm_->create_session(false);
+  ASSERT_TRUE(session->put(QueueAddress("", "Q"), msg("direct")));
+  auto got = session->get("Q", 0);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().body, "direct");
+  EXPECT_EQ(session->commit().code(), util::ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(session->rollback().code(), util::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(SessionTest, PutsInvisibleUntilCommit) {
+  auto session = qm_->create_session(true);
+  ASSERT_TRUE(session->put(QueueAddress("", "Q"), msg("staged")));
+  EXPECT_EQ(qm_->get("Q", 0).code(), util::ErrorCode::kTimeout);
+  ASSERT_TRUE(session->commit());
+  EXPECT_EQ(qm_->get("Q", 0).value().body, "staged");
+}
+
+TEST_F(SessionTest, RollbackDiscardsPuts) {
+  auto session = qm_->create_session(true);
+  ASSERT_TRUE(session->put(QueueAddress("", "Q"), msg("staged")));
+  ASSERT_TRUE(session->rollback());
+  EXPECT_EQ(qm_->get("Q", 0).code(), util::ErrorCode::kTimeout);
+}
+
+TEST_F(SessionTest, GetInvisibleToOthersUntilRollback) {
+  ASSERT_TRUE(qm_->put(QueueAddress("", "Q"), msg("contended")));
+  auto session = qm_->create_session(true);
+  auto got = session->get("Q", 0);
+  ASSERT_TRUE(got.is_ok());
+  // other consumers cannot see it
+  EXPECT_EQ(qm_->get("Q", 0).code(), util::ErrorCode::kTimeout);
+  ASSERT_TRUE(session->rollback());
+  auto again = qm_->get("Q", 0);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again.value().body, "contended");
+  EXPECT_EQ(again.value().delivery_count, 2);  // redelivery is visible
+}
+
+TEST_F(SessionTest, CommittedGetIsDurable) {
+  ASSERT_TRUE(qm_->put(QueueAddress("", "Q"), msg("consumed")));
+  {
+    auto session = qm_->create_session(true);
+    ASSERT_TRUE(session->get("Q", 0).is_ok());
+    ASSERT_TRUE(session->commit());
+  }
+  auto fresh = restart();
+  EXPECT_EQ(fresh->get("Q", 0).code(), util::ErrorCode::kTimeout);
+}
+
+TEST_F(SessionTest, UncommittedGetRedeliveredAfterRestart) {
+  ASSERT_TRUE(qm_->put(QueueAddress("", "Q"), msg("inflight")));
+  auto session = qm_->create_session(true);
+  ASSERT_TRUE(session->get("Q", 0).is_ok());
+  session.reset();  // destructor rolls back
+  auto fresh = restart();
+  auto got = fresh->get("Q", 0);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().body, "inflight");
+}
+
+TEST_F(SessionTest, CompactionDuringOpenTransactionKeepsInflight) {
+  ASSERT_TRUE(qm_->put(QueueAddress("", "Q"), msg("held")));
+  auto session = qm_->create_session(true);
+  ASSERT_TRUE(session->get("Q", 0).is_ok());
+  // Compaction runs while the message is in neither queue nor log-get.
+  ASSERT_TRUE(qm_->compact());
+  session->rollback();
+  qm_->find_queue("Q");  // still registered
+  session.reset();
+  auto fresh = restart();
+  auto got = fresh->get("Q", 0);
+  ASSERT_TRUE(got.is_ok()) << "in-flight message lost by compaction";
+  EXPECT_EQ(got.value().body, "held");
+}
+
+TEST_F(SessionTest, CommitHooksRunOnCommitOnly) {
+  int commits = 0, rollbacks = 0;
+  {
+    auto session = qm_->create_session(true);
+    session->on_commit([&] { ++commits; });
+    session->on_rollback([&] { ++rollbacks; });
+    ASSERT_TRUE(session->put(QueueAddress("", "Q"), msg("x")));
+    ASSERT_TRUE(session->commit());
+  }
+  EXPECT_EQ(commits, 1);
+  EXPECT_EQ(rollbacks, 0);
+  {
+    auto session = qm_->create_session(true);
+    session->on_commit([&] { ++commits; });
+    session->on_rollback([&] { ++rollbacks; });
+    ASSERT_TRUE(session->put(QueueAddress("", "Q"), msg("y")));
+    ASSERT_TRUE(session->rollback());
+  }
+  EXPECT_EQ(commits, 1);
+  EXPECT_EQ(rollbacks, 1);
+}
+
+TEST_F(SessionTest, AbandonedSessionRollsBackInDestructor) {
+  ASSERT_TRUE(qm_->put(QueueAddress("", "Q"), msg("abandoned")));
+  {
+    auto session = qm_->create_session(true);
+    ASSERT_TRUE(session->get("Q", 0).is_ok());
+    EXPECT_TRUE(session->has_pending_work());
+  }
+  EXPECT_TRUE(qm_->get("Q", 0).is_ok());
+}
+
+TEST_F(SessionTest, MultipleOperationsCommitAtomically) {
+  ASSERT_TRUE(qm_->create_queue("OUT"));
+  ASSERT_TRUE(qm_->put(QueueAddress("", "Q"), msg("in1")));
+  ASSERT_TRUE(qm_->put(QueueAddress("", "Q"), msg("in2")));
+  auto session = qm_->create_session(true);
+  ASSERT_TRUE(session->get("Q", 0).is_ok());
+  ASSERT_TRUE(session->get("Q", 0).is_ok());
+  ASSERT_TRUE(session->put(QueueAddress("", "OUT"), msg("out1")));
+  ASSERT_TRUE(session->put(QueueAddress("", "OUT"), msg("out2")));
+  ASSERT_TRUE(session->commit());
+  auto fresh = restart();
+  EXPECT_EQ(fresh->get("Q", 0).code(), util::ErrorCode::kTimeout);
+  EXPECT_TRUE(fresh->get("OUT", 0).is_ok());
+  EXPECT_TRUE(fresh->get("OUT", 0).is_ok());
+}
+
+// ---------------------------------------------------------------------
+// Poison messages: backout threshold
+// ---------------------------------------------------------------------
+
+class BackoutTest : public QueueManagerTest {
+ protected:
+  BackoutTest() {
+    qm_->create_queue("WORK", QueueOptions{.backout_threshold = 3,
+                                           .backout_queue = "WORK.BACKOUT"})
+        .expect_ok("create");
+  }
+};
+
+TEST_F(BackoutTest, RepeatedRollbackMovesToBackoutQueue) {
+  ASSERT_TRUE(qm_->put(QueueAddress("", "WORK"), msg("poison")));
+  // deliveries 1 and 2 roll back normally (below the threshold of 3)
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto session = qm_->create_session(true);
+    auto got = session->get("WORK", 0);
+    ASSERT_TRUE(got.is_ok());
+    EXPECT_EQ(got.value().delivery_count, attempt + 1);
+    ASSERT_TRUE(session->rollback());
+    EXPECT_EQ(qm_->find_queue("WORK")->depth(), 1u);
+  }
+  // third delivery reaches the threshold: rollback backs it out
+  auto session = qm_->create_session(true);
+  ASSERT_TRUE(session->get("WORK", 0).is_ok());
+  ASSERT_TRUE(session->rollback());
+  EXPECT_EQ(qm_->find_queue("WORK")->depth(), 0u);
+  auto backed_out = qm_->get("WORK.BACKOUT", 0);
+  ASSERT_TRUE(backed_out.is_ok());
+  EXPECT_EQ(backed_out.value().body, "poison");
+}
+
+TEST_F(BackoutTest, BackoutIsDurable) {
+  ASSERT_TRUE(qm_->put(QueueAddress("", "WORK"), msg("poison")));
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    auto session = qm_->create_session(true);
+    ASSERT_TRUE(session->get("WORK", 0).is_ok());
+    ASSERT_TRUE(session->rollback());
+  }
+  auto fresh = restart();
+  // gone from the work queue, present on the backout queue — durably
+  EXPECT_EQ(fresh->get("WORK", 0).code(), util::ErrorCode::kTimeout);
+  auto backed_out = fresh->get("WORK.BACKOUT", 0);
+  ASSERT_TRUE(backed_out.is_ok());
+  EXPECT_EQ(backed_out.value().body, "poison");
+}
+
+TEST_F(BackoutTest, CommitNeverBacksOut) {
+  ASSERT_TRUE(qm_->put(QueueAddress("", "WORK"), msg("fine")));
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    auto session = qm_->create_session(true);
+    ASSERT_TRUE(session->get("WORK", 0).is_ok());
+    ASSERT_TRUE(session->rollback());
+    if (qm_->find_queue("WORK")->depth() == 0) break;
+  }
+  // the message is on the backout queue now; consuming it there commits
+  auto session = qm_->create_session(true);
+  ASSERT_TRUE(session->get("WORK.BACKOUT", 0).is_ok());
+  ASSERT_TRUE(session->commit());
+  EXPECT_EQ(qm_->find_queue("WORK.BACKOUT")->depth(), 0u);
+}
+
+TEST_F(BackoutTest, ZeroThresholdNeverBacksOut) {
+  ASSERT_TRUE(qm_->put(QueueAddress("", "Q"), msg("stubborn")));  // plain Q
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    auto session = qm_->create_session(true);
+    ASSERT_TRUE(session->get("Q", 0).is_ok());
+    ASSERT_TRUE(session->rollback());
+  }
+  auto got = qm_->get("Q", 0);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().delivery_count, 11);
+}
+
+}  // namespace
+}  // namespace cmx::mq

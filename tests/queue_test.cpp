@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "mq/queue.hpp"
+#include "tests/test_support.hpp"
+
+namespace cmx::mq {
+namespace {
+
+Message msg(const std::string& body, int priority = kDefaultPriority) {
+  Message m(body);
+  m.id = "id-" + body;
+  m.priority = priority;
+  return m;
+}
+
+class QueueTest : public ::testing::Test {
+ protected:
+  util::SimClock clock_;
+  Queue q_{"Q", QueueOptions{}, clock_};
+};
+
+TEST_F(QueueTest, FifoWithinPriority) {
+  ASSERT_TRUE(q_.put(msg("a")));
+  ASSERT_TRUE(q_.put(msg("b")));
+  ASSERT_TRUE(q_.put(msg("c")));
+  EXPECT_EQ(q_.try_get()->msg.body, "a");
+  EXPECT_EQ(q_.try_get()->msg.body, "b");
+  EXPECT_EQ(q_.try_get()->msg.body, "c");
+  EXPECT_FALSE(q_.try_get().has_value());
+}
+
+TEST_F(QueueTest, HigherPriorityFirst) {
+  ASSERT_TRUE(q_.put(msg("low", 1)));
+  ASSERT_TRUE(q_.put(msg("high", 9)));
+  ASSERT_TRUE(q_.put(msg("mid", 5)));
+  EXPECT_EQ(q_.try_get()->msg.body, "high");
+  EXPECT_EQ(q_.try_get()->msg.body, "mid");
+  EXPECT_EQ(q_.try_get()->msg.body, "low");
+}
+
+TEST_F(QueueTest, PriorityClampedToValidRange) {
+  ASSERT_TRUE(q_.put(msg("over", 99)));
+  ASSERT_TRUE(q_.put(msg("under", -3)));
+  EXPECT_EQ(q_.try_get()->msg.body, "over");
+  EXPECT_EQ(q_.try_get()->msg.body, "under");
+}
+
+TEST_F(QueueTest, DepthLimitRejectsPut) {
+  Queue small("S", QueueOptions{.max_depth = 2}, clock_);
+  EXPECT_TRUE(small.put(msg("1")));
+  EXPECT_TRUE(small.put(msg("2")));
+  auto s = small.put(msg("3"));
+  EXPECT_EQ(s.code(), util::ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(small.depth(), 2u);
+}
+
+TEST_F(QueueTest, ExpiredMessagesAreDiscardedOnGet) {
+  Message m = msg("fresh");
+  Message e = msg("stale");
+  e.expiry_ms = 100;
+  ASSERT_TRUE(q_.put(e));
+  ASSERT_TRUE(q_.put(m));
+  clock_.set_ms(150);
+  EXPECT_EQ(q_.try_get()->msg.body, "fresh");
+  EXPECT_EQ(q_.stats().expired, 1u);
+}
+
+TEST_F(QueueTest, DiscardCallbackFiresForExpired) {
+  std::vector<std::string> discarded;
+  Queue q("D", QueueOptions{}, clock_,
+          [&](const Message& m) { discarded.push_back(m.body); });
+  Message e = msg("gone");
+  e.expiry_ms = 10;
+  ASSERT_TRUE(q.put(e));
+  clock_.set_ms(20);
+  EXPECT_FALSE(q.try_get().has_value());
+  ASSERT_EQ(discarded.size(), 1u);
+  EXPECT_EQ(discarded[0], "gone");
+}
+
+TEST_F(QueueTest, BrowseSkipsExpiredAndPreservesOrder) {
+  Message e = msg("stale");
+  e.expiry_ms = 5;
+  ASSERT_TRUE(q_.put(msg("a", 2)));
+  ASSERT_TRUE(q_.put(e));
+  ASSERT_TRUE(q_.put(msg("b", 8)));
+  clock_.set_ms(10);
+  auto all = q_.browse();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].body, "b");
+  EXPECT_EQ(all[1].body, "a");
+  EXPECT_EQ(q_.depth(), 3u);  // browse does not remove
+}
+
+TEST_F(QueueTest, RestoreReinsertsAtOriginalPosition) {
+  ASSERT_TRUE(q_.put(msg("first")));
+  ASSERT_TRUE(q_.put(msg("second")));
+  auto got = q_.try_get();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->msg.body, "first");
+  q_.restore(got->seq, got->msg);
+  EXPECT_EQ(q_.try_get()->msg.body, "first");  // back at the head
+  EXPECT_EQ(q_.try_get()->msg.body, "second");
+  EXPECT_EQ(q_.stats().restored, 1u);
+}
+
+TEST_F(QueueTest, DeliveryCountIncrementsOnEachGet) {
+  ASSERT_TRUE(q_.put(msg("m")));
+  auto got = q_.try_get();
+  EXPECT_EQ(got->msg.delivery_count, 1);
+  q_.restore(got->seq, got->msg);
+  EXPECT_EQ(q_.try_get()->msg.delivery_count, 2);
+}
+
+TEST_F(QueueTest, RemoveById) {
+  ASSERT_TRUE(q_.put(msg("a")));
+  ASSERT_TRUE(q_.put(msg("b")));
+  EXPECT_TRUE(q_.contains_id("id-a"));
+  auto removed = q_.remove_by_id("id-a");
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->body, "a");
+  EXPECT_FALSE(q_.contains_id("id-a"));
+  EXPECT_FALSE(q_.remove_by_id("id-a").has_value());
+  EXPECT_EQ(q_.depth(), 1u);
+}
+
+TEST_F(QueueTest, SelectorFiltersGet) {
+  Message a = msg("a");
+  a.set_property("kind", std::string("x"));
+  Message b = msg("b");
+  b.set_property("kind", std::string("y"));
+  ASSERT_TRUE(q_.put(a));
+  ASSERT_TRUE(q_.put(b));
+  auto sel = Selector::parse("kind = 'y'");
+  ASSERT_TRUE(sel.is_ok());
+  EXPECT_EQ(q_.try_get(&sel.value())->msg.body, "b");
+  EXPECT_EQ(q_.depth(), 1u);  // "a" untouched
+}
+
+TEST_F(QueueTest, GetTimesOutAtDeadline) {
+  auto result = q_.get(/*deadline_ms=*/clock_.now_ms());
+  EXPECT_EQ(result.code(), util::ErrorCode::kTimeout);
+}
+
+TEST_F(QueueTest, BlockedGetWokenByPut) {
+  util::SystemClock rt;
+  Queue q("RT", QueueOptions{}, rt);
+  std::atomic<bool> got{false};
+  std::thread getter([&] {
+    auto r = q.get(rt.now_ms() + 5000);
+    EXPECT_TRUE(r.is_ok());
+    got = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(got.load());
+  ASSERT_TRUE(q.put(msg("wake")));
+  getter.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST_F(QueueTest, CloseWakesBlockedGetWithClosed) {
+  util::SystemClock rt;
+  Queue q("RT", QueueOptions{}, rt);
+  std::thread getter([&] {
+    auto r = q.get(util::kNoDeadline);
+    EXPECT_EQ(r.code(), util::ErrorCode::kClosed);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.close();
+  getter.join();
+  EXPECT_EQ(q.put(msg("late")).code(), util::ErrorCode::kClosed);
+  EXPECT_TRUE(q.closed());
+}
+
+TEST_F(QueueTest, PutListenerInvoked) {
+  int notifications = 0;
+  q_.set_put_listener([&] { ++notifications; });
+  ASSERT_TRUE(q_.put(msg("a")));
+  ASSERT_TRUE(q_.put(msg("b")));
+  EXPECT_EQ(notifications, 2);
+  auto got = q_.try_get();
+  q_.restore(got->seq, got->msg);
+  EXPECT_EQ(notifications, 3);  // restore also notifies
+  q_.set_put_listener({});
+  ASSERT_TRUE(q_.put(msg("c")));
+  EXPECT_EQ(notifications, 3);
+}
+
+TEST_F(QueueTest, StatsCountPutsAndGets) {
+  ASSERT_TRUE(q_.put(msg("a")));
+  ASSERT_TRUE(q_.put(msg("b")));
+  q_.try_get();
+  auto st = q_.stats();
+  EXPECT_EQ(st.puts, 2u);
+  EXPECT_EQ(st.gets, 1u);
+}
+
+TEST_F(QueueTest, ConcurrentPutsAndGetsBalance) {
+  util::SystemClock rt;
+  Queue q("CC", QueueOptions{}, rt);
+  constexpr int kN = 2000;
+  std::atomic<int> received{0};
+  std::thread consumer([&] {
+    for (int i = 0; i < kN; ++i) {
+      auto r = q.get(rt.now_ms() + 10000);
+      ASSERT_TRUE(r.is_ok());
+      received.fetch_add(1);
+    }
+  });
+  std::thread producer([&] {
+    for (int i = 0; i < kN; ++i) {
+      ASSERT_TRUE(q.put(msg(std::to_string(i))));
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(received.load(), kN);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+}  // namespace
+}  // namespace cmx::mq

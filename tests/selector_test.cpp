@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "mq/selector.hpp"
+
+namespace cmx::mq {
+namespace {
+
+Message sample() {
+  Message m;
+  m.id = "ID-1";
+  m.correlation_id = "CORR-1";
+  m.priority = 7;
+  m.delivery_count = 2;
+  m.set_property("region", std::string("emea"));
+  m.set_property("amount", std::int64_t{250});
+  m.set_property("rate", 0.5);
+  m.set_property("urgent", true);
+  return m;
+}
+
+bool eval(const std::string& expr, const Message& m = sample()) {
+  auto sel = Selector::parse(expr);
+  EXPECT_TRUE(sel.is_ok()) << expr << " -> " << sel.status().to_string();
+  return sel.value().matches(m);
+}
+
+TEST(SelectorTest, EmptyMatchesEverything) {
+  EXPECT_TRUE(eval(""));
+  EXPECT_TRUE(eval("   "));
+}
+
+// --- a parameterized sweep over expression/expectation pairs -------------
+struct Case {
+  const char* expr;
+  bool expected;
+};
+
+class SelectorSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SelectorSweep, Evaluates) {
+  EXPECT_EQ(eval(GetParam().expr), GetParam().expected) << GetParam().expr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Comparisons, SelectorSweep,
+    ::testing::Values(Case{"amount = 250", true},
+                      Case{"amount <> 250", false},
+                      Case{"amount > 100", true},
+                      Case{"amount >= 250", true},
+                      Case{"amount < 250", false},
+                      Case{"amount <= 249", false},
+                      Case{"rate = 0.5", true},
+                      Case{"rate < 1", true},
+                      Case{"region = 'emea'", true},
+                      Case{"region = 'apac'", false},
+                      Case{"region <> 'apac'", true},
+                      Case{"urgent = TRUE", true},
+                      Case{"urgent = FALSE", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Logic, SelectorSweep,
+    ::testing::Values(Case{"amount > 100 AND region = 'emea'", true},
+                      Case{"amount > 300 AND region = 'emea'", false},
+                      Case{"amount > 300 OR region = 'emea'", true},
+                      Case{"NOT urgent", false},
+                      Case{"NOT (amount > 300)", true},
+                      Case{"urgent AND NOT urgent", false},
+                      Case{"urgent OR NOT urgent", true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, SelectorSweep,
+    ::testing::Values(Case{"amount + 50 = 300", true},
+                      Case{"amount - 50 = 200", true},
+                      Case{"amount * 2 = 500", true},
+                      Case{"amount / 2 = 125", true},
+                      Case{"-amount = -250", true},
+                      Case{"amount + rate > 250", true},
+                      Case{"2 + 3 * 4 = 14", true},  // precedence
+                      Case{"(2 + 3) * 4 = 20", true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    SetAndRange, SelectorSweep,
+    ::testing::Values(Case{"region IN ('emea', 'apac')", true},
+                      Case{"region IN ('us', 'apac')", false},
+                      Case{"region NOT IN ('us', 'apac')", true},
+                      Case{"amount IN (100, 250)", true},
+                      Case{"amount BETWEEN 200 AND 300", true},
+                      Case{"amount BETWEEN 300 AND 400", false},
+                      Case{"amount NOT BETWEEN 300 AND 400", true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Like, SelectorSweep,
+    ::testing::Values(Case{"region LIKE 'em%'", true},
+                      Case{"region LIKE '%ea'", true},
+                      Case{"region LIKE 'e_ea'", true},
+                      Case{"region LIKE 'e__a'", true},
+                      Case{"region LIKE 'us%'", false},
+                      Case{"region NOT LIKE 'us%'", true},
+                      Case{"region LIKE '%'", true},
+                      Case{"region LIKE ''", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    HeaderFields, SelectorSweep,
+    ::testing::Values(Case{"JMSPriority = 7", true},
+                      Case{"JMSPriority > 8", false},
+                      Case{"JMSDeliveryCount = 2", true},
+                      Case{"JMSCorrelationID = 'CORR-1'", true},
+                      Case{"JMSMessageID = 'ID-1'", true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    NullHandling, SelectorSweep,
+    ::testing::Values(Case{"missing IS NULL", true},
+                      Case{"missing IS NOT NULL", false},
+                      Case{"region IS NULL", false},
+                      Case{"region IS NOT NULL", true},
+                      // three-valued logic: UNKNOWN never matches...
+                      Case{"missing = 5", false},
+                      Case{"missing <> 5", false},
+                      Case{"NOT (missing = 5)", false},
+                      Case{"missing = 5 AND urgent", false},
+                      // ...but can be absorbed
+                      Case{"missing = 5 OR urgent", true},
+                      Case{"missing = 5 AND NOT urgent", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    TypeMismatches, SelectorSweep,
+    ::testing::Values(Case{"region = 5", false},
+                      Case{"amount = 'emea'", false},
+                      Case{"urgent = 'true'", false},
+                      Case{"urgent > FALSE", false},   // bools don't order
+                      Case{"region < 'zzz'", false}));  // strings: = <> only
+
+TEST(SelectorTest, LikeEscape) {
+  Message m;
+  m.set_property("code", std::string("100%_done"));
+  auto sel = Selector::parse("code LIKE '100!%!_done' ESCAPE '!'");
+  ASSERT_TRUE(sel.is_ok());
+  EXPECT_TRUE(sel.value().matches(m));
+  auto plain = Selector::parse("code LIKE '100%'");
+  EXPECT_TRUE(plain.value().matches(m));
+}
+
+TEST(SelectorTest, QuotedStringEscaping) {
+  Message m;
+  m.set_property("name", std::string("O'Brien"));
+  auto sel = Selector::parse("name = 'O''Brien'");
+  ASSERT_TRUE(sel.is_ok());
+  EXPECT_TRUE(sel.value().matches(m));
+}
+
+TEST(SelectorTest, CaseInsensitiveKeywords) {
+  EXPECT_TRUE(eval("region in ('emea') and urgent"));
+  EXPECT_TRUE(eval("amount Between 1 AND 1000"));
+}
+
+TEST(SelectorTest, DivisionByZeroIsUnknown) {
+  EXPECT_FALSE(eval("amount / 0 = 1"));
+  EXPECT_FALSE(eval("amount / 0 <> 1"));
+}
+
+struct BadCase {
+  const char* expr;
+};
+class SelectorErrors : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(SelectorErrors, RejectsWithInvalidArgument) {
+  auto sel = Selector::parse(GetParam().expr);
+  ASSERT_FALSE(sel.is_ok()) << GetParam().expr;
+  EXPECT_EQ(sel.status().code(), util::ErrorCode::kInvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Syntax, SelectorErrors,
+    ::testing::Values(BadCase{"amount ="}, BadCase{"= 5"},
+                      BadCase{"(amount = 5"}, BadCase{"amount = 5)"},
+                      BadCase{"amount IN 5"}, BadCase{"amount IN ()"},
+                      BadCase{"region LIKE 5"},
+                      BadCase{"amount BETWEEN 1 5"},
+                      BadCase{"amount IS 5"},
+                      BadCase{"'unterminated"}, BadCase{"@#$"}));
+
+TEST(SelectorTest, ExpressionAccessor) {
+  auto sel = Selector::parse("amount = 1");
+  EXPECT_EQ(sel.value().expression(), "amount = 1");
+}
+
+}  // namespace
+}  // namespace cmx::mq

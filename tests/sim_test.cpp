@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "sim/workload.hpp"
+
+namespace cmx::sim {
+namespace {
+
+TEST(WorkloadTest, LightLoadAllSucceed) {
+  WorkloadSpec spec;
+  spec.messages = 10;
+  spec.mean_interarrival_ms = 30;
+  spec.pick_up_deadline_ms = 500;
+  ReceiverProfile profile;
+  profile.count = 2;
+  profile.service_time_min_ms = 1;
+  profile.service_time_max_ms = 3;
+  auto report = run_workload(spec, profile);
+  EXPECT_EQ(report.sent, 10);
+  EXPECT_EQ(report.succeeded + report.failed, report.sent);
+  EXPECT_EQ(report.succeeded, 10);
+  EXPECT_DOUBLE_EQ(report.success_rate, 1.0);
+  EXPECT_GT(report.acks_processed, 0u);
+  EXPECT_EQ(report.compensations_released, 0u);
+}
+
+TEST(WorkloadTest, NoReceiversAllFailAndCompensate) {
+  WorkloadSpec spec;
+  spec.messages = 5;
+  spec.mean_interarrival_ms = 5;
+  spec.pick_up_deadline_ms = 50;
+  ReceiverProfile profile;
+  profile.count = 0;  // nobody consumes
+  auto report = run_workload(spec, profile);
+  EXPECT_EQ(report.failed, 5);
+  EXPECT_DOUBLE_EQ(report.success_rate, 0.0);
+  EXPECT_EQ(report.compensations_released, 5u);
+  // failures decide at the evaluation timeout (deadline + 10ms default)
+  EXPECT_GE(report.p50_outcome_latency_ms, 50);
+}
+
+TEST(WorkloadTest, TransactionalProfileSatisfiesProcessing) {
+  WorkloadSpec spec;
+  spec.messages = 8;
+  spec.mean_interarrival_ms = 20;
+  spec.pick_up_deadline_ms = 500;
+  spec.processing_deadline_ms = 500;
+  ReceiverProfile profile;
+  profile.count = 2;
+  profile.transactional = true;
+  profile.service_time_min_ms = 1;
+  profile.service_time_max_ms = 3;
+  auto report = run_workload(spec, profile);
+  EXPECT_EQ(report.succeeded, 8);
+}
+
+TEST(WorkloadTest, PlainReadersCannotSatisfyProcessingConditions) {
+  WorkloadSpec spec;
+  spec.messages = 4;
+  spec.mean_interarrival_ms = 10;
+  spec.pick_up_deadline_ms = 120;
+  spec.processing_deadline_ms = 120;  // demands transactional processing
+  ReceiverProfile profile;
+  profile.count = 2;
+  profile.transactional = false;  // they only read
+  profile.service_time_min_ms = 1;
+  profile.service_time_max_ms = 2;
+  auto report = run_workload(spec, profile);
+  EXPECT_EQ(report.succeeded, 0);
+  EXPECT_EQ(report.failed, 4);
+}
+
+TEST(WorkloadTest, AlwaysRollingBackNeverSucceeds) {
+  WorkloadSpec spec;
+  spec.messages = 4;
+  spec.mean_interarrival_ms = 10;
+  spec.pick_up_deadline_ms = 150;
+  spec.processing_deadline_ms = 150;
+  ReceiverProfile profile;
+  profile.count = 1;
+  profile.transactional = true;
+  profile.rollback_probability = 1.0;
+  profile.service_time_min_ms = 1;
+  profile.service_time_max_ms = 2;
+  auto report = run_workload(spec, profile);
+  EXPECT_EQ(report.succeeded, 0);
+  EXPECT_GT(report.rollbacks, 0u);
+}
+
+TEST(WorkloadTest, ReportToStringMentionsKeyFigures) {
+  WorkloadReport report;
+  report.sent = 3;
+  report.succeeded = 2;
+  report.failed = 1;
+  report.success_rate = 2.0 / 3.0;
+  const auto text = report.to_string();
+  EXPECT_NE(text.find("sent=3"), std::string::npos);
+  EXPECT_NE(text.find("ok=2"), std::string::npos);
+  EXPECT_NE(text.find("failed=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cmx::sim

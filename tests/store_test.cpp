@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "mq/store.hpp"
+
+namespace cmx::mq {
+namespace {
+
+Message msg(const std::string& body) {
+  Message m(body);
+  m.id = "id-" + body;
+  return m;
+}
+
+// ---------------------------------------------------------------------
+// LogRecord codec
+// ---------------------------------------------------------------------
+
+TEST(LogRecordTest, PutRoundTrip) {
+  auto rec = LogRecord::put("Q1", msg("hello"));
+  auto decoded = LogRecord::decode(rec.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().type, LogRecord::Type::kPut);
+  EXPECT_EQ(decoded.value().queue, "Q1");
+  EXPECT_EQ(decoded.value().message.body, "hello");
+  EXPECT_EQ(decoded.value().message.id, "id-hello");
+}
+
+TEST(LogRecordTest, GetRoundTrip) {
+  auto decoded = LogRecord::decode(LogRecord::get("Q2", "m-7").encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().type, LogRecord::Type::kGet);
+  EXPECT_EQ(decoded.value().queue, "Q2");
+  EXPECT_EQ(decoded.value().msg_id, "m-7");
+}
+
+TEST(LogRecordTest, AdminAndTxRoundTrip) {
+  for (const auto& rec :
+       {LogRecord::queue_create("A"), LogRecord::queue_delete("A"),
+        LogRecord::tx_begin("t1"), LogRecord::tx_commit("t1")}) {
+    auto decoded = LogRecord::decode(rec.encode());
+    ASSERT_TRUE(decoded.is_ok());
+    EXPECT_EQ(decoded.value().type, rec.type);
+    EXPECT_EQ(decoded.value().queue, rec.queue);
+    EXPECT_EQ(decoded.value().tx_id, rec.tx_id);
+  }
+}
+
+TEST(LogRecordTest, DecodeRejectsTruncation) {
+  auto bytes = LogRecord::put("Q", msg("payload")).encode();
+  EXPECT_FALSE(LogRecord::decode(bytes.substr(0, bytes.size() / 2)).is_ok());
+}
+
+// ---------------------------------------------------------------------
+// MemoryStore
+// ---------------------------------------------------------------------
+
+TEST(MemoryStoreTest, ReplayReturnsAppendedRecords) {
+  MemoryStore store;
+  ASSERT_TRUE(store.append(LogRecord::queue_create("Q")));
+  ASSERT_TRUE(store.append(LogRecord::put("Q", msg("a"))));
+  auto records = store.replay();
+  ASSERT_TRUE(records.is_ok());
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_EQ(records.value()[0].type, LogRecord::Type::kQueueCreate);
+  EXPECT_EQ(records.value()[1].message.body, "a");
+}
+
+TEST(MemoryStoreTest, CommittedBatchSurvivesReplay) {
+  MemoryStore store;
+  ASSERT_TRUE(store.append_batch(
+      {LogRecord::get("Q", "m1"), LogRecord::get("Q", "m2")}));
+  auto records = store.replay();
+  ASSERT_TRUE(records.is_ok());
+  EXPECT_EQ(records.value().size(), 2u);  // markers filtered out
+}
+
+TEST(MemoryStoreTest, TornBatchIsDiscarded) {
+  MemoryStore store;
+  ASSERT_TRUE(store.append(LogRecord::put("Q", msg("keep"))));
+  ASSERT_TRUE(store.append_batch(
+      {LogRecord::get("Q", "m1"), LogRecord::get("Q", "m2")}));
+  // Drop the commit marker: the batch must vanish on replay.
+  store.truncate_tail(1);
+  auto records = store.replay();
+  ASSERT_TRUE(records.is_ok());
+  ASSERT_EQ(records.value().size(), 1u);
+  EXPECT_EQ(records.value()[0].message.body, "keep");
+}
+
+TEST(MemoryStoreTest, RewriteReplacesContents) {
+  MemoryStore store;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store.append(LogRecord::put("Q", msg(std::to_string(i)))));
+  }
+  EXPECT_EQ(store.appended_since_compaction(), 10u);
+  ASSERT_TRUE(store.rewrite({LogRecord::queue_create("Q")}));
+  EXPECT_EQ(store.appended_since_compaction(), 0u);
+  auto records = store.replay();
+  ASSERT_EQ(records.value().size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// FileStore
+// ---------------------------------------------------------------------
+
+class FileStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("cmx_store_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override {
+    std::filesystem::remove(path_);
+    std::filesystem::remove(path_.string() + ".compact");
+  }
+  std::filesystem::path path_;
+};
+
+TEST_F(FileStoreTest, ReplayAfterReopen) {
+  {
+    FileStore store(path_.string());
+    ASSERT_TRUE(store.append(LogRecord::queue_create("Q")));
+    ASSERT_TRUE(store.append(LogRecord::put("Q", msg("persisted"))));
+  }
+  FileStore reopened(path_.string());
+  auto records = reopened.replay();
+  ASSERT_TRUE(records.is_ok());
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_EQ(records.value()[1].message.body, "persisted");
+}
+
+TEST_F(FileStoreTest, EmptyFileReplaysEmpty) {
+  FileStore store(path_.string());
+  auto records = store.replay();
+  ASSERT_TRUE(records.is_ok());
+  EXPECT_TRUE(records.value().empty());
+}
+
+TEST_F(FileStoreTest, TornTailIsIgnored) {
+  {
+    FileStore store(path_.string());
+    ASSERT_TRUE(store.append(LogRecord::put("Q", msg("good"))));
+    ASSERT_TRUE(store.append(LogRecord::put("Q", msg("tornrecord"))));
+  }
+  // Chop bytes off the end, simulating a crash mid-write.
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 5);
+  FileStore store(path_.string());
+  auto records = store.replay();
+  ASSERT_TRUE(records.is_ok());
+  ASSERT_EQ(records.value().size(), 1u);
+  EXPECT_EQ(records.value()[0].message.body, "good");
+}
+
+TEST_F(FileStoreTest, CorruptPayloadFailsChecksum) {
+  {
+    FileStore store(path_.string());
+    ASSERT_TRUE(store.append(LogRecord::put("Q", msg("aaaa"))));
+    ASSERT_TRUE(store.append(LogRecord::put("Q", msg("bbbb"))));
+  }
+  // Flip a byte in the middle of the second record's payload.
+  std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(-3, std::ios::end);
+  f.put('X');
+  f.close();
+  FileStore store(path_.string());
+  auto records = store.replay();
+  ASSERT_TRUE(records.is_ok());
+  ASSERT_EQ(records.value().size(), 1u);
+  EXPECT_EQ(records.value()[0].message.body, "aaaa");
+}
+
+TEST_F(FileStoreTest, RewriteCompactsAndKeepsAppending) {
+  FileStore store(path_.string());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store.append(LogRecord::put("Q", msg(std::to_string(i)))));
+  }
+  ASSERT_TRUE(store.rewrite({LogRecord::queue_create("Q"),
+                             LogRecord::put("Q", msg("survivor"))}));
+  EXPECT_EQ(store.appended_since_compaction(), 0u);
+  ASSERT_TRUE(store.append(LogRecord::put("Q", msg("after"))));
+  auto records = store.replay();
+  ASSERT_TRUE(records.is_ok());
+  ASSERT_EQ(records.value().size(), 3u);
+  EXPECT_EQ(records.value()[1].message.body, "survivor");
+  EXPECT_EQ(records.value()[2].message.body, "after");
+}
+
+TEST_F(FileStoreTest, BatchAtomicityAcrossReplay) {
+  FileStore store(path_.string());
+  ASSERT_TRUE(store.append_batch({LogRecord::get("Q", "a"),
+                                  LogRecord::get("Q", "b"),
+                                  LogRecord::get("Q", "c")}));
+  auto records = store.replay();
+  ASSERT_TRUE(records.is_ok());
+  EXPECT_EQ(records.value().size(), 3u);
+  for (const auto& rec : records.value()) {
+    EXPECT_EQ(rec.type, LogRecord::Type::kGet);
+  }
+}
+
+TEST(Crc32Test, KnownVectorsAndSensitivity) {
+  EXPECT_EQ(crc32(""), 0u);
+  // standard test vector
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_NE(crc32("abc"), crc32("abd"));
+}
+
+}  // namespace
+}  // namespace cmx::mq

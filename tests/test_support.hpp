@@ -1,0 +1,65 @@
+// Shared helpers for the cmx test suite.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <thread>
+
+#include "mq/queue_manager.hpp"
+#include "util/clock.hpp"
+
+namespace cmx::test {
+
+// Spin-waits (real time) until pred() is true, up to `cap_ms`. Returns the
+// final pred() value. For asserting on state reached by background threads
+// (evaluation manager, channel movers) without fixed sleeps.
+inline bool eventually(const std::function<bool()>& pred,
+                       int cap_ms = 5000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(cap_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+// Convenience queue-manager factory with durable MemoryStore semantics.
+inline std::unique_ptr<mq::QueueManager> make_qm(
+    const std::string& name, util::Clock& clock,
+    std::shared_ptr<mq::MemoryStore> store = nullptr) {
+  if (store == nullptr) {
+    return std::make_unique<mq::QueueManager>(name, clock,
+                                              std::make_unique<mq::NullStore>());
+  }
+  // MemoryStore is shared between "incarnations" of a queue manager to
+  // model restart; wrap the shared object in a forwarding adapter.
+  class SharedStore final : public mq::MessageStore {
+   public:
+    explicit SharedStore(std::shared_ptr<mq::MemoryStore> inner)
+        : inner_(std::move(inner)) {}
+    util::Status append(const mq::LogRecord& r) override {
+      return inner_->append(r);
+    }
+    util::Status append_batch(const std::vector<mq::LogRecord>& r) override {
+      return inner_->append_batch(r);
+    }
+    util::Result<std::vector<mq::LogRecord>> replay() override {
+      return inner_->replay();
+    }
+    util::Status rewrite(const std::vector<mq::LogRecord>& s) override {
+      return inner_->rewrite(s);
+    }
+    std::size_t appended_since_compaction() const override {
+      return inner_->appended_since_compaction();
+    }
+
+   private:
+    std::shared_ptr<mq::MemoryStore> inner_;
+  };
+  return std::make_unique<mq::QueueManager>(
+      name, clock, std::make_unique<SharedStore>(std::move(store)));
+}
+
+}  // namespace cmx::test

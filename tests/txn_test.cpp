@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "txn/coordinator.hpp"
+#include "txn/kvstore.hpp"
+
+namespace cmx::txn {
+namespace {
+
+// ---------------------------------------------------------------------
+// TxKvStore
+// ---------------------------------------------------------------------
+
+TEST(TxKvStoreTest, ReadYourWrites) {
+  TxKvStore store("db");
+  ASSERT_TRUE(store.put("t1", "k", "v1"));
+  EXPECT_EQ(store.get("t1", "k").value(), "v1");
+  // uncommitted writes invisible outside the transaction
+  EXPECT_FALSE(store.read_committed("k").has_value());
+}
+
+TEST(TxKvStoreTest, CommitPublishes) {
+  TxKvStore store("db");
+  ASSERT_TRUE(store.put("t1", "k", "v1"));
+  EXPECT_EQ(store.prepare("t1"), Vote::kCommit);
+  store.commit("t1");
+  EXPECT_EQ(store.read_committed("k"), "v1");
+  EXPECT_EQ(store.committed_size(), 1u);
+  EXPECT_EQ(store.active_transactions(), 0u);
+}
+
+TEST(TxKvStoreTest, RollbackDiscards) {
+  TxKvStore store("db");
+  ASSERT_TRUE(store.put("t1", "k", "v1"));
+  store.rollback("t1");
+  EXPECT_FALSE(store.read_committed("k").has_value());
+  EXPECT_EQ(store.active_transactions(), 0u);
+}
+
+TEST(TxKvStoreTest, EraseTombstone) {
+  TxKvStore store("db");
+  ASSERT_TRUE(store.put("t1", "k", "v"));
+  store.prepare("t1");
+  store.commit("t1");
+  ASSERT_TRUE(store.erase("t2", "k"));
+  EXPECT_EQ(store.get("t2", "k").code(), util::ErrorCode::kNotFound);
+  EXPECT_EQ(store.read_committed("k"), "v");  // still committed
+  store.prepare("t2");
+  store.commit("t2");
+  EXPECT_FALSE(store.read_committed("k").has_value());
+}
+
+TEST(TxKvStoreTest, WriteConflictFailsFast) {
+  TxKvStore store("db");
+  ASSERT_TRUE(store.put("t1", "k", "a"));
+  auto s = store.put("t2", "k", "b");
+  EXPECT_EQ(s.code(), util::ErrorCode::kConflict);
+  // disjoint keys fine
+  EXPECT_TRUE(store.put("t2", "other", "b"));
+  // lock released after commit
+  store.prepare("t1");
+  store.commit("t1");
+  EXPECT_TRUE(store.put("t2", "k", "b"));
+}
+
+TEST(TxKvStoreTest, ConflictReleasedByRollback) {
+  TxKvStore store("db");
+  ASSERT_TRUE(store.put("t1", "k", "a"));
+  store.rollback("t1");
+  EXPECT_TRUE(store.put("t2", "k", "b"));
+}
+
+TEST(TxKvStoreTest, PreparedTransactionRejectsNewWrites) {
+  TxKvStore store("db");
+  ASSERT_TRUE(store.put("t1", "k", "a"));
+  EXPECT_EQ(store.prepare("t1"), Vote::kCommit);
+  EXPECT_EQ(store.put("t1", "k2", "b").code(),
+            util::ErrorCode::kFailedPrecondition);
+}
+
+TEST(TxKvStoreTest, FailNextPrepareVotesAbortAndReleases) {
+  TxKvStore store("db");
+  store.fail_next_prepare();
+  ASSERT_TRUE(store.put("t1", "k", "a"));
+  EXPECT_EQ(store.prepare("t1"), Vote::kAbort);
+  // locks released; a new transaction can proceed and prepare normally
+  ASSERT_TRUE(store.put("t2", "k", "b"));
+  EXPECT_EQ(store.prepare("t2"), Vote::kCommit);
+}
+
+TEST(TxKvStoreTest, EmptyTransactionPreparesTrivially) {
+  TxKvStore store("db");
+  EXPECT_EQ(store.prepare("ghost"), Vote::kCommit);
+  store.commit("ghost");  // no-op
+  store.rollback("ghost2");  // no-op
+}
+
+// ---------------------------------------------------------------------
+// TwoPhaseCoordinator
+// ---------------------------------------------------------------------
+
+TEST(CoordinatorTest, CommitAllResources) {
+  TwoPhaseCoordinator coord;
+  TxKvStore a("a"), b("b");
+  const auto tx = coord.begin();
+  ASSERT_TRUE(coord.enlist(tx, a));
+  ASSERT_TRUE(coord.enlist(tx, b));
+  ASSERT_TRUE(a.put(tx, "x", "1"));
+  ASSERT_TRUE(b.put(tx, "y", "2"));
+  auto decision = coord.commit(tx);
+  ASSERT_TRUE(decision.is_ok());
+  EXPECT_EQ(decision.value(), Decision::kCommitted);
+  EXPECT_EQ(a.read_committed("x"), "1");
+  EXPECT_EQ(b.read_committed("y"), "2");
+  EXPECT_EQ(coord.decision(tx), Decision::kCommitted);
+}
+
+TEST(CoordinatorTest, OneAbortVoteRollsBackEverything) {
+  TwoPhaseCoordinator coord;
+  TxKvStore a("a"), b("b");
+  b.fail_next_prepare();
+  const auto tx = coord.begin();
+  ASSERT_TRUE(coord.enlist(tx, a));
+  ASSERT_TRUE(coord.enlist(tx, b));
+  ASSERT_TRUE(a.put(tx, "x", "1"));
+  ASSERT_TRUE(b.put(tx, "y", "2"));
+  auto decision = coord.commit(tx);
+  ASSERT_TRUE(decision.is_ok());
+  EXPECT_EQ(decision.value(), Decision::kAborted);
+  EXPECT_FALSE(a.read_committed("x").has_value());
+  EXPECT_FALSE(b.read_committed("y").has_value());
+  EXPECT_EQ(a.active_transactions(), 0u);
+  EXPECT_EQ(b.active_transactions(), 0u);
+}
+
+TEST(CoordinatorTest, ExplicitRollback) {
+  TwoPhaseCoordinator coord;
+  TxKvStore a("a");
+  const auto tx = coord.begin();
+  ASSERT_TRUE(coord.enlist(tx, a));
+  ASSERT_TRUE(a.put(tx, "x", "1"));
+  ASSERT_TRUE(coord.rollback(tx));
+  EXPECT_FALSE(a.read_committed("x").has_value());
+  EXPECT_EQ(coord.decision(tx), Decision::kAborted);
+}
+
+TEST(CoordinatorTest, UnknownTransactionErrors) {
+  TwoPhaseCoordinator coord;
+  TxKvStore a("a");
+  EXPECT_EQ(coord.enlist("nope", a).code(), util::ErrorCode::kNotFound);
+  EXPECT_EQ(coord.commit("nope").code(), util::ErrorCode::kNotFound);
+  EXPECT_EQ(coord.rollback("nope").code(), util::ErrorCode::kNotFound);
+  EXPECT_FALSE(coord.decision("nope").has_value());
+}
+
+TEST(CoordinatorTest, CommitTwiceFails) {
+  TwoPhaseCoordinator coord;
+  const auto tx = coord.begin();
+  ASSERT_TRUE(coord.commit(tx).is_ok());
+  EXPECT_EQ(coord.commit(tx).code(), util::ErrorCode::kNotFound);
+}
+
+TEST(CoordinatorTest, DoubleEnlistIsIdempotent) {
+  TwoPhaseCoordinator coord;
+  TxKvStore a("a");
+  const auto tx = coord.begin();
+  ASSERT_TRUE(coord.enlist(tx, a));
+  ASSERT_TRUE(coord.enlist(tx, a));
+  ASSERT_TRUE(a.put(tx, "x", "1"));
+  EXPECT_EQ(coord.commit(tx).value(), Decision::kCommitted);
+  EXPECT_EQ(a.read_committed("x"), "1");  // applied exactly once
+}
+
+TEST(CoordinatorTest, StatsTrackDecisions) {
+  TwoPhaseCoordinator coord;
+  TxKvStore flaky("flaky");
+  auto t1 = coord.begin();
+  coord.commit(t1);
+  auto t2 = coord.begin();
+  flaky.fail_next_prepare();
+  coord.enlist(t2, flaky);
+  coord.commit(t2);
+  auto t3 = coord.begin();
+  coord.rollback(t3);
+  auto stats = coord.stats();
+  EXPECT_EQ(stats.begun, 3u);
+  EXPECT_EQ(stats.committed, 1u);
+  EXPECT_EQ(stats.aborted, 2u);
+}
+
+TEST(CoordinatorTest, IndependentTransactionsInterleave) {
+  TwoPhaseCoordinator coord;
+  TxKvStore store("db");
+  const auto t1 = coord.begin();
+  const auto t2 = coord.begin();
+  ASSERT_TRUE(coord.enlist(t1, store));
+  ASSERT_TRUE(coord.enlist(t2, store));
+  ASSERT_TRUE(store.put(t1, "a", "1"));
+  ASSERT_TRUE(store.put(t2, "b", "2"));
+  EXPECT_EQ(coord.commit(t1).value(), Decision::kCommitted);
+  EXPECT_EQ(coord.commit(t2).value(), Decision::kCommitted);
+  EXPECT_EQ(store.read_committed("a"), "1");
+  EXPECT_EQ(store.read_committed("b"), "2");
+}
+
+}  // namespace
+}  // namespace cmx::txn

@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "util/clock.hpp"
+#include "util/codec.hpp"
+#include "util/id.hpp"
+#include "util/random.hpp"
+#include "util/status.hpp"
+#include "util/sync.hpp"
+
+namespace cmx::util {
+namespace {
+
+// ---------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_TRUE(static_cast<bool>(s));
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = make_error(ErrorCode::kTimeout, "waited too long");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kTimeout);
+  EXPECT_EQ(s.message(), "waited too long");
+  EXPECT_EQ(s.to_string(), "TIMEOUT: waited too long");
+}
+
+TEST(StatusTest, ExpectOkThrowsOnError) {
+  Status s = make_error(ErrorCode::kNotFound, "missing");
+  EXPECT_THROW(s.expect_ok("ctx"), std::runtime_error);
+  EXPECT_NO_THROW(Status::ok().expect_ok());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int i = 0; i <= static_cast<int>(ErrorCode::kUnavailable); ++i) {
+    EXPECT_STRNE(error_code_name(static_cast<ErrorCode>(i)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(make_error(ErrorCode::kConflict, "boom"));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), ErrorCode::kConflict);
+  EXPECT_EQ(r.value_or(7), 7);
+  EXPECT_THROW(r.value(), std::runtime_error);
+}
+
+TEST(ResultTest, ConstructingFromOkStatusIsABug) {
+  EXPECT_THROW(Result<int> r(Status::ok()), std::logic_error);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+// ---------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------
+
+TEST(CodecTest, RoundTripsAllTypes) {
+  BinaryWriter w;
+  w.put_u8(7);
+  w.put_u32(123456);
+  w.put_u64(0xDEADBEEFCAFEBABEull);
+  w.put_i64(-42);
+  w.put_f64(3.25);
+  w.put_bool(true);
+  w.put_string("hello \0 world");  // embedded NUL is cut by literal, fine
+  w.put_string(std::string(3, '\0'));
+
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.get_u8().value(), 7);
+  EXPECT_EQ(r.get_u32().value(), 123456u);
+  EXPECT_EQ(r.get_u64().value(), 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(r.get_i64().value(), -42);
+  EXPECT_EQ(r.get_f64().value(), 3.25);
+  EXPECT_TRUE(r.get_bool().value());
+  EXPECT_EQ(r.get_string().value(), "hello ");
+  EXPECT_EQ(r.get_string().value(), std::string(3, '\0'));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(CodecTest, TruncatedReadsFailGracefully) {
+  BinaryWriter w;
+  w.put_u64(99);
+  const std::string data = w.data().substr(0, 3);
+  BinaryReader r(data);
+  auto v = r.get_u64();
+  ASSERT_FALSE(v.is_ok());
+  EXPECT_EQ(v.code(), ErrorCode::kIoError);
+}
+
+TEST(CodecTest, TruncatedStringLengthFails) {
+  BinaryWriter w;
+  w.put_string("abcdef");
+  const std::string data = w.data().substr(0, 6);  // length + partial body
+  BinaryReader r(data);
+  EXPECT_FALSE(r.get_string().is_ok());
+}
+
+TEST(CodecTest, EmptyBufferIsAtEnd) {
+  BinaryReader r("");
+  EXPECT_TRUE(r.at_end());
+  EXPECT_FALSE(r.get_u8().is_ok());
+}
+
+// ---------------------------------------------------------------------
+// Ids
+// ---------------------------------------------------------------------
+
+TEST(IdTest, UniqueAcrossManyCalls) {
+  std::set<std::string> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.insert(generate_id("x"));
+  }
+  EXPECT_EQ(ids.size(), 10000u);
+}
+
+TEST(IdTest, CarriesPrefix) {
+  EXPECT_EQ(generate_id("msg").rfind("msg-", 0), 0u);
+}
+
+TEST(IdTest, SequencesIncrease) {
+  const auto a = next_sequence();
+  const auto b = next_sequence();
+  EXPECT_LT(a, b);
+}
+
+// ---------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0, 1000), b.uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(7);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect) {
+  Rng rng(42);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+// ---------------------------------------------------------------------
+// SystemClock
+// ---------------------------------------------------------------------
+
+TEST(SystemClockTest, MonotonicNonNegative) {
+  SystemClock clock;
+  const auto a = clock.now_ms();
+  EXPECT_GE(a, 0);
+  clock.sleep_ms(5);
+  EXPECT_GE(clock.now_ms(), a + 4);
+}
+
+TEST(SystemClockTest, WaitUntilHonorsPredicate) {
+  SystemClock clock;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool flag = false;
+  std::thread setter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      flag = true;
+    }
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lk(mu);
+  const bool ok = clock.wait_until(lk, cv, clock.now_ms() + 2000,
+                                   [&] { return flag; });
+  EXPECT_TRUE(ok);
+  setter.join();
+}
+
+TEST(SystemClockTest, WaitUntilTimesOut) {
+  SystemClock clock;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::unique_lock<std::mutex> lk(mu);
+  const auto start = clock.now_ms();
+  const bool ok =
+      clock.wait_until(lk, cv, start + 20, [] { return false; });
+  EXPECT_FALSE(ok);
+  EXPECT_GE(clock.now_ms(), start + 19);
+}
+
+// ---------------------------------------------------------------------
+// SimClock
+// ---------------------------------------------------------------------
+
+TEST(SimClockTest, TimeOnlyMovesOnAdvance) {
+  SimClock clock(100);
+  EXPECT_EQ(clock.now_ms(), 100);
+  clock.advance_ms(50);
+  EXPECT_EQ(clock.now_ms(), 150);
+  clock.set_ms(1000);
+  EXPECT_EQ(clock.now_ms(), 1000);
+}
+
+TEST(SimClockTest, WaitUntilReleasedByAdvance) {
+  SimClock clock;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<bool> done{false};
+  std::thread waiter([&] {
+    std::unique_lock<std::mutex> lk(mu);
+    clock.wait_until(lk, cv, 500, [] { return false; });
+    done = true;
+  });
+  ASSERT_TRUE(clock.await_waiters(1));
+  EXPECT_FALSE(done.load());
+  clock.advance_ms(499);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(done.load());
+  clock.advance_ms(1);
+  waiter.join();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(SimClockTest, WaitUntilReleasedByPredicate) {
+  SimClock clock;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool flag = false;
+  std::thread waiter([&] {
+    std::unique_lock<std::mutex> lk(mu);
+    const bool ok =
+        clock.wait_until(lk, cv, util::kNoDeadline, [&] { return flag; });
+    EXPECT_TRUE(ok);
+  });
+  ASSERT_TRUE(clock.await_waiters(1));
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    flag = true;
+  }
+  cv.notify_all();
+  waiter.join();
+}
+
+TEST(SimClockTest, SleepBlocksUntilAdvance) {
+  SimClock clock;
+  std::atomic<bool> woke{false};
+  std::thread sleeper([&] {
+    clock.sleep_ms(100);
+    woke = true;
+  });
+  ASSERT_TRUE(clock.await_waiters(1));
+  EXPECT_FALSE(woke.load());
+  clock.advance_ms(100);
+  sleeper.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(SimClockTest, WaiterCountTracksBlockedThreads) {
+  SimClock clock;
+  EXPECT_EQ(clock.waiter_count(), 0);
+  std::thread sleeper([&] { clock.sleep_ms(10); });
+  ASSERT_TRUE(clock.await_waiters(1));
+  EXPECT_EQ(clock.waiter_count(), 1);
+  clock.advance_ms(10);
+  sleeper.join();
+  EXPECT_EQ(clock.waiter_count(), 0);
+}
+
+// ---------------------------------------------------------------------
+// MpmcQueue
+// ---------------------------------------------------------------------
+
+TEST(MpmcQueueTest, FifoOrder) {
+  MpmcQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.try_pop().value(), 3);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpmcQueueTest, CloseWakesBlockedPop) {
+  MpmcQueue<int> q;
+  std::thread popper([&] { EXPECT_FALSE(q.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.close();
+  popper.join();
+}
+
+TEST(MpmcQueueTest, PushAfterCloseIsDropped) {
+  MpmcQueue<int> q;
+  q.close();
+  q.push(9);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(MpmcQueueTest, ConcurrentProducersConsumers) {
+  MpmcQueue<int> q;
+  constexpr int kPerProducer = 1000;
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 3; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.pop()) {
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < 3; ++p) threads[p].join();
+  while (consumed.load() < 3 * kPerProducer) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  q.close();
+  threads[3].join();
+  threads[4].join();
+  EXPECT_EQ(consumed.load(), 3 * kPerProducer);
+}
+
+}  // namespace
+}  // namespace cmx::util
