@@ -10,7 +10,11 @@
 // round-trips are comparable, both paying ~O(N) over the raw put.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
 #include <thread>
 #include <vector>
 
@@ -19,6 +23,8 @@
 #include "cm/receiver.hpp"
 #include "cm/sender.hpp"
 #include "mq/queue_manager.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
 
 namespace {
 
@@ -62,7 +68,13 @@ BENCHMARK(BM_RawPut)->Arg(1)->Arg(4)->Arg(16)->Iterations(3000);
 
 // --- conditional send only (outcome resolves in the background) -----------
 
-void BM_ConditionalSend(benchmark::State& state) {
+// Shared body for the metrics-off / metrics-on variants: with `metrics`
+// the obs registry collects counters, latency histograms and lifecycle
+// stages on every send, so the pair quantifies the enabled-path cost
+// (the disabled path is a relaxed atomic load + branch per site).
+void run_conditional_send(benchmark::State& state, bool metrics) {
+  obs::set_enabled(metrics);
+  if (metrics) obs::MetricsRegistry::instance().reset();
   const int fanout = static_cast<int>(state.range(0));
   util::SystemClock clock;
   mq::QueueManager qm("QM", clock);
@@ -101,8 +113,22 @@ void BM_ConditionalSend(benchmark::State& state) {
     }
   }
   state.SetItemsProcessed(state.iterations() * fanout);
+  obs::set_enabled(false);
+}
+
+void BM_ConditionalSend(benchmark::State& state) {
+  run_conditional_send(state, /*metrics=*/false);
 }
 BENCHMARK(BM_ConditionalSend)->Arg(1)->Arg(4)->Arg(16)->Iterations(3000);
+
+void BM_ConditionalSendMetrics(benchmark::State& state) {
+  run_conditional_send(state, /*metrics=*/true);
+}
+BENCHMARK(BM_ConditionalSendMetrics)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Iterations(3000);
 
 // --- full round trip: send -> receivers ack -> SUCCESS outcome ------------
 
@@ -196,6 +222,103 @@ BENCHMARK(BM_AppManagedRoundTrip)
     ->Arg(16)
     ->Unit(benchmark::kMicrosecond);
 
+// --- machine-readable A/B: metrics off vs. on ------------------------------
+
+// Self-timed conditional-send throughput (fanout 4), identical loop for
+// both arms; drains happen outside the timed bursts, mirroring the
+// google-benchmark variants above.
+double measure_sends_per_sec(bool metrics, int fanout, int iters) {
+  obs::set_enabled(metrics);
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock);
+  const auto queues = queue_names(fanout);
+  for (const auto& q : queues) qm.create_queue(q).expect_ok("create");
+  cm::ConditionalMessagingService service(qm);
+  cm::SetBuilder builder;
+  builder.pick_up_within(1);
+  for (const auto& q : queues) {
+    builder.add(cm::DestBuilder(mq::QueueAddress("QM", q)).build());
+  }
+  auto condition = builder.build();
+  cm::SendOptions options;
+  options.evaluation_timeout_ms = 2;
+
+  auto drain = [&] {
+    while (service.evaluation_manager().in_flight() > 0) {
+      clock.sleep_ms(1);
+    }
+    for (const auto& q : queues) {
+      while (qm.get(q, 0).is_ok()) {
+      }
+    }
+    while (qm.get(cm::kOutcomeQueue, 0).is_ok()) {
+    }
+  };
+
+  for (int i = 0; i < 200; ++i) {  // warm-up: fault in paths and statics
+    service.send_message("payload", *condition, options)
+        .status()
+        .expect_ok("send");
+  }
+  drain();
+
+  std::uint64_t timed_ns = 0;
+  for (int done = 0; done < iters;) {
+    const int burst = std::min(200, iters - done);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < burst; ++i) {
+      service.send_message("payload", *condition, options)
+          .status()
+          .expect_ok("send");
+    }
+    timed_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    done += burst;
+    drain();
+  }
+  obs::set_enabled(false);
+  return static_cast<double>(iters) / (static_cast<double>(timed_ns) * 1e-9);
+}
+
+void write_bench_json() {
+  constexpr int kFanout = 4;
+  constexpr int kIters = 2000;
+  // Best-of-3 per arm: the send path shares the process with background
+  // evaluation threads, so single-shot wall-clock numbers are noisy.
+  double off = 0.0, on = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    obs::MetricsRegistry::instance().reset();
+    off = std::max(off, measure_sends_per_sec(false, kFanout, kIters));
+    obs::MetricsRegistry::instance().reset();
+    on = std::max(on, measure_sends_per_sec(true, kFanout, kIters));
+  }
+  obs::set_enabled(true);  // export reflects the enabled arm's registry
+  const std::string metrics_json = obs::export_json();
+  obs::set_enabled(false);
+  const double overhead_pct = (off - on) / off * 100.0;
+
+  const char* path = "BENCH_send_overhead.json";
+  std::ofstream out(path);
+  out << "{\"bench\": \"send_overhead\", \"fanout\": " << kFanout
+      << ", \"iterations\": " << kIters
+      << ", \"metrics_disabled_sends_per_sec\": " << off
+      << ", \"metrics_enabled_sends_per_sec\": " << on
+      << ", \"enabled_overhead_pct\": " << overhead_pct
+      << ", \"metrics\": " << metrics_json << "}\n";
+  std::cout << "BENCH_send_overhead.json: disabled=" << off
+            << " sends/s enabled=" << on << " sends/s overhead="
+            << overhead_pct << "%\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_bench_json();
+  return 0;
+}

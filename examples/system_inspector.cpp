@@ -1,7 +1,9 @@
 // Operator's view of the middleware: drives a small mixed scenario (one
 // in-flight conditional message, one decided failure, one unconsumed
 // compensation) and dumps the decoded contents of every system queue —
-// the DS.* queues of Figure 9 — via the introspection API.
+// the DS.* queues of Figure 9 — via the introspection API, followed by
+// a live metrics snapshot (counters plus per-stage latency quantiles)
+// from the cmx::obs registry.
 //
 //   $ ./system_inspector
 #include <iostream>
@@ -11,10 +13,14 @@
 #include "cm/receiver.hpp"
 #include "cm/sender.hpp"
 #include "mq/queue_manager.hpp"
+#include "obs/export.hpp"
+#include "obs/lifecycle.hpp"
+#include "obs/registry.hpp"
 
 using namespace cmx;
 
 int main() {
+  obs::set_enabled(true);  // collect metrics for the snapshot at the end
   util::SystemClock clock;
   mq::QueueManager qm("QM.OPS", clock);
   qm.create_queue("ORDERS").expect_ok("create");
@@ -60,6 +66,21 @@ int main() {
   clock.sleep_ms(80);
   service.await_outcome(failed.value(), 10'000).status().expect_ok("wait");
 
+  // 4. a burst of quickly-decided sends so the latency histograms have
+  //    enough samples for meaningful quantiles
+  qm.create_queue("WORK").expect_ok("create");
+  cm::ConditionalReceiver worker(qm, "worker");
+  for (int i = 0; i < 100; ++i) {
+    auto id = service.send_message(
+        "job " + std::to_string(i),
+        *cm::DestBuilder(mq::QueueAddress("QM.OPS", "WORK"), "worker")
+             .pick_up_within(5 * cm::kSecond)
+             .build());
+    id.status().expect_ok("send job");
+    worker.read_message("WORK", 1000).status().expect_ok("read job");
+    service.await_outcome(id.value(), 10'000).status().expect_ok("job done");
+  }
+
   std::cout << "\n================ system inspector ================\n";
   cm::dump_all(qm, std::cout);
   std::cout
@@ -69,5 +90,16 @@ int main() {
          "shows the unread original+compensation pair of the failed promo\n"
          "(they will annihilate on the next read) and the pending\n"
          "replenishment order.\n";
+
+  std::cout << "\n================ metrics snapshot ================\n";
+  obs::export_text(std::cout);
+  std::cout << "\nlifecycle stage latencies (us):\n";
+  for (int i = 0; i < obs::kStageCount; ++i) {
+    const auto stage = static_cast<obs::Stage>(i);
+    const auto snap = obs::LifecycleTracer::instance().stage_snapshot(stage);
+    std::cout << "  " << obs::stage_name(stage) << ": count=" << snap.count
+              << " p50=" << snap.p50() << " p95=" << snap.p95()
+              << " p99=" << snap.p99() << '\n';
+  }
   return 0;
 }

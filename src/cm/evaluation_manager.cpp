@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/lifecycle.hpp"
 #include "util/logging.hpp"
 
 namespace cmx::cm {
@@ -127,6 +128,15 @@ std::size_t EvaluationManager::drain_acks_locked(
     it->second.state->add_ack(ack.value());
     ++stats_.acks_processed;
     ++applied;
+    if (obs::enabled()) {
+      // Ack propagation: recipient's read/commit instant -> the ack is
+      // applied to the evaluation state here, on the shared clock.
+      const AckRecord& a = ack.value();
+      const util::TimeMs ref =
+          a.type == AckType::kProcessing ? a.commit_ts : a.read_ts;
+      obs::trace_stage(obs::Stage::kProcessingAck,
+                       obs::ms_delta_us(qm_.clock().now_ms() - ref));
+    }
   }
   return applied;
 }

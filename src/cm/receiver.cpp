@@ -1,5 +1,6 @@
 #include "cm/receiver.hpp"
 
+#include "obs/lifecycle.hpp"
 #include "util/logging.hpp"
 
 namespace cmx::cm {
@@ -133,6 +134,13 @@ bool ConditionalReceiver::handle(mq::Message msg, ReceivedMessage& out) {
 void ConditionalReceiver::handle_conditional_data(mq::Message msg,
                                                   ReceivedMessage& out) {
   const util::TimeMs read_ts = qm_.clock().now_ms();
+  if (obs::enabled()) {
+    // Pickup latency (the quantity MsgPickUpTime constrains, §2.2):
+    // sender's send timestamp -> this read, on the shared clock.
+    const util::TimeMs send_ts = msg.get_int(prop::kSendTs).value_or(read_ts);
+    obs::trace_stage(obs::Stage::kPickup,
+                     obs::ms_delta_us(read_ts - send_ts));
+  }
   const std::string cm_id = msg.get_string(prop::kCmId).value_or("");
   const std::string sender_qmgr =
       msg.get_string(prop::kSenderQmgr).value_or("");

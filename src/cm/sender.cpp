@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "obs/lifecycle.hpp"
 #include "util/id.hpp"
 #include "util/logging.hpp"
 
@@ -47,6 +48,7 @@ util::Result<std::string> ConditionalMessagingService::send_internal(
     const std::optional<std::string>& compensation_body,
     const Condition& condition, const SendOptions& options) {
   if (auto s = condition.validate(); !s) return s;
+  const std::uint64_t obs_send_t0 = obs::enabled() ? obs::now_us() : 0;
   const util::TimeMs send_ts = qm_.clock().now_ms();
   const std::string cm_id = util::generate_id("cm");
 
@@ -107,8 +109,14 @@ util::Result<std::string> ConditionalMessagingService::send_internal(
   log_entry.condition = condition.clone();
   log_entry.has_compensation_data = compensation_body.has_value();
   log_entry.deliveries = deliveries;
-  if (auto s = qm_.put_local(kSenderLogQueue, log_entry.to_message()); !s) {
-    return s;
+  {
+    const std::uint64_t t0 = obs::enabled() ? obs::now_us() : 0;
+    if (auto s = qm_.put_local(kSenderLogQueue, log_entry.to_message()); !s) {
+      return s;
+    }
+    if (obs::enabled()) {
+      obs::trace_stage(obs::Stage::kSlogAppend, obs::now_us() - t0);
+    }
   }
 
   // --- stage compensation messages (§2.6) ---------------------------------
@@ -158,11 +166,16 @@ util::Result<std::string> ConditionalMessagingService::send_internal(
     ++stats_.conditional_messages;
     stats_.standard_messages += outgoing.size();
   }
+  if (obs::enabled()) {
+    obs::trace_stage(obs::Stage::kSend, obs::now_us() - obs_send_t0);
+    CMX_OBS_COUNT("cm.fanout_messages", outgoing.size());
+  }
   return cm_id;
 }
 
 void ConditionalMessagingService::on_outcome(const OutcomeRecord& record,
                                              bool deferred) {
+  const std::uint64_t obs_t0 = obs::enabled() ? obs::now_us() : 0;
   OutcomeListener listener;
   Registration reg;
   {
@@ -202,6 +215,16 @@ void ConditionalMessagingService::on_outcome(const OutcomeRecord& record,
     registry_.erase(record.cm_id);
   }
 
+  // Recorded before the notification put: the put wakes await_outcome()
+  // callers, so anything after it races with their snapshot reads.
+  if (obs::enabled()) {
+    obs::trace_stage(obs::Stage::kOutcomeDispatch, obs::now_us() - obs_t0);
+    if (record.outcome == Outcome::kSuccess) {
+      CMX_OBS_COUNT("cm.outcome.success", 1);
+    } else {
+      CMX_OBS_COUNT("cm.outcome.failure", 1);
+    }
+  }
   // 4. Outcome notification "sent to the sender's DS.OUTCOME.Q as soon as
   //    a condition evaluation process has completed" (§2.3).
   qm_.put_local(kOutcomeQueue, record.to_message())

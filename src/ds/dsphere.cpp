@@ -1,5 +1,6 @@
 #include "ds/dsphere.hpp"
 
+#include "obs/registry.hpp"
 #include "util/id.hpp"
 #include "util/logging.hpp"
 
@@ -23,6 +24,7 @@ std::string DSphereService::begin() {
   std::lock_guard<std::mutex> lk(mu_);
   spheres_[ds_id] = Sphere{};
   ++stats_.begun;
+  CMX_OBS_COUNT("ds.begun", 1);
   return ds_id;
 }
 
@@ -124,6 +126,7 @@ util::Result<DSphereResult> DSphereService::abort(const std::string& ds_id) {
 util::Result<DSphereResult> DSphereService::resolve(
     const std::string& ds_id, bool force_abort,
     const std::string& abort_reason, util::TimeMs timeout_ms) {
+  const std::uint64_t obs_t0 = obs::enabled() ? obs::now_us() : 0;
   util::Clock& clock = cm_.queue_manager().clock();
   std::vector<std::string> members;
   std::optional<std::string> tx_id;
@@ -228,6 +231,14 @@ util::Result<DSphereResult> DSphereService::resolve(
       ++stats_.committed;
     } else {
       ++stats_.aborted;
+    }
+  }
+  if (obs::enabled()) {
+    CMX_OBS_RECORD("ds.resolve_us", obs::now_us() - obs_t0);
+    if (all_success) {
+      CMX_OBS_COUNT("ds.committed", 1);
+    } else {
+      CMX_OBS_COUNT("ds.aborted", 1);
     }
   }
   CMX_INFO("ds") << ds_id << " resolved "

@@ -1,6 +1,7 @@
 #include "mq/channel.hpp"
 
 #include "mq/queue_manager.hpp"
+#include "obs/lifecycle.hpp"
 #include "util/logging.hpp"
 
 namespace cmx::mq {
@@ -69,6 +70,7 @@ void Channel::deliver(Message msg) {
   if (delay > 0) from_.clock().sleep_ms(delay);
 
   if (!msg.persistent() && rng_.chance(options_.drop_nonpersistent)) {
+    CMX_OBS_COUNT("channel.dropped", 1);
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.dropped;
     return;
@@ -80,6 +82,15 @@ void Channel::deliver(Message msg) {
   msg.properties.erase(kXmitDestProperty);
   const QueueAddress addr = QueueAddress::parse(dest);
 
+  // Transit latency: put on the local transmission queue -> delivered to
+  // the remote queue manager, on the shared clock. The lifecycle stage is
+  // recorded only for conditional data messages (the cm layer's CMX_KIND
+  // contract), so acks and compensations crossing back don't pollute it.
+  const bool obs_on = obs::enabled();
+  const util::TimeMs xmit_put_ms = msg.put_time_ms;
+  const bool conditional_data =
+      obs_on && msg.get_string("CMX_KIND").value_or("") == "data";
+
   Message copy = msg;  // kept for duplication / dead-lettering
   auto s = to_.put_local(addr.queue, std::move(msg));
   if (!s && s.code() == util::ErrorCode::kNotFound) {
@@ -88,11 +99,21 @@ void Channel::deliver(Message msg) {
     to_.ensure_queue(kDeadLetterQueue).expect_ok("ensure DLQ");
     copy.set_property(kXmitDestProperty, dest);
     to_.put_local(kDeadLetterQueue, std::move(copy));
+    CMX_OBS_COUNT("channel.dead_lettered", 1);
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.dead_lettered;
     return;
   }
   if (!s) return;  // remote shutting down; message is lost from this hop
+  if (obs_on) {
+    const std::uint64_t transit_us =
+        obs::ms_delta_us(to_.clock().now_ms() - xmit_put_ms);
+    CMX_OBS_COUNT("channel.transferred", 1);
+    CMX_OBS_RECORD("channel.transit_us", transit_us);
+    if (conditional_data) {
+      obs::trace_stage(obs::Stage::kChannelTransit, transit_us);
+    }
+  }
   {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.transferred;

@@ -2,6 +2,7 @@
 
 #include "mq/network.hpp"
 #include "mq/session.hpp"
+#include "obs/registry.hpp"
 #include "util/id.hpp"
 #include "util/logging.hpp"
 
@@ -111,6 +112,18 @@ util::Status QueueManager::put(const QueueAddress& addr, Message msg) {
 
 util::Status QueueManager::put_local(const std::string& queue_name,
                                      Message msg, bool log) {
+  if (!obs::enabled()) {
+    return put_local_impl(queue_name, std::move(msg), log);
+  }
+  const std::uint64_t t0 = obs::now_us();
+  auto s = put_local_impl(queue_name, std::move(msg), log);
+  CMX_OBS_RECORD("mq.put_us", obs::now_us() - t0);
+  CMX_OBS_COUNT("mq.put", 1);
+  return s;
+}
+
+util::Status QueueManager::put_local_impl(const std::string& queue_name,
+                                          Message msg, bool log) {
   auto queue = find_queue(queue_name);
   if (queue == nullptr) {
     // Arriving messages for unknown queues go to the dead-letter queue
@@ -121,6 +134,7 @@ util::Status QueueManager::put_local(const std::string& queue_name,
   if (msg.id.empty()) msg.id = util::generate_id("msg");
   if (msg.put_time_ms == 0) msg.put_time_ms = clock_.now_ms();
   if (msg.expired(clock_.now_ms())) {
+    CMX_OBS_COUNT("mq.put.expired", 1);
     return util::make_error(util::ErrorCode::kExpired,
                             "message already expired");
   }
@@ -153,6 +167,7 @@ util::Result<Message> QueueManager::get(const std::string& queue_name,
     store_->append(LogRecord::get(queue_name, msg.id)).expect_ok("log get");
     maybe_compact();
   }
+  CMX_OBS_COUNT("mq.get", 1);
   return msg;
 }
 

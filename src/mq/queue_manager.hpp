@@ -104,6 +104,8 @@ class QueueManager {
   void unregister_inflight(const std::string& msg_id);
 
  private:
+  util::Status put_local_impl(const std::string& queue_name, Message msg,
+                              bool log);
   std::shared_ptr<Queue> make_queue_locked(const std::string& queue_name,
                                            QueueOptions options);
   void maybe_compact();

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "obs/registry.hpp"
 #include "util/codec.hpp"
 #include "util/id.hpp"
 
@@ -264,8 +265,15 @@ util::Status FileStore::append_encoded(const std::string& payload) {
 
 util::Status FileStore::append(const LogRecord& record) {
   std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t t0 = obs::enabled() ? obs::now_us() : 0;
   auto s = append_encoded(record.encode());
-  if (s) ++appended_;
+  if (s) {
+    ++appended_;
+    if (obs::enabled()) {
+      CMX_OBS_RECORD("store.append_us", obs::now_us() - t0);
+      CMX_OBS_COUNT("store.appends", 1);
+    }
+  }
   return s;
 }
 
@@ -282,6 +290,7 @@ util::Status FileStore::append_batch(const std::vector<LogRecord>& records) {
     return s;
   }
   appended_ += records.size() + 2;
+  CMX_OBS_COUNT("store.appends", records.size() + 2);
   return util::ok_status();
 }
 

@@ -1,0 +1,91 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "obs/registry.hpp"
+
+namespace cmx::obs {
+
+namespace {
+
+// Metric names are code-controlled identifiers ([a-z0-9._]), but escape
+// defensively so the output is always valid JSON.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string export_json() {
+  const auto snap = MetricsRegistry::instance().snapshot();
+  std::ostringstream os;
+  os << "{\"enabled\": " << (enabled() ? "true" : "false");
+  os << ", \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    os << (first ? "" : ", ") << '"' << json_escape(name) << "\": " << value;
+    first = false;
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    os << (first ? "" : ", ") << '"' << json_escape(name) << "\": " << value;
+    first = false;
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    os << (first ? "" : ", ") << '"' << json_escape(name) << "\": {"
+       << "\"count\": " << h.count << ", \"sum_us\": " << h.sum
+       << ", \"min_us\": " << h.min << ", \"max_us\": " << h.max
+       << ", \"mean_us\": " << h.mean() << ", \"p50_us\": " << h.p50()
+       << ", \"p95_us\": " << h.p95() << ", \"p99_us\": " << h.p99() << "}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+void export_text(std::ostream& os) {
+  const auto snap = MetricsRegistry::instance().snapshot();
+  os << "-- metrics (" << (enabled() ? "enabled" : "disabled") << ") --\n";
+  for (const auto& [name, value] : snap.counters) {
+    os << "  " << std::left << std::setw(36) << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    os << "  " << std::left << std::setw(36) << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    os << "  " << std::left << std::setw(36) << name << " count=" << h.count;
+    if (h.count > 0) {
+      os << " mean=" << static_cast<std::uint64_t>(h.mean())
+         << "us p50=" << h.p50() << "us p95=" << h.p95()
+         << "us p99=" << h.p99() << "us max=" << h.max << "us";
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace cmx::obs

@@ -1,0 +1,23 @@
+// Snapshot/export of the metrics registry: a human-readable text dump
+// (for operators, system_inspector) and a machine-readable JSON block
+// (for benches writing BENCH_*.json and for scraping across PRs).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+namespace cmx::obs {
+
+// Full registry as JSON:
+//   {"enabled": bool,
+//    "counters": {name: value, ...},
+//    "gauges": {name: value, ...},
+//    "histograms": {name: {"count","sum_us","min_us","max_us",
+//                          "mean_us","p50_us","p95_us","p99_us"}, ...}}
+std::string export_json();
+
+// Human-readable table: counters/gauges, then one line per histogram
+// with count / mean / p50 / p95 / p99 / max.
+void export_text(std::ostream& os);
+
+}  // namespace cmx::obs

@@ -1,0 +1,64 @@
+#include "obs/histogram.hpp"
+
+#include <cmath>
+
+namespace cmx::obs {
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kBucketCount);
+  for (int i = 0; i < kBucketCount; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  // Derive the count from the bucket copy so the snapshot is internally
+  // consistent even if records land concurrently.
+  std::uint64_t total = 0;
+  for (auto b : snap.buckets) total += b;
+  snap.count = total;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  const std::uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = total == 0 ? 0 : min;
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  // Rank of the q-th sample, 1-based.
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::uint64_t cum = 0;
+  for (int i = 0; i < static_cast<int>(buckets.size()); ++i) {
+    if (buckets[i] == 0) continue;
+    if (cum + buckets[i] >= rank) {
+      const std::uint64_t lower = Histogram::bucket_lower(i);
+      std::uint64_t upper = Histogram::bucket_upper(i);
+      // Clamp the estimate into the observed range: the top and bottom
+      // buckets are much wider than the data they hold.
+      if (upper > max) upper = max;
+      if (upper < lower) upper = lower;
+      // 0-based offset of the ranked sample within this bucket, so frac
+      // stays in [0, 1) and width-1 (linear-region) buckets are exact.
+      const double frac = static_cast<double>(rank - cum - 1) / buckets[i];
+      std::uint64_t v =
+          lower + static_cast<std::uint64_t>(frac * (upper - lower));
+      if (v < min) v = min;
+      if (v > max) v = max;
+      return v;
+    }
+    cum += buckets[i];
+  }
+  return max;
+}
+
+}  // namespace cmx::obs

@@ -1,0 +1,118 @@
+// Fixed-bucket, lock-free latency histogram. Buckets are log-linear
+// (HDR-histogram style): each power-of-two octave is split into four
+// sub-buckets, so relative bucket width — and therefore worst-case
+// quantile error — is bounded by 25% across the whole range, values
+// 0..7 are exact, and the top bucket absorbs everything above ~2^41
+// (about 25 days in microseconds). record() is three relaxed
+// fetch_adds plus two bounded CAS loops; there is no lock anywhere on
+// the write path, so any number of threads can hammer one histogram.
+//
+// All values are unitless 64-bit integers; by convention the metrics
+// subsystem records microseconds (histogram names end in "_us").
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace cmx::obs {
+
+// Read-side view of one histogram, produced by Histogram::snapshot().
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // 0 when count == 0
+  std::uint64_t max = 0;
+  std::vector<std::uint64_t> buckets;
+
+  // Quantile via cumulative bucket walk with linear interpolation
+  // inside the containing bucket. q in [0, 1]; returns 0 on empty.
+  std::uint64_t quantile(double q) const;
+  std::uint64_t p50() const { return quantile(0.50); }
+  std::uint64_t p95() const { return quantile(0.95); }
+  std::uint64_t p99() const { return quantile(0.99); }
+  double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+  }
+};
+
+class Histogram {
+ public:
+  // 2^kSubBits sub-buckets per octave.
+  static constexpr int kSubBits = 2;
+  static constexpr int kSub = 1 << kSubBits;          // 4
+  static constexpr int kLinearLimit = 2 * kSub;       // values 0..7 exact
+  static constexpr int kMaxOctave = 41;
+  static constexpr int kBucketCount =
+      kLinearLimit + (kMaxOctave - kSubBits) * kSub;  // 164
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::uint64_t value) {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    update_min(value);
+    update_max(value);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const;
+  // Zeroes every cell in place (the object stays registered and all
+  // cached references stay valid).
+  void reset();
+
+  // Bucket geometry, exposed for quantile interpolation and tests.
+  static int bucket_index(std::uint64_t value) {
+    if (value < kLinearLimit) return static_cast<int>(value);
+    int octave = 63 - std::countl_zero(value);  // >= kSubBits + 1
+    if (octave > kMaxOctave) return kBucketCount - 1;
+    const int sub =
+        static_cast<int>((value >> (octave - kSubBits)) & (kSub - 1));
+    return kLinearLimit + (octave - kSubBits - 1) * kSub + sub;
+  }
+  // Smallest value mapping to bucket `index`.
+  static std::uint64_t bucket_lower(int index) {
+    if (index < kLinearLimit) return static_cast<std::uint64_t>(index);
+    const int octave = kSubBits + 1 + (index - kLinearLimit) / kSub;
+    const int sub = (index - kLinearLimit) % kSub;
+    return (std::uint64_t{1} << octave) +
+           (static_cast<std::uint64_t>(sub) << (octave - kSubBits));
+  }
+  // Exclusive upper bound of bucket `index`.
+  static std::uint64_t bucket_upper(int index) {
+    return index + 1 < kBucketCount ? bucket_lower(index + 1)
+                                    : ~std::uint64_t{0};
+  }
+
+ private:
+  void update_min(std::uint64_t value) {
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (value < cur &&
+           !min_.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+  void update_max(std::uint64_t value) {
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !max_.compare_exchange_weak(cur, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace cmx::obs

@@ -1,0 +1,40 @@
+#include "obs/lifecycle.hpp"
+
+#include <string>
+
+namespace cmx::obs {
+
+const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kSend:
+      return "send";
+    case Stage::kSlogAppend:
+      return "slog_append";
+    case Stage::kChannelTransit:
+      return "channel_transit";
+    case Stage::kPickup:
+      return "pickup";
+    case Stage::kProcessingAck:
+      return "processing_ack";
+    case Stage::kOutcomeDispatch:
+      return "outcome_dispatch";
+  }
+  return "unknown";
+}
+
+LifecycleTracer& LifecycleTracer::instance() {
+  static LifecycleTracer* tracer = new LifecycleTracer();
+  return *tracer;
+}
+
+LifecycleTracer::LifecycleTracer() {
+  auto& registry = MetricsRegistry::instance();
+  for (int i = 0; i < kStageCount; ++i) {
+    const std::string base =
+        std::string("lifecycle.") + stage_name(static_cast<Stage>(i));
+    counts_[i] = &registry.counter(base + ".count");
+    hists_[i] = &registry.histogram(base + "_us");
+  }
+}
+
+}  // namespace cmx::obs

@@ -1,0 +1,75 @@
+// Message-lifecycle tracer: per-stage latency histograms for the six
+// stages of the conditional send path (paper §2.3–§2.5):
+//
+//   send             full ConditionalMessagingService::send_message()
+//                    call: fan-out planning, SLOG append, compensation
+//                    staging, evaluation registration, puts
+//   slog_append      the persistent sender-log write inside the send
+//   channel_transit  conditional data message crossing a channel:
+//                    put-on-transmission-queue -> delivered remotely
+//   pickup           send timestamp -> a recipient reads the message
+//                    (the quantity MsgPickUpTime constrains, §2.2)
+//   processing_ack   recipient's read/commit timestamp -> the ack is
+//                    applied by the sender's evaluation manager
+//   outcome_dispatch verdict reached -> outcome actions + notification
+//                    dispatched (compensation release / discard, §2.6)
+//
+// Stage histograms and counters live in the MetricsRegistry under
+// "lifecycle.<stage>_us" / "lifecycle.<stage>.count", so export and
+// reset() cover them uniformly. trace_stage() is the one call sites
+// use; with metrics disabled it is a relaxed load and a branch.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/registry.hpp"
+
+namespace cmx::obs {
+
+enum class Stage {
+  kSend = 0,
+  kSlogAppend,
+  kChannelTransit,
+  kPickup,
+  kProcessingAck,
+  kOutcomeDispatch,
+};
+
+inline constexpr int kStageCount = 6;
+
+const char* stage_name(Stage stage);
+
+class LifecycleTracer {
+ public:
+  static LifecycleTracer& instance();
+
+  void record(Stage stage, std::uint64_t latency_us) {
+    const int i = static_cast<int>(stage);
+    counts_[i]->inc();
+    hists_[i]->record(latency_us);
+  }
+
+  std::uint64_t stage_count(Stage stage) const {
+    return counts_[static_cast<int>(stage)]->value();
+  }
+  HistogramSnapshot stage_snapshot(Stage stage) const {
+    return hists_[static_cast<int>(stage)]->snapshot();
+  }
+
+ private:
+  LifecycleTracer();
+
+  Counter* counts_[kStageCount];
+  Histogram* hists_[kStageCount];
+};
+
+inline void trace_stage(Stage stage, std::uint64_t latency_us) {
+  if (enabled()) LifecycleTracer::instance().record(stage, latency_us);
+}
+
+// Converts a clock-ms delta (possibly negative under skew) to us.
+inline std::uint64_t ms_delta_us(std::int64_t delta_ms) {
+  return delta_ms <= 0 ? 0 : static_cast<std::uint64_t>(delta_ms) * 1000;
+}
+
+}  // namespace cmx::obs

@@ -1,0 +1,97 @@
+#include "obs/registry.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace cmx::obs {
+
+namespace detail {
+
+namespace {
+bool env_enabled() {
+  const char* env = std::getenv("CMX_OBS");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+         std::strcmp(env, "true") == 0;
+}
+}  // namespace
+
+std::atomic<bool> g_enabled{env_enabled()};
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t now_us() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Leaky singleton: instrument sites cache references into this object
+  // and may fire during static destruction (e.g. a channel joining its
+  // mover thread), so it must never be destroyed.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->snapshot());
+  }
+  return snap;
+}
+
+}  // namespace cmx::obs

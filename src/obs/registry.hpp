@@ -1,0 +1,121 @@
+// Process-wide metrics registry: named lock-free counters, gauges and
+// latency histograms. Designed so the instrumented fast paths stay fast:
+//
+//   * obs::enabled() is a single relaxed atomic load — every instrument
+//     site branches on it, so with metrics off the cost is load+branch.
+//   * Metric lookup is mutex-guarded, but call sites cache the returned
+//     reference in a function-local static, so each site pays the lookup
+//     once per process; afterwards a hit is one relaxed fetch_add.
+//   * Metric objects are never deallocated or moved (leaky singleton
+//     holding unique_ptrs), so cached references stay valid for the
+//     process lifetime; reset() zeroes values in place.
+//
+// Metrics default off; set CMX_OBS=1 (or "on"/"true") or call
+// set_enabled(true) to start collecting.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace cmx::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+// Monotonic microseconds since process start; the instrumentation time
+// base for in-process durations (stage latencies derived from message
+// timestamps use the queue manager's Clock instead).
+std::uint64_t now_us();
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  // Find-or-create by name. The returned references are valid for the
+  // life of the process.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // Zeroes every registered metric in place. Registered names survive.
+  void reset();
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  };
+  // Consistent-enough view for export: names are stable, values are
+  // relaxed reads of live metrics.
+  Snapshot snapshot() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace cmx::obs
+
+// Instrumentation helpers. Each expansion caches its metric reference in
+// a function-local static, so the steady-state enabled cost is one
+// branch + one relaxed RMW, and the disabled cost is one branch.
+#define CMX_OBS_COUNT(name, n)                                        \
+  do {                                                                \
+    if (::cmx::obs::enabled()) {                                      \
+      static ::cmx::obs::Counter& cmx_obs_counter_ =                  \
+          ::cmx::obs::MetricsRegistry::instance().counter(name);      \
+      cmx_obs_counter_.inc(n);                                        \
+    }                                                                 \
+  } while (0)
+
+#define CMX_OBS_RECORD(name, value_us)                                \
+  do {                                                                \
+    if (::cmx::obs::enabled()) {                                      \
+      static ::cmx::obs::Histogram& cmx_obs_hist_ =                   \
+          ::cmx::obs::MetricsRegistry::instance().histogram(name);    \
+      cmx_obs_hist_.record(value_us);                                 \
+    }                                                                 \
+  } while (0)

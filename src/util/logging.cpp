@@ -13,11 +13,12 @@ namespace {
 LogLevel initial_level() {
   const char* env = std::getenv("CMX_LOG");
   if (env == nullptr) return LogLevel::kWarn;
-  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
-  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
-  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
-  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
-  if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+  if (auto level = parse_log_level(env)) return *level;
+  // Runs once (static init of g_level), so this warns exactly once.
+  std::fprintf(stderr,
+               "WARN  [util.log] unrecognized CMX_LOG value '%s' "
+               "(expected debug|info|warn|error|off); defaulting to warn\n",
+               env);
   return LogLevel::kWarn;
 }
 
@@ -41,6 +42,15 @@ const char* level_name(LogLevel level) {
 }
 
 }  // namespace
+
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }

@@ -3,8 +3,10 @@
 // var ("debug", "info", "warn", "error", "off") changes it globally.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace cmx::util {
 
@@ -12,6 +14,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+// Parses a CMX_LOG-style level string ("debug", "info", "warn", "error",
+// "off"); nullopt for anything else. Case-sensitive, like the env var.
+std::optional<LogLevel> parse_log_level(std::string_view text);
 
 // Emits one formatted line: "LEVEL [component] message". Thread-safe.
 void log_line(LogLevel level, const std::string& component,

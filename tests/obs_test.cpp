@@ -1,0 +1,304 @@
+// Tests for the cmx::obs metrics subsystem: histogram bucket geometry
+// and quantiles, lock-free counters/histograms under concurrent
+// hammering, registry identity/reset semantics, JSON export, and an
+// end-to-end check that one conditional send crossing a network touches
+// every lifecycle stage exactly once.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "cm/condition_builder.hpp"
+#include "cm/receiver.hpp"
+#include "cm/sender.hpp"
+#include "mq/network.hpp"
+#include "obs/export.hpp"
+#include "obs/lifecycle.hpp"
+#include "obs/registry.hpp"
+
+namespace cmx::obs {
+namespace {
+
+// The registry is process-global; each test starts from a clean slate
+// and leaves collection disabled for whoever runs next.
+class ObsTest : public ::testing::Test {
+ protected:
+  ObsTest() {
+    set_enabled(true);
+    MetricsRegistry::instance().reset();
+  }
+  ~ObsTest() override { set_enabled(false); }
+};
+
+// ---------------------------------------------------------------------
+// Histogram bucket geometry
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, BucketIndexIsExactInLinearRegion) {
+  for (std::uint64_t v = 0; v < Histogram::kLinearLimit; ++v) {
+    const int i = Histogram::bucket_index(v);
+    EXPECT_EQ(i, static_cast<int>(v));
+    EXPECT_EQ(Histogram::bucket_lower(i), v);
+    EXPECT_EQ(Histogram::bucket_upper(i), v + 1);
+  }
+}
+
+TEST_F(ObsTest, EveryValueFallsInsideItsBucket) {
+  for (std::uint64_t v : {8ull, 9ull, 15ull, 16ull, 100ull, 1000ull,
+                          65535ull, 65536ull, 1'000'000ull,
+                          123'456'789ull, (1ull << 41), (1ull << 50)}) {
+    const int i = Histogram::bucket_index(v);
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, Histogram::kBucketCount);
+    EXPECT_LE(Histogram::bucket_lower(i), v) << "value " << v;
+    if (i + 1 < Histogram::kBucketCount) {
+      EXPECT_LT(v, Histogram::bucket_upper(i)) << "value " << v;
+    }
+  }
+}
+
+TEST_F(ObsTest, BucketIndexIsMonotonic) {
+  int prev = -1;
+  for (std::uint64_t v = 0; v < (1ull << 20); v = v < 64 ? v + 1 : v * 2) {
+    const int i = Histogram::bucket_index(v);
+    EXPECT_GE(i, prev) << "value " << v;
+    prev = i;
+  }
+}
+
+TEST_F(ObsTest, BucketRelativeWidthBounded) {
+  // Log-linear with 4 sub-buckets: width/lower <= 1/4 above the linear
+  // region — the bound behind the quantile error guarantee.
+  for (int i = Histogram::kLinearLimit; i < Histogram::kBucketCount - 1;
+       ++i) {
+    const auto lower = Histogram::bucket_lower(i);
+    const auto width = Histogram::bucket_upper(i) - lower;
+    EXPECT_LE(width * 4, lower) << "bucket " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Histogram recording and quantiles
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, SmallValuesGiveExactQuantiles) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    for (int n = 0; n < 10; ++n) h.record(v);
+  }
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 80u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 7u);
+  EXPECT_EQ(snap.quantile(0.0), 0u);
+  EXPECT_EQ(snap.quantile(1.0), 7u);
+  // The 40th sample (p50) is the last 3; linear-region buckets are
+  // exact, so the interpolated estimate stays within the bucket [3, 4).
+  EXPECT_EQ(snap.p50(), 3u);
+}
+
+TEST_F(ObsTest, QuantileErrorBoundedByBucketWidth) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 10'000; ++v) h.record(v);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 10'000u);
+  EXPECT_EQ(snap.sum, 10'000ull * 10'001 / 2);
+  for (double q : {0.50, 0.90, 0.95, 0.99}) {
+    const double exact = q * 10'000;
+    const double estimate = static_cast<double>(snap.quantile(q));
+    EXPECT_NEAR(estimate, exact, exact * 0.25) << "q=" << q;
+  }
+}
+
+TEST_F(ObsTest, EmptyHistogramSnapshotsToZero) {
+  Histogram h;
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_EQ(snap.p50(), 0u);
+  EXPECT_EQ(snap.mean(), 0.0);
+}
+
+TEST_F(ObsTest, ResetZeroesInPlace) {
+  auto& h = MetricsRegistry::instance().histogram("t.reset_us");
+  auto& c = MetricsRegistry::instance().counter("t.reset");
+  h.record(42);
+  c.inc(7);
+  MetricsRegistry::instance().reset();
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_EQ(c.value(), 0u);
+  // Identity survives reset: the same objects are returned afterwards.
+  EXPECT_EQ(&h, &MetricsRegistry::instance().histogram("t.reset_us"));
+  EXPECT_EQ(&c, &MetricsRegistry::instance().counter("t.reset"));
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: exact totals under hammering from N threads
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, ConcurrentCounterTotalsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100'000;
+  auto& c = MetricsRegistry::instance().counter("t.hammer");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST_F(ObsTest, ConcurrentHistogramTotalsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  auto& h = MetricsRegistry::instance().histogram("t.hammer_us");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      // Distinct per-thread values spread across buckets, min 1, max 8000.
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.record((t + 1) * 1000);
+      }
+      h.record(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, kThreads * (kPerThread + 1));
+  EXPECT_EQ(snap.sum,
+            kPerThread * 1000 * (kThreads * (kThreads + 1) / 2) + kThreads);
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, 8000u);
+}
+
+TEST_F(ObsTest, ConcurrentRegistryLookupsYieldOneMetric) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<Counter*> seen(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&seen, t] {
+      auto& c = MetricsRegistry::instance().counter("t.lookup_race");
+      c.inc();
+      seen[t] = &c;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(seen[0]->value(), static_cast<std::uint64_t>(kThreads));
+}
+
+// ---------------------------------------------------------------------
+// Enable toggle and export
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, DisabledMacrosCollectNothing) {
+  set_enabled(false);
+  CMX_OBS_COUNT("t.toggled", 1);
+  CMX_OBS_RECORD("t.toggled_us", 5);
+  set_enabled(true);
+  CMX_OBS_COUNT("t.toggled", 1);
+  CMX_OBS_RECORD("t.toggled_us", 5);
+  EXPECT_EQ(MetricsRegistry::instance().counter("t.toggled").value(), 1u);
+  EXPECT_EQ(
+      MetricsRegistry::instance().histogram("t.toggled_us").snapshot().count,
+      1u);
+}
+
+TEST_F(ObsTest, JsonExportContainsAllSections) {
+  MetricsRegistry::instance().counter("t.json_counter").inc(3);
+  MetricsRegistry::instance().gauge("t.json_gauge").set(-5);
+  MetricsRegistry::instance().histogram("t.json_us").record(100);
+  const std::string json = export_json();
+  EXPECT_NE(json.find("\"enabled\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"t.json_counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"t.json_gauge\": -5"), std::string::npos);
+  EXPECT_NE(json.find("\"t.json_us\": {\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: one conditional send touches every lifecycle stage once
+// ---------------------------------------------------------------------
+
+class ObsLifecycleE2ETest : public ObsTest {
+ protected:
+  ObsLifecycleE2ETest() {
+    qm_sender_ = std::make_unique<mq::QueueManager>("QMA", clock_);
+    qm_recv_ = std::make_unique<mq::QueueManager>("QMB", clock_);
+    qm_recv_->create_queue("IN1").expect_ok("create");
+    net_ = std::make_unique<mq::Network>();
+    net_->add(*qm_sender_);
+    net_->add(*qm_recv_);
+    service_ =
+        std::make_unique<cm::ConditionalMessagingService>(*qm_sender_);
+  }
+  ~ObsLifecycleE2ETest() override {
+    service_.reset();
+    net_->shutdown();
+  }
+
+  util::SimClock clock_;
+  std::unique_ptr<mq::QueueManager> qm_sender_;
+  std::unique_ptr<mq::QueueManager> qm_recv_;
+  std::unique_ptr<mq::Network> net_;
+  std::unique_ptr<cm::ConditionalMessagingService> service_;
+};
+
+TEST_F(ObsLifecycleE2ETest, ConditionalSendTouchesEveryStageExactlyOnce) {
+  auto cond = cm::DestBuilder(mq::QueueAddress("QMB", "IN1"), "worker")
+                  .processing_within(10 * cm::kSecond)
+                  .build();
+  auto cm_id = service_->send_message("job", *cond);
+  ASSERT_TRUE(cm_id.is_ok());
+
+  cm::ConditionalReceiver rx(*qm_recv_, "worker");
+  ASSERT_TRUE(rx.begin_tx());
+  ASSERT_TRUE(rx.read_message("IN1", 5000).is_ok());
+  ASSERT_TRUE(rx.commit_tx());
+  auto record = service_->await_outcome(cm_id.value(), 60 * cm::kSecond);
+  ASSERT_TRUE(record.is_ok());
+  ASSERT_EQ(record.value().outcome, cm::Outcome::kSuccess);
+
+  auto& tracer = LifecycleTracer::instance();
+  for (Stage stage :
+       {Stage::kSend, Stage::kSlogAppend, Stage::kChannelTransit,
+        Stage::kPickup, Stage::kProcessingAck, Stage::kOutcomeDispatch}) {
+    EXPECT_EQ(tracer.stage_count(stage), 1u) << stage_name(stage);
+    EXPECT_EQ(tracer.stage_snapshot(stage).count, 1u) << stage_name(stage);
+  }
+  // The supporting metrics saw traffic too.
+  EXPECT_GT(MetricsRegistry::instance().counter("mq.put").value(), 0u);
+  EXPECT_GT(MetricsRegistry::instance().counter("mq.get").value(), 0u);
+  // The ack's transfer is counted on the channel thread right after the
+  // delivering put, so it can trail await_outcome by an instant.
+  auto& transferred = MetricsRegistry::instance().counter("channel.transferred");
+  for (int i = 0; i < 2000 && transferred.value() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(transferred.value(), 2u);  // data message out, ack back
+}
+
+TEST_F(ObsLifecycleE2ETest, DisabledRunTracesNoStages) {
+  set_enabled(false);
+  auto cond = cm::DestBuilder(mq::QueueAddress("QMB", "IN1"), "worker")
+                  .pick_up_within(10 * cm::kSecond)
+                  .build();
+  auto cm_id = service_->send_message("job", *cond);
+  ASSERT_TRUE(cm_id.is_ok());
+  cm::ConditionalReceiver rx(*qm_recv_, "worker");
+  ASSERT_TRUE(rx.read_message("IN1", 5000).is_ok());
+  ASSERT_TRUE(
+      service_->await_outcome(cm_id.value(), 60 * cm::kSecond).is_ok());
+
+  auto& tracer = LifecycleTracer::instance();
+  for (int i = 0; i < kStageCount; ++i) {
+    EXPECT_EQ(tracer.stage_count(static_cast<Stage>(i)), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace cmx::obs

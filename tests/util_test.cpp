@@ -7,6 +7,7 @@
 #include "util/clock.hpp"
 #include "util/codec.hpp"
 #include "util/id.hpp"
+#include "util/logging.hpp"
 #include "util/random.hpp"
 #include "util/status.hpp"
 #include "util/sync.hpp"
@@ -354,6 +355,26 @@ TEST(MpmcQueueTest, ConcurrentProducersConsumers) {
   threads[3].join();
   threads[4].join();
   EXPECT_EQ(consumed.load(), 3 * kPerProducer);
+}
+
+// ---------------------------------------------------------------------
+// Logging
+// ---------------------------------------------------------------------
+
+TEST(LoggingTest, ParseLogLevelRecognizesEveryLevel) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+}
+
+TEST(LoggingTest, ParseLogLevelRejectsUnknownStrings) {
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("DEBUG"), std::nullopt);  // case-sensitive
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("warn "), std::nullopt);
+  EXPECT_EQ(parse_log_level("2"), std::nullopt);
 }
 
 }  // namespace
