@@ -14,6 +14,25 @@ util::Status CompensationManager::stage(
     const std::string& cm_id,
     const std::optional<std::string>& compensation_body,
     const std::vector<std::pair<mq::QueueAddress, std::string>>& deliveries) {
+  auto staged = build_staged(cm_id, compensation_body, deliveries);
+  const std::size_t n = staged.size();
+  std::vector<std::pair<std::string, mq::Message>> puts;
+  puts.reserve(n);
+  for (auto& comp : staged) {
+    puts.emplace_back(kCompensationQueue, std::move(comp));
+  }
+  if (auto s = qm_.put_local_batch(std::move(puts)); !s) return s;
+  note_staged(n);
+  return util::ok_status();
+}
+
+std::vector<mq::Message> CompensationManager::build_staged(
+    const std::string& cm_id,
+    const std::optional<std::string>& compensation_body,
+    const std::vector<std::pair<mq::QueueAddress, std::string>>& deliveries)
+    const {
+  std::vector<mq::Message> staged;
+  staged.reserve(deliveries.size());
   for (const auto& [addr, original_msg_id] : deliveries) {
     mq::Message comp(compensation_body.value_or(""));
     comp.set_property(prop::kKind, std::string("compensation"));
@@ -26,13 +45,14 @@ util::Status CompensationManager::stage(
     comp.set_property(prop::kDest, addr.to_string());
     comp.correlation_id = original_msg_id;
     comp.persistence = mq::Persistence::kPersistent;
-    if (auto s = qm_.put_local(kCompensationQueue, std::move(comp)); !s) {
-      return s;
-    }
-    std::lock_guard<std::mutex> lk(mu_);
-    ++stats_.staged;
+    staged.push_back(std::move(comp));
   }
-  return util::ok_status();
+  return staged;
+}
+
+void CompensationManager::note_staged(std::size_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.staged += n;
 }
 
 std::vector<mq::Message> CompensationManager::take_staged(

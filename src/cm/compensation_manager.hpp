@@ -44,6 +44,17 @@ class CompensationManager {
       const std::optional<std::string>& compensation_body,
       const std::vector<std::pair<mq::QueueAddress, std::string>>& deliveries);
 
+  // Builds the compensation messages stage() would put, without putting
+  // them — the sender folds them into the same atomic batch as the SLOG
+  // entry and the fan-out. Callers must invoke note_staged(n) once the
+  // messages have durably reached DS.COMP.Q.
+  std::vector<mq::Message> build_staged(
+      const std::string& cm_id,
+      const std::optional<std::string>& compensation_body,
+      const std::vector<std::pair<mq::QueueAddress, std::string>>& deliveries)
+      const;
+  void note_staged(std::size_t n);
+
   // Failure action: move every staged compensation for `cm_id` from
   // DS.COMP.Q to its recorded destination.
   util::Status release(const std::string& cm_id);

@@ -109,23 +109,13 @@ util::Result<std::string> ConditionalMessagingService::send_internal(
   log_entry.condition = condition.clone();
   log_entry.has_compensation_data = compensation_body.has_value();
   log_entry.deliveries = deliveries;
-  {
-    const std::uint64_t t0 = obs::enabled() ? obs::now_us() : 0;
-    if (auto s = qm_.put_local(kSenderLogQueue, log_entry.to_message()); !s) {
-      return s;
-    }
-    if (obs::enabled()) {
-      obs::trace_stage(obs::Stage::kSlogAppend, obs::now_us() - t0);
-    }
-  }
 
   // --- stage compensation messages (§2.6) ---------------------------------
   const bool stage_now =
       options_.compensation_staging == CompensationStaging::kAtSendTime;
+  std::vector<mq::Message> compensations;
   if (stage_now) {
-    if (auto s = comp_->stage(cm_id, compensation_body, deliveries); !s) {
-      return s;
-    }
+    compensations = comp_->build_staged(cm_id, compensation_body, deliveries);
   }
 
   // --- register evaluation BEFORE sending so no ack can race it -----------
@@ -148,19 +138,43 @@ util::Result<std::string> ConditionalMessagingService::send_internal(
           EvalStateOptions{options.early_failure_detection}),
       options.defer_outcome_actions);
 
-  // --- fan out -----------------------------------------------------------
+  // --- SLOG entry + staged compensations + fan-out: ONE atomic batch ------
+  // A single put_all gives one store append (group-commit friendly) and
+  // closes both crash windows of the sequential path: no state where
+  // compensations are staged without their SLOG entry (the recovery orphan
+  // sweep would spuriously release them), and none where the SLOG entry is
+  // durable without its staged compensations (breaking guaranteed
+  // compensation on failure). SLOG first, so replay records intent before
+  // effects.
+  std::vector<std::pair<mq::QueueAddress, mq::Message>> batch;
+  batch.reserve(1 + compensations.size() + outgoing.size());
+  batch.emplace_back(mq::QueueAddress("", kSenderLogQueue),
+                     log_entry.to_message());
+  const std::size_t comp_count = compensations.size();
+  for (auto& comp : compensations) {
+    batch.emplace_back(mq::QueueAddress("", kCompensationQueue),
+                       std::move(comp));
+  }
   for (std::size_t i = 0; i < outgoing.size(); ++i) {
-    const auto addr = deliveries[i].first;
-    if (auto s = qm_.put(addr, std::move(outgoing[i])); !s) {
-      // The message is partially delivered. Fail it through the normal
-      // outcome path so compensations reach the destinations already hit.
-      CMX_WARN("cm.send") << cm_id << " fan-out to " << addr.to_string()
-                          << " failed: " << s.to_string();
+    batch.emplace_back(deliveries[i].first, std::move(outgoing[i]));
+  }
+  {
+    const std::uint64_t t0 = obs::enabled() ? obs::now_us() : 0;
+    if (auto s = qm_.put_all(std::move(batch)); !s) {
+      // Nothing (or, at worst, an in-memory fraction of the batch) went
+      // out. Fail it through the normal outcome path so the application
+      // hears a verdict and any delivered fraction is compensated.
+      CMX_WARN("cm.send") << cm_id << " batched send failed: "
+                          << s.to_string();
       eval_->force_decision(cm_id, Outcome::kFailure,
-                            "fan-out failed: " + s.to_string());
+                            "send failed: " + s.to_string());
       return s;
     }
+    if (obs::enabled()) {
+      obs::trace_stage(obs::Stage::kSlogAppend, obs::now_us() - t0);
+    }
   }
+  comp_->note_staged(comp_count);
   {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.conditional_messages;

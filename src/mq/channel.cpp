@@ -60,44 +60,110 @@ void Channel::mover_loop() {
       if (got.code() == util::ErrorCode::kClosed) break;
       continue;
     }
-    deliver(std::move(got).value());
+    if (paused_.load()) {
+      // A pause() that landed while the mover was blocked in the dequeue
+      // must still stop traffic: hold the message until resume instead of
+      // letting it slip across the partition.
+      std::unique_lock<std::mutex> lk(mu_);
+      pause_cv_.wait(lk, [&] { return !paused_.load() || stopping_.load(); });
+      if (stopping_.load()) break;  // lost from this hop, like any stop
+                                    // with a message in transit
+    }
+    std::vector<Message> batch;
+    batch.push_back(std::move(got).value());
+    // Drain whatever else is already waiting (up to max_batch) so a backlog
+    // crosses in one hop: one latency sleep, one batched consumption log,
+    // one remote store append. Never drain while paused, so a pause takes
+    // effect at the next message boundary.
+    if (options_.max_batch > 1 && !paused_.load()) {
+      auto queue = from_.find_queue(xmit_queue_);
+      std::vector<LogRecord> get_records;
+      while (queue && batch.size() < options_.max_batch) {
+        auto extra = queue->try_get();
+        if (!extra.has_value()) break;
+        if (extra->msg.persistent()) {
+          get_records.push_back(LogRecord::get(xmit_queue_, extra->msg.id));
+        }
+        batch.push_back(std::move(extra->msg));
+      }
+      if (!get_records.empty()) {
+        from_.append_log_batch(get_records).expect_ok("log xmit drain");
+      }
+      CMX_OBS_COUNT("mq.get", batch.size() - 1);
+    }
+    deliver_batch(std::move(batch));
   }
 }
 
-void Channel::deliver(Message msg) {
+void Channel::deliver_batch(std::vector<Message> msgs) {
   util::TimeMs delay = options_.latency_ms;
   if (options_.jitter_ms > 0) delay += rng_.uniform(0, options_.jitter_ms);
   if (delay > 0) from_.clock().sleep_ms(delay);
 
-  if (!msg.persistent() && rng_.chance(options_.drop_nonpersistent)) {
-    CMX_OBS_COUNT("channel.dropped", 1);
-    std::lock_guard<std::mutex> lk(mu_);
-    ++stats_.dropped;
+  const bool obs_on = obs::enabled();
+  std::vector<TransitItem> items;
+  items.reserve(msgs.size());
+  for (auto& msg : msgs) {
+    if (!msg.persistent() && rng_.chance(options_.drop_nonpersistent)) {
+      CMX_OBS_COUNT("channel.dropped", 1);
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.dropped;
+      continue;
+    }
+    TransitItem item;
+    item.dup = rng_.chance(options_.duplicate);
+    item.dest = msg.get_string(kXmitDestProperty).value_or("");
+    msg.properties.erase(kXmitDestProperty);
+    item.addr = QueueAddress::parse(item.dest);
+    // Transit latency: put on the local transmission queue -> delivered to
+    // the remote queue manager, on the shared clock. The lifecycle stage is
+    // recorded only for conditional data messages (the cm layer's CMX_KIND
+    // contract), so acks and compensations crossing back don't pollute it.
+    item.xmit_put_ms = msg.put_time_ms;
+    item.conditional_data =
+        obs_on && msg.get_string("CMX_KIND").value_or("") == "data";
+    item.msg = std::move(msg);
+    items.push_back(std::move(item));
+  }
+  if (items.empty()) return;
+
+  // A message that expired in transit would fail the whole batch's
+  // prevalidation; weed it out here, as the per-message path's put_local
+  // would have.
+  const util::TimeMs now = to_.clock().now_ms();
+  std::erase_if(items,
+                [now](const TransitItem& i) { return i.msg.expired(now); });
+  if (items.empty()) return;
+
+  std::vector<std::pair<std::string, Message>> puts;
+  puts.reserve(items.size());
+  for (const auto& item : items) {
+    puts.emplace_back(item.addr.queue, item.msg);
+  }
+  if (auto s = to_.put_local_batch(std::move(puts)); !s) {
+    // Batch prevalidation failed (e.g. an unknown destination queue that
+    // must be dead-lettered): fall back to message-at-a-time delivery,
+    // which handles the per-message outcomes.
+    for (auto& item : items) deliver_one(std::move(item));
     return;
   }
-  const bool duplicate = rng_.chance(options_.duplicate);
+  for (auto& item : items) record_delivered(item);
+  for (auto& item : items) {
+    if (item.dup && to_.put_local(item.addr.queue, std::move(item.msg))) {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.duplicated;
+    }
+  }
+}
 
-  const std::string dest =
-      msg.get_string(kXmitDestProperty).value_or("");
-  msg.properties.erase(kXmitDestProperty);
-  const QueueAddress addr = QueueAddress::parse(dest);
-
-  // Transit latency: put on the local transmission queue -> delivered to
-  // the remote queue manager, on the shared clock. The lifecycle stage is
-  // recorded only for conditional data messages (the cm layer's CMX_KIND
-  // contract), so acks and compensations crossing back don't pollute it.
-  const bool obs_on = obs::enabled();
-  const util::TimeMs xmit_put_ms = msg.put_time_ms;
-  const bool conditional_data =
-      obs_on && msg.get_string("CMX_KIND").value_or("") == "data";
-
-  Message copy = msg;  // kept for duplication / dead-lettering
-  auto s = to_.put_local(addr.queue, std::move(msg));
+void Channel::deliver_one(TransitItem item) {
+  Message copy = item.msg;  // kept for duplication / dead-lettering
+  auto s = to_.put_local(item.addr.queue, std::move(item.msg));
   if (!s && s.code() == util::ErrorCode::kNotFound) {
     // Unknown destination queue at the remote side: dead-letter it, with
     // the intended destination recorded for an operator to inspect.
     to_.ensure_queue(kDeadLetterQueue).expect_ok("ensure DLQ");
-    copy.set_property(kXmitDestProperty, dest);
+    copy.set_property(kXmitDestProperty, item.dest);
     to_.put_local(kDeadLetterQueue, std::move(copy));
     CMX_OBS_COUNT("channel.dead_lettered", 1);
     std::lock_guard<std::mutex> lk(mu_);
@@ -105,23 +171,25 @@ void Channel::deliver(Message msg) {
     return;
   }
   if (!s) return;  // remote shutting down; message is lost from this hop
-  if (obs_on) {
-    const std::uint64_t transit_us =
-        obs::ms_delta_us(to_.clock().now_ms() - xmit_put_ms);
-    CMX_OBS_COUNT("channel.transferred", 1);
-    CMX_OBS_RECORD("channel.transit_us", transit_us);
-    if (conditional_data) {
-      obs::trace_stage(obs::Stage::kChannelTransit, transit_us);
-    }
-  }
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    ++stats_.transferred;
-  }
-  if (duplicate && to_.put_local(addr.queue, std::move(copy))) {
+  record_delivered(item);
+  if (item.dup && to_.put_local(item.addr.queue, std::move(copy))) {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.duplicated;
   }
+}
+
+void Channel::record_delivered(const TransitItem& item) {
+  if (obs::enabled()) {
+    const std::uint64_t transit_us =
+        obs::ms_delta_us(to_.clock().now_ms() - item.xmit_put_ms);
+    CMX_OBS_COUNT("channel.transferred", 1);
+    CMX_OBS_RECORD("channel.transit_us", transit_us);
+    if (item.conditional_data) {
+      obs::trace_stage(obs::Stage::kChannelTransit, transit_us);
+    }
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.transferred;
 }
 
 }  // namespace cmx::mq

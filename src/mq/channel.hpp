@@ -16,6 +16,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "mq/message.hpp"
 #include "util/clock.hpp"
@@ -35,6 +36,11 @@ struct ChannelOptions {
   // can let one message through).
   bool start_paused = false;
   std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+  // Transit batching: after its blocking dequeue the mover drains up to
+  // max_batch-1 further messages from the transmission queue and carries
+  // them across in one hop — one latency sleep and one remote store append
+  // for the whole batch. 1 restores strict message-at-a-time transfer.
+  std::size_t max_batch = 16;
 };
 
 struct ChannelStats {
@@ -68,8 +74,20 @@ class Channel {
   ChannelStats stats() const;
 
  private:
+  // One message in transit, with routing/fault decisions already made.
+  struct TransitItem {
+    Message msg;
+    std::string dest;
+    QueueAddress addr;
+    bool dup = false;
+    bool conditional_data = false;
+    util::TimeMs xmit_put_ms = 0;
+  };
+
   void mover_loop();
-  void deliver(Message msg);
+  void deliver_batch(std::vector<Message> msgs);
+  void deliver_one(TransitItem item);
+  void record_delivered(const TransitItem& item);
 
   QueueManager& from_;
   QueueManager& to_;

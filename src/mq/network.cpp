@@ -72,6 +72,14 @@ Channel* Network::channel_locked(const std::string& from,
 
 util::Status Network::route(QueueManager& from, const QueueAddress& addr,
                             Message msg) {
+  auto xmit = resolve(from, addr, msg);
+  if (!xmit) return xmit.status();
+  return from.put_local(std::move(xmit).value(), std::move(msg));
+}
+
+util::Result<std::string> Network::resolve(QueueManager& from,
+                                           const QueueAddress& addr,
+                                           Message& msg) {
   Channel* channel;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -89,7 +97,7 @@ util::Status Network::route(QueueManager& from, const QueueAddress& addr,
                             "no channel " + from.name() + " -> " + addr.qmgr);
   }
   msg.set_property(kXmitDestProperty, addr.to_string());
-  return from.put_local(channel->xmit_queue_name(), std::move(msg));
+  return channel->xmit_queue_name();
 }
 
 void Network::shutdown() {

@@ -49,6 +49,13 @@ class Network {
   util::Status route(QueueManager& from, const QueueAddress& addr,
                      Message msg);
 
+  // Resolves a remote address to the name of the local transmission queue
+  // feeding its channel, stamping the destination property on `msg` (no
+  // put happens). Creates the channel on demand. Lets QueueManager::put_all
+  // fold remote puts into the same local batch as local ones.
+  util::Result<std::string> resolve(QueueManager& from,
+                                    const QueueAddress& addr, Message& msg);
+
   // Stops all channel movers. Idempotent.
   void shutdown();
 

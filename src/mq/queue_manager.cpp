@@ -1,5 +1,8 @@
 #include "mq/queue_manager.hpp"
 
+#include <algorithm>
+#include <functional>
+
 #include "mq/network.hpp"
 #include "mq/session.hpp"
 #include "obs/registry.hpp"
@@ -18,10 +21,18 @@ QueueManager::QueueManager(std::string name, util::Clock& clock,
 
 QueueManager::~QueueManager() { shutdown(); }
 
-std::shared_ptr<Queue> QueueManager::make_queue_locked(
-    const std::string& queue_name, QueueOptions options) {
+QueueManager::Shard& QueueManager::shard_for(
+    const std::string& queue_name) const {
+  return shards_[std::hash<std::string>{}(queue_name) % kShardCount];
+}
+
+std::shared_ptr<Queue> QueueManager::make_queue(const std::string& queue_name,
+                                                QueueOptions options) {
   // The discard callback logs the expiry-removal of persistent messages so
-  // recovery does not resurrect them.
+  // recovery does not resurrect them. It runs under the queue's own lock —
+  // the store append below must therefore never need a queue lock
+  // (DESIGN.md §7 lock hierarchy: queue lock → store staging lock is legal,
+  // the reverse is not).
   auto on_discard = [this, queue_name](const Message& msg) {
     if (msg.persistent()) {
       store_->append(LogRecord::get(queue_name, msg.id));
@@ -34,15 +45,16 @@ std::shared_ptr<Queue> QueueManager::make_queue_locked(
 util::Status QueueManager::create_queue(const std::string& queue_name,
                                         QueueOptions options) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (shut_down_) {
+    Shard& shard = shard_for(queue_name);
+    std::lock_guard<std::mutex> lk(shard.mu);
+    if (shut_down_.load(std::memory_order_acquire)) {
       return util::make_error(util::ErrorCode::kClosed, "qm is shut down");
     }
-    if (queues_.count(queue_name) > 0) {
+    if (shard.queues.count(queue_name) > 0) {
       return util::make_error(util::ErrorCode::kAlreadyExists,
                               "queue " + queue_name + " already exists");
     }
-    queues_[queue_name] = make_queue_locked(queue_name, options);
+    shard.queues[queue_name] = make_queue(queue_name, options);
   }
   store_->append(LogRecord::queue_create(queue_name)).expect_ok("log create");
   maybe_compact();
@@ -61,14 +73,15 @@ util::Status QueueManager::ensure_queue(const std::string& queue_name,
 util::Status QueueManager::delete_queue(const std::string& queue_name) {
   std::shared_ptr<Queue> victim;
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    auto it = queues_.find(queue_name);
-    if (it == queues_.end()) {
+    Shard& shard = shard_for(queue_name);
+    std::lock_guard<std::mutex> lk(shard.mu);
+    auto it = shard.queues.find(queue_name);
+    if (it == shard.queues.end()) {
       return util::make_error(util::ErrorCode::kNotFound,
                               "queue " + queue_name + " not found");
     }
     victim = it->second;
-    queues_.erase(it);
+    shard.queues.erase(it);
   }
   victim->close();
   store_->append(LogRecord::queue_delete(queue_name)).expect_ok("log delete");
@@ -78,16 +91,19 @@ util::Status QueueManager::delete_queue(const std::string& queue_name) {
 
 std::shared_ptr<Queue> QueueManager::find_queue(
     const std::string& queue_name) const {
-  std::lock_guard<std::mutex> lk(mu_);
-  auto it = queues_.find(queue_name);
-  return it == queues_.end() ? nullptr : it->second;
+  Shard& shard = shard_for(queue_name);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.queues.find(queue_name);
+  return it == shard.queues.end() ? nullptr : it->second;
 }
 
 std::vector<std::string> QueueManager::queue_names() const {
-  std::lock_guard<std::mutex> lk(mu_);
   std::vector<std::string> names;
-  names.reserve(queues_.size());
-  for (const auto& [name, queue] : queues_) names.push_back(name);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    for (const auto& [name, queue] : shard.queues) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
   return names;
 }
 
@@ -95,11 +111,7 @@ util::Status QueueManager::put(const QueueAddress& addr, Message msg) {
   if (addr.qmgr.empty() || addr.qmgr == name_) {
     return put_local(addr.queue, std::move(msg));
   }
-  Network* net;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    net = network_;
-  }
+  Network* net = network();
   if (net == nullptr) {
     return util::make_error(
         util::ErrorCode::kFailedPrecondition,
@@ -108,6 +120,30 @@ util::Status QueueManager::put(const QueueAddress& addr, Message msg) {
   if (msg.id.empty()) msg.id = util::generate_id("msg");
   msg.put_time_ms = clock_.now_ms();
   return net->route(*this, addr, std::move(msg));
+}
+
+util::Status QueueManager::put_all(
+    std::vector<std::pair<QueueAddress, Message>> puts) {
+  std::vector<std::pair<std::string, Message>> local;
+  local.reserve(puts.size());
+  for (auto& [addr, msg] : puts) {
+    if (addr.qmgr.empty() || addr.qmgr == name_) {
+      local.emplace_back(addr.queue, std::move(msg));
+      continue;
+    }
+    Network* net = network();
+    if (net == nullptr) {
+      return util::make_error(
+          util::ErrorCode::kFailedPrecondition,
+          "no network attached; cannot reach qmgr " + addr.qmgr);
+    }
+    if (msg.id.empty()) msg.id = util::generate_id("msg");
+    msg.put_time_ms = clock_.now_ms();
+    auto xmit = net->resolve(*this, addr, msg);
+    if (!xmit) return xmit.status();
+    local.emplace_back(std::move(xmit).value(), std::move(msg));
+  }
+  return put_local_batch(std::move(local));
 }
 
 util::Status QueueManager::put_local(const std::string& queue_name,
@@ -119,6 +155,19 @@ util::Status QueueManager::put_local(const std::string& queue_name,
   auto s = put_local_impl(queue_name, std::move(msg), log);
   CMX_OBS_RECORD("mq.put_us", obs::now_us() - t0);
   CMX_OBS_COUNT("mq.put", 1);
+  return s;
+}
+
+util::Status QueueManager::put_local_batch(
+    std::vector<std::pair<std::string, Message>> puts, bool log) {
+  if (!obs::enabled()) {
+    return put_local_batch_impl(puts, log);
+  }
+  const std::uint64_t t0 = obs::now_us();
+  const std::size_t n = puts.size();
+  auto s = put_local_batch_impl(puts, log);
+  CMX_OBS_RECORD("mq.put_us", obs::now_us() - t0);
+  CMX_OBS_COUNT("mq.put", n);
   return s;
 }
 
@@ -147,6 +196,52 @@ util::Status QueueManager::put_local_impl(const std::string& queue_name,
   auto s = queue->put(std::move(msg));
   if (log_it) maybe_compact();
   return s;
+}
+
+util::Status QueueManager::put_local_batch_impl(
+    std::vector<std::pair<std::string, Message>>& puts, bool log) {
+  // Pre-validate everything BEFORE any side effect so a failed batch leaves
+  // no partial state: all queues must exist and no message may be expired.
+  std::vector<std::shared_ptr<Queue>> queues;
+  queues.reserve(puts.size());
+  std::vector<LogRecord> records;
+  for (auto& [queue_name, msg] : puts) {
+    auto queue = find_queue(queue_name);
+    if (queue == nullptr) {
+      return util::make_error(util::ErrorCode::kNotFound,
+                              "queue " + queue_name + " not found on " + name_);
+    }
+    if (msg.id.empty()) msg.id = util::generate_id("msg");
+    if (msg.put_time_ms == 0) msg.put_time_ms = clock_.now_ms();
+    if (msg.expired(clock_.now_ms())) {
+      CMX_OBS_COUNT("mq.put.expired", 1);
+      return util::make_error(util::ErrorCode::kExpired,
+                              "message " + msg.id + " already expired");
+    }
+    queues.push_back(std::move(queue));
+    if (log && msg.persistent()) {
+      records.push_back(LogRecord::put(queue_name, msg));
+    }
+  }
+  // One append for the whole batch: the store brackets it with tx markers,
+  // so recovery applies it all-or-nothing, and concurrent batches share one
+  // group commit. A single record needs no markers (its frame is atomic).
+  if (records.size() == 1) {
+    if (auto s = store_->append(records.front()); !s) return s;
+  } else if (!records.empty()) {
+    if (auto s = store_->append_batch(records); !s) return s;
+  }
+  util::Status status = util::ok_status();
+  for (std::size_t i = 0; i < puts.size(); ++i) {
+    // Keep delivering after an individual failure (e.g. a queue closed by a
+    // concurrent shutdown): the records are already durable, and recovery
+    // semantics do not depend on the in-memory put succeeding.
+    if (auto s = queues[i]->put(std::move(puts[i].second)); !s && status) {
+      status = s;
+    }
+  }
+  if (!records.empty()) maybe_compact();
+  return status;
 }
 
 util::Result<Message> QueueManager::get(const std::string& queue_name,
@@ -195,44 +290,48 @@ std::unique_ptr<Session> QueueManager::create_session(bool transacted) {
 }
 
 void QueueManager::attach_network(Network* network) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> lk(network_mu_);
   network_ = network;
 }
 
 Network* QueueManager::network() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> lk(network_mu_);
   return network_;
 }
 
 util::Status QueueManager::recover() {
+  // Runs before the manager is shared across threads, so plain shard
+  // operations suffice — no global lock needed.
   auto records = store_->replay();
   if (!records) return records.status();
-  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t queue_count = 0;
   for (auto& rec : records.value()) {
+    Shard& shard = shard_for(rec.queue);
+    std::lock_guard<std::mutex> lk(shard.mu);
     switch (rec.type) {
       case LogRecord::Type::kQueueCreate:
-        if (queues_.count(rec.queue) == 0) {
-          queues_[rec.queue] = make_queue_locked(rec.queue, QueueOptions{});
+        if (shard.queues.count(rec.queue) == 0) {
+          shard.queues[rec.queue] = make_queue(rec.queue, QueueOptions{});
         }
         break;
       case LogRecord::Type::kQueueDelete: {
-        auto it = queues_.find(rec.queue);
-        if (it != queues_.end()) {
+        auto it = shard.queues.find(rec.queue);
+        if (it != shard.queues.end()) {
           it->second->close();
-          queues_.erase(it);
+          shard.queues.erase(it);
         }
         break;
       }
       case LogRecord::Type::kPut: {
-        auto it = queues_.find(rec.queue);
-        if (it != queues_.end()) {
+        auto it = shard.queues.find(rec.queue);
+        if (it != shard.queues.end()) {
           it->second->put(std::move(rec.message)).expect_ok("recover put");
         }
         break;
       }
       case LogRecord::Type::kGet: {
-        auto it = queues_.find(rec.queue);
-        if (it != queues_.end()) {
+        auto it = shard.queues.find(rec.queue);
+        if (it != shard.queues.end()) {
           it->second->remove_by_id(rec.msg_id);
         }
         break;
@@ -242,13 +341,28 @@ util::Status QueueManager::recover() {
         break;  // filtered out by replay(); ignore defensively
     }
   }
-  CMX_INFO("mq.qm") << name_ << " recovered " << queues_.size() << " queues";
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    queue_count += shard.queues.size();
+  }
+  CMX_INFO("mq.qm") << name_ << " recovered " << queue_count << " queues";
   return util::ok_status();
 }
 
-std::vector<LogRecord> QueueManager::snapshot_locked() const {
+std::vector<LogRecord> QueueManager::snapshot() const {
+  // Collect queue pointers shard by shard, then browse under each queue's
+  // own lock. The snapshot is not a global atomic cut — but neither was the
+  // seed's: puts append to the store before entering the queue, so a
+  // compaction interleaving between those two steps sees the same states.
+  std::vector<std::pair<std::string, std::shared_ptr<Queue>>> queues;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    for (const auto& [queue_name, queue] : shard.queues) {
+      queues.emplace_back(queue_name, queue);
+    }
+  }
   std::vector<LogRecord> snapshot;
-  for (const auto& [queue_name, queue] : queues_) {
+  for (auto& [queue_name, queue] : queues) {
     snapshot.push_back(LogRecord::queue_create(queue_name));
     for (auto& msg : queue->browse()) {
       if (msg.persistent()) {
@@ -259,20 +373,16 @@ std::vector<LogRecord> QueueManager::snapshot_locked() const {
   // Messages held by open transacted sessions are in no queue but must not
   // be lost by compaction: a post-crash recovery treats them as un-consumed
   // (their consuming transaction can no longer commit).
-  for (const auto& [msg_id, entry] : inflight_) {
-    snapshot.push_back(LogRecord::put(entry.first, entry.second));
+  {
+    std::lock_guard<std::mutex> lk(inflight_mu_);
+    for (const auto& [msg_id, entry] : inflight_) {
+      snapshot.push_back(LogRecord::put(entry.first, entry.second));
+    }
   }
   return snapshot;
 }
 
-util::Status QueueManager::compact() {
-  std::vector<LogRecord> snapshot;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    snapshot = snapshot_locked();
-  }
-  return store_->rewrite(snapshot);
-}
+util::Status QueueManager::compact() { return store_->rewrite(snapshot()); }
 
 void QueueManager::maybe_compact() {
   if (store_->appended_since_compaction() < options_.compaction_threshold) {
@@ -293,25 +403,24 @@ util::Status QueueManager::append_log_batch(
 void QueueManager::register_inflight(const std::string& queue_name,
                                      const Message& msg) {
   if (!msg.persistent()) return;
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> lk(inflight_mu_);
   inflight_[msg.id] = {queue_name, msg};
 }
 
 void QueueManager::unregister_inflight(const std::string& msg_id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> lk(inflight_mu_);
   inflight_.erase(msg_id);
 }
 
 void QueueManager::shutdown() {
-  std::map<std::string, std::shared_ptr<Queue>> queues;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (shut_down_) return;
-    shut_down_ = true;
-    queues = queues_;
-    network_ = nullptr;
+  if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
+  attach_network(nullptr);
+  std::vector<std::shared_ptr<Queue>> queues;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    for (const auto& [name, queue] : shard.queues) queues.push_back(queue);
   }
-  for (auto& [name, queue] : queues) queue->close();
+  for (auto& queue : queues) queue->close();
 }
 
 }  // namespace cmx::mq

@@ -2,12 +2,21 @@
 // MQSeries "queue manager" role). Owns named queues, a persistent message
 // store for crash recovery, and an attachment to a Network for
 // store-and-forward delivery to remote queue managers.
+//
+// Concurrency (DESIGN.md §7): the name→queue map is striped across
+// kShardCount shards, each with its own mutex, so puts/gets on different
+// queues (application queues vs. DS.ACK.Q/DS.SLOG.Q) do not serialize.
+// Each Queue carries its own lock for its contents; the in-flight registry
+// and the network pointer have dedicated mutexes.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mq/message.hpp"
@@ -57,12 +66,19 @@ class QueueManager {
                             QueueOptions options = {});
   util::Status delete_queue(const std::string& queue_name);
   std::shared_ptr<Queue> find_queue(const std::string& queue_name) const;
-  std::vector<std::string> queue_names() const;
+  std::vector<std::string> queue_names() const;  // sorted
 
   // ---- messaging -------------------------------------------------------
   // Sends `msg` to a local queue (addr.qmgr empty or equal to name()) or
   // routes it through the attached network. Stamps id and put time.
   util::Status put(const QueueAddress& addr, Message msg);
+
+  // Puts a group of messages with ONE store append for all persistent
+  // records (group-commit friendly) and all-or-nothing recovery semantics.
+  // Remote addresses are resolved to their local transmission queues so
+  // they join the same batch. The whole batch is validated (queues exist,
+  // nothing expired) before any side effect; on error nothing was put.
+  util::Status put_all(std::vector<std::pair<QueueAddress, Message>> puts);
 
   // Destructive, auto-acknowledged get with a relative timeout.
   util::Result<Message> get(const std::string& queue_name,
@@ -96,6 +112,10 @@ class QueueManager {
   // logs persistent messages unless `log` is false.
   util::Status put_local(const std::string& queue_name, Message msg,
                          bool log = true);
+  // Batch form of put_local: one store append for all persistent records,
+  // pre-validated so a failure leaves no partial state.
+  util::Status put_local_batch(
+      std::vector<std::pair<std::string, Message>> puts, bool log = true);
   // Appends session-commit records atomically.
   util::Status append_log_batch(const std::vector<LogRecord>& records);
   // In-flight registry: messages destructively read under an open
@@ -104,23 +124,33 @@ class QueueManager {
   void unregister_inflight(const std::string& msg_id);
 
  private:
+  static constexpr std::size_t kShardCount = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, std::shared_ptr<Queue>> queues;
+  };
+
+  Shard& shard_for(const std::string& queue_name) const;
   util::Status put_local_impl(const std::string& queue_name, Message msg,
                               bool log);
-  std::shared_ptr<Queue> make_queue_locked(const std::string& queue_name,
-                                           QueueOptions options);
+  util::Status put_local_batch_impl(
+      std::vector<std::pair<std::string, Message>>& puts, bool log);
+  std::shared_ptr<Queue> make_queue(const std::string& queue_name,
+                                    QueueOptions options);
   void maybe_compact();
-  std::vector<LogRecord> snapshot_locked() const;
+  std::vector<LogRecord> snapshot() const;
 
   const std::string name_;
   util::Clock& clock_;
   std::unique_ptr<MessageStore> store_;
   const QueueManagerOptions options_;
 
-  mutable std::mutex mu_;  // guards queues_, inflight_, network_
-  std::map<std::string, std::shared_ptr<Queue>> queues_;
+  mutable std::array<Shard, kShardCount> shards_;
+  mutable std::mutex inflight_mu_;
   std::map<std::string, std::pair<std::string, Message>> inflight_;
+  mutable std::mutex network_mu_;
   Network* network_ = nullptr;
-  bool shut_down_ = false;
+  std::atomic<bool> shut_down_{false};
 };
 
 }  // namespace cmx::mq

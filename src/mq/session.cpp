@@ -29,6 +29,17 @@ util::Status Session::put(const QueueAddress& addr, Message msg) {
   return util::ok_status();
 }
 
+util::Status Session::put_all(
+    std::vector<std::pair<QueueAddress, Message>> puts) {
+  if (!transacted_) {
+    return qm_.put_all(std::move(puts));
+  }
+  for (auto& put : puts) {
+    pending_puts_.push_back(std::move(put));
+  }
+  return util::ok_status();
+}
+
 util::Result<Message> Session::get(const std::string& queue_name,
                                    util::TimeMs timeout_ms,
                                    const Selector* selector) {
@@ -58,14 +69,16 @@ util::Status Session::commit() {
   }
   // Order: puts become visible first, then the consumption of gets is made
   // durable. A crash in between yields redelivery (at-least-once), which is
-  // the standard messaging-transaction guarantee.
-  for (auto& [addr, msg] : pending_puts_) {
-    if (auto s = qm_.put(addr, std::move(msg)); !s) {
+  // the standard messaging-transaction guarantee. All puts go out as one
+  // batch: one store append, all-or-nothing on recovery.
+  if (!pending_puts_.empty()) {
+    auto s = qm_.put_all(std::move(pending_puts_));
+    pending_puts_.clear();
+    if (!s) {
       CMX_WARN("mq.session") << "commit put failed: " << s.to_string();
       return s;
     }
   }
-  pending_puts_.clear();
 
   std::vector<LogRecord> get_records;
   for (const auto& pending : pending_gets_) {

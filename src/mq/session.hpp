@@ -46,6 +46,12 @@ class Session {
   // Sends (transacted: buffers) a message.
   util::Status put(const QueueAddress& addr, Message msg);
 
+  // Sends (transacted: buffers) a group of messages. Non-transacted, the
+  // group is delivered through one store append (group-commit friendly)
+  // with all-or-nothing recovery semantics; transacted, it simply joins
+  // the session's pending puts.
+  util::Status put_all(std::vector<std::pair<QueueAddress, Message>> puts);
+
   // Receives a message; under a transacted session the read is provisional
   // until commit.
   util::Result<Message> get(const std::string& queue_name,

@@ -4,15 +4,31 @@
 // rebuild queue contents after a crash/restart.
 //
 // Batches (used by transacted sessions) are bracketed by kTxBegin/kTxCommit
-// markers; replay discards records of a batch whose commit marker never
-// made it to disk, so a torn commit leaves the pre-transaction state.
+// markers; replay discards records of a batch whose commit marker never made
+// it to disk, so a torn commit leaves the pre-transaction state. Markers
+// nest, and FileStore's group-commit format additionally frames each append
+// call as a single checksummed unit, so a torn group drops as a whole.
+//
+// Durability contract (DESIGN.md §7): append()/append_batch() returning OK
+// means the record reached the log *by the store's sync policy* — for
+// FileStore under SyncPolicy::kEveryBatch the acknowledgment follows the
+// fsync; under kInterval it guarantees the record is in the OS page cache
+// (a process crash preserves it, a machine crash may not); under kNone it
+// only guarantees the record is staged — the store drains the staging
+// buffer on clean shutdown, replay, and compaction.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mq/message.hpp"
+#include "util/clock.hpp"
 #include "util/status.hpp"
 
 namespace cmx::mq {
@@ -48,7 +64,9 @@ class MessageStore {
  public:
   virtual ~MessageStore() = default;
 
-  // Appends one record durably (fsync policy is implementation-defined).
+  // Appends one record. OK means the record is acknowledged per the
+  // implementation's sync policy (see the durability contract above) —
+  // it does NOT universally imply the bytes hit the platter.
   virtual util::Status append(const LogRecord& record) = 0;
 
   // Appends a group of records that must be applied all-or-nothing on
@@ -107,11 +125,56 @@ class MemoryStore final : public MessageStore {
   std::size_t appended_ = 0;
 };
 
-// File-backed log. Record framing: u32 length, u32 crc32(payload), payload.
-// Replay stops at the first frame that is truncated or fails its checksum.
+// What an OK append acknowledges (DESIGN.md §7 spells out exactly what
+// each policy guarantees after a crash).
+enum class SyncPolicy : std::uint8_t {
+  // Write-behind (the default): the append is acknowledged once staged;
+  // the commit thread writes groups in the background and the store drains
+  // on clean shutdown/replay/compaction. No fsync. A machine crash — or a
+  // hard kill before the staging buffer drains — may lose an acknowledged
+  // suffix of the log; replay drops it cleanly.
+  kNone = 0,
+  // The append blocks on its commit ticket; the commit thread fsyncs once
+  // per group BEFORE releasing the group's waiters. An acknowledged append
+  // is on stable storage; N concurrent producers share one fsync.
+  kEveryBatch = 1,
+  // The append blocks until its group is written (process-crash safe);
+  // fsync happens at most once per `sync_interval_ms` and once at
+  // shutdown, bounding machine-crash loss to the interval.
+  kInterval = 2,
+};
+
+struct FileStoreOptions {
+  SyncPolicy sync = SyncPolicy::kNone;
+  util::TimeMs sync_interval_ms = 50;  // kInterval only
+  // Group commit: producers stage encoded records and block on a commit
+  // ticket; a dedicated commit thread coalesces all pending records into
+  // one write (+ at most one fsync) and releases every waiter at once.
+  // false = the legacy path: one ::write per record on the caller's
+  // thread, serialized by the io mutex (kept for A/B benchmarking).
+  bool group_commit = true;
+};
+
+// File-backed log.
+//
+// Group-commit format (group_commit=true): the file starts with an 8-byte
+// magic; each append()/append_batch() call contributes ONE frame
+//   u32 blob_len | u32 crc32c(blob) | blob,   blob = (u32 rec_len | rec)*
+// so a call — in particular a whole tx-marked batch — is torn or kept as a
+// unit, and the checksum is computed once per call (hardware CRC32C where
+// available) instead of once per record. The commit thread coalesces all
+// staged frames into one ::write. Replay stops at the first truncated or
+// corrupt frame.
+//
+// Legacy format (group_commit=false): the pre-group-commit layout, one
+// frame `u32 len | u32 crc32(payload) | payload` per record, no magic,
+// written synchronously on the appender's thread under the io mutex. Kept
+// as the A/B baseline for bench_store_commit. replay() detects the format
+// by the magic, but a single file must not mix the two (do not reopen a
+// log with the other mode).
 class FileStore final : public MessageStore {
  public:
-  explicit FileStore(std::string path);
+  explicit FileStore(std::string path, FileStoreOptions options = {});
   ~FileStore() override;
 
   util::Status append(const LogRecord& record) override;
@@ -121,18 +184,61 @@ class FileStore final : public MessageStore {
   std::size_t appended_since_compaction() const override;
 
   const std::string& path() const { return path_; }
+  const FileStoreOptions& options() const { return options_; }
 
  private:
-  util::Status append_encoded(const std::string& payload);
-  util::Status open_for_append();
+  // A commit group: the frames staged by every appender that arrived while
+  // the previous group was being written. kEveryBatch/kInterval appenders
+  // block until `done`; kNone appenders are acknowledged at staging time.
+  struct Group {
+    std::string bytes;        // concatenated per-appender frames
+    std::size_t records = 0;  // logical record count (for compaction)
+    bool done = false;
+    util::Status status = util::ok_status();
+  };
 
-  std::string path_;
-  mutable std::mutex mu_;
+  util::Status append_frame(std::string frame_bytes, std::size_t records);
+  util::Status append_legacy(const LogRecord* const* records, std::size_t n);
+  util::Status write_all(const char* data, std::size_t size);
+  util::Status open_for_append();
+  void commit_loop();
+  // Blocks until everything staged so far has reached the file, so that
+  // replay()/rewrite()/~FileStore observe every acknowledged record.
+  void drain_staging();
+  bool sync_due_locked();
+
+  const std::string path_;
+  const FileStoreOptions options_;
+
+  // Lock hierarchy (see DESIGN.md §7): staging_mu_ and io_mu_ are leaves of
+  // the system-wide order and are never held together by producers; the
+  // commit thread takes staging_mu_, releases it, then takes io_mu_.
+  std::mutex staging_mu_;  // guards open_group_, stop_, sticky_, done flags
+  std::condition_variable staging_cv_;  // wakes the commit thread
+  std::condition_variable done_cv_;     // wakes appenders / drainers
+  std::shared_ptr<Group> open_group_;
+  bool commit_inflight_ = false;  // commit thread is writing a group
+  bool stop_ = false;
+  // First write failure under write-behind: later appends report it
+  // instead of acknowledging records that can no longer be persisted.
+  util::Status sticky_ = util::ok_status();
+
+  mutable std::mutex io_mu_;  // guards fd_ and all file operations
   int fd_ = -1;
-  std::size_t appended_ = 0;
+  std::atomic<std::size_t> appended_{0};
+  std::uint64_t last_sync_us_ = 0;  // commit thread / io_mu_ only
+
+  std::thread commit_thread_;  // unstarted when !options_.group_commit
 };
 
-// Computes the CRC32 (IEEE polynomial) of a byte range.
+// Computes the CRC32 (IEEE polynomial) of a byte range. Used by the legacy
+// per-record frame format.
 std::uint32_t crc32(std::string_view data);
+
+// Computes the CRC32C (Castagnoli polynomial) of a byte range, using the
+// SSE4.2 crc32 instruction when the CPU has it and a slice-by-8 table
+// otherwise. Used by the group-commit frame format: one checksum per
+// append call instead of per record.
+std::uint32_t crc32c(std::string_view data);
 
 }  // namespace cmx::mq
