@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ack_path.dir/bench_ack_path.cpp.o"
+  "CMakeFiles/bench_ack_path.dir/bench_ack_path.cpp.o.d"
+  "bench_ack_path"
+  "bench_ack_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ack_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

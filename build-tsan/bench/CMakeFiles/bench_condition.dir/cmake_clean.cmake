@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_condition.dir/bench_condition.cpp.o"
+  "CMakeFiles/bench_condition.dir/bench_condition.cpp.o.d"
+  "bench_condition"
+  "bench_condition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_condition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

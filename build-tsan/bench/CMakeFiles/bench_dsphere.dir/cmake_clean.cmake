@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dsphere.dir/bench_dsphere.cpp.o"
+  "CMakeFiles/bench_dsphere.dir/bench_dsphere.cpp.o.d"
+  "bench_dsphere"
+  "bench_dsphere.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dsphere.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

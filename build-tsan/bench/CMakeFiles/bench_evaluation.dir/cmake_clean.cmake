@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_evaluation.dir/bench_evaluation.cpp.o"
+  "CMakeFiles/bench_evaluation.dir/bench_evaluation.cpp.o.d"
+  "bench_evaluation"
+  "bench_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example2.dir/bench_example2.cpp.o"
+  "CMakeFiles/bench_example2.dir/bench_example2.cpp.o.d"
+  "bench_example2"
+  "bench_example2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mq.dir/bench_mq.cpp.o"
+  "CMakeFiles/bench_mq.dir/bench_mq.cpp.o.d"
+  "bench_mq"
+  "bench_mq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_send_overhead.cpp" "bench/CMakeFiles/bench_send_overhead.dir/bench_send_overhead.cpp.o" "gcc" "bench/CMakeFiles/bench_send_overhead.dir/bench_send_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/cmx_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ds/CMakeFiles/cmx_ds.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cm/CMakeFiles/cmx_cm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/txn/CMakeFiles/cmx_txn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mq/CMakeFiles/cmx_mq.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/baseline/CMakeFiles/cmx_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/cmx_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/cmx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_send_overhead.dir/bench_send_overhead.cpp.o"
+  "CMakeFiles/bench_send_overhead.dir/bench_send_overhead.cpp.o.d"
+  "bench_send_overhead"
+  "bench_send_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_send_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_store_commit.dir/bench_store_commit.cpp.o"
+  "CMakeFiles/bench_store_commit.dir/bench_store_commit.cpp.o.d"
+  "bench_store_commit"
+  "bench_store_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_store_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

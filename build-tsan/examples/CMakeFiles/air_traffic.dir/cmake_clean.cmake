@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_traffic.dir/air_traffic.cpp.o"
+  "CMakeFiles/air_traffic.dir/air_traffic.cpp.o.d"
+  "air_traffic"
+  "air_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

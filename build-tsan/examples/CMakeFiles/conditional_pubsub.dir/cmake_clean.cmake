@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conditional_pubsub.dir/conditional_pubsub.cpp.o"
+  "CMakeFiles/conditional_pubsub.dir/conditional_pubsub.cpp.o.d"
+  "conditional_pubsub"
+  "conditional_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conditional_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsphere_workflow.dir/dsphere_workflow.cpp.o"
+  "CMakeFiles/dsphere_workflow.dir/dsphere_workflow.cpp.o.d"
+  "dsphere_workflow"
+  "dsphere_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsphere_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meeting_scheduler.dir/meeting_scheduler.cpp.o"
+  "CMakeFiles/meeting_scheduler.dir/meeting_scheduler.cpp.o.d"
+  "meeting_scheduler"
+  "meeting_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meeting_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selective_consumer.dir/selective_consumer.cpp.o"
+  "CMakeFiles/selective_consumer.dir/selective_consumer.cpp.o.d"
+  "selective_consumer"
+  "selective_consumer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selective_consumer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_inspector.dir/system_inspector.cpp.o"
+  "CMakeFiles/system_inspector.dir/system_inspector.cpp.o.d"
+  "system_inspector"
+  "system_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

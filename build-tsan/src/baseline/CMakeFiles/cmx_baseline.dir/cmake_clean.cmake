@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmx_baseline.dir/app_managed.cpp.o"
+  "CMakeFiles/cmx_baseline.dir/app_managed.cpp.o.d"
+  "CMakeFiles/cmx_baseline.dir/coyote.cpp.o"
+  "CMakeFiles/cmx_baseline.dir/coyote.cpp.o.d"
+  "libcmx_baseline.a"
+  "libcmx_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmx_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

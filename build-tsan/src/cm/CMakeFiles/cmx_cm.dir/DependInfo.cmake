@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cm/compensation_manager.cpp" "src/cm/CMakeFiles/cmx_cm.dir/compensation_manager.cpp.o" "gcc" "src/cm/CMakeFiles/cmx_cm.dir/compensation_manager.cpp.o.d"
+  "/root/repo/src/cm/condition.cpp" "src/cm/CMakeFiles/cmx_cm.dir/condition.cpp.o" "gcc" "src/cm/CMakeFiles/cmx_cm.dir/condition.cpp.o.d"
+  "/root/repo/src/cm/condition_text.cpp" "src/cm/CMakeFiles/cmx_cm.dir/condition_text.cpp.o" "gcc" "src/cm/CMakeFiles/cmx_cm.dir/condition_text.cpp.o.d"
+  "/root/repo/src/cm/conditional_publisher.cpp" "src/cm/CMakeFiles/cmx_cm.dir/conditional_publisher.cpp.o" "gcc" "src/cm/CMakeFiles/cmx_cm.dir/conditional_publisher.cpp.o.d"
+  "/root/repo/src/cm/control.cpp" "src/cm/CMakeFiles/cmx_cm.dir/control.cpp.o" "gcc" "src/cm/CMakeFiles/cmx_cm.dir/control.cpp.o.d"
+  "/root/repo/src/cm/eval_state.cpp" "src/cm/CMakeFiles/cmx_cm.dir/eval_state.cpp.o" "gcc" "src/cm/CMakeFiles/cmx_cm.dir/eval_state.cpp.o.d"
+  "/root/repo/src/cm/evaluation_manager.cpp" "src/cm/CMakeFiles/cmx_cm.dir/evaluation_manager.cpp.o" "gcc" "src/cm/CMakeFiles/cmx_cm.dir/evaluation_manager.cpp.o.d"
+  "/root/repo/src/cm/introspect.cpp" "src/cm/CMakeFiles/cmx_cm.dir/introspect.cpp.o" "gcc" "src/cm/CMakeFiles/cmx_cm.dir/introspect.cpp.o.d"
+  "/root/repo/src/cm/outcome_dispatcher.cpp" "src/cm/CMakeFiles/cmx_cm.dir/outcome_dispatcher.cpp.o" "gcc" "src/cm/CMakeFiles/cmx_cm.dir/outcome_dispatcher.cpp.o.d"
+  "/root/repo/src/cm/receiver.cpp" "src/cm/CMakeFiles/cmx_cm.dir/receiver.cpp.o" "gcc" "src/cm/CMakeFiles/cmx_cm.dir/receiver.cpp.o.d"
+  "/root/repo/src/cm/sender.cpp" "src/cm/CMakeFiles/cmx_cm.dir/sender.cpp.o" "gcc" "src/cm/CMakeFiles/cmx_cm.dir/sender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/mq/CMakeFiles/cmx_mq.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/cmx_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/cmx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmx_cm.dir/compensation_manager.cpp.o"
+  "CMakeFiles/cmx_cm.dir/compensation_manager.cpp.o.d"
+  "CMakeFiles/cmx_cm.dir/condition.cpp.o"
+  "CMakeFiles/cmx_cm.dir/condition.cpp.o.d"
+  "CMakeFiles/cmx_cm.dir/condition_text.cpp.o"
+  "CMakeFiles/cmx_cm.dir/condition_text.cpp.o.d"
+  "CMakeFiles/cmx_cm.dir/conditional_publisher.cpp.o"
+  "CMakeFiles/cmx_cm.dir/conditional_publisher.cpp.o.d"
+  "CMakeFiles/cmx_cm.dir/control.cpp.o"
+  "CMakeFiles/cmx_cm.dir/control.cpp.o.d"
+  "CMakeFiles/cmx_cm.dir/eval_state.cpp.o"
+  "CMakeFiles/cmx_cm.dir/eval_state.cpp.o.d"
+  "CMakeFiles/cmx_cm.dir/evaluation_manager.cpp.o"
+  "CMakeFiles/cmx_cm.dir/evaluation_manager.cpp.o.d"
+  "CMakeFiles/cmx_cm.dir/introspect.cpp.o"
+  "CMakeFiles/cmx_cm.dir/introspect.cpp.o.d"
+  "CMakeFiles/cmx_cm.dir/outcome_dispatcher.cpp.o"
+  "CMakeFiles/cmx_cm.dir/outcome_dispatcher.cpp.o.d"
+  "CMakeFiles/cmx_cm.dir/receiver.cpp.o"
+  "CMakeFiles/cmx_cm.dir/receiver.cpp.o.d"
+  "CMakeFiles/cmx_cm.dir/sender.cpp.o"
+  "CMakeFiles/cmx_cm.dir/sender.cpp.o.d"
+  "libcmx_cm.a"
+  "libcmx_cm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmx_cm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

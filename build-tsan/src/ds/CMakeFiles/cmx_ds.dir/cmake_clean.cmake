@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmx_ds.dir/dsphere.cpp.o"
+  "CMakeFiles/cmx_ds.dir/dsphere.cpp.o.d"
+  "libcmx_ds.a"
+  "libcmx_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmx_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

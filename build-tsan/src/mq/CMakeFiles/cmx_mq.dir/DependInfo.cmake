@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mq/channel.cpp" "src/mq/CMakeFiles/cmx_mq.dir/channel.cpp.o" "gcc" "src/mq/CMakeFiles/cmx_mq.dir/channel.cpp.o.d"
+  "/root/repo/src/mq/message.cpp" "src/mq/CMakeFiles/cmx_mq.dir/message.cpp.o" "gcc" "src/mq/CMakeFiles/cmx_mq.dir/message.cpp.o.d"
+  "/root/repo/src/mq/network.cpp" "src/mq/CMakeFiles/cmx_mq.dir/network.cpp.o" "gcc" "src/mq/CMakeFiles/cmx_mq.dir/network.cpp.o.d"
+  "/root/repo/src/mq/pubsub.cpp" "src/mq/CMakeFiles/cmx_mq.dir/pubsub.cpp.o" "gcc" "src/mq/CMakeFiles/cmx_mq.dir/pubsub.cpp.o.d"
+  "/root/repo/src/mq/queue.cpp" "src/mq/CMakeFiles/cmx_mq.dir/queue.cpp.o" "gcc" "src/mq/CMakeFiles/cmx_mq.dir/queue.cpp.o.d"
+  "/root/repo/src/mq/queue_manager.cpp" "src/mq/CMakeFiles/cmx_mq.dir/queue_manager.cpp.o" "gcc" "src/mq/CMakeFiles/cmx_mq.dir/queue_manager.cpp.o.d"
+  "/root/repo/src/mq/selector.cpp" "src/mq/CMakeFiles/cmx_mq.dir/selector.cpp.o" "gcc" "src/mq/CMakeFiles/cmx_mq.dir/selector.cpp.o.d"
+  "/root/repo/src/mq/session.cpp" "src/mq/CMakeFiles/cmx_mq.dir/session.cpp.o" "gcc" "src/mq/CMakeFiles/cmx_mq.dir/session.cpp.o.d"
+  "/root/repo/src/mq/store.cpp" "src/mq/CMakeFiles/cmx_mq.dir/store.cpp.o" "gcc" "src/mq/CMakeFiles/cmx_mq.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/obs/CMakeFiles/cmx_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/cmx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

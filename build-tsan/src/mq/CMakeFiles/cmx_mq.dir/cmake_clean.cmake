@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmx_mq.dir/channel.cpp.o"
+  "CMakeFiles/cmx_mq.dir/channel.cpp.o.d"
+  "CMakeFiles/cmx_mq.dir/message.cpp.o"
+  "CMakeFiles/cmx_mq.dir/message.cpp.o.d"
+  "CMakeFiles/cmx_mq.dir/network.cpp.o"
+  "CMakeFiles/cmx_mq.dir/network.cpp.o.d"
+  "CMakeFiles/cmx_mq.dir/pubsub.cpp.o"
+  "CMakeFiles/cmx_mq.dir/pubsub.cpp.o.d"
+  "CMakeFiles/cmx_mq.dir/queue.cpp.o"
+  "CMakeFiles/cmx_mq.dir/queue.cpp.o.d"
+  "CMakeFiles/cmx_mq.dir/queue_manager.cpp.o"
+  "CMakeFiles/cmx_mq.dir/queue_manager.cpp.o.d"
+  "CMakeFiles/cmx_mq.dir/selector.cpp.o"
+  "CMakeFiles/cmx_mq.dir/selector.cpp.o.d"
+  "CMakeFiles/cmx_mq.dir/session.cpp.o"
+  "CMakeFiles/cmx_mq.dir/session.cpp.o.d"
+  "CMakeFiles/cmx_mq.dir/store.cpp.o"
+  "CMakeFiles/cmx_mq.dir/store.cpp.o.d"
+  "libcmx_mq.a"
+  "libcmx_mq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmx_mq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cmx_mq.
+# This may be replaced when dependencies are built.

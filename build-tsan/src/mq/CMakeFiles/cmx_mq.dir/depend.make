@@ -1,0 +1,2 @@
+# Empty dependencies file for cmx_mq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/export.cpp" "src/obs/CMakeFiles/cmx_obs.dir/export.cpp.o" "gcc" "src/obs/CMakeFiles/cmx_obs.dir/export.cpp.o.d"
+  "/root/repo/src/obs/histogram.cpp" "src/obs/CMakeFiles/cmx_obs.dir/histogram.cpp.o" "gcc" "src/obs/CMakeFiles/cmx_obs.dir/histogram.cpp.o.d"
+  "/root/repo/src/obs/lifecycle.cpp" "src/obs/CMakeFiles/cmx_obs.dir/lifecycle.cpp.o" "gcc" "src/obs/CMakeFiles/cmx_obs.dir/lifecycle.cpp.o.d"
+  "/root/repo/src/obs/registry.cpp" "src/obs/CMakeFiles/cmx_obs.dir/registry.cpp.o" "gcc" "src/obs/CMakeFiles/cmx_obs.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/cmx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

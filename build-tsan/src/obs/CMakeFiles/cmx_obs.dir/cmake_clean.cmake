@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmx_obs.dir/export.cpp.o"
+  "CMakeFiles/cmx_obs.dir/export.cpp.o.d"
+  "CMakeFiles/cmx_obs.dir/histogram.cpp.o"
+  "CMakeFiles/cmx_obs.dir/histogram.cpp.o.d"
+  "CMakeFiles/cmx_obs.dir/lifecycle.cpp.o"
+  "CMakeFiles/cmx_obs.dir/lifecycle.cpp.o.d"
+  "CMakeFiles/cmx_obs.dir/registry.cpp.o"
+  "CMakeFiles/cmx_obs.dir/registry.cpp.o.d"
+  "libcmx_obs.a"
+  "libcmx_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmx_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmx_sim.dir/workload.cpp.o"
+  "CMakeFiles/cmx_sim.dir/workload.cpp.o.d"
+  "libcmx_sim.a"
+  "libcmx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/coordinator.cpp" "src/txn/CMakeFiles/cmx_txn.dir/coordinator.cpp.o" "gcc" "src/txn/CMakeFiles/cmx_txn.dir/coordinator.cpp.o.d"
+  "/root/repo/src/txn/kvstore.cpp" "src/txn/CMakeFiles/cmx_txn.dir/kvstore.cpp.o" "gcc" "src/txn/CMakeFiles/cmx_txn.dir/kvstore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/cmx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

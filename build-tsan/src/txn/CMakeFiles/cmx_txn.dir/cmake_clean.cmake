@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmx_txn.dir/coordinator.cpp.o"
+  "CMakeFiles/cmx_txn.dir/coordinator.cpp.o.d"
+  "CMakeFiles/cmx_txn.dir/kvstore.cpp.o"
+  "CMakeFiles/cmx_txn.dir/kvstore.cpp.o.d"
+  "libcmx_txn.a"
+  "libcmx_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmx_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

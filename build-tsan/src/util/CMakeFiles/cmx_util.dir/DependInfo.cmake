@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/clock.cpp" "src/util/CMakeFiles/cmx_util.dir/clock.cpp.o" "gcc" "src/util/CMakeFiles/cmx_util.dir/clock.cpp.o.d"
+  "/root/repo/src/util/codec.cpp" "src/util/CMakeFiles/cmx_util.dir/codec.cpp.o" "gcc" "src/util/CMakeFiles/cmx_util.dir/codec.cpp.o.d"
+  "/root/repo/src/util/id.cpp" "src/util/CMakeFiles/cmx_util.dir/id.cpp.o" "gcc" "src/util/CMakeFiles/cmx_util.dir/id.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/cmx_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/cmx_util.dir/logging.cpp.o.d"
+  "/root/repo/src/util/random.cpp" "src/util/CMakeFiles/cmx_util.dir/random.cpp.o" "gcc" "src/util/CMakeFiles/cmx_util.dir/random.cpp.o.d"
+  "/root/repo/src/util/status.cpp" "src/util/CMakeFiles/cmx_util.dir/status.cpp.o" "gcc" "src/util/CMakeFiles/cmx_util.dir/status.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

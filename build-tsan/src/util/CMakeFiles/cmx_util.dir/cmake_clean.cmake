@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmx_util.dir/clock.cpp.o"
+  "CMakeFiles/cmx_util.dir/clock.cpp.o.d"
+  "CMakeFiles/cmx_util.dir/codec.cpp.o"
+  "CMakeFiles/cmx_util.dir/codec.cpp.o.d"
+  "CMakeFiles/cmx_util.dir/id.cpp.o"
+  "CMakeFiles/cmx_util.dir/id.cpp.o.d"
+  "CMakeFiles/cmx_util.dir/logging.cpp.o"
+  "CMakeFiles/cmx_util.dir/logging.cpp.o.d"
+  "CMakeFiles/cmx_util.dir/random.cpp.o"
+  "CMakeFiles/cmx_util.dir/random.cpp.o.d"
+  "CMakeFiles/cmx_util.dir/status.cpp.o"
+  "CMakeFiles/cmx_util.dir/status.cpp.o.d"
+  "libcmx_util.a"
+  "libcmx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

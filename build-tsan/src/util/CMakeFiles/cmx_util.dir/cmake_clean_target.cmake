@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcmx_util.a"
+)

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ablation_test.cpp" "tests/CMakeFiles/cmx_tests.dir/ablation_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/ablation_test.cpp.o.d"
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/cmx_tests.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/baseline_test.cpp.o.d"
+  "/root/repo/tests/cm_end2end_test.cpp" "tests/CMakeFiles/cmx_tests.dir/cm_end2end_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/cm_end2end_test.cpp.o.d"
+  "/root/repo/tests/concurrency_test.cpp" "tests/CMakeFiles/cmx_tests.dir/concurrency_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/concurrency_test.cpp.o.d"
+  "/root/repo/tests/condition_test.cpp" "tests/CMakeFiles/cmx_tests.dir/condition_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/condition_test.cpp.o.d"
+  "/root/repo/tests/condition_text_test.cpp" "tests/CMakeFiles/cmx_tests.dir/condition_text_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/condition_text_test.cpp.o.d"
+  "/root/repo/tests/dispatcher_test.cpp" "tests/CMakeFiles/cmx_tests.dir/dispatcher_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/dispatcher_test.cpp.o.d"
+  "/root/repo/tests/dsphere_test.cpp" "tests/CMakeFiles/cmx_tests.dir/dsphere_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/dsphere_test.cpp.o.d"
+  "/root/repo/tests/durability_e2e_test.cpp" "tests/CMakeFiles/cmx_tests.dir/durability_e2e_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/durability_e2e_test.cpp.o.d"
+  "/root/repo/tests/eval_oracle_test.cpp" "tests/CMakeFiles/cmx_tests.dir/eval_oracle_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/eval_oracle_test.cpp.o.d"
+  "/root/repo/tests/eval_state_test.cpp" "tests/CMakeFiles/cmx_tests.dir/eval_state_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/eval_state_test.cpp.o.d"
+  "/root/repo/tests/fault_injection_test.cpp" "tests/CMakeFiles/cmx_tests.dir/fault_injection_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/fault_injection_test.cpp.o.d"
+  "/root/repo/tests/guaranteed_compensation_test.cpp" "tests/CMakeFiles/cmx_tests.dir/guaranteed_compensation_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/guaranteed_compensation_test.cpp.o.d"
+  "/root/repo/tests/introspect_test.cpp" "tests/CMakeFiles/cmx_tests.dir/introspect_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/introspect_test.cpp.o.d"
+  "/root/repo/tests/message_test.cpp" "tests/CMakeFiles/cmx_tests.dir/message_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/message_test.cpp.o.d"
+  "/root/repo/tests/network_test.cpp" "tests/CMakeFiles/cmx_tests.dir/network_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/network_test.cpp.o.d"
+  "/root/repo/tests/obs_test.cpp" "tests/CMakeFiles/cmx_tests.dir/obs_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/obs_test.cpp.o.d"
+  "/root/repo/tests/pubsub_test.cpp" "tests/CMakeFiles/cmx_tests.dir/pubsub_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/pubsub_test.cpp.o.d"
+  "/root/repo/tests/queue_manager_test.cpp" "tests/CMakeFiles/cmx_tests.dir/queue_manager_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/queue_manager_test.cpp.o.d"
+  "/root/repo/tests/queue_test.cpp" "tests/CMakeFiles/cmx_tests.dir/queue_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/queue_test.cpp.o.d"
+  "/root/repo/tests/selector_test.cpp" "tests/CMakeFiles/cmx_tests.dir/selector_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/selector_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/cmx_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/store_test.cpp" "tests/CMakeFiles/cmx_tests.dir/store_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/store_test.cpp.o.d"
+  "/root/repo/tests/txn_test.cpp" "tests/CMakeFiles/cmx_tests.dir/txn_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/txn_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/cmx_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/cmx_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/cmx_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/baseline/CMakeFiles/cmx_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ds/CMakeFiles/cmx_ds.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cm/CMakeFiles/cmx_cm.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/txn/CMakeFiles/cmx_txn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mq/CMakeFiles/cmx_mq.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/cmx_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/cmx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
