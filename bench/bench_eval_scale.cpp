@@ -1,0 +1,216 @@
+// Evaluation-engine A/B at scale: the seed-faithful scan engine (one
+// shard, one ack per drain, full evaluate-all + earliest-deadline scan
+// per wakeup; EvaluationOptions::scan_engine) vs. the sharded
+// dirty-set/deadline-heap engine, at 1k / 10k / 100k in-flight
+// conditional messages.
+//
+// The load is a closed loop: a feeder acks one pool message at a time,
+// keeping a small window of undecided acks outstanding, for a bounded
+// wall-clock budget. The window matters — flooding every ack at once
+// would let the scan engine amortize its O(N) pass over an arbitrarily
+// large drained batch and hide exactly the per-event cost this bench
+// exists to show. Reported per arm: decisions/sec and the p99 of
+// ack-put -> outcome-callback latency.
+//
+// The headline number — and the acceptance gate — is 100k in-flight,
+// where the sharded engine must deliver >= 5x the scan engine's
+// decisions/sec.
+//
+// Writes BENCH_eval_scale.json into the working directory (skipped with
+// --smoke, which runs one tiny sharded arm as a CI liveness check).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cm/condition_builder.hpp"
+#include "cm/evaluation_manager.hpp"
+#include "mq/queue_manager.hpp"
+
+namespace {
+
+using namespace cmx;
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ArmResult {
+  const char* engine;
+  int in_flight;
+  std::uint64_t decided = 0;
+  double duration_s = 0.0;
+  double decisions_per_sec = 0.0;
+  std::int64_t p99_us = 0;
+};
+
+ArmResult run_arm(const char* engine_name, const cm::EvaluationOptions& opts,
+                  int in_flight, double budget_s, int window) {
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock, std::make_unique<mq::NullStore>());
+
+  // Ack-put instants and per-message latencies, indexed by the number in
+  // the cm id ("cm-<i>"). Writes land on distinct indices; publication is
+  // via the decided counter below.
+  std::vector<std::int64_t> ack_put_us(in_flight, 0);
+  std::vector<std::int64_t> latency_us(in_flight, -1);
+
+  std::atomic<std::uint64_t> decided{0};
+  std::mutex window_mu;
+  std::condition_variable window_cv;
+  int outstanding = 0;
+
+  cm::EvaluationManager eval(
+      qm,
+      [&](const cm::OutcomeRecord& record, bool) {
+        const int idx = std::atoi(record.cm_id.c_str() + 3);
+        latency_us[idx] = now_us() - ack_put_us[idx];
+        decided.fetch_add(1, std::memory_order_release);
+        {
+          std::lock_guard<std::mutex> lk(window_mu);
+          --outstanding;
+        }
+        window_cv.notify_one();
+      },
+      opts);
+
+  // Pool: `in_flight` pending messages on one far-off deadline (an hour —
+  // present in the deadline bookkeeping, never firing mid-run).
+  const mq::QueueAddress dest("QM", "R");
+  const auto cond = cm::DestBuilder(dest).pick_up_within(3600 * 1000).build();
+  const util::TimeMs send_ts = clock.now_ms();
+  for (int i = 0; i < in_flight; ++i) {
+    eval.register_message(std::make_unique<cm::EvalState>(
+                              "cm-" + std::to_string(i), *cond, send_ts),
+                          /*deferred=*/false);
+  }
+
+  // Closed-loop feeder: at most `window` undecided acks in the engine.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + std::chrono::duration<double>(budget_s);
+  int fed = 0;
+  while (fed < in_flight) {
+    {
+      std::unique_lock<std::mutex> lk(window_mu);
+      if (!window_cv.wait_until(lk, deadline,
+                                [&] { return outstanding < window; })) {
+        break;  // budget exhausted with the window still full
+      }
+      ++outstanding;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    cm::AckRecord ack;
+    ack.cm_id = "cm-" + std::to_string(fed);
+    ack.type = cm::AckType::kRead;
+    ack.queue = dest;
+    ack.read_ts = clock.now_ms();
+    ack_put_us[fed] = now_us();
+    qm.put_local(cm::kAckQueue, ack.to_message()).expect_ok("put ack");
+    ++fed;
+  }
+  // Let in-flight acks finish (bounded), then freeze the engine so the
+  // latency array is safe to read.
+  {
+    std::unique_lock<std::mutex> lk(window_mu);
+    window_cv.wait_until(lk, deadline + std::chrono::seconds(2), [&] {
+      return decided.load(std::memory_order_acquire) >=
+             static_cast<std::uint64_t>(fed);
+    });
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  eval.stop();
+
+  ArmResult r;
+  r.engine = engine_name;
+  r.in_flight = in_flight;
+  r.decided = decided.load();
+  r.duration_s = elapsed;
+  r.decisions_per_sec = elapsed > 0.0 ? r.decided / elapsed : 0.0;
+  std::vector<std::int64_t> done;
+  done.reserve(r.decided);
+  for (const std::int64_t l : latency_us) {
+    if (l >= 0) done.push_back(l);
+  }
+  if (!done.empty()) {
+    std::sort(done.begin(), done.end());
+    r.p99_us = done[static_cast<std::size_t>(0.99 * (done.size() - 1))];
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke =
+      argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  constexpr int kWindow = 64;
+
+  cm::EvaluationOptions scan_opts;
+  scan_opts.shard_count = 1;
+  scan_opts.max_batch = 1;
+  scan_opts.scan_engine = true;
+  const cm::EvaluationOptions sharded_opts;  // defaults: 8 shards, batch 256
+
+  if (smoke) {
+    const auto r = run_arm("sharded", sharded_opts, 1000, 2.0, kWindow);
+    std::cout << "smoke: " << r.decided << " decisions in " << r.duration_s
+              << "s (" << static_cast<std::uint64_t>(r.decisions_per_sec)
+              << "/s, p99 " << r.p99_us << "us)\n";
+    // Liveness gate: the engine must actually decide the tiny pool.
+    return r.decided == 1000 ? 0 : 1;
+  }
+
+  std::vector<ArmResult> results;
+  for (const int in_flight : {1000, 10000, 100000}) {
+    for (const bool sharded : {false, true}) {
+      const auto r = run_arm(sharded ? "sharded" : "scan",
+                             sharded ? sharded_opts : scan_opts, in_flight,
+                             /*budget_s=*/2.0, kWindow);
+      std::cout << r.engine << " in_flight=" << r.in_flight << ": "
+                << static_cast<std::uint64_t>(r.decisions_per_sec)
+                << " decisions/s (" << r.decided << " in " << r.duration_s
+                << "s, p99 " << r.p99_us << "us)\n";
+      results.push_back(r);
+    }
+  }
+
+  double scan_100k = 0.0, sharded_100k = 0.0;
+  for (const auto& r : results) {
+    if (r.in_flight == 100000) {
+      (std::strcmp(r.engine, "sharded") == 0 ? sharded_100k : scan_100k) =
+          r.decisions_per_sec;
+    }
+  }
+  const double speedup = scan_100k > 0.0 ? sharded_100k / scan_100k : 0.0;
+
+  std::ofstream out("BENCH_eval_scale.json");
+  out << "{\"bench\": \"eval_scale\", \"window\": " << kWindow
+      << ", \"arms\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    if (i > 0) out << ", ";
+    out << "{\"engine\": \"" << r.engine << "\", \"in_flight\": "
+        << r.in_flight << ", \"decisions_per_sec\": " << r.decisions_per_sec
+        << ", \"ack_to_decision_p99_us\": " << r.p99_us << ", \"decided\": "
+        << r.decided << ", \"duration_s\": " << r.duration_s << "}";
+  }
+  out << "], \"headline\": {\"in_flight\": 100000, "
+      << "\"scan_decisions_per_sec\": " << scan_100k
+      << ", \"sharded_decisions_per_sec\": " << sharded_100k
+      << ", \"speedup\": " << speedup << "}}\n";
+  std::cout << "BENCH_eval_scale.json: 100k in-flight speedup = " << speedup
+            << "x\n";
+  return 0;
+}

@@ -33,7 +33,15 @@ EvalState::EvalState(std::string cm_id, const Condition& condition,
   collect_deadlines(condition_.get(), deadlines);
   for (const util::TimeMs d : deadlines) {
     max_deadline_ = std::max(max_deadline_, d);
+    // A deadline resolves conditions the instant now > d, i.e. at d+1.
+    wakeups_.push_back(d + 1);
   }
+  if (evaluation_timeout_ms_ > 0) {
+    wakeups_.push_back(send_ts_ + evaluation_timeout_ms_ + 1);
+  }
+  std::sort(wakeups_.begin(), wakeups_.end());
+  wakeups_.erase(std::unique(wakeups_.begin(), wakeups_.end()),
+                 wakeups_.end());
 }
 
 TriState EvalState::combine(TriState a, TriState b) {
@@ -319,17 +327,8 @@ void EvalState::collect_deadlines(const Condition* node,
 
 util::TimeMs EvalState::next_deadline(util::TimeMs now) const {
   if (decided_.has_value()) return util::kNoDeadline;
-  std::vector<util::TimeMs> deadlines;
-  collect_deadlines(condition_.get(), deadlines);
-  if (evaluation_timeout_ms_ > 0) {
-    deadlines.push_back(send_ts_ + evaluation_timeout_ms_);
-  }
-  util::TimeMs best = util::kNoDeadline;
-  for (const util::TimeMs d : deadlines) {
-    // A deadline resolves conditions the instant now > d, i.e. at d+1.
-    if (d + 1 > now) best = std::min(best, d + 1);
-  }
-  return best;
+  auto it = std::upper_bound(wakeups_.begin(), wakeups_.end(), now);
+  return it == wakeups_.end() ? util::kNoDeadline : *it;
 }
 
 }  // namespace cmx::cm

@@ -72,7 +72,11 @@ class EvalState {
   Verdict evaluate(util::TimeMs now);
 
   // Earliest time strictly after `now` at which evaluate() could change
-  // its verdict; kNoDeadline once decided.
+  // its verdict; kNoDeadline once decided. O(log D) in the number of
+  // distinct condition deadlines: they are all fixed at construction
+  // (absolute offsets from send_ts), so the candidate wake-up times are
+  // precomputed and binary-searched instead of re-collected per call —
+  // this sits on the evaluation engine's per-event hot path.
   util::TimeMs next_deadline(util::TimeMs now) const;
 
   // ---- introspection (tests, stats) -------------------------------------
@@ -108,6 +112,10 @@ class EvalState {
   const util::TimeMs evaluation_timeout_ms_;
   const EvalStateOptions options_;
   util::TimeMs max_deadline_ = 0;  // largest condition deadline (absolute)
+  // Sorted distinct absolute times at which a verdict can flip without an
+  // ack (each condition deadline resolves at deadline+1; plus the explicit
+  // evaluation timeout). Fixed at construction.
+  std::vector<util::TimeMs> wakeups_;
   ConditionPtr condition_;
 
   std::vector<LeafState> leaf_states_;

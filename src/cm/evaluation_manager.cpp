@@ -1,5 +1,9 @@
 #include "cm/evaluation_manager.hpp"
 
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/lifecycle.hpp"
@@ -7,141 +11,285 @@
 
 namespace cmx::cm {
 
+namespace {
+
+EvaluationOptions normalize(EvaluationOptions options) {
+  options.shard_count = std::max<std::size_t>(1, options.shard_count);
+  options.max_batch = std::max<std::size_t>(1, options.max_batch);
+  options.decision_retention =
+      std::max<std::size_t>(1, options.decision_retention);
+  return options;
+}
+
+}  // namespace
+
 EvaluationManager::EvaluationManager(mq::QueueManager& qm,
-                                     OutcomeAction on_outcome)
-    : qm_(qm), on_outcome_(std::move(on_outcome)) {
+                                     OutcomeAction on_outcome,
+                                     EvaluationOptions options)
+    : qm_(qm),
+      on_outcome_(std::move(on_outcome)),
+      options_(normalize(options)),
+      per_shard_retention_(std::max<std::size_t>(
+          1, options_.decision_retention / options_.shard_count)) {
   qm_.ensure_queue(kAckQueue, mq::QueueOptions{.max_depth = SIZE_MAX,
                                                .system = true})
       .expect_ok("ensure DS.ACK.Q");
+  shards_.reserve(options_.shard_count);
+  for (std::size_t i = 0; i < options_.shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, s = shard.get()] { shard_loop(*s); });
+  }
+  router_ = std::thread([this] { router_loop(); });
   if (auto queue = qm_.find_queue(kAckQueue)) {
     queue->set_put_listener([this] {
       {
-        std::lock_guard<std::mutex> lk(mu_);
-        wake_ = true;
+        std::lock_guard<std::mutex> lk(router_mu_);
+        router_wake_ = true;
       }
-      cv_.notify_all();
+      router_cv_.notify_one();
     });
   }
-  worker_ = std::thread([this] { loop(); });
 }
 
 EvaluationManager::~EvaluationManager() { stop(); }
 
 void EvaluationManager::stop() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (stopping_) {
-      // fallthrough: still join if the thread is alive
-    }
-    stopping_ = true;
-    wake_ = true;
+    std::lock_guard<std::mutex> lk(stop_mu_);
+    if (stopped_) return;  // repeated stop() is a no-op
+    stopped_ = true;
   }
-  cv_.notify_all();
-  if (worker_.joinable()) worker_.join();
+  {
+    std::lock_guard<std::mutex> lk(router_mu_);
+    router_stopping_ = true;
+  }
+  router_cv_.notify_all();
+  if (router_.joinable()) router_.join();
   if (auto queue = qm_.find_queue(kAckQueue)) {
     queue->set_put_listener({});
   }
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lk(shard->mu);
+      shard->stopping = true;
+      shard->wake = true;
+    }
+    shard->cv.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+std::size_t EvaluationManager::shard_of(const std::string& cm_id) const {
+  return std::hash<std::string>{}(cm_id) % shards_.size();
+}
+
+EvaluationManager::Shard& EvaluationManager::shard_for(
+    const std::string& cm_id) const {
+  return *shards_[shard_of(cm_id)];
 }
 
 void EvaluationManager::register_message(std::unique_ptr<EvalState> state,
                                          bool deferred) {
+  // Read the id before the move: the assignment's right side is
+  // sequenced before the subscript expression.
+  const std::string cm_id = state->cm_id();
+  Shard& shard = shard_for(cm_id);
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    // Read the id before the move: the assignment's right side is
-    // sequenced before the subscript expression.
-    const std::string cm_id = state->cm_id();
-    states_[cm_id] = Entry{std::move(state), deferred};
-    wake_ = true;
+    std::lock_guard<std::mutex> lk(shard.mu);
+    Entry entry;
+    entry.state = std::move(state);
+    entry.deferred = deferred;
+    entry.dirty = true;  // evaluated on the next pass (may already hold)
+    shard.states[cm_id] = std::move(entry);
+    shard.dirty.push_back(cm_id);
+    shard.wake = true;
   }
-  cv_.notify_all();
+  shard.cv.notify_all();
 }
 
 util::Status EvaluationManager::force_decision(const std::string& cm_id,
                                                Outcome outcome,
                                                const std::string& reason) {
-  std::unique_lock<std::mutex> lk(mu_);
-  auto it = states_.find(cm_id);
-  if (it == states_.end()) {
+  Shard& shard = shard_for(cm_id);
+  std::unique_lock<std::mutex> lk(shard.mu);
+  auto it = shard.states.find(cm_id);
+  if (it == shard.states.end()) {
     return util::make_error(util::ErrorCode::kNotFound,
                             cm_id + " is not in flight");
   }
   Entry entry = std::move(it->second);
-  states_.erase(it);
+  shard.states.erase(it);
   const EvalState::Verdict verdict{outcome == Outcome::kSuccess
                                        ? TriState::kSatisfied
                                        : TriState::kViolated,
                                    reason};
-  finalize_locked(lk, cm_id, std::move(entry), verdict);
+  finalize_locked(shard, lk, cm_id, std::move(entry), verdict);
   return util::ok_status();
 }
 
 bool EvaluationManager::is_in_flight(const std::string& cm_id) const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return states_.count(cm_id) > 0;
+  Shard& shard = shard_for(cm_id);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  return shard.states.count(cm_id) > 0;
 }
 
 std::size_t EvaluationManager::in_flight() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return states_.size();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    total += shard->states.size();
+  }
+  return total;
 }
 
 EvaluationStats EvaluationManager::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return stats_;
+  EvaluationStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    total.acks_processed += shard->stats.acks_processed;
+    total.acks_orphaned += shard->stats.acks_orphaned;
+    total.decided_success += shard->stats.decided_success;
+    total.decided_failure += shard->stats.decided_failure;
+    total.decisions_evicted += shard->stats.decisions_evicted;
+  }
+  total.acks_malformed = acks_malformed_.load(std::memory_order_relaxed);
+  total.ack_batches = ack_batches_.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<EvalShardInfo> EvaluationManager::shard_info() const {
+  std::vector<EvalShardInfo> info;
+  info.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    EvalShardInfo s;
+    s.in_flight = shard->states.size();
+    s.dirty = shard->dirty.size();
+    s.heap = shard->heap.size();
+    s.decisions = shard->decisions.size();
+    info.push_back(s);
+  }
+  return info;
 }
 
 bool EvaluationManager::await_decided(const std::string& cm_id,
                                       util::TimeMs real_cap_ms) const {
-  std::unique_lock<std::mutex> lk(mu_);
-  return cv_.wait_for(lk, std::chrono::milliseconds(real_cap_ms), [&] {
-    return decisions_.count(cm_id) > 0;
+  Shard& shard = shard_for(cm_id);
+  std::unique_lock<std::mutex> lk(shard.mu);
+  return shard.cv.wait_for(lk, std::chrono::milliseconds(real_cap_ms), [&] {
+    return shard.decisions.count(cm_id) > 0;
   });
 }
 
-std::size_t EvaluationManager::drain_acks_locked(
-    std::unique_lock<std::mutex>& lk) {
-  auto ack_queue = qm_.find_queue(kAckQueue);
-  if (ack_queue == nullptr) return 0;
-  std::size_t applied = 0;
-  while (true) {
-    std::optional<mq::Queue::GotMessage> got;
-    {
-      // try_get does its own locking; do not hold ours while calling into
-      // the queue manager's durable-get path.
-      lk.unlock();
-      auto result = qm_.get(kAckQueue, 0);
-      lk.lock();
-      if (!result) break;
-      got = mq::Queue::GotMessage{0, std::move(result).value()};
-    }
-    auto ack = AckRecord::from_message(got->msg);
-    if (!ack) {
-      CMX_WARN("cm.eval") << "malformed ack dropped: "
-                          << ack.status().to_string();
-      continue;
-    }
-    auto it = states_.find(ack.value().cm_id);
-    if (it == states_.end()) {
-      ++stats_.acks_orphaned;
-      continue;
-    }
-    it->second.state->add_ack(ack.value());
-    ++stats_.acks_processed;
-    ++applied;
-    if (obs::enabled()) {
-      // Ack propagation: recipient's read/commit instant -> the ack is
-      // applied to the evaluation state here, on the shared clock.
-      const AckRecord& a = ack.value();
-      const util::TimeMs ref =
-          a.type == AckType::kProcessing ? a.commit_ts : a.read_ts;
-      obs::trace_stage(obs::Stage::kProcessingAck,
-                       obs::ms_delta_us(qm_.clock().now_ms() - ref));
-    }
+void EvaluationManager::router_loop() {
+  std::unique_lock<std::mutex> lk(router_mu_);
+  while (!router_stopping_) {
+    router_cv_.wait(lk, [&] { return router_wake_ || router_stopping_; });
+    if (router_stopping_) break;
+    router_wake_ = false;
+    lk.unlock();
+    drain_acks();
+    lk.lock();
   }
-  return applied;
 }
 
-void EvaluationManager::finalize_locked(std::unique_lock<std::mutex>& lk,
+void EvaluationManager::drain_acks() {
+  const std::size_t shard_count = shards_.size();
+  std::vector<std::vector<AckRecord>> by_shard(shard_count);
+  while (true) {
+    auto batch = qm_.get_batch(kAckQueue, options_.max_batch);
+    if (batch.empty()) break;
+    ack_batches_.fetch_add(1, std::memory_order_relaxed);
+    CMX_OBS_RECORD("cm.eval.batch_acks", batch.size());
+    // Decode and partition outside any shard lock; a malformed message is
+    // dropped without poisoning the rest of its batch.
+    for (auto& slice : by_shard) slice.clear();
+    for (auto& msg : batch) {
+      auto ack = AckRecord::from_message(msg);
+      if (!ack) {
+        CMX_WARN("cm.eval") << "malformed ack dropped: "
+                            << ack.status().to_string();
+        acks_malformed_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      by_shard[shard_of(ack.value().cm_id)].push_back(
+          std::move(ack).value());
+    }
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      if (!by_shard[i].empty()) apply_acks(*shards_[i], by_shard[i]);
+    }
+    // A short batch means the queue ran dry; a put racing this check
+    // re-raises router_wake_ through the put listener.
+    if (batch.size() < options_.max_batch) break;
+  }
+}
+
+void EvaluationManager::apply_acks(Shard& shard,
+                                   std::vector<AckRecord>& acks) {
+  bool any = false;
+  {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    for (const AckRecord& ack : acks) {
+      auto it = shard.states.find(ack.cm_id);
+      if (it == shard.states.end()) {
+        ++shard.stats.acks_orphaned;
+        continue;
+      }
+      it->second.state->add_ack(ack);
+      ++shard.stats.acks_processed;
+      if (!it->second.dirty) {
+        it->second.dirty = true;
+        shard.dirty.push_back(ack.cm_id);
+      }
+      any = true;
+      if (obs::enabled()) {
+        // Ack propagation: recipient's read/commit instant -> the ack is
+        // applied to the evaluation state here, on the shared clock.
+        const util::TimeMs ref =
+            ack.type == AckType::kProcessing ? ack.commit_ts : ack.read_ts;
+        obs::trace_stage(obs::Stage::kProcessingAck,
+                         obs::ms_delta_us(qm_.clock().now_ms() - ref));
+      }
+    }
+    if (any) shard.wake = true;
+  }
+  if (any) shard.cv.notify_all();
+}
+
+void EvaluationManager::push_deadline_locked(Shard& shard, Entry& entry,
+                                             const std::string& cm_id,
+                                             util::TimeMs deadline) {
+  if (deadline == util::kNoDeadline) return;
+  // The live heap item is the one with entry.heap_gen; pushing a fresh
+  // generation lazily invalidates any older (always later-deadline) item.
+  if (deadline >= entry.heap_deadline) return;
+  entry.heap_deadline = deadline;
+  ++entry.heap_gen;
+  shard.heap.push(HeapItem{deadline, entry.heap_gen, cm_id});
+}
+
+void EvaluationManager::record_decision_locked(Shard& shard,
+                                               const std::string& cm_id,
+                                               Outcome outcome) {
+  shard.decisions[cm_id] = outcome;
+  shard.decision_fifo.push_back(cm_id);
+  while (shard.decision_fifo.size() > per_shard_retention_) {
+    const std::string& victim = shard.decision_fifo.front();
+    if (shard.decisions.erase(victim) > 0) {
+      ++shard.stats.decisions_evicted;
+    }
+    shard.decision_fifo.pop_front();
+  }
+}
+
+void EvaluationManager::finalize_locked(Shard& shard,
+                                        std::unique_lock<std::mutex>& lk,
                                         const std::string& cm_id, Entry entry,
                                         const EvalState::Verdict& verdict) {
   OutcomeRecord record;
@@ -150,11 +298,11 @@ void EvaluationManager::finalize_locked(std::unique_lock<std::mutex>& lk,
                                                          : Outcome::kFailure;
   record.reason = verdict.reason;
   record.decided_ts = qm_.clock().now_ms();
-  decisions_[cm_id] = record.outcome;
+  record_decision_locked(shard, cm_id, record.outcome);
   if (record.outcome == Outcome::kSuccess) {
-    ++stats_.decided_success;
+    ++shard.stats.decided_success;
   } else {
-    ++stats_.decided_failure;
+    ++shard.stats.decided_failure;
   }
   const bool deferred = entry.deferred;
   CMX_DEBUG("cm.eval") << cm_id << " decided " << outcome_name(record.outcome)
@@ -162,56 +310,116 @@ void EvaluationManager::finalize_locked(std::unique_lock<std::mutex>& lk,
                                                   : " (" + verdict.reason +
                                                         ")");
   // Run the action without holding the lock: it puts messages (outcome
-  // notification, compensations) and may call back into this manager.
+  // notification, compensations) and may call back into this manager —
+  // including force_decision on another message of this same shard.
   lk.unlock();
   if (on_outcome_) on_outcome_(record, deferred);
   lk.lock();
-  cv_.notify_all();  // wake await_decided()
+  shard.cv.notify_all();  // wake await_decided()
 }
 
-void EvaluationManager::evaluate_all_locked(std::unique_lock<std::mutex>& lk,
-                                            util::TimeMs scan_time) {
-  const util::TimeMs now = scan_time;
-  std::vector<std::pair<std::string, EvalState::Verdict>> decided;
-  for (auto& [cm_id, entry] : states_) {
-    auto verdict = entry.state->evaluate(now);
-    if (verdict.state != TriState::kPending) {
-      decided.emplace_back(cm_id, verdict);
-    }
-  }
-  for (auto& [cm_id, verdict] : decided) {
-    auto it = states_.find(cm_id);
-    if (it == states_.end()) continue;
-    Entry entry = std::move(it->second);
-    states_.erase(it);
-    finalize_locked(lk, cm_id, std::move(entry), verdict);
-  }
-}
-
-util::TimeMs EvaluationManager::earliest_deadline_locked(
-    util::TimeMs scan_time) const {
-  const util::TimeMs now = scan_time;
-  util::TimeMs best = util::kNoDeadline;
-  for (const auto& [cm_id, entry] : states_) {
-    best = std::min(best, entry.state->next_deadline(now));
-  }
-  return best;
-}
-
-void EvaluationManager::loop() {
-  std::unique_lock<std::mutex> lk(mu_);
-  while (!stopping_) {
-    wake_ = false;
-    drain_acks_locked(lk);
+void EvaluationManager::shard_loop(Shard& shard) {
+  std::unique_lock<std::mutex> lk(shard.mu);
+  std::vector<std::string> candidates;
+  while (!shard.stopping) {
+    shard.wake = false;
     const util::TimeMs scan_time = qm_.clock().now_ms();
-    evaluate_all_locked(lk, scan_time);
-    if (stopping_) break;
-    // Deadlines are judged against scan_time, not a fresh now: any
-    // deadline that lapsed while the outcome actions above ran makes the
-    // wait below expire immediately and re-scan.
-    const util::TimeMs deadline = earliest_deadline_locked(scan_time);
-    qm_.clock().wait_until(lk, cv_, deadline,
-                           [&] { return wake_ || stopping_; });
+    const std::uint64_t t0 = obs::enabled() ? obs::now_us() : 0;
+
+    candidates.clear();
+    if (options_.scan_engine) {
+      // A/B baseline: evaluate every in-flight state on every wakeup.
+      for (auto& [cm_id, entry] : shard.states) {
+        entry.dirty = false;
+        candidates.push_back(cm_id);
+      }
+      shard.dirty.clear();
+    } else {
+      candidates.swap(shard.dirty);
+      for (const auto& cm_id : candidates) {
+        auto it = shard.states.find(cm_id);
+        if (it != shard.states.end()) it->second.dirty = false;
+      }
+      // Pop lapsed deadlines; stale items (older generation, or for a
+      // state already decided and erased) are discarded on the way.
+      while (!shard.heap.empty()) {
+        const HeapItem& top = shard.heap.top();
+        auto it = shard.states.find(top.cm_id);
+        if (it == shard.states.end() || it->second.heap_gen != top.gen) {
+          shard.heap.pop();
+          continue;
+        }
+        if (top.deadline > scan_time) break;
+        it->second.heap_deadline = util::kNoDeadline;  // item consumed
+        candidates.push_back(top.cm_id);
+        shard.heap.pop();
+      }
+    }
+
+    // Evaluate only the candidates. finalize_locked() drops the lock for
+    // the outcome action, so every id is re-looked-up — it may have been
+    // force-decided (or re-registered) while the lock was released, and a
+    // duplicate candidate (dirty + lapsed) is evaluated at most once more
+    // (evaluate() is monotone, so the repeat is a cheap no-op).
+    for (const auto& cm_id : candidates) {
+      auto it = shard.states.find(cm_id);
+      if (it == shard.states.end()) continue;
+      const auto verdict = it->second.state->evaluate(scan_time);
+      if (verdict.state != TriState::kPending) {
+        Entry entry = std::move(it->second);
+        shard.states.erase(it);
+        finalize_locked(shard, lk, cm_id, std::move(entry), verdict);
+        continue;
+      }
+      if (!options_.scan_engine) {
+        push_deadline_locked(shard, it->second, cm_id,
+                             it->second.state->next_deadline(scan_time));
+      }
+    }
+
+    if (shard.stopping) break;
+
+    // Next wakeup: the earliest live deadline. Judged against scan_time,
+    // not a fresh now: any deadline that lapsed while the outcome actions
+    // above ran makes the wait below expire immediately and re-run.
+    util::TimeMs next = util::kNoDeadline;
+    if (options_.scan_engine) {
+      for (const auto& [cm_id, entry] : shard.states) {
+        next = std::min(next, entry.state->next_deadline(scan_time));
+      }
+    } else {
+      while (!shard.heap.empty()) {
+        const HeapItem& top = shard.heap.top();
+        auto it = shard.states.find(top.cm_id);
+        if (it == shard.states.end() || it->second.heap_gen != top.gen) {
+          shard.heap.pop();
+          continue;
+        }
+        next = top.deadline;
+        break;
+      }
+    }
+
+    if (obs::enabled()) {
+      // Only passes that evaluated something count as an evaluate stage;
+      // idle wakeups (e.g. the first pass after construction) are noise.
+      if (!candidates.empty()) {
+        obs::trace_stage(obs::Stage::kEvaluate, obs::now_us() - t0);
+      }
+      if (shard.in_flight_gauge == nullptr) {
+        auto& registry = obs::MetricsRegistry::instance();
+        const std::string base =
+            "cm.eval.shard" + std::to_string(shard.index);
+        shard.in_flight_gauge = &registry.gauge(base + ".in_flight");
+        shard.dirty_gauge = &registry.gauge(base + ".dirty");
+      }
+      shard.in_flight_gauge->set(
+          static_cast<std::int64_t>(shard.states.size()));
+      shard.dirty_gauge->set(static_cast<std::int64_t>(shard.dirty.size()));
+    }
+
+    qm_.clock().wait_until(lk, shard.cv, next,
+                           [&] { return shard.wake || shard.stopping; });
   }
 }
 

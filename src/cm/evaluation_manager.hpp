@@ -4,42 +4,91 @@
 // verdict is reached (by acks or by a deadline passing) — invokes the
 // outcome action exactly once per conditional message.
 //
-// Threading: one internal thread. It sleeps on its own condition variable
-// (woken by a put-listener on DS.ACK.Q, by registrations, and by the
-// clock when the earliest pending deadline arrives), so it is idle unless
-// there is work — no polling.
+// Engine (DESIGN.md §8): in-flight state is sharded by hash(cm_id) into
+// `EvaluationOptions::shard_count` independent shards, each with its own
+// mutex, worker thread, and condition variable, so evaluation scales with
+// cores the way the queue manager's striped name map does. Inside a shard
+// the worker is event-driven rather than scan-based: an applied ack only
+// marks its own EvalState dirty, a min-heap of absolute deadlines (with
+// lazy deletion) names the states whose deadline has lapsed, and a worker
+// pass evaluates exactly the dirty/lapsed states — O(log N) per event
+// instead of the former O(N) full scan per wakeup. A single ack-router
+// thread drains DS.ACK.Q in batches (Queue::try_get_batch), partitions
+// each batch by shard in one pass, and applies every shard's slice under
+// one lock acquisition.
+//
+// Verdict monotonicity is shard-local: one shard owns all state of a
+// given cm_id (states, decision record, await_decided waiters), so the
+// once-decided-never-changes invariant needs no cross-shard coordination.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "cm/control.hpp"
 #include "cm/eval_state.hpp"
 #include "mq/queue_manager.hpp"
+#include "obs/registry.hpp"
 
 namespace cmx::cm {
 
+// Default shard count; override via EvaluationOptions::shard_count.
+inline constexpr std::size_t kEvalShards = 8;
+
+struct EvaluationOptions {
+  std::size_t shard_count = kEvalShards;
+  // Acks pulled from DS.ACK.Q per router drain pass (one batch is
+  // partitioned by shard and applied slice-wise, one lock per shard).
+  std::size_t max_batch = 256;
+  // Decided-outcome retention across all shards: decisions beyond this
+  // many are evicted FIFO (await_decided() on an evicted id times out).
+  std::size_t decision_retention = 1 << 16;
+  // A/B baseline preserving the seed's algorithm: full evaluate-all scan
+  // and full earliest-deadline scan on every wakeup instead of the
+  // dirty-set/heap engine. Pair with shard_count=1, max_batch=1 to
+  // reproduce the pre-sharding engine (bench_eval_scale).
+  bool scan_engine = false;
+};
+
 struct EvaluationStats {
   std::uint64_t acks_processed = 0;
-  std::uint64_t acks_orphaned = 0;  // ack for an unknown/decided message
+  std::uint64_t acks_orphaned = 0;   // ack for an unknown/decided message
+  std::uint64_t acks_malformed = 0;  // undecodable messages on DS.ACK.Q
+  std::uint64_t ack_batches = 0;     // router drain passes that saw acks
   std::uint64_t decided_success = 0;
   std::uint64_t decided_failure = 0;
+  std::uint64_t decisions_evicted = 0;  // retention-cap FIFO evictions
+};
+
+// Introspection snapshot of one shard (tests, system_inspector).
+struct EvalShardInfo {
+  std::size_t in_flight = 0;
+  std::size_t dirty = 0;      // states marked dirty, not yet evaluated
+  std::size_t heap = 0;       // heap entries, including stale ones
+  std::size_t decisions = 0;  // retained decided outcomes
 };
 
 class EvaluationManager {
  public:
-  // `on_outcome(record, deferred)` runs on the evaluation thread. The
-  // `deferred` flag echoes register_message(): Dependency-Sphere members
-  // get their outcome recorded but their outcome ACTIONS postponed (§3.1).
+  // `on_outcome(record, deferred)` runs on a shard worker thread (or the
+  // caller's thread for force_decision). The `deferred` flag echoes
+  // register_message(): Dependency-Sphere members get their outcome
+  // recorded but their outcome ACTIONS postponed (§3.1).
   using OutcomeAction =
       std::function<void(const OutcomeRecord& record, bool deferred)>;
 
-  EvaluationManager(mq::QueueManager& qm, OutcomeAction on_outcome);
+  EvaluationManager(mq::QueueManager& qm, OutcomeAction on_outcome,
+                    EvaluationOptions options = {});
   ~EvaluationManager();
 
   EvaluationManager(const EvaluationManager&) = delete;
@@ -64,40 +113,89 @@ class EvaluationManager {
   // been decided or `real_cap_ms` elapses. Returns true when decided.
   bool await_decided(const std::string& cm_id, util::TimeMs real_cap_ms) const;
 
+  // Idempotent: the first call shuts the engine down, later calls are
+  // no-ops (the destructor relies on this).
   void stop();
+
+  const EvaluationOptions& options() const { return options_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t shard_of(const std::string& cm_id) const;
+  std::vector<EvalShardInfo> shard_info() const;
 
  private:
   struct Entry {
     std::unique_ptr<EvalState> state;
     bool deferred = false;
+    bool dirty = false;  // queued in Shard::dirty, not yet evaluated
+    // Lazy heap deletion: only the heap item carrying `heap_gen` is live;
+    // items with older generations are skipped when popped.
+    std::uint64_t heap_gen = 0;
+    util::TimeMs heap_deadline = util::kNoDeadline;  // deadline of live item
   };
 
-  void loop();
-  // Drains DS.ACK.Q without blocking; returns number of acks applied.
-  std::size_t drain_acks_locked(std::unique_lock<std::mutex>& lk);
-  // Both take the loop's scan timestamp: deadlines are computed against
-  // the same instant the states were evaluated at, so a deadline passing
-  // while outcome actions run yields an immediate (expired) wait instead
-  // of being filtered out as "already past" — which would strand a
-  // decidable state until the next external wake-up.
-  void evaluate_all_locked(std::unique_lock<std::mutex>& lk,
-                           util::TimeMs scan_time);
-  util::TimeMs earliest_deadline_locked(util::TimeMs scan_time) const;
-  void finalize_locked(std::unique_lock<std::mutex>& lk,
+  struct HeapItem {
+    util::TimeMs deadline;
+    std::uint64_t gen;
+    std::string cm_id;
+    bool operator>(const HeapItem& other) const {
+      return deadline > other.deadline;
+    }
+  };
+
+  struct Shard {
+    std::size_t index = 0;
+    mutable std::mutex mu;
+    mutable std::condition_variable cv;
+    std::map<std::string, Entry> states;
+    std::vector<std::string> dirty;
+    std::priority_queue<HeapItem, std::vector<HeapItem>,
+                        std::greater<HeapItem>>
+        heap;
+    std::map<std::string, Outcome> decisions;
+    std::deque<std::string> decision_fifo;
+    EvaluationStats stats;
+    bool wake = false;
+    bool stopping = false;
+    std::thread worker;
+    // Per-shard gauges, resolved lazily once metrics are enabled.
+    obs::Gauge* in_flight_gauge = nullptr;
+    obs::Gauge* dirty_gauge = nullptr;
+  };
+
+  Shard& shard_for(const std::string& cm_id) const;
+  void shard_loop(Shard& shard);
+  void router_loop();
+  // Pulls batches off DS.ACK.Q until it is empty, partitioning each batch
+  // by shard and applying per-shard slices under one lock acquisition.
+  void drain_acks();
+  void apply_acks(Shard& shard, std::vector<AckRecord>& acks);
+  // Pushes a fresh heap item when `deadline` improves on the live one.
+  static void push_deadline_locked(Shard& shard, Entry& entry,
+                                   const std::string& cm_id,
+                                   util::TimeMs deadline);
+  void finalize_locked(Shard& shard, std::unique_lock<std::mutex>& lk,
                        const std::string& cm_id, Entry entry,
                        const EvalState::Verdict& verdict);
+  void record_decision_locked(Shard& shard, const std::string& cm_id,
+                              Outcome outcome);
 
   mq::QueueManager& qm_;
   OutcomeAction on_outcome_;
+  const EvaluationOptions options_;
+  const std::size_t per_shard_retention_;
 
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  std::map<std::string, Entry> states_;
-  std::map<std::string, Outcome> decisions_;
-  EvaluationStats stats_;
-  bool wake_ = false;
-  bool stopping_ = false;
-  std::thread worker_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::thread router_;
+  mutable std::mutex router_mu_;
+  std::condition_variable router_cv_;
+  bool router_wake_ = true;  // drain anything queued before construction
+  bool router_stopping_ = false;
+  std::atomic<std::uint64_t> acks_malformed_{0};
+  std::atomic<std::uint64_t> ack_batches_{0};
+
+  std::mutex stop_mu_;
+  bool stopped_ = false;
 };
 
 }  // namespace cmx::cm

@@ -4,6 +4,7 @@
 
 #include "cm/condition_text.hpp"
 #include "cm/control.hpp"
+#include "cm/evaluation_manager.hpp"
 
 namespace cmx::cm {
 
@@ -117,6 +118,28 @@ void dump_system_state(mq::QueueManager& qm, std::ostream& out) {
     if (qm.find_queue(queue) != nullptr) {
       dump_queue(qm, queue, out);
     }
+  }
+}
+
+void dump_evaluation(const EvaluationManager& eval, std::ostream& out) {
+  const auto stats = eval.stats();
+  out << "evaluation engine: " << eval.shard_count() << " shard(s), "
+      << (eval.options().scan_engine ? "scan" : "heap") << " mode, max_batch="
+      << eval.options().max_batch << ", retention="
+      << eval.options().decision_retention << "\n";
+  out << "  acks: processed=" << stats.acks_processed << " orphaned="
+      << stats.acks_orphaned << " malformed=" << stats.acks_malformed
+      << " batches=" << stats.ack_batches << "\n";
+  out << "  decisions: success=" << stats.decided_success << " failure="
+      << stats.decided_failure << " evicted=" << stats.decisions_evicted
+      << "\n";
+  out << "  shard  in-flight  dirty   heap  decisions\n";
+  const auto shards = eval.shard_info();
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const auto& s = shards[i];
+    out << "  " << std::setw(5) << i << "  " << std::setw(9) << s.in_flight
+        << "  " << std::setw(5) << s.dirty << "  " << std::setw(5) << s.heap
+        << "  " << std::setw(9) << s.decisions << "\n";
   }
 }
 

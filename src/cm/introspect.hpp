@@ -13,6 +13,8 @@
 
 namespace cmx::cm {
 
+class EvaluationManager;
+
 // One-line summary per message for a single queue. Unknown/opaque
 // messages are summarized by kind, id, and body size.
 void dump_queue(mq::QueueManager& qm, const std::string& queue_name,
@@ -25,5 +27,12 @@ void dump_system_state(mq::QueueManager& qm, std::ostream& out);
 
 // Everything: system queues plus application queue depths.
 void dump_all(mq::QueueManager& qm, std::ostream& out);
+
+// Per-shard view of the evaluation engine: in-flight evaluations, dirty
+// (re-evaluation pending) entries, live+stale heap sizes, retained
+// decisions — plus the engine-wide ack counters. The first stop when a
+// conditional message is "stuck pending": it shows which shard owns it
+// and whether acks are flowing at all.
+void dump_evaluation(const EvaluationManager& eval, std::ostream& out);
 
 }  // namespace cmx::cm

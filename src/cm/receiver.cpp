@@ -174,9 +174,21 @@ void ConditionalReceiver::handle_conditional_data(mq::Message msg,
       ++stats_.processing_acks;
     });
   } else {
-    log_consumption(log_entry);
+    // RLOG entry + read ack in ONE put_all: a single store append covers
+    // both persistent records (group-commit friendly — the ack queue's
+    // batch-draining evaluation engine sits on the other end), and there
+    // is no window where the consumption is durable but the ack is not.
     ack.type = AckType::kRead;
-    send_ack(ack, sender_qmgr, ack_queue);
+    std::vector<std::pair<mq::QueueAddress, mq::Message>> batch;
+    batch.reserve(2);
+    batch.emplace_back(mq::QueueAddress("", kReceiverLogQueue),
+                       log_entry.to_message());
+    batch.emplace_back(mq::QueueAddress(sender_qmgr, ack_queue),
+                       ack.to_message());
+    if (auto s = qm_.put_all(std::move(batch)); !s) {
+      CMX_WARN("cm.recv") << "failed to log/ack consumption of " << cm_id
+                          << ": " << s.to_string();
+    }
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.read_acks;
   }

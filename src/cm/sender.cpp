@@ -22,9 +22,11 @@ ConditionalMessagingService::ConditionalMessagingService(
       .expect_ok("ensure DS.PEND.Q");
   comp_ = std::make_unique<CompensationManager>(qm_);
   eval_ = std::make_unique<EvaluationManager>(
-      qm_, [this](const OutcomeRecord& record, bool deferred) {
+      qm_,
+      [this](const OutcomeRecord& record, bool deferred) {
         on_outcome(record, deferred);
-      });
+      },
+      options_.evaluation);
 }
 
 ConditionalMessagingService::~ConditionalMessagingService() {

@@ -53,6 +53,9 @@ struct SenderOptions {
   // success to all destinations"). Per-send override in SendOptions.
   bool success_notifications = false;
   CompensationStaging compensation_staging = CompensationStaging::kAtSendTime;
+  // Evaluation-engine tuning (shard count, ack drain batch size, decision
+  // retention); see EvaluationOptions and DESIGN.md §8.
+  EvaluationOptions evaluation;
 };
 
 struct SendOptions {

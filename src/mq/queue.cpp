@@ -92,6 +92,27 @@ std::optional<Queue::GotMessage> Queue::try_get(const Selector* selector) {
   return take_first_match_locked(selector, clock_.now_ms());
 }
 
+std::vector<Queue::GotMessage> Queue::try_get_batch(std::size_t max_n,
+                                                    const Selector* selector) {
+  std::vector<GotMessage> out;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (closed_ || max_n == 0) return out;
+  drop_expired_locked(clock_.now_ms());
+  for (auto it = entries_.begin();
+       it != entries_.end() && out.size() < max_n;) {
+    if (selector != nullptr && !selector->matches(it->second)) {
+      ++it;
+      continue;
+    }
+    GotMessage got{it->first.seq, std::move(it->second)};
+    ++got.msg.delivery_count;
+    it = entries_.erase(it);
+    ++stats_.gets;
+    out.push_back(std::move(got));
+  }
+  return out;
+}
+
 void Queue::restore(std::uint64_t seq, Message msg) {
   std::function<void()> listener;
   {

@@ -73,6 +73,13 @@ class Queue {
   // Non-blocking get.
   std::optional<GotMessage> try_get(const Selector* selector = nullptr);
 
+  // Non-blocking destructive get of up to `max_n` matching messages in
+  // delivery order, under ONE lock acquisition — the read-side sibling of
+  // the batched put path. Returns fewer (possibly zero) when the queue
+  // holds fewer matches, and nothing after close().
+  std::vector<GotMessage> try_get_batch(std::size_t max_n,
+                                        const Selector* selector = nullptr);
+
   // Re-inserts a message at its original position (session rollback).
   void restore(std::uint64_t seq, Message msg);
 

@@ -266,6 +266,33 @@ util::Result<Message> QueueManager::get(const std::string& queue_name,
   return msg;
 }
 
+std::vector<Message> QueueManager::get_batch(const std::string& queue_name,
+                                             std::size_t max_n,
+                                             const Selector* selector) {
+  std::vector<Message> out;
+  auto queue = find_queue(queue_name);
+  if (queue == nullptr) return out;
+  auto batch = queue->try_get_batch(max_n, selector);
+  if (batch.empty()) return out;
+  out.reserve(batch.size());
+  std::vector<LogRecord> records;
+  for (auto& got : batch) {
+    if (got.msg.persistent()) {
+      records.push_back(LogRecord::get(queue_name, got.msg.id));
+    }
+    out.push_back(std::move(got.msg));
+  }
+  if (records.size() == 1) {
+    store_->append(records.front()).expect_ok("log batch get");
+    maybe_compact();
+  } else if (!records.empty()) {
+    store_->append_batch(records).expect_ok("log batch get");
+    maybe_compact();
+  }
+  CMX_OBS_COUNT("mq.get", out.size());
+  return out;
+}
+
 util::Result<Message> QueueManager::remove_message(
     const std::string& queue_name, const std::string& msg_id) {
   auto queue = find_queue(queue_name);

@@ -85,6 +85,14 @@ class QueueManager {
                             util::TimeMs timeout_ms,
                             const Selector* selector = nullptr);
 
+  // Non-blocking destructive get of up to `max_n` messages in one queue
+  // lock acquisition, with ONE store append for all persistent removals
+  // (the read-side counterpart of put_local_batch). Returns an empty
+  // vector when the queue is empty, missing, or closed.
+  std::vector<Message> get_batch(const std::string& queue_name,
+                                 std::size_t max_n,
+                                 const Selector* selector = nullptr);
+
   // Removes a specific message (by message id) from a local queue, logging
   // the removal of persistent messages. Used for compensation annihilation
   // (paper §2.6). Returns the removed message or kNotFound.

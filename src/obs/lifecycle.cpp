@@ -16,6 +16,8 @@ const char* stage_name(Stage stage) {
       return "pickup";
     case Stage::kProcessingAck:
       return "processing_ack";
+    case Stage::kEvaluate:
+      return "evaluate";
     case Stage::kOutcomeDispatch:
       return "outcome_dispatch";
   }

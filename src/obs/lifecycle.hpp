@@ -1,4 +1,4 @@
-// Message-lifecycle tracer: per-stage latency histograms for the six
+// Message-lifecycle tracer: per-stage latency histograms for the seven
 // stages of the conditional send path (paper §2.3–§2.5):
 //
 //   send             full ConditionalMessagingService::send_message()
@@ -11,6 +11,8 @@
 //                    (the quantity MsgPickUpTime constrains, §2.2)
 //   processing_ack   recipient's read/commit timestamp -> the ack is
 //                    applied by the sender's evaluation manager
+//   evaluate         one evaluation-engine pass over a shard's dirty and
+//                    deadline-lapsed states (§2.5; DESIGN.md §8)
 //   outcome_dispatch verdict reached -> outcome actions + notification
 //                    dispatched (compensation release / discard, §2.6)
 //
@@ -32,10 +34,11 @@ enum class Stage {
   kChannelTransit,
   kPickup,
   kProcessingAck,
+  kEvaluate,
   kOutcomeDispatch,
 };
 
-inline constexpr int kStageCount = 6;
+inline constexpr int kStageCount = 7;
 
 const char* stage_name(Stage stage);
 

@@ -1,0 +1,278 @@
+// Tests of the sharded, event-driven evaluation engine (DESIGN.md §8):
+// shard routing, the deadline heap's lazy-deletion protocol, batch ack
+// draining, forced decisions racing in-flight acks, and the bounded
+// decision-retention buffer.
+//
+// Suite names start with EvalEngine so the TSan CI job picks them up
+// (the multi-shard engine is exactly the code that needs race coverage).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "cm/condition_builder.hpp"
+#include "cm/evaluation_manager.hpp"
+#include "tests/test_support.hpp"
+
+namespace cmx::cm {
+namespace {
+
+using mq::QueueAddress;
+
+class EvalEngineTest : public ::testing::Test {
+ protected:
+  EvalEngineTest() { qm_ = test::make_qm("QM", clock_); }
+
+  void start(EvaluationOptions options = {}) {
+    eval_ = std::make_unique<EvaluationManager>(
+        *qm_,
+        [this](const OutcomeRecord& record, bool) {
+          std::lock_guard<std::mutex> lk(mu_);
+          ++outcome_counts_[record.cm_id];
+          outcomes_[record.cm_id] = record;
+        },
+        options);
+  }
+
+  // One leaf on QM/R that must be read within `pick_up_ms` of `send_ts`.
+  std::unique_ptr<EvalState> make_state(const std::string& cm_id,
+                                        util::TimeMs pick_up_ms,
+                                        util::TimeMs send_ts) {
+    auto cond = DestBuilder(dest_).pick_up_within(pick_up_ms).build();
+    return std::make_unique<EvalState>(cm_id, *cond, send_ts);
+  }
+
+  void put_read_ack(const std::string& cm_id, util::TimeMs read_ts) {
+    AckRecord ack;
+    ack.cm_id = cm_id;
+    ack.type = AckType::kRead;
+    ack.queue = dest_;
+    ack.read_ts = read_ts;
+    qm_->put_local(kAckQueue, ack.to_message()).expect_ok("put ack");
+  }
+
+  int outcome_count(const std::string& cm_id) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = outcome_counts_.find(cm_id);
+    return it == outcome_counts_.end() ? 0 : it->second;
+  }
+
+  OutcomeRecord outcome_of(const std::string& cm_id) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return outcomes_.at(cm_id);
+  }
+
+  std::size_t total_outcomes() {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::size_t n = 0;
+    for (const auto& [id, count] : outcome_counts_) n += count;
+    return n;
+  }
+
+  QueueAddress dest_{"QM", "R"};
+  util::SimClock clock_;
+  std::unique_ptr<mq::QueueManager> qm_;
+  std::unique_ptr<EvaluationManager> eval_;
+
+  std::mutex mu_;
+  std::map<std::string, int> outcome_counts_;
+  std::map<std::string, OutcomeRecord> outcomes_;
+};
+
+TEST_F(EvalEngineTest, AckDrivenSuccessAcrossAllShards) {
+  start();
+  ASSERT_EQ(eval_->shard_count(), kEvalShards);
+  constexpr int kN = 64;
+  std::vector<std::string> ids;
+  for (int i = 0; i < kN; ++i) {
+    ids.push_back("cm-" + std::to_string(i));
+    eval_->register_message(make_state(ids.back(), 1000, clock_.now_ms()),
+                            /*deferred=*/false);
+  }
+  // The ids must actually spread over shards, or this test is vacuous.
+  std::vector<bool> hit(eval_->shard_count(), false);
+  for (const auto& id : ids) hit[eval_->shard_of(id)] = true;
+  EXPECT_GE(std::count(hit.begin(), hit.end(), true), 2);
+
+  for (const auto& id : ids) put_read_ack(id, clock_.now_ms());
+  for (const auto& id : ids) {
+    EXPECT_TRUE(eval_->await_decided(id, 5000)) << id;
+    EXPECT_EQ(outcome_of(id).outcome, Outcome::kSuccess) << id;
+  }
+  EXPECT_EQ(eval_->in_flight(), 0u);
+  auto stats = eval_->stats();
+  EXPECT_EQ(stats.acks_processed, static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(stats.decided_success, static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(stats.decided_failure, 0u);
+  EXPECT_GE(stats.ack_batches, 1u);
+  std::size_t decisions = 0;
+  for (const auto& s : eval_->shard_info()) decisions += s.decisions;
+  EXPECT_EQ(decisions, static_cast<std::size_t>(kN));
+}
+
+TEST_F(EvalEngineTest, DeadlineLapseFailsViaHeapWakeup) {
+  start();
+  eval_->register_message(make_state("cm-late", 100, clock_.now_ms()),
+                          false);
+  EXPECT_TRUE(eval_->is_in_flight("cm-late"));
+  EXPECT_FALSE(eval_->await_decided("cm-late", 50));  // deadline not lapsed
+  clock_.advance_ms(101);
+  ASSERT_TRUE(eval_->await_decided("cm-late", 5000));
+  const auto record = outcome_of("cm-late");
+  EXPECT_EQ(record.outcome, Outcome::kFailure);
+  EXPECT_NE(record.reason.find("pick-up"), std::string::npos);
+  EXPECT_FALSE(eval_->is_in_flight("cm-late"));
+}
+
+TEST_F(EvalEngineTest, StaleHeapEntryAfterEarlySuccessIsHarmless) {
+  start();
+  eval_->register_message(make_state("cm-early", 500, clock_.now_ms()),
+                          false);
+  // Let the worker evaluate once so the deadline is on the heap.
+  ASSERT_TRUE(test::eventually([&] {
+    std::size_t heap = 0;
+    for (const auto& s : eval_->shard_info()) heap += s.heap;
+    return heap == 1;
+  }));
+  put_read_ack("cm-early", clock_.now_ms());
+  ASSERT_TRUE(eval_->await_decided("cm-early", 5000));
+  EXPECT_EQ(outcome_of("cm-early").outcome, Outcome::kSuccess);
+
+  // The heap still holds the (now stale) deadline item. Letting the
+  // deadline lapse must not produce a second outcome — the stale item is
+  // discarded on pop — and the heap drains.
+  clock_.advance_ms(1000);
+  EXPECT_TRUE(test::eventually([&] {
+    std::size_t heap = 0;
+    for (const auto& s : eval_->shard_info()) heap += s.heap;
+    return heap == 0;
+  }));
+  EXPECT_EQ(outcome_count("cm-early"), 1);
+  auto stats = eval_->stats();
+  EXPECT_EQ(stats.decided_success, 1u);
+  EXPECT_EQ(stats.decided_failure, 0u);
+}
+
+TEST_F(EvalEngineTest, MalformedAckDroppedWithoutPoisoningBatch) {
+  start();
+  eval_->register_message(make_state("cm-a", 1000, clock_.now_ms()), false);
+  eval_->register_message(make_state("cm-b", 1000, clock_.now_ms()), false);
+  put_read_ack("cm-a", clock_.now_ms());
+  // Not an ack at all: no control properties to decode.
+  qm_->put_local(kAckQueue, mq::Message("junk")).expect_ok("put junk");
+  put_read_ack("cm-b", clock_.now_ms());
+
+  EXPECT_TRUE(eval_->await_decided("cm-a", 5000));
+  EXPECT_TRUE(eval_->await_decided("cm-b", 5000));
+  EXPECT_EQ(outcome_of("cm-a").outcome, Outcome::kSuccess);
+  EXPECT_EQ(outcome_of("cm-b").outcome, Outcome::kSuccess);
+  auto stats = eval_->stats();
+  EXPECT_EQ(stats.acks_malformed, 1u);
+  EXPECT_EQ(stats.acks_processed, 2u);
+}
+
+TEST_F(EvalEngineTest, OrphanAckCounted) {
+  start();
+  put_read_ack("cm-ghost", clock_.now_ms());
+  EXPECT_TRUE(test::eventually(
+      [&] { return eval_->stats().acks_orphaned == 1; }));
+}
+
+TEST_F(EvalEngineTest, ForceDecisionRacesInFlightAcksOnOneShard) {
+  start();
+  // All ids deliberately on ONE shard: the race between the router
+  // applying an ack and force_decision() erasing the state is
+  // shard-internal.
+  const std::size_t shard = eval_->shard_of("cm-seed");
+  std::vector<std::string> ids;
+  for (int i = 0; ids.size() < 32; ++i) {
+    std::string id = "cm-race-" + std::to_string(i);
+    if (eval_->shard_of(id) == shard) ids.push_back(std::move(id));
+  }
+  for (const auto& id : ids) {
+    eval_->register_message(make_state(id, 10'000, clock_.now_ms()), false);
+  }
+  std::thread acker([&] {
+    for (const auto& id : ids) put_read_ack(id, clock_.now_ms());
+  });
+  std::size_t forced = 0;
+  for (const auto& id : ids) {
+    if (eval_->force_decision(id, Outcome::kFailure, "raced")) ++forced;
+  }
+  acker.join();
+
+  // Whichever side won each race, every message decided exactly once.
+  for (const auto& id : ids) {
+    EXPECT_TRUE(eval_->await_decided(id, 5000)) << id;
+  }
+  for (const auto& id : ids) {
+    EXPECT_EQ(outcome_count(id), 1) << id;
+  }
+  EXPECT_EQ(total_outcomes(), ids.size());
+  EXPECT_EQ(eval_->in_flight(), 0u);
+  auto stats = eval_->stats();
+  EXPECT_EQ(stats.decided_success + stats.decided_failure, ids.size());
+  EXPECT_GE(stats.decided_failure, static_cast<std::uint64_t>(forced));
+}
+
+TEST_F(EvalEngineTest, RepeatedStopIsNoOp) {
+  start();
+  eval_->register_message(make_state("cm-x", 100, clock_.now_ms()), false);
+  put_read_ack("cm-x", clock_.now_ms());
+  ASSERT_TRUE(eval_->await_decided("cm-x", 5000));
+  eval_->stop();
+  eval_->stop();  // second (and later) stops must be harmless
+  eval_->stop();
+  EXPECT_EQ(eval_->stats().decided_success, 1u);
+  eval_.reset();  // destructor also calls stop()
+}
+
+TEST_F(EvalEngineTest, ScanEngineBaselineStillDecides) {
+  start(EvaluationOptions{.shard_count = 1, .max_batch = 1,
+                          .scan_engine = true});
+  EXPECT_EQ(eval_->shard_count(), 1u);
+  eval_->register_message(make_state("cm-scan", 100, clock_.now_ms()),
+                          false);
+  eval_->register_message(make_state("cm-scan2", 100, clock_.now_ms()),
+                          false);
+  put_read_ack("cm-scan", clock_.now_ms());
+  ASSERT_TRUE(eval_->await_decided("cm-scan", 5000));
+  EXPECT_EQ(outcome_of("cm-scan").outcome, Outcome::kSuccess);
+  clock_.advance_ms(101);
+  ASSERT_TRUE(eval_->await_decided("cm-scan2", 5000));
+  EXPECT_EQ(outcome_of("cm-scan2").outcome, Outcome::kFailure);
+}
+
+TEST_F(EvalEngineTest, DecisionRetentionBoundedWithFifoEviction) {
+  start(EvaluationOptions{.shard_count = 4, .decision_retention = 64});
+  constexpr int kDecided = 200'000;
+  for (int i = 0; i < kDecided; ++i) {
+    const std::string id = "cm-" + std::to_string(i);
+    eval_->register_message(make_state(id, 1000, clock_.now_ms()), false);
+    eval_->force_decision(id, Outcome::kSuccess, "retire")
+        .expect_ok("force");
+  }
+  EXPECT_EQ(eval_->in_flight(), 0u);
+
+  // Retained decisions stay bounded no matter how many messages decided:
+  // at most retention/shard per shard, FIFO-evicted beyond that.
+  std::size_t retained = 0;
+  for (const auto& s : eval_->shard_info()) {
+    EXPECT_LE(s.decisions, 64u / 4u);
+    retained += s.decisions;
+  }
+  EXPECT_LE(retained, 64u);
+  auto stats = eval_->stats();
+  EXPECT_EQ(stats.decided_success, static_cast<std::uint64_t>(kDecided));
+  EXPECT_GE(stats.decisions_evicted,
+            static_cast<std::uint64_t>(kDecided) - 64);
+  // A recent decision is still queryable; the very first was evicted.
+  EXPECT_TRUE(
+      eval_->await_decided("cm-" + std::to_string(kDecided - 1), 1000));
+  EXPECT_FALSE(eval_->await_decided("cm-0", 10));
+}
+
+}  // namespace
+}  // namespace cmx::cm

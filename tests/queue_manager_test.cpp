@@ -121,6 +121,27 @@ TEST_F(QueueManagerTest, RemoveMessageLogsRemoval) {
   EXPECT_EQ(fresh->get("Q", 0).code(), util::ErrorCode::kTimeout);
 }
 
+TEST_F(QueueManagerTest, BatchGetLogsRemovalsDurably) {
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(qm_->put(QueueAddress("", "Q"), msg(std::to_string(i))));
+  }
+  auto got = qm_->get_batch("Q", 3);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].body, "0");
+  EXPECT_EQ(got[2].body, "2");
+  EXPECT_TRUE(qm_->get_batch("NOPE", 3).empty());
+
+  // The batch's removals hit the store as one append_batch: after a
+  // restart the consumed messages stay consumed.
+  auto fresh = restart();
+  auto q = fresh->find_queue("Q");
+  ASSERT_NE(q, nullptr);
+  auto left = q->browse();
+  ASSERT_EQ(left.size(), 2u);
+  EXPECT_EQ(left[0].body, "3");
+  EXPECT_EQ(left[1].body, "4");
+}
+
 TEST_F(QueueManagerTest, CompactionPreservesState) {
   for (int i = 0; i < 50; ++i) {
     ASSERT_TRUE(qm_->put(QueueAddress("", "Q"), msg("m" + std::to_string(i))));

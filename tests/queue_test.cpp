@@ -140,6 +140,54 @@ TEST_F(QueueTest, SelectorFiltersGet) {
   EXPECT_EQ(q_.depth(), 1u);  // "a" untouched
 }
 
+TEST_F(QueueTest, BatchGetDrainsInOrderUpToLimit) {
+  ASSERT_TRUE(q_.put(msg("a")));
+  ASSERT_TRUE(q_.put(msg("b", 9)));
+  ASSERT_TRUE(q_.put(msg("c")));
+  auto got = q_.try_get_batch(2);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].msg.body, "b");  // priority order, like try_get
+  EXPECT_EQ(got[1].msg.body, "a");
+  EXPECT_EQ(got[0].msg.delivery_count, 1);
+  EXPECT_EQ(q_.depth(), 1u);
+  auto rest = q_.try_get_batch(10);  // partial batch: whatever is left
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].msg.body, "c");
+  EXPECT_TRUE(q_.try_get_batch(10).empty());
+  EXPECT_EQ(q_.stats().gets, 3u);  // counted per message, not per batch
+}
+
+TEST_F(QueueTest, BatchGetHonorsSelector) {
+  for (int i = 0; i < 4; ++i) {
+    Message m = msg(std::to_string(i));
+    m.set_property("kind", std::string(i % 2 == 0 ? "even" : "odd"));
+    ASSERT_TRUE(q_.put(m));
+  }
+  auto sel = Selector::parse("kind = 'odd'");
+  ASSERT_TRUE(sel.is_ok());
+  auto got = q_.try_get_batch(10, &sel.value());
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].msg.body, "1");
+  EXPECT_EQ(got[1].msg.body, "3");
+  EXPECT_EQ(q_.depth(), 2u);  // evens untouched
+}
+
+TEST_F(QueueTest, BatchGetSkipsExpiredAndRespectsClose) {
+  Message e = msg("stale");
+  e.expiry_ms = 5;
+  ASSERT_TRUE(q_.put(e));
+  ASSERT_TRUE(q_.put(msg("fresh")));
+  clock_.set_ms(10);
+  auto got = q_.try_get_batch(10);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].msg.body, "fresh");
+  EXPECT_EQ(q_.stats().expired, 1u);
+  ASSERT_TRUE(q_.put(msg("x")));
+  EXPECT_TRUE(q_.try_get_batch(0).empty());  // max_n = 0 is a no-op
+  q_.close();
+  EXPECT_TRUE(q_.try_get_batch(10).empty());  // closed: nothing delivered
+}
+
 TEST_F(QueueTest, GetTimesOutAtDeadline) {
   auto result = q_.get(/*deadline_ms=*/clock_.now_ms());
   EXPECT_EQ(result.code(), util::ErrorCode::kTimeout);
