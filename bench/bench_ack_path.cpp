@@ -16,7 +16,7 @@ using namespace cmx;
 // Crafts the standard message a conditional sender would generate.
 mq::Message conditional_data_msg(const std::string& queue) {
   mq::Message m("payload");
-  m.id = util::generate_id("msg");
+  m.set_id(util::generate_id("msg"));
   m.set_property(cm::prop::kKind, std::string("data"));
   m.set_property(cm::prop::kCmId, util::generate_id("cm"));
   m.set_property(cm::prop::kProcessingRequired, false);

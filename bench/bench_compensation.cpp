@@ -69,7 +69,7 @@ BENCHMARK(BM_ReleaseCompensation)->Arg(1)->Arg(4)->Arg(16);
 
 mq::Message data_msg(const std::string& queue, const std::string& msg_id) {
   mq::Message m("payload");
-  m.id = msg_id;
+  m.set_id(msg_id);
   m.set_property(cm::prop::kKind, std::string("data"));
   m.set_property(cm::prop::kCmId, util::generate_id("cm"));
   m.set_property(cm::prop::kProcessingRequired, false);
@@ -85,7 +85,7 @@ mq::Message comp_msg(const std::string& original_id) {
   m.set_property(cm::prop::kKind, std::string("compensation"));
   m.set_property(cm::prop::kCmId, util::generate_id("cm"));
   m.set_property(cm::prop::kOriginalMsgId, original_id);
-  m.correlation_id = original_id;
+  m.set_correlation_id(original_id);
   return m;
 }
 

@@ -18,8 +18,8 @@ using namespace cmx;
 
 mq::Message make_msg(int priority, mq::Persistence persistence) {
   mq::Message m("benchmark payload: forty-seven bytes of data....");
-  m.priority = priority;
-  m.persistence = persistence;
+  m.set_priority(priority);
+  m.set_persistence(persistence);
   return m;
 }
 

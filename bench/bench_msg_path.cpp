@@ -1,0 +1,257 @@
+// E16 — zero-copy message core A/B on the full persistent delivery path.
+//
+// Closed-loop, two queue managers joined by a channel: each round fans one
+// body out to `fanout` destination queues on the remote manager (persistent
+// messages, MemoryStore on both sides — the store exercises the complete
+// encode-per-append path without disk noise), then blocks until all copies
+// arrive. The A/B arms run in ONE binary via set_zero_copy_enabled():
+//
+//   zero_copy  — shared payloads, flat property bags, memoized frames
+//   deep_copy  — every Message copy duplicates the body and every encode
+//                re-serializes (the seed's behaviour)
+//
+// Grid: body 256 B / 4 KiB / 64 KiB x fanout 1 / 8. Reported per arm:
+// delivered msgs/sec, serializations per delivered message, and the
+// frame-cache counters; hit_rate = (hits + patches) / (hits + patches +
+// misses). Headline (the acceptance gate): fanout 8 x 64 KiB zero_copy
+// must deliver >= 2x the deep_copy arm's msgs/sec, with a persistent-path
+// frame-cache hit rate > 90%.
+//
+// Writes BENCH_msg_path.json into the working directory (skipped with
+// --smoke, which runs one tiny zero-copy arm as a CI liveness check).
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mq/network.hpp"
+#include "mq/payload.hpp"
+#include "mq/queue_manager.hpp"
+#include "mq/store.hpp"
+#include "obs/registry.hpp"
+
+namespace {
+
+using namespace cmx;
+
+struct ArmResult {
+  const char* mode;
+  std::size_t body_bytes;
+  int fanout;
+  std::uint64_t delivered = 0;
+  double duration_s = 0.0;
+  double msgs_per_sec = 0.0;
+  std::uint64_t serializations = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_fills = 0;
+  std::uint64_t cache_patches = 0;
+  double hit_rate = 0.0;
+};
+
+std::uint64_t counter_value(const obs::MetricsRegistry::Snapshot& snap,
+                            const std::string& name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+ArmResult run_arm(bool zero_copy, std::size_t body_bytes, int fanout,
+                  int rounds) {
+  mq::set_zero_copy_enabled(zero_copy);
+
+  util::SystemClock clock;
+  mq::QueueManager qm1("QM1", clock, std::make_unique<mq::MemoryStore>());
+  mq::QueueManager qm2("QM2", clock, std::make_unique<mq::MemoryStore>());
+  std::vector<std::string> dests;
+  for (int i = 0; i < fanout; ++i) {
+    dests.push_back("DEST" + std::to_string(i));
+    qm2.create_queue(dests.back()).expect_ok("create dest");
+  }
+  mq::Network net;
+  net.add(qm1);
+  net.add(qm2);
+
+  const std::string body(body_bytes, 'x');
+  std::uint64_t delivered = 0;
+
+  // Warmup: a few fully-drained rounds before the timer so thread spin-up
+  // and the clock's first-millisecond cold start (put_time_ms 0 reads as
+  // "unset" and gets re-stamped on arrival) don't pollute either arm.
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::pair<mq::QueueAddress, mq::Message>> warm;
+    for (int i = 0; i < fanout; ++i) {
+      mq::Message msg{std::string(body_bytes, 'w')};
+      msg.set_persistence(mq::Persistence::kPersistent);
+      warm.emplace_back(mq::QueueAddress("QM2", dests[i]), std::move(msg));
+    }
+    qm1.put_all(std::move(warm)).expect_ok("warmup put");
+    for (int i = 0; i < fanout; ++i) {
+      qm2.get(dests[i], 30'000).status().expect_ok("warmup get");
+    }
+  }
+  // The clock reads 0 for its first millisecond; a message stamped then
+  // looks "unset" (put_time_ms 0) and is re-stamped on arrival, which
+  // invalidates its cached frame. Start the timed run past that edge.
+  clock.sleep_ms(2);
+  obs::MetricsRegistry::instance().reset();
+
+  // Closed loop with a bounded window: the producer keeps at most
+  // kWindow messages in flight (xmit queue + channel + destination
+  // queues) while a consumer thread drains the far side. The window makes
+  // the measurement throughput-bound — pure ping-pong per round would
+  // measure channel hand-off latency, which both arms share — while still
+  // preventing unbounded queue growth.
+  constexpr int kWindow = 256;
+  std::mutex window_mu;
+  std::condition_variable window_cv;
+  int outstanding = 0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread consumer([&] {
+    for (int round = 0; round < rounds; ++round) {
+      for (int i = 0; i < fanout; ++i) {
+        auto got = qm2.get(dests[i], 30'000);
+        got.status().expect_ok("delivery");
+        ++delivered;
+        {
+          std::lock_guard<std::mutex> lk(window_mu);
+          --outstanding;
+        }
+        window_cv.notify_one();
+      }
+    }
+  });
+  for (int round = 0; round < rounds; ++round) {
+    {
+      std::unique_lock<std::mutex> lk(window_mu);
+      window_cv.wait(lk, [&] { return outstanding + fanout <= kWindow; });
+      outstanding += fanout;
+    }
+    // One shared payload per round: under zero_copy the fan-out legs all
+    // reference it; under deep_copy each Message copy duplicates it.
+    const mq::Payload payload{body};
+    std::vector<std::pair<mq::QueueAddress, mq::Message>> puts;
+    puts.reserve(fanout);
+    for (int i = 0; i < fanout; ++i) {
+      mq::Message msg(payload);
+      msg.set_persistence(mq::Persistence::kPersistent);
+      puts.emplace_back(mq::QueueAddress("QM2", dests[i]), std::move(msg));
+    }
+    qm1.put_all(std::move(puts)).expect_ok("fanout put");
+  }
+  consumer.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  net.shutdown();
+
+  const auto snap = obs::MetricsRegistry::instance().snapshot();
+  ArmResult r;
+  r.mode = zero_copy ? "zero_copy" : "deep_copy";
+  r.body_bytes = body_bytes;
+  r.fanout = fanout;
+  r.delivered = delivered;
+  r.duration_s = elapsed;
+  r.msgs_per_sec = elapsed > 0.0 ? delivered / elapsed : 0.0;
+  r.serializations = counter_value(snap, "mq.msg.serializations");
+  r.cache_hits = counter_value(snap, "mq.msg.frame_cache_hits");
+  r.cache_misses = counter_value(snap, "mq.msg.frame_cache_misses");
+  r.cache_fills = counter_value(snap, "mq.msg.frame_cache_fills");
+  r.cache_patches = counter_value(snap, "mq.msg.frame_cache_patches");
+  const double served = static_cast<double>(r.cache_hits + r.cache_patches);
+  const double demand = served + static_cast<double>(r.cache_misses);
+  r.hit_rate = demand > 0.0 ? served / demand : 0.0;
+  return r;
+}
+
+void print_arm(const ArmResult& r) {
+  std::cout << r.mode << " body=" << r.body_bytes << "B fanout=" << r.fanout
+            << ": " << static_cast<std::uint64_t>(r.msgs_per_sec)
+            << " msgs/s (" << r.delivered << " in " << r.duration_s << "s), "
+            << (r.delivered > 0
+                    ? static_cast<double>(r.serializations) / r.delivered
+                    : 0.0)
+            << " serializations/msg, hit_rate=" << r.hit_rate
+            << " (hits=" << r.cache_hits << " misses=" << r.cache_misses
+            << " fills=" << r.cache_fills << " patches=" << r.cache_patches
+            << ")\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  obs::set_enabled(true);
+
+  if (smoke) {
+    const auto r = run_arm(/*zero_copy=*/true, 4096, 2, /*rounds=*/100);
+    print_arm(r);
+    // Liveness gate: full delivery and a working frame cache.
+    return (r.delivered == 200 && r.hit_rate > 0.5) ? 0 : 1;
+  }
+
+  std::vector<ArmResult> results;
+  for (const std::size_t body : {std::size_t{256}, std::size_t{4096},
+                                 std::size_t{65536}}) {
+    for (const int fanout : {1, 8}) {
+      // Keep per-arm wall clock comparable across body sizes.
+      const int rounds = body >= 65536 ? 1500 : (body >= 4096 ? 4000 : 8000);
+      for (const bool zero_copy : {false, true}) {
+        const auto r = run_arm(zero_copy, body, fanout, rounds);
+        print_arm(r);
+        results.push_back(r);
+      }
+    }
+  }
+
+  double deep_64k_f8 = 0.0, zero_64k_f8 = 0.0, zero_64k_f8_hit = 0.0;
+  for (const auto& r : results) {
+    if (r.body_bytes == 65536 && r.fanout == 8) {
+      if (std::strcmp(r.mode, "zero_copy") == 0) {
+        zero_64k_f8 = r.msgs_per_sec;
+        zero_64k_f8_hit = r.hit_rate;
+      } else {
+        deep_64k_f8 = r.msgs_per_sec;
+      }
+    }
+  }
+  const double speedup = deep_64k_f8 > 0.0 ? zero_64k_f8 / deep_64k_f8 : 0.0;
+
+  std::ofstream out("BENCH_msg_path.json");
+  out << "{\"bench\": \"msg_path\", \"store\": \"memory\", \"arms\": [";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    if (i > 0) out << ", ";
+    out << "{\"mode\": \"" << r.mode << "\", \"body_bytes\": " << r.body_bytes
+        << ", \"fanout\": " << r.fanout
+        << ", \"delivered_msgs_per_sec\": " << r.msgs_per_sec
+        << ", \"delivered\": " << r.delivered
+        << ", \"duration_s\": " << r.duration_s
+        << ", \"serializations\": " << r.serializations
+        << ", \"serializations_per_msg\": "
+        << (r.delivered > 0
+                ? static_cast<double>(r.serializations) / r.delivered
+                : 0.0)
+        << ", \"frame_cache_hits\": " << r.cache_hits
+        << ", \"frame_cache_misses\": " << r.cache_misses
+        << ", \"frame_cache_fills\": " << r.cache_fills
+        << ", \"frame_cache_patches\": " << r.cache_patches
+        << ", \"frame_cache_hit_rate\": " << r.hit_rate << "}";
+  }
+  out << "], \"headline\": {\"body_bytes\": 65536, \"fanout\": 8, "
+      << "\"deep_copy_msgs_per_sec\": " << deep_64k_f8
+      << ", \"zero_copy_msgs_per_sec\": " << zero_64k_f8
+      << ", \"speedup\": " << speedup
+      << ", \"zero_copy_frame_cache_hit_rate\": " << zero_64k_f8_hit << "}}\n";
+  std::cout << "BENCH_msg_path.json: 64KiB fanout-8 speedup = " << speedup
+            << "x, hit_rate = " << zero_64k_f8_hit << "\n";
+  return 0;
+}

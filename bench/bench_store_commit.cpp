@@ -59,7 +59,7 @@ double measure_appends_per_sec(bool group, int producers,
         }
         for (int i = 0; i < per_producer; ++i) {
           mq::Message msg(payload);
-          msg.id = "m" + std::to_string(t) + "-" + std::to_string(i);
+          msg.set_id("m" + std::to_string(t) + "-" + std::to_string(i));
           store.append(mq::LogRecord::put("Q", std::move(msg)))
               .expect_ok("bench append");
         }

@@ -34,7 +34,7 @@ int main() {
   };
   for (const auto& job : jobs) {
     mq::Message msg(job.what);
-    msg.priority = job.priority;
+    msg.set_priority(job.priority);
     msg.set_property("region", std::string(job.region));
     msg.set_property("urgent", job.priority >= 7);
     producer->put(mq::QueueAddress("", "JOBS"), std::move(msg))
@@ -54,9 +54,9 @@ int main() {
   urgent.status().expect_ok("selector");
   std::printf("urgent consumer:\n");
   while (auto msg = qm.get("JOBS", 0, &urgent.value())) {
-    std::printf("  [prio %d] %-6s %s\n", msg.value().priority,
+    std::printf("  [prio %d] %-6s %s\n", msg.value().priority(),
                 msg.value().get_string("region")->c_str(),
-                msg.value().body.c_str());
+                msg.value().body().c_str());
   }
 
   // per-region consumers use selectors over application properties
@@ -66,8 +66,8 @@ int main() {
     selector.status().expect_ok("selector");
     std::printf("%s consumer:\n", region);
     while (auto msg = qm.get("JOBS", 0, &selector.value())) {
-      std::printf("  [prio %d] %s\n", msg.value().priority,
-                  msg.value().body.c_str());
+      std::printf("  [prio %d] %s\n", msg.value().priority(),
+                  msg.value().body().c_str());
     }
   }
   std::printf("\nremaining depth: %zu\n", qm.find_queue("JOBS")->depth());

@@ -43,8 +43,8 @@ std::vector<mq::Message> CompensationManager::build_staged(
                                       ? "application"
                                       : "system"));
     comp.set_property(prop::kDest, addr.to_string());
-    comp.correlation_id = original_msg_id;
-    comp.persistence = mq::Persistence::kPersistent;
+    comp.set_correlation_id(original_msg_id);
+    comp.set_persistence(mq::Persistence::kPersistent);
     staged.push_back(std::move(comp));
   }
   return staged;
@@ -73,7 +73,7 @@ util::Status CompensationManager::release(const std::string& cm_id) {
   auto staged = take_staged(cm_id);
   for (auto& comp : staged) {
     const auto dest = comp.get_string(prop::kDest).value_or("");
-    comp.properties.erase(prop::kDest);
+    comp.erase_property(prop::kDest);
     const auto addr = mq::QueueAddress::parse(dest);
     if (auto s = qm_.put(addr, std::move(comp)); !s) {
       CMX_WARN("cm.comp") << "failed to release compensation for " << cm_id
@@ -101,8 +101,8 @@ util::Status CompensationManager::send_success_notifications(
     note.set_property(prop::kKind, std::string("success"));
     note.set_property(prop::kCmId, cm_id);
     note.set_property(prop::kOriginalMsgId, original_msg_id);
-    note.correlation_id = original_msg_id;
-    note.persistence = mq::Persistence::kPersistent;
+    note.set_correlation_id(original_msg_id);
+    note.set_persistence(mq::Persistence::kPersistent);
     if (auto s = qm_.put(addr, std::move(note)); !s) return s;
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.success_notifications;

@@ -58,7 +58,7 @@ mq::Message AckRecord::to_message() const {
   msg.set_property(prop::kRecipient, recipient_id);
   msg.set_property(prop::kReadTs, read_ts);
   msg.set_property(prop::kCommitTs, commit_ts);
-  msg.persistence = mq::Persistence::kPersistent;
+  msg.set_persistence(mq::Persistence::kPersistent);
   return msg;
 }
 
@@ -96,7 +96,7 @@ mq::Message OutcomeRecord::to_message() const {
   msg.set_property(prop::kOutcome, std::string(outcome_name(outcome)));
   msg.set_property(prop::kReason, reason);
   msg.set_property(prop::kDecidedTs, decided_ts);
-  msg.persistence = mq::Persistence::kPersistent;
+  msg.set_persistence(mq::Persistence::kPersistent);
   return msg;
 }
 
@@ -134,13 +134,13 @@ mq::Message SenderLogEntry::to_message() const {
   }
   mq::Message msg(w.take());
   msg.set_property(prop::kCmId, cm_id);
-  msg.persistence = mq::Persistence::kPersistent;
+  msg.set_persistence(mq::Persistence::kPersistent);
   return msg;
 }
 
 util::Result<SenderLogEntry> SenderLogEntry::from_message(
     const mq::Message& msg) {
-  util::BinaryReader r(msg.body);
+  util::BinaryReader r(msg.body());
   SenderLogEntry entry;
   auto cm_id = r.get_string();
   if (!cm_id) return cm_id.status();
@@ -194,7 +194,7 @@ mq::Message PendingActionMarker::to_message() const {
   msg.set_property(prop::kCmId, cm_id);
   msg.set_property(prop::kOutcome, std::string(outcome_name(outcome)));
   msg.set_property(prop::kReason, reason);
-  msg.persistence = mq::Persistence::kPersistent;
+  msg.set_persistence(mq::Persistence::kPersistent);
   return msg;
 }
 
@@ -209,7 +209,7 @@ util::Result<PendingActionMarker> PendingActionMarker::from_message(
   marker.outcome =
       (*outcome == "success") ? Outcome::kSuccess : Outcome::kFailure;
   marker.reason = msg.get_string(prop::kReason).value_or("");
-  util::BinaryReader r(msg.body);
+  util::BinaryReader r(msg.body());
   auto notify = r.get_bool();
   if (!notify) return notify.status();
   marker.success_notifications = notify.value();
@@ -240,7 +240,7 @@ mq::Message ReceiverLogEntry::to_message() const {
   msg.set_property(prop::kQueue, queue);
   msg.set_property(prop::kRecipient, recipient_id);
   msg.set_property(prop::kReadTs, read_ts);
-  msg.persistence = mq::Persistence::kPersistent;
+  msg.set_persistence(mq::Persistence::kPersistent);
   return msg;
 }
 

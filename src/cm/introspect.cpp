@@ -80,12 +80,12 @@ void describe_message(const std::string& queue_name, const mq::Message& msg,
   out << message_kind_name(kind);
   if (auto cm_id = msg.get_string(prop::kCmId)) out << " of " << *cm_id;
   if (auto dest = msg.get_string(prop::kDest)) out << " -> " << *dest;
-  out << " id=" << msg.id << " prio=" << msg.priority
+  out << " id=" << msg.id() << " prio=" << msg.priority()
       << (msg.persistent() ? " persistent" : " volatile") << " body="
-      << msg.body.size() << "B";
-  if (kind == MessageKind::kData && !msg.body.empty() &&
-      msg.body.size() <= 48) {
-    out << " \"" << msg.body << "\"";
+      << msg.body_size() << "B";
+  if (kind == MessageKind::kData && !msg.body().empty() &&
+      msg.body_size() <= 48) {
+    out << " \"" << msg.body() << "\"";
   }
   out << "\n";
 }
@@ -99,13 +99,20 @@ void dump_queue(mq::QueueManager& qm, const std::string& queue_name,
     out << "  " << queue_name << ": <absent>\n";
     return;
   }
-  const auto messages = queue->browse();
+  // Bounded browse: dumping is diagnostic output — never copy a whole deep
+  // queue under its lock just to print it.
+  constexpr std::size_t kDumpLimit = 64;
+  const auto messages = queue->browse(kDumpLimit);
   const auto stats = queue->stats();
-  out << "  " << queue_name << ": depth=" << messages.size()
+  out << "  " << queue_name << ": depth=" << queue->depth()
       << " puts=" << stats.puts << " gets=" << stats.gets
       << " expired=" << stats.expired << "\n";
   for (const auto& msg : messages) {
     describe_message(queue_name, msg, out);
+  }
+  if (queue->depth() > messages.size()) {
+    out << "  ... (" << (queue->depth() - messages.size())
+        << " more not shown)\n";
   }
 }
 

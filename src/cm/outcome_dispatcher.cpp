@@ -29,7 +29,7 @@ void OutcomeDispatcher::stop() {
   poke.set_property(prop::kKind, std::string("outcome"));
   poke.set_property(prop::kCmId, std::string("__dispatcher_stop__"));
   poke.set_property(prop::kOutcome, std::string("failure"));
-  poke.persistence = mq::Persistence::kNonPersistent;
+  poke.set_persistence(mq::Persistence::kNonPersistent);
   qm_.put_local(kOutcomeQueue, std::move(poke));
   if (worker_.joinable()) worker_.join();
 }

@@ -97,10 +97,10 @@ bool ConditionalReceiver::handle(mq::Message msg, ReceivedMessage& out) {
       }
       // Conditional data: check for a trailing compensation first — if one
       // is already queued behind us, the pair annihilates (§2.6).
-      if (!msg.id.empty()) {
+      if (!msg.id().empty()) {
         auto selector = mq::Selector::parse(
             std::string(prop::kKind) + " = 'compensation' AND " +
-            prop::kOriginalMsgId + " = '" + msg.id + "'");
+            prop::kOriginalMsgId + " = '" + msg.id() + "'");
         selector.status().expect_ok("annihilation selector");
         auto comp = session_ != nullptr
                         ? session_->get(current_queue_, 0, &selector.value())
@@ -150,7 +150,7 @@ void ConditionalReceiver::handle_conditional_data(mq::Message msg,
 
   ReceiverLogEntry log_entry;
   log_entry.cm_id = cm_id;
-  log_entry.original_msg_id = msg.id;
+  log_entry.original_msg_id = msg.id();
   log_entry.queue = current_queue_;
   log_entry.recipient_id = recipient_id_;
   log_entry.read_ts = read_ts;

@@ -32,7 +32,7 @@ struct ReceivedMessage {
   bool conditional = false;
   bool processing_required = false;
 
-  const std::string& body() const { return message.body; }
+  const std::string& body() const { return message.body(); }
 };
 
 struct ReceiverStats {

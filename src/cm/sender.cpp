@@ -58,6 +58,9 @@ util::Result<std::string> ConditionalMessagingService::send_internal(
   // (JMS has no distribution lists, §2.3). Recipients on a shared queue
   // are distinguished by acks, not by separate messages.
   const auto leaves = condition.leaves();
+  // One shared payload for the whole fan-out: every leaf's message
+  // references the same body allocation instead of copying it per leg.
+  const mq::Payload shared_body(body);
   std::vector<mq::Message> outgoing;
   std::vector<std::pair<mq::QueueAddress, std::string>> deliveries;
   std::set<mq::QueueAddress> planned;
@@ -71,8 +74,8 @@ util::Result<std::string> ConditionalMessagingService::send_internal(
         break;
       }
     }
-    mq::Message msg(body);
-    msg.id = util::generate_id("msg");
+    mq::Message msg(shared_body);
+    msg.set_id(util::generate_id("msg"));
     for (const auto& [key, value] : options.properties) {
       msg.set_property(key, value);
     }
@@ -90,16 +93,16 @@ util::Result<std::string> ConditionalMessagingService::send_internal(
     const auto priority = leaf->msg_priority().has_value()
                               ? leaf->msg_priority()
                               : condition.msg_priority();
-    if (priority.has_value()) msg.priority = *priority;
+    if (priority.has_value()) msg.set_priority(*priority);
     const auto persistence = leaf->msg_persistence().has_value()
                                  ? leaf->msg_persistence()
                                  : condition.msg_persistence();
-    msg.persistence = persistence.value_or(mq::Persistence::kPersistent);
+    msg.set_persistence(persistence.value_or(mq::Persistence::kPersistent));
     const auto expiry = leaf->msg_expiry().has_value()
                             ? leaf->msg_expiry()
                             : condition.msg_expiry();
-    if (expiry.has_value()) msg.expiry_ms = send_ts + *expiry;
-    deliveries.emplace_back(leaf->address(), msg.id);
+    if (expiry.has_value()) msg.set_expiry_ms(send_ts + *expiry);
+    deliveries.emplace_back(leaf->address(), msg.id());
     outgoing.push_back(std::move(msg));
   }
 

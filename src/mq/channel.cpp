@@ -82,7 +82,7 @@ void Channel::mover_loop() {
         auto extra = queue->try_get();
         if (!extra.has_value()) break;
         if (extra->msg.persistent()) {
-          get_records.push_back(LogRecord::get(xmit_queue_, extra->msg.id));
+          get_records.push_back(LogRecord::get(xmit_queue_, extra->msg.id()));
         }
         batch.push_back(std::move(extra->msg));
       }
@@ -113,13 +113,13 @@ void Channel::deliver_batch(std::vector<Message> msgs) {
     TransitItem item;
     item.dup = rng_.chance(options_.duplicate);
     item.dest = msg.get_string(kXmitDestProperty).value_or("");
-    msg.properties.erase(kXmitDestProperty);
+    msg.erase_property(kXmitDestProperty);
     item.addr = QueueAddress::parse(item.dest);
     // Transit latency: put on the local transmission queue -> delivered to
     // the remote queue manager, on the shared clock. The lifecycle stage is
     // recorded only for conditional data messages (the cm layer's CMX_KIND
     // contract), so acks and compensations crossing back don't pollute it.
-    item.xmit_put_ms = msg.put_time_ms;
+    item.xmit_put_ms = msg.put_time_ms();
     item.conditional_data =
         obs_on && msg.get_string("CMX_KIND").value_or("") == "data";
     item.msg = std::move(msg);

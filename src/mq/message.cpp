@@ -1,11 +1,17 @@
 #include "mq/message.hpp"
 
+#include <cstring>
+
+#include "obs/registry.hpp"
 #include "util/codec.hpp"
 
 namespace cmx::mq {
 
 namespace {
-constexpr std::uint32_t kMessageCodecVersion = 1;
+// v2: properties split into a regular section (before the body) and a
+// trailing transit section (after it), so transit-property changes can
+// rewrite the frame tail without re-serializing the whole message.
+constexpr std::uint32_t kMessageCodecVersion = 2;
 
 enum class PropTag : std::uint8_t {
   kBool = 0,
@@ -13,6 +19,39 @@ enum class PropTag : std::uint8_t {
   kDouble = 2,
   kString = 3,
 };
+
+void encode_property(util::BinaryWriter& w, std::string_view key,
+                     const PropertyValue& value) {
+  w.put_string(key);
+  if (const auto* b = std::get_if<bool>(&value)) {
+    w.put_u8(static_cast<std::uint8_t>(PropTag::kBool));
+    w.put_bool(*b);
+  } else if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    w.put_u8(static_cast<std::uint8_t>(PropTag::kInt));
+    w.put_i64(*i);
+  } else if (const auto* d = std::get_if<double>(&value)) {
+    w.put_u8(static_cast<std::uint8_t>(PropTag::kDouble));
+    w.put_f64(*d);
+  } else {
+    w.put_u8(static_cast<std::uint8_t>(PropTag::kString));
+    w.put_string(std::get<std::string>(value));
+  }
+}
+
+// Writes the trailing transit section: count + entries whose keys carry the
+// CMX_XMIT prefix, in bag (= byte) order.
+void append_transit_section(util::BinaryWriter& w, const PropertyBag& props) {
+  std::uint32_t count = 0;
+  for (const auto& e : props) {
+    if (Message::is_transit_key(e.key.view())) ++count;
+  }
+  w.put_u32(count);
+  for (const auto& e : props) {
+    if (Message::is_transit_key(e.key.view())) {
+      encode_property(w, e.key.view(), e.value);
+    }
+  }
+}
 }  // namespace
 
 std::string QueueAddress::to_string() const {
@@ -26,84 +65,141 @@ QueueAddress QueueAddress::parse(const std::string& text) {
   return QueueAddress(text.substr(0, slash), text.substr(slash + 1));
 }
 
-std::string property_to_string(const PropertyValue& v) {
-  struct Visitor {
-    std::string operator()(bool b) const { return b ? "true" : "false"; }
-    std::string operator()(std::int64_t i) const { return std::to_string(i); }
-    std::string operator()(double d) const { return std::to_string(d); }
-    std::string operator()(const std::string& s) const { return s; }
-  };
-  return std::visit(Visitor{}, v);
+void Message::set_delivery_count(int v) {
+  delivery_count_ = v;
+  if (frame_ == nullptr) return;
+  EncodedFrame* f = writable_frame();
+  const auto u = static_cast<std::uint32_t>(v);
+  std::memcpy(f->bytes.data() + f->delivery_count_offset, &u, sizeof(u));
+  CMX_OBS_COUNT("mq.msg.frame_cache_patches", 1);
 }
 
 void Message::set_property(const std::string& key, PropertyValue value) {
-  properties[key] = std::move(value);
+  properties_.set(key, std::move(value));
+  if (frame_ == nullptr) return;
+  if (is_transit_key(key)) {
+    rebuild_transit_tail();
+  } else {
+    invalidate_frame();
+  }
+}
+
+bool Message::erase_property(std::string_view key) {
+  const bool erased = properties_.erase(key);
+  if (erased && frame_ != nullptr) {
+    if (is_transit_key(key)) {
+      rebuild_transit_tail();
+    } else {
+      invalidate_frame();
+    }
+  }
+  return erased;
 }
 
 bool Message::has_property(const std::string& key) const {
-  return properties.count(key) > 0;
+  return properties_.contains(key);
 }
 
 std::optional<std::string> Message::get_string(const std::string& key) const {
-  auto it = properties.find(key);
-  if (it == properties.end()) return std::nullopt;
-  if (const auto* s = std::get_if<std::string>(&it->second)) return *s;
+  const PropertyValue* v = properties_.find(key);
+  if (v == nullptr) return std::nullopt;
+  if (const auto* s = std::get_if<std::string>(v)) return *s;
   return std::nullopt;
 }
 
 std::optional<std::int64_t> Message::get_int(const std::string& key) const {
-  auto it = properties.find(key);
-  if (it == properties.end()) return std::nullopt;
-  if (const auto* i = std::get_if<std::int64_t>(&it->second)) return *i;
+  const PropertyValue* v = properties_.find(key);
+  if (v == nullptr) return std::nullopt;
+  if (const auto* i = std::get_if<std::int64_t>(v)) return *i;
   return std::nullopt;
 }
 
 std::optional<bool> Message::get_bool(const std::string& key) const {
-  auto it = properties.find(key);
-  if (it == properties.end()) return std::nullopt;
-  if (const auto* b = std::get_if<bool>(&it->second)) return *b;
+  const PropertyValue* v = properties_.find(key);
+  if (v == nullptr) return std::nullopt;
+  if (const auto* b = std::get_if<bool>(v)) return *b;
   return std::nullopt;
 }
 
 std::optional<double> Message::get_double(const std::string& key) const {
-  auto it = properties.find(key);
-  if (it == properties.end()) return std::nullopt;
-  if (const auto* d = std::get_if<double>(&it->second)) return *d;
+  const PropertyValue* v = properties_.find(key);
+  if (v == nullptr) return std::nullopt;
+  if (const auto* d = std::get_if<double>(v)) return *d;
   return std::nullopt;
 }
 
-std::string Message::encode() const {
+Message::EncodedFrame* Message::writable_frame() {
+  // Copies of this message may share the frame; give ourselves a private
+  // one before patching so their cached bytes stay valid.
+  if (frame_.use_count() > 1) {
+    frame_ = std::make_shared<EncodedFrame>(*frame_);
+  }
+  return frame_.get();
+}
+
+void Message::rebuild_transit_tail() {
+  EncodedFrame* f = writable_frame();
+  f->bytes.resize(f->transit_offset);
+  util::BinaryWriter w;
+  append_transit_section(w, properties_);
+  f->bytes += w.data();
+  CMX_OBS_COUNT("mq.msg.frame_cache_patches", 1);
+}
+
+std::shared_ptr<Message::EncodedFrame> Message::build_frame() const {
+  auto f = std::make_shared<EncodedFrame>();
   util::BinaryWriter w;
   w.put_u32(kMessageCodecVersion);
-  w.put_string(id);
-  w.put_string(correlation_id);
-  w.put_string(reply_to.qmgr);
-  w.put_string(reply_to.queue);
-  w.put_u8(static_cast<std::uint8_t>(priority));
-  w.put_u8(static_cast<std::uint8_t>(persistence));
-  w.put_i64(expiry_ms);
-  w.put_i64(put_time_ms);
-  w.put_u32(static_cast<std::uint32_t>(delivery_count));
-  w.put_u32(static_cast<std::uint32_t>(properties.size()));
-  for (const auto& [key, value] : properties) {
-    w.put_string(key);
-    if (const auto* b = std::get_if<bool>(&value)) {
-      w.put_u8(static_cast<std::uint8_t>(PropTag::kBool));
-      w.put_bool(*b);
-    } else if (const auto* i = std::get_if<std::int64_t>(&value)) {
-      w.put_u8(static_cast<std::uint8_t>(PropTag::kInt));
-      w.put_i64(*i);
-    } else if (const auto* d = std::get_if<double>(&value)) {
-      w.put_u8(static_cast<std::uint8_t>(PropTag::kDouble));
-      w.put_f64(*d);
-    } else {
-      w.put_u8(static_cast<std::uint8_t>(PropTag::kString));
-      w.put_string(std::get<std::string>(value));
+  w.put_string(id_);
+  w.put_string(correlation_id_);
+  w.put_string(reply_to_.qmgr);
+  w.put_string(reply_to_.queue);
+  w.put_u8(static_cast<std::uint8_t>(priority_));
+  w.put_u8(static_cast<std::uint8_t>(persistence_));
+  w.put_i64(expiry_ms_);
+  w.put_i64(put_time_ms_);
+  f->delivery_count_offset = w.size();
+  w.put_u32(static_cast<std::uint32_t>(delivery_count_));
+
+  std::uint32_t regular = 0;
+  for (const auto& e : properties_) {
+    if (!is_transit_key(e.key.view())) ++regular;
+  }
+  w.put_u32(regular);
+  for (const auto& e : properties_) {
+    if (!is_transit_key(e.key.view())) {
+      encode_property(w, e.key.view(), e.value);
     }
   }
-  w.put_string(body);
-  return w.take();
+  w.put_string(body_.view());
+  f->transit_offset = w.size();
+  append_transit_section(w, properties_);
+  f->bytes = w.take();
+  CMX_OBS_COUNT("mq.msg.serializations", 1);
+  return f;
 }
+
+std::shared_ptr<const std::string> Message::encoded_frame() const {
+  if (frame_ != nullptr) {
+    CMX_OBS_COUNT("mq.msg.frame_cache_hits", 1);
+    return std::shared_ptr<const std::string>(frame_, &frame_->bytes);
+  }
+  auto f = build_frame();
+  if (!zero_copy_enabled()) {
+    // Baseline arm: no memoization, every encode re-serializes.
+    return std::shared_ptr<const std::string>(f, &f->bytes);
+  }
+  if (frame_ever_built_) {
+    CMX_OBS_COUNT("mq.msg.frame_cache_misses", 1);
+  } else {
+    CMX_OBS_COUNT("mq.msg.frame_cache_fills", 1);
+  }
+  frame_ = std::move(f);
+  frame_ever_built_ = true;
+  return std::shared_ptr<const std::string>(frame_, &frame_->bytes);
+}
+
+std::string Message::encode() const { return *encoded_frame(); }
 
 util::Result<Message> Message::decode(std::string_view data) {
   using util::ErrorCode;
@@ -120,63 +216,73 @@ util::Result<Message> Message::decode(std::string_view data) {
     out = std::move(s).value();
     return util::ok_status();
   };
-  if (auto s = read_str(m.id); !s) return s;
-  if (auto s = read_str(m.correlation_id); !s) return s;
-  if (auto s = read_str(m.reply_to.qmgr); !s) return s;
-  if (auto s = read_str(m.reply_to.queue); !s) return s;
+  if (auto s = read_str(m.id_); !s) return s;
+  if (auto s = read_str(m.correlation_id_); !s) return s;
+  if (auto s = read_str(m.reply_to_.qmgr); !s) return s;
+  if (auto s = read_str(m.reply_to_.queue); !s) return s;
   auto prio = r.get_u8();
   if (!prio) return prio.status();
-  m.priority = prio.value();
+  m.priority_ = prio.value();
   auto pers = r.get_u8();
   if (!pers) return pers.status();
-  m.persistence = static_cast<Persistence>(pers.value());
+  m.persistence_ = static_cast<Persistence>(pers.value());
   auto expiry = r.get_i64();
   if (!expiry) return expiry.status();
-  m.expiry_ms = expiry.value();
+  m.expiry_ms_ = expiry.value();
   auto put_time = r.get_i64();
   if (!put_time) return put_time.status();
-  m.put_time_ms = put_time.value();
+  m.put_time_ms_ = put_time.value();
   auto delivery = r.get_u32();
   if (!delivery) return delivery.status();
-  m.delivery_count = static_cast<int>(delivery.value());
+  m.delivery_count_ = static_cast<int>(delivery.value());
 
-  auto prop_count = r.get_u32();
-  if (!prop_count) return prop_count.status();
-  for (std::uint32_t i = 0; i < prop_count.value(); ++i) {
-    auto key = r.get_string();
-    if (!key) return key.status();
-    auto tag = r.get_u8();
-    if (!tag) return tag.status();
-    switch (static_cast<PropTag>(tag.value())) {
-      case PropTag::kBool: {
-        auto v = r.get_bool();
-        if (!v) return v.status();
-        m.properties[key.value()] = v.value();
-        break;
+  auto read_props = [&](std::uint32_t count) -> util::Status {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      auto key = r.get_string();
+      if (!key) return key.status();
+      auto tag = r.get_u8();
+      if (!tag) return tag.status();
+      switch (static_cast<PropTag>(tag.value())) {
+        case PropTag::kBool: {
+          auto v = r.get_bool();
+          if (!v) return v.status();
+          m.properties_.set(key.value(), v.value());
+          break;
+        }
+        case PropTag::kInt: {
+          auto v = r.get_i64();
+          if (!v) return v.status();
+          m.properties_.set(key.value(), v.value());
+          break;
+        }
+        case PropTag::kDouble: {
+          auto v = r.get_f64();
+          if (!v) return v.status();
+          m.properties_.set(key.value(), v.value());
+          break;
+        }
+        case PropTag::kString: {
+          auto v = r.get_string();
+          if (!v) return v.status();
+          m.properties_.set(key.value(), std::move(v).value());
+          break;
+        }
+        default:
+          return util::make_error(ErrorCode::kIoError, "bad property tag");
       }
-      case PropTag::kInt: {
-        auto v = r.get_i64();
-        if (!v) return v.status();
-        m.properties[key.value()] = v.value();
-        break;
-      }
-      case PropTag::kDouble: {
-        auto v = r.get_f64();
-        if (!v) return v.status();
-        m.properties[key.value()] = v.value();
-        break;
-      }
-      case PropTag::kString: {
-        auto v = r.get_string();
-        if (!v) return v.status();
-        m.properties[key.value()] = std::move(v).value();
-        break;
-      }
-      default:
-        return util::make_error(ErrorCode::kIoError, "bad property tag");
     }
-  }
-  if (auto s = read_str(m.body); !s) return s;
+    return util::ok_status();
+  };
+
+  auto regular_count = r.get_u32();
+  if (!regular_count) return regular_count.status();
+  if (auto s = read_props(regular_count.value()); !s) return s;
+  auto body = r.get_string();
+  if (!body) return body.status();
+  m.body_ = Payload(std::move(body).value());
+  auto transit_count = r.get_u32();
+  if (!transit_count) return transit_count.status();
+  if (auto s = read_props(transit_count.value()); !s) return s;
   return m;
 }
 

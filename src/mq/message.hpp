@@ -1,16 +1,35 @@
 // Standard message model of the reliable-messaging substrate: the role
 // MQSeries/JMS messages play in the paper. A message has a header (id,
 // correlation id, reply-to, priority, persistence, expiry), a free-form
-// property map (used by the conditional messaging layer for its control
+// property bag (used by the conditional messaging layer for its control
 // information, and by selectors), and an opaque body.
+//
+// Zero-copy core (DESIGN.md §9):
+//  * The body is a shared immutable Payload — copying a Message shares the
+//    body allocation instead of duplicating it, so fan-out, channel
+//    duplication and store staging all reference one buffer.
+//  * Properties live in a flat sorted vector (PropertyBag) with inline
+//    short-key storage instead of a std::map.
+//  * encode() memoizes its result: the first serialization caches the
+//    frame; later encodes of the same (or a copied) message reuse it.
+//    Mutators keep the cache coherent — delivery-count bumps and
+//    transit-property (CMX_XMIT*) changes patch the cached bytes in
+//    place, every other mutation invalidates the cache. This is why all
+//    fields sit behind accessors: an unmediated write could desynchronize
+//    the cached frame from the message state.
+//
+// Like std::string, a Message is externally synchronized: concurrent reads
+// of one instance are safe only if no thread mutates or encodes it.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <optional>
 #include <string>
-#include <variant>
+#include <string_view>
 
+#include "mq/payload.hpp"
+#include "mq/property_bag.hpp"
 #include "util/clock.hpp"
 #include "util/status.hpp"
 
@@ -43,11 +62,6 @@ enum class Persistence : std::uint8_t {
   kPersistent = 1,     // logged to the queue manager's message store
 };
 
-// Typed property values, as in JMS message properties.
-using PropertyValue = std::variant<bool, std::int64_t, double, std::string>;
-
-std::string property_to_string(const PropertyValue& v);
-
 constexpr int kMinPriority = 0;
 constexpr int kMaxPriority = 9;
 constexpr int kDefaultPriority = 4;
@@ -55,28 +69,93 @@ constexpr int kDefaultPriority = 4;
 class Message {
  public:
   Message() = default;
-  explicit Message(std::string body_bytes) : body(std::move(body_bytes)) {}
+  explicit Message(std::string body_bytes) : body_(std::move(body_bytes)) {}
+  explicit Message(Payload body) : body_(std::move(body)) {}
 
   // -- header ---------------------------------------------------------
-  std::string id;              // assigned by the queue manager on put
-  std::string correlation_id;  // application correlation
-  QueueAddress reply_to;       // where replies should be sent
-  int priority = kDefaultPriority;        // kMinPriority..kMaxPriority
-  Persistence persistence = Persistence::kPersistent;
-  util::TimeMs expiry_ms = util::kNoDeadline;  // absolute; discard after
-  util::TimeMs put_time_ms = 0;                // stamped on put
-  int delivery_count = 0;  // how many times delivered (rollbacks increment)
+  // Header setters are no-ops when the value is unchanged: re-stamping a
+  // field with what it already holds (a common pattern on multi-hop paths)
+  // must not discard the cached frame.
+  const std::string& id() const { return id_; }
+  void set_id(std::string v) {
+    if (v == id_) return;
+    id_ = std::move(v);
+    invalidate_frame();
+  }
+
+  const std::string& correlation_id() const { return correlation_id_; }
+  void set_correlation_id(std::string v) {
+    if (v == correlation_id_) return;
+    correlation_id_ = std::move(v);
+    invalidate_frame();
+  }
+
+  const QueueAddress& reply_to() const { return reply_to_; }
+  void set_reply_to(QueueAddress v) {
+    if (v == reply_to_) return;
+    reply_to_ = std::move(v);
+    invalidate_frame();
+  }
+
+  int priority() const { return priority_; }
+  void set_priority(int v) {
+    if (v == priority_) return;
+    priority_ = v;
+    invalidate_frame();
+  }
+
+  Persistence persistence() const { return persistence_; }
+  void set_persistence(Persistence v) {
+    if (v == persistence_) return;
+    persistence_ = v;
+    invalidate_frame();
+  }
+  bool persistent() const { return persistence_ == Persistence::kPersistent; }
+
+  util::TimeMs expiry_ms() const { return expiry_ms_; }
+  void set_expiry_ms(util::TimeMs v) {
+    if (v == expiry_ms_) return;
+    expiry_ms_ = v;
+    invalidate_frame();
+  }
+  bool expired(util::TimeMs now_ms) const { return now_ms >= expiry_ms_; }
+
+  util::TimeMs put_time_ms() const { return put_time_ms_; }
+  void set_put_time_ms(util::TimeMs v) {
+    if (v == put_time_ms_) return;
+    put_time_ms_ = v;
+    invalidate_frame();
+  }
+
+  int delivery_count() const { return delivery_count_; }
+  // Both delivery-count mutators re-patch the cached frame in place (the
+  // count is a fixed-width field at a recorded offset), so a queue get —
+  // which bumps the count on every delivery — does not cost a
+  // re-serialization.
+  void set_delivery_count(int v);
+  void note_delivery() { set_delivery_count(delivery_count_ + 1); }
 
   // -- application content ---------------------------------------------
-  std::map<std::string, PropertyValue> properties;
-  std::string body;
+  const std::string& body() const { return body_.str(); }
+  std::size_t body_size() const { return body_.size(); }
+  const Payload& payload() const { return body_; }
+  void set_body(std::string bytes) {
+    body_ = Payload(std::move(bytes));
+    invalidate_frame();
+  }
+  void set_body(Payload p) {
+    body_ = std::move(p);
+    invalidate_frame();
+  }
 
-  bool persistent() const { return persistence == Persistence::kPersistent; }
-  bool expired(util::TimeMs now_ms) const { return now_ms >= expiry_ms; }
+  const PropertyBag& properties() const { return properties_; }
 
   // Property helpers. Setters overwrite; typed getters return nullopt when
-  // the property is absent or has a different type.
+  // the property is absent or has a different type. Mutating a transit
+  // property (key prefixed CMX_XMIT) patches the cached frame's trailing
+  // transit section; any other property mutation invalidates the cache.
   void set_property(const std::string& key, PropertyValue value);
+  bool erase_property(std::string_view key);
   bool has_property(const std::string& key) const;
   std::optional<std::string> get_string(const std::string& key) const;
   std::optional<std::int64_t> get_int(const std::string& key) const;
@@ -84,8 +163,53 @@ class Message {
   std::optional<double> get_double(const std::string& key) const;
 
   // Binary round-trip used by the message store and channel transport.
+  // encode() returns a copy of the frame; encoded_frame() returns the
+  // memoized buffer itself (shared with this message and its copies) and
+  // is what the store's LogRecord path uses.
   std::string encode() const;
+  std::shared_ptr<const std::string> encoded_frame() const;
   static util::Result<Message> decode(std::string_view data);
+
+  // True when an encoded frame is currently memoized (test/obs hook).
+  bool frame_cached() const { return frame_ != nullptr; }
+
+  // Transit properties ride in a trailing frame section so the channel can
+  // strip them at the remote hop without re-serializing the message.
+  static bool is_transit_key(std::string_view key) {
+    return key.starts_with("CMX_XMIT");
+  }
+
+ private:
+  struct EncodedFrame {
+    std::string bytes;
+    std::size_t delivery_count_offset = 0;  // u32, little-endian
+    std::size_t transit_offset = 0;         // start of trailing section
+  };
+
+  void invalidate_frame() { frame_.reset(); }
+  // Clones the frame if copies share it, then returns a mutable view.
+  EncodedFrame* writable_frame();
+  void rebuild_transit_tail();
+  std::shared_ptr<EncodedFrame> build_frame() const;
+
+  std::string id_;              // assigned by the queue manager on put
+  std::string correlation_id_;  // application correlation
+  QueueAddress reply_to_;       // where replies should be sent
+  int priority_ = kDefaultPriority;  // kMinPriority..kMaxPriority
+  Persistence persistence_ = Persistence::kPersistent;
+  util::TimeMs expiry_ms_ = util::kNoDeadline;  // absolute; discard after
+  util::TimeMs put_time_ms_ = 0;                // stamped on put
+  int delivery_count_ = 0;  // times delivered (rollbacks increment)
+
+  PropertyBag properties_;
+  Payload body_;
+
+  // Memoized encoded frame, shared by copies of this message. mutable:
+  // encode() is logically const. frame_ever_built_ distinguishes the
+  // compulsory first serialization ("fill") from a re-serialization after
+  // an invalidation ("miss") in the obs counters.
+  mutable std::shared_ptr<EncodedFrame> frame_;
+  mutable bool frame_ever_built_ = false;
 };
 
 }  // namespace cmx::mq

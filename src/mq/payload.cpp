@@ -1,0 +1,35 @@
+#include "mq/payload.hpp"
+
+#include <atomic>
+
+namespace cmx::mq {
+
+namespace {
+std::atomic<bool> g_zero_copy{true};
+}  // namespace
+
+bool zero_copy_enabled() {
+  return g_zero_copy.load(std::memory_order_relaxed);
+}
+
+void set_zero_copy_enabled(bool on) {
+  g_zero_copy.store(on, std::memory_order_relaxed);
+}
+
+const std::string& Payload::empty_string() {
+  static const std::string kEmpty;
+  return kEmpty;
+}
+
+std::shared_ptr<const std::string> Payload::copy_data() const {
+  if (data_ == nullptr) return nullptr;
+  if (zero_copy_enabled()) return data_;
+  // Baseline arm of the A/B: behave like the seed's value body.
+  return std::make_shared<const std::string>(*data_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Payload& p) {
+  return os << p.str();
+}
+
+}  // namespace cmx::mq

@@ -1,0 +1,81 @@
+// Shared immutable message payload. A Payload is a refcounted handle to an
+// immutable byte buffer: copying a Payload (and therefore copying a Message)
+// bumps a reference count instead of duplicating the bytes, so a fan-out to
+// N destinations, a channel duplication fault, and a store append all share
+// ONE allocation. Mutation goes through detach()/set semantics (copy-on-
+// write): the rare writer pays for a private copy, every reader stays
+// zero-copy.
+//
+// A/B switch: set_zero_copy_enabled(false) restores the seed's deep-copy
+// behaviour (every Payload copy duplicates the bytes, and Message stops
+// memoizing encoded frames). It exists solely so bench_msg_path can measure
+// the zero-copy core against the pre-change baseline inside one binary; do
+// not disable it in production paths.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace cmx::mq {
+
+// Process-wide A/B flag (default: zero-copy on). Read on every Payload copy
+// with relaxed ordering; flip it only from quiescent bench harness code.
+bool zero_copy_enabled();
+void set_zero_copy_enabled(bool on);
+
+class Payload {
+ public:
+  Payload() = default;
+  explicit Payload(std::string bytes)
+      : data_(bytes.empty()
+                  ? nullptr
+                  : std::make_shared<const std::string>(std::move(bytes))) {}
+  explicit Payload(std::shared_ptr<const std::string> shared)
+      : data_(std::move(shared)) {}
+
+  Payload(const Payload& other) : data_(other.copy_data()) {}
+  Payload& operator=(const Payload& other) {
+    if (this != &other) data_ = other.copy_data();
+    return *this;
+  }
+  Payload(Payload&&) noexcept = default;
+  Payload& operator=(Payload&&) noexcept = default;
+
+  const std::string& str() const { return data_ ? *data_ : empty_string(); }
+  std::string_view view() const { return str(); }
+  operator const std::string&() const { return str(); }
+
+  std::size_t size() const { return data_ ? data_->size() : 0; }
+  bool empty() const { return size() == 0; }
+
+  // The underlying buffer, for callers that want to extend the sharing
+  // (e.g. building several messages over one body).
+  std::shared_ptr<const std::string> share() const { return data_; }
+
+  // Introspection hooks for tests and allocation accounting.
+  bool shares_with(const Payload& other) const {
+    return data_ != nullptr && data_ == other.data_;
+  }
+  long use_count() const { return data_ ? data_.use_count() : 0; }
+
+  friend bool operator==(const Payload& a, const Payload& b) {
+    return a.view() == b.view();
+  }
+  friend bool operator==(const Payload& a, std::string_view b) {
+    return a.view() == b;
+  }
+
+ private:
+  static const std::string& empty_string();
+
+  std::shared_ptr<const std::string> copy_data() const;
+
+  std::shared_ptr<const std::string> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Payload& p);
+
+}  // namespace cmx::mq

@@ -1,0 +1,65 @@
+#include "mq/property_bag.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cmx::mq {
+
+std::string property_to_string(const PropertyValue& v) {
+  struct Visitor {
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+    std::string operator()(std::int64_t i) const { return std::to_string(i); }
+    std::string operator()(double d) const { return std::to_string(d); }
+    std::string operator()(const std::string& s) const { return s; }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+void PropKey::assign(std::string_view s) {
+  if (s.size() <= kInlineCapacity) {
+    std::memcpy(inline_, s.data(), s.size());
+    len_ = static_cast<std::uint8_t>(s.size());
+    heap_.reset();
+    return;
+  }
+  heap_ = std::make_unique<std::string>(s);
+  len_ = kHeapTag;
+}
+
+std::vector<PropertyBag::Entry>::iterator PropertyBag::lower_bound(
+    std::string_view key) {
+  return std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, std::string_view k) { return e.key.view() < k; });
+}
+
+std::vector<PropertyBag::Entry>::const_iterator PropertyBag::lower_bound(
+    std::string_view key) const {
+  return std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, std::string_view k) { return e.key.view() < k; });
+}
+
+const PropertyValue* PropertyBag::find(std::string_view key) const {
+  auto it = lower_bound(key);
+  if (it == entries_.end() || it->key.view() != key) return nullptr;
+  return &it->value;
+}
+
+void PropertyBag::set(std::string_view key, PropertyValue value) {
+  auto it = lower_bound(key);
+  if (it != entries_.end() && it->key.view() == key) {
+    it->value = std::move(value);
+    return;
+  }
+  entries_.insert(it, Entry{PropKey(key), std::move(value)});
+}
+
+bool PropertyBag::erase(std::string_view key) {
+  auto it = lower_bound(key);
+  if (it == entries_.end() || it->key.view() != key) return false;
+  entries_.erase(it);
+  return true;
+}
+
+}  // namespace cmx::mq

@@ -126,7 +126,7 @@ util::Result<SubscriptionInfo> TopicBroker::subscribe(
     record.set_property("SUB_PATTERN", sub.info.pattern);
     record.set_property("SUB_QUEUE", sub.info.queue);
     record.set_property("SUB_SELECTOR", options.selector);
-    record.persistence = Persistence::kPersistent;
+    record.set_persistence(Persistence::kPersistent);
     if (auto s = qm_.put_local(kSubscriptionRegistryQueue, std::move(record));
         !s) {
       return s;
@@ -189,9 +189,9 @@ util::Status TopicBroker::publish(const std::string& topic, Message msg) {
   }
   for (const auto& target : targets) {
     Message copy = msg;
-    copy.id.clear();  // each delivery is its own standard message
+    copy.set_id("");  // each delivery is its own standard message
     if (!target.durable) {
-      copy.persistence = Persistence::kNonPersistent;
+      copy.set_persistence(Persistence::kNonPersistent);
     }
     if (auto s = qm_.put_local(target.queue, std::move(copy)); !s) {
       CMX_WARN("mq.broker") << "delivery to " << target.queue

@@ -30,7 +30,7 @@ util::Status Queue::put(Message msg) {
                               "queue " + name_ + " is full");
     }
     const int prio =
-        std::clamp(msg.priority, kMinPriority, kMaxPriority);
+        std::clamp(msg.priority(), kMinPriority, kMaxPriority);
     entries_.emplace(OrderKey{kMaxPriority - prio, next_seq_++},
                      std::move(msg));
     ++stats_.puts;
@@ -59,7 +59,7 @@ std::optional<Queue::GotMessage> Queue::take_first_match_locked(
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (selector != nullptr && !selector->matches(it->second)) continue;
     GotMessage got{it->first.seq, std::move(it->second)};
-    ++got.msg.delivery_count;
+    got.msg.note_delivery();
     entries_.erase(it);
     ++stats_.gets;
     return got;
@@ -105,7 +105,7 @@ std::vector<Queue::GotMessage> Queue::try_get_batch(std::size_t max_n,
       continue;
     }
     GotMessage got{it->first.seq, std::move(it->second)};
-    ++got.msg.delivery_count;
+    got.msg.note_delivery();
     it = entries_.erase(it);
     ++stats_.gets;
     out.push_back(std::move(got));
@@ -118,7 +118,7 @@ void Queue::restore(std::uint64_t seq, Message msg) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (closed_) return;
-    const int prio = std::clamp(msg.priority, kMinPriority, kMaxPriority);
+    const int prio = std::clamp(msg.priority(), kMinPriority, kMaxPriority);
     entries_.emplace(OrderKey{kMaxPriority - prio, seq}, std::move(msg));
     ++stats_.restored;
     listener = put_listener_;
@@ -130,7 +130,7 @@ void Queue::restore(std::uint64_t seq, Message msg) {
 std::optional<Message> Queue::remove_by_id(const std::string& msg_id) {
   std::lock_guard<std::mutex> lk(mu_);
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (it->second.id == msg_id) {
+    if (it->second.id() == msg_id) {
       Message msg = std::move(it->second);
       entries_.erase(it);
       return msg;
@@ -142,17 +142,20 @@ std::optional<Message> Queue::remove_by_id(const std::string& msg_id) {
 bool Queue::contains_id(const std::string& msg_id) const {
   std::lock_guard<std::mutex> lk(mu_);
   for (const auto& [key, msg] : entries_) {
-    if (msg.id == msg_id) return true;
+    if (msg.id() == msg_id) return true;
   }
   return false;
 }
 
-std::vector<Message> Queue::browse() const {
+std::vector<Message> Queue::browse() const { return browse(SIZE_MAX); }
+
+std::vector<Message> Queue::browse(std::size_t max_n) const {
   std::lock_guard<std::mutex> lk(mu_);
   const util::TimeMs now = clock_.now_ms();
   std::vector<Message> out;
-  out.reserve(entries_.size());
+  out.reserve(std::min(max_n, entries_.size()));
   for (const auto& [key, msg] : entries_) {
+    if (out.size() >= max_n) break;
     if (!msg.expired(now)) out.push_back(msg);
   }
   return out;

@@ -88,8 +88,15 @@ class Queue {
 
   bool contains_id(const std::string& msg_id) const;
 
-  // Copies of all live (non-expired) messages, in delivery order.
+  // Copies of all live (non-expired) messages, in delivery order. The
+  // unbounded form copies the whole queue under the lock — recovery,
+  // compaction snapshots and tests legitimately need a full scan, but
+  // introspection / dump paths must use the bounded overload so a deep
+  // queue cannot stall its manager.
   std::vector<Message> browse() const;
+
+  // Copies at most `max_n` live messages in delivery order.
+  std::vector<Message> browse(std::size_t max_n) const;
 
   std::size_t depth() const;
   QueueStats stats() const;

@@ -35,7 +35,7 @@ std::shared_ptr<Queue> QueueManager::make_queue(const std::string& queue_name,
   // the reverse is not).
   auto on_discard = [this, queue_name](const Message& msg) {
     if (msg.persistent()) {
-      store_->append(LogRecord::get(queue_name, msg.id));
+      store_->append(LogRecord::get(queue_name, msg.id()));
     }
   };
   return std::make_shared<Queue>(queue_name, options, clock_,
@@ -117,8 +117,8 @@ util::Status QueueManager::put(const QueueAddress& addr, Message msg) {
         util::ErrorCode::kFailedPrecondition,
         "no network attached; cannot reach qmgr " + addr.qmgr);
   }
-  if (msg.id.empty()) msg.id = util::generate_id("msg");
-  msg.put_time_ms = clock_.now_ms();
+  if (msg.id().empty()) msg.set_id(util::generate_id("msg"));
+  msg.set_put_time_ms(clock_.now_ms());
   return net->route(*this, addr, std::move(msg));
 }
 
@@ -137,8 +137,8 @@ util::Status QueueManager::put_all(
           util::ErrorCode::kFailedPrecondition,
           "no network attached; cannot reach qmgr " + addr.qmgr);
     }
-    if (msg.id.empty()) msg.id = util::generate_id("msg");
-    msg.put_time_ms = clock_.now_ms();
+    if (msg.id().empty()) msg.set_id(util::generate_id("msg"));
+    msg.set_put_time_ms(clock_.now_ms());
     auto xmit = net->resolve(*this, addr, msg);
     if (!xmit) return xmit.status();
     local.emplace_back(std::move(xmit).value(), std::move(msg));
@@ -180,15 +180,23 @@ util::Status QueueManager::put_local_impl(const std::string& queue_name,
     return util::make_error(util::ErrorCode::kNotFound,
                             "queue " + queue_name + " not found on " + name_);
   }
-  if (msg.id.empty()) msg.id = util::generate_id("msg");
-  if (msg.put_time_ms == 0) msg.put_time_ms = clock_.now_ms();
+  if (msg.id().empty()) msg.set_id(util::generate_id("msg"));
+  if (msg.put_time_ms() == 0) msg.set_put_time_ms(clock_.now_ms());
   if (msg.expired(clock_.now_ms())) {
     CMX_OBS_COUNT("mq.put.expired", 1);
     return util::make_error(util::ErrorCode::kExpired,
                             "message already expired");
   }
+  CMX_OBS_RECORD("mq.msg.body_bytes", msg.body_size());
   const bool log_it = log && msg.persistent();
   if (log_it) {
+    // Prime the encode memo on the original BEFORE the record copies it:
+    // the copy then shares the cached frame, so the store append is served
+    // from the cache and the queue-resident message keeps it for later
+    // re-encodes (channel hop, compaction snapshot). Pointless when
+    // memoization is off (deep-copy A/B arm) — it would just double the
+    // serialization work.
+    if (zero_copy_enabled()) msg.encoded_frame();
     if (auto s = store_->append(LogRecord::put(queue_name, msg)); !s) {
       return s;
     }
@@ -211,15 +219,17 @@ util::Status QueueManager::put_local_batch_impl(
       return util::make_error(util::ErrorCode::kNotFound,
                               "queue " + queue_name + " not found on " + name_);
     }
-    if (msg.id.empty()) msg.id = util::generate_id("msg");
-    if (msg.put_time_ms == 0) msg.put_time_ms = clock_.now_ms();
+    if (msg.id().empty()) msg.set_id(util::generate_id("msg"));
+    if (msg.put_time_ms() == 0) msg.set_put_time_ms(clock_.now_ms());
     if (msg.expired(clock_.now_ms())) {
       CMX_OBS_COUNT("mq.put.expired", 1);
       return util::make_error(util::ErrorCode::kExpired,
-                              "message " + msg.id + " already expired");
+                              "message " + msg.id() + " already expired");
     }
+    CMX_OBS_RECORD("mq.msg.body_bytes", msg.body_size());
     queues.push_back(std::move(queue));
     if (log && msg.persistent()) {
+      if (zero_copy_enabled()) msg.encoded_frame();  // prime, see above
       records.push_back(LogRecord::put(queue_name, msg));
     }
   }
@@ -259,7 +269,7 @@ util::Result<Message> QueueManager::get(const std::string& queue_name,
   if (!got) return got.status();
   Message msg = std::move(got).value().msg;
   if (msg.persistent()) {
-    store_->append(LogRecord::get(queue_name, msg.id)).expect_ok("log get");
+    store_->append(LogRecord::get(queue_name, msg.id())).expect_ok("log get");
     maybe_compact();
   }
   CMX_OBS_COUNT("mq.get", 1);
@@ -278,7 +288,7 @@ std::vector<Message> QueueManager::get_batch(const std::string& queue_name,
   std::vector<LogRecord> records;
   for (auto& got : batch) {
     if (got.msg.persistent()) {
-      records.push_back(LogRecord::get(queue_name, got.msg.id));
+      records.push_back(LogRecord::get(queue_name, got.msg.id()));
     }
     out.push_back(std::move(got.msg));
   }
@@ -431,7 +441,7 @@ void QueueManager::register_inflight(const std::string& queue_name,
                                      const Message& msg) {
   if (!msg.persistent()) return;
   std::lock_guard<std::mutex> lk(inflight_mu_);
-  inflight_[msg.id] = {queue_name, msg};
+  inflight_[msg.id()] = {queue_name, msg};
 }
 
 void QueueManager::unregister_inflight(const std::string& msg_id) {

@@ -205,22 +205,22 @@ class IdentNode final : public SelectorNode {
  public:
   explicit IdentNode(std::string name) : name_(std::move(name)) {}
   Value eval(const Message& m) const override {
-    if (name_ == "JMSPriority") return Value::of(std::int64_t{m.priority});
+    if (name_ == "JMSPriority") return Value::of(std::int64_t{m.priority()});
     if (name_ == "JMSDeliveryCount") {
-      return Value::of(std::int64_t{m.delivery_count});
+      return Value::of(std::int64_t{m.delivery_count()});
     }
-    if (name_ == "JMSCorrelationID") return Value::of(m.correlation_id);
-    if (name_ == "JMSMessageID") return Value::of(m.id);
-    auto it = m.properties.find(name_);
-    if (it == m.properties.end()) return Value::unknown();
-    if (const auto* b = std::get_if<bool>(&it->second)) return Value::of(*b);
-    if (const auto* i = std::get_if<std::int64_t>(&it->second)) {
+    if (name_ == "JMSCorrelationID") return Value::of(m.correlation_id());
+    if (name_ == "JMSMessageID") return Value::of(m.id());
+    const PropertyValue* v = m.properties().find(name_);
+    if (v == nullptr) return Value::unknown();
+    if (const auto* b = std::get_if<bool>(v)) return Value::of(*b);
+    if (const auto* i = std::get_if<std::int64_t>(v)) {
       return Value::of(*i);
     }
-    if (const auto* d = std::get_if<double>(&it->second)) {
+    if (const auto* d = std::get_if<double>(v)) {
       return Value::of(*d);
     }
-    return Value::of(std::get<std::string>(it->second));
+    return Value::of(std::get<std::string>(*v));
   }
 
  private:

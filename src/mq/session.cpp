@@ -84,14 +84,14 @@ util::Status Session::commit() {
   for (const auto& pending : pending_gets_) {
     if (pending.msg.persistent()) {
       get_records.push_back(LogRecord::get(pending.queue_name,
-                                           pending.msg.id));
+                                           pending.msg.id()));
     }
   }
   if (!get_records.empty()) {
     if (auto s = qm_.append_log_batch(get_records); !s) return s;
   }
   for (const auto& pending : pending_gets_) {
-    qm_.unregister_inflight(pending.msg.id);
+    qm_.unregister_inflight(pending.msg.id());
   }
   pending_gets_.clear();
 
@@ -108,22 +108,22 @@ util::Status Session::rollback() {
   }
   pending_puts_.clear();
   for (auto& pending : pending_gets_) {
-    qm_.unregister_inflight(pending.msg.id);
+    qm_.unregister_inflight(pending.msg.id());
     const auto& options = pending.queue->options();
     if (options.backout_threshold > 0 &&
-        pending.msg.delivery_count >= options.backout_threshold &&
+        pending.msg.delivery_count() >= options.backout_threshold &&
         !options.backout_queue.empty()) {
       // Poison message: repeatedly rolled back. Move it to the backout
       // queue (durably: consume from the source, append to the target).
       qm_.ensure_queue(options.backout_queue).expect_ok("ensure backout");
       if (pending.msg.persistent()) {
         qm_.append_log_batch({LogRecord::get(pending.queue_name,
-                                             pending.msg.id)})
+                                             pending.msg.id())})
             .expect_ok("log backout");
       }
       CMX_WARN("mq.session")
-          << "backing out message " << pending.msg.id << " from "
-          << pending.queue_name << " after " << pending.msg.delivery_count
+          << "backing out message " << pending.msg.id() << " from "
+          << pending.queue_name << " after " << pending.msg.delivery_count()
           << " deliveries";
       qm_.put_local(options.backout_queue, std::move(pending.msg))
           .expect_ok("backout put");

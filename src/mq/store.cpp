@@ -65,7 +65,7 @@ std::string LogRecord::encode() const {
   w.put_string(msg_id);
   w.put_string(tx_id);
   if (type == Type::kPut) {
-    w.put_string(message.encode());
+    w.put_string(*message.encoded_frame());
   } else {
     w.put_string("");
   }

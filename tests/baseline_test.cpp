@@ -71,7 +71,7 @@ TEST_F(AppManagedTest, ReceiverIgnoresForeignAckProperties) {
   AppManagedReceiver rx(*qm_);
   auto got = rx.read_and_ack("D1", 0);
   ASSERT_TRUE(got.is_ok());
-  EXPECT_EQ(got.value().body, "plain");  // no crash, no ack
+  EXPECT_EQ(got.value().body(), "plain");  // no crash, no ack
 }
 
 TEST_F(AppManagedTest, UnknownOutcomeIdErrors) {

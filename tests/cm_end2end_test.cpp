@@ -62,7 +62,7 @@ TEST_F(CmLocalTest, FanOutOneMessagePerDistinctQueue) {
   EXPECT_EQ(qm_->find_queue("R2")->depth(), 1u);
   auto on_r2 = qm_->find_queue("R2")->browse();
   ASSERT_EQ(on_r2.size(), 1u);
-  EXPECT_EQ(on_r2[0].body, "payload");
+  EXPECT_EQ(on_r2[0].body(), "payload");
   EXPECT_EQ(on_r2[0].get_string(prop::kCmId), cm_id.value());
   EXPECT_EQ(on_r2[0].get_bool(prop::kProcessingRequired), true);
   EXPECT_EQ(on_r2[0].get_string(prop::kSenderQmgr), "QM1");
@@ -214,7 +214,7 @@ TEST_F(CmLocalTest, RollbackProducesNoAckAndRedelivers) {
   // second attempt, non-transactional: exactly one ack, success
   auto again = rx.read_message("R1", 0);
   ASSERT_TRUE(again.is_ok());
-  EXPECT_EQ(again.value().message.delivery_count, 2);
+  EXPECT_EQ(again.value().message.delivery_count(), 2);
   EXPECT_EQ(outcome_of(cm_id.value()).outcome, Outcome::kSuccess);
   EXPECT_EQ(rx.stats().read_acks, 1u);
 }
@@ -375,8 +375,8 @@ TEST_F(CmLocalTest, MomPropertiesFromConditionApplied) {
   ASSERT_TRUE(service_->send_message("urgent", *cond).is_ok());
   auto msgs = qm_->find_queue("R1")->browse();
   ASSERT_EQ(msgs.size(), 1u);
-  EXPECT_EQ(msgs[0].priority, 9);
-  EXPECT_EQ(msgs[0].expiry_ms, clock_.now_ms() + 5000);
+  EXPECT_EQ(msgs[0].priority(), 9);
+  EXPECT_EQ(msgs[0].expiry_ms(), clock_.now_ms() + 5000);
   EXPECT_FALSE(msgs[0].persistent());
 }
 

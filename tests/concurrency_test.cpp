@@ -20,7 +20,7 @@ namespace {
 
 Message msg(const std::string& body) {
   Message m(body);
-  m.persistence = Persistence::kPersistent;
+  m.set_persistence(Persistence::kPersistent);
   return m;
 }
 

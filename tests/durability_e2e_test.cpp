@@ -171,7 +171,7 @@ TEST_F(DurabilityE2ETest, XmitQueueSurvivesRestartAndDelivers) {
   ASSERT_TRUE(net.connect("QMA", "QMB", mq::ChannelOptions{}));
   auto got = qm_recv->get("IN", 5000);
   ASSERT_TRUE(got.is_ok());
-  EXPECT_EQ(got.value().body, "stranded");
+  EXPECT_EQ(got.value().body(), "stranded");
   net.shutdown();
 }
 

@@ -53,7 +53,7 @@ TEST_F(GuaranteedCompensationTest, RecoveryRedrivesInterruptedFailure) {
     auto sent = crashed.send_message("do", "undo", *pick_up(100));
     ASSERT_TRUE(sent.is_ok());
     cm_id = sent.value();
-    msg_id = qm_->find_queue("Q")->browse().at(0).id;
+    msg_id = qm_->find_queue("Q")->browse().at(0).id();
     // hand-craft the crash point: marker present, SLOG consumed, staged
     // compensation untouched, actions never ran
     PendingActionMarker marker;

@@ -1,0 +1,158 @@
+// Codec robustness for the v2 message frame: randomized property-bag
+// round-trips (the flat sorted bag and the transit-section split must never
+// change what comes back) and exhaustive truncation — decode of a frame cut
+// at EVERY byte offset must fail cleanly, never crash or mis-parse.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mq/message.hpp"
+#include "util/random.hpp"
+
+namespace cmx::mq {
+namespace {
+
+std::string random_key(util::Rng& rng) {
+  static const char* kPrefixes[] = {"app_", "CMX_", "CMX_XMIT_", "k", "x_"};
+  std::string key = kPrefixes[rng.uniform(0, 4)];
+  const int len = static_cast<int>(rng.uniform(1, 40));  // crosses the
+  for (int i = 0; i < len; ++i) {  // PropKey inline/heap boundary
+    key += static_cast<char>('a' + rng.uniform(0, 25));
+  }
+  return key;
+}
+
+PropertyValue random_value(util::Rng& rng) {
+  switch (rng.uniform(0, 3)) {
+    case 0:
+      return rng.chance(0.5);
+    case 1:
+      return std::int64_t{rng.uniform(-1'000'000, 1'000'000)};
+    case 2:
+      return rng.uniform01() * 1e6;
+    default: {
+      std::string s;
+      const int len = static_cast<int>(rng.uniform(0, 64));
+      for (int i = 0; i < len; ++i) {
+        s += static_cast<char>(rng.uniform(0, 255));
+      }
+      return s;
+    }
+  }
+}
+
+Message random_message(util::Rng& rng) {
+  std::string body;
+  const int body_len = static_cast<int>(rng.uniform(0, 256));
+  for (int i = 0; i < body_len; ++i) {
+    body += static_cast<char>(rng.uniform(0, 255));
+  }
+  Message m(std::move(body));
+  if (rng.chance(0.8)) m.set_id("msg-" + std::to_string(rng.uniform(0, 999)));
+  if (rng.chance(0.5)) m.set_correlation_id("corr");
+  if (rng.chance(0.5)) m.set_reply_to(QueueAddress("QM", "REPLY"));
+  m.set_priority(static_cast<int>(rng.uniform(0, 9)));
+  m.set_persistence(rng.chance(0.5) ? Persistence::kPersistent
+                                    : Persistence::kNonPersistent);
+  if (rng.chance(0.5)) m.set_expiry_ms(rng.uniform(1, 1'000'000));
+  m.set_put_time_ms(rng.uniform(0, 1'000'000));
+  m.set_delivery_count(static_cast<int>(rng.uniform(0, 9)));
+  const int props = static_cast<int>(rng.uniform(0, 12));
+  for (int i = 0; i < props; ++i) {
+    m.set_property(random_key(rng), random_value(rng));
+  }
+  return m;
+}
+
+TEST(MessageCodecTest, RandomizedRoundTrip) {
+  util::Rng rng(20260806);
+  for (int iter = 0; iter < 200; ++iter) {
+    Message m = random_message(rng);
+    auto decoded = Message::decode(m.encode());
+    ASSERT_TRUE(decoded.is_ok()) << "iter " << iter;
+    const Message& d = decoded.value();
+    EXPECT_EQ(d.id(), m.id());
+    EXPECT_EQ(d.correlation_id(), m.correlation_id());
+    EXPECT_EQ(d.reply_to(), m.reply_to());
+    EXPECT_EQ(d.priority(), m.priority());
+    EXPECT_EQ(d.persistence(), m.persistence());
+    EXPECT_EQ(d.expiry_ms(), m.expiry_ms());
+    EXPECT_EQ(d.put_time_ms(), m.put_time_ms());
+    EXPECT_EQ(d.delivery_count(), m.delivery_count());
+    EXPECT_EQ(d.body(), m.body());
+    ASSERT_EQ(d.properties().size(), m.properties().size()) << "iter " << iter;
+    for (const auto& e : m.properties()) {
+      const PropertyValue* v = d.properties().find(e.key.view());
+      ASSERT_NE(v, nullptr) << "iter " << iter << " key " << e.key.view();
+      EXPECT_EQ(*v, e.value) << "iter " << iter << " key " << e.key.view();
+    }
+    // Re-encoding the decoded message must reproduce the frame: encode is
+    // canonical (sorted properties, fixed section order).
+    EXPECT_EQ(d.encode(), m.encode()) << "iter " << iter;
+  }
+}
+
+TEST(MessageCodecTest, RandomizedRoundTripSurvivesCopiesAndPatches) {
+  util::Rng rng(42);
+  for (int iter = 0; iter < 50; ++iter) {
+    Message m = random_message(rng);
+    m.encode();                 // prime the cache
+    Message copy = m;           // shares frame + payload
+    copy.note_delivery();       // patches its (cloned) frame
+    auto decoded = Message::decode(copy.encode());
+    ASSERT_TRUE(decoded.is_ok()) << "iter " << iter;
+    EXPECT_EQ(decoded.value().delivery_count(), m.delivery_count() + 1);
+    EXPECT_EQ(decoded.value().body(), m.body());
+  }
+}
+
+TEST(MessageCodecTest, TruncationAtEveryOffsetFails) {
+  util::Rng rng(7);
+  Message m = random_message(rng);
+  m.set_property("CMX_XMIT_DEST", std::string("QM2/Q"));  // transit tail too
+  const std::string bytes = m.encode();
+  ASSERT_GT(bytes.size(), 0u);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto r = Message::decode(std::string_view(bytes).substr(0, cut));
+    EXPECT_FALSE(r.is_ok()) << "decode succeeded at truncation " << cut;
+  }
+  EXPECT_TRUE(Message::decode(bytes).is_ok());
+}
+
+TEST(PropKeyTest, InlineAndHeapStorage) {
+  const std::string short_key(PropKey::kInlineCapacity, 'a');
+  const std::string long_key(PropKey::kInlineCapacity + 1, 'b');
+  PropKey inline_key{std::string_view(short_key)};
+  PropKey heap_key{std::string_view(long_key)};
+  EXPECT_TRUE(inline_key.inline_stored());
+  EXPECT_FALSE(heap_key.inline_stored());
+  EXPECT_EQ(inline_key.view(), short_key);
+  EXPECT_EQ(heap_key.view(), long_key);
+
+  // Copies preserve content across the representation boundary.
+  PropKey inline_copy = inline_key;
+  PropKey heap_copy = heap_key;
+  EXPECT_EQ(inline_copy.view(), short_key);
+  EXPECT_EQ(heap_copy.view(), long_key);
+  EXPECT_TRUE(inline_copy.inline_stored());
+  EXPECT_FALSE(heap_copy.inline_stored());
+}
+
+TEST(PropertyBagTest, SortedIterationAndLookup) {
+  PropertyBag bag;
+  bag.set("zeta", std::int64_t{1});
+  bag.set("alpha", std::int64_t{2});
+  bag.set("mid", std::int64_t{3});
+  std::vector<std::string> order;
+  for (const auto& e : bag) order.emplace_back(e.key.view());
+  EXPECT_EQ(order, (std::vector<std::string>{"alpha", "mid", "zeta"}));
+  EXPECT_TRUE(bag.contains("mid"));
+  EXPECT_FALSE(bag.contains("missing"));
+  EXPECT_TRUE(bag.erase("mid"));
+  EXPECT_FALSE(bag.erase("mid"));
+  EXPECT_EQ(bag.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cmx::mq

@@ -25,9 +25,9 @@ TEST(QueueAddressTest, Ordering) {
 
 TEST(MessageTest, DefaultsMatchMomConventions) {
   Message m;
-  EXPECT_EQ(m.priority, kDefaultPriority);
+  EXPECT_EQ(m.priority(), kDefaultPriority);
   EXPECT_TRUE(m.persistent());
-  EXPECT_EQ(m.expiry_ms, util::kNoDeadline);
+  EXPECT_EQ(m.expiry_ms(), util::kNoDeadline);
   EXPECT_FALSE(m.expired(0));
 }
 
@@ -61,7 +61,7 @@ TEST(MessageTest, PropertyOverwrite) {
 
 TEST(MessageTest, Expiry) {
   Message m;
-  m.expiry_ms = 100;
+  m.set_expiry_ms(100);
   EXPECT_FALSE(m.expired(99));
   EXPECT_TRUE(m.expired(100));
   EXPECT_TRUE(m.expired(101));
@@ -69,14 +69,14 @@ TEST(MessageTest, Expiry) {
 
 TEST(MessageTest, EncodeDecodeRoundTrip) {
   Message m("the payload bytes \x01\x02");
-  m.id = "msg-1";
-  m.correlation_id = "corr-9";
-  m.reply_to = QueueAddress("QM2", "REPLY.Q");
-  m.priority = 8;
-  m.persistence = Persistence::kNonPersistent;
-  m.expiry_ms = 123456;
-  m.put_time_ms = 777;
-  m.delivery_count = 3;
+  m.set_id("msg-1");
+  m.set_correlation_id("corr-9");
+  m.set_reply_to(QueueAddress("QM2", "REPLY.Q"));
+  m.set_priority(8);
+  m.set_persistence(Persistence::kNonPersistent);
+  m.set_expiry_ms(123456);
+  m.set_put_time_ms(777);
+  m.set_delivery_count(3);
   m.set_property("s", std::string("str"));
   m.set_property("i", std::int64_t{-5});
   m.set_property("b", false);
@@ -85,15 +85,15 @@ TEST(MessageTest, EncodeDecodeRoundTrip) {
   auto decoded = Message::decode(m.encode());
   ASSERT_TRUE(decoded.is_ok());
   const Message& d = decoded.value();
-  EXPECT_EQ(d.id, "msg-1");
-  EXPECT_EQ(d.correlation_id, "corr-9");
-  EXPECT_EQ(d.reply_to, m.reply_to);
-  EXPECT_EQ(d.priority, 8);
-  EXPECT_EQ(d.persistence, Persistence::kNonPersistent);
-  EXPECT_EQ(d.expiry_ms, 123456);
-  EXPECT_EQ(d.put_time_ms, 777);
-  EXPECT_EQ(d.delivery_count, 3);
-  EXPECT_EQ(d.body, m.body);
+  EXPECT_EQ(d.id(), "msg-1");
+  EXPECT_EQ(d.correlation_id(), "corr-9");
+  EXPECT_EQ(d.reply_to(), m.reply_to());
+  EXPECT_EQ(d.priority(), 8);
+  EXPECT_EQ(d.persistence(), Persistence::kNonPersistent);
+  EXPECT_EQ(d.expiry_ms(), 123456);
+  EXPECT_EQ(d.put_time_ms(), 777);
+  EXPECT_EQ(d.delivery_count(), 3);
+  EXPECT_EQ(d.body(), m.body());
   EXPECT_EQ(d.get_string("s"), "str");
   EXPECT_EQ(d.get_int("i"), -5);
   EXPECT_EQ(d.get_bool("b"), false);
@@ -128,8 +128,168 @@ TEST(MessageTest, EmptyMessageRoundTrip) {
   Message m;
   auto decoded = Message::decode(m.encode());
   ASSERT_TRUE(decoded.is_ok());
-  EXPECT_TRUE(decoded.value().body.empty());
-  EXPECT_TRUE(decoded.value().properties.empty());
+  EXPECT_TRUE(decoded.value().body().empty());
+  EXPECT_TRUE(decoded.value().properties().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy payload semantics
+// ---------------------------------------------------------------------------
+
+TEST(PayloadTest, CopySharesBuffer) {
+  Message a("shared body bytes");
+  Message b = a;
+  EXPECT_TRUE(a.payload().shares_with(b.payload()));
+  EXPECT_EQ(a.payload().use_count(), 2);
+  EXPECT_EQ(b.body(), "shared body bytes");
+}
+
+TEST(PayloadTest, SetBodyDetaches) {
+  Message a("original");
+  Message b = a;
+  b.set_body("changed");
+  EXPECT_FALSE(a.payload().shares_with(b.payload()));
+  EXPECT_EQ(a.body(), "original");
+  EXPECT_EQ(b.body(), "changed");
+}
+
+TEST(PayloadTest, SharedPayloadConstructorFansOut) {
+  Payload body(std::string("fanout body"));
+  Message a(body);
+  Message b(body);
+  EXPECT_TRUE(a.payload().shares_with(b.payload()));
+}
+
+TEST(PayloadTest, DeepCopyModeDuplicates) {
+  set_zero_copy_enabled(false);
+  Message a("deep copy body");
+  Message b = a;
+  EXPECT_FALSE(a.payload().shares_with(b.payload()));
+  EXPECT_EQ(b.body(), "deep copy body");
+  set_zero_copy_enabled(true);
+}
+
+// ---------------------------------------------------------------------------
+// Memoized encode frames
+// ---------------------------------------------------------------------------
+
+TEST(FrameCacheTest, EncodeTwiceIsIdenticalAndCached) {
+  Message m("body");
+  m.set_id("msg-1");
+  m.set_property("k", std::string("v"));
+  EXPECT_FALSE(m.frame_cached());
+  const std::string first = m.encode();
+  EXPECT_TRUE(m.frame_cached());
+  EXPECT_EQ(m.encode(), first);
+  auto frame = m.encoded_frame();
+  EXPECT_EQ(*frame, first);
+}
+
+TEST(FrameCacheTest, CopySharesFrame) {
+  Message m("body");
+  m.set_id("msg-1");
+  const std::string bytes = m.encode();
+  Message copy = m;
+  EXPECT_TRUE(copy.frame_cached());
+  EXPECT_EQ(copy.encode(), bytes);
+}
+
+TEST(FrameCacheTest, MutationInvalidates) {
+  Message m("body");
+  m.set_id("msg-1");
+  m.encode();
+  m.set_priority(9);
+  EXPECT_FALSE(m.frame_cached());
+  auto decoded = Message::decode(m.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().priority(), 9);
+}
+
+TEST(FrameCacheTest, RegularPropertyMutationInvalidates) {
+  Message m("body");
+  m.encode();
+  m.set_property("app", std::int64_t{1});
+  EXPECT_FALSE(m.frame_cached());
+  m.encode();
+  m.erase_property("app");
+  EXPECT_FALSE(m.frame_cached());
+}
+
+TEST(FrameCacheTest, DeliveryCountPatchesInPlace) {
+  Message m("body");
+  m.set_id("msg-1");
+  m.encode();
+  m.note_delivery();
+  m.note_delivery();
+  ASSERT_TRUE(m.frame_cached());  // patched, not invalidated
+  auto decoded = Message::decode(m.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().delivery_count(), 2);
+  // The patched frame must be byte-identical to a from-scratch encode.
+  Message fresh("body");
+  fresh.set_id("msg-1");
+  fresh.set_delivery_count(2);
+  EXPECT_EQ(m.encode(), fresh.encode());
+}
+
+TEST(FrameCacheTest, PatchDoesNotCorruptSharedCopies) {
+  Message m("body");
+  m.set_id("msg-1");
+  const std::string before = m.encode();
+  Message copy = m;  // shares the cached frame
+  m.note_delivery();
+  // The copy's frame must still decode to delivery_count 0.
+  auto copy_decoded = Message::decode(copy.encode());
+  ASSERT_TRUE(copy_decoded.is_ok());
+  EXPECT_EQ(copy_decoded.value().delivery_count(), 0);
+  EXPECT_EQ(copy.encode(), before);
+  auto m_decoded = Message::decode(m.encode());
+  ASSERT_TRUE(m_decoded.is_ok());
+  EXPECT_EQ(m_decoded.value().delivery_count(), 1);
+}
+
+TEST(FrameCacheTest, TransitPropertyRewritesTailKeepingCache) {
+  Message m("body");
+  m.set_id("msg-1");
+  m.set_property("app", std::string("regular"));
+  m.encode();
+  ASSERT_TRUE(m.frame_cached());
+
+  // Setting and erasing a CMX_XMIT* property must keep the cache...
+  m.set_property("CMX_XMIT_DEST", std::string("QM2/ORDERS"));
+  ASSERT_TRUE(m.frame_cached());
+  // ...and the patched frame must equal a canonical re-encode.
+  Message with_dest = m;
+  Message canonical("body");
+  canonical.set_id("msg-1");
+  canonical.set_property("app", std::string("regular"));
+  canonical.set_property("CMX_XMIT_DEST", std::string("QM2/ORDERS"));
+  EXPECT_EQ(with_dest.encode(), canonical.encode());
+
+  m.erase_property("CMX_XMIT_DEST");
+  ASSERT_TRUE(m.frame_cached());
+  Message canonical2("body");
+  canonical2.set_id("msg-1");
+  canonical2.set_property("app", std::string("regular"));
+  EXPECT_EQ(m.encode(), canonical2.encode());
+}
+
+TEST(FrameCacheTest, TransitPropertiesSurviveRoundTrip) {
+  Message m("body");
+  m.set_property("CMX_XMIT_DEST", std::string("QM2/Q"));
+  m.set_property("app", std::int64_t{7});
+  auto decoded = Message::decode(m.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().get_string("CMX_XMIT_DEST"), "QM2/Q");
+  EXPECT_EQ(decoded.value().get_int("app"), 7);
+}
+
+TEST(FrameCacheTest, DeepCopyModeDisablesMemoization) {
+  set_zero_copy_enabled(false);
+  Message m("body");
+  m.encode();
+  EXPECT_FALSE(m.frame_cached());
+  set_zero_copy_enabled(true);
 }
 
 }  // namespace

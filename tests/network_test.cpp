@@ -10,7 +10,7 @@ namespace {
 Message msg(const std::string& body,
             Persistence persistence = Persistence::kPersistent) {
   Message m(body);
-  m.persistence = persistence;
+  m.set_persistence(persistence);
   return m;
 }
 
@@ -38,7 +38,7 @@ TEST_F(NetworkTest, RemotePutArrives) {
   ASSERT_TRUE(qma_->put(QueueAddress("QMB", "IN"), msg("cross")));
   auto got = qmb_->get("IN", 2000);
   ASSERT_TRUE(got.is_ok());
-  EXPECT_EQ(got.value().body, "cross");
+  EXPECT_EQ(got.value().body(), "cross");
   // transport property must not leak to the application
   EXPECT_FALSE(got.value().has_property(kXmitDestProperty));
 }
@@ -55,7 +55,7 @@ TEST_F(NetworkTest, UnknownRemoteQueueIsDeadLettered) {
                    qmb_->find_queue(kDeadLetterQueue)->depth() > 0; }));
   auto dead = qmb_->get(kDeadLetterQueue, 1000);
   ASSERT_TRUE(dead.is_ok());
-  EXPECT_EQ(dead.value().body, "lost");
+  EXPECT_EQ(dead.value().body(), "lost");
   EXPECT_EQ(dead.value().get_string(kXmitDestProperty), "QMB/MISSING");
   auto* channel = net_->channel("QMA", "QMB");
   ASSERT_NE(channel, nullptr);
@@ -88,7 +88,7 @@ TEST_F(NetworkTest, NonPersistentDropsWithFaultInjection) {
   ASSERT_TRUE(qma_->put(QueueAddress("QMB", "IN"), msg("kept")));
   auto got = qmb_->get("IN", 2000);
   ASSERT_TRUE(got.is_ok());
-  EXPECT_EQ(got.value().body, "kept");  // persistent never dropped
+  EXPECT_EQ(got.value().body(), "kept");  // persistent never dropped
   auto* channel = net_->channel("QMA", "QMB");
   EXPECT_EQ(channel->stats().dropped, 1u);
 }
@@ -96,8 +96,8 @@ TEST_F(NetworkTest, NonPersistentDropsWithFaultInjection) {
 TEST_F(NetworkTest, DuplicateFaultInjectionDeliversTwice) {
   ASSERT_TRUE(net_->connect("QMA", "QMB", ChannelOptions{.duplicate = 1.0}));
   ASSERT_TRUE(qma_->put(QueueAddress("QMB", "IN"), msg("twice")));
-  EXPECT_EQ(qmb_->get("IN", 2000).value().body, "twice");
-  EXPECT_EQ(qmb_->get("IN", 2000).value().body, "twice");
+  EXPECT_EQ(qmb_->get("IN", 2000).value().body(), "twice");
+  EXPECT_EQ(qmb_->get("IN", 2000).value().body(), "twice");
   auto* channel = net_->channel("QMA", "QMB");
   EXPECT_TRUE(
       test::eventually([&] { return channel->stats().duplicated == 1u; }));
@@ -120,7 +120,7 @@ TEST_F(NetworkTest, BidirectionalTraffic) {
   ASSERT_TRUE(qmb_->put(QueueAddress("QMA", "BACK"), msg("pong")));
   auto pong = qma_->get("BACK", 2000);
   ASSERT_TRUE(pong.is_ok());
-  EXPECT_EQ(pong.value().body, "pong");
+  EXPECT_EQ(pong.value().body(), "pong");
 }
 
 TEST_F(NetworkTest, ChannelStatsCountTransfers) {

@@ -74,7 +74,7 @@ TEST_F(BrokerTest, PublishReachesMatchingSubscriptions) {
 
   auto got = qm_.get(emea.value().queue, 0);
   ASSERT_TRUE(got.is_ok());
-  EXPECT_EQ(got.value().body, "tick");
+  EXPECT_EQ(got.value().body(), "tick");
   EXPECT_EQ(got.value().get_string(kTopicProperty), "market.emea.fx");
 }
 
@@ -88,7 +88,7 @@ TEST_F(BrokerTest, EachDeliveryIsAnIndependentMessage) {
   auto m2 = qm_.get(s2.value().queue, 0);
   ASSERT_TRUE(m1.is_ok());
   ASSERT_TRUE(m2.is_ok());
-  EXPECT_NE(m1.value().id, m2.value().id);  // distinct message identities
+  EXPECT_NE(m1.value().id(), m2.value().id());  // distinct message identities
 }
 
 TEST_F(BrokerTest, SelectorSubscription) {
@@ -103,7 +103,7 @@ TEST_F(BrokerTest, SelectorSubscription) {
   ASSERT_TRUE(broker_.publish("alerts.db", high));
   auto got = qm_.get(urgent.value().queue, 0);
   ASSERT_TRUE(got.is_ok());
-  EXPECT_EQ(got.value().body, "high");
+  EXPECT_EQ(got.value().body(), "high");
   EXPECT_EQ(qm_.get(urgent.value().queue, 0).code(),
             util::ErrorCode::kTimeout);
   EXPECT_EQ(broker_.stats().selector_filtered, 1u);
@@ -127,7 +127,7 @@ TEST_F(BrokerTest, DurabilityControlsPersistenceClass) {
   ASSERT_TRUE(durable.is_ok());
   ASSERT_TRUE(volatile_sub.is_ok());
   Message m("event");
-  m.persistence = Persistence::kPersistent;
+  m.set_persistence(Persistence::kPersistent);
   ASSERT_TRUE(broker_.publish("t", m));
   EXPECT_TRUE(qm_.get(durable.value().queue, 0).value().persistent());
   EXPECT_FALSE(qm_.get(volatile_sub.value().queue, 0).value().persistent());
@@ -186,7 +186,7 @@ TEST(BrokerRecoveryTest, DurableSubscriptionsSurviveRestart) {
   // the queued message survived and the selector still applies
   auto got = qm->get(ops->queue, 0);
   ASSERT_TRUE(got.is_ok());
-  EXPECT_EQ(got.value().body, "pending-alert");
+  EXPECT_EQ(got.value().body(), "pending-alert");
   Message low("low");
   low.set_property("severity", std::int64_t{1});
   ASSERT_TRUE(broker.publish("alerts.db", low));

@@ -10,7 +10,7 @@ namespace {
 Message msg(const std::string& body,
             Persistence persistence = Persistence::kPersistent) {
   Message m(body);
-  m.persistence = persistence;
+  m.set_persistence(persistence);
   return m;
 }
 
@@ -45,9 +45,9 @@ TEST_F(QueueManagerTest, PutGetLocal) {
   ASSERT_TRUE(qm_->put(QueueAddress("", "Q"), msg("hello")));
   auto got = qm_->get("Q", 0);
   ASSERT_TRUE(got.is_ok());
-  EXPECT_EQ(got.value().body, "hello");
-  EXPECT_FALSE(got.value().id.empty());
-  EXPECT_EQ(got.value().put_time_ms, clock_.now_ms());
+  EXPECT_EQ(got.value().body(), "hello");
+  EXPECT_FALSE(got.value().id().empty());
+  EXPECT_EQ(got.value().put_time_ms(), clock_.now_ms());
 }
 
 TEST_F(QueueManagerTest, PutToOwnNameIsLocal) {
@@ -73,7 +73,7 @@ TEST_F(QueueManagerTest, GetTimeout) {
 TEST_F(QueueManagerTest, ExpiredPutRejected) {
   clock_.set_ms(500);
   Message m = msg("old");
-  m.expiry_ms = 100;
+  m.set_expiry_ms(100);
   EXPECT_EQ(qm_->put(QueueAddress("", "Q"), m).code(),
             util::ErrorCode::kExpired);
 }
@@ -85,7 +85,7 @@ TEST_F(QueueManagerTest, PersistentMessagesSurviveRestart) {
   auto fresh = restart();
   auto got = fresh->get("Q", 0);
   ASSERT_TRUE(got.is_ok());
-  EXPECT_EQ(got.value().body, "durable");
+  EXPECT_EQ(got.value().body(), "durable");
   EXPECT_EQ(fresh->get("Q", 0).code(), util::ErrorCode::kTimeout);
 }
 
@@ -96,7 +96,7 @@ TEST_F(QueueManagerTest, ConsumedMessagesStayConsumedAfterRestart) {
   auto fresh = restart();
   auto got = fresh->get("Q", 0);
   ASSERT_TRUE(got.is_ok());
-  EXPECT_EQ(got.value().body, "b");
+  EXPECT_EQ(got.value().body(), "b");
   EXPECT_EQ(fresh->get("Q", 0).code(), util::ErrorCode::kTimeout);
 }
 
@@ -112,10 +112,10 @@ TEST_F(QueueManagerTest, RemoveMessageLogsRemoval) {
   ASSERT_TRUE(qm_->put(QueueAddress("", "Q"), msg("kill-me")));
   auto all = qm_->find_queue("Q")->browse();
   ASSERT_EQ(all.size(), 1u);
-  auto removed = qm_->remove_message("Q", all[0].id);
+  auto removed = qm_->remove_message("Q", all[0].id());
   ASSERT_TRUE(removed.is_ok());
-  EXPECT_EQ(removed.value().body, "kill-me");
-  EXPECT_EQ(qm_->remove_message("Q", all[0].id).code(),
+  EXPECT_EQ(removed.value().body(), "kill-me");
+  EXPECT_EQ(qm_->remove_message("Q", all[0].id()).code(),
             util::ErrorCode::kNotFound);
   auto fresh = restart();
   EXPECT_EQ(fresh->get("Q", 0).code(), util::ErrorCode::kTimeout);
@@ -127,8 +127,8 @@ TEST_F(QueueManagerTest, BatchGetLogsRemovalsDurably) {
   }
   auto got = qm_->get_batch("Q", 3);
   ASSERT_EQ(got.size(), 3u);
-  EXPECT_EQ(got[0].body, "0");
-  EXPECT_EQ(got[2].body, "2");
+  EXPECT_EQ(got[0].body(), "0");
+  EXPECT_EQ(got[2].body(), "2");
   EXPECT_TRUE(qm_->get_batch("NOPE", 3).empty());
 
   // The batch's removals hit the store as one append_batch: after a
@@ -138,8 +138,8 @@ TEST_F(QueueManagerTest, BatchGetLogsRemovalsDurably) {
   ASSERT_NE(q, nullptr);
   auto left = q->browse();
   ASSERT_EQ(left.size(), 2u);
-  EXPECT_EQ(left[0].body, "3");
-  EXPECT_EQ(left[1].body, "4");
+  EXPECT_EQ(left[0].body(), "3");
+  EXPECT_EQ(left[1].body(), "4");
 }
 
 TEST_F(QueueManagerTest, CompactionPreservesState) {
@@ -191,7 +191,7 @@ TEST_F(SessionTest, NonTransactedPassThrough) {
   ASSERT_TRUE(session->put(QueueAddress("", "Q"), msg("direct")));
   auto got = session->get("Q", 0);
   ASSERT_TRUE(got.is_ok());
-  EXPECT_EQ(got.value().body, "direct");
+  EXPECT_EQ(got.value().body(), "direct");
   EXPECT_EQ(session->commit().code(), util::ErrorCode::kFailedPrecondition);
   EXPECT_EQ(session->rollback().code(), util::ErrorCode::kFailedPrecondition);
 }
@@ -201,7 +201,7 @@ TEST_F(SessionTest, PutsInvisibleUntilCommit) {
   ASSERT_TRUE(session->put(QueueAddress("", "Q"), msg("staged")));
   EXPECT_EQ(qm_->get("Q", 0).code(), util::ErrorCode::kTimeout);
   ASSERT_TRUE(session->commit());
-  EXPECT_EQ(qm_->get("Q", 0).value().body, "staged");
+  EXPECT_EQ(qm_->get("Q", 0).value().body(), "staged");
 }
 
 TEST_F(SessionTest, RollbackDiscardsPuts) {
@@ -221,8 +221,8 @@ TEST_F(SessionTest, GetInvisibleToOthersUntilRollback) {
   ASSERT_TRUE(session->rollback());
   auto again = qm_->get("Q", 0);
   ASSERT_TRUE(again.is_ok());
-  EXPECT_EQ(again.value().body, "contended");
-  EXPECT_EQ(again.value().delivery_count, 2);  // redelivery is visible
+  EXPECT_EQ(again.value().body(), "contended");
+  EXPECT_EQ(again.value().delivery_count(), 2);  // redelivery is visible
 }
 
 TEST_F(SessionTest, CommittedGetIsDurable) {
@@ -244,7 +244,7 @@ TEST_F(SessionTest, UncommittedGetRedeliveredAfterRestart) {
   auto fresh = restart();
   auto got = fresh->get("Q", 0);
   ASSERT_TRUE(got.is_ok());
-  EXPECT_EQ(got.value().body, "inflight");
+  EXPECT_EQ(got.value().body(), "inflight");
 }
 
 TEST_F(SessionTest, CompactionDuringOpenTransactionKeepsInflight) {
@@ -259,7 +259,7 @@ TEST_F(SessionTest, CompactionDuringOpenTransactionKeepsInflight) {
   auto fresh = restart();
   auto got = fresh->get("Q", 0);
   ASSERT_TRUE(got.is_ok()) << "in-flight message lost by compaction";
-  EXPECT_EQ(got.value().body, "held");
+  EXPECT_EQ(got.value().body(), "held");
 }
 
 TEST_F(SessionTest, CommitHooksRunOnCommitOnly) {
@@ -330,7 +330,7 @@ TEST_F(BackoutTest, RepeatedRollbackMovesToBackoutQueue) {
     auto session = qm_->create_session(true);
     auto got = session->get("WORK", 0);
     ASSERT_TRUE(got.is_ok());
-    EXPECT_EQ(got.value().delivery_count, attempt + 1);
+    EXPECT_EQ(got.value().delivery_count(), attempt + 1);
     ASSERT_TRUE(session->rollback());
     EXPECT_EQ(qm_->find_queue("WORK")->depth(), 1u);
   }
@@ -341,7 +341,7 @@ TEST_F(BackoutTest, RepeatedRollbackMovesToBackoutQueue) {
   EXPECT_EQ(qm_->find_queue("WORK")->depth(), 0u);
   auto backed_out = qm_->get("WORK.BACKOUT", 0);
   ASSERT_TRUE(backed_out.is_ok());
-  EXPECT_EQ(backed_out.value().body, "poison");
+  EXPECT_EQ(backed_out.value().body(), "poison");
 }
 
 TEST_F(BackoutTest, BackoutIsDurable) {
@@ -356,7 +356,7 @@ TEST_F(BackoutTest, BackoutIsDurable) {
   EXPECT_EQ(fresh->get("WORK", 0).code(), util::ErrorCode::kTimeout);
   auto backed_out = fresh->get("WORK.BACKOUT", 0);
   ASSERT_TRUE(backed_out.is_ok());
-  EXPECT_EQ(backed_out.value().body, "poison");
+  EXPECT_EQ(backed_out.value().body(), "poison");
 }
 
 TEST_F(BackoutTest, CommitNeverBacksOut) {
@@ -383,7 +383,7 @@ TEST_F(BackoutTest, ZeroThresholdNeverBacksOut) {
   }
   auto got = qm_->get("Q", 0);
   ASSERT_TRUE(got.is_ok());
-  EXPECT_EQ(got.value().delivery_count, 11);
+  EXPECT_EQ(got.value().delivery_count(), 11);
 }
 
 }  // namespace

@@ -11,8 +11,8 @@ namespace {
 
 Message msg(const std::string& body, int priority = kDefaultPriority) {
   Message m(body);
-  m.id = "id-" + body;
-  m.priority = priority;
+  m.set_id("id-" + body);
+  m.set_priority(priority);
   return m;
 }
 
@@ -26,9 +26,9 @@ TEST_F(QueueTest, FifoWithinPriority) {
   ASSERT_TRUE(q_.put(msg("a")));
   ASSERT_TRUE(q_.put(msg("b")));
   ASSERT_TRUE(q_.put(msg("c")));
-  EXPECT_EQ(q_.try_get()->msg.body, "a");
-  EXPECT_EQ(q_.try_get()->msg.body, "b");
-  EXPECT_EQ(q_.try_get()->msg.body, "c");
+  EXPECT_EQ(q_.try_get()->msg.body(), "a");
+  EXPECT_EQ(q_.try_get()->msg.body(), "b");
+  EXPECT_EQ(q_.try_get()->msg.body(), "c");
   EXPECT_FALSE(q_.try_get().has_value());
 }
 
@@ -36,16 +36,16 @@ TEST_F(QueueTest, HigherPriorityFirst) {
   ASSERT_TRUE(q_.put(msg("low", 1)));
   ASSERT_TRUE(q_.put(msg("high", 9)));
   ASSERT_TRUE(q_.put(msg("mid", 5)));
-  EXPECT_EQ(q_.try_get()->msg.body, "high");
-  EXPECT_EQ(q_.try_get()->msg.body, "mid");
-  EXPECT_EQ(q_.try_get()->msg.body, "low");
+  EXPECT_EQ(q_.try_get()->msg.body(), "high");
+  EXPECT_EQ(q_.try_get()->msg.body(), "mid");
+  EXPECT_EQ(q_.try_get()->msg.body(), "low");
 }
 
 TEST_F(QueueTest, PriorityClampedToValidRange) {
   ASSERT_TRUE(q_.put(msg("over", 99)));
   ASSERT_TRUE(q_.put(msg("under", -3)));
-  EXPECT_EQ(q_.try_get()->msg.body, "over");
-  EXPECT_EQ(q_.try_get()->msg.body, "under");
+  EXPECT_EQ(q_.try_get()->msg.body(), "over");
+  EXPECT_EQ(q_.try_get()->msg.body(), "under");
 }
 
 TEST_F(QueueTest, DepthLimitRejectsPut) {
@@ -60,20 +60,20 @@ TEST_F(QueueTest, DepthLimitRejectsPut) {
 TEST_F(QueueTest, ExpiredMessagesAreDiscardedOnGet) {
   Message m = msg("fresh");
   Message e = msg("stale");
-  e.expiry_ms = 100;
+  e.set_expiry_ms(100);
   ASSERT_TRUE(q_.put(e));
   ASSERT_TRUE(q_.put(m));
   clock_.set_ms(150);
-  EXPECT_EQ(q_.try_get()->msg.body, "fresh");
+  EXPECT_EQ(q_.try_get()->msg.body(), "fresh");
   EXPECT_EQ(q_.stats().expired, 1u);
 }
 
 TEST_F(QueueTest, DiscardCallbackFiresForExpired) {
   std::vector<std::string> discarded;
   Queue q("D", QueueOptions{}, clock_,
-          [&](const Message& m) { discarded.push_back(m.body); });
+          [&](const Message& m) { discarded.push_back(m.body()); });
   Message e = msg("gone");
-  e.expiry_ms = 10;
+  e.set_expiry_ms(10);
   ASSERT_TRUE(q.put(e));
   clock_.set_ms(20);
   EXPECT_FALSE(q.try_get().has_value());
@@ -83,15 +83,15 @@ TEST_F(QueueTest, DiscardCallbackFiresForExpired) {
 
 TEST_F(QueueTest, BrowseSkipsExpiredAndPreservesOrder) {
   Message e = msg("stale");
-  e.expiry_ms = 5;
+  e.set_expiry_ms(5);
   ASSERT_TRUE(q_.put(msg("a", 2)));
   ASSERT_TRUE(q_.put(e));
   ASSERT_TRUE(q_.put(msg("b", 8)));
   clock_.set_ms(10);
   auto all = q_.browse();
   ASSERT_EQ(all.size(), 2u);
-  EXPECT_EQ(all[0].body, "b");
-  EXPECT_EQ(all[1].body, "a");
+  EXPECT_EQ(all[0].body(), "b");
+  EXPECT_EQ(all[1].body(), "a");
   EXPECT_EQ(q_.depth(), 3u);  // browse does not remove
 }
 
@@ -100,19 +100,19 @@ TEST_F(QueueTest, RestoreReinsertsAtOriginalPosition) {
   ASSERT_TRUE(q_.put(msg("second")));
   auto got = q_.try_get();
   ASSERT_TRUE(got.has_value());
-  EXPECT_EQ(got->msg.body, "first");
+  EXPECT_EQ(got->msg.body(), "first");
   q_.restore(got->seq, got->msg);
-  EXPECT_EQ(q_.try_get()->msg.body, "first");  // back at the head
-  EXPECT_EQ(q_.try_get()->msg.body, "second");
+  EXPECT_EQ(q_.try_get()->msg.body(), "first");  // back at the head
+  EXPECT_EQ(q_.try_get()->msg.body(), "second");
   EXPECT_EQ(q_.stats().restored, 1u);
 }
 
 TEST_F(QueueTest, DeliveryCountIncrementsOnEachGet) {
   ASSERT_TRUE(q_.put(msg("m")));
   auto got = q_.try_get();
-  EXPECT_EQ(got->msg.delivery_count, 1);
+  EXPECT_EQ(got->msg.delivery_count(), 1);
   q_.restore(got->seq, got->msg);
-  EXPECT_EQ(q_.try_get()->msg.delivery_count, 2);
+  EXPECT_EQ(q_.try_get()->msg.delivery_count(), 2);
 }
 
 TEST_F(QueueTest, RemoveById) {
@@ -121,7 +121,7 @@ TEST_F(QueueTest, RemoveById) {
   EXPECT_TRUE(q_.contains_id("id-a"));
   auto removed = q_.remove_by_id("id-a");
   ASSERT_TRUE(removed.has_value());
-  EXPECT_EQ(removed->body, "a");
+  EXPECT_EQ(removed->body(), "a");
   EXPECT_FALSE(q_.contains_id("id-a"));
   EXPECT_FALSE(q_.remove_by_id("id-a").has_value());
   EXPECT_EQ(q_.depth(), 1u);
@@ -136,7 +136,7 @@ TEST_F(QueueTest, SelectorFiltersGet) {
   ASSERT_TRUE(q_.put(b));
   auto sel = Selector::parse("kind = 'y'");
   ASSERT_TRUE(sel.is_ok());
-  EXPECT_EQ(q_.try_get(&sel.value())->msg.body, "b");
+  EXPECT_EQ(q_.try_get(&sel.value())->msg.body(), "b");
   EXPECT_EQ(q_.depth(), 1u);  // "a" untouched
 }
 
@@ -146,13 +146,13 @@ TEST_F(QueueTest, BatchGetDrainsInOrderUpToLimit) {
   ASSERT_TRUE(q_.put(msg("c")));
   auto got = q_.try_get_batch(2);
   ASSERT_EQ(got.size(), 2u);
-  EXPECT_EQ(got[0].msg.body, "b");  // priority order, like try_get
-  EXPECT_EQ(got[1].msg.body, "a");
-  EXPECT_EQ(got[0].msg.delivery_count, 1);
+  EXPECT_EQ(got[0].msg.body(), "b");  // priority order, like try_get
+  EXPECT_EQ(got[1].msg.body(), "a");
+  EXPECT_EQ(got[0].msg.delivery_count(), 1);
   EXPECT_EQ(q_.depth(), 1u);
   auto rest = q_.try_get_batch(10);  // partial batch: whatever is left
   ASSERT_EQ(rest.size(), 1u);
-  EXPECT_EQ(rest[0].msg.body, "c");
+  EXPECT_EQ(rest[0].msg.body(), "c");
   EXPECT_TRUE(q_.try_get_batch(10).empty());
   EXPECT_EQ(q_.stats().gets, 3u);  // counted per message, not per batch
 }
@@ -167,20 +167,20 @@ TEST_F(QueueTest, BatchGetHonorsSelector) {
   ASSERT_TRUE(sel.is_ok());
   auto got = q_.try_get_batch(10, &sel.value());
   ASSERT_EQ(got.size(), 2u);
-  EXPECT_EQ(got[0].msg.body, "1");
-  EXPECT_EQ(got[1].msg.body, "3");
+  EXPECT_EQ(got[0].msg.body(), "1");
+  EXPECT_EQ(got[1].msg.body(), "3");
   EXPECT_EQ(q_.depth(), 2u);  // evens untouched
 }
 
 TEST_F(QueueTest, BatchGetSkipsExpiredAndRespectsClose) {
   Message e = msg("stale");
-  e.expiry_ms = 5;
+  e.set_expiry_ms(5);
   ASSERT_TRUE(q_.put(e));
   ASSERT_TRUE(q_.put(msg("fresh")));
   clock_.set_ms(10);
   auto got = q_.try_get_batch(10);
   ASSERT_EQ(got.size(), 1u);
-  EXPECT_EQ(got[0].msg.body, "fresh");
+  EXPECT_EQ(got[0].msg.body(), "fresh");
   EXPECT_EQ(q_.stats().expired, 1u);
   ASSERT_TRUE(q_.put(msg("x")));
   EXPECT_TRUE(q_.try_get_batch(0).empty());  // max_n = 0 is a no-op

@@ -7,10 +7,10 @@ namespace {
 
 Message sample() {
   Message m;
-  m.id = "ID-1";
-  m.correlation_id = "CORR-1";
-  m.priority = 7;
-  m.delivery_count = 2;
+  m.set_id("ID-1");
+  m.set_correlation_id("CORR-1");
+  m.set_priority(7);
+  m.set_delivery_count(2);
   m.set_property("region", std::string("emea"));
   m.set_property("amount", std::int64_t{250});
   m.set_property("rate", 0.5);

@@ -14,7 +14,7 @@ namespace {
 
 Message msg(const std::string& body) {
   Message m(body);
-  m.id = "id-" + body;
+  m.set_id("id-" + body);
   return m;
 }
 
@@ -28,8 +28,8 @@ TEST(LogRecordTest, PutRoundTrip) {
   ASSERT_TRUE(decoded.is_ok());
   EXPECT_EQ(decoded.value().type, LogRecord::Type::kPut);
   EXPECT_EQ(decoded.value().queue, "Q1");
-  EXPECT_EQ(decoded.value().message.body, "hello");
-  EXPECT_EQ(decoded.value().message.id, "id-hello");
+  EXPECT_EQ(decoded.value().message.body(), "hello");
+  EXPECT_EQ(decoded.value().message.id(), "id-hello");
 }
 
 TEST(LogRecordTest, GetRoundTrip) {
@@ -69,7 +69,7 @@ TEST(MemoryStoreTest, ReplayReturnsAppendedRecords) {
   ASSERT_TRUE(records.is_ok());
   ASSERT_EQ(records.value().size(), 2u);
   EXPECT_EQ(records.value()[0].type, LogRecord::Type::kQueueCreate);
-  EXPECT_EQ(records.value()[1].message.body, "a");
+  EXPECT_EQ(records.value()[1].message.body(), "a");
 }
 
 TEST(MemoryStoreTest, CommittedBatchSurvivesReplay) {
@@ -91,7 +91,7 @@ TEST(MemoryStoreTest, TornBatchIsDiscarded) {
   auto records = store.replay();
   ASSERT_TRUE(records.is_ok());
   ASSERT_EQ(records.value().size(), 1u);
-  EXPECT_EQ(records.value()[0].message.body, "keep");
+  EXPECT_EQ(records.value()[0].message.body(), "keep");
 }
 
 TEST(MemoryStoreTest, RewriteReplacesContents) {
@@ -135,7 +135,7 @@ TEST_F(FileStoreTest, ReplayAfterReopen) {
   auto records = reopened.replay();
   ASSERT_TRUE(records.is_ok());
   ASSERT_EQ(records.value().size(), 2u);
-  EXPECT_EQ(records.value()[1].message.body, "persisted");
+  EXPECT_EQ(records.value()[1].message.body(), "persisted");
 }
 
 TEST_F(FileStoreTest, EmptyFileReplaysEmpty) {
@@ -158,7 +158,7 @@ TEST_F(FileStoreTest, TornTailIsIgnored) {
   auto records = store.replay();
   ASSERT_TRUE(records.is_ok());
   ASSERT_EQ(records.value().size(), 1u);
-  EXPECT_EQ(records.value()[0].message.body, "good");
+  EXPECT_EQ(records.value()[0].message.body(), "good");
 }
 
 TEST_F(FileStoreTest, CorruptPayloadFailsChecksum) {
@@ -176,7 +176,7 @@ TEST_F(FileStoreTest, CorruptPayloadFailsChecksum) {
   auto records = store.replay();
   ASSERT_TRUE(records.is_ok());
   ASSERT_EQ(records.value().size(), 1u);
-  EXPECT_EQ(records.value()[0].message.body, "aaaa");
+  EXPECT_EQ(records.value()[0].message.body(), "aaaa");
 }
 
 TEST_F(FileStoreTest, RewriteCompactsAndKeepsAppending) {
@@ -191,8 +191,8 @@ TEST_F(FileStoreTest, RewriteCompactsAndKeepsAppending) {
   auto records = store.replay();
   ASSERT_TRUE(records.is_ok());
   ASSERT_EQ(records.value().size(), 3u);
-  EXPECT_EQ(records.value()[1].message.body, "survivor");
-  EXPECT_EQ(records.value()[2].message.body, "after");
+  EXPECT_EQ(records.value()[1].message.body(), "survivor");
+  EXPECT_EQ(records.value()[2].message.body(), "after");
 }
 
 TEST_F(FileStoreTest, BatchAtomicityAcrossReplay) {
@@ -219,7 +219,7 @@ TEST_F(FileStoreTest, ConcurrentAppendersAllSurviveReplay) {
       threads.emplace_back([&store, t] {
         for (int i = 0; i < kPerThread; ++i) {
           Message m("body");
-          m.id = "m-" + std::to_string(t) + "-" + std::to_string(i);
+          m.set_id("m-" + std::to_string(t) + "-" + std::to_string(i));
           store.append(LogRecord::put("Q", std::move(m)))
               .expect_ok("concurrent append");
         }
@@ -233,7 +233,7 @@ TEST_F(FileStoreTest, ConcurrentAppendersAllSurviveReplay) {
   ASSERT_EQ(records.value().size(),
             static_cast<std::size_t>(kThreads) * kPerThread);
   std::set<std::string> ids;
-  for (const auto& rec : records.value()) ids.insert(rec.message.id);
+  for (const auto& rec : records.value()) ids.insert(rec.message.id());
   EXPECT_EQ(ids.size(), static_cast<std::size_t>(kThreads) * kPerThread);
 }
 
@@ -253,7 +253,7 @@ TEST_F(FileStoreTest, TornBatchFrameDropsWholeBatch) {
   auto records = store.replay();
   ASSERT_TRUE(records.is_ok());
   ASSERT_EQ(records.value().size(), 1u);
-  EXPECT_EQ(records.value()[0].message.body, "keep");
+  EXPECT_EQ(records.value()[0].message.body(), "keep");
 }
 
 TEST_F(FileStoreTest, EveryBatchAckMeansOnDisk) {
@@ -268,7 +268,7 @@ TEST_F(FileStoreTest, EveryBatchAckMeansOnDisk) {
   auto records = reader.replay();
   ASSERT_TRUE(records.is_ok());
   ASSERT_EQ(records.value().size(), 1u);
-  EXPECT_EQ(records.value()[0].message.body, "durable");
+  EXPECT_EQ(records.value()[0].message.body(), "durable");
 }
 
 TEST_F(FileStoreTest, IntervalPolicyRoundTrip) {
