@@ -19,13 +19,36 @@
 //
 // Writes BENCH_msg_path.json into the working directory (skipped with
 // --smoke, which runs one tiny zero-copy arm as a CI liveness check).
+//
+// E17 — transport A/B (--transport): the same windowed closed loop and
+// grid, but the arms compare WHERE the remote queue manager lives:
+//
+//   inproc — both managers in this process, in-process Channel (E16's
+//            zero-copy arm re-run as the baseline)
+//   tcp    — the receiving manager in a CHILD PROCESS (fork+exec of this
+//            binary with --child), joined by a TransportChannel /
+//            TransportServer pair over loopback TCP
+//
+// The child drains the destination queues and reports (delivered,
+// distinct message ids) back over a pipe, so every tcp arm doubles as an
+// exactly-once check. Latency is sender-side ack RTT (transport.ack_rtt_us)
+// — one-way transit is unmeasurable across processes because SystemClock
+// epochs are per-process (docs/PROTOCOL.md §8). Writes
+// BENCH_transport.json; --transport-smoke runs one tiny tcp arm as the CI
+// 2-process liveness check.
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,6 +57,8 @@
 #include "mq/payload.hpp"
 #include "mq/queue_manager.hpp"
 #include "mq/store.hpp"
+#include "mq/transport/transport_channel.hpp"
+#include "mq/transport/transport_server.hpp"
 #include "obs/registry.hpp"
 
 namespace {
@@ -172,6 +197,233 @@ ArmResult run_arm(bool zero_copy, std::size_t body_bytes, int fanout,
   return r;
 }
 
+// ---- E17: transport A/B ---------------------------------------------------
+
+struct TransportArm {
+  const char* transport;  // "inproc" or "tcp"
+  std::size_t body_bytes;
+  int fanout;
+  std::uint64_t delivered = 0;
+  double duration_s = 0.0;
+  double msgs_per_sec = 0.0;
+  double serializations_per_msg = 0.0;
+  // tcp-only fields (0 for inproc):
+  std::uint64_t ack_rtt_p50_us = 0;
+  std::uint64_t ack_rtt_p95_us = 0;
+  std::uint64_t ack_rtt_p99_us = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t retransmitted = 0;
+  bool exactly_once = true;
+};
+
+// Child-process receiver: one queue manager + transport server. Writes
+// its port to `pipe_fd`, drains `expected` messages round-major across
+// the fanout queues, then reports "<delivered> <distinct ids>" on the
+// same pipe — the parent's exactly-once verification.
+int run_child(int fanout, std::uint64_t expected, int pipe_fd) {
+  obs::set_enabled(true);
+  mq::set_zero_copy_enabled(true);
+  util::SystemClock clock;
+  mq::QueueManager qm2("QM2", clock, std::make_unique<mq::MemoryStore>());
+  std::vector<std::string> dests;
+  for (int i = 0; i < fanout; ++i) {
+    dests.push_back("DEST" + std::to_string(i));
+    qm2.create_queue(dests.back()).expect_ok("create dest");
+  }
+  mq::transport::TransportServer server(qm2);
+  server.start().expect_ok("child server start");
+  dprintf(pipe_fd, "%u\n", server.port());
+
+  std::uint64_t delivered = 0;
+  std::set<std::string> ids;
+  const std::uint64_t per_queue = expected / fanout;
+  for (std::uint64_t round = 0; round < per_queue; ++round) {
+    for (int i = 0; i < fanout; ++i) {
+      auto got = qm2.get(dests[i], 120'000);
+      got.status().expect_ok("child delivery");
+      ++delivered;
+      ids.insert(got.value().id());
+    }
+  }
+  dprintf(pipe_fd, "%llu %llu\n",
+          static_cast<unsigned long long>(delivered),
+          static_cast<unsigned long long>(ids.size()));
+  server.stop();
+  return 0;
+}
+
+TransportArm run_tcp_arm(const char* argv0, std::size_t body_bytes,
+                         int fanout, int rounds) {
+  constexpr int kWarmupRounds = 10;
+  constexpr std::uint64_t kWindow = 256;  // matches the in-proc closed loop
+  const std::uint64_t warm_total =
+      static_cast<std::uint64_t>(kWarmupRounds) * fanout;
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(rounds + kWarmupRounds) * fanout;
+
+  int pipefd[2];
+  if (pipe(pipefd) != 0) {
+    std::cerr << "pipe failed\n";
+    std::exit(1);
+  }
+  const pid_t pid = fork();
+  if (pid == 0) {
+    ::close(pipefd[0]);
+    execl(argv0, argv0, "--child", std::to_string(fanout).c_str(),
+          std::to_string(total).c_str(), std::to_string(pipefd[1]).c_str(),
+          static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+  ::close(pipefd[1]);
+  FILE* from_child = fdopen(pipefd[0], "r");
+  unsigned port = 0;
+  if (fscanf(from_child, "%u", &port) != 1 || port == 0) {
+    std::cerr << "child failed to report a port\n";
+    std::exit(1);
+  }
+
+  mq::set_zero_copy_enabled(true);
+  util::SystemClock clock;
+  mq::QueueManager qm1("QM1", clock, std::make_unique<mq::MemoryStore>());
+  mq::Network net;
+  net.add(qm1);
+  mq::transport::TransportChannelOptions options;
+  options.port = static_cast<std::uint16_t>(port);
+  options.window = kWindow;  // channel flow control IS the loop window
+  net.add_remote(qm1, "QM2", options).expect_ok("add_remote");
+  auto* channel = net.transport_channel("QM1", "QM2");
+
+  std::vector<std::string> dests;
+  for (int i = 0; i < fanout; ++i) dests.push_back("DEST" + std::to_string(i));
+  const std::string body(body_bytes, 'x');
+  std::uint64_t sent = 0;
+  auto produce_round = [&] {
+    const mq::Payload payload{body};
+    std::vector<std::pair<mq::QueueAddress, mq::Message>> puts;
+    puts.reserve(fanout);
+    for (int i = 0; i < fanout; ++i) {
+      mq::Message msg(payload);
+      msg.set_persistence(mq::Persistence::kPersistent);
+      puts.emplace_back(mq::QueueAddress("QM2", dests[i]), std::move(msg));
+    }
+    qm1.put_all(std::move(puts)).expect_ok("tcp fanout put");
+    sent += fanout;
+    // Closed loop: never run more than kWindow ahead of the acks.
+    if (sent > kWindow && !channel->wait_for_acked(sent - kWindow, 120'000)) {
+      std::cerr << "ack window stalled\n";
+      std::exit(1);
+    }
+  };
+
+  for (int round = 0; round < kWarmupRounds; ++round) produce_round();
+  if (!channel->wait_for_acked(warm_total, 120'000)) {
+    std::cerr << "warmup not acked\n";
+    std::exit(1);
+  }
+  obs::MetricsRegistry::instance().reset();
+  const auto stats_before = channel->stats();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int round = 0; round < rounds; ++round) produce_round();
+  if (!channel->wait_for_acked(total, 120'000)) {
+    std::cerr << "run not acked\n";
+    std::exit(1);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const auto stats_after = channel->stats();
+
+  unsigned long long child_delivered = 0, child_unique = 0;
+  if (fscanf(from_child, "%llu %llu", &child_delivered, &child_unique) != 2) {
+    std::cerr << "child failed to report results\n";
+    std::exit(1);
+  }
+  fclose(from_child);
+  int child_status = 0;
+  waitpid(pid, &child_status, 0);
+  net.shutdown();
+
+  const auto snap = obs::MetricsRegistry::instance().snapshot();
+  TransportArm arm;
+  arm.transport = "tcp";
+  arm.body_bytes = body_bytes;
+  arm.fanout = fanout;
+  arm.delivered = static_cast<std::uint64_t>(rounds) * fanout;
+  arm.duration_s = elapsed;
+  arm.msgs_per_sec = elapsed > 0.0 ? arm.delivered / elapsed : 0.0;
+  const auto serializations = counter_value(snap, "mq.msg.serializations");
+  arm.serializations_per_msg =
+      arm.delivered > 0 ? static_cast<double>(serializations) / arm.delivered
+                        : 0.0;
+  for (const auto& [name, hist] : snap.histograms) {
+    if (name == "transport.ack_rtt_us") {
+      arm.ack_rtt_p50_us = hist.p50();
+      arm.ack_rtt_p95_us = hist.p95();
+      arm.ack_rtt_p99_us = hist.p99();
+    }
+  }
+  arm.bytes_sent = stats_after.bytes_sent - stats_before.bytes_sent;
+  arm.batches = stats_after.batches - stats_before.batches;
+  arm.retransmitted = stats_after.retransmitted - stats_before.retransmitted;
+  arm.exactly_once = child_delivered == total && child_unique == total &&
+                     WIFEXITED(child_status) && WEXITSTATUS(child_status) == 0;
+  if (!arm.exactly_once) {
+    std::cerr << "exactly-once VIOLATED: expected " << total << ", child saw "
+              << child_delivered << " (" << child_unique << " unique)\n";
+  }
+  return arm;
+}
+
+TransportArm as_inproc_arm(const ArmResult& r) {
+  TransportArm arm;
+  arm.transport = "inproc";
+  arm.body_bytes = r.body_bytes;
+  arm.fanout = r.fanout;
+  arm.delivered = r.delivered;
+  arm.duration_s = r.duration_s;
+  arm.msgs_per_sec = r.msgs_per_sec;
+  arm.serializations_per_msg =
+      r.delivered > 0 ? static_cast<double>(r.serializations) / r.delivered
+                      : 0.0;
+  return arm;
+}
+
+void print_transport_arm(const TransportArm& a) {
+  std::cout << a.transport << " body=" << a.body_bytes
+            << "B fanout=" << a.fanout << ": "
+            << static_cast<std::uint64_t>(a.msgs_per_sec) << " msgs/s ("
+            << a.delivered << " in " << a.duration_s << "s), "
+            << a.serializations_per_msg << " serializations/msg";
+  if (std::strcmp(a.transport, "tcp") == 0) {
+    std::cout << ", ack_rtt p50/p95/p99 = " << a.ack_rtt_p50_us << "/"
+              << a.ack_rtt_p95_us << "/" << a.ack_rtt_p99_us << " us, "
+              << a.bytes_sent << " bytes, " << a.batches << " batches"
+              << ", exactly_once=" << (a.exactly_once ? "yes" : "NO");
+  }
+  std::cout << "\n";
+}
+
+void transport_arm_json(std::ostream& out, const TransportArm& a) {
+  out << "{\"transport\": \"" << a.transport
+      << "\", \"body_bytes\": " << a.body_bytes << ", \"fanout\": " << a.fanout
+      << ", \"delivered_msgs_per_sec\": " << a.msgs_per_sec
+      << ", \"delivered\": " << a.delivered
+      << ", \"duration_s\": " << a.duration_s
+      << ", \"serializations_per_msg\": " << a.serializations_per_msg;
+  if (std::strcmp(a.transport, "tcp") == 0) {
+    out << ", \"ack_rtt_p50_us\": " << a.ack_rtt_p50_us
+        << ", \"ack_rtt_p95_us\": " << a.ack_rtt_p95_us
+        << ", \"ack_rtt_p99_us\": " << a.ack_rtt_p99_us
+        << ", \"bytes_sent\": " << a.bytes_sent
+        << ", \"batches\": " << a.batches
+        << ", \"retransmitted\": " << a.retransmitted
+        << ", \"exactly_once\": " << (a.exactly_once ? "true" : "false");
+  }
+  out << "}";
+}
+
 void print_arm(const ArmResult& r) {
   std::cout << r.mode << " body=" << r.body_bytes << "B fanout=" << r.fanout
             << ": " << static_cast<std::uint64_t>(r.msgs_per_sec)
@@ -190,6 +442,74 @@ void print_arm(const ArmResult& r) {
 int main(int argc, char** argv) {
   const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   obs::set_enabled(true);
+
+  if (argc > 1 && std::strcmp(argv[1], "--child") == 0) {
+    // Receiver half of a tcp arm; spawned by run_tcp_arm, never by hand.
+    if (argc < 5) return 2;
+    return run_child(std::atoi(argv[2]),
+                     std::strtoull(argv[3], nullptr, 10),
+                     std::atoi(argv[4]));
+  }
+
+  if (argc > 1 && std::strcmp(argv[1], "--transport-smoke") == 0) {
+    // CI liveness gate: one tiny 2-process tcp arm, exactly-once verified.
+    const auto arm = run_tcp_arm(argv[0], 4096, 2, /*rounds=*/100);
+    print_transport_arm(arm);
+    return (arm.delivered == 200 && arm.exactly_once) ? 0 : 1;
+  }
+
+  if (argc > 1 && std::strcmp(argv[1], "--transport") == 0) {
+    // E17: in-proc channel vs TCP transport on the same grid as E16.
+    std::vector<TransportArm> arms;
+    bool all_exactly_once = true;
+    for (const std::size_t body : {std::size_t{256}, std::size_t{4096},
+                                   std::size_t{65536}}) {
+      for (const int fanout : {1, 8}) {
+        const int rounds = body >= 65536 ? 1500 : (body >= 4096 ? 4000 : 8000);
+        const auto inproc =
+            as_inproc_arm(run_arm(/*zero_copy=*/true, body, fanout, rounds));
+        print_transport_arm(inproc);
+        arms.push_back(inproc);
+        const auto tcp = run_tcp_arm(argv[0], body, fanout, rounds);
+        print_transport_arm(tcp);
+        arms.push_back(tcp);
+        all_exactly_once = all_exactly_once && tcp.exactly_once;
+      }
+    }
+
+    double inproc_4k_f8 = 0.0, tcp_4k_f8 = 0.0;
+    std::uint64_t tcp_4k_f8_rtt_p50 = 0;
+    for (const auto& a : arms) {
+      if (a.body_bytes == 4096 && a.fanout == 8) {
+        if (std::strcmp(a.transport, "tcp") == 0) {
+          tcp_4k_f8 = a.msgs_per_sec;
+          tcp_4k_f8_rtt_p50 = a.ack_rtt_p50_us;
+        } else {
+          inproc_4k_f8 = a.msgs_per_sec;
+        }
+      }
+    }
+    const double tax = tcp_4k_f8 > 0.0 ? inproc_4k_f8 / tcp_4k_f8 : 0.0;
+
+    std::ofstream out("BENCH_transport.json");
+    out << "{\"bench\": \"transport\", \"store\": \"memory\", "
+        << "\"window\": 256, \"arms\": [";
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+      if (i > 0) out << ", ";
+      transport_arm_json(out, arms[i]);
+    }
+    out << "], \"headline\": {\"body_bytes\": 4096, \"fanout\": 8, "
+        << "\"inproc_msgs_per_sec\": " << inproc_4k_f8
+        << ", \"tcp_msgs_per_sec\": " << tcp_4k_f8
+        << ", \"transport_tax\": " << tax
+        << ", \"tcp_ack_rtt_p50_us\": " << tcp_4k_f8_rtt_p50
+        << ", \"all_arms_exactly_once\": "
+        << (all_exactly_once ? "true" : "false") << "}}\n";
+    std::cout << "BENCH_transport.json: 4KiB fanout-8 transport tax = " << tax
+              << "x (inproc/tcp), exactly_once="
+              << (all_exactly_once ? "yes" : "NO") << "\n";
+    return all_exactly_once ? 0 : 1;
+  }
 
   if (smoke) {
     const auto r = run_arm(/*zero_copy=*/true, 4096, 2, /*rounds=*/100);

@@ -1,0 +1,285 @@
+// cluster_node: one node of a multi-process conditional-messaging cluster
+// (DESIGN.md §10). Each process hosts one queue manager plus a TCP
+// transport server, and connects outbound transport channels to its
+// peers; the conditional messaging layer on top is exactly the code that
+// runs in-process — the evaluation manager lives inside the sender node,
+// per the paper's Figure 9.
+//
+// Roles:
+//   sender    fans conditional messages out to remote destinations and
+//             waits for the evaluation outcomes (acks arrive over TCP).
+//   receiver  reads conditional messages from a local queue through the
+//             ConditionalReceiver, whose implicit acks ride the transport
+//             back to the sender's DS.ACK.Q.
+//
+// A 1-sender / 2-receiver round (see scripts/cluster_smoke.sh):
+//
+//   $ ./cluster_node --role receiver --name RCV1 --listen 0 \
+//       --port-file /tmp/rcv1.port --peer SND=@/tmp/snd.port \
+//       --queue ORDERS --recipient u1 --expect 5 &
+//   $ ./cluster_node --role receiver --name RCV2 ... &
+//   $ ./cluster_node --role sender --name SND --listen 0 \
+//       --port-file /tmp/snd.port --peer RCV1=@/tmp/rcv1.port \
+//       --peer RCV2=@/tmp/rcv2.port \
+//       --dest RCV1/ORDERS=u1 --dest RCV2/ORDERS=u2 --messages 5
+//
+// Peers are NAME=HOST:PORT, NAME=PORT (localhost), or NAME=@FILE where
+// FILE is a port file another node writes after binding (solves the
+// ephemeral-port rendezvous without fixed ports).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cm/condition_builder.hpp"
+#include "cm/receiver.hpp"
+#include "cm/sender.hpp"
+#include "mq/network.hpp"
+#include "mq/queue_manager.hpp"
+#include "mq/transport/transport_server.hpp"
+
+using namespace cmx;
+
+namespace {
+
+struct Peer {
+  std::string name;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string port_file;  // when set, host:port comes from this file
+};
+
+struct Dest {
+  std::string qmgr;
+  std::string queue;
+  std::string recipient;
+};
+
+struct Args {
+  std::string role;
+  std::string name;
+  std::uint16_t listen = 0;
+  std::string port_file;
+  std::vector<Peer> peers;
+  std::vector<Dest> dests;
+  int messages = 5;
+  std::string queue = "ORDERS";
+  std::string recipient;
+  int expect = 5;
+  util::TimeMs pickup_ms = 20 * 1000;
+  util::TimeMs timeout_ms = 60 * 1000;
+};
+
+[[noreturn]] void die(const std::string& why) {
+  std::fprintf(stderr, "cluster_node: %s\n", why.c_str());
+  std::exit(2);
+}
+
+Peer parse_peer(const std::string& spec) {
+  const auto eq = spec.find('=');
+  if (eq == std::string::npos) die("bad --peer (want NAME=HOST:PORT): " + spec);
+  Peer peer;
+  peer.name = spec.substr(0, eq);
+  std::string addr = spec.substr(eq + 1);
+  if (!addr.empty() && addr[0] == '@') {
+    peer.port_file = addr.substr(1);
+    return peer;
+  }
+  const auto colon = addr.rfind(':');
+  if (colon != std::string::npos) {
+    peer.host = addr.substr(0, colon);
+    addr = addr.substr(colon + 1);
+  }
+  peer.port = static_cast<std::uint16_t>(std::atoi(addr.c_str()));
+  return peer;
+}
+
+Dest parse_dest(const std::string& spec) {
+  // NAME/QUEUE=RECIPIENT (recipient optional).
+  Dest dest;
+  std::string addr = spec;
+  const auto eq = spec.find('=');
+  if (eq != std::string::npos) {
+    dest.recipient = spec.substr(eq + 1);
+    addr = spec.substr(0, eq);
+  }
+  const auto slash = addr.find('/');
+  if (slash == std::string::npos) die("bad --dest (want QMGR/QUEUE): " + spec);
+  dest.qmgr = addr.substr(0, slash);
+  dest.queue = addr.substr(slash + 1);
+  return dest;
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  auto need = [&](int& i) -> std::string {
+    if (i + 1 >= argc) die(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--role") args.role = need(i);
+    else if (arg == "--name") args.name = need(i);
+    else if (arg == "--listen") args.listen = static_cast<std::uint16_t>(std::atoi(need(i).c_str()));
+    else if (arg == "--port-file") args.port_file = need(i);
+    else if (arg == "--peer") args.peers.push_back(parse_peer(need(i)));
+    else if (arg == "--dest") args.dests.push_back(parse_dest(need(i)));
+    else if (arg == "--messages") args.messages = std::atoi(need(i).c_str());
+    else if (arg == "--queue") args.queue = need(i);
+    else if (arg == "--recipient") args.recipient = need(i);
+    else if (arg == "--expect") args.expect = std::atoi(need(i).c_str());
+    else if (arg == "--pickup-ms") args.pickup_ms = std::atoll(need(i).c_str());
+    else if (arg == "--timeout-ms") args.timeout_ms = std::atoll(need(i).c_str());
+    else die("unknown flag " + arg);
+  }
+  if (args.role != "sender" && args.role != "receiver") {
+    die("--role must be sender or receiver");
+  }
+  if (args.name.empty()) args.name = args.role == "sender" ? "SND" : "RCV";
+  return args;
+}
+
+// Resolves NAME=@FILE peers by polling the port file until the owning
+// node has written it (it writes the file only after its bind succeeds).
+void resolve_peer(Peer& peer, util::TimeMs timeout_ms) {
+  if (peer.port_file.empty()) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream in(peer.port_file);
+    std::string text;
+    if (in && std::getline(in, text) && !text.empty()) {
+      const auto colon = text.rfind(':');
+      if (colon != std::string::npos) {
+        peer.host = text.substr(0, colon);
+        text = text.substr(colon + 1);
+      }
+      peer.port = static_cast<std::uint16_t>(std::atoi(text.c_str()));
+      if (peer.port != 0) return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  die("timed out waiting for port file " + peer.port_file);
+}
+
+int run_sender(const Args& args, mq::QueueManager& qm, mq::Network& net) {
+  if (args.dests.empty()) die("sender needs at least one --dest");
+  cm::ConditionalMessagingService service(qm);
+  std::vector<std::string> cm_ids;
+  for (int i = 0; i < args.messages; ++i) {
+    cm::SetBuilder builder;
+    builder.pick_up_within(args.pickup_ms);
+    for (const auto& dest : args.dests) {
+      builder.add(cm::DestBuilder(mq::QueueAddress(dest.qmgr, dest.queue),
+                                  dest.recipient)
+                      .build());
+    }
+    auto condition = builder.build();
+    auto cm_id = service.send_message("order #" + std::to_string(i),
+                                      *condition);
+    cm_id.status().expect_ok("send_message");
+    cm_ids.push_back(cm_id.value());
+  }
+  std::printf("[%s] sent %zu conditional messages to %zu destinations\n",
+              args.name.c_str(), cm_ids.size(), args.dests.size());
+
+  int successes = 0;
+  for (const auto& cm_id : cm_ids) {
+    auto outcome = service.await_outcome(cm_id, args.timeout_ms);
+    if (outcome.is_ok() && outcome.value().outcome == cm::Outcome::kSuccess) {
+      ++successes;
+    } else {
+      std::fprintf(stderr, "[%s] %s did not succeed (%s)\n",
+                   args.name.c_str(), cm_id.c_str(),
+                   outcome.is_ok()
+                       ? cm::outcome_name(outcome.value().outcome)
+                       : outcome.status().message().c_str());
+    }
+  }
+  std::printf("[%s] outcomes: %d/%d SUCCESS\n", args.name.c_str(), successes,
+              args.messages);
+  return successes == args.messages ? 0 : 1;
+}
+
+int run_receiver(const Args& args, mq::QueueManager& qm, mq::Network& net) {
+  cm::ConditionalReceiver receiver(qm, args.recipient);
+  int got = 0;
+  for (int i = 0; i < args.expect; ++i) {
+    auto msg = receiver.read_message(args.queue, args.timeout_ms);
+    if (!msg.is_ok()) {
+      std::fprintf(stderr, "[%s] read_message failed: %s\n",
+                   args.name.c_str(), msg.status().message().c_str());
+      break;
+    }
+    ++got;
+  }
+  std::printf("[%s] read %d/%d conditional messages (acks sent: %llu)\n",
+              args.name.c_str(), got, args.expect,
+              static_cast<unsigned long long>(receiver.stats().read_acks));
+  // Before exiting, make sure every implicit ack actually crossed the
+  // wire back to the sender — the process going away must not strand
+  // acks on the transmission queue.
+  if (!args.peers.empty()) {
+    auto* back = net.transport_channel(args.name, args.peers.front().name);
+    if (back != nullptr &&
+        !back->wait_for_acked(static_cast<std::uint64_t>(got),
+                              args.timeout_ms)) {
+      std::fprintf(stderr, "[%s] acks not flushed to sender\n",
+                   args.name.c_str());
+      return 1;
+    }
+  }
+  return got == args.expect ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = parse_args(argc, argv);
+  util::SystemClock clock;
+  mq::QueueManager qm(args.name, clock);
+  if (args.role == "receiver") {
+    // The application queue must exist BEFORE the transport server can
+    // accept traffic: a message arriving for a queue that does not exist
+    // yet is dead-lettered (and acked as handled), not retried.
+    qm.ensure_queue(args.queue).expect_ok("create queue");
+  }
+
+  mq::transport::TransportServerOptions server_options;
+  server_options.port = args.listen;
+  mq::transport::TransportServer server(qm, server_options);
+  server.start().expect_ok("transport server start");
+  std::printf("[%s] %s listening on 127.0.0.1:%u\n", args.name.c_str(),
+              args.role.c_str(), server.port());
+  if (!args.port_file.empty()) {
+    // Write via a temp file + rename so a polling peer never reads a
+    // half-written port.
+    const std::string tmp = args.port_file + ".tmp";
+    std::ofstream out(tmp);
+    out << server.port() << "\n";
+    out.close();
+    std::rename(tmp.c_str(), args.port_file.c_str());
+  }
+
+  mq::Network net;
+  net.add(qm);
+  for (auto peer : args.peers) {
+    resolve_peer(peer, args.timeout_ms);
+    mq::transport::TransportChannelOptions options;
+    options.host = peer.host;
+    options.port = peer.port;
+    net.add_remote(qm, peer.name, options).expect_ok("add_remote");
+  }
+
+  const int rc = args.role == "sender" ? run_sender(args, qm, net)
+                                       : run_receiver(args, qm, net);
+  net.shutdown();
+  server.stop();
+  std::printf("[%s] exit %d\n", args.name.c_str(), rc);
+  return rc;
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Smoke test of the multi-process cluster (README "Running a multi-process
+# cluster"): one sender and two receivers as separate OS processes,
+# rendezvousing over ephemeral TCP ports via port files, running one short
+# conditional-messaging round. Fails if any process exits non-zero or the
+# round does not finish within the timeout.
+#
+# Usage: scripts/cluster_smoke.sh [path/to/cluster_node] [messages]
+set -euo pipefail
+
+BIN="${1:-build/examples/cluster_node}"
+MESSAGES="${2:-5}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/cmx-cluster.XXXXXX")"
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+if [[ ! -x "$BIN" ]]; then
+  echo "cluster_smoke: $BIN not found or not executable" >&2
+  exit 2
+fi
+
+"$BIN" --role receiver --name RCV1 --listen 0 \
+  --port-file "$WORK/rcv1.port" --peer "SND=@$WORK/snd.port" \
+  --queue ORDERS --recipient u1 --expect "$MESSAGES" &
+RCV1=$!
+
+"$BIN" --role receiver --name RCV2 --listen 0 \
+  --port-file "$WORK/rcv2.port" --peer "SND=@$WORK/snd.port" \
+  --queue ORDERS --recipient u2 --expect "$MESSAGES" &
+RCV2=$!
+
+"$BIN" --role sender --name SND --listen 0 \
+  --port-file "$WORK/snd.port" \
+  --peer "RCV1=@$WORK/rcv1.port" --peer "RCV2=@$WORK/rcv2.port" \
+  --dest "RCV1/ORDERS=u1" --dest "RCV2/ORDERS=u2" \
+  --messages "$MESSAGES" &
+SND=$!
+
+rc=0
+wait "$SND" || rc=$?
+wait "$RCV1" || rc=$((rc + $?))
+wait "$RCV2" || rc=$((rc + $?))
+
+if [[ "$rc" -ne 0 ]]; then
+  echo "cluster_smoke: FAILED (rc=$rc)" >&2
+  exit 1
+fi
+echo "cluster_smoke: OK ($MESSAGES messages, 2 receivers, 3 processes)"

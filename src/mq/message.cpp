@@ -201,7 +201,8 @@ std::shared_ptr<const std::string> Message::encoded_frame() const {
 
 std::string Message::encode() const { return *encoded_frame(); }
 
-util::Result<Message> Message::decode(std::string_view data) {
+util::Result<Message> Message::decode(std::string_view data,
+                                      bool retain_frame) {
   using util::ErrorCode;
   util::BinaryReader r(data);
   auto version = r.get_u32();
@@ -210,6 +211,8 @@ util::Result<Message> Message::decode(std::string_view data) {
     return util::make_error(ErrorCode::kIoError, "unknown message version");
   }
   Message m;
+  std::size_t delivery_count_offset = 0;
+  std::size_t transit_offset = 0;
   auto read_str = [&](std::string& out) -> util::Status {
     auto s = r.get_string();
     if (!s) return s.status();
@@ -232,6 +235,7 @@ util::Result<Message> Message::decode(std::string_view data) {
   auto put_time = r.get_i64();
   if (!put_time) return put_time.status();
   m.put_time_ms_ = put_time.value();
+  delivery_count_offset = r.position();
   auto delivery = r.get_u32();
   if (!delivery) return delivery.status();
   m.delivery_count_ = static_cast<int>(delivery.value());
@@ -280,9 +284,23 @@ util::Result<Message> Message::decode(std::string_view data) {
   auto body = r.get_string();
   if (!body) return body.status();
   m.body_ = Payload(std::move(body).value());
+  transit_offset = r.position();
   auto transit_count = r.get_u32();
   if (!transit_count) return transit_count.status();
   if (auto s = read_props(transit_count.value()); !s) return s;
+  if (retain_frame && zero_copy_enabled() && r.at_end()) {
+    // Adopt the wire bytes as the memoized frame: a message crossing a
+    // transport hop is decoded AND frame-primed in one pass, so the
+    // receiving store append (and any onward hop) is served from the
+    // cache instead of re-serializing — encode happens once end-to-end.
+    auto f = std::make_shared<EncodedFrame>();
+    f->bytes.assign(data.data(), data.size());
+    f->delivery_count_offset = delivery_count_offset;
+    f->transit_offset = transit_offset;
+    m.frame_ = std::move(f);
+    m.frame_ever_built_ = true;
+    CMX_OBS_COUNT("mq.msg.frame_adopted", 1);
+  }
   return m;
 }
 

@@ -168,7 +168,13 @@ class Message {
   // is what the store's LogRecord path uses.
   std::string encode() const;
   std::shared_ptr<const std::string> encoded_frame() const;
-  static util::Result<Message> decode(std::string_view data);
+  // `retain_frame` memoizes `data` itself as the decoded message's encode
+  // frame (when zero-copy is enabled), so a message arriving off the wire
+  // is never re-serialized for the receiving store — decode is the
+  // mirror of the sender's encode-once path. Offsets for the patchable
+  // fields are recorded during the parse.
+  static util::Result<Message> decode(std::string_view data,
+                                      bool retain_frame = false);
 
   // True when an encoded frame is currently memoized (test/obs hook).
   bool frame_cached() const { return frame_ != nullptr; }

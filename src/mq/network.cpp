@@ -54,6 +54,31 @@ Channel* Network::channel(const std::string& from,
   return it == channels_.end() ? nullptr : it->second.get();
 }
 
+util::Status Network::add_remote(QueueManager& from,
+                                 const std::string& remote_name,
+                                 transport::TransportChannelOptions options) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (shut_down_) {
+    return util::make_error(util::ErrorCode::kClosed, "network shut down");
+  }
+  auto key = std::make_pair(from.name(), remote_name);
+  if (transport_channels_.count(key) != 0) {
+    return util::make_error(util::ErrorCode::kAlreadyExists,
+                            "transport channel " + from.name() + " -> " +
+                                remote_name + " already exists");
+  }
+  transport_channels_[key] = std::make_unique<transport::TransportChannel>(
+      from, remote_name, std::move(options));
+  return util::ok_status();
+}
+
+transport::TransportChannel* Network::transport_channel(
+    const std::string& from, const std::string& to) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = transport_channels_.find(std::make_pair(from, to));
+  return it == transport_channels_.end() ? nullptr : it->second.get();
+}
+
 Channel* Network::channel_locked(const std::string& from,
                                  const std::string& to) {
   auto key = std::make_pair(from, to);
@@ -86,6 +111,14 @@ util::Result<std::string> Network::resolve(QueueManager& from,
     if (shut_down_) {
       return util::make_error(util::ErrorCode::kClosed, "network shut down");
     }
+    // A TCP-attached remote takes precedence: it is by definition not a
+    // member of qms_ (it lives in another process).
+    auto transport_it =
+        transport_channels_.find(std::make_pair(from.name(), addr.qmgr));
+    if (transport_it != transport_channels_.end()) {
+      msg.set_property(kXmitDestProperty, addr.to_string());
+      return transport_it->second->xmit_queue_name();
+    }
     if (qms_.count(addr.qmgr) == 0) {
       return util::make_error(util::ErrorCode::kNotFound,
                               "unknown queue manager " + addr.qmgr);
@@ -103,15 +136,20 @@ util::Result<std::string> Network::resolve(QueueManager& from,
 void Network::shutdown() {
   std::map<std::pair<std::string, std::string>, std::unique_ptr<Channel>>
       channels;
+  std::map<std::pair<std::string, std::string>,
+           std::unique_ptr<transport::TransportChannel>>
+      transport_channels;
   std::map<std::string, QueueManager*> qms;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (shut_down_) return;
     shut_down_ = true;
     channels.swap(channels_);
+    transport_channels.swap(transport_channels_);
     qms.swap(qms_);
   }
   for (auto& [key, channel] : channels) channel->stop();
+  for (auto& [key, channel] : transport_channels) channel->stop();
   for (auto& [name, qm] : qms) qm->attach_network(nullptr);
 }
 

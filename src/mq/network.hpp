@@ -15,6 +15,7 @@
 
 #include "mq/channel.hpp"
 #include "mq/message.hpp"
+#include "mq/transport/transport_channel.hpp"
 #include "util/status.hpp"
 
 namespace cmx::mq {
@@ -44,6 +45,19 @@ class Network {
   // The from→to channel, or nullptr if it has not been created yet.
   Channel* channel(const std::string& from, const std::string& to) const;
 
+  // Registers a REMOTE queue manager reachable over TCP (DESIGN.md §10):
+  // creates a TransportChannel from `from` to `remote_name` at the
+  // host:port in `options`. After this, puts addressed to
+  // remote_name/<queue> route onto the transport channel's transmission
+  // queue exactly like in-process remote puts — the destination being
+  // another process is invisible above the network layer.
+  util::Status add_remote(QueueManager& from, const std::string& remote_name,
+                          transport::TransportChannelOptions options);
+
+  // The from→to transport channel, or nullptr.
+  transport::TransportChannel* transport_channel(const std::string& from,
+                                                 const std::string& to) const;
+
   // Routes a message from `from` to a queue on a remote queue manager.
   // Creates the channel on demand. Called by QueueManager::put().
   util::Status route(QueueManager& from, const QueueAddress& addr,
@@ -66,6 +80,11 @@ class Network {
   std::map<std::string, QueueManager*> qms_;
   std::map<std::pair<std::string, std::string>, std::unique_ptr<Channel>>
       channels_;
+  // (from, to) → TCP channel; `to` here is a remote process, never a
+  // member of qms_. Checked before qms_ in resolve().
+  std::map<std::pair<std::string, std::string>,
+           std::unique_ptr<transport::TransportChannel>>
+      transport_channels_;
   ChannelOptions default_options_;
   bool shut_down_ = false;
 };

@@ -161,6 +161,26 @@ std::vector<Message> Queue::browse(std::size_t max_n) const {
   return out;
 }
 
+std::vector<Message> Queue::browse_chunk(BrowseCursor& cursor,
+                                         std::size_t max_n) const {
+  std::vector<Message> out;
+  if (cursor.done || max_n == 0) return out;
+  std::lock_guard<std::mutex> lk(mu_);
+  const util::TimeMs now = clock_.now_ms();
+  auto it = cursor.started
+                ? entries_.upper_bound(OrderKey{cursor.inv_priority, cursor.seq})
+                : entries_.begin();
+  out.reserve(std::min(max_n, entries_.size()));
+  for (; it != entries_.end() && out.size() < max_n; ++it) {
+    cursor.started = true;
+    cursor.inv_priority = it->first.inv_priority;
+    cursor.seq = it->first.seq;
+    if (!it->second.expired(now)) out.push_back(it->second);
+  }
+  if (it == entries_.end()) cursor.done = true;
+  return out;
+}
+
 std::size_t Queue::depth() const {
   std::lock_guard<std::mutex> lk(mu_);
   return entries_.size();

@@ -98,6 +98,23 @@ class Queue {
   // Copies at most `max_n` live messages in delivery order.
   std::vector<Message> browse(std::size_t max_n) const;
 
+  // Resumable bounded browse: the cursor position survives between calls,
+  // so a deep queue can be walked in chunks without ever holding the
+  // queue lock for a full scan (the compaction snapshot path). Entries
+  // consumed between chunks are simply not revisited; entries put behind
+  // the cursor are missed — the same non-atomic-cut semantics the
+  // snapshot already has across queues. A chunk may come back empty while
+  // !done when it crossed only expired entries; loop on done, not on
+  // emptiness.
+  struct BrowseCursor {
+    bool done = false;
+    bool started = false;  // resume fields below are valid once true
+    int inv_priority = 0;
+    std::uint64_t seq = 0;
+  };
+  std::vector<Message> browse_chunk(BrowseCursor& cursor,
+                                    std::size_t max_n) const;
+
   std::size_t depth() const;
   QueueStats stats() const;
 

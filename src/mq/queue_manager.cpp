@@ -399,11 +399,19 @@ std::vector<LogRecord> QueueManager::snapshot() const {
     }
   }
   std::vector<LogRecord> snapshot;
+  // Chunked passes instead of one unbounded browse(): each pass holds the
+  // queue lock for at most kSnapshotChunk entries, so a deep queue (a
+  // backed-up transmission queue during a partition, say) cannot stall
+  // its putters and getters for the duration of a compaction scan.
+  constexpr std::size_t kSnapshotChunk = 256;
   for (auto& [queue_name, queue] : queues) {
     snapshot.push_back(LogRecord::queue_create(queue_name));
-    for (auto& msg : queue->browse()) {
-      if (msg.persistent()) {
-        snapshot.push_back(LogRecord::put(queue_name, std::move(msg)));
+    Queue::BrowseCursor cursor;
+    while (!cursor.done) {
+      for (auto& msg : queue->browse_chunk(cursor, kSnapshotChunk)) {
+        if (msg.persistent()) {
+          snapshot.push_back(LogRecord::put(queue_name, std::move(msg)));
+        }
       }
     }
   }

@@ -1,0 +1,135 @@
+#include "mq/transport/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cmx::mq::transport {
+
+namespace {
+util::Status errno_error(const std::string& what) {
+  return util::make_error(util::ErrorCode::kIoError,
+                          what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+EventLoop::EventLoop()
+    : epoll_(::epoll_create1(EPOLL_CLOEXEC)),
+      wake_(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {
+  if (!epoll_.valid()) {
+    init_status_ = errno_error("epoll_create1");
+    return;
+  }
+  if (!wake_.valid()) {
+    init_status_ = errno_error("eventfd");
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_.get();
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, wake_.get(), &ev) != 0) {
+    init_status_ = errno_error("epoll_ctl(wake)");
+  }
+}
+
+EventLoop::~EventLoop() { stop(); }
+
+void EventLoop::start() {
+  thread_ = std::thread([this] { run(); });
+}
+
+void EventLoop::stop() {
+  {
+    std::lock_guard<std::mutex> lk(posts_mu_);
+    if (stopping_) {
+      if (thread_.joinable()) thread_.join();
+      return;
+    }
+    stopping_ = true;
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_.get(), &one, sizeof(one));
+  if (thread_.joinable()) thread_.join();
+}
+
+util::Status EventLoop::add(int fd, std::uint32_t events, Callback callback) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return errno_error("epoll_ctl(add)");
+  }
+  callbacks_[fd] = std::move(callback);
+  return util::ok_status();
+}
+
+util::Status EventLoop::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return errno_error("epoll_ctl(mod)");
+  }
+  return util::ok_status();
+}
+
+void EventLoop::remove(int fd) {
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(posts_mu_);
+    posts_.push_back(std::move(fn));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_.get(), &one, sizeof(one));
+}
+
+void EventLoop::drain_posts() {
+  std::vector<std::function<void()>> posts;
+  {
+    std::lock_guard<std::mutex> lk(posts_mu_);
+    posts.swap(posts_);
+  }
+  for (auto& fn : posts) fn();
+}
+
+void EventLoop::run() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lk(posts_mu_);
+      if (stopping_) break;
+    }
+    const int n = ::epoll_wait(epoll_.get(), events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable; stop() will still join cleanly
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_.get()) {
+        std::uint64_t drained;
+        while (::read(wake_.get(), &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      // The callback may remove(fd) (connection close) — look it up fresh
+      // and copy the handle so an erase inside the call stays safe.
+      auto it = callbacks_.find(fd);
+      if (it == callbacks_.end()) continue;
+      Callback cb = it->second;
+      cb(events[i].events);
+    }
+    drain_posts();
+  }
+  drain_posts();
+}
+
+}  // namespace cmx::mq::transport

@@ -1,0 +1,68 @@
+// Single-threaded epoll event loop: the connection fan-in engine of the
+// receiving side of the transport (DESIGN.md §10). One loop thread
+// multiplexes the listen socket plus every accepted connection —
+// thousands of mostly-idle senders cost one epoll_wait, which is the
+// MigratoryData shape (millions of reliable clients on one node) in
+// miniature.
+//
+// Threading contract: callbacks run on the loop thread; add/modify/remove
+// may only be called from the loop thread (i.e. from inside a callback)
+// or before start(). Other threads interact through post(), which
+// enqueues a closure and wakes the loop via an eventfd, and stop(), which
+// is safe from any thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mq/transport/socket.hpp"
+#include "util/status.hpp"
+
+namespace cmx::mq::transport {
+
+class EventLoop {
+ public:
+  // `events` is an EPOLLIN/EPOLLOUT/... bitmask as delivered by epoll.
+  using Callback = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  util::Status valid() const { return init_status_; }
+
+  // Starts the loop thread. Call once.
+  void start();
+  // Wakes the loop, drains pending posts, and joins the thread. Idempotent,
+  // safe from any thread (not from a callback).
+  void stop();
+
+  // fd registration (loop thread or pre-start only; see contract above).
+  util::Status add(int fd, std::uint32_t events, Callback callback);
+  util::Status modify(int fd, std::uint32_t events);
+  void remove(int fd);
+
+  // Runs `fn` on the loop thread, after the current epoll_wait returns.
+  void post(std::function<void()> fn);
+
+ private:
+  void run();
+  void drain_posts();
+
+  Fd epoll_;
+  Fd wake_;  // eventfd: post()/stop() write, loop reads
+  util::Status init_status_;
+  std::map<int, Callback> callbacks_;  // loop thread only (after start)
+  std::mutex posts_mu_;
+  std::vector<std::function<void()>> posts_;
+  bool stopping_ = false;  // posts_mu_
+  std::thread thread_;
+};
+
+}  // namespace cmx::mq::transport

@@ -1,0 +1,149 @@
+#include "mq/transport/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cmx::mq::transport {
+
+namespace {
+
+util::Status errno_error(const std::string& what) {
+  return util::make_error(util::ErrorCode::kIoError,
+                          what + ": " + std::strerror(errno));
+}
+
+util::Result<sockaddr_in> make_addr(const std::string& host,
+                                    std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  // Numeric IPv4 only: cluster/bench peers are addressed explicitly
+  // (127.0.0.1 or a LAN address); name resolution is the caller's job.
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+util::Result<Fd> tcp_connect(const std::string& host, std::uint16_t port,
+                             std::int64_t timeout_ms) {
+  auto addr = make_addr(host, port);
+  if (!addr) return addr.status();
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return errno_error("socket");
+  if (auto s = set_nonblocking(fd.get(), true); !s) return s;
+  int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr.value()),
+                     sizeof(sockaddr_in));
+  if (rc != 0 && errno != EINPROGRESS) return errno_error("connect");
+  if (rc != 0) {
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (rc == 0) {
+      return util::make_error(util::ErrorCode::kTimeout,
+                              "connect to " + host + " timed out");
+    }
+    if (rc < 0) return errno_error("poll(connect)");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return errno_error("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      return util::make_error(util::ErrorCode::kUnavailable,
+                              "connect to " + host + ": " +
+                                  std::strerror(err));
+    }
+  }
+  if (auto s = set_nonblocking(fd.get(), false); !s) return s;
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+util::Result<Fd> tcp_listen(const std::string& host, std::uint16_t port,
+                            int backlog) {
+  auto addr = make_addr(host, port);
+  if (!addr) return addr.status();
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return errno_error("socket");
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr.value()),
+             sizeof(sockaddr_in)) != 0) {
+    return errno_error("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) != 0) return errno_error("listen");
+  return fd;
+}
+
+util::Result<std::uint16_t> local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return errno_error("getsockname");
+  }
+  return static_cast<std::uint16_t>(ntohs(addr.sin_port));
+}
+
+util::Status set_nonblocking(int fd, bool on) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return errno_error("fcntl(F_GETFL)");
+  flags = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, flags) < 0) return errno_error("fcntl(F_SETFL)");
+  return util::ok_status();
+}
+
+util::Status send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a peer that vanished mid-send yields EPIPE instead of
+    // killing the process with SIGPIPE.
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return util::ok_status();
+}
+
+util::Result<std::size_t> recv_some(int fd, char* data, std::size_t size) {
+  while (true) {
+    const ssize_t n = ::recv(fd, data, size, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return util::make_error(util::ErrorCode::kTimeout, "recv timed out");
+    }
+    return errno_error("recv");
+  }
+}
+
+util::Status set_recv_timeout(int fd, std::int64_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return errno_error("setsockopt(SO_RCVTIMEO)");
+  }
+  return util::ok_status();
+}
+
+}  // namespace cmx::mq::transport

@@ -1,0 +1,70 @@
+// Thin POSIX TCP wrappers for the transport layer: RAII fd ownership,
+// connect with timeout, listen on an (optionally ephemeral) port, and
+// blocking send/recv helpers that loop over partial transfers. Everything
+// above this file works in terms of whole frames; everything below it is
+// bytes and errno.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace cmx::mq::transport {
+
+// Move-only owner of a file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// Connects to host:port with a bounded wait (non-blocking connect +
+// poll). The returned fd is blocking, with TCP_NODELAY set — the
+// transport batches frames itself, so Nagle only adds latency.
+util::Result<Fd> tcp_connect(const std::string& host, std::uint16_t port,
+                             std::int64_t timeout_ms);
+
+// Binds and listens on host:port. port 0 binds an ephemeral port; read it
+// back with local_port().
+util::Result<Fd> tcp_listen(const std::string& host, std::uint16_t port,
+                            int backlog);
+
+util::Result<std::uint16_t> local_port(int fd);
+
+util::Status set_nonblocking(int fd, bool on);
+
+// Blocking write of the whole buffer (loops over partial writes / EINTR).
+util::Status send_all(int fd, const char* data, std::size_t size);
+
+// Blocking read of up to `size` bytes honouring SO_RCVTIMEO if set.
+// Returns 0 on orderly peer close.
+util::Result<std::size_t> recv_some(int fd, char* data, std::size_t size);
+
+util::Status set_recv_timeout(int fd, std::int64_t timeout_ms);
+
+}  // namespace cmx::mq::transport

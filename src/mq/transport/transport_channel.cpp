@@ -1,0 +1,372 @@
+#include "mq/transport/transport_channel.hpp"
+
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "mq/queue_manager.hpp"
+#include "obs/registry.hpp"
+#include "util/logging.hpp"
+
+namespace cmx::mq::transport {
+
+TransportChannel::TransportChannel(QueueManager& from, std::string remote_qmgr,
+                                   TransportChannelOptions options)
+    : from_(from),
+      remote_(std::move(remote_qmgr)),
+      options_(std::move(options)),
+      xmit_queue_(std::string(kXmitQueuePrefix) + remote_),
+      channel_id_(from.name() + "->" + remote_),
+      wake_event_(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {
+  paused_.store(options_.start_paused);
+  fault_disconnect_armed_ = options_.fault.disconnect_after_bytes > 0;
+  from_.ensure_queue(xmit_queue_, QueueOptions{.max_depth = SIZE_MAX,
+                                               .system = true})
+      .expect_ok("create xmit queue");
+  // Wake the mover's poll whenever a message lands on the transmission
+  // queue — the transport equivalent of the in-process mover's blocking
+  // dequeue.
+  if (auto queue = from_.find_queue(xmit_queue_)) {
+    queue->set_put_listener([this] { wake(); });
+  }
+  mover_ = std::thread([this] { mover_loop(); });
+}
+
+TransportChannel::~TransportChannel() { stop(); }
+
+void TransportChannel::pause() { paused_.store(true); }
+
+void TransportChannel::resume() {
+  paused_.store(false);
+  wake();
+}
+
+void TransportChannel::wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_event_.get(), &one, sizeof(one));
+}
+
+void TransportChannel::stop() {
+  if (stopping_.exchange(true)) {
+    if (mover_.joinable()) mover_.join();
+    return;
+  }
+  // Drop the wake closure (it captures `this`) and close the transmission
+  // queue, mirroring Channel::stop: future puts are rejected, messages
+  // already on it stay persisted (recoverable).
+  if (auto queue = from_.find_queue(xmit_queue_)) {
+    queue->set_put_listener({});
+    queue->close();
+  }
+  cv_.notify_all();
+  wake();
+  if (mover_.joinable()) mover_.join();
+}
+
+TransportChannelStats TransportChannel::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+bool TransportChannel::wait_for_acked(std::uint64_t count,
+                                      util::TimeMs timeout_ms) const {
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto pred = [&] { return acked_total_ >= count || stopping_.load(); };
+  if (timeout_ms == util::kNoDeadline) {
+    cv_.wait(lk, pred);
+  } else {
+    cv_.wait_for(lk, std::chrono::milliseconds(timeout_ms), pred);
+  }
+  return acked_total_ >= count;
+}
+
+void TransportChannel::mover_loop() {
+  while (!stopping_.load()) {
+    if (!sock_.valid()) {
+      if (!connect_and_handshake()) break;
+    }
+    pump_queue();
+    if (!flush_out()) {
+      on_disconnect();
+      continue;
+    }
+    pollfd pfds[2];
+    pfds[0] = {sock_.get(),
+               static_cast<short>(POLLIN | (out_.empty() ? 0 : POLLOUT)), 0};
+    pfds[1] = {wake_event_.get(), POLLIN, 0};
+    const int n = ::poll(pfds, 2, 1000);
+    if (n < 0 && errno != EINTR) break;
+    if (pfds[1].revents & POLLIN) {
+      std::uint64_t drained;
+      while (::read(wake_event_.get(), &drained, sizeof(drained)) > 0) {
+      }
+    }
+    if (pfds[0].revents & (POLLERR | POLLHUP)) {
+      on_disconnect();
+      continue;
+    }
+    if (pfds[0].revents & POLLIN) {
+      if (!read_frames()) {
+        on_disconnect();
+        continue;
+      }
+    }
+  }
+  if (sock_.valid()) {
+    // Best-effort orderly close; the socket may be gone, which is fine.
+    std::string bye;
+    append_close(bye, CloseFrame{CloseCode::kNormal, "channel stop"});
+    [[maybe_unused]] ssize_t n =
+        ::send(sock_.get(), bye.data(), bye.size(), MSG_NOSIGNAL);
+    sock_.reset();
+  }
+  connected_.store(false);
+}
+
+bool TransportChannel::connect_and_handshake() {
+  util::TimeMs backoff = options_.reconnect_backoff_ms;
+  while (!stopping_.load()) {
+    auto fd = tcp_connect(options_.host, options_.port,
+                          options_.connect_timeout_ms);
+    if (fd) {
+      Fd sock = std::move(fd).value();
+      HelloFrame hello;
+      hello.channel_id = channel_id_;
+      hello.source_qmgr = from_.name();
+      std::string bytes;
+      append_hello(bytes, hello);
+      bool ok = send_all(sock.get(), bytes.data(), bytes.size()).is_ok();
+      WelcomeFrame welcome;
+      if (ok) {
+        ok = false;
+        set_recv_timeout(sock.get(), options_.connect_timeout_ms)
+            .expect_ok("set handshake timeout");
+        FrameParser parser;
+        char buf[4096];
+        while (true) {
+          FrameParser::Frame frame;
+          const auto r = parser.next(frame);
+          if (r == FrameParser::Result::kError) break;
+          if (r == FrameParser::Result::kFrame) {
+            if (frame.type == FrameType::kWelcome) {
+              if (auto w = decode_welcome(frame.payload)) {
+                welcome = std::move(w).value();
+                ok = welcome.version >= kWireVersionMin &&
+                     welcome.version <= kWireVersionMax;
+              }
+            } else if (frame.type == FrameType::kClose) {
+              if (auto c = decode_close(frame.payload)) {
+                CMX_WARN("mq.transport")
+                    << channel_id_ << " handshake refused (code "
+                    << static_cast<int>(c.value().code) << "): "
+                    << c.value().reason;
+              }
+            }
+            break;  // exactly one frame decides the handshake
+          }
+          auto got = recv_some(sock.get(), buf, sizeof(buf));
+          if (!got || got.value() == 0) break;
+          parser.append(std::string_view(buf, got.value()));
+        }
+      }
+      if (ok) {
+        sock_ = std::move(sock);
+        set_nonblocking(sock_.get(), true).expect_ok("nonblocking socket");
+        out_.clear();
+        parser_ = FrameParser{};
+        // The receiver has already delivered everything up to
+        // last_delivered_seq — complete those locally instead of
+        // resending, then retransmit the rest of the window in order.
+        complete_acked(welcome.last_delivered_seq);
+        if (!pending_.empty()) {
+          std::size_t i = 0;
+          while (i < pending_.size()) {
+            const std::size_t n =
+                std::min(options_.max_batch, pending_.size() - i);
+            const std::size_t off =
+                begin_msg_batch(out_, pending_[i].seq);
+            for (std::size_t k = 0; k < n; ++k, ++i) {
+              pending_[i].send_us = obs::now_us();
+              add_batch_message(out_, *pending_[i].msg.encoded_frame());
+            }
+            end_msg_batch(out_, off, static_cast<std::uint32_t>(n));
+          }
+          CMX_OBS_COUNT("transport.retransmitted", pending_.size());
+          std::lock_guard<std::mutex> lk(mu_);
+          stats_.retransmitted += pending_.size();
+        }
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          if (ever_connected_) ++stats_.reconnects;
+        }
+        if (ever_connected_) CMX_OBS_COUNT("transport.reconnects", 1);
+        ever_connected_ = true;
+        connected_.store(true);
+        return true;
+      }
+    }
+    // Interruptible backoff: stop() notifies cv_.
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait_for(lk, std::chrono::milliseconds(backoff),
+                 [&] { return stopping_.load(); });
+    backoff = std::min(backoff * 2, options_.max_reconnect_backoff_ms);
+  }
+  return false;
+}
+
+void TransportChannel::pump_queue() {
+  if (paused_.load()) return;
+  auto queue = from_.find_queue(xmit_queue_);
+  if (queue == nullptr) return;
+  std::uint64_t pumped = 0;
+  while (pending_.size() < options_.window) {
+    const std::size_t room =
+        std::min(options_.max_batch, options_.window - pending_.size());
+    auto batch = queue->try_get_batch(room);
+    if (batch.empty()) break;
+    const std::size_t off = begin_msg_batch(out_, next_seq_);
+    for (auto& got : batch) {
+      Pending p;
+      p.seq = next_seq_++;
+      p.persistent = got.msg.persistent();
+      p.send_us = obs::now_us();
+      add_batch_message(out_, *got.msg.encoded_frame());
+      p.msg = std::move(got.msg);
+      pending_.push_back(std::move(p));
+    }
+    end_msg_batch(out_, off, static_cast<std::uint32_t>(batch.size()));
+    pumped += batch.size();
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.sent += batch.size();
+    ++stats_.batches;
+  }
+  if (pumped > 0) {
+    CMX_OBS_COUNT("mq.get", pumped);
+    CMX_OBS_COUNT("transport.sent", pumped);
+  }
+}
+
+bool TransportChannel::flush_out() {
+  while (!out_.empty()) {
+    std::size_t n = out_.size();
+    if (options_.fault.max_write_bytes > 0) {
+      n = std::min(n, options_.fault.max_write_bytes);
+    }
+    if (fault_disconnect_armed_) {
+      // Land the final write exactly on the configured byte so the
+      // disconnect point is deterministic (possibly mid-frame).
+      const std::uint64_t left =
+          options_.fault.disconnect_after_bytes - bytes_written_;
+      n = std::min<std::uint64_t>(n, left);
+    }
+    const ssize_t w = ::send(sock_.get(), out_.data(), n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // POLLOUT
+      return false;
+    }
+    bytes_written_ += static_cast<std::uint64_t>(w);
+    out_.erase(0, static_cast<std::size_t>(w));
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stats_.bytes_sent += static_cast<std::uint64_t>(w);
+    }
+    if (fault_disconnect_armed_ &&
+        bytes_written_ >= options_.fault.disconnect_after_bytes) {
+      fault_disconnect_armed_ = false;  // fires once
+      return false;  // caller treats it as a dropped connection
+    }
+  }
+  return true;
+}
+
+bool TransportChannel::read_frames() {
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(sock_.get(), buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+    if (n == 0) return false;  // peer closed
+    parser_.append(std::string_view(buf, static_cast<std::size_t>(n)));
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.bytes_received += static_cast<std::uint64_t>(n);
+  }
+  while (true) {
+    FrameParser::Frame frame;
+    const auto r = parser_.next(frame);
+    if (r == FrameParser::Result::kNeedMore) break;
+    if (r == FrameParser::Result::kError) return false;
+    switch (frame.type) {
+      case FrameType::kAck: {
+        auto ack = decode_ack(frame.payload);
+        if (!ack) return false;
+        complete_acked(ack.value().acked_seq);
+        break;
+      }
+      case FrameType::kClose: {
+        if (auto c = decode_close(frame.payload)) {
+          CMX_INFO("mq.transport")
+              << channel_id_ << " peer closed (code "
+              << static_cast<int>(c.value().code) << "): "
+              << c.value().reason;
+        }
+        return false;
+      }
+      default:
+        return false;  // protocol violation; drop the connection
+    }
+  }
+  parser_.compact();
+  return true;
+}
+
+void TransportChannel::complete_acked(std::uint64_t acked_seq) {
+  std::vector<LogRecord> records;
+  std::uint64_t newly = 0;
+  const bool obs_on = obs::enabled();
+  const std::uint64_t now_us = obs_on ? obs::now_us() : 0;
+  while (!pending_.empty() && pending_.front().seq <= acked_seq) {
+    Pending& p = pending_.front();
+    if (p.persistent) {
+      records.push_back(LogRecord::get(xmit_queue_, p.msg.id()));
+    }
+    if (obs_on) {
+      CMX_OBS_RECORD("transport.ack_rtt_us", now_us - p.send_us);
+    }
+    pending_.pop_front();
+    ++newly;
+  }
+  if (newly == 0) return;
+  // The deferred consumption log (the §7 ack contract across processes):
+  // only now that the receiver has acknowledged delivery do we record the
+  // messages as consumed from the transmission queue. A crash before this
+  // point re-drives them from durable state on recovery.
+  if (!records.empty()) {
+    if (auto s = from_.append_log_batch(records); !s) {
+      CMX_WARN("mq.transport")
+          << channel_id_ << " consume log failed: " << s.to_string();
+    }
+  }
+  CMX_OBS_COUNT("transport.acked", newly);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.acked += newly;
+    acked_total_ += newly;
+  }
+  cv_.notify_all();
+}
+
+void TransportChannel::on_disconnect() {
+  sock_.reset();
+  out_.clear();
+  parser_ = FrameParser{};
+  connected_.store(false);
+}
+
+}  // namespace cmx::mq::transport

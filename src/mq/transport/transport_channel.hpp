@@ -1,0 +1,167 @@
+// TransportChannel: the socket-backed sibling of mq::Channel — the sending
+// half of a unidirectional queue-manager-to-queue-manager link over TCP
+// (DESIGN.md §10, docs/PROTOCOL.md).
+//
+// Like the in-process channel it owns the local transmission queue
+// SYSTEM.XMIT.<remote> and a mover thread; unlike it, the mover speaks the
+// wire protocol: it drains the transmission queue in batches, ships each
+// message's memoized v2 encode frame inside MSGBATCH frames (the hot path
+// serializes a message exactly once end-to-end, on the sending side), and
+// keeps every sent-but-unacknowledged message in a retransmit window.
+//
+// Reliability (the §7 ack contract extended across processes):
+//  * A message's consumption from the transmission queue is logged to the
+//    local store only when the receiver's cumulative ACK covers it — so a
+//    sender crash re-drives unacked messages from durable state on
+//    recovery (at-least-once across crashes).
+//  * Across a DROPPED CONNECTION delivery is exactly-once: sequence
+//    numbers survive the reconnect, the handshake's last_delivered_seq
+//    trims the window, and the receiver discards (but re-acks) anything
+//    it has already delivered.
+//  * Backpressure: when `window` messages are unacknowledged the mover
+//    stops draining, and traffic accumulates on the (persistent)
+//    transmission queue exactly as it does during an in-process pause.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mq/message.hpp"
+#include "mq/transport/socket.hpp"
+#include "mq/transport/wire.hpp"
+
+namespace cmx::mq {
+class QueueManager;
+}
+
+namespace cmx::mq::transport {
+
+// Deterministic fault hooks for the transport test suite (0 = disabled).
+struct TransportFaultOptions {
+  // Caps every ::send call to this many bytes, forcing the partial-write
+  // resume path on each flush.
+  std::size_t max_write_bytes = 0;
+  // Hard-closes the socket (once) as soon as this many payload bytes have
+  // been written on the connection — a mid-frame disconnect when the
+  // threshold lands inside a frame, a post-batch/pre-ack disconnect when
+  // it lands on a frame boundary.
+  std::uint64_t disconnect_after_bytes = 0;
+};
+
+struct TransportChannelOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  // Messages per MSGBATCH frame (mirrors ChannelOptions::max_batch).
+  std::size_t max_batch = 64;
+  // Maximum sent-but-unacked messages before the mover stops draining the
+  // transmission queue (retransmit-buffer bound and flow control in one).
+  std::size_t window = 1024;
+  util::TimeMs connect_timeout_ms = 5000;
+  // Reconnect backoff: doubles from `reconnect_backoff_ms` up to
+  // `max_reconnect_backoff_ms` on consecutive failures.
+  util::TimeMs reconnect_backoff_ms = 50;
+  util::TimeMs max_reconnect_backoff_ms = 2000;
+  bool start_paused = false;
+  TransportFaultOptions fault;
+};
+
+struct TransportChannelStats {
+  std::uint64_t sent = 0;           // messages written to the socket
+  std::uint64_t acked = 0;          // messages covered by cumulative acks
+  std::uint64_t retransmitted = 0;  // resends after a reconnect
+  std::uint64_t reconnects = 0;     // connections established after the 1st
+  std::uint64_t batches = 0;        // MSGBATCH frames written
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class TransportChannel {
+ public:
+  TransportChannel(QueueManager& from, std::string remote_qmgr,
+                   TransportChannelOptions options);
+  ~TransportChannel();
+
+  TransportChannel(const TransportChannel&) = delete;
+  TransportChannel& operator=(const TransportChannel&) = delete;
+
+  const std::string& xmit_queue_name() const { return xmit_queue_; }
+  const std::string& destination() const { return remote_; }
+
+  // Suspends/resumes draining of the transmission queue (the in-process
+  // channel's partition simulation; the TCP connection stays up).
+  void pause();
+  void resume();
+  bool paused() const { return paused_.load(); }
+
+  bool connected() const { return connected_.load(); }
+
+  // Stops the mover permanently (best-effort CLOSE frame, then joins).
+  // Unacked in-flight messages stay durable in the local store: their
+  // consumption was never logged, so recovery re-drives them.
+  void stop();
+
+  TransportChannelStats stats() const;
+
+  // Blocks until `count` messages have been acked in total, or the
+  // timeout elapses. Returns whether the target was reached. Used by the
+  // bench producer for closed-loop pacing and by tests.
+  bool wait_for_acked(std::uint64_t count, util::TimeMs timeout_ms) const;
+
+ private:
+  struct Pending {
+    std::uint64_t seq = 0;
+    Message msg;          // shares the memoized frame; cheap to hold
+    bool persistent = false;
+    std::uint64_t send_us = 0;  // last (re)transmission, for ack RTT
+  };
+
+  void mover_loop();
+  // Connects + handshakes, trimming/retransmitting the pending window.
+  // Returns false when stop() interrupted the retry loop.
+  bool connect_and_handshake();
+  // Drains the transmission queue into out_ while window space remains.
+  void pump_queue();
+  // Non-blocking flush of out_; false = connection died.
+  bool flush_out();
+  // Non-blocking read + ACK/CLOSE processing; false = connection died.
+  bool read_frames();
+  void complete_acked(std::uint64_t acked_seq);
+  void on_disconnect();
+  void wake();
+
+  QueueManager& from_;
+  const std::string remote_;
+  const TransportChannelOptions options_;
+  const std::string xmit_queue_;
+  const std::string channel_id_;
+
+  // Mover-thread-only connection state.
+  Fd sock_;
+  std::string out_;      // bytes queued for the socket
+  FrameParser parser_;   // inbound ACK/CLOSE stream
+  std::deque<Pending> pending_;  // consecutive seqs, oldest first
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t bytes_written_ = 0;  // lifetime, for the disconnect fault
+  bool fault_disconnect_armed_ = false;
+  bool ever_connected_ = false;
+
+  Fd wake_event_;  // eventfd: queue puts / stop / resume wake the poll
+  std::atomic<bool> paused_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> connected_{false};
+
+  mutable std::mutex mu_;  // stats_, acked_total_, stop cv
+  mutable std::condition_variable cv_;
+  TransportChannelStats stats_;
+  std::uint64_t acked_total_ = 0;
+
+  std::thread mover_;
+};
+
+}  // namespace cmx::mq::transport

@@ -1,0 +1,378 @@
+#include "mq/transport/transport_server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+#include <vector>
+
+#include "mq/queue_manager.hpp"
+#include "obs/registry.hpp"
+#include "util/logging.hpp"
+
+namespace cmx::mq::transport {
+
+namespace {
+constexpr const char* kLog = "transport.server";
+}
+
+TransportServer::TransportServer(QueueManager& to,
+                                 TransportServerOptions options)
+    : to_(to), options_(std::move(options)) {}
+
+TransportServer::~TransportServer() { stop(); }
+
+util::Status TransportServer::start() {
+  if (started_) {
+    return util::make_error(util::ErrorCode::kAlreadyExists,
+                            "transport server already started");
+  }
+  if (auto s = loop_.valid(); !s) return s;
+  auto listener = tcp_listen(options_.host, options_.port, options_.backlog);
+  if (!listener) return listener.status();
+  listener_ = std::move(listener).value();
+  auto port = local_port(listener_.get());
+  if (!port) return port.status();
+  port_ = port.value();
+  if (auto s = set_nonblocking(listener_.get(), true); !s) return s;
+  if (auto s = loop_.add(listener_.get(), EPOLLIN,
+                         [this](std::uint32_t ev) { on_accept(ev); });
+      !s) {
+    return s;
+  }
+  loop_.start();
+  started_ = true;
+  CMX_INFO(kLog) << to_.name() << " listening on " << options_.host << ":"
+                 << port_;
+  return util::ok_status();
+}
+
+void TransportServer::stop() {
+  if (!started_) return;
+  loop_.stop();  // joins the loop thread; conns_ is now ours to touch
+  for (auto& [fd, conn] : conns_) {
+    CloseFrame close{CloseCode::kShuttingDown, "server stopping"};
+    conn->out.clear();
+    append_close(conn->out, close);
+    // Best-effort: the fd is non-blocking, a full send buffer just drops
+    // the courtesy CLOSE (the sender survives an abrupt close anyway).
+    (void)::send(fd, conn->out.data(), conn->out.size(), MSG_NOSIGNAL);
+  }
+  conns_.clear();
+  listener_.reset();
+  started_ = false;
+}
+
+TransportServerStats TransportServer::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+std::uint64_t TransportServer::last_delivered_seq(
+    const std::string& channel_id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = channels_.find(channel_id);
+  return it == channels_.end() ? 0 : it->second;
+}
+
+void TransportServer::on_accept(std::uint32_t /*events*/) {
+  while (true) {
+    int cfd = ::accept(listener_.get(), nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or a transient accept failure
+    }
+    (void)set_nonblocking(cfd, true);
+    int one = 1;
+    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Conn>();
+    conn->fd = Fd(cfd);
+    if (auto s = loop_.add(
+            cfd, EPOLLIN, [this, cfd](std::uint32_t ev) { on_conn_event(cfd, ev); });
+        !s) {
+      CMX_WARN(kLog) << "epoll add failed: " << s.message();
+      continue;  // conn's Fd closes cfd
+    }
+    conns_[cfd] = std::move(conn);
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.connections_accepted;
+  }
+}
+
+void TransportServer::on_conn_event(int fd, std::uint32_t events) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0) {
+    drop_conn(fd);
+    return;
+  }
+  if ((events & EPOLLIN) != 0) {
+    char buf[65536];
+    while (true) {
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          stats_.bytes_received += static_cast<std::uint64_t>(n);
+        }
+        conn.parser.append(std::string_view(buf, static_cast<std::size_t>(n)));
+        FrameParser::Frame frame;
+        while (true) {
+          auto r = conn.parser.next(frame);
+          if (r == FrameParser::Result::kNeedMore) break;
+          if (r == FrameParser::Result::kError) {
+            close_with(conn, CloseCode::kProtocolError, "bad frame length");
+            drop_conn(fd);
+            return;
+          }
+          if (!process_frame(conn, frame)) {
+            drop_conn(fd);
+            return;
+          }
+        }
+        conn.parser.compact();
+        continue;
+      }
+      if (n == 0) {  // orderly peer close
+        drop_conn(fd);
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      drop_conn(fd);
+      return;
+    }
+  }
+  flush_conn(conn);
+}
+
+bool TransportServer::process_frame(Conn& conn,
+                                    const FrameParser::Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kHello:
+      return handle_hello(conn, frame.payload);
+    case FrameType::kMsgBatch:
+      return handle_msg_batch(conn, frame.payload);
+    case FrameType::kClose:
+      return false;  // peer is done; no reply owed
+    default:
+      close_with(conn, CloseCode::kProtocolError, "unexpected frame type");
+      return false;
+  }
+}
+
+bool TransportServer::handle_hello(Conn& conn, std::string_view payload) {
+  if (conn.handshaken) {
+    close_with(conn, CloseCode::kProtocolError, "duplicate HELLO");
+    return false;
+  }
+  auto hello = decode_hello(payload);
+  if (!hello) {
+    close_with(conn, CloseCode::kProtocolError, "malformed HELLO");
+    return false;
+  }
+  if (hello.value().magic != kWireMagic) {
+    close_with(conn, CloseCode::kBadMagic, "bad magic");
+    return false;
+  }
+  const std::uint16_t lo =
+      std::max(kWireVersionMin, hello.value().version_min);
+  const std::uint16_t hi =
+      std::min(kWireVersionMax, hello.value().version_max);
+  if (lo > hi) {
+    close_with(conn, CloseCode::kVersionMismatch, "no common version");
+    return false;
+  }
+  conn.channel_id = hello.value().channel_id;
+  conn.handshaken = true;
+  WelcomeFrame welcome;
+  welcome.version = hi;
+  welcome.receiver_qmgr = to_.name();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    welcome.last_delivered_seq = channels_[conn.channel_id];
+  }
+  append_welcome(conn.out, welcome);
+  CMX_DEBUG(kLog) << "handshake " << conn.channel_id << " resume_seq="
+                  << welcome.last_delivered_seq;
+  return true;
+}
+
+bool TransportServer::handle_msg_batch(Conn& conn, std::string_view payload) {
+  if (!conn.handshaken) {
+    close_with(conn, CloseCode::kProtocolError, "MSGBATCH before HELLO");
+    return false;
+  }
+  std::string_view entries;
+  auto header = decode_msg_batch_header(payload, entries);
+  if (!header) {
+    close_with(conn, CloseCode::kProtocolError, "malformed MSGBATCH");
+    return false;
+  }
+  std::uint64_t last;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    last = channels_[conn.channel_id];
+  }
+
+  struct Item {
+    std::uint64_t seq = 0;
+    std::string dest;
+    QueueAddress addr;
+    Message msg;
+  };
+  std::vector<Item> live;
+  live.reserve(header.value().count);
+  std::uint64_t duplicates = 0;
+  std::uint64_t expired = 0;
+  const util::TimeMs now = to_.clock().now_ms();
+  for (std::uint32_t i = 0; i < header.value().count; ++i) {
+    auto entry = next_batch_message(entries);
+    if (!entry) {
+      close_with(conn, CloseCode::kProtocolError, "truncated MSGBATCH");
+      return false;
+    }
+    const std::uint64_t seq = header.value().first_seq + i;
+    if (seq <= last) {
+      // Retransmit of something already delivered before the last
+      // disconnect: discard, but the cumulative ACK below still covers
+      // it — this is the exactly-once half of the reconnect contract.
+      ++duplicates;
+      continue;
+    }
+    auto decoded = Message::decode(entry.value(), /*retain_frame=*/true);
+    if (!decoded) {
+      close_with(conn, CloseCode::kProtocolError, "bad message frame");
+      return false;
+    }
+    Item item;
+    item.seq = seq;
+    item.msg = std::move(decoded).value();
+    item.dest = item.msg.get_string(kXmitDestProperty).value_or("");
+    item.msg.erase_property(kXmitDestProperty);
+    item.addr = QueueAddress::parse(item.dest);
+    if (item.msg.expired(now)) {
+      ++expired;  // weeded out exactly like the in-process channel
+      continue;
+    }
+    live.push_back(std::move(item));
+  }
+
+  // Every sequence number in the batch is now accounted for (delivered,
+  // duplicate, or expired) unless delivery fails partway below.
+  std::uint64_t new_last = header.value().count == 0
+                               ? last
+                               : header.value().first_seq +
+                                     header.value().count - 1;
+  std::uint64_t delivered = 0;
+  std::uint64_t dead_lettered = 0;
+  bool hard_fail = false;
+
+  if (!live.empty()) {
+    std::vector<std::pair<std::string, Message>> puts;
+    puts.reserve(live.size());
+    for (const auto& item : live) puts.emplace_back(item.addr.queue, item.msg);
+    if (to_.put_local_batch(std::move(puts))) {
+      delivered = live.size();
+    } else {
+      // Batch prevalidation failed (e.g. an unknown destination queue):
+      // message-at-a-time fallback, advancing the ack horizon only over
+      // sequences actually handled so a hard failure is retried by the
+      // sender rather than silently dropped.
+      new_last = last;
+      for (auto& item : live) {
+        Message copy = item.msg;  // shares the frame; kept for the DLQ
+        auto s = to_.put_local(item.addr.queue, std::move(item.msg));
+        if (!s && s.code() == util::ErrorCode::kNotFound) {
+          to_.ensure_queue(kDeadLetterQueue).expect_ok("ensure DLQ");
+          copy.set_property(kXmitDestProperty, item.dest);
+          to_.put_local(kDeadLetterQueue, std::move(copy));
+          ++dead_lettered;
+          new_last = item.seq;
+          continue;
+        }
+        if (!s) {
+          hard_fail = true;
+          break;
+        }
+        ++delivered;
+        new_last = item.seq;
+      }
+      if (!hard_fail && header.value().count > 0) {
+        // Trailing duplicates/expired entries after the last live one are
+        // handled too; extend the horizon back to the batch end.
+        new_last = header.value().first_seq + header.value().count - 1;
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (new_last > channels_[conn.channel_id]) {
+      channels_[conn.channel_id] = new_last;
+    }
+    ++stats_.batches;
+    ++stats_.acks_sent;
+    stats_.delivered += delivered;
+    stats_.duplicates_suppressed += duplicates;
+    stats_.expired += expired;
+    stats_.dead_lettered += dead_lettered;
+  }
+  CMX_OBS_COUNT("transport.delivered", delivered);
+  if (duplicates > 0) CMX_OBS_COUNT("transport.duplicates", duplicates);
+  AckFrame ack;
+  ack.acked_seq = new_last;
+  append_ack(conn.out, ack);
+  if (hard_fail) {
+    close_with(conn, CloseCode::kInternalError, "delivery failed");
+    return false;
+  }
+  return true;
+}
+
+void TransportServer::close_with(Conn& conn, CloseCode code,
+                                 std::string_view reason) {
+  CMX_WARN(kLog) << "closing " << conn.channel_id << ": " << reason
+                 << " (code " << static_cast<int>(code) << ")";
+  CloseFrame close{code, std::string(reason)};
+  append_close(conn.out, close);
+  flush_conn(conn);  // best-effort; the caller drops the connection next
+}
+
+void TransportServer::flush_conn(Conn& conn) {
+  while (!conn.out.empty()) {
+    ssize_t n = ::send(conn.fd.get(), conn.out.data(), conn.out.size(),
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn.want_write) {
+        conn.want_write = true;
+        (void)loop_.modify(conn.fd.get(), EPOLLIN | EPOLLOUT);
+      }
+      return;
+    }
+    return;  // send failed; the read side will notice the dead peer
+  }
+  if (conn.want_write) {
+    conn.want_write = false;
+    (void)loop_.modify(conn.fd.get(), EPOLLIN);
+  }
+}
+
+void TransportServer::drop_conn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  loop_.remove(fd);
+  conns_.erase(it);  // Fd destructor closes the socket
+}
+
+}  // namespace cmx::mq::transport

@@ -1,0 +1,118 @@
+// TransportServer: the receiving half of the TCP channel transport — the
+// connection fan-in side of DESIGN.md §10. One epoll EventLoop thread
+// multiplexes the listen socket and every accepted sender connection;
+// inbound MSGBATCH frames are decoded straight into the local
+// QueueManager with put_local_batch, and each batch is answered with a
+// cumulative ACK.
+//
+// Exactly-once across reconnects: the server keeps one
+// last_delivered_seq per channel_id, OUTLIVING the connection that
+// carried it. A reconnecting sender learns it from the WELCOME frame;
+// any retransmitted message at or below it is discarded here (but still
+// covered by the cumulative ACK), so a message crosses into the
+// destination queue exactly once no matter how often the connection
+// drops mid-flight.
+//
+// Zero-copy on the receive path: message frames are decoded with
+// retain_frame=true, so the bytes that arrived on the wire become the
+// decoded message's memoized encode frame — the persistent store append
+// on this side reuses them instead of re-serializing (the transit-tail
+// patch for CMX_XMIT_DEST removal only rewrites the trailing section).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "mq/transport/event_loop.hpp"
+#include "mq/transport/socket.hpp"
+#include "mq/transport/wire.hpp"
+#include "util/status.hpp"
+
+namespace cmx::mq {
+class QueueManager;
+}
+
+namespace cmx::mq::transport {
+
+struct TransportServerOptions {
+  std::string host = "127.0.0.1";
+  // 0 binds an ephemeral port; read the actual one back with port().
+  std::uint16_t port = 0;
+  int backlog = 64;
+};
+
+struct TransportServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t batches = 0;            // MSGBATCH frames processed
+  std::uint64_t delivered = 0;          // messages put to local queues
+  std::uint64_t duplicates_suppressed = 0;  // seq <= last_delivered drops
+  std::uint64_t expired = 0;            // weeded out before delivery
+  std::uint64_t dead_lettered = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class TransportServer {
+ public:
+  TransportServer(QueueManager& to, TransportServerOptions options = {});
+  ~TransportServer();
+
+  TransportServer(const TransportServer&) = delete;
+  TransportServer& operator=(const TransportServer&) = delete;
+
+  // Binds, listens, and starts the event loop thread.
+  util::Status start();
+  // Stops the loop and closes every connection. Dedupe state is retained
+  // until destruction so tests can inspect it after a stop.
+  void stop();
+
+  // The bound port (valid after start(); resolves an ephemeral bind).
+  std::uint16_t port() const { return port_; }
+
+  TransportServerStats stats() const;
+  // Highest sequence delivered for a channel (0 = never heard from it).
+  std::uint64_t last_delivered_seq(const std::string& channel_id) const;
+
+ private:
+  struct Conn {
+    Fd fd;
+    FrameParser parser;
+    std::string out;  // pending WELCOME/ACK/CLOSE bytes (partial writes)
+    bool handshaken = false;
+    bool want_write = false;  // EPOLLOUT currently registered
+    std::string channel_id;
+  };
+
+  void on_accept(std::uint32_t events);
+  void on_conn_event(int fd, std::uint32_t events);
+  // Returns false when the connection must be dropped (close already sent
+  // or peer gone).
+  bool process_frame(Conn& conn, const FrameParser::Frame& frame);
+  bool handle_hello(Conn& conn, std::string_view payload);
+  bool handle_msg_batch(Conn& conn, std::string_view payload);
+  // Queues a CLOSE frame and tears the connection down after a
+  // best-effort flush.
+  void close_with(Conn& conn, CloseCode code, std::string_view reason);
+  void flush_conn(Conn& conn);
+  void drop_conn(int fd);
+
+  QueueManager& to_;
+  const TransportServerOptions options_;
+  EventLoop loop_;
+  Fd listener_;
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+
+  // Loop-thread-only after start().
+  std::map<int, std::unique_ptr<Conn>> conns_;
+
+  mutable std::mutex mu_;  // stats_, channels_
+  TransportServerStats stats_;
+  // channel_id -> highest delivered sequence; survives reconnects.
+  std::map<std::string, std::uint64_t> channels_;
+};
+
+}  // namespace cmx::mq::transport

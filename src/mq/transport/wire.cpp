@@ -1,0 +1,195 @@
+#include "mq/transport/wire.hpp"
+
+#include <cstring>
+
+#include "util/codec.hpp"
+
+namespace cmx::mq::transport {
+
+namespace {
+
+// Appends the u32 frame_len | u8 type prefix for a payload already encoded
+// in `w`, then the payload itself.
+void append_frame(std::string& out, FrameType type,
+                  const util::BinaryWriter& w) {
+  util::BinaryWriter prefix;
+  prefix.put_u32(static_cast<std::uint32_t>(1 + w.size()));
+  prefix.put_u8(static_cast<std::uint8_t>(type));
+  out += prefix.data();
+  out += w.data();
+}
+
+void patch_u32(std::string& out, std::size_t offset, std::uint32_t v) {
+  std::memcpy(out.data() + offset, &v, sizeof(v));
+}
+
+}  // namespace
+
+void append_hello(std::string& out, const HelloFrame& hello) {
+  util::BinaryWriter w;
+  w.put_u32(hello.magic);
+  w.put_u32(static_cast<std::uint32_t>(hello.version_min) |
+            (static_cast<std::uint32_t>(hello.version_max) << 16));
+  w.put_string(hello.channel_id);
+  w.put_string(hello.source_qmgr);
+  append_frame(out, FrameType::kHello, w);
+}
+
+void append_welcome(std::string& out, const WelcomeFrame& welcome) {
+  util::BinaryWriter w;
+  w.put_u32(welcome.version);  // u16 value carried in a u32 field
+  w.put_string(welcome.receiver_qmgr);
+  w.put_u64(welcome.last_delivered_seq);
+  append_frame(out, FrameType::kWelcome, w);
+}
+
+void append_ack(std::string& out, const AckFrame& ack) {
+  util::BinaryWriter w;
+  w.put_u64(ack.acked_seq);
+  append_frame(out, FrameType::kAck, w);
+}
+
+void append_close(std::string& out, const CloseFrame& close) {
+  util::BinaryWriter w;
+  w.put_u32(static_cast<std::uint32_t>(close.code));
+  w.put_string(close.reason);
+  append_frame(out, FrameType::kClose, w);
+}
+
+std::size_t begin_msg_batch(std::string& out, std::uint64_t first_seq) {
+  const std::size_t frame_offset = out.size();
+  util::BinaryWriter w;
+  w.put_u32(0);  // frame_len, patched by end_msg_batch
+  w.put_u8(static_cast<std::uint8_t>(FrameType::kMsgBatch));
+  w.put_u64(first_seq);
+  w.put_u32(0);  // count, patched by end_msg_batch
+  out += w.data();
+  return frame_offset;
+}
+
+void add_batch_message(std::string& out, std::string_view message_frame) {
+  util::BinaryWriter len;
+  len.put_u32(static_cast<std::uint32_t>(message_frame.size()));
+  out += len.data();
+  out.append(message_frame.data(), message_frame.size());
+}
+
+void end_msg_batch(std::string& out, std::size_t frame_offset,
+                   std::uint32_t count) {
+  // frame_len covers everything after the length field itself.
+  patch_u32(out, frame_offset,
+            static_cast<std::uint32_t>(out.size() - frame_offset - 4));
+  // count sits after frame_len (4) + type (1) + first_seq (8).
+  patch_u32(out, frame_offset + 13, count);
+}
+
+util::Result<HelloFrame> decode_hello(std::string_view payload) {
+  util::BinaryReader r(payload);
+  HelloFrame h;
+  auto magic = r.get_u32();
+  if (!magic) return magic.status();
+  h.magic = magic.value();
+  auto versions = r.get_u32();
+  if (!versions) return versions.status();
+  h.version_min = static_cast<std::uint16_t>(versions.value() & 0xFFFF);
+  h.version_max = static_cast<std::uint16_t>(versions.value() >> 16);
+  auto channel = r.get_string();
+  if (!channel) return channel.status();
+  h.channel_id = std::move(channel).value();
+  auto source = r.get_string();
+  if (!source) return source.status();
+  h.source_qmgr = std::move(source).value();
+  return h;
+}
+
+util::Result<WelcomeFrame> decode_welcome(std::string_view payload) {
+  util::BinaryReader r(payload);
+  WelcomeFrame w;
+  auto version = r.get_u32();
+  if (!version) return version.status();
+  w.version = static_cast<std::uint16_t>(version.value());
+  auto qmgr = r.get_string();
+  if (!qmgr) return qmgr.status();
+  w.receiver_qmgr = std::move(qmgr).value();
+  auto seq = r.get_u64();
+  if (!seq) return seq.status();
+  w.last_delivered_seq = seq.value();
+  return w;
+}
+
+util::Result<AckFrame> decode_ack(std::string_view payload) {
+  util::BinaryReader r(payload);
+  auto seq = r.get_u64();
+  if (!seq) return seq.status();
+  return AckFrame{seq.value()};
+}
+
+util::Result<CloseFrame> decode_close(std::string_view payload) {
+  util::BinaryReader r(payload);
+  CloseFrame c;
+  auto code = r.get_u32();
+  if (!code) return code.status();
+  c.code = static_cast<CloseCode>(code.value());
+  auto reason = r.get_string();
+  if (!reason) return reason.status();
+  c.reason = std::move(reason).value();
+  return c;
+}
+
+util::Result<MsgBatchHeader> decode_msg_batch_header(
+    std::string_view payload, std::string_view& entries) {
+  util::BinaryReader r(payload);
+  MsgBatchHeader h;
+  auto seq = r.get_u64();
+  if (!seq) return seq.status();
+  h.first_seq = seq.value();
+  auto count = r.get_u32();
+  if (!count) return count.status();
+  h.count = count.value();
+  entries = payload.substr(12);  // past first_seq (8) + count (4)
+  return h;
+}
+
+util::Result<std::string_view> next_batch_message(std::string_view& entries) {
+  if (entries.size() < 4) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "truncated batch entry length");
+  }
+  std::uint32_t len;
+  std::memcpy(&len, entries.data(), sizeof(len));
+  if (entries.size() - 4 < len) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "truncated batch entry");
+  }
+  std::string_view frame = entries.substr(4, len);
+  entries.remove_prefix(4 + len);
+  return frame;
+}
+
+void FrameParser::append(std::string_view bytes) {
+  buf_.append(bytes.data(), bytes.size());
+}
+
+FrameParser::Result FrameParser::next(Frame& frame) {
+  if (poisoned_) return Result::kError;
+  if (buf_.size() - pos_ < 5) return Result::kNeedMore;
+  std::uint32_t frame_len;
+  std::memcpy(&frame_len, buf_.data() + pos_, sizeof(frame_len));
+  if (frame_len < 1 || frame_len > kMaxFrameBytes) {
+    poisoned_ = true;
+    return Result::kError;
+  }
+  if (buf_.size() - pos_ - 4 < frame_len) return Result::kNeedMore;
+  frame.type = static_cast<FrameType>(buf_[pos_ + 4]);
+  frame.payload = std::string_view(buf_).substr(pos_ + 5, frame_len - 1);
+  pos_ += 4 + frame_len;
+  return Result::kFrame;
+}
+
+void FrameParser::compact() {
+  if (pos_ == 0) return;
+  buf_.erase(0, pos_);
+  pos_ = 0;
+}
+
+}  // namespace cmx::mq::transport

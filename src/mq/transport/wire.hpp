@@ -1,0 +1,152 @@
+// Wire protocol for the TCP channel transport (docs/PROTOCOL.md is the
+// normative byte-level spec; this header is its implementation).
+//
+// Every unit on the wire is a length-prefixed frame
+//
+//   u32 frame_len | u8 frame_type | payload        (little-endian)
+//
+// where frame_len counts the type byte plus the payload. A connection
+// starts with a HELLO/WELCOME handshake (magic check + version
+// negotiation + sequence resume), after which the sender streams MSGBATCH
+// frames — each carrying a run of consecutively-numbered v2 message
+// frames, the exact bytes the encode memo already holds — and the
+// receiver answers with cumulative ACK frames. Sequence numbers are
+// per-channel and survive reconnects: the WELCOME's last_delivered_seq
+// tells a reconnecting sender where to resume, and the receiver drops
+// (but still acks) any message at or below it, which is what makes
+// delivery exactly-once across a dropped connection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace cmx::mq::transport {
+
+// "CMXW" — first four payload bytes of every HELLO.
+inline constexpr std::uint32_t kWireMagic = 0x57584D43u;
+// Inclusive version range this implementation speaks. Negotiation picks
+// min(max_a, max_b) if that lies in both ranges, else the connection is
+// refused with kVersionMismatch.
+inline constexpr std::uint16_t kWireVersionMin = 1;
+inline constexpr std::uint16_t kWireVersionMax = 1;
+// Upper bound on frame_len accepted from a peer; anything larger is a
+// protocol error (protects against garbage lengths allocating gigabytes).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 0x01,    // client → server, first frame on a connection
+  kWelcome = 0x02,  // server → client, handshake accept
+  kMsgBatch = 0x03, // client → server, consecutive run of messages
+  kAck = 0x04,      // server → client, cumulative delivery acknowledgment
+  kClose = 0x05,    // either direction, final frame (code + reason)
+};
+
+enum class CloseCode : std::uint16_t {
+  kNormal = 0,           // orderly shutdown
+  kProtocolError = 1,    // malformed/unexpected frame
+  kVersionMismatch = 2,  // no overlapping protocol version
+  kBadMagic = 3,         // HELLO did not start with kWireMagic
+  kShuttingDown = 4,     // peer is going away; retry later
+  kInternalError = 5,    // receiver-side failure applying a batch
+};
+
+struct HelloFrame {
+  std::uint32_t magic = kWireMagic;
+  std::uint16_t version_min = kWireVersionMin;
+  std::uint16_t version_max = kWireVersionMax;
+  // Identity of the dedupe/ack state on the receiver: one sequence-number
+  // stream exists per channel_id. The sender channel uses
+  // "<source_qmgr>-><destination_qmgr>".
+  std::string channel_id;
+  std::string source_qmgr;
+};
+
+struct WelcomeFrame {
+  std::uint16_t version = kWireVersionMax;  // the negotiated version
+  std::string receiver_qmgr;
+  // Highest sequence number this receiver has delivered for channel_id
+  // (0 = none). The sender must not resend anything at or below it and
+  // may treat those messages as acknowledged.
+  std::uint64_t last_delivered_seq = 0;
+};
+
+// MSGBATCH payload = header + `count` entries of (u32 len | message frame).
+// Entry i carries sequence number first_seq + i.
+struct MsgBatchHeader {
+  std::uint64_t first_seq = 0;
+  std::uint32_t count = 0;
+};
+
+struct AckFrame {
+  // Cumulative: every sequence number <= acked_seq has been delivered
+  // (or deliberately discarded: duplicate, expired, dead-lettered).
+  std::uint64_t acked_seq = 0;
+};
+
+struct CloseFrame {
+  CloseCode code = CloseCode::kNormal;
+  std::string reason;
+};
+
+// ---- frame encoding ------------------------------------------------------
+// Each encoder appends one complete frame (length prefix included) to
+// `out`, so call sites can coalesce several frames into one socket write.
+void append_hello(std::string& out, const HelloFrame& hello);
+void append_welcome(std::string& out, const WelcomeFrame& welcome);
+void append_ack(std::string& out, const AckFrame& ack);
+void append_close(std::string& out, const CloseFrame& close);
+// The batch encoder is split so the caller can stream message frames in
+// without building an intermediate vector: begin_msg_batch returns the
+// offset of the frame_len field, add_batch_message appends one entry, and
+// end_msg_batch patches frame_len and count.
+std::size_t begin_msg_batch(std::string& out, std::uint64_t first_seq);
+void add_batch_message(std::string& out, std::string_view message_frame);
+void end_msg_batch(std::string& out, std::size_t frame_offset,
+                   std::uint32_t count);
+
+// ---- frame decoding ------------------------------------------------------
+util::Result<HelloFrame> decode_hello(std::string_view payload);
+util::Result<WelcomeFrame> decode_welcome(std::string_view payload);
+util::Result<AckFrame> decode_ack(std::string_view payload);
+util::Result<CloseFrame> decode_close(std::string_view payload);
+// Decodes the batch header and leaves `entries` pointing at the
+// (u32 len | message frame)* run; iterate with next_batch_message.
+util::Result<MsgBatchHeader> decode_msg_batch_header(
+    std::string_view payload, std::string_view& entries);
+util::Result<std::string_view> next_batch_message(std::string_view& entries);
+
+// Incremental frame parser over a byte stream. Feed raw socket reads with
+// append(); next() yields complete frames (payload views remain valid
+// until the next append()/compact()). A frame_len above kMaxFrameBytes
+// poisons the parser — a stream desync is unrecoverable, the connection
+// must be dropped.
+class FrameParser {
+ public:
+  struct Frame {
+    FrameType type;
+    std::string_view payload;
+  };
+
+  void append(std::string_view bytes);
+
+  // kFrame: `frame` is set. kNeedMore: wait for bytes. kError: poisoned.
+  enum class Result { kFrame, kNeedMore, kError };
+  Result next(Frame& frame);
+
+  // Drops consumed bytes. Call between drain passes, never while payload
+  // views from next() are still live.
+  void compact();
+
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace cmx::mq::transport

@@ -48,6 +48,10 @@ class BinaryReader {
 
   bool at_end() const { return pos_ == data_.size(); }
   std::size_t remaining() const { return data_.size() - pos_; }
+  // Current read offset from the start of the buffer. Lets decoders that
+  // also retain the raw frame (Message::decode) record field offsets for
+  // later in-place patching.
+  std::size_t position() const { return pos_; }
 
  private:
   Status need(std::size_t n);

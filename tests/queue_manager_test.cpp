@@ -158,6 +158,29 @@ TEST_F(QueueManagerTest, CompactionPreservesState) {
   EXPECT_EQ(remaining, 30);
 }
 
+TEST_F(QueueManagerTest, CompactionOfDeepQueueIsChunkedAndLossless) {
+  // Deeper than the snapshot chunk size (256): the chunked browse passes
+  // must stitch the full contents back together with nothing duplicated
+  // or dropped across chunk boundaries.
+  constexpr int kDeep = 1000;
+  std::vector<std::pair<QueueAddress, Message>> puts;
+  puts.reserve(kDeep);
+  for (int i = 0; i < kDeep; ++i) {
+    puts.emplace_back(QueueAddress("", "Q"), msg("d" + std::to_string(i)));
+  }
+  ASSERT_TRUE(qm_->put_all(std::move(puts)));
+  ASSERT_TRUE(qm_->compact());
+  auto fresh = restart();
+  std::set<std::string> bodies;
+  for (int i = 0; i < kDeep; ++i) {
+    auto got = fresh->get("Q", 0);
+    ASSERT_TRUE(got.is_ok()) << "lost message " << i << " in compaction";
+    bodies.insert(got.value().body());
+  }
+  EXPECT_EQ(bodies.size(), size_t(kDeep));  // all distinct — no duplicates
+  EXPECT_FALSE(fresh->get("Q", 0).is_ok());  // and no extras
+}
+
 TEST_F(QueueManagerTest, ExplicitCompactionShrinksEmptyQueueLog) {
   for (int i = 0; i < 100; ++i) {
     ASSERT_TRUE(qm_->put(QueueAddress("", "Q"), msg("x")));

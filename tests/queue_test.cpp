@@ -246,6 +246,61 @@ TEST_F(QueueTest, StatsCountPutsAndGets) {
   EXPECT_EQ(st.gets, 1u);
 }
 
+TEST_F(QueueTest, BrowseChunkVisitsEveryMessageExactlyOnce) {
+  // Mixed priorities so the cursor has to resume across priority classes.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(q_.put(msg(std::to_string(i), i % 10)));
+  }
+  const auto full = q_.browse();
+  ASSERT_EQ(full.size(), 100u);
+  for (std::size_t chunk : {1u, 7u, 100u, 1000u}) {
+    Queue::BrowseCursor cursor;
+    std::vector<Message> chunked;
+    while (!cursor.done) {
+      for (auto& m : q_.browse_chunk(cursor, chunk)) {
+        chunked.push_back(std::move(m));
+      }
+    }
+    ASSERT_EQ(chunked.size(), full.size()) << "chunk=" << chunk;
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      EXPECT_EQ(chunked[i].id(), full[i].id()) << "chunk=" << chunk;
+    }
+  }
+}
+
+TEST_F(QueueTest, BrowseChunkSkipsExpiredWithoutStalling) {
+  for (int i = 0; i < 20; ++i) {
+    Message m = msg(std::to_string(i));
+    if (i % 2 == 0) m.set_expiry_ms(clock_.now_ms() + 5);
+    ASSERT_TRUE(q_.put(std::move(m)));
+  }
+  clock_.advance_ms(10);  // half the queue is now expired
+  Queue::BrowseCursor cursor;
+  std::size_t seen = 0;
+  while (!cursor.done) seen += q_.browse_chunk(cursor, 4).size();
+  EXPECT_EQ(seen, 10u);
+}
+
+TEST_F(QueueTest, BrowseChunkToleratesConsumptionBetweenChunks) {
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q_.put(msg(std::to_string(i))));
+  Queue::BrowseCursor cursor;
+  auto first = q_.browse_chunk(cursor, 3);
+  ASSERT_EQ(first.size(), 3u);
+  // Consume two messages the cursor already passed and one ahead of it.
+  ASSERT_TRUE(q_.remove_by_id("id-0").has_value());
+  ASSERT_TRUE(q_.remove_by_id("id-2").has_value());
+  ASSERT_TRUE(q_.remove_by_id("id-5").has_value());
+  std::vector<std::string> rest;
+  while (!cursor.done) {
+    for (auto& m : q_.browse_chunk(cursor, 3)) rest.push_back(m.id());
+  }
+  // No duplicates of the already-visited prefix, no visit of consumed
+  // entries — the remainder is exactly ids 3,4,6..9.
+  EXPECT_EQ(rest,
+            (std::vector<std::string>{"id-3", "id-4", "id-6", "id-7", "id-8",
+                                      "id-9"}));
+}
+
 TEST_F(QueueTest, ConcurrentPutsAndGetsBalance) {
   util::SystemClock rt;
   Queue q("CC", QueueOptions{}, rt);

@@ -1,0 +1,502 @@
+// Tests of the TCP channel transport (docs/PROTOCOL.md, DESIGN.md §10):
+// wire codec round-trips, end-to-end delivery between a TransportChannel
+// and a TransportServer, fault injection (partial writes, mid-frame
+// disconnects), duplicate suppression on reconnect, and the conditional
+// messaging ack contract across a full-duplex TCP pair.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cm/condition_builder.hpp"
+#include "cm/receiver.hpp"
+#include "cm/sender.hpp"
+#include "mq/network.hpp"
+#include "mq/queue_manager.hpp"
+#include "mq/transport/socket.hpp"
+#include "mq/transport/transport_channel.hpp"
+#include "mq/transport/transport_server.hpp"
+#include "mq/transport/wire.hpp"
+#include "tests/test_support.hpp"
+
+namespace cmx::mq::transport {
+namespace {
+
+// ---- wire codec ----------------------------------------------------------
+
+// Feeds `bytes` to a FrameParser one byte at a time, collecting complete
+// frames as (type, payload-copy) pairs — the harshest possible
+// fragmentation a TCP stream can produce.
+std::vector<std::pair<FrameType, std::string>> parse_bytewise(
+    const std::string& bytes) {
+  FrameParser parser;
+  std::vector<std::pair<FrameType, std::string>> frames;
+  for (char c : bytes) {
+    parser.append(std::string_view(&c, 1));
+    FrameParser::Frame frame;
+    while (parser.next(frame) == FrameParser::Result::kFrame) {
+      frames.emplace_back(frame.type, std::string(frame.payload));
+    }
+    parser.compact();
+  }
+  return frames;
+}
+
+TEST(WireCodec, HandshakeAndControlFramesRoundTrip) {
+  std::string out;
+  HelloFrame hello;
+  hello.channel_id = "SND->RCV";
+  hello.source_qmgr = "SND";
+  append_hello(out, hello);
+  WelcomeFrame welcome;
+  welcome.receiver_qmgr = "RCV";
+  welcome.last_delivered_seq = 41;
+  append_welcome(out, welcome);
+  AckFrame ack;
+  ack.acked_seq = 99;
+  append_ack(out, ack);
+  CloseFrame close{CloseCode::kShuttingDown, "bye"};
+  append_close(out, close);
+
+  auto frames = parse_bytewise(out);
+  ASSERT_EQ(frames.size(), 4u);
+
+  ASSERT_EQ(frames[0].first, FrameType::kHello);
+  auto h = decode_hello(frames[0].second);
+  ASSERT_TRUE(h.is_ok());
+  EXPECT_EQ(h.value().magic, kWireMagic);
+  EXPECT_EQ(h.value().version_min, kWireVersionMin);
+  EXPECT_EQ(h.value().version_max, kWireVersionMax);
+  EXPECT_EQ(h.value().channel_id, "SND->RCV");
+  EXPECT_EQ(h.value().source_qmgr, "SND");
+
+  ASSERT_EQ(frames[1].first, FrameType::kWelcome);
+  auto w = decode_welcome(frames[1].second);
+  ASSERT_TRUE(w.is_ok());
+  EXPECT_EQ(w.value().receiver_qmgr, "RCV");
+  EXPECT_EQ(w.value().last_delivered_seq, 41u);
+
+  ASSERT_EQ(frames[2].first, FrameType::kAck);
+  auto a = decode_ack(frames[2].second);
+  ASSERT_TRUE(a.is_ok());
+  EXPECT_EQ(a.value().acked_seq, 99u);
+
+  ASSERT_EQ(frames[3].first, FrameType::kClose);
+  auto c = decode_close(frames[3].second);
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_EQ(c.value().code, CloseCode::kShuttingDown);
+  EXPECT_EQ(c.value().reason, "bye");
+}
+
+TEST(WireCodec, MsgBatchRoundTrip) {
+  Message m1("first");
+  m1.set_id("id-1");
+  Message m2("second");
+  m2.set_id("id-2");
+  const std::string f1 = m1.encode();
+  const std::string f2 = m2.encode();
+
+  std::string out;
+  const std::size_t off = begin_msg_batch(out, 7);
+  add_batch_message(out, f1);
+  add_batch_message(out, f2);
+  end_msg_batch(out, off, 2);
+
+  auto frames = parse_bytewise(out);
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_EQ(frames[0].first, FrameType::kMsgBatch);
+  std::string_view entries;
+  auto header = decode_msg_batch_header(frames[0].second, entries);
+  ASSERT_TRUE(header.is_ok());
+  EXPECT_EQ(header.value().first_seq, 7u);
+  EXPECT_EQ(header.value().count, 2u);
+  auto e1 = next_batch_message(entries);
+  ASSERT_TRUE(e1.is_ok());
+  EXPECT_EQ(e1.value(), f1);
+  auto e2 = next_batch_message(entries);
+  ASSERT_TRUE(e2.is_ok());
+  EXPECT_EQ(e2.value(), f2);
+  EXPECT_TRUE(entries.empty());
+
+  auto decoded = Message::decode(e2.value(), /*retain_frame=*/true);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().body(), "second");
+  EXPECT_TRUE(decoded.value().frame_cached());
+}
+
+TEST(WireCodec, OversizedFrameLengthPoisonsParser) {
+  std::string bytes;
+  const std::uint32_t len = kMaxFrameBytes + 1;
+  bytes.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  bytes.push_back(0x03);
+  FrameParser parser;
+  parser.append(bytes);
+  FrameParser::Frame frame;
+  EXPECT_EQ(parser.next(frame), FrameParser::Result::kError);
+  // Poisoned for good: more bytes don't unpoison it.
+  parser.append("more");
+  EXPECT_EQ(parser.next(frame), FrameParser::Result::kError);
+}
+
+// ---- end-to-end channel <-> server ---------------------------------------
+
+Message msg(const std::string& body) {
+  Message m(body);
+  m.set_persistence(Persistence::kPersistent);
+  return m;
+}
+
+// One "sender process" (queue manager + network + TCP channel) and one
+// "receiver process" (queue manager + transport server) in one address
+// space. Nothing but bytes crosses between the two queue managers.
+class TransportDeliveryTest : public ::testing::Test {
+ protected:
+  void start(TransportChannelOptions opts = {}) {
+    sender_ = std::make_unique<QueueManager>("SND", clock_);
+    receiver_ = std::make_unique<QueueManager>("RCV", clock_);
+    receiver_->create_queue("IN").expect_ok("create IN");
+    server_ = std::make_unique<TransportServer>(*receiver_);
+    server_->start().expect_ok("server start");
+    net_ = std::make_unique<Network>();
+    net_->add(*sender_);
+    opts.port = server_->port();
+    net_->add_remote(*sender_, "RCV", opts).expect_ok("add_remote");
+    channel_ = net_->transport_channel("SND", "RCV");
+    ASSERT_NE(channel_, nullptr);
+  }
+
+  void TearDown() override {
+    if (net_) net_->shutdown();
+    if (server_) server_->stop();
+  }
+
+  // Puts `n` uniquely-bodied messages and asserts each arrives exactly
+  // once, fully acked back to the sender.
+  void send_and_verify(int n) {
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(
+          sender_->put(QueueAddress("RCV", "IN"), msg("m" + std::to_string(i))));
+    }
+    ASSERT_TRUE(channel_->wait_for_acked(static_cast<std::uint64_t>(n),
+                                         20 * 1000));
+    auto in = receiver_->find_queue("IN");
+    ASSERT_NE(in, nullptr);
+    ASSERT_TRUE(test::eventually([&] { return in->depth() == size_t(n); }));
+    std::set<std::string> bodies;
+    for (int i = 0; i < n; ++i) {
+      auto got = receiver_->get("IN", 2000);
+      ASSERT_TRUE(got.is_ok());
+      EXPECT_FALSE(got.value().has_property(kXmitDestProperty));
+      bodies.insert(got.value().body());
+    }
+    EXPECT_EQ(bodies.size(), size_t(n));  // no duplicates
+    EXPECT_EQ(in->depth(), 0u);           // no extras
+    EXPECT_EQ(channel_->stats().acked, static_cast<std::uint64_t>(n));
+  }
+
+  util::SystemClock clock_;
+  std::unique_ptr<QueueManager> sender_;
+  std::unique_ptr<QueueManager> receiver_;
+  std::unique_ptr<TransportServer> server_;
+  std::unique_ptr<Network> net_;
+  TransportChannel* channel_ = nullptr;
+};
+
+TEST_F(TransportDeliveryTest, BasicExactlyOnce) {
+  start();
+  send_and_verify(100);
+  EXPECT_EQ(server_->stats().delivered, 100u);
+  EXPECT_EQ(server_->stats().duplicates_suppressed, 0u);
+  EXPECT_EQ(channel_->stats().retransmitted, 0u);
+  EXPECT_EQ(server_->last_delivered_seq("SND->RCV"), 100u);
+}
+
+TEST_F(TransportDeliveryTest, ReceivedFrameIsAdoptedNotReserialized) {
+  start();
+  ASSERT_TRUE(sender_->put(QueueAddress("RCV", "IN"), msg("zero-copy")));
+  auto got = receiver_->get("IN", 5000);
+  ASSERT_TRUE(got.is_ok());
+  // The wire bytes became the received message's memoized frame (the
+  // CMX_XMIT_DEST removal only patched the transit tail).
+  EXPECT_TRUE(got.value().frame_cached());
+}
+
+TEST_F(TransportDeliveryTest, PartialWritesDeliverEverything) {
+  TransportChannelOptions opts;
+  opts.fault.max_write_bytes = 7;  // every flush dribbles 7 bytes at most
+  start(opts);
+  send_and_verify(40);
+  EXPECT_EQ(server_->stats().delivered, 40u);
+  EXPECT_EQ(server_->stats().duplicates_suppressed, 0u);
+}
+
+TEST_F(TransportDeliveryTest, MidFrameDisconnectRetransmitsExactlyOnce) {
+  TransportChannelOptions opts;
+  // The HELLO is 32 bytes; 48 lands inside the first MSGBATCH, so the
+  // receiver sees a torn frame and the sender must reconnect and resend.
+  opts.fault.disconnect_after_bytes = 48;
+  start(opts);
+  send_and_verify(30);
+  EXPECT_GE(channel_->stats().reconnects, 1u);
+  EXPECT_GE(channel_->stats().retransmitted, 1u);
+  // Exactly-once held: everything the server delivered was unique.
+  EXPECT_EQ(server_->stats().delivered, 30u);
+}
+
+TEST_F(TransportDeliveryTest, SmallWindowBackpressuresButDeliversAll) {
+  TransportChannelOptions opts;
+  opts.window = 4;
+  opts.max_batch = 2;
+  start(opts);
+  send_and_verify(50);
+}
+
+TEST_F(TransportDeliveryTest, UnknownRemoteQueueIsDeadLettered) {
+  start();
+  ASSERT_TRUE(sender_->put(QueueAddress("RCV", "MISSING"), msg("lost")));
+  ASSERT_TRUE(test::eventually([&] {
+    auto dlq = receiver_->find_queue(kDeadLetterQueue);
+    return dlq != nullptr && dlq->depth() > 0;
+  }));
+  auto dead = receiver_->get(kDeadLetterQueue, 2000);
+  ASSERT_TRUE(dead.is_ok());
+  EXPECT_EQ(dead.value().body(), "lost");
+  EXPECT_EQ(dead.value().get_string(kXmitDestProperty), "RCV/MISSING");
+  EXPECT_EQ(server_->stats().dead_lettered, 1u);
+  // Dead-lettering counts as handled: the sender still gets its ack.
+  EXPECT_TRUE(channel_->wait_for_acked(1, 5000));
+}
+
+// ---- raw-wire conformance -------------------------------------------------
+
+// A hand-rolled protocol client, for driving the server into states a
+// well-behaved TransportChannel never produces.
+class RawClient {
+ public:
+  void connect(std::uint16_t port) {
+    auto fd = tcp_connect("127.0.0.1", port, 5000);
+    fd.status().expect_ok("raw connect");
+    fd_ = std::move(fd).value();
+    set_recv_timeout(fd_.get(), 5000).expect_ok("timeout");
+  }
+
+  void send(const std::string& bytes) {
+    send_all(fd_.get(), bytes.data(), bytes.size()).expect_ok("raw send");
+  }
+
+  // Blocks for the next complete frame (copying the payload out).
+  std::pair<FrameType, std::string> read_frame() {
+    FrameParser::Frame frame;
+    while (true) {
+      auto r = parser_.next(frame);
+      if (r == FrameParser::Result::kFrame) {
+        return {frame.type, std::string(frame.payload)};
+      }
+      EXPECT_EQ(r, FrameParser::Result::kNeedMore);
+      parser_.compact();
+      char buf[4096];
+      auto n = recv_some(fd_.get(), buf, sizeof(buf));
+      n.status().expect_ok("raw recv");
+      if (n.value() == 0) ADD_FAILURE() << "peer closed mid-read";
+      parser_.append(std::string_view(buf, n.value()));
+    }
+  }
+
+  void close() { fd_.reset(); }
+
+ private:
+  Fd fd_;
+  FrameParser parser_;
+};
+
+std::string hello_bytes(const std::string& channel_id) {
+  std::string out;
+  HelloFrame hello;
+  hello.channel_id = channel_id;
+  hello.source_qmgr = "RAW";
+  append_hello(out, hello);
+  return out;
+}
+
+std::string batch_bytes(std::uint64_t first_seq, int count,
+                        const std::string& body_prefix) {
+  std::string out;
+  const std::size_t off = begin_msg_batch(out, first_seq);
+  for (int i = 0; i < count; ++i) {
+    Message m(body_prefix + std::to_string(first_seq + i));
+    m.set_id("raw-" + std::to_string(first_seq + i));
+    m.set_put_time_ms(1);  // nonzero so the receiving put keeps the frame
+    m.set_property(kXmitDestProperty, "RCV/IN");
+    add_batch_message(out, m.encode());
+  }
+  end_msg_batch(out, off, static_cast<std::uint32_t>(count));
+  return out;
+}
+
+class RawWireTest : public ::testing::Test {
+ protected:
+  RawWireTest() {
+    receiver_ = std::make_unique<QueueManager>("RCV", clock_);
+    receiver_->create_queue("IN").expect_ok("create IN");
+    server_ = std::make_unique<TransportServer>(*receiver_);
+    server_->start().expect_ok("server start");
+  }
+  ~RawWireTest() override { server_->stop(); }
+
+  util::SystemClock clock_;
+  std::unique_ptr<QueueManager> receiver_;
+  std::unique_ptr<TransportServer> server_;
+};
+
+TEST_F(RawWireTest, DuplicateBatchIsSuppressedAndReAcked) {
+  RawClient c1;
+  c1.connect(server_->port());
+  c1.send(hello_bytes("RAW->RCV"));
+  auto [wt, wp] = c1.read_frame();
+  ASSERT_EQ(wt, FrameType::kWelcome);
+  EXPECT_EQ(decode_welcome(wp).value().last_delivered_seq, 0u);
+
+  c1.send(batch_bytes(1, 5, "dup"));
+  auto [at, ap] = c1.read_frame();
+  ASSERT_EQ(at, FrameType::kAck);
+  EXPECT_EQ(decode_ack(ap).value().acked_seq, 5u);
+  c1.close();
+
+  // Reconnect; the WELCOME reports the delivered horizon...
+  RawClient c2;
+  c2.connect(server_->port());
+  c2.send(hello_bytes("RAW->RCV"));
+  auto [wt2, wp2] = c2.read_frame();
+  ASSERT_EQ(wt2, FrameType::kWelcome);
+  EXPECT_EQ(decode_welcome(wp2).value().last_delivered_seq, 5u);
+
+  // ...but this client ignores it and replays 1..5 anyway, then sends
+  // 6..10. The replay must be suppressed yet still covered by the ack.
+  c2.send(batch_bytes(1, 5, "dup"));
+  auto [at2, ap2] = c2.read_frame();
+  ASSERT_EQ(at2, FrameType::kAck);
+  EXPECT_EQ(decode_ack(ap2).value().acked_seq, 5u);
+  c2.send(batch_bytes(6, 5, "new"));
+  auto [at3, ap3] = c2.read_frame();
+  ASSERT_EQ(at3, FrameType::kAck);
+  EXPECT_EQ(decode_ack(ap3).value().acked_seq, 10u);
+
+  EXPECT_EQ(server_->stats().duplicates_suppressed, 5u);
+  EXPECT_EQ(server_->stats().delivered, 10u);
+  auto in = receiver_->find_queue("IN");
+  ASSERT_NE(in, nullptr);
+  EXPECT_EQ(in->depth(), 10u);  // exactly once, despite the replay
+}
+
+TEST_F(RawWireTest, BadMagicIsRefused) {
+  RawClient c;
+  c.connect(server_->port());
+  std::string out;
+  HelloFrame hello;
+  hello.magic = 0xDEADBEEF;
+  hello.channel_id = "X->RCV";
+  append_hello(out, hello);
+  c.send(out);
+  auto [t, p] = c.read_frame();
+  ASSERT_EQ(t, FrameType::kClose);
+  EXPECT_EQ(decode_close(p).value().code, CloseCode::kBadMagic);
+}
+
+TEST_F(RawWireTest, NoCommonVersionIsRefused) {
+  RawClient c;
+  c.connect(server_->port());
+  std::string out;
+  HelloFrame hello;
+  hello.version_min = kWireVersionMax + 1;
+  hello.version_max = kWireVersionMax + 7;
+  hello.channel_id = "X->RCV";
+  append_hello(out, hello);
+  c.send(out);
+  auto [t, p] = c.read_frame();
+  ASSERT_EQ(t, FrameType::kClose);
+  EXPECT_EQ(decode_close(p).value().code, CloseCode::kVersionMismatch);
+}
+
+TEST_F(RawWireTest, BatchBeforeHelloIsProtocolError) {
+  RawClient c;
+  c.connect(server_->port());
+  c.send(batch_bytes(1, 1, "early"));
+  auto [t, p] = c.read_frame();
+  ASSERT_EQ(t, FrameType::kClose);
+  EXPECT_EQ(decode_close(p).value().code, CloseCode::kProtocolError);
+}
+
+// ---- conditional messaging across TCP -------------------------------------
+
+// Full-duplex pair: the sender's conditional service fans out over TCP to
+// the receiver process, and the receiver's implicit acknowledgments ride
+// a second TCP channel back to the sender's DS.ACK.Q. The §7 contract —
+// exactly one ack per (receiver, message) — must survive both hops.
+TEST(CmOverTcp, ExactlyOneAckPerReceiverAndMessage) {
+  util::SystemClock clock;
+  QueueManager snd("SND", clock);
+  QueueManager rcv("RCV", clock);
+  rcv.create_queue("R1").expect_ok("R1");
+  rcv.create_queue("R2").expect_ok("R2");
+
+  TransportServer snd_server(snd);   // receives the acks
+  TransportServer rcv_server(rcv);   // receives the data messages
+  snd_server.start().expect_ok("snd server");
+  rcv_server.start().expect_ok("rcv server");
+
+  Network snd_net;
+  snd_net.add(snd);
+  TransportChannelOptions to_rcv;
+  to_rcv.port = rcv_server.port();
+  snd_net.add_remote(snd, "RCV", to_rcv).expect_ok("snd->rcv");
+
+  Network rcv_net;
+  rcv_net.add(rcv);
+  TransportChannelOptions to_snd;
+  to_snd.port = snd_server.port();
+  rcv_net.add_remote(rcv, "SND", to_snd).expect_ok("rcv->snd");
+
+  {
+    cm::ConditionalMessagingService service(snd);
+    cm::ConditionalReceiver u1(rcv, "u1");
+    cm::ConditionalReceiver u2(rcv, "u2");
+
+    auto cond =
+        cm::SetBuilder()
+            .pick_up_within(30 * cm::kSecond)
+            .add(cm::DestBuilder(QueueAddress("RCV", "R1"), "u1").build())
+            .add(cm::DestBuilder(QueueAddress("RCV", "R2"), "u2").build())
+            .build();
+    auto cm_id = service.send_message("conditional-over-tcp", *cond);
+    ASSERT_TRUE(cm_id.is_ok());
+
+    auto got1 = u1.read_message("R1", 20 * cm::kSecond);
+    ASSERT_TRUE(got1.is_ok());
+    EXPECT_EQ(got1.value().body(), "conditional-over-tcp");
+    auto got2 = u2.read_message("R2", 20 * cm::kSecond);
+    ASSERT_TRUE(got2.is_ok());
+
+    auto outcome = service.await_outcome(cm_id.value(), 30 * cm::kSecond);
+    outcome.status().expect_ok("await_outcome");
+    EXPECT_EQ(outcome.value().outcome, cm::Outcome::kSuccess);
+
+    // Exactly one ack per (receiver, message): each receiver emitted one
+    // read ack, and the ack channel carried exactly two messages total.
+    EXPECT_EQ(u1.stats().read_acks, 1u);
+    EXPECT_EQ(u2.stats().read_acks, 1u);
+    auto* back = rcv_net.transport_channel("RCV", "SND");
+    ASSERT_NE(back, nullptr);
+    EXPECT_TRUE(test::eventually([&] { return back->stats().acked == 2; }));
+    EXPECT_EQ(back->stats().sent, 2u);
+  }
+
+  snd_net.shutdown();
+  rcv_net.shutdown();
+  snd_server.stop();
+  rcv_server.stop();
+}
+
+}  // namespace
+}  // namespace cmx::mq::transport
