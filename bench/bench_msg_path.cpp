@@ -10,15 +10,28 @@
 //   deep_copy  — every Message copy duplicates the body and every encode
 //                re-serializes (the seed's behaviour)
 //
-// Grid: body 256 B / 4 KiB / 64 KiB x fanout 1 / 8. Reported per arm:
-// delivered msgs/sec, serializations per delivered message, and the
-// frame-cache counters; hit_rate = (hits + patches) / (hits + patches +
-// misses). Headline (the acceptance gate): fanout 8 x 64 KiB zero_copy
-// must deliver >= 2x the deep_copy arm's msgs/sec, with a persistent-path
-// frame-cache hit rate > 90%.
+// E18 — small-message fast path: a third toggle dimension,
+// util::set_arena_enabled(), layers inline payloads (bodies <= 64 B live
+// in the Message, no heap) and freelist arenas (pooled encode frames +
+// shared_ptr control blocks, pooled queue map nodes) on top of zero_copy:
+//
+//   fast_path  — zero_copy + arenas (the production default)
+//
+// The binary overrides global operator new/delete with a counting shim, so
+// every arm also reports allocs_per_msg: heap allocations per delivered
+// message across ALL threads (producer, consumer, channel mover, store).
+//
+// Grid: body 256 B / 1 KiB x fanout 1 / 8 over all four toggle combos
+// (the small-message rows the arena targets), plus 4 KiB / 64 KiB over
+// deep_copy / zero_copy / fast_path. Reported per arm: delivered msgs/sec,
+// serializations per delivered message, allocs_per_msg, the frame-cache
+// counters, and the arena hit rate. Headlines: fanout 8 x 64 KiB
+// zero_copy must deliver >= 2x deep_copy (E16's gate, unchanged), and
+// fanout 8 x 256 B fast_path must deliver >= 1.3x zero_copy (E18's gate).
 //
 // Writes BENCH_msg_path.json into the working directory (skipped with
-// --smoke, which runs one tiny zero-copy arm as a CI liveness check).
+// --smoke, which runs one tiny fast-path arm as a CI liveness check and
+// asserts the per-message allocation budget).
 //
 // E17 — transport A/B (--transport): the same windowed closed loop and
 // grid, but the arms compare WHERE the remote queue manager lives:
@@ -53,6 +66,9 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+#include <new>
+
 #include "mq/network.hpp"
 #include "mq/payload.hpp"
 #include "mq/queue_manager.hpp"
@@ -60,6 +76,45 @@
 #include "mq/transport/transport_channel.hpp"
 #include "mq/transport/transport_server.hpp"
 #include "obs/registry.hpp"
+#include "util/arena.hpp"
+
+// ---- allocation accounting ------------------------------------------------
+// Counting shims over the global allocator: every heap allocation in the
+// process bumps one relaxed atomic, so an arm's allocs_per_msg is the
+// counter delta across the timed loop divided by delivered messages —
+// covering the producer, consumer, channel mover and store threads alike.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = ((size ? size : 1) + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -78,7 +133,17 @@ struct ArmResult {
   std::uint64_t cache_fills = 0;
   std::uint64_t cache_patches = 0;
   double hit_rate = 0.0;
+  std::uint64_t allocs = 0;
+  double allocs_per_msg = 0.0;
+  std::uint64_t arena_hits = 0;
+  std::uint64_t arena_misses = 0;
+  double arena_hit_rate = 0.0;
 };
+
+const char* mode_name(bool zero_copy, bool arena) {
+  if (zero_copy) return arena ? "fast_path" : "zero_copy";
+  return arena ? "deep_copy_arena" : "deep_copy";
+}
 
 std::uint64_t counter_value(const obs::MetricsRegistry::Snapshot& snap,
                             const std::string& name) {
@@ -88,9 +153,10 @@ std::uint64_t counter_value(const obs::MetricsRegistry::Snapshot& snap,
   return 0;
 }
 
-ArmResult run_arm(bool zero_copy, std::size_t body_bytes, int fanout,
-                  int rounds) {
+ArmResult run_arm(bool zero_copy, bool arena, std::size_t body_bytes,
+                  int fanout, int rounds) {
   mq::set_zero_copy_enabled(zero_copy);
+  util::set_arena_enabled(arena);
 
   util::SystemClock clock;
   mq::QueueManager qm1("QM1", clock, std::make_unique<mq::MemoryStore>());
@@ -101,11 +167,15 @@ ArmResult run_arm(bool zero_copy, std::size_t body_bytes, int fanout,
     qm2.create_queue(dests.back()).expect_ok("create dest");
   }
   mq::Network net;
+  // Batch the channel hop like a tuned deployment would: a 64-message
+  // drain amortizes the mover's wakeup, consumption log and remote store
+  // append across the window (both arms share the setting).
+  net.set_default_channel_options(mq::ChannelOptions{.max_batch = 64});
   net.add(qm1);
   net.add(qm2);
 
   const std::string body(body_bytes, 'x');
-  std::uint64_t delivered = 0;
+  std::atomic<std::uint64_t> delivered{0};
 
   // Warmup: a few fully-drained rounds before the timer so thread spin-up
   // and the clock's first-millisecond cold start (put_time_ms 0 reads as
@@ -127,6 +197,9 @@ ArmResult run_arm(bool zero_copy, std::size_t body_bytes, int fanout,
   // invalidates its cached frame. Start the timed run past that edge.
   clock.sleep_ms(2);
   obs::MetricsRegistry::instance().reset();
+  util::reset_arena_stats();
+  const std::uint64_t allocs_before =
+      g_alloc_count.load(std::memory_order_relaxed);
 
   // Closed loop with a bounded window: the producer keeps at most
   // kWindow messages in flight (xmit queue + channel + destination
@@ -137,29 +210,68 @@ ArmResult run_arm(bool zero_copy, std::size_t body_bytes, int fanout,
   constexpr int kWindow = 256;
   std::mutex window_mu;
   std::condition_variable window_cv;
-  int outstanding = 0;
+  std::atomic<int> outstanding{0};
 
   const auto t0 = std::chrono::steady_clock::now();
+  // The consumer drains each destination with get_batch — the throughput
+  // consumption shape (one queue lock and one batched consumption-log
+  // append per drain, like the cm ack router) — falling back to a
+  // blocking get when a queue is momentarily empty.
   std::thread consumer([&] {
-    for (int round = 0; round < rounds; ++round) {
+    std::vector<std::uint64_t> taken(static_cast<std::size_t>(fanout), 0);
+    const std::uint64_t per_queue = static_cast<std::uint64_t>(rounds);
+    std::uint64_t total = 0;
+    const std::uint64_t want = per_queue * static_cast<std::uint64_t>(fanout);
+    while (total < want) {
+      std::uint64_t progress = 0;
       for (int i = 0; i < fanout; ++i) {
-        auto got = qm2.get(dests[i], 30'000);
-        got.status().expect_ok("delivery");
-        ++delivered;
-        {
-          std::lock_guard<std::mutex> lk(window_mu);
-          --outstanding;
+        auto& got_n = taken[static_cast<std::size_t>(i)];
+        if (got_n >= per_queue) continue;
+        auto msgs = qm2.get_batch(
+            dests[i], static_cast<std::size_t>(per_queue - got_n));
+        if (msgs.empty()) continue;
+        got_n += msgs.size();
+        total += msgs.size();
+        progress += msgs.size();
+        delivered.fetch_add(msgs.size(), std::memory_order_relaxed);
+        // Lock-free decrement; nudge the producer only when this drain
+        // opened window room (edge-triggered — it only ever sleeps on a
+        // full window, and its wait is timed as a backstop).
+        const int prev = outstanding.fetch_sub(
+            static_cast<int>(msgs.size()), std::memory_order_acq_rel);
+        if (prev > kWindow - fanout &&
+            prev - static_cast<int>(msgs.size()) <= kWindow - fanout) {
+          window_cv.notify_one();
         }
-        window_cv.notify_one();
+      }
+      if (progress == 0) {
+        // All queues momentarily empty: block on the next expected one
+        // instead of spinning.
+        for (int i = 0; i < fanout; ++i) {
+          if (taken[static_cast<std::size_t>(i)] < per_queue) {
+            auto got = qm2.get(dests[i], 30'000);
+            got.status().expect_ok("delivery");
+            ++taken[static_cast<std::size_t>(i)];
+            ++total;
+            delivered.fetch_add(1, std::memory_order_relaxed);
+            if (outstanding.fetch_sub(1, std::memory_order_acq_rel) - 1 ==
+                kWindow - fanout) {
+              window_cv.notify_one();
+            }
+            break;
+          }
+        }
       }
     }
   });
   for (int round = 0; round < rounds; ++round) {
-    {
+    if (outstanding.load(std::memory_order_acquire) + fanout > kWindow) {
       std::unique_lock<std::mutex> lk(window_mu);
-      window_cv.wait(lk, [&] { return outstanding + fanout <= kWindow; });
-      outstanding += fanout;
+      while (outstanding.load(std::memory_order_acquire) + fanout > kWindow) {
+        window_cv.wait_for(lk, std::chrono::milliseconds(1));
+      }
     }
+    outstanding.fetch_add(fanout, std::memory_order_acq_rel);
     // One shared payload per round: under zero_copy the fan-out legs all
     // reference it; under deep_copy each Message copy duplicates it.
     const mq::Payload payload{body};
@@ -176,11 +288,14 @@ ArmResult run_arm(bool zero_copy, std::size_t body_bytes, int fanout,
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  const std::uint64_t allocs_after =
+      g_alloc_count.load(std::memory_order_relaxed);
   net.shutdown();
 
   const auto snap = obs::MetricsRegistry::instance().snapshot();
+  const util::ArenaStats arena_totals = util::arena_stats();
   ArmResult r;
-  r.mode = zero_copy ? "zero_copy" : "deep_copy";
+  r.mode = mode_name(zero_copy, arena);
   r.body_bytes = body_bytes;
   r.fanout = fanout;
   r.delivered = delivered;
@@ -194,6 +309,23 @@ ArmResult run_arm(bool zero_copy, std::size_t body_bytes, int fanout,
   const double served = static_cast<double>(r.cache_hits + r.cache_patches);
   const double demand = served + static_cast<double>(r.cache_misses);
   r.hit_rate = demand > 0.0 ? served / demand : 0.0;
+  r.allocs = allocs_after - allocs_before;
+  r.allocs_per_msg =
+      delivered > 0 ? static_cast<double>(r.allocs) / delivered : 0.0;
+  r.arena_hits = arena_totals.hits;
+  r.arena_misses = arena_totals.misses;
+  const double arena_demand =
+      static_cast<double>(arena_totals.hits + arena_totals.misses);
+  r.arena_hit_rate =
+      arena_demand > 0.0 ? arena_totals.hits / arena_demand : 0.0;
+  // Export the fast-path health figures through the obs registry too, so
+  // registry dumps carry them alongside the frame-cache counters.
+  obs::MetricsRegistry::instance()
+      .gauge("mq.msg.allocs_per_msg_milli")
+      .set(static_cast<std::int64_t>(r.allocs_per_msg * 1000.0));
+  obs::MetricsRegistry::instance()
+      .gauge("mq.msg.arena_hit_rate_permille")
+      .set(static_cast<std::int64_t>(r.arena_hit_rate * 1000.0));
   return r;
 }
 
@@ -431,10 +563,11 @@ void print_arm(const ArmResult& r) {
             << (r.delivered > 0
                     ? static_cast<double>(r.serializations) / r.delivered
                     : 0.0)
-            << " serializations/msg, hit_rate=" << r.hit_rate
+            << " serializations/msg, " << r.allocs_per_msg
+            << " allocs/msg, hit_rate=" << r.hit_rate
             << " (hits=" << r.cache_hits << " misses=" << r.cache_misses
             << " fills=" << r.cache_fills << " patches=" << r.cache_patches
-            << ")\n";
+            << "), arena_hit_rate=" << r.arena_hit_rate << "\n";
 }
 
 }  // namespace
@@ -466,8 +599,8 @@ int main(int argc, char** argv) {
                                    std::size_t{65536}}) {
       for (const int fanout : {1, 8}) {
         const int rounds = body >= 65536 ? 1500 : (body >= 4096 ? 4000 : 8000);
-        const auto inproc =
-            as_inproc_arm(run_arm(/*zero_copy=*/true, body, fanout, rounds));
+        const auto inproc = as_inproc_arm(
+            run_arm(/*zero_copy=*/true, /*arena=*/true, body, fanout, rounds));
         print_transport_arm(inproc);
         arms.push_back(inproc);
         const auto tcp = run_tcp_arm(argv[0], body, fanout, rounds);
@@ -511,21 +644,63 @@ int main(int argc, char** argv) {
     return all_exactly_once ? 0 : 1;
   }
 
+  if (argc > 1 && std::strcmp(argv[1], "--focus") == 0) {
+    // Developer loop: just the E18 gate cell (256 B x fanout 8), both
+    // arms, no JSON. Not part of CI.
+    const int rounds = argc > 2 ? std::atoi(argv[2]) : 8000;
+    const auto dump_hists = [] {
+      const auto snap = obs::MetricsRegistry::instance().snapshot();
+      for (const auto& [name, h] : snap.histograms) {
+        std::cout << "    " << name << ": count=" << h.count
+                  << " sum_us=" << h.sum << " p50=" << h.p50()
+                  << " p95=" << h.p95() << "\n";
+      }
+      for (const auto& [name, v] : snap.counters) {
+        std::cout << "    " << name << " = " << v << "\n";
+      }
+    };
+    const auto zc = run_arm(/*zero_copy=*/true, /*arena=*/false, 256, 8, rounds);
+    print_arm(zc);
+    dump_hists();
+    const auto fp = run_arm(/*zero_copy=*/true, /*arena=*/true, 256, 8, rounds);
+    print_arm(fp);
+    dump_hists();
+    std::cout << "focus speedup = " << fp.msgs_per_sec / zc.msgs_per_sec
+              << "x (allocs/msg " << zc.allocs_per_msg << " -> "
+              << fp.allocs_per_msg << ")\n";
+    return 0;
+  }
+
   if (smoke) {
-    const auto r = run_arm(/*zero_copy=*/true, 4096, 2, /*rounds=*/100);
+    // A 256 B body rides the inline-payload + arena fast path — the arm
+    // the allocation budget below protects. The budget is a regression
+    // tripwire, not a target: see BENCH_msg_path.json for measured values.
+    constexpr double kSmokeAllocBudget = 40.0;
+    const auto r =
+        run_arm(/*zero_copy=*/true, /*arena=*/true, 256, 2, /*rounds=*/100);
     print_arm(r);
+    if (r.allocs_per_msg > kSmokeAllocBudget) {
+      std::cerr << "allocation budget exceeded: " << r.allocs_per_msg
+                << " allocs/msg > " << kSmokeAllocBudget << "\n";
+      return 1;
+    }
     // Liveness gate: full delivery and a working frame cache.
     return (r.delivered == 200 && r.hit_rate > 0.5) ? 0 : 1;
   }
 
   std::vector<ArmResult> results;
-  for (const std::size_t body : {std::size_t{256}, std::size_t{4096},
-                                 std::size_t{65536}}) {
+  for (const std::size_t body : {std::size_t{256}, std::size_t{1024},
+                                 std::size_t{4096}, std::size_t{65536}}) {
     for (const int fanout : {1, 8}) {
       // Keep per-arm wall clock comparable across body sizes.
       const int rounds = body >= 65536 ? 1500 : (body >= 4096 ? 4000 : 8000);
-      for (const bool zero_copy : {false, true}) {
-        const auto r = run_arm(zero_copy, body, fanout, rounds);
+      for (const auto& [zero_copy, arena] :
+           std::vector<std::pair<bool, bool>>{
+               {false, false}, {false, true}, {true, false}, {true, true}}) {
+        // The deep_copy+arena combo only matters where the arena can act
+        // (small bodies); skip it on the big rows to bound wall clock.
+        if (!zero_copy && arena && body > 1024) continue;
+        const auto r = run_arm(zero_copy, arena, body, fanout, rounds);
         print_arm(r);
         results.push_back(r);
       }
@@ -533,17 +708,30 @@ int main(int argc, char** argv) {
   }
 
   double deep_64k_f8 = 0.0, zero_64k_f8 = 0.0, zero_64k_f8_hit = 0.0;
+  double zero_256_f8 = 0.0, fast_256_f8 = 0.0, fast_256_f8_allocs = 0.0,
+         zero_256_f8_allocs = 0.0;
   for (const auto& r : results) {
     if (r.body_bytes == 65536 && r.fanout == 8) {
       if (std::strcmp(r.mode, "zero_copy") == 0) {
         zero_64k_f8 = r.msgs_per_sec;
         zero_64k_f8_hit = r.hit_rate;
-      } else {
+      } else if (std::strcmp(r.mode, "deep_copy") == 0) {
         deep_64k_f8 = r.msgs_per_sec;
+      }
+    }
+    if (r.body_bytes == 256 && r.fanout == 8) {
+      if (std::strcmp(r.mode, "fast_path") == 0) {
+        fast_256_f8 = r.msgs_per_sec;
+        fast_256_f8_allocs = r.allocs_per_msg;
+      } else if (std::strcmp(r.mode, "zero_copy") == 0) {
+        zero_256_f8 = r.msgs_per_sec;
+        zero_256_f8_allocs = r.allocs_per_msg;
       }
     }
   }
   const double speedup = deep_64k_f8 > 0.0 ? zero_64k_f8 / deep_64k_f8 : 0.0;
+  const double fast_speedup =
+      zero_256_f8 > 0.0 ? fast_256_f8 / zero_256_f8 : 0.0;
 
   std::ofstream out("BENCH_msg_path.json");
   out << "{\"bench\": \"msg_path\", \"store\": \"memory\", \"arms\": [";
@@ -560,6 +748,10 @@ int main(int argc, char** argv) {
         << (r.delivered > 0
                 ? static_cast<double>(r.serializations) / r.delivered
                 : 0.0)
+        << ", \"allocs_per_msg\": " << r.allocs_per_msg
+        << ", \"arena_hits\": " << r.arena_hits
+        << ", \"arena_misses\": " << r.arena_misses
+        << ", \"arena_hit_rate\": " << r.arena_hit_rate
         << ", \"frame_cache_hits\": " << r.cache_hits
         << ", \"frame_cache_misses\": " << r.cache_misses
         << ", \"frame_cache_fills\": " << r.cache_fills
@@ -570,8 +762,17 @@ int main(int argc, char** argv) {
       << "\"deep_copy_msgs_per_sec\": " << deep_64k_f8
       << ", \"zero_copy_msgs_per_sec\": " << zero_64k_f8
       << ", \"speedup\": " << speedup
-      << ", \"zero_copy_frame_cache_hit_rate\": " << zero_64k_f8_hit << "}}\n";
+      << ", \"zero_copy_frame_cache_hit_rate\": " << zero_64k_f8_hit
+      << "}, \"headline_fast_path\": {\"body_bytes\": 256, \"fanout\": 8, "
+      << "\"zero_copy_msgs_per_sec\": " << zero_256_f8
+      << ", \"fast_path_msgs_per_sec\": " << fast_256_f8
+      << ", \"speedup\": " << fast_speedup
+      << ", \"zero_copy_allocs_per_msg\": " << zero_256_f8_allocs
+      << ", \"fast_path_allocs_per_msg\": " << fast_256_f8_allocs << "}}\n";
   std::cout << "BENCH_msg_path.json: 64KiB fanout-8 speedup = " << speedup
             << "x, hit_rate = " << zero_64k_f8_hit << "\n";
+  std::cout << "BENCH_msg_path.json: 256B fanout-8 fast-path speedup = "
+            << fast_speedup << "x (allocs/msg " << zero_256_f8_allocs
+            << " -> " << fast_256_f8_allocs << ")\n";
   return 0;
 }

@@ -55,7 +55,7 @@ void run(const char* title, int desks_reading) {
     auto msg = rx.read_message(broker.find(desks[i])->queue, 1000);
     msg.status().expect_ok("read");
     std::printf("  %-10s read: \"%s\"\n", desks[i],
-                msg.value().body().c_str());
+                std::string(msg.value().body()).c_str());
   }
 
   auto outcome = service.await_outcome(cm_id.value(), 10'000);
@@ -74,7 +74,7 @@ void run(const char* title, int desks_reading) {
       if (follow_up.is_ok() &&
           follow_up.value().kind == cm::MessageKind::kCompensation) {
         std::printf("  %-10s received retraction: \"%s\"\n", desks[i],
-                    follow_up.value().body().c_str());
+                    std::string(follow_up.value().body()).c_str());
       } else {
         std::printf("  %-10s unread alert annihilated (%llu)\n", desks[i],
                     static_cast<unsigned long long>(rx.stats().annihilated));

@@ -68,7 +68,8 @@ struct Participant {
       rx.begin_tx().expect_ok("begin_tx");
       auto msg = rx.read_message(queue, 5000);
       msg.status().expect_ok("read");
-      calendar.put(name + "-tx", name + "/meeting", msg.value().body())
+      calendar.put(name + "-tx", name + "/meeting",
+                   std::string(msg.value().body()))
           .expect_ok("calendar update");
       calendar.prepare(name + "-tx");
       calendar.commit(name + "-tx");

@@ -40,7 +40,8 @@ int main() {
   cm::ConditionalReceiver receiver(qm, "barista-1");
   auto msg = receiver.read_message("ORDERS", 1000);
   msg.status().expect_ok("read");
-  std::printf("receiver got: \"%s\"\n", msg.value().body().c_str());
+  std::printf("receiver got: \"%s\"\n",
+              std::string(msg.value().body()).c_str());
 
   // 6. The evaluation manager decides and notifies DS.OUTCOME.Q (§2.5).
   auto outcome = service.await_outcome(cm_id.value(), 5000);

@@ -56,7 +56,7 @@ int main() {
   while (auto msg = qm.get("JOBS", 0, &urgent.value())) {
     std::printf("  [prio %d] %-6s %s\n", msg.value().priority(),
                 msg.value().get_string("region")->c_str(),
-                msg.value().body().c_str());
+                std::string(msg.value().body()).c_str());
   }
 
   // per-region consumers use selectors over application properties
@@ -67,7 +67,7 @@ int main() {
     std::printf("%s consumer:\n", region);
     while (auto msg = qm.get("JOBS", 0, &selector.value())) {
       std::printf("  [prio %d] %s\n", msg.value().priority(),
-                  msg.value().body().c_str());
+                  std::string(msg.value().body()).c_str());
     }
   }
   std::printf("\nremaining depth: %zu\n", qm.find_queue("JOBS")->depth());

@@ -32,7 +32,7 @@ struct ReceivedMessage {
   bool conditional = false;
   bool processing_required = false;
 
-  const std::string& body() const { return message.body(); }
+  std::string_view body() const { return message.body(); }
 };
 
 struct ReceiverStats {

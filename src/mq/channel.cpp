@@ -1,5 +1,7 @@
 #include "mq/channel.hpp"
 
+#include <algorithm>
+
 #include "mq/queue_manager.hpp"
 #include "obs/lifecycle.hpp"
 #include "util/logging.hpp"
@@ -49,6 +51,10 @@ ChannelStats Channel::stats() const {
 }
 
 void Channel::mover_loop() {
+  // Hoisted out of the loop so steady-state iterations reuse capacity
+  // instead of allocating fresh vectors per hop.
+  std::vector<Message> batch;
+  std::vector<LogRecord> get_records;
   while (!stopping_.load()) {
     {
       std::unique_lock<std::mutex> lk(mu_);
@@ -69,7 +75,11 @@ void Channel::mover_loop() {
       if (stopping_.load()) break;  // lost from this hop, like any stop
                                     // with a message in transit
     }
-    std::vector<Message> batch;
+    // Per-hop drain cap: also the reserve that keeps `batch` elements
+    // stable while borrowed get-records below view their ids.
+    const std::size_t cap = std::min<std::size_t>(options_.max_batch, 1024);
+    batch.clear();
+    batch.reserve(cap);
     batch.push_back(std::move(got).value());
     // Drain whatever else is already waiting (up to max_batch) so a backlog
     // crosses in one hop: one latency sleep, one batched consumption log,
@@ -77,25 +87,29 @@ void Channel::mover_loop() {
     // effect at the next message boundary.
     if (options_.max_batch > 1 && !paused_.load()) {
       auto queue = from_.find_queue(xmit_queue_);
-      std::vector<LogRecord> get_records;
-      while (queue && batch.size() < options_.max_batch) {
+      get_records.clear();
+      while (queue && batch.size() < cap) {
         auto extra = queue->try_get();
         if (!extra.has_value()) break;
-        if (extra->msg.persistent()) {
-          get_records.push_back(LogRecord::get(xmit_queue_, extra->msg.id()));
-        }
+        // Move first, then borrow: the get-record views the id in place —
+        // the reserve above keeps `batch` elements stable until the
+        // append_log_batch below encodes them.
         batch.push_back(std::move(extra->msg));
+        if (batch.back().persistent()) {
+          get_records.push_back(
+              LogRecord::get_ref(xmit_queue_, batch.back().id()));
+        }
       }
       if (!get_records.empty()) {
         from_.append_log_batch(get_records).expect_ok("log xmit drain");
       }
       CMX_OBS_COUNT("mq.get", batch.size() - 1);
     }
-    deliver_batch(std::move(batch));
+    deliver_batch(batch);
   }
 }
 
-void Channel::deliver_batch(std::vector<Message> msgs) {
+void Channel::deliver_batch(std::vector<Message>& msgs) {
   util::TimeMs delay = options_.latency_ms;
   if (options_.jitter_ms > 0) delay += rng_.uniform(0, options_.jitter_ms);
   if (delay > 0) from_.clock().sleep_ms(delay);

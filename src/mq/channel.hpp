@@ -85,7 +85,9 @@ class Channel {
   };
 
   void mover_loop();
-  void deliver_batch(std::vector<Message> msgs);
+  // Consumes the messages (moved out element-wise); the caller's vector
+  // keeps its capacity for the next hop.
+  void deliver_batch(std::vector<Message>& msgs);
   void deliver_one(TransitItem item);
   void record_delivered(const TransitItem& item);
 

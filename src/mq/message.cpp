@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "obs/registry.hpp"
+#include "util/arena.hpp"
 #include "util/codec.hpp"
 
 namespace cmx::mq {
@@ -12,6 +13,10 @@ namespace {
 // trailing transit section (after it), so transit-property changes can
 // rewrite the frame tail without re-serializing the whole message.
 constexpr std::uint32_t kMessageCodecVersion = 2;
+
+// Recycled frames above this byte capacity are shrunk before pooling so a
+// burst of jumbo messages cannot park megabytes in the freelists.
+constexpr std::size_t kMaxRecycledFrameCapacity = 16 * 1024;
 
 enum class PropTag : std::uint8_t {
   kBool = 0,
@@ -128,11 +133,47 @@ std::optional<double> Message::get_double(const std::string& key) const {
   return std::nullopt;
 }
 
+std::shared_ptr<Message::EncodedFrame> Message::acquire_frame() {
+  if (!util::arena_enabled()) return std::make_shared<EncodedFrame>();
+  bool recycled = false;
+  EncodedFrame* f = util::ObjectPool<EncodedFrame>::get(&recycled);
+  if (recycled) {
+    CMX_OBS_COUNT("mq.msg.arena_frame_hits", 1);
+  } else {
+    CMX_OBS_COUNT("mq.msg.arena_frame_misses", 1);
+  }
+  // The deleter recycles the frame with its byte capacity intact; the
+  // pool allocator recycles the shared_ptr control block. Releases can
+  // happen on any thread (consumer, mover, store) — the freelists behind
+  // both are thread-safe.
+  return std::shared_ptr<EncodedFrame>(
+      f,
+      [](EncodedFrame* p) {
+        p->backing.reset();  // never pin a wire slab in the pool
+        p->backing_offset = p->backing_size = 0;
+        p->delivery_count_offset = p->transit_offset = 0;
+        if (p->bytes.capacity() > kMaxRecycledFrameCapacity) {
+          std::string().swap(p->bytes);
+        } else {
+          p->bytes.clear();
+        }
+        util::ObjectPool<EncodedFrame>::put(p);
+      },
+      util::PoolAllocator<EncodedFrame>{});
+}
+
 Message::EncodedFrame* Message::writable_frame() {
   // Copies of this message may share the frame; give ourselves a private
-  // one before patching so their cached bytes stay valid.
-  if (frame_.use_count() > 1) {
-    frame_ = std::make_shared<EncodedFrame>(*frame_);
+  // owned one before patching so their cached bytes stay valid (a
+  // borrowed frame is materialized for the same reason: its backing slab
+  // is shared with the whole receive batch).
+  if (frame_.use_count() > 1 || frame_->borrowed()) {
+    auto f = acquire_frame();
+    const std::string_view src = frame_->view();
+    f->bytes.assign(src.data(), src.size());
+    f->delivery_count_offset = frame_->delivery_count_offset;
+    f->transit_offset = frame_->transit_offset;
+    frame_ = std::move(f);
   }
   return frame_.get();
 }
@@ -140,15 +181,17 @@ Message::EncodedFrame* Message::writable_frame() {
 void Message::rebuild_transit_tail() {
   EncodedFrame* f = writable_frame();
   f->bytes.resize(f->transit_offset);
-  util::BinaryWriter w;
+  util::BinaryWriter w(f->bytes);  // appends the new tail in place
   append_transit_section(w, properties_);
-  f->bytes += w.data();
   CMX_OBS_COUNT("mq.msg.frame_cache_patches", 1);
 }
 
 std::shared_ptr<Message::EncodedFrame> Message::build_frame() const {
-  auto f = std::make_shared<EncodedFrame>();
-  util::BinaryWriter w;
+  auto f = acquire_frame();
+  util::BinaryWriter w(f->bytes);  // recycled capacity, zero realloc
+  w.reserve(64 + id_.size() + correlation_id_.size() +
+            reply_to_.qmgr.size() + reply_to_.queue.size() + body_.size() +
+            properties_.size() * 48);
   w.put_u32(kMessageCodecVersion);
   w.put_string(id_);
   w.put_string(correlation_id_);
@@ -174,21 +217,11 @@ std::shared_ptr<Message::EncodedFrame> Message::build_frame() const {
   w.put_string(body_.view());
   f->transit_offset = w.size();
   append_transit_section(w, properties_);
-  f->bytes = w.take();
   CMX_OBS_COUNT("mq.msg.serializations", 1);
   return f;
 }
 
-std::shared_ptr<const std::string> Message::encoded_frame() const {
-  if (frame_ != nullptr) {
-    CMX_OBS_COUNT("mq.msg.frame_cache_hits", 1);
-    return std::shared_ptr<const std::string>(frame_, &frame_->bytes);
-  }
-  auto f = build_frame();
-  if (!zero_copy_enabled()) {
-    // Baseline arm: no memoization, every encode re-serializes.
-    return std::shared_ptr<const std::string>(f, &f->bytes);
-  }
+void Message::memoize_frame(std::shared_ptr<EncodedFrame> f) const {
   if (frame_ever_built_) {
     CMX_OBS_COUNT("mq.msg.frame_cache_misses", 1);
   } else {
@@ -196,13 +229,61 @@ std::shared_ptr<const std::string> Message::encoded_frame() const {
   }
   frame_ = std::move(f);
   frame_ever_built_ = true;
+}
+
+std::shared_ptr<const std::string> Message::encoded_frame() const {
+  if (frame_ != nullptr) {
+    CMX_OBS_COUNT("mq.msg.frame_cache_hits", 1);
+    if (frame_->borrowed()) {
+      // The aliasing return needs a std::string holding exactly the
+      // frame; swap in a private owned copy (copies of this message
+      // keep the borrowed frame — only our handle changes).
+      auto f = acquire_frame();
+      const std::string_view src = frame_->view();
+      f->bytes.assign(src.data(), src.size());
+      f->delivery_count_offset = frame_->delivery_count_offset;
+      f->transit_offset = frame_->transit_offset;
+      frame_ = std::move(f);
+    }
+    return std::shared_ptr<const std::string>(frame_, &frame_->bytes);
+  }
+  auto f = build_frame();
+  if (!zero_copy_enabled()) {
+    // Baseline arm: no memoization, every encode re-serializes.
+    return std::shared_ptr<const std::string>(f, &f->bytes);
+  }
+  memoize_frame(std::move(f));
   return std::shared_ptr<const std::string>(frame_, &frame_->bytes);
 }
 
-std::string Message::encode() const { return *encoded_frame(); }
+void Message::append_frame_to(util::BinaryWriter& w) const {
+  if (frame_ != nullptr) {
+    CMX_OBS_COUNT("mq.msg.frame_cache_hits", 1);
+    w.put_string(frame_->view());
+    return;
+  }
+  auto f = build_frame();
+  if (!zero_copy_enabled()) {
+    w.put_string(f->view());
+    return;
+  }
+  memoize_frame(std::move(f));
+  w.put_string(frame_->view());
+}
 
-util::Result<Message> Message::decode(std::string_view data,
-                                      bool retain_frame) {
+std::string Message::encode() const {
+  if (frame_ != nullptr) {
+    CMX_OBS_COUNT("mq.msg.frame_cache_hits", 1);
+    return std::string(frame_->view());
+  }
+  auto f = build_frame();
+  if (!zero_copy_enabled()) return std::string(f->view());
+  memoize_frame(std::move(f));
+  return std::string(frame_->view());
+}
+
+util::Result<Message> Message::decode_impl(std::string_view data,
+                                           DecodeOffsets& offsets) {
   using util::ErrorCode;
   util::BinaryReader r(data);
   auto version = r.get_u32();
@@ -211,8 +292,6 @@ util::Result<Message> Message::decode(std::string_view data,
     return util::make_error(ErrorCode::kIoError, "unknown message version");
   }
   Message m;
-  std::size_t delivery_count_offset = 0;
-  std::size_t transit_offset = 0;
   auto read_str = [&](std::string& out) -> util::Status {
     auto s = r.get_string();
     if (!s) return s.status();
@@ -235,7 +314,7 @@ util::Result<Message> Message::decode(std::string_view data,
   auto put_time = r.get_i64();
   if (!put_time) return put_time.status();
   m.put_time_ms_ = put_time.value();
-  delivery_count_offset = r.position();
+  offsets.delivery_count = r.position();
   auto delivery = r.get_u32();
   if (!delivery) return delivery.status();
   m.delivery_count_ = static_cast<int>(delivery.value());
@@ -281,22 +360,67 @@ util::Result<Message> Message::decode(std::string_view data,
   auto regular_count = r.get_u32();
   if (!regular_count) return regular_count.status();
   if (auto s = read_props(regular_count.value()); !s) return s;
-  auto body = r.get_string();
+  auto body = r.get_view();
   if (!body) return body.status();
-  m.body_ = Payload(std::move(body).value());
-  transit_offset = r.position();
+  // copy_of inlines small bodies in place — no temporary std::string.
+  m.body_ = Payload::copy_of(body.value());
+  offsets.transit = r.position();
   auto transit_count = r.get_u32();
   if (!transit_count) return transit_count.status();
   if (auto s = read_props(transit_count.value()); !s) return s;
-  if (retain_frame && zero_copy_enabled() && r.at_end()) {
+  offsets.clean = r.at_end();
+  return m;
+}
+
+util::Result<Message> Message::decode(std::string_view data,
+                                      bool retain_frame) {
+  DecodeOffsets off;
+  auto res = decode_impl(data, off);
+  if (!res) return res;
+  Message m = std::move(res).value();
+  if (retain_frame && zero_copy_enabled() && off.clean) {
     // Adopt the wire bytes as the memoized frame: a message crossing a
     // transport hop is decoded AND frame-primed in one pass, so the
     // receiving store append (and any onward hop) is served from the
     // cache instead of re-serializing — encode happens once end-to-end.
-    auto f = std::make_shared<EncodedFrame>();
+    auto f = acquire_frame();
     f->bytes.assign(data.data(), data.size());
-    f->delivery_count_offset = delivery_count_offset;
-    f->transit_offset = transit_offset;
+    f->delivery_count_offset = off.delivery_count;
+    f->transit_offset = off.transit;
+    m.frame_ = std::move(f);
+    m.frame_ever_built_ = true;
+    CMX_OBS_COUNT("mq.msg.frame_adopted", 1);
+  }
+  return m;
+}
+
+util::Result<Message> Message::decode_shared(
+    std::shared_ptr<const std::string> backing, std::size_t offset,
+    std::size_t len) {
+  if (backing == nullptr || offset > backing->size() ||
+      len > backing->size() - offset) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "frame span outside backing buffer");
+  }
+  const std::string_view data(backing->data() + offset, len);
+  if (len < kFrameAdoptMinBytes) {
+    // Small frame inside a (possibly huge) batch slab: copy it out so the
+    // message does not pin the slab alive (the frame-pinning fix).
+    return decode(data, /*retain_frame=*/true);
+  }
+  DecodeOffsets off;
+  auto res = decode_impl(data, off);
+  if (!res) return res;
+  Message m = std::move(res).value();
+  if (zero_copy_enabled() && off.clean) {
+    // Borrow the slab: one backing allocation serves every large frame
+    // in the batch, refcounted until the last adopter releases it.
+    auto f = acquire_frame();
+    f->backing = std::move(backing);
+    f->backing_offset = offset;
+    f->backing_size = len;
+    f->delivery_count_offset = off.delivery_count;
+    f->transit_offset = off.transit;
     m.frame_ = std::move(f);
     m.frame_ever_built_ = true;
     CMX_OBS_COUNT("mq.msg.frame_adopted", 1);

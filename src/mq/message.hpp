@@ -33,6 +33,10 @@
 #include "util/clock.hpp"
 #include "util/status.hpp"
 
+namespace cmx::util {
+class BinaryWriter;
+}
+
 namespace cmx::mq {
 
 // "queue manager / queue" pair addressing a queue anywhere in the network.
@@ -136,7 +140,7 @@ class Message {
   void note_delivery() { set_delivery_count(delivery_count_ + 1); }
 
   // -- application content ---------------------------------------------
-  const std::string& body() const { return body_.str(); }
+  std::string_view body() const { return body_.view(); }
   std::size_t body_size() const { return body_.size(); }
   const Payload& payload() const { return body_; }
   void set_body(std::string bytes) {
@@ -164,10 +168,27 @@ class Message {
 
   // Binary round-trip used by the message store and channel transport.
   // encode() returns a copy of the frame; encoded_frame() returns the
-  // memoized buffer itself (shared with this message and its copies) and
-  // is what the store's LogRecord path uses.
+  // memoized buffer itself (shared with this message and its copies).
   std::string encode() const;
   std::shared_ptr<const std::string> encoded_frame() const;
+  // Zero-cost view of the memoized frame bytes; empty when no frame is
+  // cached. Valid while this message lives unmutated — the scatter-gather
+  // transport and the store's append path read frames through this
+  // instead of the allocating encoded_frame() handle.
+  std::string_view frame_view() const {
+    return frame_ != nullptr ? frame_->view() : std::string_view{};
+  }
+  // Appends the frame bytes (length-prefixed) to `w`, serving from the
+  // memo when present — the store's LogRecord path, which must not
+  // materialize a borrowed frame just to copy it into the log buffer.
+  void append_frame_to(util::BinaryWriter& w) const;
+  // Sizing hint for pre-reserving encode buffers: exact when a frame is
+  // memoized (the hot put path primes it first), a body-based estimate
+  // otherwise. Never serializes.
+  std::size_t frame_size_hint() const {
+    if (frame_ != nullptr) return frame_->view().size();
+    return body_.size() + id_.size() + 96;
+  }
   // `retain_frame` memoizes `data` itself as the decoded message's encode
   // frame (when zero-copy is enabled), so a message arriving off the wire
   // is never re-serialized for the receiving store — decode is the
@@ -176,8 +197,26 @@ class Message {
   static util::Result<Message> decode(std::string_view data,
                                       bool retain_frame = false);
 
+  // Frames at or above this size, decoded from a shared wire buffer,
+  // borrow the buffer instead of copying; smaller frames are copied out
+  // so a tiny message cannot pin a large MSGBATCH slab alive.
+  static constexpr std::size_t kFrameAdoptMinBytes = 1024;
+
+  // decode(retain_frame=true) over a message frame at
+  // [offset, offset + len) of `backing`: large frames alias the backing
+  // buffer (one slab serves the whole batch), small ones copy out per
+  // kFrameAdoptMinBytes. The receiving transport's MSGBATCH path.
+  static util::Result<Message> decode_shared(
+      std::shared_ptr<const std::string> backing, std::size_t offset,
+      std::size_t len);
+
   // True when an encoded frame is currently memoized (test/obs hook).
   bool frame_cached() const { return frame_ != nullptr; }
+  // True when the cached frame borrows an external backing buffer
+  // (test hook for the slab-adoption path).
+  bool frame_borrowed() const {
+    return frame_ != nullptr && frame_->borrowed();
+  }
 
   // Transit properties ride in a trailing frame section so the channel can
   // strip them at the remote hop without re-serializing the message.
@@ -186,17 +225,47 @@ class Message {
   }
 
  private:
+  // Two representations: owned (`bytes`) or borrowed (a span of `backing`,
+  // the receive-side slab-adoption arm). Frames are pooled — see
+  // acquire_frame() — so `bytes` keeps its capacity across reuse.
   struct EncodedFrame {
     std::string bytes;
+    std::shared_ptr<const std::string> backing;
+    std::size_t backing_offset = 0;
+    std::size_t backing_size = 0;
     std::size_t delivery_count_offset = 0;  // u32, little-endian
     std::size_t transit_offset = 0;         // start of trailing section
+
+    bool borrowed() const { return backing != nullptr; }
+    std::string_view view() const {
+      return borrowed() ? std::string_view(backing->data() + backing_offset,
+                                           backing_size)
+                        : std::string_view(bytes);
+    }
   };
 
+  // Frames and their shared_ptr control blocks come from util arenas
+  // (recycled state: cleared bytes with capacity intact, no backing).
+  // Plain make_shared when the arena is disabled.
+  static std::shared_ptr<EncodedFrame> acquire_frame();
+
   void invalidate_frame() { frame_.reset(); }
-  // Clones the frame if copies share it, then returns a mutable view.
+  // Clones the frame if copies share it (or it borrows a backing buffer),
+  // then returns a mutable view.
   EncodedFrame* writable_frame();
   void rebuild_transit_tail();
   std::shared_ptr<EncodedFrame> build_frame() const;
+  // Installs a freshly built frame as the memo (zero-copy arm only),
+  // counting a compulsory fill vs a rebuild after invalidation.
+  void memoize_frame(std::shared_ptr<EncodedFrame> f) const;
+
+  struct DecodeOffsets {
+    std::size_t delivery_count = 0;
+    std::size_t transit = 0;
+    bool clean = false;  // parse consumed the input exactly
+  };
+  static util::Result<Message> decode_impl(std::string_view data,
+                                           DecodeOffsets& offsets);
 
   std::string id_;              // assigned by the queue manager on put
   std::string correlation_id_;  // application correlation

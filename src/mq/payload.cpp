@@ -16,11 +16,6 @@ void set_zero_copy_enabled(bool on) {
   g_zero_copy.store(on, std::memory_order_relaxed);
 }
 
-const std::string& Payload::empty_string() {
-  static const std::string kEmpty;
-  return kEmpty;
-}
-
 std::shared_ptr<const std::string> Payload::copy_data() const {
   if (data_ == nullptr) return nullptr;
   if (zero_copy_enabled()) return data_;
@@ -29,7 +24,7 @@ std::shared_ptr<const std::string> Payload::copy_data() const {
 }
 
 std::ostream& operator<<(std::ostream& os, const Payload& p) {
-  return os << p.str();
+  return os << p.view();
 }
 
 }  // namespace cmx::mq

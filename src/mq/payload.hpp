@@ -1,23 +1,39 @@
-// Shared immutable message payload. A Payload is a refcounted handle to an
-// immutable byte buffer: copying a Payload (and therefore copying a Message)
-// bumps a reference count instead of duplicating the bytes, so a fan-out to
-// N destinations, a channel duplication fault, and a store append all share
-// ONE allocation. Mutation goes through detach()/set semantics (copy-on-
-// write): the rare writer pays for a private copy, every reader stays
-// zero-copy.
+// Message payload with a two-arm memory model (DESIGN.md §9):
 //
-// A/B switch: set_zero_copy_enabled(false) restores the seed's deep-copy
-// behaviour (every Payload copy duplicates the bytes, and Message stops
-// memoizing encoded frames). It exists solely so bench_msg_path can measure
-// the zero-copy core against the pre-change baseline inside one binary; do
-// not disable it in production paths.
+//  * Inline arm — bodies up to kInlineMax (64) bytes live inside the
+//    Payload object itself, SSO-style: no heap allocation, no shared_ptr
+//    control block. Copying is a memcpy. This is the shape of the
+//    control-plane traffic (acks, rlog entries, outcome notifications)
+//    that dominates at high fan-out.
+//  * Shared arm — larger bodies are a refcounted handle to an immutable
+//    byte buffer: copying a Payload (and therefore a Message) bumps a
+//    reference count instead of duplicating the bytes, so a fan-out to N
+//    destinations, a channel duplication fault, and a store append all
+//    share ONE allocation. Mutation goes through set semantics (copy-on-
+//    write): the rare writer pays for a private copy, every reader stays
+//    zero-copy.
+//
+// Both arms present the same value semantics at the API boundary: view()
+// is the body, copies never observe later mutation, share() hands out a
+// shared buffer (materializing one for the inline arm on demand).
+//
+// A/B switches: set_zero_copy_enabled(false) restores the seed's
+// deep-copy behaviour for the shared arm (and stops Message frame
+// memoization); util::set_arena_enabled(false) disables the inline arm
+// (every non-empty body heap-allocates, reproducing the PR 4 shape).
+// They exist solely so bench_msg_path can measure the arms inside one
+// binary; do not disable them in production paths.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 #include <memory>
 #include <ostream>
 #include <string>
 #include <string_view>
+
+#include "util/arena.hpp"
 
 namespace cmx::mq {
 
@@ -28,37 +44,67 @@ void set_zero_copy_enabled(bool on);
 
 class Payload {
  public:
-  Payload() = default;
-  explicit Payload(std::string bytes)
-      : data_(bytes.empty()
-                  ? nullptr
-                  : std::make_shared<const std::string>(std::move(bytes))) {}
-  explicit Payload(std::shared_ptr<const std::string> shared)
-      : data_(std::move(shared)) {}
+  // Bodies at or below this size are stored inline (when the arena fast
+  // path is enabled).
+  static constexpr std::size_t kInlineMax = 64;
 
-  Payload(const Payload& other) : data_(other.copy_data()) {}
+  Payload() = default;
+  explicit Payload(std::string bytes) {
+    if (bytes.size() <= kInlineMax && util::arena_enabled()) {
+      set_inline(bytes);
+    } else if (!bytes.empty()) {
+      data_ = std::make_shared<const std::string>(std::move(bytes));
+    }
+  }
+  explicit Payload(std::shared_ptr<const std::string> shared)
+      : data_(std::move(shared)) {
+    if (data_ != nullptr && data_->empty()) data_.reset();
+  }
+
+  // Copying constructor from borrowed bytes (the decode path): inline when
+  // small, one shared allocation otherwise. Named to avoid overload
+  // ambiguity with the std::string constructor.
+  static Payload copy_of(std::string_view bytes) {
+    Payload p;
+    if (bytes.size() <= kInlineMax && util::arena_enabled()) {
+      p.set_inline(bytes);
+    } else if (!bytes.empty()) {
+      p.data_ = std::make_shared<const std::string>(bytes);
+    }
+    return p;
+  }
+
+  Payload(const Payload& other) { assign_from(other); }
   Payload& operator=(const Payload& other) {
-    if (this != &other) data_ = other.copy_data();
+    if (this != &other) assign_from(other);
     return *this;
   }
   Payload(Payload&&) noexcept = default;
   Payload& operator=(Payload&&) noexcept = default;
 
-  const std::string& str() const { return data_ ? *data_ : empty_string(); }
-  std::string_view view() const { return str(); }
-  operator const std::string&() const { return str(); }
+  std::string_view view() const {
+    return data_ != nullptr ? std::string_view(*data_)
+                            : std::string_view(inline_bytes_, inline_size_);
+  }
 
-  std::size_t size() const { return data_ ? data_->size() : 0; }
+  std::size_t size() const {
+    return data_ != nullptr ? data_->size() : inline_size_;
+  }
   bool empty() const { return size() == 0; }
 
   // The underlying buffer, for callers that want to extend the sharing
-  // (e.g. building several messages over one body).
-  std::shared_ptr<const std::string> share() const { return data_; }
+  // (e.g. building several messages over one body). The inline arm has no
+  // buffer to share and materializes one per call.
+  std::shared_ptr<const std::string> share() const {
+    if (data_ != nullptr || inline_size_ == 0) return data_;
+    return std::make_shared<const std::string>(view());
+  }
 
   // Introspection hooks for tests and allocation accounting.
   bool shares_with(const Payload& other) const {
     return data_ != nullptr && data_ == other.data_;
   }
+  bool inline_stored() const { return data_ == nullptr && inline_size_ > 0; }
   long use_count() const { return data_ ? data_.use_count() : 0; }
 
   friend bool operator==(const Payload& a, const Payload& b) {
@@ -69,11 +115,29 @@ class Payload {
   }
 
  private:
-  static const std::string& empty_string();
+  void set_inline(std::string_view bytes) {
+    inline_size_ = static_cast<std::uint8_t>(bytes.size());
+    if (!bytes.empty()) std::memcpy(inline_bytes_, bytes.data(), bytes.size());
+  }
+
+  void assign_from(const Payload& other) {
+    if (other.data_ == nullptr) {
+      data_.reset();
+      inline_size_ = other.inline_size_;
+      std::memcpy(inline_bytes_, other.inline_bytes_, other.inline_size_);
+      return;
+    }
+    inline_size_ = 0;
+    data_ = other.copy_data();
+  }
 
   std::shared_ptr<const std::string> copy_data() const;
 
+  // data_ == nullptr selects the inline arm (inline_size_ may be 0: the
+  // empty payload). The arm is fixed at construction; copies preserve it.
   std::shared_ptr<const std::string> data_;
+  std::uint8_t inline_size_ = 0;
+  char inline_bytes_[kInlineMax];
 };
 
 std::ostream& operator<<(std::ostream& os, const Payload& p);

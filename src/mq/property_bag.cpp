@@ -26,14 +26,14 @@ void PropKey::assign(std::string_view s) {
   len_ = kHeapTag;
 }
 
-std::vector<PropertyBag::Entry>::iterator PropertyBag::lower_bound(
+PropertyBag::EntryVec::iterator PropertyBag::lower_bound(
     std::string_view key) {
   return std::lower_bound(
       entries_.begin(), entries_.end(), key,
       [](const Entry& e, std::string_view k) { return e.key.view() < k; });
 }
 
-std::vector<PropertyBag::Entry>::const_iterator PropertyBag::lower_bound(
+PropertyBag::EntryVec::const_iterator PropertyBag::lower_bound(
     std::string_view key) const {
   return std::lower_bound(
       entries_.begin(), entries_.end(), key,

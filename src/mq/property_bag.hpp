@@ -16,6 +16,8 @@
 #include <variant>
 #include <vector>
 
+#include "util/arena.hpp"
+
 namespace cmx::mq {
 
 // Typed property values, as in JMS message properties.
@@ -74,7 +76,12 @@ class PropertyBag {
     PropKey key;
     PropertyValue value;
   };
-  using const_iterator = std::vector<Entry>::const_iterator;
+  // Messages carry 1–2 properties on the hot path (the transit address,
+  // sometimes a kind tag), so the single-entry capacity that vector
+  // allocates first is freelist-recycled via the pool allocator; larger
+  // bags fall through to the heap like any bulk allocation.
+  using EntryVec = std::vector<Entry, util::PoolAllocator<Entry>>;
+  using const_iterator = EntryVec::const_iterator;
 
   const PropertyValue* find(std::string_view key) const;
   bool contains(std::string_view key) const { return find(key) != nullptr; }
@@ -91,10 +98,10 @@ class PropertyBag {
   const_iterator end() const { return entries_.end(); }
 
  private:
-  std::vector<Entry>::iterator lower_bound(std::string_view key);
-  std::vector<Entry>::const_iterator lower_bound(std::string_view key) const;
+  EntryVec::iterator lower_bound(std::string_view key);
+  EntryVec::const_iterator lower_bound(std::string_view key) const;
 
-  std::vector<Entry> entries_;  // sorted by key
+  EntryVec entries_;  // sorted by key
 };
 
 }  // namespace cmx::mq

@@ -98,6 +98,10 @@ std::vector<Queue::GotMessage> Queue::try_get_batch(std::size_t max_n,
   std::lock_guard<std::mutex> lk(mu_);
   if (closed_ || max_n == 0) return out;
   drop_expired_locked(clock_.now_ms());
+  // One allocation for the drain: Message is a wide object (inline payload
+  // arm included), so letting the vector double would memmove the whole
+  // batch several times over.
+  out.reserve(std::min(max_n, entries_.size()));
   for (auto it = entries_.begin();
        it != entries_.end() && out.size() < max_n;) {
     if (selector != nullptr && !selector->matches(it->second)) {

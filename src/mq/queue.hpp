@@ -16,6 +16,7 @@
 
 #include "mq/message.hpp"
 #include "mq/selector.hpp"
+#include "util/arena.hpp"
 #include "util/clock.hpp"
 #include "util/status.hpp"
 
@@ -148,7 +149,12 @@ class Queue {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::function<void()> put_listener_;
-  std::map<OrderKey, Message> entries_;
+  // Entry nodes come from the util arena: a put_all/get_batch round over a
+  // busy queue recycles its map nodes instead of hitting the heap per
+  // message (the freelist is shared across queues, with thread caches).
+  using EntryAllocator =
+      util::PoolAllocator<std::pair<const OrderKey, Message>>;
+  std::map<OrderKey, Message, std::less<OrderKey>, EntryAllocator> entries_;
   std::uint64_t next_seq_ = 1;
   bool closed_ = false;
   QueueStats stats_;

@@ -197,7 +197,9 @@ util::Status QueueManager::put_local_impl(const std::string& queue_name,
     // memoization is off (deep-copy A/B arm) — it would just double the
     // serialization work.
     if (zero_copy_enabled()) msg.encoded_frame();
-    if (auto s = store_->append(LogRecord::put(queue_name, msg)); !s) {
+    // Borrowed record: `msg` outlives the append (it moves into the queue
+    // below), so the store encodes straight from it — no Message copy.
+    if (auto s = store_->append(LogRecord::put_ref(queue_name, msg)); !s) {
       return s;
     }
   }
@@ -230,7 +232,10 @@ util::Status QueueManager::put_local_batch_impl(
     queues.push_back(std::move(queue));
     if (log && msg.persistent()) {
       if (zero_copy_enabled()) msg.encoded_frame();  // prime, see above
-      records.push_back(LogRecord::put(queue_name, msg));
+      // Borrowed records: the messages stay in `puts` until after the
+      // append below, so the store encodes them in place — one Message
+      // copy (and its id-string allocation) saved per record.
+      records.push_back(LogRecord::put_ref(queue_name, msg));
     }
   }
   // One append for the whole batch: the store brackets it with tx markers,
@@ -269,7 +274,8 @@ util::Result<Message> QueueManager::get(const std::string& queue_name,
   if (!got) return got.status();
   Message msg = std::move(got).value().msg;
   if (msg.persistent()) {
-    store_->append(LogRecord::get(queue_name, msg.id())).expect_ok("log get");
+    store_->append(LogRecord::get_ref(queue_name, msg.id()))
+        .expect_ok("log get");
     maybe_compact();
   }
   CMX_OBS_COUNT("mq.get", 1);
@@ -287,10 +293,12 @@ std::vector<Message> QueueManager::get_batch(const std::string& queue_name,
   out.reserve(batch.size());
   std::vector<LogRecord> records;
   for (auto& got : batch) {
-    if (got.msg.persistent()) {
-      records.push_back(LogRecord::get(queue_name, got.msg.id()));
-    }
+    // Move first, then borrow: the get-record's msg_id view points into
+    // `out`, whose reserve above keeps elements stable through the append.
     out.push_back(std::move(got.msg));
+    if (out.back().persistent()) {
+      records.push_back(LogRecord::get_ref(queue_name, out.back().id()));
+    }
   }
   if (records.size() == 1) {
     store_->append(records.front()).expect_ok("log batch get");

@@ -10,6 +10,7 @@
 #include <mutex>
 
 #include "obs/registry.hpp"
+#include "util/arena.hpp"
 #include "util/codec.hpp"
 #include "util/id.hpp"
 
@@ -45,6 +46,22 @@ LogRecord LogRecord::get(std::string queue_name, std::string message_id) {
   r.msg_id = std::move(message_id);
   return r;
 }
+LogRecord LogRecord::put_ref(const std::string& queue_name,
+                             const Message& msg) {
+  LogRecord r;
+  r.type = Type::kPut;
+  r.queue_ref = queue_name;
+  r.message_ref = &msg;
+  return r;
+}
+LogRecord LogRecord::get_ref(const std::string& queue_name,
+                             std::string_view message_id) {
+  LogRecord r;
+  r.type = Type::kGet;
+  r.queue_ref = queue_name;
+  r.msg_id_ref = message_id;
+  return r;
+}
 LogRecord LogRecord::tx_begin(std::string id) {
   LogRecord r;
   r.type = Type::kTxBegin;
@@ -60,16 +77,25 @@ LogRecord LogRecord::tx_commit(std::string id) {
 
 std::string LogRecord::encode() const {
   util::BinaryWriter w;
+  encode_into(w);
+  return w.take();
+}
+
+void LogRecord::encode_into(util::BinaryWriter& w) const {
+  const std::string_view q = queue_name();
+  const std::string_view id = message_id();
+  w.reserve(17 + q.size() + id.size() + tx_id.size());
   w.put_u8(static_cast<std::uint8_t>(type));
-  w.put_string(queue);
-  w.put_string(msg_id);
+  w.put_string(q);
+  w.put_string(id);
   w.put_string(tx_id);
   if (type == Type::kPut) {
-    w.put_string(*message.encoded_frame());
+    // Serves the frame from the memo (borrowed frames included) without
+    // materializing an intermediate string per record.
+    msg().append_frame_to(w);
   } else {
     w.put_string("");
   }
-  return w.take();
 }
 
 util::Result<LogRecord> LogRecord::decode(std::string_view data) {
@@ -258,21 +284,116 @@ std::vector<LogRecord> filter_committed(std::vector<LogRecord> raw) {
 // MemoryStore
 // ---------------------------------------------------------------------
 
+namespace {
+
+// Appends one u32-length-prefixed record to `blob`. The length is written
+// after the record (whose size is unknown up front) by patching the
+// placeholder — BinaryWriter's integer encoding is a native-order memcpy.
+void append_prefixed_record(std::string& blob, const LogRecord& rec) {
+  const std::size_t len_pos = blob.size();
+  blob.append(4, '\0');
+  util::BinaryWriter w(blob);
+  rec.encode_into(w);
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(blob.size() - len_pos - 4);
+  std::memcpy(&blob[len_pos], &len, sizeof(len));
+}
+
+// Walks the record boundaries of a chunk blob: calls `fn(record_bytes)`
+// for each record. The framing is trusted (we wrote it); bounds checks
+// guard against a mis-sized truncate only.
+template <typename Fn>
+void for_each_record(const std::string& blob, Fn&& fn) {
+  std::size_t pos = 0;
+  while (pos + 4 <= blob.size()) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, blob.data() + pos, sizeof(len));
+    pos += 4;
+    if (pos + len > blob.size()) break;
+    fn(std::string_view(blob.data() + pos, len));
+    pos += len;
+  }
+}
+
+}  // namespace
+
 util::Status MemoryStore::append(const LogRecord& record) {
+  if (util::arena_enabled()) {
+    // Slab path: encode outside the mutex so concurrent appenders (the
+    // per-get consumption log, the channel mover's batches) serialize
+    // only on the vector push, not on each other's serialization work.
+    Chunk chunk;
+    chunk.blob.reserve(4 + record.encoded_size_hint());
+    append_prefixed_record(chunk.blob, record);
+    chunk.count = 1;
+    std::lock_guard<std::mutex> lk(mu_);
+    chunks_.push_back(std::move(chunk));
+    ++total_records_;
+    ++appended_;
+    return util::ok_status();
+  }
   std::lock_guard<std::mutex> lk(mu_);
-  records_.push_back(record.encode());
+  Chunk chunk;
+  append_prefixed_record(chunk.blob, record);
+  chunk.count = 1;
+  chunks_.push_back(std::move(chunk));
+  ++total_records_;
   ++appended_;
   return util::ok_status();
 }
 
 util::Status MemoryStore::append_batch(const std::vector<LogRecord>& records) {
-  std::lock_guard<std::mutex> lk(mu_);
-  const std::string tx_id = util::generate_id("batch");
-  records_.push_back(LogRecord::tx_begin(tx_id).encode());
-  for (const auto& rec : records) {
-    records_.push_back(rec.encode());
+  const std::string tx_id = util::generate_id("tx");
+  if (util::arena_enabled()) {
+    // Slabs for the whole bracketed batch, encoded outside the mutex: a
+    // handful of allocations and one short critical section instead of
+    // n+2 encodes under the lock. Reserves are sized from the records
+    // (exact when frames are memoized) so large-body batches don't
+    // realloc-copy the blob per record — and each slab is capped near the
+    // allocator's mmap threshold, because one giant blob per huge batch
+    // would be a fresh mmap/munmap (page faults on every touch) instead
+    // of a recycled heap block.
+    constexpr std::size_t kSlabTarget = 96 * 1024;
+    const LogRecord begin = LogRecord::tx_begin(tx_id);
+    const LogRecord commit = LogRecord::tx_commit(tx_id);
+    std::size_t remaining = 2 * (4 + begin.encoded_size_hint());
+    for (const auto& rec : records) remaining += 4 + rec.encoded_size_hint();
+    std::vector<Chunk> staged;
+    Chunk cur;
+    auto add = [&](const LogRecord& rec) {
+      const std::size_t need = 4 + rec.encoded_size_hint();
+      if (cur.count > 0 && cur.blob.size() + need > kSlabTarget) {
+        staged.push_back(std::move(cur));
+        cur = Chunk{};
+      }
+      if (cur.count == 0) {
+        cur.blob.reserve(std::max(need, std::min(remaining, kSlabTarget)));
+      }
+      append_prefixed_record(cur.blob, rec);
+      ++cur.count;
+      remaining -= std::min(remaining, need);
+    };
+    add(begin);
+    for (const auto& rec : records) add(rec);
+    add(commit);
+    staged.push_back(std::move(cur));
+    std::lock_guard<std::mutex> lk(mu_);
+    total_records_ += records.size() + 2;
+    appended_ += records.size() + 2;
+    for (auto& c : staged) chunks_.push_back(std::move(c));
+    return util::ok_status();
   }
-  records_.push_back(LogRecord::tx_commit(tx_id).encode());
+  std::lock_guard<std::mutex> lk(mu_);
+  auto push_one = [this](const LogRecord& rec) {
+    Chunk chunk;
+    append_prefixed_record(chunk.blob, rec);
+    chunk.count = 1;
+    chunks_.push_back(std::move(chunk));
+    ++total_records_;
+  };
+  push_one(LogRecord::tx_begin(tx_id));
+  for (const auto& rec : records) push_one(rec);
+  push_one(LogRecord::tx_commit(tx_id));
   appended_ += records.size() + 2;
   return util::ok_status();
 }
@@ -280,20 +401,47 @@ util::Status MemoryStore::append_batch(const std::vector<LogRecord>& records) {
 util::Result<std::vector<LogRecord>> MemoryStore::replay() {
   std::lock_guard<std::mutex> lk(mu_);
   std::vector<LogRecord> raw;
-  raw.reserve(records_.size());
-  for (const auto& bytes : records_) {
-    auto rec = LogRecord::decode(bytes);
-    if (!rec) break;  // torn tail
-    raw.push_back(std::move(rec).value());
+  raw.reserve(total_records_);
+  bool torn = false;
+  for (const auto& chunk : chunks_) {
+    if (torn) break;
+    for_each_record(chunk.blob, [&](std::string_view bytes) {
+      if (torn) return;
+      auto rec = LogRecord::decode(bytes);
+      if (!rec) {
+        torn = true;  // torn tail
+        return;
+      }
+      raw.push_back(std::move(rec).value());
+    });
   }
   return filter_committed(std::move(raw));
 }
 
 util::Status MemoryStore::rewrite(const std::vector<LogRecord>& snapshot) {
+  if (util::arena_enabled()) {
+    std::size_t bytes = 0;
+    for (const auto& rec : snapshot) bytes += 4 + rec.encoded_size_hint();
+    Chunk chunk;
+    chunk.blob.reserve(bytes);
+    for (const auto& rec : snapshot) append_prefixed_record(chunk.blob, rec);
+    chunk.count = snapshot.size();
+    std::lock_guard<std::mutex> lk(mu_);
+    chunks_.clear();
+    total_records_ = chunk.count;
+    if (chunk.count > 0) chunks_.push_back(std::move(chunk));
+    appended_ = 0;
+    return util::ok_status();
+  }
   std::lock_guard<std::mutex> lk(mu_);
-  records_.clear();
+  chunks_.clear();
+  total_records_ = 0;
   for (const auto& rec : snapshot) {
-    records_.push_back(rec.encode());
+    Chunk chunk;
+    append_prefixed_record(chunk.blob, rec);
+    chunk.count = 1;
+    chunks_.push_back(std::move(chunk));
+    ++total_records_;
   }
   appended_ = 0;
   return util::ok_status();
@@ -306,13 +454,35 @@ std::size_t MemoryStore::appended_since_compaction() const {
 
 void MemoryStore::truncate_tail(std::size_t n) {
   std::lock_guard<std::mutex> lk(mu_);
-  const std::size_t keep = records_.size() > n ? records_.size() - n : 0;
-  records_.resize(keep);
+  while (n > 0 && !chunks_.empty()) {
+    Chunk& last = chunks_.back();
+    if (last.count <= n) {
+      n -= last.count;
+      total_records_ -= last.count;
+      chunks_.pop_back();
+      continue;
+    }
+    // Partial cut inside a slab: keep the first count-n records.
+    const std::size_t keep = last.count - n;
+    std::size_t pos = 0;
+    std::size_t seen = 0;
+    for_each_record(last.blob, [&](std::string_view bytes) {
+      if (seen < keep) {
+        pos = static_cast<std::size_t>(bytes.data() + bytes.size() -
+                                       last.blob.data());
+        ++seen;
+      }
+    });
+    last.blob.resize(pos);
+    last.count = keep;
+    total_records_ -= n;
+    n = 0;
+  }
 }
 
 std::size_t MemoryStore::record_count() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return records_.size();
+  return total_records_;
 }
 
 // ---------------------------------------------------------------------
@@ -344,6 +514,18 @@ void append_inner(std::string& blob, const std::string& rec) {
   header.put_u32(static_cast<std::uint32_t>(rec.size()));
   blob += header.take();
   blob += rec;
+}
+
+// Encodes `rec` straight into `blob` (length prefix back-patched), so the
+// group-commit staging path touches no per-record temporary string.
+void append_inner_record(std::string& blob, const LogRecord& rec) {
+  util::BinaryWriter w(blob);
+  const std::size_t len_at = blob.size();
+  w.put_u32(0);  // placeholder; patched below
+  const std::size_t body_at = blob.size();
+  rec.encode_into(w);
+  const auto len = static_cast<std::uint32_t>(blob.size() - body_at);
+  std::memcpy(blob.data() + len_at, &len, sizeof(len));
 }
 
 // Seals a blob of inner frames into one v2 outer frame:
@@ -546,10 +728,8 @@ util::Status FileStore::append(const LogRecord& record) {
   if (options_.group_commit) {
     // Encoding and checksumming happen here, on the appender's thread —
     // the commit thread only writes.
-    const std::string rec_bytes = record.encode();
     std::string blob;
-    blob.reserve(4 + rec_bytes.size());
-    append_inner(blob, rec_bytes);
+    append_inner_record(blob, record);
     s = append_frame(seal_frame(blob), 1);
   } else {
     const LogRecord* r = &record;
@@ -564,7 +744,7 @@ util::Status FileStore::append(const LogRecord& record) {
 }
 
 util::Status FileStore::append_batch(const std::vector<LogRecord>& records) {
-  const LogRecord begin = LogRecord::tx_begin(util::generate_id("batch"));
+  const LogRecord begin = LogRecord::tx_begin(util::generate_id("tx"));
   const LogRecord commit = LogRecord::tx_commit(begin.tx_id);
   if (!options_.group_commit) {
     std::vector<const LogRecord*> ptrs;
@@ -576,13 +756,17 @@ util::Status FileStore::append_batch(const std::vector<LogRecord>& records) {
   }
   // The whole batch — markers included, for parity with MemoryStore and
   // the shared replay filter — is one outer frame, so a torn batch drops
-  // as a unit at the frame level too.
+  // as a unit at the frame level too. Size the blob up front so staging a
+  // batch of large bodies doesn't realloc-copy per record.
+  std::size_t bytes = 2 * (4 + begin.encoded_size_hint());
+  for (const auto& rec : records) bytes += 4 + rec.encoded_size_hint();
   std::string blob;
-  append_inner(blob, begin.encode());
+  blob.reserve(bytes);
+  append_inner_record(blob, begin);
   for (const auto& rec : records) {
-    append_inner(blob, rec.encode());
+    append_inner_record(blob, rec);
   }
-  append_inner(blob, commit.encode());
+  append_inner_record(blob, commit);
   return append_frame(seal_frame(blob), records.size() + 2);
 }
 

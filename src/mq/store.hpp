@@ -49,14 +49,55 @@ struct LogRecord {
   std::string tx_id;   // kTxBegin/kTxCommit only
   Message message;     // kPut only
 
+  // Encode-only borrows: when set, encode() reads the queue name, message
+  // id, or message from the referenced storage instead of the owned fields
+  // above, so the hot batch paths build records without copying a Message
+  // (or its id string) per record. A borrowed record is valid ONLY until
+  // the MessageStore::append*() call it is passed to returns — stores
+  // encode eagerly and never retain LogRecords.
+  std::string_view queue_ref = {};    // data() == nullptr => use `queue`
+  std::string_view msg_id_ref = {};   // data() == nullptr => use `msg_id`
+  const Message* message_ref = nullptr;  // nullptr => use `message`
+
   static LogRecord queue_create(std::string queue_name);
   static LogRecord queue_delete(std::string queue_name);
   static LogRecord put(std::string queue_name, Message msg);
   static LogRecord get(std::string queue_name, std::string message_id);
+  // Borrowing variants of put/get for the batch append paths.
+  static LogRecord put_ref(const std::string& queue_name, const Message& msg);
+  static LogRecord get_ref(const std::string& queue_name,
+                           std::string_view message_id);
   static LogRecord tx_begin(std::string id);
   static LogRecord tx_commit(std::string id);
 
+  // Borrow-resolving accessors: the value regardless of whether this
+  // record owns its fields or borrows them. MessageStore implementations
+  // that inspect records must use these, not the raw fields — the batch
+  // paths pass borrowed records whose owned fields are empty.
+  std::string_view queue_name() const {
+    return queue_ref.data() != nullptr ? queue_ref : std::string_view(queue);
+  }
+  std::string_view message_id() const {
+    return msg_id_ref.data() != nullptr ? msg_id_ref : std::string_view(msg_id);
+  }
+  const Message& msg() const {
+    return message_ref != nullptr ? *message_ref : message;
+  }
+
   std::string encode() const;
+  // Upper-ballpark encoded size (exact when the message frame is
+  // memoized), for pre-reserving slab buffers so staging a batch of
+  // large bodies doesn't realloc-copy the blob per record.
+  std::size_t encoded_size_hint() const {
+    std::size_t n =
+        17 + queue_name().size() + message_id().size() + tx_id.size();
+    if (type == Type::kPut) n += msg().frame_size_hint();
+    return n;
+  }
+  // Appends the encoded record to `w` in place — the group-commit staging
+  // path serializes every record of a batch into one blob with no
+  // per-record temporaries.
+  void encode_into(util::BinaryWriter& w) const;
   static util::Result<LogRecord> decode(std::string_view data);
 };
 
@@ -120,8 +161,23 @@ class MemoryStore final : public MessageStore {
   std::size_t record_count() const;
 
  private:
+  // Slab staging when the arena fast path is on: every record of an
+  // append call (tx markers included) is encoded u32-length-prefixed
+  // into one blob OUTSIDE the store mutex — a handful of allocations and
+  // a short critical section per batch instead of one encode (and its
+  // allocation) per record under the lock. Slabs are size-capped so a
+  // huge batch stages as several heap-recyclable blobs rather than one
+  // mmap-sized one. With the arena off (the A/B baseline) each record is
+  // its own single-count chunk, encoded under the lock as the seed's
+  // per-record vector did.
+  struct Chunk {
+    std::string blob;       // (u32 len | record bytes)*
+    std::size_t count = 0;  // records in this chunk
+  };
+
   mutable std::mutex mu_;
-  std::vector<std::string> records_;  // encoded
+  std::vector<Chunk> chunks_;
+  std::size_t total_records_ = 0;
   std::size_t appended_ = 0;
 };
 

@@ -3,9 +3,11 @@
 #include <poll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstring>
 
 #include "mq/queue_manager.hpp"
 #include "obs/registry.hpp"
@@ -95,7 +97,7 @@ void TransportChannel::mover_loop() {
     }
     pollfd pfds[2];
     pfds[0] = {sock_.get(),
-               static_cast<short>(POLLIN | (out_.empty() ? 0 : POLLOUT)), 0};
+               static_cast<short>(POLLIN | (outq_.empty() ? 0 : POLLOUT)), 0};
     pfds[1] = {wake_event_.get(), POLLIN, 0};
     const int n = ::poll(pfds, 2, 1000);
     if (n < 0 && errno != EINTR) break;
@@ -175,7 +177,8 @@ bool TransportChannel::connect_and_handshake() {
       if (ok) {
         sock_ = std::move(sock);
         set_nonblocking(sock_.get(), true).expect_ok("nonblocking socket");
-        out_.clear();
+        outq_.clear();
+        out_off_ = 0;
         parser_ = FrameParser{};
         // The receiver has already delivered everything up to
         // last_delivered_seq — complete those locally instead of
@@ -183,16 +186,18 @@ bool TransportChannel::connect_and_handshake() {
         complete_acked(welcome.last_delivered_seq);
         if (!pending_.empty()) {
           std::size_t i = 0;
+          std::vector<std::shared_ptr<const std::string>> frames;
           while (i < pending_.size()) {
             const std::size_t n =
                 std::min(options_.max_batch, pending_.size() - i);
-            const std::size_t off =
-                begin_msg_batch(out_, pending_[i].seq);
+            const std::uint64_t first_seq = pending_[i].seq;
+            frames.clear();
+            frames.reserve(n);
             for (std::size_t k = 0; k < n; ++k, ++i) {
               pending_[i].send_us = obs::now_us();
-              add_batch_message(out_, *pending_[i].msg.encoded_frame());
+              frames.push_back(pending_[i].msg.encoded_frame());
             }
-            end_msg_batch(out_, off, static_cast<std::uint32_t>(n));
+            queue_batch(first_seq, frames);
           }
           CMX_OBS_COUNT("transport.retransmitted", pending_.size());
           std::lock_guard<std::mutex> lk(mu_);
@@ -222,22 +227,25 @@ void TransportChannel::pump_queue() {
   auto queue = from_.find_queue(xmit_queue_);
   if (queue == nullptr) return;
   std::uint64_t pumped = 0;
+  std::vector<std::shared_ptr<const std::string>> frames;
   while (pending_.size() < options_.window) {
     const std::size_t room =
         std::min(options_.max_batch, options_.window - pending_.size());
     auto batch = queue->try_get_batch(room);
     if (batch.empty()) break;
-    const std::size_t off = begin_msg_batch(out_, next_seq_);
+    const std::uint64_t first_seq = next_seq_;
+    frames.clear();
+    frames.reserve(batch.size());
     for (auto& got : batch) {
       Pending p;
       p.seq = next_seq_++;
       p.persistent = got.msg.persistent();
       p.send_us = obs::now_us();
-      add_batch_message(out_, *got.msg.encoded_frame());
+      frames.push_back(got.msg.encoded_frame());
       p.msg = std::move(got.msg);
       pending_.push_back(std::move(p));
     }
-    end_msg_batch(out_, off, static_cast<std::uint32_t>(batch.size()));
+    queue_batch(first_seq, frames);
     pumped += batch.size();
     std::lock_guard<std::mutex> lk(mu_);
     stats_.sent += batch.size();
@@ -249,30 +257,95 @@ void TransportChannel::pump_queue() {
   }
 }
 
+void TransportChannel::queue_bytes(std::string_view bytes) {
+  // Coalesce small owned runs (header + adjacent length prefix) into one
+  // segment; appending to the front segment is safe with out_off_ since
+  // the sent prefix is untouched.
+  if (!outq_.empty() && outq_.back().frame == nullptr) {
+    outq_.back().own.append(bytes.data(), bytes.size());
+    return;
+  }
+  OutSeg seg;
+  seg.own.assign(bytes.data(), bytes.size());
+  outq_.push_back(std::move(seg));
+}
+
+void TransportChannel::queue_batch(
+    std::uint64_t first_seq,
+    const std::vector<std::shared_ptr<const std::string>>& frames) {
+  std::size_t entries_bytes = 0;
+  for (const auto& f : frames) entries_bytes += 4 + f->size();
+  std::string header;
+  append_msg_batch_header(header, first_seq,
+                          static_cast<std::uint32_t>(frames.size()),
+                          entries_bytes);
+  queue_bytes(header);
+  for (const auto& f : frames) {
+    const auto len = static_cast<std::uint32_t>(f->size());
+    char prefix[sizeof(len)];
+    std::memcpy(prefix, &len, sizeof(len));
+    queue_bytes(std::string_view(prefix, sizeof(prefix)));
+    OutSeg seg;
+    seg.frame = f;
+    outq_.push_back(std::move(seg));
+  }
+}
+
 bool TransportChannel::flush_out() {
-  while (!out_.empty()) {
-    std::size_t n = out_.size();
+  constexpr int kMaxIov = 64;
+  while (!outq_.empty()) {
+    // Byte cap for this write: the fault hooks bound it so partial-write
+    // and mid-frame-disconnect points stay deterministic.
+    std::size_t cap = SIZE_MAX;
     if (options_.fault.max_write_bytes > 0) {
-      n = std::min(n, options_.fault.max_write_bytes);
+      cap = options_.fault.max_write_bytes;
     }
     if (fault_disconnect_armed_) {
-      // Land the final write exactly on the configured byte so the
-      // disconnect point is deterministic (possibly mid-frame).
       const std::uint64_t left =
           options_.fault.disconnect_after_bytes - bytes_written_;
-      n = std::min<std::uint64_t>(n, left);
+      cap = std::min<std::uint64_t>(cap, left);
     }
-    const ssize_t w = ::send(sock_.get(), out_.data(), n, MSG_NOSIGNAL);
+    iovec iov[kMaxIov];
+    int iovcnt = 0;
+    std::size_t gathered = 0;
+    for (auto it = outq_.begin();
+         it != outq_.end() && iovcnt < kMaxIov && gathered < cap; ++it) {
+      std::string_view v = it->view();
+      if (it == outq_.begin()) v.remove_prefix(out_off_);
+      const std::size_t take = std::min(v.size(), cap - gathered);
+      if (take == 0) continue;
+      iov[iovcnt].iov_base = const_cast<char*>(v.data());
+      iov[iovcnt].iov_len = take;
+      ++iovcnt;
+      gathered += take;
+    }
+    if (iovcnt == 0) return true;
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t w = ::sendmsg(sock_.get(), &mh, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // POLLOUT
       return false;
     }
     bytes_written_ += static_cast<std::uint64_t>(w);
-    out_.erase(0, static_cast<std::size_t>(w));
     {
       std::lock_guard<std::mutex> lk(mu_);
       stats_.bytes_sent += static_cast<std::uint64_t>(w);
+    }
+    // Pop fully-written segments; a partial segment advances out_off_.
+    std::size_t left = static_cast<std::size_t>(w);
+    while (left > 0) {
+      const std::size_t remain = outq_.front().view().size() - out_off_;
+      if (left >= remain) {
+        left -= remain;
+        outq_.pop_front();
+        out_off_ = 0;
+      } else {
+        out_off_ += left;
+        left = 0;
+      }
     }
     if (fault_disconnect_armed_ &&
         bytes_written_ >= options_.fault.disconnect_after_bytes) {
@@ -364,7 +437,11 @@ void TransportChannel::complete_acked(std::uint64_t acked_seq) {
 
 void TransportChannel::on_disconnect() {
   sock_.reset();
-  out_.clear();
+  // Unsent segments die with the connection — the reconnect handshake
+  // rebuilds the batch stream from pending_ (retransmit window), and the
+  // frame references dropped here release their encode memos.
+  outq_.clear();
+  out_off_ = 0;
   parser_ = FrameParser{};
   connected_.store(false);
 }

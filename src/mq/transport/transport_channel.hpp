@@ -121,13 +121,36 @@ class TransportChannel {
     std::uint64_t send_us = 0;  // last (re)transmission, for ack RTT
   };
 
+  // One element of the scatter-gather output queue: either bytes owned by
+  // the segment (frame headers and entry length prefixes, all SSO-small)
+  // or a reference to a message's memoized encode frame, kept alive by the
+  // aliased shared_ptr — the frame bytes go to the socket straight from
+  // the encode memo, never copied into an output buffer.
+  struct OutSeg {
+    std::string own;
+    std::shared_ptr<const std::string> frame;  // when set, own is unused
+    std::string_view view() const {
+      return frame != nullptr ? std::string_view(*frame)
+                              : std::string_view(own);
+    }
+  };
+
   void mover_loop();
   // Connects + handshakes, trimming/retransmitting the pending window.
   // Returns false when stop() interrupted the retry loop.
   bool connect_and_handshake();
-  // Drains the transmission queue into out_ while window space remains.
+  // Drains the transmission queue into outq_ while window space remains.
   void pump_queue();
-  // Non-blocking flush of out_; false = connection died.
+  // Queues one MSGBATCH frame: complete header upfront (entry sizes are
+  // known from the frames), then per entry a length prefix and a zero-copy
+  // reference to the frame bytes.
+  void queue_batch(std::uint64_t first_seq,
+                   const std::vector<std::shared_ptr<const std::string>>&
+                       frames);
+  // Appends owned bytes to the output queue, coalescing into the previous
+  // owned segment where possible.
+  void queue_bytes(std::string_view bytes);
+  // Non-blocking scatter-gather flush of outq_; false = connection died.
   bool flush_out();
   // Non-blocking read + ACK/CLOSE processing; false = connection died.
   bool read_frames();
@@ -143,8 +166,9 @@ class TransportChannel {
 
   // Mover-thread-only connection state.
   Fd sock_;
-  std::string out_;      // bytes queued for the socket
-  FrameParser parser_;   // inbound ACK/CLOSE stream
+  std::deque<OutSeg> outq_;  // segments queued for the socket
+  std::size_t out_off_ = 0;  // bytes of outq_.front() already sent
+  FrameParser parser_;       // inbound ACK/CLOSE stream
   std::deque<Pending> pending_;  // consecutive seqs, oldest first
   std::uint64_t next_seq_ = 1;
   std::uint64_t bytes_written_ = 0;  // lifetime, for the disconnect fault

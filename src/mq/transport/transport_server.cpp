@@ -231,6 +231,12 @@ bool TransportServer::handle_msg_batch(Conn& conn, std::string_view payload) {
   std::uint64_t duplicates = 0;
   std::uint64_t expired = 0;
   const util::TimeMs now = to_.clock().now_ms();
+  // One shared slab for the whole batch, created lazily on the first large
+  // entry: big frames borrow spans of it (decode_shared) instead of each
+  // copying their bytes, so a 64-message batch of 4 KiB frames costs one
+  // allocation, not 64. Small frames still copy out — a tiny message must
+  // not pin the slab (Message::kFrameAdoptMinBytes).
+  std::shared_ptr<const std::string> slab;
   for (std::uint32_t i = 0; i < header.value().count; ++i) {
     auto entry = next_batch_message(entries);
     if (!entry) {
@@ -245,7 +251,18 @@ bool TransportServer::handle_msg_batch(Conn& conn, std::string_view payload) {
       ++duplicates;
       continue;
     }
-    auto decoded = Message::decode(entry.value(), /*retain_frame=*/true);
+    util::Result<Message> decoded = [&] {
+      if (entry.value().size() >= Message::kFrameAdoptMinBytes &&
+          zero_copy_enabled()) {
+        if (slab == nullptr) {
+          slab = std::make_shared<const std::string>(payload);
+        }
+        const auto off =
+            static_cast<std::size_t>(entry.value().data() - payload.data());
+        return Message::decode_shared(slab, off, entry.value().size());
+      }
+      return Message::decode(entry.value(), /*retain_frame=*/true);
+    }();
     if (!decoded) {
       close_with(conn, CloseCode::kProtocolError, "bad message frame");
       return false;

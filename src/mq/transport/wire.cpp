@@ -74,6 +74,16 @@ void add_batch_message(std::string& out, std::string_view message_frame) {
   out.append(message_frame.data(), message_frame.size());
 }
 
+void append_msg_batch_header(std::string& out, std::uint64_t first_seq,
+                             std::uint32_t count, std::size_t entries_bytes) {
+  util::BinaryWriter w(out);
+  // frame_len = type (1) + first_seq (8) + count (4) + the entries.
+  w.put_u32(static_cast<std::uint32_t>(13 + entries_bytes));
+  w.put_u8(static_cast<std::uint8_t>(FrameType::kMsgBatch));
+  w.put_u64(first_seq);
+  w.put_u32(count);
+}
+
 void end_msg_batch(std::string& out, std::size_t frame_offset,
                    std::uint32_t count) {
   // frame_len covers everything after the length field itself.

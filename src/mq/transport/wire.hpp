@@ -107,6 +107,13 @@ std::size_t begin_msg_batch(std::string& out, std::uint64_t first_seq);
 void add_batch_message(std::string& out, std::string_view message_frame);
 void end_msg_batch(std::string& out, std::size_t frame_offset,
                    std::uint32_t count);
+// Scatter-gather variant: appends a COMPLETE MSGBATCH header (frame_len
+// already final — no patching) for a batch whose entries total
+// `entries_bytes` on the wire (per entry: u32 len + frame bytes). The
+// caller then queues the entries themselves as separate iovec segments
+// referencing the memoized frames, instead of copying them into `out`.
+void append_msg_batch_header(std::string& out, std::uint64_t first_seq,
+                             std::uint32_t count, std::size_t entries_bytes);
 
 // ---- frame decoding ------------------------------------------------------
 util::Result<HelloFrame> decode_hello(std::string_view payload);

@@ -1,0 +1,42 @@
+#include "util/arena.hpp"
+
+#include <atomic>
+
+namespace cmx::util {
+
+namespace {
+std::atomic<bool> g_arena{true};
+std::atomic<std::uint64_t> g_hits{0};
+std::atomic<std::uint64_t> g_misses{0};
+std::atomic<std::uint64_t> g_recycled{0};
+}  // namespace
+
+bool arena_enabled() { return g_arena.load(std::memory_order_relaxed); }
+
+void set_arena_enabled(bool on) {
+  g_arena.store(on, std::memory_order_relaxed);
+}
+
+ArenaStats arena_stats() {
+  ArenaStats s;
+  s.hits = g_hits.load(std::memory_order_relaxed);
+  s.misses = g_misses.load(std::memory_order_relaxed);
+  s.recycled = g_recycled.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_arena_stats() {
+  g_hits.store(0, std::memory_order_relaxed);
+  g_misses.store(0, std::memory_order_relaxed);
+  g_recycled.store(0, std::memory_order_relaxed);
+}
+
+namespace arena_detail {
+
+void note_hit() { g_hits.fetch_add(1, std::memory_order_relaxed); }
+void note_miss() { g_misses.fetch_add(1, std::memory_order_relaxed); }
+void note_recycled() { g_recycled.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace arena_detail
+
+}  // namespace cmx::util

@@ -1,0 +1,212 @@
+// Freelist arenas for the small-message fast path (DESIGN.md §9).
+//
+// Two building blocks sit behind one process-wide toggle:
+//
+//  * PoolAllocator<T> — a C++17 allocator whose single-element allocations
+//    come from a per-type freelist of fixed-size blocks. It backs node
+//    containers on hot paths (queue entry maps, shared_ptr control blocks)
+//    so a put_all/get_batch round recycles its nodes instead of hitting
+//    operator new per message. Every block carries a one-word origin tag,
+//    so allocate/deallocate stay paired even when the toggle flips between
+//    them.
+//  * ObjectPool<T> — recycles fully *constructed* objects. Used for
+//    Message encode frames: a recycled frame keeps its std::string
+//    capacity, so re-encoding into it is allocation-free. The caller owns
+//    resetting object state on reuse.
+//
+// Both are layered on FreeList<Tag>: an unsynchronized per-thread cache in
+// front of a mutex-protected central list, moving kTransferBatch pointers
+// per lock acquisition. Thread caches flush to the central list on thread
+// exit; the central lists themselves are leaky singletons (reachable at
+// process exit, so LSan stays quiet and static-destruction order cannot
+// bite the late thread-exit flush).
+//
+// A/B switch: set_arena_enabled(false) restores plain heap behaviour
+// (fresh allocation per acquire, free on release) — the deep-baseline arm
+// bench_msg_path measures the fast path against, mirroring
+// mq::set_zero_copy_enabled. Flip it only from quiescent harness code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <vector>
+
+namespace cmx::util {
+
+// Process-wide A/B flag (default: arenas on). Read with relaxed ordering
+// on every acquire/release.
+bool arena_enabled();
+void set_arena_enabled(bool on);
+
+struct ArenaStats {
+  std::uint64_t hits = 0;      // acquisitions served from a freelist
+  std::uint64_t misses = 0;    // acquisitions that had to allocate
+  std::uint64_t recycled = 0;  // releases shelved for reuse
+};
+// Aggregate across every pool in the process (relaxed counters).
+ArenaStats arena_stats();
+void reset_arena_stats();
+
+namespace arena_detail {
+
+void note_hit();
+void note_miss();
+void note_recycled();
+
+struct CentralList {
+  std::mutex mu;
+  std::vector<void*> items;
+};
+
+// Pointer freelist, one instantiation per Tag type. All members are
+// static: the central list is shared, the cache is thread-local.
+template <typename Tag>
+class FreeList {
+ public:
+  static constexpr std::size_t kTransferBatch = 32;
+  static constexpr std::size_t kCacheCap = 2 * kTransferBatch;
+
+  // Pops a recycled pointer, refilling the thread cache from the central
+  // list when empty. nullptr when both are dry.
+  static void* try_get() {
+    Cache& c = cache();
+    if (c.items.empty()) {
+      CentralList& g = central();
+      std::lock_guard<std::mutex> lk(g.mu);
+      const std::size_t n = std::min(kTransferBatch, g.items.size());
+      if (n == 0) return nullptr;
+      c.items.insert(c.items.end(), g.items.end() - n, g.items.end());
+      g.items.resize(g.items.size() - n);
+    }
+    void* p = c.items.back();
+    c.items.pop_back();
+    return p;
+  }
+
+  // Shelves a pointer, spilling half the thread cache to the central list
+  // when it overflows.
+  static void put(void* p) {
+    Cache& c = cache();
+    c.items.push_back(p);
+    if (c.items.size() > kCacheCap) {
+      CentralList& g = central();
+      std::lock_guard<std::mutex> lk(g.mu);
+      g.items.insert(g.items.end(), c.items.end() - kTransferBatch,
+                     c.items.end());
+      c.items.resize(c.items.size() - kTransferBatch);
+    }
+  }
+
+ private:
+  struct Cache {
+    std::vector<void*> items;
+    ~Cache() {
+      if (items.empty()) return;
+      CentralList& g = central();
+      std::lock_guard<std::mutex> lk(g.mu);
+      g.items.insert(g.items.end(), items.begin(), items.end());
+    }
+  };
+
+  static CentralList& central() {
+    // Leaky: outlives every thread-exit flush, keeps shelved blocks
+    // reachable at process exit.
+    static CentralList* g = new CentralList;
+    return *g;
+  }
+  static Cache& cache() {
+    static thread_local Cache c;
+    return c;
+  }
+};
+
+}  // namespace arena_detail
+
+// Allocator over per-type freelists of tagged fixed-size blocks. Only
+// n == 1 allocations are pooled (the node-container case); bulk
+// allocations pass through to operator new. Stateless: all instances
+// compare equal.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+
+  PoolAllocator() = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) noexcept {}  // NOLINT
+
+  // Origin tag ahead of the block, sized to preserve T's alignment.
+  static constexpr std::size_t kHeader =
+      alignof(T) > sizeof(std::uintptr_t) ? alignof(T)
+                                          : sizeof(std::uintptr_t);
+  static constexpr std::uintptr_t kPoolable = 1;
+
+  T* allocate(std::size_t n) {
+    void* raw = nullptr;
+    std::uintptr_t tag = 0;
+    if (n == 1) {
+      tag = kPoolable;
+      if (arena_enabled()) {
+        raw = arena_detail::FreeList<PoolAllocator<T>>::try_get();
+        if (raw != nullptr) {
+          arena_detail::note_hit();
+        } else {
+          arena_detail::note_miss();
+        }
+      }
+    }
+    if (raw == nullptr) {
+      raw = ::operator new(kHeader + n * sizeof(T));
+    }
+    *static_cast<std::uintptr_t*>(raw) = tag;
+    return reinterpret_cast<T*>(static_cast<char*>(raw) + kHeader);
+  }
+
+  void deallocate(T* p, std::size_t /*n*/) noexcept {
+    void* raw = reinterpret_cast<char*>(p) - kHeader;
+    if (*static_cast<std::uintptr_t*>(raw) == kPoolable && arena_enabled()) {
+      arena_detail::note_recycled();
+      arena_detail::FreeList<PoolAllocator<T>>::put(raw);
+      return;
+    }
+    ::operator delete(raw);
+  }
+
+  template <typename U>
+  friend bool operator==(const PoolAllocator&, const PoolAllocator<U>&) {
+    return true;
+  }
+};
+
+// Recycles fully constructed objects. get() hands back a previously
+// released instance (state is whatever the releaser left; callers reset
+// what they need) or default-constructs one; put() shelves it for reuse.
+// With the arena disabled both degrade to plain new/delete.
+template <typename T>
+class ObjectPool {
+ public:
+  static T* get(bool* recycled = nullptr) {
+    if (arena_enabled()) {
+      if (void* raw = arena_detail::FreeList<ObjectPool<T>>::try_get()) {
+        arena_detail::note_hit();
+        if (recycled != nullptr) *recycled = true;
+        return static_cast<T*>(raw);
+      }
+      arena_detail::note_miss();
+    }
+    if (recycled != nullptr) *recycled = false;
+    return new T();
+  }
+
+  static void put(T* obj) {
+    if (arena_enabled()) {
+      arena_detail::note_recycled();
+      arena_detail::FreeList<ObjectPool<T>>::put(obj);
+      return;
+    }
+    delete obj;
+  }
+};
+
+}  // namespace cmx::util

@@ -13,16 +13,16 @@ void append_raw(std::string& buf, T v) {
 }
 }  // namespace
 
-void BinaryWriter::put_u8(std::uint8_t v) { append_raw(buf_, v); }
-void BinaryWriter::put_u32(std::uint32_t v) { append_raw(buf_, v); }
-void BinaryWriter::put_u64(std::uint64_t v) { append_raw(buf_, v); }
-void BinaryWriter::put_i64(std::int64_t v) { append_raw(buf_, v); }
-void BinaryWriter::put_f64(double v) { append_raw(buf_, v); }
+void BinaryWriter::put_u8(std::uint8_t v) { append_raw(*buf_, v); }
+void BinaryWriter::put_u32(std::uint32_t v) { append_raw(*buf_, v); }
+void BinaryWriter::put_u64(std::uint64_t v) { append_raw(*buf_, v); }
+void BinaryWriter::put_i64(std::int64_t v) { append_raw(*buf_, v); }
+void BinaryWriter::put_f64(double v) { append_raw(*buf_, v); }
 void BinaryWriter::put_bool(bool v) { put_u8(v ? 1 : 0); }
 
 void BinaryWriter::put_string(std::string_view v) {
   put_u32(static_cast<std::uint32_t>(v.size()));
-  buf_.append(v.data(), v.size());
+  buf_->append(v.data(), v.size());
 }
 
 Status BinaryReader::need(std::size_t n) {
@@ -73,6 +73,15 @@ Result<std::string> BinaryReader::get_string() {
   if (!len) return len.status();
   if (auto s = need(len.value()); !s) return s;
   std::string out(data_.substr(pos_, len.value()));
+  pos_ += len.value();
+  return out;
+}
+
+Result<std::string_view> BinaryReader::get_view() {
+  auto len = get_u32();
+  if (!len) return len.status();
+  if (auto s = need(len.value()); !s) return s;
+  std::string_view out = data_.substr(pos_, len.value());
   pos_ += len.value();
   return out;
 }

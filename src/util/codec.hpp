@@ -15,6 +15,11 @@ namespace cmx::util {
 
 class BinaryWriter {
  public:
+  BinaryWriter() : buf_(&owned_) {}
+  // Appends into `external` in place (no take() round-trip), so encoders
+  // can serialize straight into a recycled buffer and keep its capacity.
+  explicit BinaryWriter(std::string& external) : buf_(&external) {}
+
   void put_u8(std::uint8_t v);
   void put_u32(std::uint32_t v);
   void put_u64(std::uint64_t v);
@@ -23,12 +28,17 @@ class BinaryWriter {
   void put_bool(bool v);
   void put_string(std::string_view v);
 
-  const std::string& data() const& { return buf_; }
-  std::string take() { return std::move(buf_); }
-  std::size_t size() const { return buf_.size(); }
+  // Pre-sizes the buffer; encoders that can estimate their output call
+  // this once so the append loop never reallocates.
+  void reserve(std::size_t n) { buf_->reserve(buf_->size() + n); }
+
+  const std::string& data() const& { return *buf_; }
+  std::string take() { return std::move(*buf_); }
+  std::size_t size() const { return buf_->size(); }
 
  private:
-  std::string buf_;
+  std::string* buf_;
+  std::string owned_;
 };
 
 // Reader over a borrowed buffer. All getters return kIoError status-wrapped
@@ -45,6 +55,9 @@ class BinaryReader {
   Result<double> get_f64();
   Result<bool> get_bool();
   Result<std::string> get_string();
+  // Zero-copy sibling of get_string: a view into the reader's buffer,
+  // valid only while the underlying bytes outlive the caller's use.
+  Result<std::string_view> get_view();
 
   bool at_end() const { return pos_ == data_.size(); }
   std::size_t remaining() const { return data_.size() - pos_; }

@@ -1,7 +1,7 @@
 #include "util/id.hpp"
 
+#include <array>
 #include <atomic>
-#include <cstdio>
 #include <random>
 
 namespace cmx::util {
@@ -25,11 +25,36 @@ std::uint64_t next_sequence() {
 }
 
 std::string generate_id(const std::string& prefix) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "-%016llx-%llu",
-                static_cast<unsigned long long>(process_random()),
-                static_cast<unsigned long long>(next_sequence()));
-  return prefix + buf;
+  // "<prefix>-tttttt-s..": a 31-bit per-process token plus the process
+  // sequence, both base36. The sequence makes ids unique within a process,
+  // the token separates processes. Kept deliberately short: "msg-"-prefixed
+  // ids fit std::string's 15-char small-string buffer, and ids are copied
+  // into a log record on every persistent hop.
+  static constexpr char kDigits[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+  static const std::array<char, 8> token = [] {
+    std::array<char, 8> t{};
+    t[0] = '-';
+    std::uint64_t v = process_random();
+    for (int i = 1; i <= 6; ++i) {
+      t[i] = kDigits[v % 36];
+      v /= 36;
+    }
+    t[7] = '-';
+    return t;
+  }();
+  char digits[16];
+  int n = 0;
+  std::uint64_t seq = next_sequence();
+  do {
+    digits[n++] = kDigits[seq % 36];
+    seq /= 36;
+  } while (seq != 0);
+  std::string id;
+  id.reserve(prefix.size() + token.size() + static_cast<std::size_t>(n));
+  id.append(prefix);
+  id.append(token.data(), token.size());
+  for (int i = n - 1; i >= 0; --i) id.push_back(digits[i]);
+  return id;
 }
 
 }  // namespace cmx::util

@@ -32,7 +32,7 @@ Message msg(const std::string& body) {
 class GateStore final : public MessageStore {
  public:
   util::Status append(const LogRecord& rec) override {
-    if (rec.type == LogRecord::Type::kPut && rec.queue == "SLOW") {
+    if (rec.type == LogRecord::Type::kPut && rec.queue_name() == "SLOW") {
       std::unique_lock<std::mutex> lk(mu_);
       ++blocked_;
       cv_.notify_all();

@@ -120,6 +120,102 @@ TEST(MessageCodecTest, TruncationAtEveryOffsetFails) {
   EXPECT_TRUE(Message::decode(bytes).is_ok());
 }
 
+TEST(MessageCodecTest, TruncationAtEveryOffsetOverInlinePayloadFrame) {
+  // Same exhaustive cut, over a frame whose body rides the inline arm —
+  // the decode path that lands in Payload::copy_of's memcpy branch.
+  Message m(std::string(Payload::kInlineMax, 'i'));
+  ASSERT_TRUE(m.payload().inline_stored());
+  m.set_id("msg-inline");
+  m.set_property("app_k", std::int64_t{7});
+  m.set_property("CMX_XMIT_DEST", std::string("QM2/Q"));
+  const std::string bytes = m.encode();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto r = Message::decode(std::string_view(bytes).substr(0, cut));
+    EXPECT_FALSE(r.is_ok()) << "decode succeeded at truncation " << cut;
+  }
+  auto full = Message::decode(bytes);
+  ASSERT_TRUE(full.is_ok());
+  EXPECT_TRUE(full.value().payload().inline_stored());
+  EXPECT_EQ(full.value().body(), m.body());
+}
+
+TEST(MessageCodecTest, RoundTripAtInlineBoundarySizes) {
+  for (const std::size_t size :
+       {std::size_t{0}, std::size_t{1}, Payload::kInlineMax,
+        Payload::kInlineMax + 1, std::size_t{4096}}) {
+    Message m(std::string(size, 'z'));
+    m.set_id("msg-" + std::to_string(size));
+    auto d = Message::decode(m.encode());
+    ASSERT_TRUE(d.is_ok()) << "size " << size;
+    EXPECT_EQ(d.value().body(), m.body()) << "size " << size;
+    EXPECT_EQ(d.value().body_size(), size);
+    EXPECT_EQ(d.value().encode(), m.encode()) << "size " << size;
+  }
+}
+
+TEST(MessageCodecTest, DecodeSharedAdoptsLargeFramesOnly) {
+  // A batch slab holding one large and one small frame back to back: the
+  // large one borrows the slab, the small one copies out (and so cannot
+  // pin the slab alive — the frame-pinning rule).
+  Message big(std::string(2 * Message::kFrameAdoptMinBytes, 'B'));
+  big.set_id("big");
+  Message small(std::string("s"));
+  small.set_id("small");
+  const std::string big_bytes = big.encode();
+  const std::string small_bytes = small.encode();
+  ASSERT_GE(big_bytes.size(), Message::kFrameAdoptMinBytes);
+  ASSERT_LT(small_bytes.size(), Message::kFrameAdoptMinBytes);
+
+  auto slab = std::make_shared<const std::string>(big_bytes + small_bytes);
+  auto d_big = Message::decode_shared(slab, 0, big_bytes.size());
+  ASSERT_TRUE(d_big.is_ok());
+  EXPECT_TRUE(d_big.value().frame_cached());
+  EXPECT_TRUE(d_big.value().frame_borrowed());
+  EXPECT_EQ(d_big.value().body(), big.body());
+  EXPECT_EQ(d_big.value().frame_view(), big_bytes);
+
+  auto d_small =
+      Message::decode_shared(slab, big_bytes.size(), small_bytes.size());
+  ASSERT_TRUE(d_small.is_ok());
+  EXPECT_TRUE(d_small.value().frame_cached());
+  EXPECT_FALSE(d_small.value().frame_borrowed());
+  EXPECT_EQ(d_small.value().body(), "s");
+
+  // Dropping the borrowed message releases the slab (use_count back to 1
+  // once only our local handle remains).
+  const long before = slab.use_count();
+  EXPECT_GT(before, 1);
+  d_big = Message::decode(small_bytes);  // overwrite releases the borrow
+  EXPECT_EQ(slab.use_count(), 1);
+
+  // Out-of-range spans must fail cleanly, never read past the slab.
+  EXPECT_FALSE(Message::decode_shared(slab, slab->size(), 4).is_ok());
+  EXPECT_FALSE(Message::decode_shared(slab, 0, slab->size() + 1).is_ok());
+  EXPECT_FALSE(Message::decode_shared(nullptr, 0, 0).is_ok());
+}
+
+TEST(MessageCodecTest, BorrowedFrameMaterializesOnMutation) {
+  Message big(std::string(2 * Message::kFrameAdoptMinBytes, 'M'));
+  big.set_id("borrowed");
+  const std::string bytes = big.encode();
+  auto slab = std::make_shared<const std::string>(bytes);
+  auto decoded = Message::decode_shared(slab, 0, bytes.size());
+  ASSERT_TRUE(decoded.is_ok());
+  Message m = std::move(decoded).value();
+  ASSERT_TRUE(m.frame_borrowed());
+
+  // A patchable mutation (delivery count) forces a private owned frame;
+  // the slab reference is released and the re-encoded frame is coherent.
+  m.note_delivery();
+  EXPECT_TRUE(m.frame_cached());
+  EXPECT_FALSE(m.frame_borrowed());
+  EXPECT_EQ(slab.use_count(), 1);
+  auto again = Message::decode(m.encode());
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(again.value().delivery_count(), 1);
+  EXPECT_EQ(again.value().body(), big.body());
+}
+
 TEST(PropKeyTest, InlineAndHeapStorage) {
   const std::string short_key(PropKey::kInlineCapacity, 'a');
   const std::string long_key(PropKey::kInlineCapacity + 1, 'b');

@@ -137,11 +137,71 @@ TEST(MessageTest, EmptyMessageRoundTrip) {
 // ---------------------------------------------------------------------------
 
 TEST(PayloadTest, CopySharesBuffer) {
-  Message a("shared body bytes");
+  // Above the inline threshold the body lives on the heap and copies share
+  // the allocation; at or below it the bytes are stored in-object instead.
+  const std::string big(Payload::kInlineMax + 1, 'x');
+  Message a(big);
   Message b = a;
   EXPECT_TRUE(a.payload().shares_with(b.payload()));
   EXPECT_EQ(a.payload().use_count(), 2);
+  EXPECT_EQ(b.body(), big);
+}
+
+TEST(PayloadTest, SmallBodyIsInlineNotShared) {
+  Message a("shared body bytes");  // well under kInlineMax
+  Message b = a;
+  EXPECT_TRUE(a.payload().inline_stored());
+  EXPECT_TRUE(b.payload().inline_stored());
+  EXPECT_FALSE(a.payload().shares_with(b.payload()));
   EXPECT_EQ(b.body(), "shared body bytes");
+}
+
+TEST(PayloadTest, BoundarySizesPickTheRightArm) {
+  // 0 and 1 byte, exactly kInlineMax, and one past it — the four corners
+  // of the inline/heap split.
+  const struct {
+    std::size_t size;
+    bool expect_inline;
+  } cases[] = {
+      {0, false},  // empty: neither arm holds bytes
+      {1, true},
+      {Payload::kInlineMax, true},
+      {Payload::kInlineMax + 1, false},
+  };
+  for (const auto& c : cases) {
+    const std::string body(c.size, 'b');
+    Payload p{std::string(body)};
+    EXPECT_EQ(p.size(), c.size);
+    EXPECT_EQ(p.view(), body);
+    EXPECT_EQ(p.inline_stored(), c.expect_inline) << "size " << c.size;
+    Payload copy = p;
+    EXPECT_EQ(copy.view(), body);
+    EXPECT_EQ(copy.inline_stored(), c.expect_inline) << "size " << c.size;
+    // copy_of (the decode path) must agree with the string constructor.
+    Payload from_view = Payload::copy_of(body);
+    EXPECT_EQ(from_view.view(), body);
+    EXPECT_EQ(from_view.inline_stored(), c.expect_inline) << "size " << c.size;
+  }
+}
+
+TEST(PayloadTest, ShareMaterializesInlineBytes) {
+  Payload p{std::string("tiny")};
+  ASSERT_TRUE(p.inline_stored());
+  auto buf = p.share();
+  ASSERT_NE(buf, nullptr);
+  EXPECT_EQ(*buf, "tiny");
+  // An empty payload shares nothing.
+  EXPECT_EQ(Payload{}.share(), nullptr);
+}
+
+TEST(PayloadTest, ArenaDisabledForcesHeapArm) {
+  util::set_arena_enabled(false);
+  Payload p{std::string("small")};
+  EXPECT_FALSE(p.inline_stored());
+  Payload copy = p;
+  EXPECT_TRUE(p.shares_with(copy));  // PR 4 shape: shared even when tiny
+  util::set_arena_enabled(true);
+  EXPECT_EQ(copy.view(), "small");
 }
 
 TEST(PayloadTest, SetBodyDetaches) {
@@ -154,10 +214,12 @@ TEST(PayloadTest, SetBodyDetaches) {
 }
 
 TEST(PayloadTest, SharedPayloadConstructorFansOut) {
-  Payload body(std::string("fanout body"));
+  const std::string big(Payload::kInlineMax * 2, 'f');
+  Payload body{std::string(big)};
   Message a(body);
   Message b(body);
   EXPECT_TRUE(a.payload().shares_with(b.payload()));
+  EXPECT_EQ(a.body(), big);
 }
 
 TEST(PayloadTest, DeepCopyModeDuplicates) {

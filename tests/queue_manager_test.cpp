@@ -175,7 +175,7 @@ TEST_F(QueueManagerTest, CompactionOfDeepQueueIsChunkedAndLossless) {
   for (int i = 0; i < kDeep; ++i) {
     auto got = fresh->get("Q", 0);
     ASSERT_TRUE(got.is_ok()) << "lost message " << i << " in compaction";
-    bodies.insert(got.value().body());
+    bodies.insert(std::string(got.value().body()));
   }
   EXPECT_EQ(bodies.size(), size_t(kDeep));  // all distinct — no duplicates
   EXPECT_FALSE(fresh->get("Q", 0).is_ok());  // and no extras

@@ -71,7 +71,7 @@ TEST_F(QueueTest, ExpiredMessagesAreDiscardedOnGet) {
 TEST_F(QueueTest, DiscardCallbackFiresForExpired) {
   std::vector<std::string> discarded;
   Queue q("D", QueueOptions{}, clock_,
-          [&](const Message& m) { discarded.push_back(m.body()); });
+          [&](const Message& m) { discarded.emplace_back(m.body()); });
   Message e = msg("gone");
   e.set_expiry_ms(10);
   ASSERT_TRUE(q.put(e));

@@ -189,7 +189,7 @@ class TransportDeliveryTest : public ::testing::Test {
       auto got = receiver_->get("IN", 2000);
       ASSERT_TRUE(got.is_ok());
       EXPECT_FALSE(got.value().has_property(kXmitDestProperty));
-      bodies.insert(got.value().body());
+      bodies.insert(std::string(got.value().body()));
     }
     EXPECT_EQ(bodies.size(), size_t(n));  // no duplicates
     EXPECT_EQ(in->depth(), 0u);           // no extras
