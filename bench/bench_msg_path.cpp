@@ -29,9 +29,19 @@
 // zero_copy must deliver >= 2x deep_copy (E16's gate, unchanged), and
 // fanout 8 x 256 B fast_path must deliver >= 1.3x zero_copy (E18's gate).
 //
+// E19 — storage-engine dimension: the same closed loop re-run with both
+// queue managers on registry-built stores (--store spec grammar,
+// DESIGN.md §11) instead of the in-memory engine: memory vs file
+// (group commit) vs segmented, the durable pair at equal durability
+// (sync=every_batch on both) so the store rows answer "what does real
+// durability cost on the full delivery path, and does the segmented
+// layout give it back". Store arms run the fast_path toggles.
+//
 // Writes BENCH_msg_path.json into the working directory (skipped with
 // --smoke, which runs one tiny fast-path arm as a CI liveness check and
-// asserts the per-message allocation budget).
+// asserts the per-message allocation budget; --smoke --store BACKEND
+// re-targets that arm at a durable engine as the CI durable-arm gate,
+// without the allocation budget — disk engines allocate per append).
 //
 // E17 — transport A/B (--transport): the same windowed closed loop and
 // grid, but the arms compare WHERE the remote queue manager lives:
@@ -58,6 +68,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <mutex>
@@ -122,6 +133,7 @@ using namespace cmx;
 
 struct ArmResult {
   const char* mode;
+  std::string store = "memory";  // engine label: memory | file | segmented
   std::size_t body_bytes;
   int fanout;
   std::uint64_t delivered = 0;
@@ -153,14 +165,40 @@ std::uint64_t counter_value(const obs::MetricsRegistry::Snapshot& snap,
   return 0;
 }
 
+// Registry spec for one side of a store arm. Bare "memory" needs no path;
+// the disk engines get a fresh per-arm directory/file under /tmp and run
+// at sync=every_batch — the equal-durability setting of the store grid.
+std::string store_spec(const std::string& backend, const std::string& path) {
+  if (backend == "file") return "file:" + path + "?sync=every_batch";
+  if (backend == "segmented") return "segmented:" + path + "?sync=every_batch";
+  return backend;  // "memory", or a full user-provided spec
+}
+
 ArmResult run_arm(bool zero_copy, bool arena, std::size_t body_bytes,
-                  int fanout, int rounds) {
+                  int fanout, int rounds,
+                  const std::string& store_backend = "memory") {
   mq::set_zero_copy_enabled(zero_copy);
   util::set_arena_enabled(arena);
 
+  // Per-arm store paths (unused by "memory"): wiped before AND after so a
+  // later arm never replays this one's log.
+  static std::atomic<int> arm_seq{0};
+  const std::string stem = "/tmp/cmx_bench_msgpath_" +
+                           std::to_string(::getpid()) + "_" +
+                           std::to_string(arm_seq.fetch_add(1));
+  const bool on_disk = store_backend != "memory";
+  const std::string path1 = stem + "_a", path2 = stem + "_b";
+  if (on_disk) {
+    std::filesystem::remove_all(path1);
+    std::filesystem::remove_all(path2);
+  }
+
   util::SystemClock clock;
-  mq::QueueManager qm1("QM1", clock, std::make_unique<mq::MemoryStore>());
-  mq::QueueManager qm2("QM2", clock, std::make_unique<mq::MemoryStore>());
+  mq::QueueManagerOptions qm_options;
+  qm_options.store = store_spec(store_backend, path1);
+  mq::QueueManager qm1("QM1", clock, nullptr, qm_options);
+  qm_options.store = store_spec(store_backend, path2);
+  mq::QueueManager qm2("QM2", clock, nullptr, qm_options);
   std::vector<std::string> dests;
   for (int i = 0; i < fanout; ++i) {
     dests.push_back("DEST" + std::to_string(i));
@@ -291,11 +329,16 @@ ArmResult run_arm(bool zero_copy, bool arena, std::size_t body_bytes,
   const std::uint64_t allocs_after =
       g_alloc_count.load(std::memory_order_relaxed);
   net.shutdown();
+  if (on_disk) {
+    std::filesystem::remove_all(path1);
+    std::filesystem::remove_all(path2);
+  }
 
   const auto snap = obs::MetricsRegistry::instance().snapshot();
   const util::ArenaStats arena_totals = util::arena_stats();
   ArmResult r;
   r.mode = mode_name(zero_copy, arena);
+  r.store = store_backend;
   r.body_bytes = body_bytes;
   r.fanout = fanout;
   r.delivered = delivered;
@@ -557,7 +600,8 @@ void transport_arm_json(std::ostream& out, const TransportArm& a) {
 }
 
 void print_arm(const ArmResult& r) {
-  std::cout << r.mode << " body=" << r.body_bytes << "B fanout=" << r.fanout
+  std::cout << r.mode << " store=" << r.store << " body=" << r.body_bytes
+            << "B fanout=" << r.fanout
             << ": " << static_cast<std::uint64_t>(r.msgs_per_sec)
             << " msgs/s (" << r.delivered << " in " << r.duration_s << "s), "
             << (r.delivered > 0
@@ -675,11 +719,18 @@ int main(int argc, char** argv) {
     // A 256 B body rides the inline-payload + arena fast path — the arm
     // the allocation budget below protects. The budget is a regression
     // tripwire, not a target: see BENCH_msg_path.json for measured values.
+    // `--smoke --store file|segmented` re-targets the arm at a durable
+    // engine (CI's durable-arm gate); the allocation budget then does not
+    // apply — disk appends allocate — but delivery and cache still must.
     constexpr double kSmokeAllocBudget = 40.0;
-    const auto r =
-        run_arm(/*zero_copy=*/true, /*arena=*/true, 256, 2, /*rounds=*/100);
+    std::string store_backend = "memory";
+    if (argc > 3 && std::strcmp(argv[2], "--store") == 0) {
+      store_backend = argv[3];
+    }
+    const auto r = run_arm(/*zero_copy=*/true, /*arena=*/true, 256, 2,
+                           /*rounds=*/100, store_backend);
     print_arm(r);
-    if (r.allocs_per_msg > kSmokeAllocBudget) {
+    if (store_backend == "memory" && r.allocs_per_msg > kSmokeAllocBudget) {
       std::cerr << "allocation budget exceeded: " << r.allocs_per_msg
                 << " allocs/msg > " << kSmokeAllocBudget << "\n";
       return 1;
@@ -704,6 +755,18 @@ int main(int argc, char** argv) {
         print_arm(r);
         results.push_back(r);
       }
+    }
+  }
+
+  // E19 store grid: fast_path toggles, 1 KiB bodies, both durable engines
+  // at sync=every_batch (equal durability) against the memory baseline.
+  // Fewer rounds than the toggle grid — every batch fsyncs on both sides.
+  for (const int fanout : {1, 8}) {
+    for (const char* store : {"memory", "file", "segmented"}) {
+      const auto r = run_arm(/*zero_copy=*/true, /*arena=*/true, 1024, fanout,
+                             /*rounds=*/2000, store);
+      print_arm(r);
+      results.push_back(r);
     }
   }
 
@@ -733,12 +796,34 @@ int main(int argc, char** argv) {
   const double fast_speedup =
       zero_256_f8 > 0.0 ? fast_256_f8 / zero_256_f8 : 0.0;
 
+  // Store-grid headline cells (1 KiB fast_path, fanout 8).
+  double store_mem_f8 = 0.0, store_file_f8 = 0.0, store_seg_f8 = 0.0;
+  double store_seg_f8_allocs = 0.0;
+  for (const auto& r : results) {
+    if (r.body_bytes != 1024 || r.fanout != 8 ||
+        std::strcmp(r.mode, "fast_path") != 0) {
+      continue;
+    }
+    if (r.store == "file") {
+      store_file_f8 = r.msgs_per_sec;
+    } else if (r.store == "segmented") {
+      store_seg_f8 = r.msgs_per_sec;
+      store_seg_f8_allocs = r.allocs_per_msg;
+    } else if (r.store == "memory") {
+      store_mem_f8 = r.msgs_per_sec;  // last wins: the store-grid row,
+                                      // measured at the same round count
+    }
+  }
+  const double durability_tax =
+      store_seg_f8 > 0.0 ? store_mem_f8 / store_seg_f8 : 0.0;
+
   std::ofstream out("BENCH_msg_path.json");
-  out << "{\"bench\": \"msg_path\", \"store\": \"memory\", \"arms\": [";
+  out << "{\"bench\": \"msg_path\", \"arms\": [";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     if (i > 0) out << ", ";
-    out << "{\"mode\": \"" << r.mode << "\", \"body_bytes\": " << r.body_bytes
+    out << "{\"mode\": \"" << r.mode << "\", \"store\": \"" << r.store
+        << "\", \"body_bytes\": " << r.body_bytes
         << ", \"fanout\": " << r.fanout
         << ", \"delivered_msgs_per_sec\": " << r.msgs_per_sec
         << ", \"delivered\": " << r.delivered
@@ -768,11 +853,20 @@ int main(int argc, char** argv) {
       << ", \"fast_path_msgs_per_sec\": " << fast_256_f8
       << ", \"speedup\": " << fast_speedup
       << ", \"zero_copy_allocs_per_msg\": " << zero_256_f8_allocs
-      << ", \"fast_path_allocs_per_msg\": " << fast_256_f8_allocs << "}}\n";
+      << ", \"fast_path_allocs_per_msg\": " << fast_256_f8_allocs
+      << "}, \"headline_store\": {\"body_bytes\": 1024, \"fanout\": 8, "
+      << "\"sync\": \"every_batch\", "
+      << "\"memory_msgs_per_sec\": " << store_mem_f8
+      << ", \"file_msgs_per_sec\": " << store_file_f8
+      << ", \"segmented_msgs_per_sec\": " << store_seg_f8
+      << ", \"segmented_allocs_per_msg\": " << store_seg_f8_allocs
+      << ", \"durability_tax\": " << durability_tax << "}}\n";
   std::cout << "BENCH_msg_path.json: 64KiB fanout-8 speedup = " << speedup
             << "x, hit_rate = " << zero_64k_f8_hit << "\n";
   std::cout << "BENCH_msg_path.json: 256B fanout-8 fast-path speedup = "
             << fast_speedup << "x (allocs/msg " << zero_256_f8_allocs
             << " -> " << fast_256_f8_allocs << ")\n";
+  std::cout << "BENCH_msg_path.json: 1KiB fanout-8 durability tax = "
+            << durability_tax << "x (memory/segmented, sync=every_batch)\n";
   return 0;
 }

@@ -1,12 +1,24 @@
-// Group-commit A/B: append throughput of the seed-faithful per-record
-// FileStore path (group_commit=false: encode + frame + one ::write per
-// record, serialized under the io mutex) vs. the group-commit engine
-// (producers encode in parallel, a commit thread coalesces all staged
-// records into one write and at most one fsync per group).
+// Store-commit bench, two questions in one binary (DESIGN.md §11):
 //
-// Arms: {legacy, group} x {1, 8 producers} x {kNone, kEveryBatch}. The
-// headline number — and the acceptance gate — is 8 producers at equal
-// durability kNone vs. kNone, where the engine must deliver >= 3x.
+//  1. Group-commit A/B (E15, unchanged): append throughput of the
+//     seed-faithful per-record FileStore path (group_commit=false: encode +
+//     frame + one ::write per record, serialized under the io mutex) vs.
+//     the group-commit engine (producers encode in parallel, a commit
+//     thread coalesces all staged records into one write and at most one
+//     fsync per group). Headline — and the acceptance gate — is 8
+//     producers at equal durability kNone vs. kNone, engine >= 3x.
+//
+//  2. Engine dimension (E19): the same append loop across the registry's
+//     storage engines — memory (no disk), file (group commit) and
+//     segmented — at equal durability (same sync policy), so the numbers
+//     answer "what does each durable engine cost over the in-memory
+//     baseline, and what does the segmented layout cost over the flat
+//     log". Engines are built from registry specs, exactly the strings a
+//     deployment would pass via --store.
+//
+// Every arm also reports allocs/record (global operator new shim, all
+// threads) and serializations/record (mq.msg.serializations delta) so a
+// throughput win can't hide an allocation or re-encode regression.
 //
 // Writes BENCH_store_commit.json into the working directory.
 #include <unistd.h>
@@ -14,39 +26,95 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "mq/store.hpp"
+#include "obs/registry.hpp"
+
+// ---- allocation accounting ------------------------------------------------
+// Counting shims over the global allocator (same idiom as bench_msg_path):
+// every heap allocation in the process bumps one relaxed atomic, so an
+// arm's allocs/record is the counter delta across the timed loop divided
+// by appended records — covering producer threads and the commit thread.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = ((size ? size : 1) + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
 using namespace cmx;
 
-std::string temp_log_path(int arm_index) {
+std::string temp_store_path(int arm_index) {
   return "/tmp/cmx_bench_store_" + std::to_string(::getpid()) + "_" +
-         std::to_string(arm_index) + ".log";
+         std::to_string(arm_index);
 }
 
-// Appends `per_producer` 1 KiB put-records from each of `producers`
-// threads and returns acknowledged records per second. Every append is a
-// fresh LogRecord so the measured path includes the encode + crc32 work a
-// real put pays.
-double measure_appends_per_sec(bool group, int producers,
-                               mq::SyncPolicy sync, int per_producer,
-                               int arm_index) {
-  const std::string path = temp_log_path(arm_index);
-  ::unlink(path.c_str());
-  const std::string payload(1024, 'x');
+std::uint64_t counter_value(const obs::MetricsRegistry::Snapshot& snap,
+                            const std::string& name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+struct Measurement {
   double records_per_sec = 0.0;
+  double allocs_per_record = 0.0;
+  double serializations_per_record = 0.0;
+};
+
+// Appends `per_producer` 1 KiB put-records from each of `producers`
+// threads through a registry-built store and returns acknowledged records
+// per second plus the per-record alloc/serialization costs. Every append
+// is a fresh LogRecord so the measured path includes the encode + crc32c
+// work a real put pays. `path` (empty for path-less engines) is wiped
+// before and after so reps never replay a predecessor's log.
+Measurement measure(const std::string& spec, const std::string& path,
+                    int producers, int per_producer) {
+  if (!path.empty()) std::filesystem::remove_all(path);
+  const std::string payload(1024, 'x');
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(producers) * per_producer;
+  Measurement m;
   {
-    mq::FileStoreOptions options;
-    options.sync = sync;
-    options.group_commit = group;
-    mq::FileStore store(path, options);
+    auto store = mq::make_store(spec);
+    store.status().expect_ok("bench store spec");
 
     std::atomic<int> ready{0};
     std::atomic<bool> go{false};
@@ -60,89 +128,128 @@ double measure_appends_per_sec(bool group, int producers,
         for (int i = 0; i < per_producer; ++i) {
           mq::Message msg(payload);
           msg.set_id("m" + std::to_string(t) + "-" + std::to_string(i));
-          store.append(mq::LogRecord::put("Q", std::move(msg)))
+          store.value()
+              ->append(mq::LogRecord::put("Q", std::move(msg)))
               .expect_ok("bench append");
         }
       });
     }
     while (ready.load() < producers) {
     }
+    obs::MetricsRegistry::instance().reset();
+    const std::uint64_t allocs_before =
+        g_alloc_count.load(std::memory_order_relaxed);
     const auto t0 = std::chrono::steady_clock::now();
     go.store(true, std::memory_order_release);
     for (auto& t : threads) t.join();
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    records_per_sec =
-        static_cast<double>(producers) * per_producer / secs;
+    const std::uint64_t allocs_after =
+        g_alloc_count.load(std::memory_order_relaxed);
+    const auto snap = obs::MetricsRegistry::instance().snapshot();
+    m.records_per_sec = static_cast<double>(total) / secs;
+    m.allocs_per_record =
+        static_cast<double>(allocs_after - allocs_before) / total;
+    m.serializations_per_record =
+        static_cast<double>(counter_value(snap, "mq.msg.serializations")) /
+        total;
   }
-  ::unlink(path.c_str());
-  return records_per_sec;
+  if (!path.empty()) std::filesystem::remove_all(path);
+  return m;
 }
 
-const char* sync_name(mq::SyncPolicy sync) {
-  switch (sync) {
-    case mq::SyncPolicy::kNone: return "none";
-    case mq::SyncPolicy::kEveryBatch: return "every_batch";
-    case mq::SyncPolicy::kInterval: return "interval";
-  }
-  return "?";
-}
+struct Arm {
+  const char* engine;  // "memory" | "file_legacy" | "file_group" | "segmented"
+  const char* sync;    // "none" | "every_batch" | "n/a" (memory)
+  int producers;
+  int per_producer;
+};
 
 struct ArmResult {
-  bool group;
-  int producers;
-  mq::SyncPolicy sync;
-  double records_per_sec;
+  Arm arm;
+  Measurement best;
 };
+
+// Builds the registry spec string for an arm — the exact string a
+// deployment would pass as --store.
+std::string arm_spec(const Arm& arm, const std::string& path) {
+  const std::string engine = arm.engine;
+  if (engine == "memory") return "memory";
+  if (engine == "segmented") {
+    return "segmented:" + path + "?sync=" + arm.sync;
+  }
+  return "file:" + path + "?sync=" + std::string(arm.sync) +
+         "&group_commit=" + (engine == "file_group" ? "1" : "0");
+}
 
 }  // namespace
 
 int main() {
-  struct Arm {
-    bool group;
-    int producers;
-    mq::SyncPolicy sync;
-    int per_producer;
-  };
+  obs::set_enabled(true);
   // fsync arms run fewer iterations: the legacy path pays one fsync per
   // record and would otherwise dominate the wall-clock.
   const std::vector<Arm> arms = {
-      {false, 1, mq::SyncPolicy::kNone, 20000},
-      {true, 1, mq::SyncPolicy::kNone, 20000},
-      {false, 8, mq::SyncPolicy::kNone, 10000},
-      {true, 8, mq::SyncPolicy::kNone, 10000},
-      {false, 1, mq::SyncPolicy::kEveryBatch, 300},
-      {true, 1, mq::SyncPolicy::kEveryBatch, 300},
-      {false, 8, mq::SyncPolicy::kEveryBatch, 300},
-      {true, 8, mq::SyncPolicy::kEveryBatch, 300},
+      // E15 group-commit A/B on the flat file log.
+      {"file_legacy", "none", 1, 20000},
+      {"file_group", "none", 1, 20000},
+      {"file_legacy", "none", 8, 10000},
+      {"file_group", "none", 8, 10000},
+      {"file_legacy", "every_batch", 1, 300},
+      {"file_group", "every_batch", 1, 300},
+      {"file_legacy", "every_batch", 8, 300},
+      {"file_group", "every_batch", 8, 300},
+      // E19 engine dimension: memory baseline, segmented at both policies.
+      {"memory", "n/a", 1, 20000},
+      {"memory", "n/a", 8, 10000},
+      {"segmented", "none", 1, 20000},
+      {"segmented", "none", 8, 10000},
+      {"segmented", "every_batch", 1, 300},
+      {"segmented", "every_batch", 8, 300},
   };
 
   // Best-of-3 per arm: thread scheduling makes single-shot numbers noisy.
   std::vector<ArmResult> results;
   int arm_index = 0;
   for (const auto& arm : arms) {
-    double best = 0.0;
+    Measurement best;
     for (int rep = 0; rep < 3; ++rep) {
-      best = std::max(best,
-                      measure_appends_per_sec(arm.group, arm.producers,
-                                              arm.sync, arm.per_producer,
-                                              arm_index++));
+      const std::string path = std::string(arm.engine) == "memory"
+                                   ? std::string()
+                                   : temp_store_path(arm_index);
+      ++arm_index;
+      const auto rep_m =
+          measure(arm_spec(arm, path), path, arm.producers, arm.per_producer);
+      if (rep_m.records_per_sec > best.records_per_sec) best = rep_m;
     }
-    results.push_back({arm.group, arm.producers, arm.sync, best});
-    std::cout << (arm.group ? "group " : "legacy") << " producers="
-              << arm.producers << " sync=" << sync_name(arm.sync) << ": "
-              << static_cast<std::uint64_t>(best) << " records/s\n";
+    results.push_back({arm, best});
+    std::cout << arm.engine << " producers=" << arm.producers
+              << " sync=" << arm.sync << ": "
+              << static_cast<std::uint64_t>(best.records_per_sec)
+              << " records/s, " << best.allocs_per_record << " allocs/rec, "
+              << best.serializations_per_record << " serializations/rec\n";
   }
 
-  double legacy_8_none = 0.0, group_8_none = 0.0;
-  for (const auto& r : results) {
-    if (r.producers == 8 && r.sync == mq::SyncPolicy::kNone) {
-      (r.group ? group_8_none : legacy_8_none) = r.records_per_sec;
+  const auto find = [&](const char* engine, const char* sync,
+                        int producers) -> const Measurement* {
+    for (const auto& r : results) {
+      if (std::string(r.arm.engine) == engine &&
+          std::string(r.arm.sync) == sync && r.arm.producers == producers) {
+        return &r.best;
+      }
     }
-  }
+    return nullptr;
+  };
+  const auto* legacy_8_none = find("file_legacy", "none", 8);
+  const auto* group_8_none = find("file_group", "none", 8);
   const double speedup =
-      legacy_8_none > 0.0 ? group_8_none / legacy_8_none : 0.0;
+      legacy_8_none && group_8_none && legacy_8_none->records_per_sec > 0.0
+          ? group_8_none->records_per_sec / legacy_8_none->records_per_sec
+          : 0.0;
+  const auto* mem_8 = find("memory", "n/a", 8);
+  const auto* seg_8_none = find("segmented", "none", 8);
+  const auto* seg_8_batch = find("segmented", "every_batch", 8);
+  const auto* file_8_batch = find("file_group", "every_batch", 8);
 
   std::ofstream out("BENCH_store_commit.json");
   out << "{\"bench\": \"store_commit\", \"payload_bytes\": 1024, "
@@ -150,16 +257,31 @@ int main() {
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     if (i > 0) out << ", ";
-    out << "{\"mode\": \"" << (r.group ? "group" : "legacy")
-        << "\", \"producers\": " << r.producers << ", \"sync\": \""
-        << sync_name(r.sync) << "\", \"records_per_sec\": "
-        << r.records_per_sec << "}";
+    out << "{\"engine\": \"" << r.arm.engine << "\", \"producers\": "
+        << r.arm.producers << ", \"sync\": \"" << r.arm.sync
+        << "\", \"records_per_sec\": " << r.best.records_per_sec
+        << ", \"allocs_per_record\": " << r.best.allocs_per_record
+        << ", \"serializations_per_record\": "
+        << r.best.serializations_per_record << "}";
   }
   out << "], \"headline\": {\"producers\": 8, \"sync\": \"none\", "
-      << "\"legacy_records_per_sec\": " << legacy_8_none
-      << ", \"group_records_per_sec\": " << group_8_none
-      << ", \"speedup\": " << speedup << "}}\n";
-  std::cout << "BENCH_store_commit.json: 8-producer kNone speedup = "
-            << speedup << "x\n";
+      << "\"legacy_records_per_sec\": "
+      << (legacy_8_none ? legacy_8_none->records_per_sec : 0.0)
+      << ", \"group_records_per_sec\": "
+      << (group_8_none ? group_8_none->records_per_sec : 0.0)
+      << ", \"speedup\": " << speedup
+      << "}, \"headline_engines\": {\"producers\": 8, "
+      << "\"memory_records_per_sec\": "
+      << (mem_8 ? mem_8->records_per_sec : 0.0)
+      << ", \"file_group_none_records_per_sec\": "
+      << (group_8_none ? group_8_none->records_per_sec : 0.0)
+      << ", \"segmented_none_records_per_sec\": "
+      << (seg_8_none ? seg_8_none->records_per_sec : 0.0)
+      << ", \"file_group_every_batch_records_per_sec\": "
+      << (file_8_batch ? file_8_batch->records_per_sec : 0.0)
+      << ", \"segmented_every_batch_records_per_sec\": "
+      << (seg_8_batch ? seg_8_batch->records_per_sec : 0.0) << "}}\n";
+  std::cout << "BENCH_store_commit.json: 8-producer kNone group-commit "
+            << "speedup = " << speedup << "x\n";
   return 0;
 }

@@ -26,6 +26,10 @@
 // Peers are NAME=HOST:PORT, NAME=PORT (localhost), or NAME=@FILE where
 // FILE is a port file another node writes after binding (solves the
 // ephemeral-port rendezvous without fixed ports).
+//
+// --store SPEC selects the node's storage engine by registry spec
+// (DESIGN.md §11), e.g. --store segmented:/tmp/snd.store — the node
+// recovers from it at startup, so a restarted process resumes its queues.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -73,6 +77,9 @@ struct Args {
   int expect = 5;
   util::TimeMs pickup_ms = 20 * 1000;
   util::TimeMs timeout_ms = 60 * 1000;
+  // Store engine spec (mq/store/registry.hpp), e.g. "segmented:/var/mq/n1"
+  // or "file:/var/mq/n1.log?sync=every_batch". Empty = no durability.
+  std::string store;
 };
 
 [[noreturn]] void die(const std::string& why) {
@@ -135,6 +142,7 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--expect") args.expect = std::atoi(need(i).c_str());
     else if (arg == "--pickup-ms") args.pickup_ms = std::atoll(need(i).c_str());
     else if (arg == "--timeout-ms") args.timeout_ms = std::atoll(need(i).c_str());
+    else if (arg == "--store") args.store = need(i);
     else die("unknown flag " + arg);
   }
   if (args.role != "sender" && args.role != "receiver") {
@@ -242,7 +250,18 @@ int run_receiver(const Args& args, mq::QueueManager& qm, mq::Network& net) {
 int main(int argc, char** argv) {
   Args args = parse_args(argc, argv);
   util::SystemClock clock;
-  mq::QueueManager qm(args.name, clock);
+  mq::QueueManagerOptions qm_options;
+  qm_options.store = args.store;
+  mq::QueueManager qm(args.name, clock, nullptr, qm_options);
+  if (!args.store.empty()) {
+    // Recover from whatever the spec'd store holds — a restarted node
+    // resumes with its queues (and the sender/receiver system queues)
+    // already populated.
+    qm.recover().expect_ok("recover");
+    std::printf("[%s] store %s (backend=%s durable=%d)\n", args.name.c_str(),
+                args.store.c_str(), qm.store_caps().backend,
+                qm.store_caps().durable ? 1 : 0);
+  }
   if (args.role == "receiver") {
     // The application queue must exist BEFORE the transport server can
     // accept traffic: a message arriving for a queue that does not exist

@@ -5,11 +5,17 @@
 # conditional-messaging round. Fails if any process exits non-zero or the
 # round does not finish within the timeout.
 #
-# Usage: scripts/cluster_smoke.sh [path/to/cluster_node] [messages]
+# Usage: scripts/cluster_smoke.sh [path/to/cluster_node] [messages] [store]
+#
+# The optional third argument selects a storage backend for every node
+# (DESIGN.md §11): "file" or "segmented" give each node a durable store
+# under the work directory; anything else (or omitting it) runs without
+# durability as before.
 set -euo pipefail
 
 BIN="${1:-build/examples/cluster_node}"
 MESSAGES="${2:-5}"
+STORE="${3:-}"
 WORK="$(mktemp -d "${TMPDIR:-/tmp}/cmx-cluster.XXXXXX")"
 trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
@@ -18,21 +24,31 @@ if [[ ! -x "$BIN" ]]; then
   exit 2
 fi
 
+store_flag() {  # $1 = node name; echoes --store SPEC or nothing
+  case "$STORE" in
+    file)      echo "--store file:$WORK/$1.log?sync=every_batch" ;;
+    segmented) echo "--store segmented:$WORK/$1.store?sync=every_batch" ;;
+    "")        ;;
+    *)         echo "--store $STORE" ;;
+  esac
+}
+
+# shellcheck disable=SC2046  # store_flag intentionally emits 0 or 2 words
 "$BIN" --role receiver --name RCV1 --listen 0 \
   --port-file "$WORK/rcv1.port" --peer "SND=@$WORK/snd.port" \
-  --queue ORDERS --recipient u1 --expect "$MESSAGES" &
+  --queue ORDERS --recipient u1 --expect "$MESSAGES" $(store_flag rcv1) &
 RCV1=$!
 
 "$BIN" --role receiver --name RCV2 --listen 0 \
   --port-file "$WORK/rcv2.port" --peer "SND=@$WORK/snd.port" \
-  --queue ORDERS --recipient u2 --expect "$MESSAGES" &
+  --queue ORDERS --recipient u2 --expect "$MESSAGES" $(store_flag rcv2) &
 RCV2=$!
 
 "$BIN" --role sender --name SND --listen 0 \
   --port-file "$WORK/snd.port" \
   --peer "RCV1=@$WORK/rcv1.port" --peer "RCV2=@$WORK/rcv2.port" \
   --dest "RCV1/ORDERS=u1" --dest "RCV2/ORDERS=u2" \
-  --messages "$MESSAGES" &
+  --messages "$MESSAGES" $(store_flag snd) &
 SND=$!
 
 rc=0

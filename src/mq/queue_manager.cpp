@@ -11,13 +11,26 @@
 
 namespace cmx::mq {
 
+namespace {
+std::unique_ptr<MessageStore> resolve_store(
+    std::unique_ptr<MessageStore> store, const QueueManagerOptions& options) {
+  if (store) return store;
+  if (!options.store.empty()) {
+    auto built = make_store(options.store);
+    built.status().expect_ok("store spec");
+    return std::move(built).value();
+  }
+  return std::make_unique<NullStore>();
+}
+}  // namespace
+
 QueueManager::QueueManager(std::string name, util::Clock& clock,
                            std::unique_ptr<MessageStore> store,
                            QueueManagerOptions options)
     : name_(std::move(name)),
       clock_(clock),
-      store_(store ? std::move(store) : std::make_unique<NullStore>()),
-      options_(options) {}
+      store_(resolve_store(std::move(store), options)),
+      options_(std::move(options)) {}
 
 QueueManager::~QueueManager() { shutdown(); }
 
@@ -344,48 +357,61 @@ Network* QueueManager::network() const {
   return network_;
 }
 
+void QueueManager::apply_recovered_record(LogRecord& rec) {
+  Shard& shard = shard_for(rec.queue);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  switch (rec.type) {
+    case LogRecord::Type::kQueueCreate:
+      if (shard.queues.count(rec.queue) == 0) {
+        shard.queues[rec.queue] = make_queue(rec.queue, QueueOptions{});
+      }
+      break;
+    case LogRecord::Type::kQueueDelete: {
+      auto it = shard.queues.find(rec.queue);
+      if (it != shard.queues.end()) {
+        it->second->close();
+        shard.queues.erase(it);
+      }
+      break;
+    }
+    case LogRecord::Type::kPut: {
+      auto it = shard.queues.find(rec.queue);
+      if (it != shard.queues.end()) {
+        it->second->put(std::move(rec.message)).expect_ok("recover put");
+      }
+      break;
+    }
+    case LogRecord::Type::kGet: {
+      auto it = shard.queues.find(rec.queue);
+      if (it != shard.queues.end()) {
+        it->second->remove_by_id(rec.msg_id);
+      }
+      break;
+    }
+    case LogRecord::Type::kTxBegin:
+    case LogRecord::Type::kTxCommit:
+      break;  // filtered out by replay(); ignore defensively
+  }
+}
+
 util::Status QueueManager::recover() {
   // Runs before the manager is shared across threads, so plain shard
   // operations suffice — no global lock needed.
-  auto records = store_->replay();
-  if (!records) return records.status();
-  std::size_t queue_count = 0;
-  for (auto& rec : records.value()) {
-    Shard& shard = shard_for(rec.queue);
-    std::lock_guard<std::mutex> lk(shard.mu);
-    switch (rec.type) {
-      case LogRecord::Type::kQueueCreate:
-        if (shard.queues.count(rec.queue) == 0) {
-          shard.queues[rec.queue] = make_queue(rec.queue, QueueOptions{});
-        }
-        break;
-      case LogRecord::Type::kQueueDelete: {
-        auto it = shard.queues.find(rec.queue);
-        if (it != shard.queues.end()) {
-          it->second->close();
-          shard.queues.erase(it);
-        }
-        break;
-      }
-      case LogRecord::Type::kPut: {
-        auto it = shard.queues.find(rec.queue);
-        if (it != shard.queues.end()) {
-          it->second->put(std::move(rec.message)).expect_ok("recover put");
-        }
-        break;
-      }
-      case LogRecord::Type::kGet: {
-        auto it = shard.queues.find(rec.queue);
-        if (it != shard.queues.end()) {
-          it->second->remove_by_id(rec.msg_id);
-        }
-        break;
-      }
-      case LogRecord::Type::kTxBegin:
-      case LogRecord::Type::kTxCommit:
-        break;  // filtered out by replay(); ignore defensively
+  if (store_->caps().supports_chunked_replay) {
+    // Chunked replay: stream the log (segment by segment for the segmented
+    // engine) so recovery memory is bounded by one chunk, not the log.
+    MessageStore::ReplayCursor cursor;
+    while (!cursor.done) {
+      auto chunk = store_->replay_chunk(cursor);
+      if (!chunk) return chunk.status();
+      for (auto& rec : chunk.value()) apply_recovered_record(rec);
     }
+  } else {
+    auto records = store_->replay();
+    if (!records) return records.status();
+    for (auto& rec : records.value()) apply_recovered_record(rec);
   }
+  std::size_t queue_count = 0;
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lk(shard.mu);
     queue_count += shard.queues.size();
@@ -435,7 +461,20 @@ std::vector<LogRecord> QueueManager::snapshot() const {
   return snapshot;
 }
 
-util::Status QueueManager::compact() { return store_->rewrite(snapshot()); }
+util::Status QueueManager::compact() {
+  // Capability dispatch (DESIGN.md §11): engines that retire segments
+  // themselves are never forced through the flat-log rewrite(snapshot)
+  // path — no queue browse, no materialized snapshot.
+  switch (store_->caps().compaction) {
+    case CompactionMode::kNone:
+      return util::ok_status();
+    case CompactionMode::kSelfCompacting:
+      return store_->compact_self();
+    case CompactionMode::kSnapshotRewrite:
+      break;
+  }
+  return store_->rewrite(snapshot());
+}
 
 void QueueManager::maybe_compact() {
   if (store_->appended_since_compaction() < options_.compaction_threshold) {

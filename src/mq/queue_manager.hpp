@@ -42,11 +42,18 @@ struct QueueManagerOptions {
   // Compact the store once this many records have been appended since the
   // last compaction.
   std::size_t compaction_threshold = 8192;
+  // Store engine spec (see mq/store/registry.hpp), e.g. "memory" or
+  // "segmented:/var/mq/node?sync=every_batch". Used only when no explicit
+  // MessageStore instance is passed to the constructor; empty means
+  // NullStore. A malformed spec aborts construction — silently running a
+  // durable node without its store would be worse.
+  std::string store;
 };
 
 class QueueManager {
  public:
-  // A null `store` means NullStore (no durability).
+  // A null `store` falls back to `options.store` (built via the registry),
+  // then to NullStore (no durability).
   QueueManager(std::string name, util::Clock& clock,
                std::unique_ptr<MessageStore> store = nullptr,
                QueueManagerOptions options = {});
@@ -107,10 +114,15 @@ class QueueManager {
   Network* network() const;
 
   // ---- durability --------------------------------------------------------
-  // Replays the store to rebuild queue contents. Call once, before use.
+  // Replays the store to rebuild queue contents, chunk by chunk when the
+  // engine supports chunked replay. Call once, before use.
   util::Status recover();
-  // Forces a store compaction now.
+  // Forces a store compaction now, dispatched on the engine's capability
+  // descriptor: self-compacting engines compact in place, snapshot-rewrite
+  // engines get a flat snapshot, kNone engines are left alone.
   util::Status compact();
+  // The capability descriptor of the underlying store engine.
+  StoreCaps store_caps() const { return store_->caps(); }
 
   // Closes all queues (wakes blocked getters) and detaches the network.
   void shutdown();
@@ -139,6 +151,7 @@ class QueueManager {
   };
 
   Shard& shard_for(const std::string& queue_name) const;
+  void apply_recovered_record(LogRecord& rec);
   util::Status put_local_impl(const std::string& queue_name, Message msg,
                               bool log);
   util::Status put_local_batch_impl(

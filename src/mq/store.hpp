@@ -1,300 +1,19 @@
-// Persistent message store: the write-ahead log behind a queue manager's
-// "reliable" delivery guarantee. Every persistent put/get and every queue
-// create/delete is appended as a record; recovery replays the log to
-// rebuild queue contents after a crash/restart.
-//
-// Batches (used by transacted sessions) are bracketed by kTxBegin/kTxCommit
-// markers; replay discards records of a batch whose commit marker never made
-// it to disk, so a torn commit leaves the pre-transaction state. Markers
-// nest, and FileStore's group-commit format additionally frames each append
-// call as a single checksummed unit, so a torn group drops as a whole.
-//
-// Durability contract (DESIGN.md §7): append()/append_batch() returning OK
-// means the record reached the log *by the store's sync policy* — for
-// FileStore under SyncPolicy::kEveryBatch the acknowledgment follows the
-// fsync; under kInterval it guarantees the record is in the OS page cache
-// (a process crash preserves it, a machine crash may not); under kNone it
-// only guarantees the record is staged — the store drains the staging
-// buffer on clean shutdown, replay, and compaction.
+// Compatibility umbrella for the store subsystem. The storage layer lives
+// in src/mq/store/ (DESIGN.md §11):
+//   store/backend.hpp   MessageStore interface, StoreCaps, LogRecord,
+//                       NullStore, CommitFilter
+//   store/memory_store  in-process log ("memory")
+//   store/file_store    flat group-commit log ("file")
+//   store/segmented_store  segment files + self-compaction ("segmented")
+//   store/registry      spec-string factory, e.g. "file:/p?sync=every_batch"
+//   store/crc           crc32 / crc32c
+// Include the specific headers in new code; this umbrella keeps the many
+// existing `#include "mq/store.hpp"` sites building unchanged.
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
-#include <cstdint>
-#include <memory>
-#include <mutex>
-#include <string>
-#include <thread>
-#include <vector>
-
-#include "mq/message.hpp"
-#include "util/clock.hpp"
-#include "util/status.hpp"
-
-namespace cmx::mq {
-
-struct LogRecord {
-  enum class Type : std::uint8_t {
-    kQueueCreate = 0,
-    kQueueDelete = 1,
-    kPut = 2,     // message enqueued on `queue`
-    kGet = 3,     // message `msg_id` consumed from `queue`
-    kTxBegin = 4,  // start of an atomic batch `tx_id`
-    kTxCommit = 5,
-  };
-
-  Type type = Type::kPut;
-  std::string queue;
-  std::string msg_id;  // kGet only
-  std::string tx_id;   // kTxBegin/kTxCommit only
-  Message message;     // kPut only
-
-  // Encode-only borrows: when set, encode() reads the queue name, message
-  // id, or message from the referenced storage instead of the owned fields
-  // above, so the hot batch paths build records without copying a Message
-  // (or its id string) per record. A borrowed record is valid ONLY until
-  // the MessageStore::append*() call it is passed to returns — stores
-  // encode eagerly and never retain LogRecords.
-  std::string_view queue_ref = {};    // data() == nullptr => use `queue`
-  std::string_view msg_id_ref = {};   // data() == nullptr => use `msg_id`
-  const Message* message_ref = nullptr;  // nullptr => use `message`
-
-  static LogRecord queue_create(std::string queue_name);
-  static LogRecord queue_delete(std::string queue_name);
-  static LogRecord put(std::string queue_name, Message msg);
-  static LogRecord get(std::string queue_name, std::string message_id);
-  // Borrowing variants of put/get for the batch append paths.
-  static LogRecord put_ref(const std::string& queue_name, const Message& msg);
-  static LogRecord get_ref(const std::string& queue_name,
-                           std::string_view message_id);
-  static LogRecord tx_begin(std::string id);
-  static LogRecord tx_commit(std::string id);
-
-  // Borrow-resolving accessors: the value regardless of whether this
-  // record owns its fields or borrows them. MessageStore implementations
-  // that inspect records must use these, not the raw fields — the batch
-  // paths pass borrowed records whose owned fields are empty.
-  std::string_view queue_name() const {
-    return queue_ref.data() != nullptr ? queue_ref : std::string_view(queue);
-  }
-  std::string_view message_id() const {
-    return msg_id_ref.data() != nullptr ? msg_id_ref : std::string_view(msg_id);
-  }
-  const Message& msg() const {
-    return message_ref != nullptr ? *message_ref : message;
-  }
-
-  std::string encode() const;
-  // Upper-ballpark encoded size (exact when the message frame is
-  // memoized), for pre-reserving slab buffers so staging a batch of
-  // large bodies doesn't realloc-copy the blob per record.
-  std::size_t encoded_size_hint() const {
-    std::size_t n =
-        17 + queue_name().size() + message_id().size() + tx_id.size();
-    if (type == Type::kPut) n += msg().frame_size_hint();
-    return n;
-  }
-  // Appends the encoded record to `w` in place — the group-commit staging
-  // path serializes every record of a batch into one blob with no
-  // per-record temporaries.
-  void encode_into(util::BinaryWriter& w) const;
-  static util::Result<LogRecord> decode(std::string_view data);
-};
-
-class MessageStore {
- public:
-  virtual ~MessageStore() = default;
-
-  // Appends one record. OK means the record is acknowledged per the
-  // implementation's sync policy (see the durability contract above) —
-  // it does NOT universally imply the bytes hit the platter.
-  virtual util::Status append(const LogRecord& record) = 0;
-
-  // Appends a group of records that must be applied all-or-nothing on
-  // recovery. Implementations bracket them with tx markers.
-  virtual util::Status append_batch(const std::vector<LogRecord>& records) = 0;
-
-  // Reads back every committed record, in order. Tolerates a torn tail
-  // (stops at the first corrupt/truncated record).
-  virtual util::Result<std::vector<LogRecord>> replay() = 0;
-
-  // Replaces the log with the given snapshot (compaction).
-  virtual util::Status rewrite(const std::vector<LogRecord>& snapshot) = 0;
-
-  // Records appended since the last rewrite()/construction; the queue
-  // manager uses this to trigger compaction.
-  virtual std::size_t appended_since_compaction() const = 0;
-};
-
-// Discards everything; "recovery" finds an empty log. For tests and for
-// benchmarks isolating in-memory behaviour.
-class NullStore final : public MessageStore {
- public:
-  util::Status append(const LogRecord&) override { return util::ok_status(); }
-  util::Status append_batch(const std::vector<LogRecord>&) override {
-    return util::ok_status();
-  }
-  util::Result<std::vector<LogRecord>> replay() override {
-    return std::vector<LogRecord>{};
-  }
-  util::Status rewrite(const std::vector<LogRecord>&) override {
-    return util::ok_status();
-  }
-  std::size_t appended_since_compaction() const override { return 0; }
-};
-
-// In-memory log with full replay/rewrite semantics: durability without the
-// filesystem. Used to test recovery logic deterministically and to model
-// "restart" by constructing a new QueueManager over the same MemoryStore.
-class MemoryStore final : public MessageStore {
- public:
-  util::Status append(const LogRecord& record) override;
-  util::Status append_batch(const std::vector<LogRecord>& records) override;
-  util::Result<std::vector<LogRecord>> replay() override;
-  util::Status rewrite(const std::vector<LogRecord>& snapshot) override;
-  std::size_t appended_since_compaction() const override;
-
-  // Test hook: drop the last `n` records, emulating a crash that lost a
-  // log suffix (e.g. a torn batch).
-  void truncate_tail(std::size_t n);
-
-  std::size_t record_count() const;
-
- private:
-  // Slab staging when the arena fast path is on: every record of an
-  // append call (tx markers included) is encoded u32-length-prefixed
-  // into one blob OUTSIDE the store mutex — a handful of allocations and
-  // a short critical section per batch instead of one encode (and its
-  // allocation) per record under the lock. Slabs are size-capped so a
-  // huge batch stages as several heap-recyclable blobs rather than one
-  // mmap-sized one. With the arena off (the A/B baseline) each record is
-  // its own single-count chunk, encoded under the lock as the seed's
-  // per-record vector did.
-  struct Chunk {
-    std::string blob;       // (u32 len | record bytes)*
-    std::size_t count = 0;  // records in this chunk
-  };
-
-  mutable std::mutex mu_;
-  std::vector<Chunk> chunks_;
-  std::size_t total_records_ = 0;
-  std::size_t appended_ = 0;
-};
-
-// What an OK append acknowledges (DESIGN.md §7 spells out exactly what
-// each policy guarantees after a crash).
-enum class SyncPolicy : std::uint8_t {
-  // Write-behind (the default): the append is acknowledged once staged;
-  // the commit thread writes groups in the background and the store drains
-  // on clean shutdown/replay/compaction. No fsync. A machine crash — or a
-  // hard kill before the staging buffer drains — may lose an acknowledged
-  // suffix of the log; replay drops it cleanly.
-  kNone = 0,
-  // The append blocks on its commit ticket; the commit thread fsyncs once
-  // per group BEFORE releasing the group's waiters. An acknowledged append
-  // is on stable storage; N concurrent producers share one fsync.
-  kEveryBatch = 1,
-  // The append blocks until its group is written (process-crash safe);
-  // fsync happens at most once per `sync_interval_ms` and once at
-  // shutdown, bounding machine-crash loss to the interval.
-  kInterval = 2,
-};
-
-struct FileStoreOptions {
-  SyncPolicy sync = SyncPolicy::kNone;
-  util::TimeMs sync_interval_ms = 50;  // kInterval only
-  // Group commit: producers stage encoded records and block on a commit
-  // ticket; a dedicated commit thread coalesces all pending records into
-  // one write (+ at most one fsync) and releases every waiter at once.
-  // false = the legacy path: one ::write per record on the caller's
-  // thread, serialized by the io mutex (kept for A/B benchmarking).
-  bool group_commit = true;
-};
-
-// File-backed log.
-//
-// Group-commit format (group_commit=true): the file starts with an 8-byte
-// magic; each append()/append_batch() call contributes ONE frame
-//   u32 blob_len | u32 crc32c(blob) | blob,   blob = (u32 rec_len | rec)*
-// so a call — in particular a whole tx-marked batch — is torn or kept as a
-// unit, and the checksum is computed once per call (hardware CRC32C where
-// available) instead of once per record. The commit thread coalesces all
-// staged frames into one ::write. Replay stops at the first truncated or
-// corrupt frame.
-//
-// Legacy format (group_commit=false): the pre-group-commit layout, one
-// frame `u32 len | u32 crc32(payload) | payload` per record, no magic,
-// written synchronously on the appender's thread under the io mutex. Kept
-// as the A/B baseline for bench_store_commit. replay() detects the format
-// by the magic, but a single file must not mix the two (do not reopen a
-// log with the other mode).
-class FileStore final : public MessageStore {
- public:
-  explicit FileStore(std::string path, FileStoreOptions options = {});
-  ~FileStore() override;
-
-  util::Status append(const LogRecord& record) override;
-  util::Status append_batch(const std::vector<LogRecord>& records) override;
-  util::Result<std::vector<LogRecord>> replay() override;
-  util::Status rewrite(const std::vector<LogRecord>& snapshot) override;
-  std::size_t appended_since_compaction() const override;
-
-  const std::string& path() const { return path_; }
-  const FileStoreOptions& options() const { return options_; }
-
- private:
-  // A commit group: the frames staged by every appender that arrived while
-  // the previous group was being written. kEveryBatch/kInterval appenders
-  // block until `done`; kNone appenders are acknowledged at staging time.
-  struct Group {
-    std::string bytes;        // concatenated per-appender frames
-    std::size_t records = 0;  // logical record count (for compaction)
-    bool done = false;
-    util::Status status = util::ok_status();
-  };
-
-  util::Status append_frame(std::string frame_bytes, std::size_t records);
-  util::Status append_legacy(const LogRecord* const* records, std::size_t n);
-  util::Status write_all(const char* data, std::size_t size);
-  util::Status open_for_append();
-  void commit_loop();
-  // Blocks until everything staged so far has reached the file, so that
-  // replay()/rewrite()/~FileStore observe every acknowledged record.
-  void drain_staging();
-  bool sync_due_locked();
-
-  const std::string path_;
-  const FileStoreOptions options_;
-
-  // Lock hierarchy (see DESIGN.md §7): staging_mu_ and io_mu_ are leaves of
-  // the system-wide order and are never held together by producers; the
-  // commit thread takes staging_mu_, releases it, then takes io_mu_.
-  std::mutex staging_mu_;  // guards open_group_, stop_, sticky_, done flags
-  std::condition_variable staging_cv_;  // wakes the commit thread
-  std::condition_variable done_cv_;     // wakes appenders / drainers
-  std::shared_ptr<Group> open_group_;
-  bool commit_inflight_ = false;  // commit thread is writing a group
-  bool stop_ = false;
-  // First write failure under write-behind: later appends report it
-  // instead of acknowledging records that can no longer be persisted.
-  util::Status sticky_ = util::ok_status();
-
-  mutable std::mutex io_mu_;  // guards fd_ and all file operations
-  int fd_ = -1;
-  std::atomic<std::size_t> appended_{0};
-  std::uint64_t last_sync_us_ = 0;  // commit thread / io_mu_ only
-
-  std::thread commit_thread_;  // unstarted when !options_.group_commit
-};
-
-// Computes the CRC32 (IEEE polynomial) of a byte range. Used by the legacy
-// per-record frame format.
-std::uint32_t crc32(std::string_view data);
-
-// Computes the CRC32C (Castagnoli polynomial) of a byte range, using the
-// SSE4.2 crc32 instruction when the CPU has it and a slice-by-8 table
-// otherwise. Used by the group-commit frame format: one checksum per
-// append call instead of per record.
-std::uint32_t crc32c(std::string_view data);
-
-}  // namespace cmx::mq
+#include "mq/store/backend.hpp"        // IWYU pragma: export
+#include "mq/store/crc.hpp"            // IWYU pragma: export
+#include "mq/store/file_store.hpp"     // IWYU pragma: export
+#include "mq/store/memory_store.hpp"   // IWYU pragma: export
+#include "mq/store/registry.hpp"       // IWYU pragma: export
+#include "mq/store/segmented_store.hpp"  // IWYU pragma: export

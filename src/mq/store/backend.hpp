@@ -1,0 +1,244 @@
+// Storage-backend facade: the write-ahead-log interface behind a queue
+// manager's "reliable" delivery guarantee, UCSB-style — one interface,
+// many engines (DESIGN.md §11). Every persistent put/get and every queue
+// create/delete is appended as a LogRecord; recovery replays the log to
+// rebuild queue contents after a crash/restart.
+//
+// Batches (used by transacted sessions) are bracketed by kTxBegin/kTxCommit
+// markers; replay discards records of a batch whose commit marker never made
+// it to disk, so a torn commit leaves the pre-transaction state. Markers
+// nest, and the durable engines additionally frame each append call as a
+// single checksummed unit, so a torn group drops as a whole.
+//
+// Durability contract (DESIGN.md §7): append()/append_batch() returning OK
+// means the record reached the log *by the engine's sync policy* — see
+// SyncPolicy below and each engine's header. Engines advertise what they
+// can do through StoreCaps; callers that drive compaction or replay MUST
+// dispatch on the descriptor instead of assuming the flat-log shape.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mq/message.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace cmx::mq {
+
+struct LogRecord {
+  enum class Type : std::uint8_t {
+    kQueueCreate = 0,
+    kQueueDelete = 1,
+    kPut = 2,     // message enqueued on `queue`
+    kGet = 3,     // message `msg_id` consumed from `queue`
+    kTxBegin = 4,  // start of an atomic batch `tx_id`
+    kTxCommit = 5,
+  };
+
+  Type type = Type::kPut;
+  std::string queue;
+  std::string msg_id;  // kGet only
+  std::string tx_id;   // kTxBegin/kTxCommit only
+  Message message;     // kPut only
+
+  // Encode-only borrows: when set, encode() reads the queue name, message
+  // id, or message from the referenced storage instead of the owned fields
+  // above, so the hot batch paths build records without copying a Message
+  // (or its id string) per record. A borrowed record is valid ONLY until
+  // the MessageStore::append*() call it is passed to returns — stores
+  // encode eagerly and never retain LogRecords.
+  std::string_view queue_ref = {};    // data() == nullptr => use `queue`
+  std::string_view msg_id_ref = {};   // data() == nullptr => use `msg_id`
+  const Message* message_ref = nullptr;  // nullptr => use `message`
+
+  static LogRecord queue_create(std::string queue_name);
+  static LogRecord queue_delete(std::string queue_name);
+  static LogRecord put(std::string queue_name, Message msg);
+  static LogRecord get(std::string queue_name, std::string message_id);
+  // Borrowing variants of put/get for the batch append paths.
+  static LogRecord put_ref(const std::string& queue_name, const Message& msg);
+  static LogRecord get_ref(const std::string& queue_name,
+                           std::string_view message_id);
+  static LogRecord tx_begin(std::string id);
+  static LogRecord tx_commit(std::string id);
+
+  // Borrow-resolving accessors: the value regardless of whether this
+  // record owns its fields or borrows them. MessageStore implementations
+  // that inspect records must use these, not the raw fields — the batch
+  // paths pass borrowed records whose owned fields are empty.
+  std::string_view queue_name() const {
+    return queue_ref.data() != nullptr ? queue_ref : std::string_view(queue);
+  }
+  std::string_view message_id() const {
+    return msg_id_ref.data() != nullptr ? msg_id_ref : std::string_view(msg_id);
+  }
+  const Message& msg() const {
+    return message_ref != nullptr ? *message_ref : message;
+  }
+
+  std::string encode() const;
+  // Upper-ballpark encoded size (exact when the message frame is
+  // memoized), for pre-reserving slab buffers so staging a batch of
+  // large bodies doesn't realloc-copy the blob per record.
+  std::size_t encoded_size_hint() const {
+    std::size_t n =
+        17 + queue_name().size() + message_id().size() + tx_id.size();
+    if (type == Type::kPut) n += msg().frame_size_hint();
+    return n;
+  }
+  // Appends the encoded record to `w` in place — the group-commit staging
+  // path serializes every record of a batch into one blob with no
+  // per-record temporaries.
+  void encode_into(util::BinaryWriter& w) const;
+  static util::Result<LogRecord> decode(std::string_view data);
+};
+
+// How an engine wants compaction driven. The queue manager dispatches on
+// this instead of unconditionally calling rewrite() — a segmented engine
+// retires dead segments itself and never materializes a flat snapshot.
+enum class CompactionMode : std::uint8_t {
+  kNone = 0,             // nothing to compact (NullStore)
+  kSnapshotRewrite = 1,  // caller builds a snapshot and calls rewrite()
+  kSelfCompacting = 2,   // engine compacts in place via compact_self()
+};
+
+// What an OK append acknowledges (DESIGN.md §7 spells out exactly what
+// each policy guarantees after a crash).
+enum class SyncPolicy : std::uint8_t {
+  // No fsync. For write-behind engines (FileStore group commit) the append
+  // is acknowledged once staged; for synchronous engines (SegmentedLogStore)
+  // once the bytes reached the OS page cache. A machine crash may lose an
+  // acknowledged suffix of the log; replay drops it cleanly.
+  kNone = 0,
+  // The acknowledgment follows an fsync: an acknowledged append is on
+  // stable storage. Concurrent producers share one fsync where the engine
+  // supports group commit.
+  kEveryBatch = 1,
+  // The append is written (process-crash safe) before acknowledgment;
+  // fsync happens at most once per sync interval and once at shutdown,
+  // bounding machine-crash loss to the interval.
+  kInterval = 2,
+};
+
+// Engine capability descriptor. `backend` matches the registry key the
+// engine was (or would be) created under.
+struct StoreCaps {
+  const char* backend = "unknown";
+  // Replay after a process restart over the same path sees the data (the
+  // engine is file-backed). MemoryStore replays within one process only.
+  bool durable = false;
+  // append()/append_batch() coalesce concurrent producers into shared
+  // write/fsync groups (a dedicated commit thread or equivalent).
+  bool supports_group_commit = false;
+  // replay_chunk() streams bounded chunks instead of materializing the
+  // whole log; recovery should use it when present.
+  bool supports_chunked_replay = false;
+  CompactionMode compaction = CompactionMode::kSnapshotRewrite;
+  // The effective ack policy of this instance (not a capability per se,
+  // but callers comparing engines "at equal durability" read it here).
+  SyncPolicy sync = SyncPolicy::kNone;
+};
+
+class MessageStore {
+ public:
+  virtual ~MessageStore() = default;
+
+  // What this engine can do; see StoreCaps. Callers must dispatch
+  // compaction and replay shape on the descriptor.
+  virtual StoreCaps caps() const { return StoreCaps{}; }
+
+  // Appends one record. OK means the record is acknowledged per the
+  // engine's sync policy (see the durability contract above) — it does
+  // NOT universally imply the bytes hit the platter.
+  virtual util::Status append(const LogRecord& record) = 0;
+
+  // Appends a group of records that must be applied all-or-nothing on
+  // recovery. Implementations bracket them with tx markers.
+  virtual util::Status append_batch(const std::vector<LogRecord>& records) = 0;
+
+  // Reads back every committed record, in order. Tolerates a torn tail
+  // (stops at the first corrupt/truncated record). Engines may return a
+  // *normalized* stream — e.g. consumed puts elided — as long as applying
+  // it reproduces the same queue state in the same per-queue order.
+  virtual util::Result<std::vector<LogRecord>> replay() = 0;
+
+  // Chunked replay (caps().supports_chunked_replay): streams the log in
+  // bounded chunks — segment by segment for SegmentedLogStore — so
+  // recovery never materializes the whole log at once. Call until
+  // `cursor.done`; a default-constructed cursor starts a fresh pass. The
+  // default implementation delegates to replay() in one chunk.
+  struct ReplayCursor {
+    bool done = false;
+    std::shared_ptr<void> state;  // engine-owned scan state
+  };
+  virtual util::Result<std::vector<LogRecord>> replay_chunk(
+      ReplayCursor& cursor);
+
+  // Replaces the log with the given snapshot. Only meaningful for
+  // CompactionMode::kSnapshotRewrite engines; the default refuses, so
+  // self-compacting engines are never forced through the flat-log path.
+  virtual util::Status rewrite(const std::vector<LogRecord>& snapshot);
+
+  // In-place compaction for CompactionMode::kSelfCompacting engines
+  // (segment retirement / copy-forward). The default refuses.
+  virtual util::Status compact_self();
+
+  // Records appended since the last compaction (rewrite()/compact_self())
+  // or construction; the queue manager uses this to trigger compaction.
+  virtual std::size_t appended_since_compaction() const = 0;
+};
+
+// Discards everything; "recovery" finds an empty log. For tests and for
+// benchmarks isolating in-memory behaviour.
+class NullStore final : public MessageStore {
+ public:
+  StoreCaps caps() const override {
+    StoreCaps caps;
+    caps.backend = "null";
+    caps.compaction = CompactionMode::kNone;
+    return caps;
+  }
+  util::Status append(const LogRecord&) override { return util::ok_status(); }
+  util::Status append_batch(const std::vector<LogRecord>&) override {
+    return util::ok_status();
+  }
+  util::Result<std::vector<LogRecord>> replay() override {
+    return std::vector<LogRecord>{};
+  }
+  util::Status rewrite(const std::vector<LogRecord>&) override {
+    return util::ok_status();
+  }
+  std::size_t appended_since_compaction() const override { return 0; }
+};
+
+// Streaming commit-marker filter shared by the engines' replay paths:
+// drops records belonging to batches without a commit marker. Markers may
+// nest (e.g. a store layered over another batching store): an inner batch
+// only survives if every enclosing batch also committed, so a torn outer
+// batch is dropped as a unit. Chunked replays keep one CommitFilter alive
+// across chunks, because marker pairs may span chunk (segment) boundaries.
+class CommitFilter {
+ public:
+  // Feeds one record; records that became committed are appended to `out`.
+  void push(LogRecord record, std::vector<LogRecord>& out);
+  // End of log: batches still open at the tail are uncommitted (torn) and
+  // are discarded.
+  void finish() { stack_.clear(); }
+
+ private:
+  struct OpenBatch {
+    std::string id;
+    std::vector<LogRecord> records;
+  };
+  std::vector<OpenBatch> stack_;
+};
+
+// Batch convenience over CommitFilter for engines that materialize the
+// whole raw record stream before filtering.
+std::vector<LogRecord> filter_committed_records(std::vector<LogRecord> raw);
+
+}  // namespace cmx::mq

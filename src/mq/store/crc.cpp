@@ -1,0 +1,117 @@
+#include "mq/store/crc.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace cmx::mq {
+
+namespace {
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const auto table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------
+// crc32c (Castagnoli). The group frame formats checksum a whole append
+// call at once, so this sits on the producer hot path: use the SSE4.2
+// crc32 instruction when available, slice-by-8 tables otherwise.
+// ---------------------------------------------------------------------
+
+namespace {
+using Crc32cTables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+Crc32cTables make_crc32c_tables() {
+  Crc32cTables t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : (c >> 1);
+    }
+    t[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = t[0][i];
+    for (std::size_t k = 1; k < 8; ++k) {
+      c = t[0][c & 0xFFu] ^ (c >> 8);
+      t[k][i] = c;
+    }
+  }
+  return t;
+}
+
+std::uint32_t crc32c_sw(std::string_view data) {
+  static const Crc32cTables t = make_crc32c_tables();
+  const auto le32 = [](const char* q) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(q[0])) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(q[1])) << 8) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(q[2]))
+            << 16) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(q[3]))
+            << 24);
+  };
+  std::uint32_t c = 0xFFFFFFFFu;
+  const char* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    const std::uint32_t lo = le32(p) ^ c;
+    const std::uint32_t hi = le32(p + 4);
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+        t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+        t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n--) {
+    c = t[0][(c ^ static_cast<unsigned char>(*p++)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+#if defined(__x86_64__)
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(
+    std::string_view data) {
+  std::uint64_t c = 0xFFFFFFFFu;
+  const char* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    c = __builtin_ia32_crc32di(c, v);
+    p += 8;
+    n -= 8;
+  }
+  std::uint32_t c32 = static_cast<std::uint32_t>(c);
+  while (n--) {
+    c32 = __builtin_ia32_crc32qi(c32, static_cast<unsigned char>(*p++));
+  }
+  return c32 ^ 0xFFFFFFFFu;
+}
+#endif
+}  // namespace
+
+std::uint32_t crc32c(std::string_view data) {
+#if defined(__x86_64__)
+  static const bool hw = __builtin_cpu_supports("sse4.2");
+  if (hw) return crc32c_hw(data);
+#endif
+  return crc32c_sw(data);
+}
+
+}  // namespace cmx::mq

@@ -1,0 +1,20 @@
+// Checksums used by the durable log formats (DESIGN.md §7/§11).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cmx::mq {
+
+// Computes the CRC32 (IEEE polynomial) of a byte range. Used by the legacy
+// per-record frame format.
+std::uint32_t crc32(std::string_view data);
+
+// Computes the CRC32C (Castagnoli polynomial) of a byte range, using the
+// SSE4.2 crc32 instruction when the CPU has it and a slice-by-8 table
+// otherwise. Used by the group frame format (FileStore v2 outer frames,
+// SegmentedLogStore segment headers and frames): one checksum per append
+// call instead of per record.
+std::uint32_t crc32c(std::string_view data);
+
+}  // namespace cmx::mq

@@ -1,0 +1,112 @@
+// Flat-log file engine (registry key "file").
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mq/store/backend.hpp"
+
+namespace cmx::mq {
+
+struct FileStoreOptions {
+  SyncPolicy sync = SyncPolicy::kNone;
+  util::TimeMs sync_interval_ms = 50;  // kInterval only
+  // Group commit: producers stage encoded records and block on a commit
+  // ticket; a dedicated commit thread coalesces all pending records into
+  // one write (+ at most one fsync) and releases every waiter at once.
+  // false = the legacy path: one ::write per record on the caller's
+  // thread, serialized by the io mutex (kept for A/B benchmarking).
+  bool group_commit = true;
+};
+
+// File-backed log.
+//
+// Group-commit format (group_commit=true): the file starts with an 8-byte
+// magic; each append()/append_batch() call contributes ONE frame
+//   u32 blob_len | u32 crc32c(blob) | blob,   blob = (u32 rec_len | rec)*
+// so a call — in particular a whole tx-marked batch — is torn or kept as a
+// unit, and the checksum is computed once per call (hardware CRC32C where
+// available) instead of once per record. The commit thread coalesces all
+// staged frames into one ::write. Replay stops at the first truncated or
+// corrupt frame.
+//
+// Legacy format (group_commit=false): the pre-group-commit layout, one
+// frame `u32 len | u32 crc32(payload) | payload` per record, no magic,
+// written synchronously on the appender's thread under the io mutex. Kept
+// as the A/B baseline for bench_store_commit. replay() detects the format
+// by the magic, but a single file must not mix the two (do not reopen a
+// log with the other mode).
+class FileStore final : public MessageStore {
+ public:
+  explicit FileStore(std::string path, FileStoreOptions options = {});
+  ~FileStore() override;
+
+  StoreCaps caps() const override {
+    StoreCaps caps;
+    caps.backend = "file";
+    caps.durable = true;
+    caps.supports_group_commit = options_.group_commit;
+    caps.compaction = CompactionMode::kSnapshotRewrite;
+    caps.sync = options_.sync;
+    return caps;
+  }
+  util::Status append(const LogRecord& record) override;
+  util::Status append_batch(const std::vector<LogRecord>& records) override;
+  util::Result<std::vector<LogRecord>> replay() override;
+  util::Status rewrite(const std::vector<LogRecord>& snapshot) override;
+  std::size_t appended_since_compaction() const override;
+
+  const std::string& path() const { return path_; }
+  const FileStoreOptions& options() const { return options_; }
+
+ private:
+  // A commit group: the frames staged by every appender that arrived while
+  // the previous group was being written. kEveryBatch/kInterval appenders
+  // block until `done`; kNone appenders are acknowledged at staging time.
+  struct Group {
+    std::string bytes;        // concatenated per-appender frames
+    std::size_t records = 0;  // logical record count (for compaction)
+    bool done = false;
+    util::Status status = util::ok_status();
+  };
+
+  util::Status append_frame(std::string frame_bytes, std::size_t records);
+  util::Status append_legacy(const LogRecord* const* records, std::size_t n);
+  util::Status write_all(const char* data, std::size_t size);
+  util::Status open_for_append();
+  void commit_loop();
+  // Blocks until everything staged so far has reached the file, so that
+  // replay()/rewrite()/~FileStore observe every acknowledged record.
+  void drain_staging();
+  bool sync_due_locked();
+
+  const std::string path_;
+  const FileStoreOptions options_;
+
+  // Lock hierarchy (see DESIGN.md §7): staging_mu_ and io_mu_ are leaves of
+  // the system-wide order and are never held together by producers; the
+  // commit thread takes staging_mu_, releases it, then takes io_mu_.
+  std::mutex staging_mu_;  // guards open_group_, stop_, sticky_, done flags
+  std::condition_variable staging_cv_;  // wakes the commit thread
+  std::condition_variable done_cv_;     // wakes appenders / drainers
+  std::shared_ptr<Group> open_group_;
+  bool commit_inflight_ = false;  // commit thread is writing a group
+  bool stop_ = false;
+  // First write failure under write-behind: later appends report it
+  // instead of acknowledging records that can no longer be persisted.
+  util::Status sticky_ = util::ok_status();
+
+  mutable std::mutex io_mu_;  // guards fd_ and all file operations
+  int fd_ = -1;
+  std::atomic<std::size_t> appended_{0};
+  std::uint64_t last_sync_us_ = 0;  // commit thread / io_mu_ only
+
+  std::thread commit_thread_;  // unstarted when !options_.group_commit
+};
+
+}  // namespace cmx::mq

@@ -1,0 +1,125 @@
+// Internal framing helpers shared by the store engines (not installed as
+// public API): u32-length-prefixed record packing and the group-frame
+// layout `u32 blob_len | u32 crc32c(blob) | blob` with
+// blob = (u32 rec_len | rec)* that FileStore v2 and SegmentedLogStore
+// bodies both use. DESIGN.md §7/§11 document the byte layouts.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "mq/store/backend.hpp"
+#include "mq/store/crc.hpp"
+#include "util/codec.hpp"
+
+namespace cmx::mq::store_detail {
+
+// Appends one u32-length-prefixed record to `blob`. The length is written
+// after the record (whose size is unknown up front) by patching the
+// placeholder — BinaryWriter's integer encoding is a native-order memcpy.
+inline void append_prefixed_record(std::string& blob, const LogRecord& rec) {
+  const std::size_t len_pos = blob.size();
+  blob.append(4, '\0');
+  util::BinaryWriter w(blob);
+  rec.encode_into(w);
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(blob.size() - len_pos - 4);
+  std::memcpy(&blob[len_pos], &len, sizeof(len));
+}
+
+// Walks the record boundaries of a trusted length-prefixed blob: calls
+// `fn(record_bytes)` for each record. Bounds checks guard against a
+// mis-sized truncate only.
+template <typename Fn>
+void for_each_record(const std::string& blob, Fn&& fn) {
+  std::size_t pos = 0;
+  while (pos + 4 <= blob.size()) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, blob.data() + pos, sizeof(len));
+    pos += 4;
+    if (pos + len > blob.size()) break;
+    fn(std::string_view(blob.data() + pos, len));
+    pos += len;
+  }
+}
+
+// Appends one inner record frame (u32 length, record bytes) to a blob.
+inline void append_inner(std::string& blob, const std::string& rec) {
+  util::BinaryWriter header;
+  header.put_u32(static_cast<std::uint32_t>(rec.size()));
+  blob += header.take();
+  blob += rec;
+}
+
+// Encodes `rec` straight into `blob` (length prefix back-patched), so the
+// group staging paths touch no per-record temporary string.
+inline void append_inner_record(std::string& blob, const LogRecord& rec) {
+  util::BinaryWriter w(blob);
+  const std::size_t len_at = blob.size();
+  w.put_u32(0);  // placeholder; patched below
+  const std::size_t body_at = blob.size();
+  rec.encode_into(w);
+  const auto len = static_cast<std::uint32_t>(blob.size() - body_at);
+  std::memcpy(blob.data() + len_at, &len, sizeof(len));
+}
+
+// Seals a blob of inner frames into one group frame:
+// u32 blob length, u32 crc32c(blob), blob. Built on the appender's thread
+// so a commit thread has nothing to do but write.
+inline std::string seal_frame(std::string_view blob) {
+  util::BinaryWriter header;
+  header.put_u32(static_cast<std::uint32_t>(blob.size()));
+  header.put_u32(crc32c(blob));
+  std::string out = header.take();
+  out.reserve(out.size() + blob.size());
+  out.append(blob);
+  return out;
+}
+
+// Scans a byte range of sealed group frames, calling `fn(record)` for each
+// decoded record. Stops at the first torn or corrupt frame — conservative:
+// a CRC-valid frame with a malformed interior means a writer bug, not a
+// torn write, and also stops the scan. Returns the byte offset of the
+// first frame NOT consumed (== view.size() when the whole range parsed).
+template <typename Fn>
+std::size_t scan_group_frames(std::string_view view, Fn&& fn) {
+  std::size_t pos = 0;
+  while (pos + 8 <= view.size()) {
+    util::BinaryReader header(view.substr(pos, 8));
+    const std::uint32_t len = header.get_u32().value();
+    const std::uint32_t crc = header.get_u32().value();
+    if (pos + 8 + len > view.size()) break;  // torn tail
+    const std::string_view blob = view.substr(pos + 8, len);
+    if (crc32c(blob) != crc) break;  // corrupt tail
+    std::vector<LogRecord> frame_records;
+    std::size_t ip = 0;
+    bool frame_ok = true;
+    while (ip < blob.size()) {
+      if (ip + 4 > blob.size()) {
+        frame_ok = false;
+        break;
+      }
+      util::BinaryReader inner(blob.substr(ip, 4));
+      const std::uint32_t rec_len = inner.get_u32().value();
+      if (ip + 4 + rec_len > blob.size()) {
+        frame_ok = false;
+        break;
+      }
+      auto rec = LogRecord::decode(blob.substr(ip + 4, rec_len));
+      if (!rec) {
+        frame_ok = false;
+        break;
+      }
+      frame_records.push_back(std::move(rec).value());
+      ip += 4 + rec_len;
+    }
+    if (!frame_ok) break;
+    for (auto& rec : frame_records) fn(std::move(rec));
+    pos += 8 + len;
+  }
+  return pos;
+}
+
+}  // namespace cmx::mq::store_detail

@@ -1,0 +1,171 @@
+#include "mq/store/backend.hpp"
+#include "util/codec.hpp"
+
+namespace cmx::mq {
+
+// ---------------------------------------------------------------------
+// LogRecord
+// ---------------------------------------------------------------------
+
+LogRecord LogRecord::queue_create(std::string queue_name) {
+  LogRecord r;
+  r.type = Type::kQueueCreate;
+  r.queue = std::move(queue_name);
+  return r;
+}
+LogRecord LogRecord::queue_delete(std::string queue_name) {
+  LogRecord r;
+  r.type = Type::kQueueDelete;
+  r.queue = std::move(queue_name);
+  return r;
+}
+LogRecord LogRecord::put(std::string queue_name, Message msg) {
+  LogRecord r;
+  r.type = Type::kPut;
+  r.queue = std::move(queue_name);
+  r.message = std::move(msg);
+  return r;
+}
+LogRecord LogRecord::get(std::string queue_name, std::string message_id) {
+  LogRecord r;
+  r.type = Type::kGet;
+  r.queue = std::move(queue_name);
+  r.msg_id = std::move(message_id);
+  return r;
+}
+LogRecord LogRecord::put_ref(const std::string& queue_name,
+                             const Message& msg) {
+  LogRecord r;
+  r.type = Type::kPut;
+  r.queue_ref = queue_name;
+  r.message_ref = &msg;
+  return r;
+}
+LogRecord LogRecord::get_ref(const std::string& queue_name,
+                             std::string_view message_id) {
+  LogRecord r;
+  r.type = Type::kGet;
+  r.queue_ref = queue_name;
+  r.msg_id_ref = message_id;
+  return r;
+}
+LogRecord LogRecord::tx_begin(std::string id) {
+  LogRecord r;
+  r.type = Type::kTxBegin;
+  r.tx_id = std::move(id);
+  return r;
+}
+LogRecord LogRecord::tx_commit(std::string id) {
+  LogRecord r;
+  r.type = Type::kTxCommit;
+  r.tx_id = std::move(id);
+  return r;
+}
+
+std::string LogRecord::encode() const {
+  util::BinaryWriter w;
+  encode_into(w);
+  return w.take();
+}
+
+void LogRecord::encode_into(util::BinaryWriter& w) const {
+  const std::string_view q = queue_name();
+  const std::string_view id = message_id();
+  w.reserve(17 + q.size() + id.size() + tx_id.size());
+  w.put_u8(static_cast<std::uint8_t>(type));
+  w.put_string(q);
+  w.put_string(id);
+  w.put_string(tx_id);
+  if (type == Type::kPut) {
+    // Serves the frame from the memo (borrowed frames included) without
+    // materializing an intermediate string per record.
+    msg().append_frame_to(w);
+  } else {
+    w.put_string("");
+  }
+}
+
+util::Result<LogRecord> LogRecord::decode(std::string_view data) {
+  util::BinaryReader r(data);
+  auto type = r.get_u8();
+  if (!type) return type.status();
+  LogRecord rec;
+  rec.type = static_cast<Type>(type.value());
+  auto queue = r.get_string();
+  if (!queue) return queue.status();
+  rec.queue = std::move(queue).value();
+  auto msg_id = r.get_string();
+  if (!msg_id) return msg_id.status();
+  rec.msg_id = std::move(msg_id).value();
+  auto tx_id = r.get_string();
+  if (!tx_id) return tx_id.status();
+  rec.tx_id = std::move(tx_id).value();
+  auto msg_bytes = r.get_string();
+  if (!msg_bytes) return msg_bytes.status();
+  if (rec.type == Type::kPut) {
+    auto msg = Message::decode(msg_bytes.value());
+    if (!msg) return msg.status();
+    rec.message = std::move(msg).value();
+  }
+  return rec;
+}
+
+// ---------------------------------------------------------------------
+// MessageStore defaults
+// ---------------------------------------------------------------------
+
+util::Result<std::vector<LogRecord>> MessageStore::replay_chunk(
+    ReplayCursor& cursor) {
+  cursor.done = true;
+  return replay();
+}
+
+util::Status MessageStore::rewrite(const std::vector<LogRecord>&) {
+  return util::make_error(
+      util::ErrorCode::kFailedPrecondition,
+      std::string(caps().backend) + " store does not take snapshot rewrites");
+}
+
+util::Status MessageStore::compact_self() {
+  return util::make_error(
+      util::ErrorCode::kFailedPrecondition,
+      std::string(caps().backend) + " store is not self-compacting");
+}
+
+// ---------------------------------------------------------------------
+// CommitFilter
+// ---------------------------------------------------------------------
+
+void CommitFilter::push(LogRecord record, std::vector<LogRecord>& out) {
+  if (record.type == LogRecord::Type::kTxBegin) {
+    stack_.push_back({std::move(record.tx_id), {}});
+    return;
+  }
+  if (record.type == LogRecord::Type::kTxCommit) {
+    if (stack_.empty() || stack_.back().id != record.tx_id) {
+      // A commit without its matching begin: the log lost the batch
+      // structure (e.g. a half-appended batch followed by new records).
+      // Discard everything still open.
+      stack_.clear();
+      return;
+    }
+    OpenBatch committed = std::move(stack_.back());
+    stack_.pop_back();
+    auto& dest = stack_.empty() ? out : stack_.back().records;
+    for (auto& b : committed.records) dest.push_back(std::move(b));
+    return;
+  }
+  auto& dest = stack_.empty() ? out : stack_.back().records;
+  dest.push_back(std::move(record));
+}
+
+std::vector<LogRecord> filter_committed_records(std::vector<LogRecord> raw) {
+  CommitFilter filter;
+  std::vector<LogRecord> out;
+  out.reserve(raw.size());
+  for (auto& rec : raw) filter.push(std::move(rec), out);
+  filter.finish();
+  return out;
+}
+
+}  // namespace cmx::mq

@@ -1,0 +1,182 @@
+#include "mq/store/memory_store.hpp"
+
+#include <algorithm>
+
+#include "mq/store/framing.hpp"
+#include "util/arena.hpp"
+#include "util/id.hpp"
+
+namespace cmx::mq {
+
+using store_detail::append_prefixed_record;
+using store_detail::for_each_record;
+
+util::Status MemoryStore::append(const LogRecord& record) {
+  if (util::arena_enabled()) {
+    // Slab path: encode outside the mutex so concurrent appenders (the
+    // per-get consumption log, the channel mover's batches) serialize
+    // only on the vector push, not on each other's serialization work.
+    Chunk chunk;
+    chunk.blob.reserve(4 + record.encoded_size_hint());
+    append_prefixed_record(chunk.blob, record);
+    chunk.count = 1;
+    std::lock_guard<std::mutex> lk(mu_);
+    chunks_.push_back(std::move(chunk));
+    ++total_records_;
+    ++appended_;
+    return util::ok_status();
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  Chunk chunk;
+  append_prefixed_record(chunk.blob, record);
+  chunk.count = 1;
+  chunks_.push_back(std::move(chunk));
+  ++total_records_;
+  ++appended_;
+  return util::ok_status();
+}
+
+util::Status MemoryStore::append_batch(const std::vector<LogRecord>& records) {
+  const std::string tx_id = util::generate_id("tx");
+  if (util::arena_enabled()) {
+    // Slabs for the whole bracketed batch, encoded outside the mutex: a
+    // handful of allocations and one short critical section instead of
+    // n+2 encodes under the lock. Reserves are sized from the records
+    // (exact when frames are memoized) so large-body batches don't
+    // realloc-copy the blob per record — and each slab is capped near the
+    // allocator's mmap threshold, because one giant blob per huge batch
+    // would be a fresh mmap/munmap (page faults on every touch) instead
+    // of a recycled heap block.
+    constexpr std::size_t kSlabTarget = 96 * 1024;
+    const LogRecord begin = LogRecord::tx_begin(tx_id);
+    const LogRecord commit = LogRecord::tx_commit(tx_id);
+    std::size_t remaining = 2 * (4 + begin.encoded_size_hint());
+    for (const auto& rec : records) remaining += 4 + rec.encoded_size_hint();
+    std::vector<Chunk> staged;
+    Chunk cur;
+    auto add = [&](const LogRecord& rec) {
+      const std::size_t need = 4 + rec.encoded_size_hint();
+      if (cur.count > 0 && cur.blob.size() + need > kSlabTarget) {
+        staged.push_back(std::move(cur));
+        cur = Chunk{};
+      }
+      if (cur.count == 0) {
+        cur.blob.reserve(std::max(need, std::min(remaining, kSlabTarget)));
+      }
+      append_prefixed_record(cur.blob, rec);
+      ++cur.count;
+      remaining -= std::min(remaining, need);
+    };
+    add(begin);
+    for (const auto& rec : records) add(rec);
+    add(commit);
+    staged.push_back(std::move(cur));
+    std::lock_guard<std::mutex> lk(mu_);
+    total_records_ += records.size() + 2;
+    appended_ += records.size() + 2;
+    for (auto& c : staged) chunks_.push_back(std::move(c));
+    return util::ok_status();
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  auto push_one = [this](const LogRecord& rec) {
+    Chunk chunk;
+    append_prefixed_record(chunk.blob, rec);
+    chunk.count = 1;
+    chunks_.push_back(std::move(chunk));
+    ++total_records_;
+  };
+  push_one(LogRecord::tx_begin(tx_id));
+  for (const auto& rec : records) push_one(rec);
+  push_one(LogRecord::tx_commit(tx_id));
+  appended_ += records.size() + 2;
+  return util::ok_status();
+}
+
+util::Result<std::vector<LogRecord>> MemoryStore::replay() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<LogRecord> raw;
+  raw.reserve(total_records_);
+  bool torn = false;
+  for (const auto& chunk : chunks_) {
+    if (torn) break;
+    for_each_record(chunk.blob, [&](std::string_view bytes) {
+      if (torn) return;
+      auto rec = LogRecord::decode(bytes);
+      if (!rec) {
+        torn = true;  // torn tail
+        return;
+      }
+      raw.push_back(std::move(rec).value());
+    });
+  }
+  return filter_committed_records(std::move(raw));
+}
+
+util::Status MemoryStore::rewrite(const std::vector<LogRecord>& snapshot) {
+  if (util::arena_enabled()) {
+    std::size_t bytes = 0;
+    for (const auto& rec : snapshot) bytes += 4 + rec.encoded_size_hint();
+    Chunk chunk;
+    chunk.blob.reserve(bytes);
+    for (const auto& rec : snapshot) append_prefixed_record(chunk.blob, rec);
+    chunk.count = snapshot.size();
+    std::lock_guard<std::mutex> lk(mu_);
+    chunks_.clear();
+    total_records_ = chunk.count;
+    if (chunk.count > 0) chunks_.push_back(std::move(chunk));
+    appended_ = 0;
+    return util::ok_status();
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  chunks_.clear();
+  total_records_ = 0;
+  for (const auto& rec : snapshot) {
+    Chunk chunk;
+    append_prefixed_record(chunk.blob, rec);
+    chunk.count = 1;
+    chunks_.push_back(std::move(chunk));
+    ++total_records_;
+  }
+  appended_ = 0;
+  return util::ok_status();
+}
+
+std::size_t MemoryStore::appended_since_compaction() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return appended_;
+}
+
+void MemoryStore::truncate_tail(std::size_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  while (n > 0 && !chunks_.empty()) {
+    Chunk& last = chunks_.back();
+    if (last.count <= n) {
+      n -= last.count;
+      total_records_ -= last.count;
+      chunks_.pop_back();
+      continue;
+    }
+    // Partial cut inside a slab: keep the first count-n records.
+    const std::size_t keep = last.count - n;
+    std::size_t pos = 0;
+    std::size_t seen = 0;
+    for_each_record(last.blob, [&](std::string_view bytes) {
+      if (seen < keep) {
+        pos = static_cast<std::size_t>(bytes.data() + bytes.size() -
+                                       last.blob.data());
+        ++seen;
+      }
+    });
+    last.blob.resize(pos);
+    last.count = keep;
+    total_records_ -= n;
+    n = 0;
+  }
+}
+
+std::size_t MemoryStore::record_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_records_;
+}
+
+}  // namespace cmx::mq

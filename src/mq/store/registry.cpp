@@ -1,0 +1,210 @@
+#include "mq/store/registry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "mq/store/file_store.hpp"
+#include "mq/store/memory_store.hpp"
+#include "mq/store/segmented_store.hpp"
+
+namespace cmx::mq {
+
+namespace {
+
+util::Status bad_spec(const std::string& what) {
+  return util::make_error(util::ErrorCode::kInvalidArgument,
+                          "store spec: " + what);
+}
+
+util::Result<SyncPolicy> parse_sync(const std::string& value) {
+  if (value == "none") return SyncPolicy::kNone;
+  if (value == "every_batch") return SyncPolicy::kEveryBatch;
+  if (value == "interval") return SyncPolicy::kInterval;
+  return bad_spec("unknown sync policy '" + value +
+                  "' (none|every_batch|interval)");
+}
+
+util::Result<std::uint64_t> parse_uint(const std::string& key,
+                                       const std::string& value) {
+  if (value.empty()) return bad_spec(key + " needs a number");
+  std::uint64_t n = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') return bad_spec(key + "=" + value + " not a number");
+    n = n * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return n;
+}
+
+util::Result<bool> parse_bool(const std::string& key,
+                              const std::string& value) {
+  if (value == "0" || value == "false") return false;
+  if (value == "1" || value == "true") return true;
+  return bad_spec(key + "=" + value + " not a boolean (0|1|true|false)");
+}
+
+// Consumes the keys a backend understands; anything left over is a typo.
+util::Status reject_unknown_params(const StoreSpec& spec,
+                                   std::initializer_list<const char*> known) {
+  for (const auto& [key, value] : spec.params) {
+    if (std::none_of(known.begin(), known.end(),
+                     [&](const char* k) { return key == k; })) {
+      return bad_spec("backend '" + spec.backend + "' does not understand '" +
+                      key + "'");
+    }
+  }
+  return util::ok_status();
+}
+
+util::Result<std::unique_ptr<MessageStore>> make_null(const StoreSpec& spec) {
+  if (auto s = reject_unknown_params(spec, {}); !s) return s;
+  return std::unique_ptr<MessageStore>(std::make_unique<NullStore>());
+}
+
+util::Result<std::unique_ptr<MessageStore>> make_memory(
+    const StoreSpec& spec) {
+  if (auto s = reject_unknown_params(spec, {}); !s) return s;
+  return std::unique_ptr<MessageStore>(std::make_unique<MemoryStore>());
+}
+
+util::Result<std::unique_ptr<MessageStore>> make_file(const StoreSpec& spec) {
+  if (spec.path.empty()) return bad_spec("file backend needs a path");
+  if (auto s = reject_unknown_params(
+          spec, {"sync", "sync_interval_ms", "group_commit"});
+      !s) {
+    return s;
+  }
+  FileStoreOptions options;
+  if (auto it = spec.params.find("sync"); it != spec.params.end()) {
+    auto sync = parse_sync(it->second);
+    if (!sync) return sync.status();
+    options.sync = sync.value();
+  }
+  if (auto it = spec.params.find("sync_interval_ms");
+      it != spec.params.end()) {
+    auto ms = parse_uint("sync_interval_ms", it->second);
+    if (!ms) return ms.status();
+    options.sync_interval_ms = static_cast<util::TimeMs>(ms.value());
+  }
+  if (auto it = spec.params.find("group_commit"); it != spec.params.end()) {
+    auto gc = parse_bool("group_commit", it->second);
+    if (!gc) return gc.status();
+    options.group_commit = gc.value();
+  }
+  return std::unique_ptr<MessageStore>(
+      std::make_unique<FileStore>(spec.path, options));
+}
+
+util::Result<std::unique_ptr<MessageStore>> make_segmented(
+    const StoreSpec& spec) {
+  if (spec.path.empty()) return bad_spec("segmented backend needs a directory");
+  if (auto s = reject_unknown_params(
+          spec, {"sync", "sync_interval_ms", "segment_bytes"});
+      !s) {
+    return s;
+  }
+  SegmentedStoreOptions options;
+  if (auto it = spec.params.find("sync"); it != spec.params.end()) {
+    auto sync = parse_sync(it->second);
+    if (!sync) return sync.status();
+    options.sync = sync.value();
+  }
+  if (auto it = spec.params.find("sync_interval_ms");
+      it != spec.params.end()) {
+    auto ms = parse_uint("sync_interval_ms", it->second);
+    if (!ms) return ms.status();
+    options.sync_interval_ms = static_cast<util::TimeMs>(ms.value());
+  }
+  if (auto it = spec.params.find("segment_bytes"); it != spec.params.end()) {
+    auto bytes = parse_uint("segment_bytes", it->second);
+    if (!bytes) return bytes.status();
+    if (bytes.value() < 64) return bad_spec("segment_bytes too small");
+    options.segment_bytes = static_cast<std::size_t>(bytes.value());
+  }
+  return std::unique_ptr<MessageStore>(
+      std::make_unique<SegmentedLogStore>(spec.path, options));
+}
+
+}  // namespace
+
+util::Result<StoreSpec> parse_store_spec(std::string_view spec) {
+  StoreSpec out;
+  std::string_view rest = spec;
+  const std::size_t query_at = rest.find('?');
+  std::string_view query;
+  if (query_at != std::string_view::npos) {
+    query = rest.substr(query_at + 1);
+    rest = rest.substr(0, query_at);
+  }
+  const std::size_t colon_at = rest.find(':');
+  if (colon_at == std::string_view::npos) {
+    out.backend = std::string(rest);
+  } else {
+    out.backend = std::string(rest.substr(0, colon_at));
+    out.path = std::string(rest.substr(colon_at + 1));
+  }
+  if (out.backend.empty()) return bad_spec("empty backend name");
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? query : query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view{}
+                                          : query.substr(amp + 1);
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      return bad_spec("parameter '" + std::string(pair) + "' needs a value");
+    }
+    out.params[std::string(pair.substr(0, eq))] =
+        std::string(pair.substr(eq + 1));
+  }
+  return out;
+}
+
+StoreRegistry& StoreRegistry::instance() {
+  static StoreRegistry* registry = [] {
+    auto* r = new StoreRegistry();
+    r->register_backend("null", make_null);
+    r->register_backend("memory", make_memory);
+    r->register_backend("file", make_file);
+    r->register_backend("segmented", make_segmented);
+    return r;
+  }();
+  return *registry;
+}
+
+void StoreRegistry::register_backend(const std::string& name,
+                                     Factory factory) {
+  factories_[name] = std::move(factory);
+}
+
+std::vector<std::string> StoreRegistry::backend_names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+util::Result<std::unique_ptr<MessageStore>> StoreRegistry::create(
+    const StoreSpec& spec) const {
+  auto it = factories_.find(spec.backend);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& name : backend_names()) {
+      if (!known.empty()) known += "|";
+      known += name;
+    }
+    return util::make_error(util::ErrorCode::kInvalidArgument,
+                            "unknown store backend '" + spec.backend +
+                                "' (" + known + ")");
+  }
+  return it->second(spec);
+}
+
+util::Result<std::unique_ptr<MessageStore>> make_store(
+    std::string_view spec) {
+  auto parsed = parse_store_spec(spec);
+  if (!parsed) return parsed.status();
+  return StoreRegistry::instance().create(parsed.value());
+}
+
+}  // namespace cmx::mq

@@ -1,0 +1,63 @@
+// String-keyed store factory: sessions, examples, benches and tests select
+// engines by spec instead of hard-wired constructors (DESIGN.md §11).
+//
+// Spec grammar:   backend[:path][?key=value[&key=value]...]
+//
+//   null                          no durability
+//   memory                        in-process log
+//   file:/var/mq/node.log         flat log, default options
+//   file:/var/mq/node.log?sync=every_batch&group_commit=0
+//   segmented:/var/mq/node?segment_bytes=1048576&sync=interval
+//
+// Recognized keys: sync=none|every_batch|interval, sync_interval_ms=<ms>,
+// group_commit=0|1 (file only), segment_bytes=<bytes> (segmented only).
+// Unknown backends and unknown keys are errors — a typo must not silently
+// change the durability of a node.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mq/store/backend.hpp"
+
+namespace cmx::mq {
+
+// A parsed store spec.
+struct StoreSpec {
+  std::string backend;
+  std::string path;  // file path or segment directory; empty if unused
+  std::map<std::string, std::string> params;
+};
+
+util::Result<StoreSpec> parse_store_spec(std::string_view spec);
+
+class StoreRegistry {
+ public:
+  using Factory =
+      std::function<util::Result<std::unique_ptr<MessageStore>>(
+          const StoreSpec&)>;
+
+  // The process-wide registry, pre-loaded with the built-in backends
+  // ("null", "memory", "file", "segmented").
+  static StoreRegistry& instance();
+
+  // Registers (or replaces) a backend factory.
+  void register_backend(const std::string& name, Factory factory);
+
+  std::vector<std::string> backend_names() const;  // sorted
+
+  util::Result<std::unique_ptr<MessageStore>> create(
+      const StoreSpec& spec) const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+// Parses `spec` and builds the engine from the process-wide registry.
+util::Result<std::unique_ptr<MessageStore>> make_store(std::string_view spec);
+
+}  // namespace cmx::mq

@@ -1,0 +1,642 @@
+#include "mq/store/segmented_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "mq/store/crc.hpp"
+#include "mq/store/framing.hpp"
+#include "obs/registry.hpp"
+#include "util/codec.hpp"
+#include "util/id.hpp"
+
+namespace cmx::mq {
+
+namespace {
+
+constexpr char kSegMagic[8] = {'C', 'M', 'X', 'S', 'E', 'G', '1', '\n'};
+constexpr std::size_t kSegHeaderSize = 24;
+
+std::uint64_t steady_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string segment_path(const std::string& dir, std::uint64_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%08llu.seg",
+                static_cast<unsigned long long>(index));
+  return dir + "/" + name;
+}
+
+// seg-NNNNNNNN.seg -> index; false for anything else.
+bool parse_segment_name(const std::string& name, std::uint64_t& index) {
+  if (name.size() < 9 || name.compare(0, 4, "seg-") != 0) return false;
+  if (name.compare(name.size() - 4, 4, ".seg") != 0) return false;
+  const std::string digits = name.substr(4, name.size() - 8);
+  if (digits.empty()) return false;
+  std::uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  index = value;
+  return true;
+}
+
+std::string encode_segment_header(std::uint64_t index) {
+  util::BinaryWriter w;
+  w.reserve(kSegHeaderSize);
+  for (char c : kSegMagic) w.put_u8(static_cast<std::uint8_t>(c));
+  w.put_u64(index);
+  w.put_u32(0);  // reserved
+  std::string bytes = w.take();
+  util::BinaryWriter crc;
+  crc.put_u32(crc32c(std::string_view(bytes.data(), 20)));
+  return bytes + crc.take();
+}
+
+bool header_valid(std::string_view content, std::uint64_t expected_index) {
+  if (content.size() < kSegHeaderSize) return false;
+  if (std::memcmp(content.data(), kSegMagic, sizeof(kSegMagic)) != 0) {
+    return false;
+  }
+  util::BinaryReader r(content.substr(sizeof(kSegMagic)));
+  const std::uint64_t index = r.get_u64().value();
+  r.get_u32().value();  // reserved
+  const std::uint32_t crc = r.get_u32().value();
+  if (crc32c(content.substr(0, 20)) != crc) return false;
+  return index == expected_index;
+}
+
+util::Status read_file(const std::string& path, std::string& out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return util::make_error(errno == ENOENT ? util::ErrorCode::kNotFound
+                                            : util::ErrorCode::kIoError,
+                            "open " + path + ": " + std::strerror(errno));
+  }
+  out.clear();
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return util::make_error(util::ErrorCode::kIoError,
+                              "read " + path + ": " + std::strerror(errno));
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return util::ok_status();
+}
+
+}  // namespace
+
+using store_detail::append_inner_record;
+using store_detail::scan_group_frames;
+using store_detail::seal_frame;
+
+struct SegmentedLogStore::ScanState {
+  std::vector<std::pair<std::uint64_t, std::string>> files;
+  std::size_t next = 0;
+  CommitFilter filter;
+  bool stopped = false;
+};
+
+SegmentedLogStore::SegmentedLogStore(std::string dir,
+                                     SegmentedStoreOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  open_dir_and_rebuild().expect_ok("SegmentedLogStore open");
+  last_sync_us_ = steady_us();
+}
+
+SegmentedLogStore::~SegmentedLogStore() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (fd_ >= 0) {
+    // kInterval may owe a sync for the tail; a clean shutdown must not be
+    // less durable than the policy promises.
+    if (options_.sync != SyncPolicy::kNone) ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+SegmentedLogStore::Segment* SegmentedLogStore::find_segment_locked(
+    std::uint64_t index) {
+  for (auto& seg : segments_) {
+    if (seg.index == index) return &seg;
+  }
+  return nullptr;
+}
+
+void SegmentedLogStore::apply_committed_locked(const LogRecord& record,
+                                               std::uint64_t seg_index) {
+  Segment* seg = find_segment_locked(seg_index);
+  if (seg == nullptr) return;
+  switch (record.type) {
+    case LogRecord::Type::kPut: {
+      std::string id(record.msg().id());
+      // First occurrence wins: a duplicate id (hand-built log, replayed
+      // copy) must not double-count liveness.
+      if (live_.count(id) > 0) break;
+      seg->live_puts++;
+      seg->total_records++;
+      live_.emplace(std::move(id),
+                    LiveRef{seg_index, std::string(record.queue_name())});
+      break;
+    }
+    case LogRecord::Type::kGet: {
+      seg->total_records++;
+      auto it = live_.find(std::string(record.message_id()));
+      if (it == live_.end()) break;
+      if (Segment* home = find_segment_locked(it->second.seg)) {
+        home->live_puts--;
+      }
+      live_.erase(it);
+      break;
+    }
+    case LogRecord::Type::kQueueCreate: {
+      std::string q(record.queue_name());
+      existing_queues_.insert(q);
+      seg->meta_records++;
+      seg->total_records++;
+      seg->meta.emplace_back(record.type, std::move(q));
+      break;
+    }
+    case LogRecord::Type::kQueueDelete: {
+      const std::string q(record.queue_name());
+      existing_queues_.erase(q);
+      seg->meta_records++;
+      seg->total_records++;
+      seg->meta.emplace_back(record.type, q);
+      // The delete kills every live message of the queue wherever it sits.
+      for (auto it = live_.begin(); it != live_.end();) {
+        if (it->second.queue == q) {
+          if (Segment* home = find_segment_locked(it->second.seg)) {
+            home->live_puts--;
+          }
+          it = live_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      break;
+    }
+    case LogRecord::Type::kTxBegin:
+    case LogRecord::Type::kTxCommit:
+      break;  // markers are handled by the callers
+  }
+}
+
+util::Status SegmentedLogStore::open_dir_and_rebuild() {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "mkdir " + dir_ + ": " + ec.message());
+  }
+  // Enumerate segments; drop orphan squash temporaries (a crash between
+  // writing `.compact` and the rename leaves the original authoritative).
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  std::uint64_t max_index = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 8 &&
+        name.compare(name.size() - 8, 8, ".compact") == 0) {
+      ::unlink(entry.path().c_str());
+      continue;
+    }
+    std::uint64_t index = 0;
+    if (!parse_segment_name(name, index)) continue;
+    found.emplace_back(index, entry.path().string());
+    max_index = std::max(max_index, index);
+  }
+  if (ec) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "scan " + dir_ + ": " + ec.message());
+  }
+  std::sort(found.begin(), found.end());
+
+  // Rebuild the live index, scanning segments in order through a commit
+  // filter that attributes each record to its physical segment (a batch's
+  // records stay attributed to where their bytes live, even when its
+  // commit marker lands in a later segment).
+  struct Pending {
+    std::string id;
+    std::uint64_t begin_seg;
+    std::vector<std::pair<LogRecord, std::uint64_t>> records;
+  };
+  std::vector<Pending> stack;
+  auto mark_unclean = [&](std::uint64_t from, std::uint64_t to) {
+    for (auto& seg : segments_) {
+      if (seg.index >= from && seg.index <= to) seg.boundary_clean = false;
+    }
+  };
+  auto feed = [&](LogRecord rec, std::uint64_t seg_index) {
+    if (rec.type == LogRecord::Type::kTxBegin) {
+      stack.push_back({std::move(rec.tx_id), seg_index, {}});
+      return;
+    }
+    if (rec.type == LogRecord::Type::kTxCommit) {
+      if (stack.empty() || stack.back().id != rec.tx_id) {
+        for (const auto& p : stack) mark_unclean(p.begin_seg, seg_index);
+        stack.clear();
+        return;
+      }
+      Pending committed = std::move(stack.back());
+      stack.pop_back();
+      if (committed.begin_seg != seg_index) {
+        mark_unclean(committed.begin_seg, seg_index);
+      }
+      if (stack.empty()) {
+        for (auto& [r, s] : committed.records) apply_committed_locked(r, s);
+      } else {
+        auto& parent = stack.back().records;
+        for (auto& item : committed.records) {
+          parent.push_back(std::move(item));
+        }
+      }
+      return;
+    }
+    if (stack.empty()) {
+      apply_committed_locked(rec, seg_index);
+    } else {
+      stack.back().records.emplace_back(std::move(rec), seg_index);
+    }
+  };
+
+  std::size_t stop_at = found.size();
+  for (std::size_t i = 0; i < found.size(); ++i) {
+    const auto& [index, path] = found[i];
+    std::string content;
+    if (auto s = read_file(path, content); !s) return s;
+    if (!header_valid(content, index)) {
+      // Conservative stop: nothing at or after a corrupt header can be
+      // trusted (later records were acknowledged after the lost ones).
+      stop_at = i;
+      break;
+    }
+    Segment seg;
+    seg.index = index;
+    seg.path = path;
+    if (!stack.empty()) seg.boundary_clean = false;
+    segments_.push_back(std::move(seg));
+    const std::string body = content.substr(kSegHeaderSize);
+    const std::size_t consumed = scan_group_frames(
+        body, [&](LogRecord rec) { feed(std::move(rec), index); });
+    if (consumed < body.size()) {
+      // Torn tail inside this segment: keep the committed prefix, cut the
+      // tear so future opens scan cleanly, and trust nothing after it.
+      segments_.back().boundary_clean = false;
+      if (::truncate(path.c_str(),
+                     static_cast<off_t>(kSegHeaderSize + consumed)) != 0) {
+        return util::make_error(
+            util::ErrorCode::kIoError,
+            "truncate " + path + ": " + std::strerror(errno));
+      }
+      stop_at = i + 1;
+      break;
+    }
+  }
+  // Batches still open at the end of the scan are uncommitted: drop them
+  // and pin their segments (their bytes hold records replay will skip).
+  for (const auto& p : stack) {
+    mark_unclean(p.begin_seg, segments_.empty() ? p.begin_seg
+                                                : segments_.back().index);
+  }
+  stack.clear();
+  // Quarantine everything after the stop point: were those segments left
+  // in place, records appended from now on (always to a fresh, higher
+  // index) would sit behind the corruption and be silently dropped by the
+  // conservative stop on the NEXT open.
+  for (std::size_t i = stop_at; i < found.size(); ++i) {
+    const std::string& path = found[i].second;
+    const std::string bad = path + ".bad";
+    if (::rename(path.c_str(), bad.c_str()) != 0) {
+      return util::make_error(util::ErrorCode::kIoError,
+                              "rename " + path + ": " + std::strerror(errno));
+    }
+  }
+  return create_segment_locked(max_index + 1);
+}
+
+util::Status SegmentedLogStore::create_segment_locked(std::uint64_t index) {
+  const std::string path = segment_path(dir_, index);
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "open " + path + ": " + std::strerror(errno));
+  }
+  fd_ = fd;
+  const std::string header = encode_segment_header(index);
+  if (auto s = write_all_locked(header.data(), header.size()); !s) return s;
+  Segment seg;
+  seg.index = index;
+  seg.path = path;
+  seg.boundary_clean = open_marker_depth_ == 0;
+  segments_.push_back(std::move(seg));
+  active_bytes_ = kSegHeaderSize;
+  CMX_OBS_COUNT("store.segments_created", 1);
+  return util::ok_status();
+}
+
+util::Status SegmentedLogStore::roll_segment_locked() {
+  if (options_.sync != SyncPolicy::kNone) ::fsync(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  if (open_marker_depth_ > 0) segments_.back().boundary_clean = false;
+  return create_segment_locked(segments_.back().index + 1);
+}
+
+util::Status SegmentedLogStore::write_all_locked(const char* data,
+                                                 std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd_, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::make_error(util::ErrorCode::kIoError,
+                              "write " + segments_.back().path + ": " +
+                                  std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return util::ok_status();
+}
+
+bool SegmentedLogStore::sync_due_locked() {
+  const std::uint64_t now = steady_us();
+  const std::uint64_t interval_us =
+      static_cast<std::uint64_t>(options_.sync_interval_ms) * 1000u;
+  if (now - last_sync_us_ < interval_us) return false;
+  last_sync_us_ = now;
+  return true;
+}
+
+util::Status SegmentedLogStore::write_frame_locked(std::string_view frame) {
+  // Roll first so the frame lands wholly inside one segment — a torn call
+  // must drop as a unit, and replay treats segments as independent scans.
+  if (active_bytes_ > kSegHeaderSize &&
+      active_bytes_ + frame.size() > options_.segment_bytes) {
+    if (auto s = roll_segment_locked(); !s) {
+      sticky_ = s;
+      return s;
+    }
+  }
+  if (auto s = write_all_locked(frame.data(), frame.size()); !s) {
+    // Sticky: the log can no longer accept acknowledged records.
+    sticky_ = s;
+    return s;
+  }
+  active_bytes_ += frame.size();
+  if (options_.sync == SyncPolicy::kEveryBatch ||
+      (options_.sync == SyncPolicy::kInterval && sync_due_locked())) {
+    ::fsync(fd_);
+    CMX_OBS_COUNT("store.fsyncs", 1);
+  }
+  return util::ok_status();
+}
+
+util::Status SegmentedLogStore::append(const LogRecord& record) {
+  const std::uint64_t t0 = obs::enabled() ? obs::now_us() : 0;
+  std::string blob;
+  blob.reserve(4 + record.encoded_size_hint());
+  append_inner_record(blob, record);
+  const std::string frame = seal_frame(blob);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!sticky_) return sticky_;
+    if (auto s = write_frame_locked(frame); !s) return s;
+    const std::uint64_t active = segments_.back().index;
+    if (record.type == LogRecord::Type::kTxBegin) {
+      ++open_marker_depth_;
+      segments_.back().boundary_clean = false;
+    } else if (record.type == LogRecord::Type::kTxCommit) {
+      if (open_marker_depth_ > 0) --open_marker_depth_;
+      segments_.back().boundary_clean = false;
+    } else {
+      if (open_marker_depth_ > 0) {
+        // Inside a manually bracketed batch the record's commit status is
+        // unknowable segment-locally; count it live (conservative) and
+        // pin the segment against squash/retirement.
+        segments_.back().boundary_clean = false;
+      }
+      apply_committed_locked(record, active);
+    }
+    ++appended_;
+  }
+  CMX_OBS_COUNT("store.appends", 1);
+  if (obs::enabled()) {
+    CMX_OBS_RECORD("store.append_us", obs::now_us() - t0);
+  }
+  return util::ok_status();
+}
+
+util::Status SegmentedLogStore::append_batch(
+    const std::vector<LogRecord>& records) {
+  const LogRecord begin = LogRecord::tx_begin(util::generate_id("tx"));
+  const LogRecord commit = LogRecord::tx_commit(begin.tx_id);
+  // The whole batch — markers included — is one sealed frame, wholly in
+  // one segment, so it tears as a unit and never spans a boundary.
+  std::size_t bytes = 2 * (4 + begin.encoded_size_hint());
+  for (const auto& rec : records) bytes += 4 + rec.encoded_size_hint();
+  std::string blob;
+  blob.reserve(bytes);
+  append_inner_record(blob, begin);
+  for (const auto& rec : records) append_inner_record(blob, rec);
+  append_inner_record(blob, commit);
+  const std::string frame = seal_frame(blob);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!sticky_) return sticky_;
+    if (auto s = write_frame_locked(frame); !s) return s;
+    const std::uint64_t active = segments_.back().index;
+    if (open_marker_depth_ > 0) segments_.back().boundary_clean = false;
+    for (const auto& rec : records) apply_committed_locked(rec, active);
+    appended_ += records.size() + 2;
+  }
+  CMX_OBS_COUNT("store.appends", records.size() + 2);
+  return util::ok_status();
+}
+
+util::Result<std::vector<LogRecord>> SegmentedLogStore::replay_chunk(
+    ReplayCursor& cursor) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto* state = static_cast<ScanState*>(cursor.state.get());
+  if (state == nullptr) {
+    auto fresh = std::make_shared<ScanState>();
+    for (const auto& seg : segments_) {
+      fresh->files.emplace_back(seg.index, seg.path);
+    }
+    cursor.state = fresh;
+    state = fresh.get();
+  }
+  std::vector<LogRecord> out;
+  while (out.empty() && !state->stopped && state->next < state->files.size()) {
+    const auto& [index, path] = state->files[state->next++];
+    std::string content;
+    if (auto s = read_file(path, content); !s) {
+      // A segment retired by a concurrent compaction held only dead
+      // records; skip it.
+      if (s.code() == util::ErrorCode::kNotFound) continue;
+      return s;
+    }
+    if (!header_valid(content, index)) {
+      state->stopped = true;  // defensive; rebuild validated these
+      break;
+    }
+    const std::string body = content.substr(kSegHeaderSize);
+    const std::size_t consumed = scan_group_frames(body, [&](LogRecord rec) {
+      state->filter.push(std::move(rec), out);
+    });
+    if (consumed < body.size()) state->stopped = true;  // torn tail
+  }
+  if (state->stopped || state->next >= state->files.size()) {
+    state->filter.finish();  // open batches at the tail are uncommitted
+    cursor.done = true;
+  }
+  return out;
+}
+
+util::Result<std::vector<LogRecord>> SegmentedLogStore::replay() {
+  std::vector<LogRecord> all;
+  ReplayCursor cursor;
+  while (!cursor.done) {
+    auto chunk = replay_chunk(cursor);
+    if (!chunk) return chunk.status();
+    auto records = std::move(chunk).value();
+    if (all.empty()) {
+      all = std::move(records);
+    } else {
+      for (auto& rec : records) all.push_back(std::move(rec));
+    }
+  }
+  return all;
+}
+
+util::Status SegmentedLogStore::squash_segment_locked(Segment& seg) {
+  std::string content;
+  if (auto s = read_file(seg.path, content); !s) return s;
+  if (!header_valid(content, seg.index)) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "squash: bad header in " + seg.path);
+  }
+  // Meta records first, then live puts, each group in original order.
+  // Safe reordering: a live put's queue is never deleted later in this
+  // segment (the delete would have killed it), so moving creates/deletes
+  // ahead of it cannot change the replayed state.
+  std::vector<LogRecord> keep;
+  keep.reserve(seg.meta.size() + seg.live_puts);
+  for (const auto& [type, queue] : seg.meta) {
+    keep.push_back(type == LogRecord::Type::kQueueCreate
+                       ? LogRecord::queue_create(queue)
+                       : LogRecord::queue_delete(queue));
+  }
+  scan_group_frames(content.substr(kSegHeaderSize), [&](LogRecord rec) {
+    if (rec.type != LogRecord::Type::kPut) return;
+    auto it = live_.find(rec.msg().id());
+    if (it == live_.end() || it->second.seg != seg.index) return;
+    keep.push_back(std::move(rec));
+  });
+
+  std::string blob;
+  for (const auto& rec : keep) append_inner_record(blob, rec);
+  std::string bytes = encode_segment_header(seg.index);
+  if (!keep.empty()) bytes += seal_frame(blob);
+
+  const std::string tmp = seg.path + ".compact";
+  const int tfd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (tfd < 0) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "open " + tmp + ": " + std::strerror(errno));
+  }
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(tfd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(tfd);
+      ::unlink(tmp.c_str());
+      return util::make_error(util::ErrorCode::kIoError,
+                              "write " + tmp + ": " + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::fsync(tfd);
+  ::close(tfd);
+  // The rename is the commit point: a crash before it leaves the original
+  // authoritative (the orphan .compact is unlinked on open); after it the
+  // squashed segment is in place with the same index and order position.
+  if (::rename(tmp.c_str(), seg.path.c_str()) != 0) {
+    const auto s = util::make_error(
+        util::ErrorCode::kIoError,
+        "rename " + tmp + ": " + std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  seg.total_records = seg.meta_records + seg.live_puts;
+  CMX_OBS_COUNT("store.segments_squashed", 1);
+  return util::ok_status();
+}
+
+util::Status SegmentedLogStore::compact_self() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!sticky_) return sticky_;
+  // Sealed segments only — the active one is still being appended.
+  for (std::size_t i = 0; i + 1 < segments_.size();) {
+    Segment& seg = segments_[i];
+    if (!seg.boundary_clean) {
+      ++i;
+      continue;
+    }
+    if (seg.live_puts == 0 && seg.meta_records == 0) {
+      // Whole-segment retirement: nothing in it affects replayed state.
+      ::unlink(seg.path.c_str());
+      segments_.erase(segments_.begin() + static_cast<std::ptrdiff_t>(i));
+      CMX_OBS_COUNT("store.segments_retired", 1);
+      continue;
+    }
+    if (seg.live_puts + seg.meta_records < seg.total_records) {
+      if (auto s = squash_segment_locked(seg); !s) return s;
+    }
+    ++i;
+  }
+  appended_ = 0;
+  return util::ok_status();
+}
+
+std::size_t SegmentedLogStore::appended_since_compaction() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return appended_;
+}
+
+std::size_t SegmentedLogStore::segment_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return segments_.size();
+}
+
+std::vector<std::string> SegmentedLogStore::segment_files() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> paths;
+  paths.reserve(segments_.size());
+  for (const auto& seg : segments_) paths.push_back(seg.path);
+  return paths;
+}
+
+std::size_t SegmentedLogStore::live_put_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return live_.size();
+}
+
+}  // namespace cmx::mq

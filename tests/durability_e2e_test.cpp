@@ -1,7 +1,9 @@
 // Full-stack durability: the conditional messaging system running over
-// FILE-backed queue managers, killed and restarted at interesting points.
+// disk-backed queue managers, killed and restarted at interesting points.
 // This exercises the actual recovery path an operator would rely on —
 // store replay, sender-log re-registration, transmission-queue survival.
+// Parameterized over the durable storage engines (flat file log and
+// segmented log), so both must honour the same recovery contract.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -17,27 +19,39 @@ namespace {
 
 using mq::QueueAddress;
 
-class DurabilityE2ETest : public ::testing::Test {
+class DurabilityE2ETest : public ::testing::TestWithParam<const char*> {
  protected:
   void SetUp() override {
+    // Parameterized test names contain '/'; flatten for the filesystem.
+    std::string test =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    for (auto& c : test) {
+      if (c == '/') c = '_';
+    }
     dir_ = std::filesystem::temp_directory_path() /
-           ("cmx_e2e_" + std::to_string(::getpid()) + "_" +
-            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+           ("cmx_e2e_" + std::to_string(::getpid()) + "_" + test);
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
   std::unique_ptr<mq::QueueManager> make_qm(const std::string& name) {
-    return std::make_unique<mq::QueueManager>(
-        name, clock_,
-        std::make_unique<mq::FileStore>((dir_ / (name + ".log")).string()));
+    mq::QueueManagerOptions options;
+    options.store =
+        std::string(GetParam()) + ":" + (dir_ / (name + ".store")).string();
+    return std::make_unique<mq::QueueManager>(name, clock_, nullptr, options);
   }
 
   util::SimClock clock_;
   std::filesystem::path dir_;
 };
 
-TEST_F(DurabilityE2ETest, InFlightConditionalMessageSurvivesFullRestart) {
+INSTANTIATE_TEST_SUITE_P(
+    Durability, DurabilityE2ETest, ::testing::Values("file", "segmented"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return std::string(info.param);
+    });
+
+TEST_P(DurabilityE2ETest, InFlightConditionalMessageSurvivesFullRestart) {
   std::string cm_id;
   {
     auto qm = make_qm("QM1");
@@ -69,7 +83,7 @@ TEST_F(DurabilityE2ETest, InFlightConditionalMessageSurvivesFullRestart) {
   EXPECT_EQ(outcome.value().outcome, Outcome::kSuccess);
 }
 
-TEST_F(DurabilityE2ETest, DeadlineFailureAfterRestartCompensates) {
+TEST_P(DurabilityE2ETest, DeadlineFailureAfterRestartCompensates) {
   std::string cm_id;
   {
     auto qm = make_qm("QM1");
@@ -97,7 +111,7 @@ TEST_F(DurabilityE2ETest, DeadlineFailureAfterRestartCompensates) {
   EXPECT_EQ(rx.stats().annihilated, 1u);
 }
 
-TEST_F(DurabilityE2ETest, ReceiverLogSurvivesRestartForCompensation) {
+TEST_P(DurabilityE2ETest, ReceiverLogSurvivesRestartForCompensation) {
   auto qm_sender = make_qm("QMA");
   qm_sender->recover().expect_ok("recover");
   std::string cm_id;
@@ -139,7 +153,7 @@ TEST_F(DurabilityE2ETest, ReceiverLogSurvivesRestartForCompensation) {
   EXPECT_EQ(comp.value().body(), "undo-me");
 }
 
-TEST_F(DurabilityE2ETest, XmitQueueSurvivesRestartAndDelivers) {
+TEST_P(DurabilityE2ETest, XmitQueueSurvivesRestartAndDelivers) {
   // A message routed to a remote queue manager sits on the persistent
   // transmission queue while the channel is down; after a full restart of
   // the sending side, a fresh network attachment drains it.
@@ -175,7 +189,7 @@ TEST_F(DurabilityE2ETest, XmitQueueSurvivesRestartAndDelivers) {
   net.shutdown();
 }
 
-TEST_F(DurabilityE2ETest, TransactionalConsumptionDurableAcrossRestart) {
+TEST_P(DurabilityE2ETest, TransactionalConsumptionDurableAcrossRestart) {
   std::string cm_id;
   {
     auto qm = make_qm("QM1");

@@ -1,0 +1,281 @@
+// Backend-parameterized conformance suite for the MessageStore contract
+// (DESIGN.md §11): every registry engine — memory, file (legacy and
+// group-commit) and segmented — must agree on append/replay ordering,
+// tx-marker filtering, torn-tail tolerance, chunked replay and the
+// compaction behaviour its capability descriptor advertises. Engines are
+// built through registry specs, so this suite also pins the spec grammar.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mq/store.hpp"
+
+namespace cmx::mq {
+namespace {
+
+Message msg(const std::string& body) {
+  Message m(body);
+  m.set_id("id-" + body);
+  return m;
+}
+
+std::vector<std::string> bodies(const std::vector<LogRecord>& records) {
+  std::vector<std::string> out;
+  for (const auto& rec : records) {
+    if (rec.type == LogRecord::Type::kPut) out.emplace_back(rec.msg().body());
+  }
+  return out;
+}
+
+struct Backend {
+  const char* name;
+  bool on_disk;  // spec embeds a path; reopening it replays the log
+  std::string (*spec)(const std::string& path);
+};
+
+const Backend kBackends[] = {
+    {"memory", false, [](const std::string&) { return std::string("memory"); }},
+    {"file_legacy", true,
+     [](const std::string& path) { return "file:" + path + "?group_commit=0"; }},
+    {"file_group", true,
+     [](const std::string& path) { return "file:" + path + "?group_commit=1"; }},
+    {"segmented", true,
+     [](const std::string& path) {
+       // Small segments so multi-record tests span several files.
+       return "segmented:" + path + "?segment_bytes=1024";
+     }},
+};
+
+class StoreConformanceTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  void SetUp() override {
+    // Parameterized test names contain '/'; flatten for the filesystem.
+    std::string test =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    for (auto& c : test) {
+      if (c == '/') c = '_';
+    }
+    path_ = (std::filesystem::temp_directory_path() /
+             ("cmx_conf_" + std::to_string(::getpid()) + "_" + test))
+                .string();
+    std::filesystem::remove_all(path_);
+  }
+  void TearDown() override { std::filesystem::remove_all(path_); }
+
+  std::unique_ptr<MessageStore> make() {
+    auto store = make_store(GetParam().spec(path_));
+    store.status().expect_ok("conformance store spec");
+    return std::move(store).value();
+  }
+
+  // The newest on-disk log file: the flat log itself, or the
+  // highest-index segment of a segmented directory.
+  std::filesystem::path newest_log_file() {
+    const std::filesystem::path p(path_);
+    if (std::filesystem::is_regular_file(p)) return p;
+    std::filesystem::path newest;
+    for (const auto& entry : std::filesystem::directory_iterator(p)) {
+      if (entry.path().extension() != ".seg") continue;
+      if (newest.empty() || entry.path().filename() > newest.filename()) {
+        newest = entry.path();
+      }
+    }
+    return newest;
+  }
+
+  std::string path_;
+};
+
+TEST_P(StoreConformanceTest, CapsDescriptorIsCoherent) {
+  auto store = make();
+  const StoreCaps caps = store->caps();
+  EXPECT_EQ(caps.durable, GetParam().on_disk);
+  // The registry key is the leading token of every spec this suite builds.
+  EXPECT_EQ(std::string(GetParam().name).rfind(caps.backend, 0), 0u);
+}
+
+TEST_P(StoreConformanceTest, AppendThenReplayPreservesOrder) {
+  auto store = make();
+  ASSERT_TRUE(store->append(LogRecord::queue_create("Q")));
+  ASSERT_TRUE(store->append(LogRecord::put("Q", msg("a"))));
+  ASSERT_TRUE(store->append(LogRecord::put("Q", msg("b"))));
+  ASSERT_TRUE(store->append(LogRecord::get("Q", "id-a")));
+  ASSERT_TRUE(store->append(LogRecord::queue_create("R")));
+  ASSERT_TRUE(store->append(LogRecord::put("R", msg("c"))));
+  auto records = store->replay();
+  ASSERT_TRUE(records.is_ok());
+  ASSERT_EQ(records.value().size(), 6u);
+  EXPECT_EQ(records.value()[0].type, LogRecord::Type::kQueueCreate);
+  EXPECT_EQ(records.value()[3].type, LogRecord::Type::kGet);
+  EXPECT_EQ(records.value()[3].message_id(), "id-a");
+  EXPECT_EQ(bodies(records.value()),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST_P(StoreConformanceTest, BatchMarkersAreFilteredOutOfReplay) {
+  auto store = make();
+  ASSERT_TRUE(store->append_batch(
+      {LogRecord::put("Q", msg("x")), LogRecord::get("Q", "id-y")}));
+  auto records = store->replay();
+  ASSERT_TRUE(records.is_ok());
+  ASSERT_EQ(records.value().size(), 2u);
+  for (const auto& rec : records.value()) {
+    EXPECT_NE(rec.type, LogRecord::Type::kTxBegin);
+    EXPECT_NE(rec.type, LogRecord::Type::kTxCommit);
+  }
+}
+
+TEST_P(StoreConformanceTest, NestedMarkersReplayOnlyCommittedRecords) {
+  auto store = make();
+  ASSERT_TRUE(store->append(LogRecord::tx_begin("t1")));
+  ASSERT_TRUE(store->append(LogRecord::put("Q", msg("a"))));
+  ASSERT_TRUE(store->append(LogRecord::tx_begin("t2")));
+  ASSERT_TRUE(store->append(LogRecord::put("Q", msg("b"))));
+  ASSERT_TRUE(store->append(LogRecord::tx_commit("t2")));
+  ASSERT_TRUE(store->append(LogRecord::tx_commit("t1")));
+  // An opened-but-never-committed batch must vanish.
+  ASSERT_TRUE(store->append(LogRecord::tx_begin("t3")));
+  ASSERT_TRUE(store->append(LogRecord::put("Q", msg("lost"))));
+  auto records = store->replay();
+  ASSERT_TRUE(records.is_ok());
+  EXPECT_EQ(bodies(records.value()), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_P(StoreConformanceTest, TornTailDropsAsAUnitOnReopen) {
+  if (!GetParam().on_disk) GTEST_SKIP() << "no on-disk log to tear";
+  {
+    auto store = make();
+    ASSERT_TRUE(store->append(LogRecord::put("Q", msg("keep"))));
+    ASSERT_TRUE(store->append_batch(
+        {LogRecord::put("Q", msg("pair1")), LogRecord::put("Q", msg("pair2"))}));
+  }
+  // A crash mid-write leaves a partial frame at the tail: chop bytes off
+  // the newest log file so its last group frame no longer checks out.
+  const auto victim = newest_log_file();
+  ASSERT_FALSE(victim.empty());
+  const auto size = std::filesystem::file_size(victim);
+  std::filesystem::resize_file(victim, size - 5);
+
+  auto store = make();
+  auto records = store->replay();
+  ASSERT_TRUE(records.is_ok());
+  // The torn batch drops as a unit — never pair1 without pair2.
+  EXPECT_EQ(bodies(records.value()), std::vector<std::string>{"keep"});
+}
+
+TEST_P(StoreConformanceTest, ChunkedReplayMatchesFullReplay) {
+  auto store = make();
+  std::vector<std::string> want;
+  ASSERT_TRUE(store->append(LogRecord::queue_create("Q")));
+  for (int i = 0; i < 40; ++i) {
+    want.push_back("m" + std::to_string(i));
+    ASSERT_TRUE(store->append(LogRecord::put("Q", msg(want.back()))));
+  }
+  std::vector<LogRecord> chunked;
+  MessageStore::ReplayCursor cursor;
+  int chunks = 0;
+  while (!cursor.done) {
+    auto chunk = store->replay_chunk(cursor);
+    ASSERT_TRUE(chunk.is_ok());
+    for (auto& rec : chunk.value()) chunked.push_back(std::move(rec));
+    ++chunks;
+    ASSERT_LT(chunks, 1000) << "cursor never reported done";
+  }
+  EXPECT_EQ(bodies(chunked), want);
+  if (store->caps().supports_chunked_replay) {
+    EXPECT_GT(chunks, 1) << "40 records across 1 KiB segments should stream "
+                            "in more than one chunk";
+  }
+}
+
+TEST_P(StoreConformanceTest, CompactionFollowsCapabilityDescriptor) {
+  auto store = make();
+  ASSERT_TRUE(store->append(LogRecord::queue_create("Q")));
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(store->append(LogRecord::put("Q", msg(std::to_string(i)))));
+    ASSERT_TRUE(store->append(LogRecord::get("Q", "id-" + std::to_string(i))));
+  }
+  switch (store->caps().compaction) {
+    case CompactionMode::kSnapshotRewrite: {
+      ASSERT_TRUE(store->rewrite({LogRecord::queue_create("Q")}));
+      EXPECT_EQ(store->compact_self().code(),
+                util::ErrorCode::kFailedPrecondition);
+      auto records = store->replay();
+      ASSERT_TRUE(records.is_ok());
+      ASSERT_EQ(records.value().size(), 1u);
+      EXPECT_EQ(records.value()[0].type, LogRecord::Type::kQueueCreate);
+      break;
+    }
+    case CompactionMode::kSelfCompacting: {
+      ASSERT_TRUE(store->compact_self());
+      EXPECT_EQ(store->rewrite({}).code(),
+                util::ErrorCode::kFailedPrecondition);
+      // Self-compaction must preserve exactly the live state: all puts
+      // were consumed, so replay is metadata only.
+      auto records = store->replay();
+      ASSERT_TRUE(records.is_ok());
+      for (const auto& rec : records.value()) {
+        EXPECT_NE(rec.type, LogRecord::Type::kPut);
+      }
+      break;
+    }
+    case CompactionMode::kNone:
+      EXPECT_EQ(store->rewrite({}).code(),
+                util::ErrorCode::kFailedPrecondition);
+      EXPECT_EQ(store->compact_self().code(),
+                util::ErrorCode::kFailedPrecondition);
+      break;
+  }
+}
+
+TEST_P(StoreConformanceTest, AppendedSinceCompactionCountsAndResets) {
+  auto store = make();
+  EXPECT_EQ(store->appended_since_compaction(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store->append(LogRecord::put("Q", msg(std::to_string(i)))));
+  }
+  // Group-commit engines count appends on the commit thread; replay()
+  // drains staging, making the counter exact.
+  ASSERT_TRUE(store->replay().is_ok());
+  EXPECT_EQ(store->appended_since_compaction(), 5u);
+  switch (store->caps().compaction) {
+    case CompactionMode::kSnapshotRewrite:
+      ASSERT_TRUE(store->rewrite(store->replay().value()));
+      break;
+    case CompactionMode::kSelfCompacting:
+      ASSERT_TRUE(store->compact_self());
+      break;
+    case CompactionMode::kNone:
+      GTEST_SKIP() << "engine does not compact";
+  }
+  EXPECT_EQ(store->appended_since_compaction(), 0u);
+}
+
+TEST_P(StoreConformanceTest, ReopenReplaysCommittedRecords) {
+  if (!GetParam().on_disk) GTEST_SKIP() << "memory engine does not persist";
+  {
+    auto store = make();
+    ASSERT_TRUE(store->append(LogRecord::queue_create("Q")));
+    ASSERT_TRUE(store->append_batch(
+        {LogRecord::put("Q", msg("a")), LogRecord::put("Q", msg("b"))}));
+    ASSERT_TRUE(store->append(LogRecord::get("Q", "id-a")));
+  }
+  auto store = make();
+  auto records = store->replay();
+  ASSERT_TRUE(records.is_ok());
+  ASSERT_EQ(records.value().size(), 4u);
+  EXPECT_EQ(bodies(records.value()), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(records.value()[3].type, LogRecord::Type::kGet);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Store, StoreConformanceTest, ::testing::ValuesIn(kBackends),
+    [](const ::testing::TestParamInfo<Backend>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace cmx::mq
