@@ -36,6 +36,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +46,7 @@
 #include "cm/sender.hpp"
 #include "mq/network.hpp"
 #include "mq/queue_manager.hpp"
+#include "mq/store/registry.hpp"
 #include "mq/transport/transport_server.hpp"
 
 using namespace cmx;
@@ -252,7 +254,20 @@ int main(int argc, char** argv) {
   util::SystemClock clock;
   mq::QueueManagerOptions qm_options;
   qm_options.store = args.store;
-  mq::QueueManager qm(args.name, clock, nullptr, qm_options);
+  // Build the store up front so a bad --store spec (unknown backend,
+  // unusable path, malformed parameter) is a clean diagnostic and exit,
+  // not an abort from inside QueueManager.
+  std::unique_ptr<mq::MessageStore> store;
+  if (!args.store.empty()) {
+    auto built = mq::make_store(args.store);
+    if (!built) {
+      std::fprintf(stderr, "[%s] bad --store spec %s: %s\n", args.name.c_str(),
+                   args.store.c_str(), built.status().message().c_str());
+      return 1;
+    }
+    store = std::move(built).value();
+  }
+  mq::QueueManager qm(args.name, clock, std::move(store), qm_options);
   if (!args.store.empty()) {
     // Recover from whatever the spec'd store holds — a restarted node
     // resumes with its queues (and the sender/receiver system queues)

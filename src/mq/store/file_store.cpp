@@ -162,11 +162,22 @@ util::Status FileStore::append_legacy(const LogRecord* const* records,
   }
   if (options_.sync == SyncPolicy::kEveryBatch ||
       (options_.sync == SyncPolicy::kInterval && sync_due_locked())) {
-    ::fsync(fd_);
-    CMX_OBS_COUNT("store.fsyncs", 1);
+    if (auto s = sync_fd_locked(); !s) return s;
   }
   appended_.fetch_add(n, std::memory_order_relaxed);
   CMX_OBS_COUNT("store.appends", n);
+  return util::ok_status();
+}
+
+// fsync with its result checked: under kEveryBatch an acknowledged append
+// promises stable storage, so a failed sync must surface as an IO error —
+// on Linux the dirty pages may already be dropped after the failure.
+util::Status FileStore::sync_fd_locked() {
+  if (::fsync(fd_) != 0) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "fsync " + path_ + ": " + std::strerror(errno));
+  }
+  CMX_OBS_COUNT("store.fsyncs", 1);
   return util::ok_status();
 }
 
@@ -191,8 +202,7 @@ void FileStore::commit_loop() {
       if (status && (options_.sync == SyncPolicy::kEveryBatch ||
                      (options_.sync == SyncPolicy::kInterval &&
                       sync_due_locked()))) {
-        ::fsync(fd_);
-        CMX_OBS_COUNT("store.fsyncs", 1);
+        status = sync_fd_locked();
       }
     }
     if (status) {
@@ -362,7 +372,12 @@ util::Status FileStore::rewrite(const std::vector<LogRecord>& snapshot) {
     }
   }
   if (status) {
-    ::fsync(tfd);
+    if (::fsync(tfd) != 0) {
+      status = util::make_error(util::ErrorCode::kIoError,
+                                "fsync " + tmp + ": " + std::strerror(errno));
+    }
+  }
+  if (status) {
     if (::rename(tmp.c_str(), path_.c_str()) != 0) {
       status = util::make_error(util::ErrorCode::kIoError,
                                 "rename: " + std::string(std::strerror(errno)));

@@ -78,6 +78,7 @@ class FileStore final : public MessageStore {
   util::Status append_frame(std::string frame_bytes, std::size_t records);
   util::Status append_legacy(const LogRecord* const* records, std::size_t n);
   util::Status write_all(const char* data, std::size_t size);
+  util::Status sync_fd_locked();
   util::Status open_for_append();
   void commit_loop();
   // Blocks until everything staged so far has reached the file, so that

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 
 #include "mq/store/file_store.hpp"
 #include "mq/store/memory_store.hpp"
@@ -30,7 +31,13 @@ util::Result<std::uint64_t> parse_uint(const std::string& key,
   std::uint64_t n = 0;
   for (char c : value) {
     if (c < '0' || c > '9') return bad_spec(key + "=" + value + " not a number");
-    n = n * 10 + static_cast<std::uint64_t>(c - '0');
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    // Reject rather than silently wrap: an overflowed value would be
+    // accepted as an arbitrary (wrapped) number.
+    if (n > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return bad_spec(key + "=" + value + " overflows 64 bits");
+    }
+    n = n * 10 + digit;
   }
   return n;
 }
@@ -120,8 +127,9 @@ util::Result<std::unique_ptr<MessageStore>> make_segmented(
     if (bytes.value() < 64) return bad_spec("segment_bytes too small");
     options.segment_bytes = static_cast<std::size_t>(bytes.value());
   }
-  return std::unique_ptr<MessageStore>(
-      std::make_unique<SegmentedLogStore>(spec.path, options));
+  auto store = SegmentedLogStore::open(spec.path, options);
+  if (!store) return store.status();
+  return std::unique_ptr<MessageStore>(std::move(store).value());
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 
 #include "mq/store/crc.hpp"
 #include "mq/store/framing.hpp"
@@ -37,7 +38,8 @@ std::string segment_path(const std::string& dir, std::uint64_t index) {
   return dir + "/" + name;
 }
 
-// seg-NNNNNNNN.seg -> index; false for anything else.
+// seg-NNNNNNNN.seg -> index; false for anything else (including an index
+// that overflows u64 — such a name was never written by this store).
 bool parse_segment_name(const std::string& name, std::uint64_t& index) {
   if (name.size() < 9 || name.compare(0, 4, "seg-") != 0) return false;
   if (name.compare(name.size() - 4, 4, ".seg") != 0) return false;
@@ -46,7 +48,11 @@ bool parse_segment_name(const std::string& name, std::uint64_t& index) {
   std::uint64_t value = 0;
   for (char c : digits) {
     if (c < '0' || c > '9') return false;
-    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return false;
+    }
+    value = value * 10 + digit;
   }
   index = value;
   return true;
@@ -116,19 +122,30 @@ struct SegmentedLogStore::ScanState {
 
 SegmentedLogStore::SegmentedLogStore(std::string dir,
                                      SegmentedStoreOptions options)
-    : dir_(std::move(dir)), options_(options) {
-  open_dir_and_rebuild().expect_ok("SegmentedLogStore open");
-  last_sync_us_ = steady_us();
+    : dir_(std::move(dir)), options_(options) {}
+
+util::Result<std::unique_ptr<SegmentedLogStore>> SegmentedLogStore::open(
+    std::string dir, SegmentedStoreOptions options) {
+  std::unique_ptr<SegmentedLogStore> store(
+      new SegmentedLogStore(std::move(dir), options));
+  if (auto s = store->open_dir_and_rebuild(); !s) return s;
+  store->last_sync_us_ = steady_us();
+  return store;
 }
 
 SegmentedLogStore::~SegmentedLogStore() {
   std::lock_guard<std::mutex> lk(mu_);
   if (fd_ >= 0) {
     // kInterval may owe a sync for the tail; a clean shutdown must not be
-    // less durable than the policy promises.
+    // less durable than the policy promises. Failure here has no caller to
+    // report to; replay tolerates the torn tail either way.
     if (options_.sync != SyncPolicy::kNone) ::fsync(fd_);
     ::close(fd_);
     fd_ = -1;
+  }
+  if (dir_fd_ >= 0) {
+    ::close(dir_fd_);
+    dir_fd_ = -1;
   }
 }
 
@@ -160,6 +177,13 @@ void SegmentedLogStore::apply_committed_locked(const LogRecord& record,
       seg->total_records++;
       auto it = live_.find(std::string(record.message_id()));
       if (it == live_.end()) break;
+      if (it->second.seg != seg_index) {
+        // The consumed put's bytes live in another segment. Until they are
+        // provably gone this get is load-bearing: dropping it while the
+        // put's segment stays pinned would resurrect the put on replay.
+        seg->ext_gets.push_back(ExtGet{it->second.seg, it->second.queue,
+                                       std::string(record.message_id())});
+      }
       if (Segment* home = find_segment_locked(it->second.seg)) {
         home->live_puts--;
       }
@@ -205,6 +229,11 @@ util::Status SegmentedLogStore::open_dir_and_rebuild() {
   if (ec) {
     return util::make_error(util::ErrorCode::kIoError,
                             "mkdir " + dir_ + ": " + ec.message());
+  }
+  dir_fd_ = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd_ < 0) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "open " + dir_ + ": " + std::strerror(errno));
   }
   // Enumerate segments; drop orphan squash temporaries (a crash between
   // writing `.compact` and the rename leaves the original authoritative).
@@ -339,6 +368,12 @@ util::Status SegmentedLogStore::create_segment_locked(std::uint64_t index) {
                             "open " + path + ": " + std::strerror(errno));
   }
   fd_ = fd;
+  if (options_.sync != SyncPolicy::kNone) {
+    // The new segment's directory entry must be durable before any frame
+    // in it is acknowledged as synced — an fsync'd frame in an unlinked
+    // file is not on stable storage.
+    if (auto s = sync_dir_locked(); !s) return s;
+  }
   const std::string header = encode_segment_header(index);
   if (auto s = write_all_locked(header.data(), header.size()); !s) return s;
   Segment seg;
@@ -352,11 +387,34 @@ util::Status SegmentedLogStore::create_segment_locked(std::uint64_t index) {
 }
 
 util::Status SegmentedLogStore::roll_segment_locked() {
-  if (options_.sync != SyncPolicy::kNone) ::fsync(fd_);
+  if (options_.sync != SyncPolicy::kNone) {
+    if (auto s = sync_fd_locked(fd_, segments_.back().path); !s) return s;
+  }
   ::close(fd_);
   fd_ = -1;
   if (open_marker_depth_ > 0) segments_.back().boundary_clean = false;
   return create_segment_locked(segments_.back().index + 1);
+}
+
+util::Status SegmentedLogStore::sync_fd_locked(int fd,
+                                               const std::string& what) {
+  // An fsync failure means acknowledged bytes may never reach stable
+  // storage (and Linux may have dropped the dirty pages already), so it
+  // must surface as an IO error instead of a silent acknowledgment.
+  if (::fsync(fd) != 0) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "fsync " + what + ": " + std::strerror(errno));
+  }
+  CMX_OBS_COUNT("store.fsyncs", 1);
+  return util::ok_status();
+}
+
+util::Status SegmentedLogStore::sync_dir_locked() {
+  if (::fsync(dir_fd_) != 0) {
+    return util::make_error(util::ErrorCode::kIoError,
+                            "fsync " + dir_ + ": " + std::strerror(errno));
+  }
+  return util::ok_status();
 }
 
 util::Status SegmentedLogStore::write_all_locked(const char* data,
@@ -402,8 +460,10 @@ util::Status SegmentedLogStore::write_frame_locked(std::string_view frame) {
   active_bytes_ += frame.size();
   if (options_.sync == SyncPolicy::kEveryBatch ||
       (options_.sync == SyncPolicy::kInterval && sync_due_locked())) {
-    ::fsync(fd_);
-    CMX_OBS_COUNT("store.fsyncs", 1);
+    if (auto s = sync_fd_locked(fd_, segments_.back().path); !s) {
+      sticky_ = s;
+      return s;
+    }
   }
   return util::ok_status();
 }
@@ -525,6 +585,19 @@ util::Result<std::vector<LogRecord>> SegmentedLogStore::replay() {
   return all;
 }
 
+// True while the consumed put's bytes may still be on disk. A pinned (or
+// still-active) home segment is never squashed, so its dead put would
+// replay as live if this get disappeared. A clean sealed home has a lower
+// index than the get's segment, so compact_self already retired or
+// squashed it — its dead puts are gone — and a vanished home was retired
+// outright.
+bool SegmentedLogStore::ext_get_load_bearing_locked(const ExtGet& get) {
+  Segment* home = find_segment_locked(get.target_seg);
+  if (home == nullptr) return false;
+  if (home == &segments_.back()) return true;  // active: never compacted
+  return !home->boundary_clean;
+}
+
 util::Status SegmentedLogStore::squash_segment_locked(Segment& seg) {
   std::string content;
   if (auto s = read_file(seg.path, content); !s) return s;
@@ -532,12 +605,16 @@ util::Status SegmentedLogStore::squash_segment_locked(Segment& seg) {
     return util::make_error(util::ErrorCode::kIoError,
                             "squash: bad header in " + seg.path);
   }
-  // Meta records first, then live puts, each group in original order.
-  // Safe reordering: a live put's queue is never deleted later in this
-  // segment (the delete would have killed it), so moving creates/deletes
-  // ahead of it cannot change the replayed state.
+  // Meta records first, then live puts, then load-bearing gets, each group
+  // in original order. Safe reordering: a live put's queue is never
+  // deleted later in this segment (the delete would have killed it), so
+  // moving creates/deletes ahead of it cannot change the replayed state;
+  // a kept get's target was live when the get applied, so any same-segment
+  // queue delete preceding it originally would have killed the target
+  // first — moving the delete ahead of the get turns the get into a no-op
+  // on an already-dead message, the same final state.
   std::vector<LogRecord> keep;
-  keep.reserve(seg.meta.size() + seg.live_puts);
+  keep.reserve(seg.meta.size() + seg.live_puts + seg.ext_gets.size());
   for (const auto& [type, queue] : seg.meta) {
     keep.push_back(type == LogRecord::Type::kQueueCreate
                        ? LogRecord::queue_create(queue)
@@ -549,6 +626,9 @@ util::Status SegmentedLogStore::squash_segment_locked(Segment& seg) {
     if (it == live_.end() || it->second.seg != seg.index) return;
     keep.push_back(std::move(rec));
   });
+  for (const auto& get : seg.ext_gets) {
+    keep.push_back(LogRecord::get(get.queue, get.id));
+  }
 
   std::string blob;
   for (const auto& rec : keep) append_inner_record(blob, rec);
@@ -573,7 +653,11 @@ util::Status SegmentedLogStore::squash_segment_locked(Segment& seg) {
     }
     off += static_cast<std::size_t>(n);
   }
-  ::fsync(tfd);
+  if (auto s = sync_fd_locked(tfd, tmp); !s) {
+    ::close(tfd);
+    ::unlink(tmp.c_str());
+    return s;
+  }
   ::close(tfd);
   // The rename is the commit point: a crash before it leaves the original
   // authoritative (the orphan .compact is unlinked on open); after it the
@@ -585,7 +669,12 @@ util::Status SegmentedLogStore::squash_segment_locked(Segment& seg) {
     ::unlink(tmp.c_str());
     return s;
   }
-  seg.total_records = seg.meta_records + seg.live_puts;
+  // Make the rename durable before compaction moves on: later segments'
+  // pruning decisions assume this segment's dead puts are gone from disk,
+  // so the removal must not be reorderable past their own drops.
+  if (auto s = sync_dir_locked(); !s) return s;
+  seg.total_records =
+      seg.meta_records + seg.live_puts + seg.ext_gets.size();
   CMX_OBS_COUNT("store.segments_squashed", 1);
   return util::ok_status();
 }
@@ -594,20 +683,32 @@ util::Status SegmentedLogStore::compact_self() {
   std::lock_guard<std::mutex> lk(mu_);
   if (!sticky_) return sticky_;
   // Sealed segments only — the active one is still being appended.
+  // Ascending order matters: a get's target segment has a lower index, so
+  // by the time a get's segment is considered its clean targets have
+  // already been retired or squashed (durably — see the dir fsyncs).
   for (std::size_t i = 0; i + 1 < segments_.size();) {
     Segment& seg = segments_[i];
     if (!seg.boundary_clean) {
       ++i;
       continue;
     }
-    if (seg.live_puts == 0 && seg.meta_records == 0) {
+    auto& gets = seg.ext_gets;
+    gets.erase(std::remove_if(gets.begin(), gets.end(),
+                              [&](const ExtGet& get) {
+                                return !ext_get_load_bearing_locked(get);
+                              }),
+               gets.end());
+    if (seg.live_puts == 0 && seg.meta_records == 0 && gets.empty()) {
       // Whole-segment retirement: nothing in it affects replayed state.
       ::unlink(seg.path.c_str());
+      // Durable before moving on, for the same reason as squash's rename:
+      // drops in later segments assume this one's bytes are gone.
+      if (auto s = sync_dir_locked(); !s) return s;
       segments_.erase(segments_.begin() + static_cast<std::ptrdiff_t>(i));
       CMX_OBS_COUNT("store.segments_retired", 1);
       continue;
     }
-    if (seg.live_puts + seg.meta_records < seg.total_records) {
+    if (seg.live_puts + seg.meta_records + gets.size() < seg.total_records) {
       if (auto s = squash_segment_locked(seg); !s) return s;
     }
     ++i;

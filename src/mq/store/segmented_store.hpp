@@ -55,10 +55,21 @@ struct SegmentedStoreOptions {
 // segment and every later segment are ignored, so a recovered node never
 // trusts records that were acknowledged after lost ones. New appends
 // always go to a fresh segment (never a reopened one).
+//
+// Compaction retains load-bearing gets: a get whose consumed put lives in
+// a PINNED segment (one that is never squashed, see Segment::boundary_clean)
+// must itself survive squash/retirement — dropping it would let the put
+// replay as live after a restart, redelivering an acknowledged message.
+// Each segment tracks such cross-segment gets (Segment::ext_gets) and only
+// sheds one once the put's bytes are provably gone from disk.
 class SegmentedLogStore final : public MessageStore {
  public:
-  explicit SegmentedLogStore(std::string dir,
-                             SegmentedStoreOptions options = {});
+  // Opens (creating if needed) the segment directory and rebuilds the live
+  // index. I/O failures — unwritable dir, path is a file, unreadable
+  // segment — come back as kIoError instead of aborting, so registry specs
+  // with a bad path fail cleanly.
+  static util::Result<std::unique_ptr<SegmentedLogStore>> open(
+      std::string dir, SegmentedStoreOptions options = {});
   ~SegmentedLogStore() override;
 
   StoreCaps caps() const override {
@@ -87,6 +98,14 @@ class SegmentedLogStore final : public MessageStore {
   std::size_t live_put_count() const;
 
  private:
+  // A committed get whose consumed put lives in ANOTHER segment. While the
+  // put's bytes may still be on disk (its home segment is pinned), this get
+  // is load-bearing: squash re-emits it and retirement is refused.
+  struct ExtGet {
+    std::uint64_t target_seg = 0;  // segment holding the consumed put
+    std::string queue;
+    std::string id;
+  };
   struct Segment {
     std::uint64_t index = 0;
     std::string path;
@@ -97,6 +116,10 @@ class SegmentedLogStore final : public MessageStore {
     // kept in memory (metadata is rare) so squash can re-emit them without
     // re-deriving commit status from the file.
     std::vector<std::pair<LogRecord::Type, std::string>> meta;
+    // Cross-segment gets attributed here; pruned during compaction once
+    // their target put's bytes are gone (same-segment gets need no entry:
+    // put and get vanish together in one squash/retire).
+    std::vector<ExtGet> ext_gets;
     // False when an unbalanced tx marker touched this segment (a manually
     // appended batch spanning segments, or a torn tail): its records'
     // commit status cannot be judged segment-locally, so it is never
@@ -109,14 +132,19 @@ class SegmentedLogStore final : public MessageStore {
   };
   struct ScanState;  // replay cursor payload
 
+  SegmentedLogStore(std::string dir, SegmentedStoreOptions options);
+
   util::Status open_dir_and_rebuild();
   util::Status create_segment_locked(std::uint64_t index);
   util::Status roll_segment_locked();
   util::Status write_frame_locked(std::string_view frame);
   util::Status write_all_locked(const char* data, std::size_t size);
+  util::Status sync_fd_locked(int fd, const std::string& what);
+  util::Status sync_dir_locked();
   void apply_committed_locked(const LogRecord& record, std::uint64_t seg);
   Segment* find_segment_locked(std::uint64_t index);
   bool sync_due_locked();
+  bool ext_get_load_bearing_locked(const ExtGet& get);
   util::Status squash_segment_locked(Segment& seg);
 
   const std::string dir_;
@@ -128,6 +156,7 @@ class SegmentedLogStore final : public MessageStore {
   mutable std::mutex mu_;
   std::vector<Segment> segments_;  // ascending by index; back() is active
   int fd_ = -1;                    // active segment, O_APPEND
+  int dir_fd_ = -1;                // segment directory, for durable renames
   std::size_t active_bytes_ = 0;   // bytes written to the active segment
   std::unordered_map<std::string, LiveRef> live_;  // msg id -> live put
   std::unordered_set<std::string> existing_queues_;

@@ -52,7 +52,9 @@ class SegmentedStoreTest : public ::testing::Test {
   std::unique_ptr<SegmentedLogStore> make(std::size_t segment_bytes = 1) {
     SegmentedStoreOptions options;
     options.segment_bytes = segment_bytes;
-    return std::make_unique<SegmentedLogStore>(dir_, options);
+    auto store = SegmentedLogStore::open(dir_, options);
+    store.status().expect_ok("open segmented store");
+    return std::move(store).value();
   }
 
   std::size_t count_files(const char* suffix) {
@@ -159,6 +161,73 @@ TEST_F(SegmentedStoreTest, SquashPreservesLiveRecordsAndOrder) {
   EXPECT_EQ(replayed[1], "c");
   store.reset();
   EXPECT_EQ(bodies(make(4096)->replay().value()), replayed);
+}
+
+TEST_F(SegmentedStoreTest, RetirementKeepsGetsTargetingPinnedSegments) {
+  // A manually bracketed batch spanning segments pins the put's segment
+  // forever (commit status is not judgeable segment-locally, so it is
+  // never squashed). The get that later consumes the put lands alone in a
+  // CLEAN segment; retiring that segment would erase the only evidence
+  // the put was consumed, and a restart would redeliver an acknowledged
+  // message.
+  auto store = make();  // segment_bytes=1: one frame per segment
+  ASSERT_TRUE(store->append(LogRecord::tx_begin("t1")));
+  ASSERT_TRUE(store->append(LogRecord::put("Q", msg("x"))));  // pinned seg
+  ASSERT_TRUE(store->append(LogRecord::tx_commit("t1")));
+  ASSERT_TRUE(store->append(LogRecord::get("Q", "id-x")));  // clean seg
+  ASSERT_TRUE(store->append(LogRecord::put("Q", msg("tail"))));  // seals it
+  ASSERT_TRUE(store->compact_self());
+  EXPECT_EQ(store->live_put_count(), 1u);  // only "tail"
+  store.reset();
+  // The put replays from its pinned segment; the preserved get must still
+  // consume it — across a restart, another compaction, and a second
+  // restart (the paper's exactly-once guarantee is per restart, forever).
+  auto reopened = make();
+  EXPECT_EQ(reopened->live_put_count(), 1u);
+  ASSERT_TRUE(reopened->compact_self());
+  reopened.reset();
+  EXPECT_EQ(make()->live_put_count(), 1u);
+}
+
+TEST_F(SegmentedStoreTest, SquashReemitsGetsTargetingPinnedSegments) {
+  auto store = make();
+  ASSERT_TRUE(store->append(LogRecord::tx_begin("t1")));
+  ASSERT_TRUE(store->append(LogRecord::put("Q", msg("x"))));  // pinned seg
+  ASSERT_TRUE(store->append(LogRecord::tx_commit("t1")));
+  // One batch frame = one segment holding {y, get x, get y}. After the
+  // gets, that segment holds dead records (y and its local get) plus one
+  // load-bearing get (x lives in the pinned segment), so compaction must
+  // squash it down to just the get instead of dropping the get with the
+  // rest.
+  ASSERT_TRUE(store->append_batch({LogRecord::put("Q", msg("y")),
+                                   LogRecord::get("Q", "id-x"),
+                                   LogRecord::get("Q", "id-y")}));
+  ASSERT_TRUE(store->append(LogRecord::put("Q", msg("tail"))));  // seals it
+  const auto batch_seg = store->segment_files()[3];
+  const auto size_before = std::filesystem::file_size(batch_seg);
+  ASSERT_TRUE(store->compact_self());
+  EXPECT_LT(std::filesystem::file_size(batch_seg), size_before);
+  EXPECT_EQ(store->live_put_count(), 1u);  // x and y consumed, tail live
+  store.reset();
+  EXPECT_EQ(make()->live_put_count(), 1u);
+}
+
+TEST_F(SegmentedStoreTest, OpenReportsIoErrorInsteadOfAborting) {
+  // A --store path that turns out to be a regular file must come back as
+  // kIoError through the registry, not abort the node.
+  std::ofstream(dir_) << "not a directory";
+  auto store = make_store("segmented:" + dir_);
+  ASSERT_FALSE(store.is_ok());
+  EXPECT_EQ(store.status().code(), util::ErrorCode::kIoError);
+}
+
+TEST_F(SegmentedStoreTest, SpecRejectsNumbersThatOverflow) {
+  // 2^64 and beyond must be rejected, not silently wrapped into an
+  // arbitrary accepted value.
+  auto store =
+      make_store("segmented:" + dir_ + "?segment_bytes=99999999999999999999");
+  ASSERT_FALSE(store.is_ok());
+  EXPECT_EQ(store.status().code(), util::ErrorCode::kInvalidArgument);
 }
 
 TEST_F(SegmentedStoreTest, TruncatedTailRecoversCommittedPrefix) {
