@@ -16,8 +16,17 @@
 // where the sharded engine must deliver >= 5x the scan engine's
 // decisions/sec.
 //
+// Second grid (DESIGN.md §12): condition-tree size. One EvalState with a
+// set of L named leaves is driven to its decision one ack at a time, with
+// an evaluate() after every ack exactly as the dirty-set engine does. The
+// interpretive walker re-walks the whole tree per evaluate (O(L) per ack,
+// O(L^2) per decision); the compiled engine decrements residual counts
+// (O(depth) per ack). Gate: compiled acks/sec at 1000 leaves stays within
+// 2x of its 10-leaf figure, while interpretive degrades roughly linearly.
+//
 // Writes BENCH_eval_scale.json into the working directory (skipped with
-// --smoke, which runs one tiny sharded arm as a CI liveness check).
+// --smoke, which runs one tiny sharded arm as a CI liveness check plus a
+// 1000-leaf compiled-vs-interpretive arm asserting compiled >= interpretive).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -150,6 +159,67 @@ ArmResult run_arm(const char* engine_name, const cm::EvaluationOptions& opts,
   return r;
 }
 
+// ---- condition-tree scale: compiled vs interpretive per-ack cost ----------
+
+struct TreeArmResult {
+  const char* engine;
+  int leaves;
+  std::uint64_t acks = 0;
+  std::uint64_t decisions = 0;
+  double duration_s = 0.0;
+  double acks_per_sec = 0.0;
+  double decisions_per_sec = 0.0;
+};
+
+TreeArmResult run_tree_arm(cm::EvalEngine engine, const char* engine_name,
+                           int leaves, double budget_s) {
+  const mq::QueueAddress dest("QM", "R");
+  cm::SetBuilder set;
+  for (int i = 0; i < leaves; ++i) {
+    set.add(cm::DestBuilder(dest, "r" + std::to_string(i)).build());
+  }
+  const auto cond = set.pick_up_within(3600 * 1000).build();
+
+  // Pre-built acks so the measured loop is add_ack + evaluate only.
+  std::vector<cm::AckRecord> acks(leaves);
+  for (int i = 0; i < leaves; ++i) {
+    acks[i].type = cm::AckType::kRead;
+    acks[i].queue = dest;
+    acks[i].recipient_id = "r" + std::to_string(i);
+    acks[i].read_ts = 1;
+  }
+  cm::EvalStateOptions opts;
+  opts.engine = engine;
+
+  TreeArmResult r;
+  r.engine = engine_name;
+  r.leaves = leaves;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + std::chrono::duration<double>(budget_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    cm::EvalState state("cm-0", *cond, /*send_ts=*/0, 0, opts);
+    for (int i = 0; i < leaves; ++i) {
+      acks[i].cm_id = state.cm_id();
+      state.add_ack(acks[i]);
+      // Mirror the engine's dirty-set behaviour: re-evaluate per ack.
+      state.evaluate(2);
+    }
+    if (!state.decided()) {
+      std::cerr << "tree arm failed to decide (" << engine_name << ", "
+                << leaves << " leaves)\n";
+      std::exit(1);
+    }
+    r.acks += static_cast<std::uint64_t>(leaves);
+    ++r.decisions;
+  }
+  r.duration_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.acks_per_sec = r.duration_s > 0.0 ? r.acks / r.duration_s : 0.0;
+  r.decisions_per_sec = r.duration_s > 0.0 ? r.decisions / r.duration_s : 0.0;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -169,7 +239,19 @@ int main(int argc, char** argv) {
               << "s (" << static_cast<std::uint64_t>(r.decisions_per_sec)
               << "/s, p99 " << r.p99_us << "us)\n";
     // Liveness gate: the engine must actually decide the tiny pool.
-    return r.decided == 1000 ? 0 : 1;
+    if (r.decided != 1000) return 1;
+    // Compiled-engine gate: at 1000 leaves the incremental engine must be
+    // at least as fast per ack as the interpretive re-walk.
+    const auto compiled =
+        run_tree_arm(cm::EvalEngine::kCompiled, "compiled", 1000, 0.5);
+    const auto interp =
+        run_tree_arm(cm::EvalEngine::kInterpretive, "interpretive", 1000, 0.5);
+    std::cout << "smoke tree 1000 leaves: compiled "
+              << static_cast<std::uint64_t>(compiled.acks_per_sec)
+              << " acks/s vs interpretive "
+              << static_cast<std::uint64_t>(interp.acks_per_sec)
+              << " acks/s\n";
+    return compiled.acks_per_sec >= interp.acks_per_sec ? 0 : 1;
   }
 
   std::vector<ArmResult> results;
@@ -195,6 +277,37 @@ int main(int argc, char** argv) {
   }
   const double speedup = scan_100k > 0.0 ? sharded_100k / scan_100k : 0.0;
 
+  std::vector<TreeArmResult> tree_results;
+  for (const int leaves : {10, 100, 1000}) {
+    for (const bool compiled : {false, true}) {
+      const auto r = run_tree_arm(
+          compiled ? cm::EvalEngine::kCompiled : cm::EvalEngine::kInterpretive,
+          compiled ? "compiled" : "interpretive", leaves, /*budget_s=*/1.0);
+      std::cout << "tree " << r.engine << " leaves=" << r.leaves << ": "
+                << static_cast<std::uint64_t>(r.acks_per_sec) << " acks/s, "
+                << static_cast<std::uint64_t>(r.decisions_per_sec)
+                << " decisions/s\n";
+      tree_results.push_back(r);
+    }
+  }
+  auto tree_rate = [&](const char* engine, int leaves) {
+    for (const auto& r : tree_results) {
+      if (r.leaves == leaves && std::strcmp(r.engine, engine) == 0) {
+        return r.acks_per_sec;
+      }
+    }
+    return 0.0;
+  };
+  // Flatness: throughput at 1000 leaves relative to 10 leaves (1.0 = flat).
+  const double compiled_flatness =
+      tree_rate("compiled", 10) > 0.0
+          ? tree_rate("compiled", 1000) / tree_rate("compiled", 10)
+          : 0.0;
+  const double interp_flatness =
+      tree_rate("interpretive", 10) > 0.0
+          ? tree_rate("interpretive", 1000) / tree_rate("interpretive", 10)
+          : 0.0;
+
   std::ofstream out("BENCH_eval_scale.json");
   out << "{\"bench\": \"eval_scale\", \"window\": " << kWindow
       << ", \"arms\": [";
@@ -209,8 +322,22 @@ int main(int argc, char** argv) {
   out << "], \"headline\": {\"in_flight\": 100000, "
       << "\"scan_decisions_per_sec\": " << scan_100k
       << ", \"sharded_decisions_per_sec\": " << sharded_100k
-      << ", \"speedup\": " << speedup << "}}\n";
+      << ", \"speedup\": " << speedup << "}, \"tree_arms\": [";
+  for (std::size_t i = 0; i < tree_results.size(); ++i) {
+    const auto& r = tree_results[i];
+    if (i > 0) out << ", ";
+    out << "{\"engine\": \"" << r.engine << "\", \"leaves\": " << r.leaves
+        << ", \"acks_per_sec\": " << r.acks_per_sec
+        << ", \"decisions_per_sec\": " << r.decisions_per_sec << "}";
+  }
+  // compiled_flatness_10_to_1000 >= 0.5 is the PR 10 acceptance gate:
+  // ack throughput within 2x of flat while the interpretive walker degrades.
+  out << "], \"tree_headline\": {\"compiled_flatness_10_to_1000\": "
+      << compiled_flatness << ", \"interpretive_flatness_10_to_1000\": "
+      << interp_flatness << "}}\n";
   std::cout << "BENCH_eval_scale.json: 100k in-flight speedup = " << speedup
-            << "x\n";
+            << "x; tree flatness 10->1000 leaves: compiled "
+            << compiled_flatness << ", interpretive " << interp_flatness
+            << "\n";
   return 0;
 }

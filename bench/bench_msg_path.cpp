@@ -37,6 +37,12 @@
 // durability cost on the full delivery path, and does the segmented
 // layout give it back". Store arms run the fast_path toggles.
 //
+// E20 — selective consumers (--selective / --selective-smoke): K consumers
+// parked on disjoint `grp = 'gN'` selectors over one queue, all traffic
+// aimed at g0, with the selector-waiter index (DESIGN.md §12) on vs off,
+// K in {1, 16, 64, 256}. Also gates the zero-allocation LIKE/IN matcher
+// (allocs per Selector::matches must be 0). Writes BENCH_selective.json.
+//
 // Writes BENCH_msg_path.json into the working directory (skipped with
 // --smoke, which runs one tiny fast-path arm as a CI liveness check and
 // asserts the per-message allocation budget; --smoke --store BACKEND
@@ -83,6 +89,8 @@
 #include "mq/network.hpp"
 #include "mq/payload.hpp"
 #include "mq/queue_manager.hpp"
+#include "mq/selector.hpp"
+#include "mq/selector_index.hpp"
 #include "mq/store.hpp"
 #include "mq/transport/transport_channel.hpp"
 #include "mq/transport/transport_server.hpp"
@@ -599,6 +607,151 @@ void transport_arm_json(std::ostream& out, const TransportArm& a) {
   out << "}";
 }
 
+// ---- E20: selective consumers and the selector-waiter index ---------------
+//
+// One queue, K consumers blocked on disjoint selectors (`grp = 'gN'`), all
+// traffic targeted at g0. Without the index every put evaluates every
+// parked waiter's selector; with it (DESIGN.md §12) the put probes the
+// posting lists and wakes only the matching waiter, so throughput should
+// hold roughly flat as K grows. Arms: K in {1, 16, 64, 256} x index
+// on/off. Also reports allocs per LIKE/IN selector evaluation — the
+// zero-allocation matcher gate (0 on the smoke arm).
+
+struct SelectiveArm {
+  bool index_on;
+  int consumers;
+  std::uint64_t delivered = 0;
+  double duration_s = 0.0;
+  double msgs_per_sec = 0.0;
+  mq::SelectorIndex::Stats stats;
+};
+
+SelectiveArm run_selective_arm(bool index_on, int consumers, int rounds) {
+  mq::set_selector_index_enabled(index_on);
+  mq::set_zero_copy_enabled(true);
+  util::set_arena_enabled(true);
+  util::SystemClock clock;
+  mq::QueueManager qm("QM", clock, std::make_unique<mq::MemoryStore>());
+  qm.create_queue("SEL").expect_ok("create SEL");
+
+  std::vector<mq::Selector> selectors;
+  selectors.reserve(static_cast<std::size_t>(consumers));
+  for (int i = 0; i < consumers; ++i) {
+    auto parsed = mq::Selector::parse("grp = 'g" + std::to_string(i) + "'");
+    parsed.status().expect_ok("parse selector");
+    selectors.push_back(std::move(parsed).value());
+  }
+
+  // Decoys: one blocked get each on a selector no traffic matches until
+  // the sentinel that releases them after the timed loop.
+  std::vector<std::thread> decoys;
+  for (int i = 1; i < consumers; ++i) {
+    decoys.emplace_back([&, i] {
+      qm.get("SEL", 120'000, &selectors[static_cast<std::size_t>(i)])
+          .status()
+          .expect_ok("decoy get");
+    });
+  }
+  // Let the decoys park before the timer so every timed put sees all K
+  // waiters registered.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  const auto stats_before = qm.selector_waiter_stats();
+  std::atomic<std::uint64_t> taken{0};
+  std::thread target([&] {
+    for (int i = 0; i < rounds; ++i) {
+      qm.get("SEL", 120'000, &selectors[0]).status().expect_ok("target get");
+      taken.fetch_add(1, std::memory_order_release);
+    }
+  });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < rounds; ++i) {
+    // Bounded window so the queue never grows without limit (and the
+    // waiter index stays on the hot "parked consumer" path).
+    while (static_cast<std::uint64_t>(i) -
+               taken.load(std::memory_order_acquire) >=
+           64) {
+      std::this_thread::yield();
+    }
+    mq::Message msg{"x"};
+    msg.set_property("grp", "g0");
+    qm.put_local("SEL", std::move(msg)).expect_ok("put g0");
+  }
+  target.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const auto stats_after = qm.selector_waiter_stats();
+
+  // Release the decoys, one sentinel each.
+  for (int i = 1; i < consumers; ++i) {
+    mq::Message msg{"bye"};
+    msg.set_property("grp", "g" + std::to_string(i));
+    qm.put_local("SEL", std::move(msg)).expect_ok("put sentinel");
+  }
+  for (auto& t : decoys) t.join();
+
+  SelectiveArm arm;
+  arm.index_on = index_on;
+  arm.consumers = consumers;
+  arm.delivered = taken.load();
+  arm.duration_s = elapsed;
+  arm.msgs_per_sec = elapsed > 0.0 ? arm.delivered / elapsed : 0.0;
+  arm.stats.probes = stats_after.probes - stats_before.probes;
+  arm.stats.index_hits = stats_after.index_hits - stats_before.index_hits;
+  arm.stats.index_skips = stats_after.index_skips - stats_before.index_skips;
+  arm.stats.residual_evals =
+      stats_after.residual_evals - stats_before.residual_evals;
+  arm.stats.fallback_evals =
+      stats_after.fallback_evals - stats_before.fallback_evals;
+  return arm;
+}
+
+// Allocations per Selector::matches() on a LIKE + IN expression — the
+// string paths that used to copy per evaluation. Must be 0.
+double like_in_allocs_per_match() {
+  auto parsed =
+      mq::Selector::parse("grp LIKE 'g%' AND region IN ('emea', 'us')");
+  parsed.status().expect_ok("parse like/in");
+  const mq::Selector selector = std::move(parsed).value();
+  mq::Message msg{"x"};
+  msg.set_property("grp", "g17");
+  msg.set_property("region", "emea");
+  volatile bool sink = false;
+  for (int i = 0; i < 100; ++i) sink = selector.matches(msg);  // warm
+  constexpr int kIters = 10000;
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < kIters; ++i) sink = selector.matches(msg);
+  const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  (void)sink;
+  return static_cast<double>(after - before) / kIters;
+}
+
+void print_selective_arm(const SelectiveArm& a) {
+  std::cout << "selective index=" << (a.index_on ? "on" : "off")
+            << " consumers=" << a.consumers << ": "
+            << static_cast<std::uint64_t>(a.msgs_per_sec) << " msgs/s ("
+            << a.delivered << " in " << a.duration_s << "s), probes="
+            << a.stats.probes << " hits=" << a.stats.index_hits
+            << " skips=" << a.stats.index_skips
+            << " residual=" << a.stats.residual_evals
+            << " fallback=" << a.stats.fallback_evals << "\n";
+}
+
+void selective_arm_json(std::ostream& out, const SelectiveArm& a) {
+  out << "{\"index\": " << (a.index_on ? "true" : "false")
+      << ", \"consumers\": " << a.consumers
+      << ", \"delivered_msgs_per_sec\": " << a.msgs_per_sec
+      << ", \"delivered\": " << a.delivered
+      << ", \"duration_s\": " << a.duration_s
+      << ", \"probes\": " << a.stats.probes
+      << ", \"index_hits\": " << a.stats.index_hits
+      << ", \"index_skips\": " << a.stats.index_skips
+      << ", \"residual_evals\": " << a.stats.residual_evals
+      << ", \"fallback_evals\": " << a.stats.fallback_evals << "}";
+}
+
 void print_arm(const ArmResult& r) {
   std::cout << r.mode << " store=" << r.store << " body=" << r.body_bytes
             << "B fanout=" << r.fanout
@@ -686,6 +839,66 @@ int main(int argc, char** argv) {
               << "x (inproc/tcp), exactly_once="
               << (all_exactly_once ? "yes" : "NO") << "\n";
     return all_exactly_once ? 0 : 1;
+  }
+
+  if (argc > 1 && std::strcmp(argv[1], "--selective-smoke") == 0) {
+    // CI gate for E20: with 64 parked selector consumers the index arm
+    // must deliver everything, actually skip non-matching waiters, and
+    // the LIKE/IN matcher must not allocate.
+    const double allocs = like_in_allocs_per_match();
+    std::cout << "like/in allocs per match: " << allocs << "\n";
+    if (allocs != 0.0) {
+      std::cerr << "selector matcher allocated (" << allocs
+                << " allocs/match, budget 0)\n";
+      return 1;
+    }
+    const auto on = run_selective_arm(/*index_on=*/true, 64, /*rounds=*/500);
+    print_selective_arm(on);
+    const auto off = run_selective_arm(/*index_on=*/false, 64, /*rounds=*/500);
+    print_selective_arm(off);
+    mq::set_selector_index_enabled(true);
+    return (on.delivered == 500 && off.delivered == 500 &&
+            on.stats.index_skips > 0 && off.stats.probes == 0)
+               ? 0
+               : 1;
+  }
+
+  if (argc > 1 && std::strcmp(argv[1], "--selective") == 0) {
+    // E20: selective-consumer grid, K parked selector consumers x index
+    // on/off. Writes BENCH_selective.json.
+    const double allocs = like_in_allocs_per_match();
+    std::cout << "like/in allocs per match: " << allocs << "\n";
+    std::vector<SelectiveArm> arms;
+    for (const int consumers : {1, 16, 64, 256}) {
+      for (const bool index_on : {false, true}) {
+        const auto arm = run_selective_arm(index_on, consumers,
+                                           /*rounds=*/4000);
+        print_selective_arm(arm);
+        arms.push_back(arm);
+      }
+    }
+    mq::set_selector_index_enabled(true);
+
+    double on_256 = 0.0, off_256 = 0.0;
+    for (const auto& a : arms) {
+      if (a.consumers == 256) (a.index_on ? on_256 : off_256) = a.msgs_per_sec;
+    }
+    const double speedup = off_256 > 0.0 ? on_256 / off_256 : 0.0;
+
+    std::ofstream out("BENCH_selective.json");
+    out << "{\"bench\": \"selective\", \"window\": 64, "
+        << "\"like_in_allocs_per_match\": " << allocs << ", \"arms\": [";
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+      if (i > 0) out << ", ";
+      selective_arm_json(out, arms[i]);
+    }
+    out << "], \"headline\": {\"consumers\": 256, "
+        << "\"index_on_msgs_per_sec\": " << on_256
+        << ", \"index_off_msgs_per_sec\": " << off_256
+        << ", \"speedup\": " << speedup << "}}\n";
+    std::cout << "BENCH_selective.json: 256-consumer index speedup = "
+              << speedup << "x\n";
+    return 0;
   }
 
   if (argc > 1 && std::strcmp(argv[1], "--focus") == 0) {

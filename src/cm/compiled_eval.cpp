@@ -1,0 +1,309 @@
+#include "cm/compiled_eval.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace cmx::cm {
+
+namespace {
+std::atomic<bool> g_compiled_eval_enabled{true};
+}  // namespace
+
+const char* tri_state_name(TriState s) {
+  switch (s) {
+    case TriState::kPending:
+      return "pending";
+    case TriState::kSatisfied:
+      return "satisfied";
+    case TriState::kViolated:
+      return "violated";
+  }
+  return "?";
+}
+
+bool compiled_eval_enabled() {
+  return g_compiled_eval_enabled.load(std::memory_order_relaxed);
+}
+
+void set_compiled_eval_enabled(bool enabled) {
+  g_compiled_eval_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+CompiledEval::CompiledEval(const Condition* root, util::TimeMs send_ts,
+                           const std::vector<const Destination*>& leaves)
+    : send_ts_(send_ts) {
+  routes_.resize(leaves.size());
+  std::vector<std::uint32_t> pickup_stack;
+  std::vector<std::uint32_t> processing_stack;
+  build(root, -1, pickup_stack, processing_stack, leaves);
+  // Nodes whose every part was satisfied at construction (MinNr* == 0, or
+  // no time conditions and no children) resolve bottom-up: children sit
+  // after their parent in pre-order, so a reverse scan sees each child
+  // before the parent whose `remaining` it decrements.
+  for (std::size_t i = nodes_.size(); i-- > 0;) {
+    CNode& n = nodes_[i];
+    if (!n.satisfied && n.remaining == 0) {
+      n.satisfied = true;
+      if (n.parent >= 0) --nodes_[static_cast<std::size_t>(n.parent)].remaining;
+    }
+  }
+  std::sort(events_.begin(), events_.end());
+}
+
+std::uint32_t CompiledEval::make_part(Part::Kind kind, std::uint32_t node,
+                                      int needed, int max_count,
+                                      util::TimeMs rel_time) {
+  const auto idx = static_cast<std::uint32_t>(parts_.size());
+  Part p;
+  p.kind = kind;
+  p.node = node;
+  p.needed = needed;
+  p.max_count = max_count;
+  p.rel_time = rel_time;
+  p.deadline = send_ts_ + rel_time;
+  if (needed <= 0) {
+    // Trivially satisfied (a MaxNr*-only part still counts for its bound).
+    p.satisfied = true;
+  } else {
+    ++nodes_[node].remaining;
+    events_.emplace_back(p.deadline + 1, idx);
+  }
+  parts_.push_back(std::move(p));
+  return idx;
+}
+
+void CompiledEval::build(const Condition* node, std::int32_t parent,
+                         std::vector<std::uint32_t>& pickup_stack,
+                         std::vector<std::uint32_t>& processing_stack,
+                         const std::vector<const Destination*>& leaves) {
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(CNode{node, parent, 0, 0, 0, false});
+  nodes_[id].parts_begin = static_cast<std::uint32_t>(parts_.size());
+
+  std::size_t pushed_pickup = 0;
+  std::size_t pushed_processing = 0;
+  if (const auto* dest = node->as_destination()) {
+    if (auto t = dest->msg_pick_up_time()) {
+      make_part(Part::Kind::kPickUp, id, 1, -1, *t);
+    }
+    if (auto t = dest->msg_processing_time()) {
+      make_part(Part::Kind::kProcessing, id, 1, -1, *t);
+    }
+  } else if (const auto* set = node->as_destination_set()) {
+    const auto subtree = node->leaves();
+    const int subtree_count = static_cast<int>(subtree.size());
+    if (auto t = set->msg_pick_up_time()) {
+      pickup_stack.push_back(
+          make_part(Part::Kind::kPickUp, id,
+                    set->min_nr_pick_up().value_or(subtree_count),
+                    set->max_nr_pick_up().value_or(-1), *t));
+      pushed_pickup = 1;
+      // Anonymous counts share the pick-up window (and, like the
+      // interpretive walker, are ignored without one).
+      if (set->min_nr_anonymous().has_value() ||
+          set->max_nr_anonymous().has_value()) {
+        AnonScope scope;
+        scope.part = make_part(Part::Kind::kAnon, id,
+                               set->min_nr_anonymous().value_or(0),
+                               set->max_nr_anonymous().value_or(-1), *t);
+        for (const auto* leaf : subtree) {
+          scope.queues.insert(leaf->address());
+          if (!leaf->recipient_id().empty()) {
+            scope.named.insert(leaf->recipient_id());
+          }
+        }
+        anon_scopes_.push_back(std::move(scope));
+      }
+    }
+    if (auto t = set->msg_processing_time()) {
+      processing_stack.push_back(
+          make_part(Part::Kind::kProcessing, id,
+                    set->min_nr_processing().value_or(subtree_count),
+                    set->max_nr_processing().value_or(-1), *t));
+      pushed_processing = 1;
+    }
+  }
+  nodes_[id].parts_end = static_cast<std::uint32_t>(parts_.size());
+
+  if (const auto* dest = node->as_destination()) {
+    // Route: the leaf's own parts plus every enclosing set window.
+    std::size_t leaf_idx = 0;
+    while (leaf_idx < leaves.size() && leaves[leaf_idx] != dest) ++leaf_idx;
+    LeafRoute& route = routes_[leaf_idx];
+    for (std::uint32_t pi = nodes_[id].parts_begin; pi < nodes_[id].parts_end;
+         ++pi) {
+      (parts_[pi].kind == Part::Kind::kPickUp ? route.pickup
+                                              : route.processing)
+          .push_back(pi);
+    }
+    route.pickup.insert(route.pickup.end(), pickup_stack.begin(),
+                        pickup_stack.end());
+    route.processing.insert(route.processing.end(), processing_stack.begin(),
+                            processing_stack.end());
+    route.pickup_counted.assign(route.pickup.size(), 0);
+    route.processing_counted.assign(route.processing.size(), 0);
+  } else {
+    std::uint32_t child_count = 0;
+    for (const auto& child : node->children()) {
+      build(child.get(), static_cast<std::int32_t>(id), pickup_stack,
+            processing_stack, leaves);
+      ++child_count;
+    }
+    nodes_[id].remaining += child_count;
+  }
+
+  while (pushed_pickup-- > 0) pickup_stack.pop_back();
+  while (pushed_processing-- > 0) processing_stack.pop_back();
+}
+
+void CompiledEval::on_read(std::size_t leaf_idx, util::TimeMs min_read_ts) {
+  LeafRoute& route = routes_[leaf_idx];
+  for (std::size_t k = 0; k < route.pickup.size(); ++k) {
+    if (route.pickup_counted[k] != 0) continue;
+    if (min_read_ts > parts_[route.pickup[k]].deadline) continue;
+    route.pickup_counted[k] = 1;
+    bump(route.pickup[k]);
+  }
+}
+
+void CompiledEval::on_processing(std::size_t leaf_idx,
+                                 util::TimeMs min_processing_ts) {
+  LeafRoute& route = routes_[leaf_idx];
+  for (std::size_t k = 0; k < route.processing.size(); ++k) {
+    if (route.processing_counted[k] != 0) continue;
+    if (min_processing_ts > parts_[route.processing[k]].deadline) continue;
+    route.processing_counted[k] = 1;
+    bump(route.processing[k]);
+  }
+}
+
+void CompiledEval::on_unassigned(const AckRecord& ack) {
+  for (AnonScope& scope : anon_scopes_) {
+    const Part& p = parts_[scope.part];
+    if (ack.read_ts > p.deadline) continue;
+    if (scope.queues.count(ack.queue) == 0) continue;
+    if (ack.recipient_id.empty()) {
+      // Unassigned anonymous reads are each counted.
+      bump(scope.part);
+    } else if (scope.named.count(ack.recipient_id) == 0 &&
+               scope.strangers.insert(ack.recipient_id).second) {
+      // Named strangers are counted once per distinct recipient.
+      bump(scope.part);
+    }
+  }
+}
+
+void CompiledEval::bump(std::uint32_t part_idx) {
+  Part& p = parts_[part_idx];
+  ++p.count;
+  if (p.max_count >= 0 && p.count > p.max_count && !max_violated_) {
+    max_violated_ = true;
+    max_violated_reason_ = max_reason(p);
+  }
+  if (!p.satisfied && p.count >= p.needed) satisfy(part_idx);
+}
+
+void CompiledEval::satisfy(std::uint32_t part_idx) {
+  Part& p = parts_[part_idx];
+  p.satisfied = true;
+  if (p.missed) {
+    p.missed = false;
+    --missed_count_;
+  }
+  // Residual propagation: only the path to the root can change.
+  std::int32_t node = static_cast<std::int32_t>(p.node);
+  while (node >= 0) {
+    CNode& n = nodes_[static_cast<std::size_t>(node)];
+    if (--n.remaining > 0) break;
+    n.satisfied = true;
+    node = n.parent;
+  }
+}
+
+CompiledEval::Status CompiledEval::status(util::TimeMs now) {
+  while (cursor_ < events_.size() && events_[cursor_].first <= now) {
+    Part& p = parts_[events_[cursor_].second];
+    if (!p.satisfied && !p.missed) {
+      p.missed = true;
+      ++missed_count_;
+    }
+    ++cursor_;
+  }
+  if (max_violated_) return {TriState::kViolated, max_violated_reason_};
+  if (missed_count_ > 0) {
+    if (missed_reason_part_ == UINT32_MAX ||
+        !parts_[missed_reason_part_].missed) {
+      for (std::uint32_t i = 0; i < parts_.size(); ++i) {
+        if (parts_[i].missed) {
+          missed_reason_part_ = i;
+          missed_reason_ = part_reason(parts_[i]);
+          break;
+        }
+      }
+    }
+    return {TriState::kViolated, missed_reason_};
+  }
+  if (nodes_[0].satisfied) return {TriState::kSatisfied, ""};
+  return {TriState::kPending, ""};
+}
+
+std::string CompiledEval::part_reason(const Part& p) const {
+  const CNode& n = nodes_[p.node];
+  const Destination* dest = n.cond->as_destination();
+  switch (p.kind) {
+    case Part::Kind::kPickUp:
+      if (dest != nullptr) {
+        return "pick-up deadline missed: " + dest->describe();
+      }
+      return "pick-up subset not reached: " + std::to_string(p.count) + "/" +
+             std::to_string(p.needed) + " within " +
+             std::to_string(p.rel_time) + "ms";
+    case Part::Kind::kProcessing:
+      if (dest != nullptr) {
+        return "processing deadline missed: " + dest->describe();
+      }
+      return "processing subset not reached: " + std::to_string(p.count) +
+             "/" + std::to_string(p.needed) + " within " +
+             std::to_string(p.rel_time) + "ms";
+    case Part::Kind::kAnon:
+      return "MinNrAnonymous not reached: " + std::to_string(p.count) + "/" +
+             std::to_string(p.needed);
+  }
+  return "internal: unknown part kind";
+}
+
+std::string CompiledEval::max_reason(const Part& p) const {
+  switch (p.kind) {
+    case Part::Kind::kPickUp:
+      return "MaxNrPickUp exceeded (" + std::to_string(p.count) + " > " +
+             std::to_string(p.max_count) + ")";
+    case Part::Kind::kProcessing:
+      return "MaxNrProcessing exceeded (" + std::to_string(p.count) + " > " +
+             std::to_string(p.max_count) + ")";
+    case Part::Kind::kAnon:
+      return "MaxNrAnonymous exceeded (" + std::to_string(p.count) + ")";
+  }
+  return "internal: unknown part kind";
+}
+
+void CompiledEval::describe(std::ostream& os) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const CNode& n = nodes_[i];
+    os << "    node " << i << (n.cond->is_leaf() ? " leaf" : " set ")
+       << " parent=" << n.parent << " residual=" << n.remaining
+       << (n.satisfied ? " satisfied" : "");
+    for (std::uint32_t pi = n.parts_begin; pi < n.parts_end; ++pi) {
+      const Part& p = parts_[pi];
+      const char* kind = p.kind == Part::Kind::kPickUp ? "pick-up"
+                         : p.kind == Part::Kind::kProcessing ? "processing"
+                                                             : "anonymous";
+      os << " [" << kind << " " << p.count << "/" << p.needed;
+      if (p.max_count >= 0) os << " max=" << p.max_count;
+      os << " by " << p.rel_time << "ms"
+         << (p.satisfied ? " ok" : (p.missed ? " missed" : " open")) << "]";
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace cmx::cm

@@ -1,0 +1,158 @@
+// Compiled condition evaluation (DESIGN.md §12): a one-time compilation of
+// the condition tree into a flat node array with incremental residual
+// counts, so each acknowledgment updates only the O(depth) path it
+// affects instead of re-walking the whole tree per evaluation.
+//
+// Compilation output:
+//   * One CNode per condition node, in pre-order, carrying a `remaining`
+//     residual count = unsatisfied own parts + unsatisfied children. When
+//     it hits zero the node is satisfied and decrements its parent —
+//     satisfaction propagates in amortized O(1) per part.
+//   * One Part per time condition: a leaf deadline (needed = 1), a set
+//     subset cardinality (needed = MinNr* or the subtree leaf count), or
+//     an anonymous-count window. Parts count matching events; a part with
+//     a MaxNr* bound latches a violation the moment its count exceeds it
+//     (counts are monotone, so max violations can never be undone).
+//   * Per-leaf routes: the list of parts (own + ancestor sets) a leaf's
+//     read/processing timestamps feed, with per-pair counted flags. An
+//     ack touches exactly one leaf's route — O(depth) part bumps.
+//   * A sorted deadline-event list with a cursor: status(now) advances the
+//     cursor, marking parts still unsatisfied at deadline+1 as missed.
+//     A missed part is NOT latched: a late-arriving ack with an early
+//     timestamp un-misses it (mirroring the interpretive walker, which
+//     recomputes from timestamps — this matters under the
+//     early-failure-detection ablation where violations are held open).
+//
+// The verdict at any `now` is bit-for-bit the interpretive walker's state:
+// max-violated || any part missed => violated; root residual 0 =>
+// satisfied; else pending. EvalState keeps both engines behind
+// set_compiled_eval_enabled() / EvalStateOptions::engine for A/B runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cm/condition.hpp"
+#include "cm/control.hpp"
+#include "util/clock.hpp"
+
+namespace cmx::cm {
+
+enum class TriState { kPending, kSatisfied, kViolated };
+
+const char* tri_state_name(TriState s);
+
+// Process-wide default engine toggle (A/B switch, like
+// mq::set_selector_index_enabled). Read once per EvalState at
+// construction; in-flight evaluations keep the engine they started with.
+bool compiled_eval_enabled();
+void set_compiled_eval_enabled(bool enabled);
+
+class CompiledEval {
+ public:
+  // `root` must outlive this object (EvalState owns the cloned tree).
+  // `leaves` is the tree's leaf list in left-to-right order; leaf indices
+  // passed to the hooks below refer to positions in this vector.
+  CompiledEval(const Condition* root, util::TimeMs send_ts,
+               const std::vector<const Destination*>& leaves);
+
+  // ---- incremental update hooks (called from EvalState::add_ack) --------
+  // `min_read_ts` / `min_processing_ts` are the leaf's NEW minimum
+  // timestamps; call only when the minimum improved (first ack or an
+  // earlier timestamp). Counted-ness is monotone: once a leaf's minimum
+  // fits a part's window it stays counted.
+  void on_read(std::size_t leaf_idx, util::TimeMs min_read_ts);
+  void on_processing(std::size_t leaf_idx, util::TimeMs min_processing_ts);
+  // Ack that matched no leaf: feeds anonymous-count windows.
+  void on_unassigned(const AckRecord& ack);
+
+  struct Status {
+    TriState state = TriState::kPending;
+    std::string reason;  // set when violated
+  };
+
+  // Advances the deadline cursor to `now` and reports the root verdict.
+  // Decision latching (monotonicity) is EvalState's job, not ours: under
+  // the ablation a held-back violation may legitimately revert.
+  Status status(util::TimeMs now);
+
+  // ---- introspection (dump_evaluation, tests) ---------------------------
+  // Per-node residual counts and part progress, one line per node.
+  void describe(std::ostream& os) const;
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t part_count() const { return parts_.size(); }
+
+ private:
+  struct Part {
+    enum class Kind : std::uint8_t { kPickUp, kProcessing, kAnon };
+    Kind kind = Kind::kPickUp;
+    bool satisfied = false;
+    bool missed = false;  // deadline passed while unsatisfied (reversible)
+    std::uint32_t node = 0;
+    int count = 0;
+    int needed = 0;
+    int max_count = -1;  // -1: no MaxNr* bound
+    util::TimeMs deadline = 0;  // absolute (send_ts + relative)
+    util::TimeMs rel_time = 0;  // relative, for reason strings
+  };
+
+  struct CNode {
+    const Condition* cond = nullptr;
+    std::int32_t parent = -1;
+    std::uint32_t parts_begin = 0;
+    std::uint32_t parts_end = 0;
+    std::uint32_t remaining = 0;  // unsatisfied own parts + children
+    bool satisfied = false;
+  };
+
+  // Anonymous-count window of one set: scope (subtree queues, named
+  // recipients) plus the distinct named strangers seen so far.
+  struct AnonScope {
+    std::uint32_t part = 0;
+    std::set<mq::QueueAddress> queues;
+    std::set<std::string> named;
+    std::set<std::string> strangers;
+  };
+
+  // The parts a leaf's timestamps feed, with parallel counted flags.
+  struct LeafRoute {
+    std::vector<std::uint32_t> pickup;
+    std::vector<std::uint32_t> processing;
+    std::vector<std::uint8_t> pickup_counted;
+    std::vector<std::uint8_t> processing_counted;
+  };
+
+  std::uint32_t make_part(Part::Kind kind, std::uint32_t node, int needed,
+                          int max_count, util::TimeMs rel_time);
+  void build(const Condition* node, std::int32_t parent,
+             std::vector<std::uint32_t>& pickup_stack,
+             std::vector<std::uint32_t>& processing_stack,
+             const std::vector<const Destination*>& leaves);
+  void bump(std::uint32_t part_idx);
+  void satisfy(std::uint32_t part_idx);
+  std::string part_reason(const Part& p) const;
+  std::string max_reason(const Part& p) const;
+
+  const util::TimeMs send_ts_;
+  std::vector<CNode> nodes_;   // pre-order; nodes_[0] is the root
+  std::vector<Part> parts_;
+  std::vector<LeafRoute> routes_;  // by leaf index
+  std::vector<AnonScope> anon_scopes_;
+  // (deadline + 1, part) events, sorted; cursor_ marks processed prefix.
+  std::vector<std::pair<util::TimeMs, std::uint32_t>> events_;
+  std::size_t cursor_ = 0;
+  int missed_count_ = 0;
+  bool max_violated_ = false;
+  std::string max_violated_reason_;
+  // Cached reason of the first missed part; rebuilt when that part
+  // un-misses (keeps repeated status() calls on a held-back violation
+  // from rescanning parts_ every time).
+  std::uint32_t missed_reason_part_ = UINT32_MAX;
+  std::string missed_reason_;
+};
+
+}  // namespace cmx::cm

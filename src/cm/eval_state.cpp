@@ -5,17 +5,19 @@
 
 namespace cmx::cm {
 
-const char* tri_state_name(TriState s) {
-  switch (s) {
-    case TriState::kPending:
-      return "pending";
-    case TriState::kSatisfied:
-      return "satisfied";
-    case TriState::kViolated:
-      return "violated";
-  }
-  return "?";
+namespace {
+
+// Lookup key for ack assignment; '\x01' cannot occur in queue names.
+std::string queue_key(const mq::QueueAddress& addr) {
+  std::string key;
+  key.reserve(addr.qmgr.size() + addr.queue.size() + 1);
+  key += addr.qmgr;
+  key += '\x01';
+  key += addr.queue;
+  return key;
 }
+
+}  // namespace
 
 EvalState::EvalState(std::string cm_id, const Condition& condition,
                      util::TimeMs send_ts,
@@ -26,8 +28,27 @@ EvalState::EvalState(std::string cm_id, const Condition& condition,
       evaluation_timeout_ms_(evaluation_timeout_ms),
       options_(options),
       condition_(condition.clone()) {
-  for (const auto* leaf : condition_->leaves()) {
+  const auto leaves = condition_->leaves();
+  for (const auto* leaf : leaves) {
     leaf_states_.push_back(LeafState{leaf, std::nullopt, std::nullopt});
+  }
+  for (std::size_t i = 0; i < leaf_states_.size(); ++i) {
+    const auto* leaf = leaf_states_[i].leaf;
+    const std::string qkey = queue_key(leaf->address());
+    if (leaf->recipient_id().empty()) {
+      anon_leaves_[qkey].push_back(i);
+    } else {
+      // emplace keeps the FIRST leaf per (queue, recipient), matching the
+      // original first-match scan.
+      exact_leaf_.emplace(qkey + '\x01' + leaf->recipient_id(), i);
+    }
+  }
+  const bool use_compiled =
+      options_.engine == EvalEngine::kCompiled ||
+      (options_.engine == EvalEngine::kAuto && compiled_eval_enabled());
+  if (use_compiled) {
+    compiled_ =
+        std::make_unique<CompiledEval>(condition_.get(), send_ts_, leaves);
   }
   std::vector<util::TimeMs> deadlines;
   collect_deadlines(condition_.get(), deadlines);
@@ -59,47 +80,62 @@ void EvalState::add_ack(const AckRecord& ack) {
   ++acks_seen_;
 
   // Assignment: exact recipient match first, then an anonymous leaf on the
-  // same queue. A processing ack also witnesses the read.
-  auto matches_queue = [&](const LeafState& ls) {
-    return ls.leaf->address() == ack.queue;
-  };
-  auto assign = [&](LeafState& ls) {
-    if (!ls.read_ts.has_value() || ack.read_ts < *ls.read_ts) {
-      ls.read_ts = ack.read_ts;
-    }
-    if (ack.type == AckType::kProcessing &&
-        (!ls.processing_ts.has_value() || ack.commit_ts < *ls.processing_ts)) {
-      ls.processing_ts = ack.commit_ts;
-    }
-  };
-
+  // same queue. A processing ack also witnesses the read. The maps built
+  // at construction make this O(1) in the leaf count (plus a scan of the
+  // queue's anonymous leaves for the usefulness preference), which is what
+  // keeps per-ack cost flat for wide trees.
   LeafState* chosen = nullptr;
+  const std::string qkey = queue_key(ack.queue);
   if (!ack.recipient_id.empty()) {
-    for (auto& ls : leaf_states_) {
-      if (matches_queue(ls) && ls.leaf->recipient_id() == ack.recipient_id) {
-        chosen = &ls;
-        break;
-      }
-    }
+    auto it = exact_leaf_.find(qkey + '\x01' + ack.recipient_id);
+    if (it != exact_leaf_.end()) chosen = &leaf_states_[it->second];
   }
   if (chosen == nullptr) {
     // Prefer an anonymous leaf still missing the event this ack provides.
-    const bool provides_processing = ack.type == AckType::kProcessing;
-    for (auto& ls : leaf_states_) {
-      if (!matches_queue(ls) || !ls.leaf->recipient_id().empty()) continue;
-      const bool useful = provides_processing ? !ls.processing_ts.has_value()
-                                              : !ls.read_ts.has_value();
-      if (useful) {
-        chosen = &ls;
-        break;
+    auto it = anon_leaves_.find(qkey);
+    if (it != anon_leaves_.end()) {
+      const bool provides_processing = ack.type == AckType::kProcessing;
+      std::size_t fallback = SIZE_MAX;
+      for (std::size_t idx : it->second) {
+        auto& ls = leaf_states_[idx];
+        const bool useful = provides_processing
+                                ? !ls.processing_ts.has_value()
+                                : !ls.read_ts.has_value();
+        if (useful) {
+          chosen = &ls;
+          break;
+        }
+        if (fallback == SIZE_MAX) fallback = idx;  // first anonymous
       }
-      if (chosen == nullptr) chosen = &ls;  // fall back to first anonymous
+      if (chosen == nullptr && fallback != SIZE_MAX) {
+        chosen = &leaf_states_[fallback];
+      }
     }
   }
   if (chosen != nullptr) {
-    assign(*chosen);
+    const auto prev_read = chosen->read_ts;
+    const auto prev_processing = chosen->processing_ts;
+    if (!chosen->read_ts.has_value() || ack.read_ts < *chosen->read_ts) {
+      chosen->read_ts = ack.read_ts;
+    }
+    if (ack.type == AckType::kProcessing &&
+        (!chosen->processing_ts.has_value() ||
+         ack.commit_ts < *chosen->processing_ts)) {
+      chosen->processing_ts = ack.commit_ts;
+    }
+    if (compiled_ != nullptr) {
+      const auto leaf_idx =
+          static_cast<std::size_t>(chosen - leaf_states_.data());
+      if (chosen->read_ts != prev_read) {
+        compiled_->on_read(leaf_idx, *chosen->read_ts);
+      }
+      if (chosen->processing_ts != prev_processing) {
+        compiled_->on_processing(leaf_idx, *chosen->processing_ts);
+      }
+    }
   } else {
     unassigned_acks_.push_back(ack);
+    if (compiled_ != nullptr) compiled_->on_unassigned(ack);
   }
 }
 
@@ -290,7 +326,14 @@ EvalState::NodeVerdict EvalState::eval_node(const Condition* node,
 
 EvalState::Verdict EvalState::evaluate(util::TimeMs now) {
   if (decided_.has_value()) return *decided_;
-  const NodeVerdict root = eval_node(condition_.get(), now);
+  NodeVerdict root;
+  if (compiled_ != nullptr) {
+    auto st = compiled_->status(now);
+    root.state = st.state;
+    root.reason = std::move(st.reason);
+  } else {
+    root = eval_node(condition_.get(), now);
+  }
   if (root.state == TriState::kSatisfied) {
     decided_ = Verdict{TriState::kSatisfied, ""};
     return *decided_;
@@ -322,6 +365,28 @@ void EvalState::collect_deadlines(const Condition* node,
   if (auto t = node->msg_processing_time()) out.push_back(send_ts_ + *t);
   for (const auto& child : node->children()) {
     collect_deadlines(child.get(), out);
+  }
+}
+
+void EvalState::dump(std::ostream& os) const {
+  os << "  eval " << cm_id_
+     << ": engine=" << (compiled_ != nullptr ? "compiled" : "interpretive")
+     << " acks=" << acks_seen_ << " leaves=" << leaf_states_.size();
+  if (decided_.has_value()) {
+    os << " decided=" << tri_state_name(decided_->state);
+  }
+  os << "\n";
+  if (compiled_ != nullptr) {
+    compiled_->describe(os);
+  } else {
+    std::size_t read = 0;
+    std::size_t processed = 0;
+    for (const auto& ls : leaf_states_) {
+      if (ls.read_ts.has_value()) ++read;
+      if (ls.processing_ts.has_value()) ++processed;
+    }
+    os << "    leaves read=" << read << " processed=" << processed
+       << " unassigned=" << unassigned_acks_.size() << "\n";
   }
 }
 

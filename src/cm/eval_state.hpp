@@ -24,19 +24,24 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
+#include <ostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "cm/compiled_eval.hpp"
 #include "cm/condition.hpp"
 #include "cm/control.hpp"
 #include "util/clock.hpp"
 
 namespace cmx::cm {
 
-enum class TriState { kPending, kSatisfied, kViolated };
-
-const char* tri_state_name(TriState s);
+// Which evaluation engine an EvalState uses (DESIGN.md §12). kAuto reads
+// the process-wide compiled_eval_enabled() toggle at construction; the
+// explicit values pin one engine for A/B comparisons regardless of it.
+enum class EvalEngine { kAuto, kCompiled, kInterpretive };
 
 struct EvalStateOptions {
   // Early failure detection (the default, matching §2.5): a violated
@@ -45,6 +50,7 @@ struct EvalStateOptions {
   // declared once every deadline has passed (or at the evaluation
   // timeout) — success can still be declared early either way.
   bool early_failure_detection = true;
+  EvalEngine engine = EvalEngine::kAuto;
 };
 
 class EvalState {
@@ -82,6 +88,11 @@ class EvalState {
   // ---- introspection (tests, stats) -------------------------------------
   std::size_t ack_count() const { return acks_seen_; }
   bool decided() const { return decided_.has_value(); }
+  // True when this state runs the compiled incremental engine.
+  bool compiled() const { return compiled_ != nullptr; }
+  // One-line header (engine, ack count, verdict) plus — for the compiled
+  // engine — per-node residual counts (dump_evaluation, introspect_test).
+  void dump(std::ostream& os) const;
 
  private:
   struct LeafState {
@@ -120,6 +131,15 @@ class EvalState {
 
   std::vector<LeafState> leaf_states_;
   std::map<const Condition*, std::vector<std::size_t>> subtree_cache_;
+
+  // O(1) ack assignment (shared by both engines): exact
+  // (queue, recipient) -> first matching leaf, and queue -> anonymous
+  // leaves in tree order (preserving the original scan's preferences).
+  std::unordered_map<std::string, std::size_t> exact_leaf_;
+  std::unordered_map<std::string, std::vector<std::size_t>> anon_leaves_;
+
+  // Compiled incremental engine; nullptr means the interpretive walker.
+  std::unique_ptr<CompiledEval> compiled_;
 
   // Acks not assigned to any leaf; feed set-level anonymous counts.
   std::vector<AckRecord> unassigned_acks_;

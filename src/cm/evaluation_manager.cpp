@@ -178,6 +178,23 @@ std::vector<EvalShardInfo> EvaluationManager::shard_info() const {
   return info;
 }
 
+void EvaluationManager::dump_states(std::ostream& out,
+                                    std::size_t per_shard_limit) const {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    std::size_t shown = 0;
+    for (const auto& [cm_id, entry] : shard->states) {
+      if (shown == per_shard_limit) {
+        out << "  ... (" << (shard->states.size() - shown)
+            << " more in shard " << shard->index << ")\n";
+        break;
+      }
+      ++shown;
+      entry.state->dump(out);
+    }
+  }
+}
+
 bool EvaluationManager::await_decided(const std::string& cm_id,
                                       util::TimeMs real_cap_ms) const {
   Shard& shard = shard_for(cm_id);

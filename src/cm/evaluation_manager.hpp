@@ -122,6 +122,10 @@ class EvaluationManager {
   std::size_t shard_of(const std::string& cm_id) const;
   std::vector<EvalShardInfo> shard_info() const;
 
+  // Streams a bounded sample of in-flight evaluation states (engine,
+  // ack counts, per-node residuals) into `out`; see dump_evaluation.
+  void dump_states(std::ostream& out, std::size_t per_shard_limit = 4) const;
+
  private:
   struct Entry {
     std::unique_ptr<EvalState> state;

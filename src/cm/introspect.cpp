@@ -140,6 +140,9 @@ void dump_evaluation(const EvaluationManager& eval, std::ostream& out) {
   out << "  decisions: success=" << stats.decided_success << " failure="
       << stats.decided_failure << " evicted=" << stats.decisions_evicted
       << "\n";
+  out << "  condition engine default: "
+      << (compiled_eval_enabled() ? "compiled" : "interpretive")
+      << " (in-flight states keep the engine they started with)\n";
   out << "  shard  in-flight  dirty   heap  decisions\n";
   const auto shards = eval.shard_info();
   for (std::size_t i = 0; i < shards.size(); ++i) {
@@ -148,6 +151,7 @@ void dump_evaluation(const EvaluationManager& eval, std::ostream& out) {
         << "  " << std::setw(5) << s.dirty << "  " << std::setw(5) << s.heap
         << "  " << std::setw(9) << s.decisions << "\n";
   }
+  eval.dump_states(out);
 }
 
 void dump_all(mq::QueueManager& qm, std::ostream& out) {

@@ -80,7 +80,8 @@ util::Status TopicBroker::recover() {
         .expect_ok("ensure subscription queue");
     std::lock_guard<std::mutex> lk(mu_);
     if (subs_.count(sub.info.name) == 0) {
-      subs_[sub.info.name] = std::move(sub);
+      Subscription& stored = subs_[sub.info.name] = std::move(sub);
+      index_subscription_locked(stored);
       ++recovered;
     }
   }
@@ -134,8 +135,22 @@ util::Result<SubscriptionInfo> TopicBroker::subscribe(
   }
   SubscriptionInfo info = sub.info;
   std::lock_guard<std::mutex> lk(mu_);
-  subs_[info.name] = std::move(sub);
+  Subscription& stored = subs_[info.name] = std::move(sub);
+  index_subscription_locked(stored);
   return info;
+}
+
+void TopicBroker::index_subscription_locked(Subscription& sub) {
+  sub.index_id = next_index_id_++;
+  std::vector<std::pair<std::string, std::string>> extra_eq;
+  if (sub.info.pattern.find('*') == std::string::npos &&
+      sub.info.pattern.find('#') == std::string::npos) {
+    extra_eq.emplace_back(kTopicProperty, sub.info.pattern);
+  }
+  index_.add(sub.index_id,
+             sub.selector.has_value() ? &*sub.selector : nullptr,
+             std::move(extra_eq));
+  by_index_id_[sub.index_id] = sub.info.name;
 }
 
 util::Status TopicBroker::unsubscribe(const std::string& name) {
@@ -150,6 +165,8 @@ util::Status TopicBroker::unsubscribe(const std::string& name) {
     }
     queue = it->second.info.queue;
     durable = it->second.info.durable;
+    index_.remove(it->second.index_id);
+    by_index_id_.erase(it->second.index_id);
     subs_.erase(it);
   }
   if (durable) {
@@ -174,13 +191,29 @@ util::Status TopicBroker::publish(const std::string& topic, Message msg) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.published;
-    for (const auto& [name, sub] : subs_) {
-      if (!topic_matches(sub.info.pattern, topic)) continue;
-      if (sub.selector.has_value() && !sub.selector->matches(msg)) {
-        ++stats_.selector_filtered;
-        continue;
+    if (selector_index_enabled()) {
+      // Index arm: one probe finds the subscriptions whose selector (and,
+      // for exact patterns, topic) matches; only wildcard patterns still
+      // need the per-subscription topic_matches re-check.
+      match_scratch_.clear();
+      index_.collect_matches(msg, match_scratch_);
+      stats_.selector_filtered += subs_.size() - match_scratch_.size();
+      for (std::uint64_t id : match_scratch_) {
+        auto nit = by_index_id_.find(id);
+        if (nit == by_index_id_.end()) continue;
+        const Subscription& sub = subs_.at(nit->second);
+        if (!topic_matches(sub.info.pattern, topic)) continue;
+        targets.push_back(Target{sub.info.queue, sub.info.durable});
       }
-      targets.push_back(Target{sub.info.queue, sub.info.durable});
+    } else {
+      for (const auto& [name, sub] : subs_) {
+        if (!topic_matches(sub.info.pattern, topic)) continue;
+        if (sub.selector.has_value() && !sub.selector->matches(msg)) {
+          ++stats_.selector_filtered;
+          continue;
+        }
+        targets.push_back(Target{sub.info.queue, sub.info.durable});
+      }
     }
     if (targets.empty()) {
       ++stats_.unmatched_publishes;
@@ -233,6 +266,16 @@ std::vector<SubscriptionInfo> TopicBroker::subscriptions() const {
 BrokerStats TopicBroker::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
   return stats_;
+}
+
+SelectorIndex::Stats TopicBroker::index_stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return index_.stats();
+}
+
+std::vector<std::string> TopicBroker::indexed_keys() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return index_.indexed_keys();
 }
 
 }  // namespace cmx::mq

@@ -16,11 +16,13 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "mq/message.hpp"
 #include "mq/queue_manager.hpp"
 #include "mq/selector.hpp"
+#include "mq/selector_index.hpp"
 
 namespace cmx::mq {
 
@@ -54,6 +56,10 @@ struct BrokerStats {
   std::uint64_t published = 0;
   std::uint64_t deliveries = 0;         // copies placed on subscriptions
   std::uint64_t unmatched_publishes = 0;  // no subscription matched
+  // Subscriptions ruled out before delivery by the matching engine. In the
+  // index arm this counts everything the index skipped (selector or exact
+  // topic); in the interpretive arm, only selector misses on
+  // topic-matching subscriptions.
   std::uint64_t selector_filtered = 0;
 };
 
@@ -90,17 +96,33 @@ class TopicBroker {
   std::vector<SubscriptionInfo> subscriptions() const;
 
   BrokerStats stats() const;
+  // Counters and key registry of the subscription index (publish-side
+  // enqueue-time matching; DESIGN.md §12).
+  SelectorIndex::Stats index_stats() const;
+  std::vector<std::string> indexed_keys() const;
   QueueManager& queue_manager() { return qm_; }
 
  private:
   struct Subscription {
     SubscriptionInfo info;
     std::optional<Selector> selector;
+    std::uint64_t index_id = 0;
   };
+
+  // Registers `sub` in the index (caller holds mu_). Exact (wildcard-free)
+  // patterns become a synthetic equality predicate on kTopicProperty, so
+  // publishes to other topics skip the subscription without evaluating
+  // anything; wildcard patterns are re-checked with topic_matches on
+  // index survivors.
+  void index_subscription_locked(Subscription& sub);
 
   QueueManager& qm_;
   mutable std::mutex mu_;
   std::map<std::string, Subscription> subs_;
+  SelectorIndex index_;
+  std::unordered_map<std::uint64_t, std::string> by_index_id_;
+  std::uint64_t next_index_id_ = 1;
+  std::vector<std::uint64_t> match_scratch_;
   BrokerStats stats_;
 };
 

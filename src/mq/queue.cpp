@@ -31,10 +31,13 @@ util::Status Queue::put(Message msg) {
     }
     const int prio =
         std::clamp(msg.priority(), kMinPriority, kMaxPriority);
-    entries_.emplace(OrderKey{kMaxPriority - prio, next_seq_++},
-                     std::move(msg));
+    auto it = entries_
+                  .emplace(OrderKey{kMaxPriority - prio, next_seq_++},
+                           std::move(msg))
+                  .first;
     ++stats_.puts;
     listener = put_listener_;
+    wake_matching_waiters_locked(it->second);
   }
   cv_.notify_all();
   if (listener) listener();
@@ -70,6 +73,11 @@ std::optional<Queue::GotMessage> Queue::take_first_match_locked(
 util::Result<Queue::GotMessage> Queue::get(util::TimeMs deadline_ms,
                                            const Selector* selector) {
   std::unique_lock<std::mutex> lk(mu_);
+  if (selector != nullptr && selector_index_enabled()) {
+    return get_with_waiter_index(lk, deadline_ms, selector);
+  }
+  // Shared-cv arm: non-selector gets (every put can satisfy them, so the
+  // shared notify_all is exact) and the interpretive A/B baseline.
   std::optional<GotMessage> got;
   const auto ready = [&] {
     if (closed_) return true;
@@ -84,6 +92,60 @@ util::Result<Queue::GotMessage> Queue::get(util::TimeMs deadline_ms,
   }
   return util::make_error(util::ErrorCode::kTimeout,
                           "no message on " + name_ + " before deadline");
+}
+
+// Selector gets park on their own cv, registered in the waiter index, so
+// puts of non-matching messages never wake them (the selective-consumer
+// path; DESIGN.md §12). No lost wakeups: registration, the queue scan, and
+// put's index probe all happen under mu_.
+util::Result<Queue::GotMessage> Queue::get_with_waiter_index(
+    std::unique_lock<std::mutex>& lk, util::TimeMs deadline_ms,
+    const Selector* selector) {
+  for (;;) {
+    if (auto got = take_first_match_locked(selector, clock_.now_ms())) {
+      return std::move(*got);
+    }
+    if (closed_) {
+      return util::make_error(util::ErrorCode::kClosed,
+                              "queue " + name_ + " is closed");
+    }
+    if (clock_.now_ms() >= deadline_ms) {
+      return util::make_error(util::ErrorCode::kTimeout,
+                              "no message on " + name_ + " before deadline");
+    }
+    SelectorWaiter waiter;
+    waiter.selector = selector;
+    const std::uint64_t id = next_waiter_id_++;
+    waiters_.emplace(id, &waiter);
+    waiter_index_.add(id, selector);
+    clock_.wait_until(lk, waiter.cv, deadline_ms,
+                      [&] { return waiter.wake || closed_; });
+    waiter_index_.remove(id);
+    waiters_.erase(id);
+  }
+}
+
+void Queue::wake_matching_waiters_locked(const Message& msg) {
+  if (waiters_.empty()) return;
+  if (!selector_index_enabled()) {
+    // Toggle flipped while waiters were parked: wake everyone, correctness
+    // over selectivity.
+    for (auto& [id, waiter] : waiters_) {
+      waiter->wake = true;
+      waiter->cv.notify_one();
+    }
+    return;
+  }
+  waiter_match_scratch_.clear();
+  waiter_index_.collect_matches(msg, waiter_match_scratch_);
+  for (std::uint64_t id : waiter_match_scratch_) {
+    auto it = waiters_.find(id);
+    if (it == waiters_.end()) continue;
+    // Notifying under mu_ is deliberate: the waiter's cv lives on its
+    // stack and can only be destroyed after the waiter reacquires mu_.
+    it->second->wake = true;
+    it->second->cv.notify_one();
+  }
 }
 
 std::optional<Queue::GotMessage> Queue::try_get(const Selector* selector) {
@@ -123,9 +185,13 @@ void Queue::restore(std::uint64_t seq, Message msg) {
     std::lock_guard<std::mutex> lk(mu_);
     if (closed_) return;
     const int prio = std::clamp(msg.priority(), kMinPriority, kMaxPriority);
-    entries_.emplace(OrderKey{kMaxPriority - prio, seq}, std::move(msg));
+    auto it = entries_
+                  .emplace(OrderKey{kMaxPriority - prio, seq},
+                           std::move(msg))
+                  .first;
     ++stats_.restored;
     listener = put_listener_;
+    wake_matching_waiters_locked(it->second);
   }
   cv_.notify_all();
   if (listener) listener();
@@ -195,10 +261,16 @@ QueueStats Queue::stats() const {
   return stats_;
 }
 
+SelectorIndex::Stats Queue::selector_waiter_stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return waiter_index_.stats();
+}
+
 void Queue::close() {
   {
     std::lock_guard<std::mutex> lk(mu_);
     closed_ = true;
+    for (auto& [id, waiter] : waiters_) waiter->cv.notify_one();
   }
   cv_.notify_all();
 }

@@ -12,10 +12,12 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "mq/message.hpp"
 #include "mq/selector.hpp"
+#include "mq/selector_index.hpp"
 #include "util/arena.hpp"
 #include "util/clock.hpp"
 #include "util/status.hpp"
@@ -119,6 +121,11 @@ class Queue {
   std::size_t depth() const;
   QueueStats stats() const;
 
+  // Counters of the selector-waiter index: how often puts probed it, how
+  // many waiters were woken vs. skipped without evaluating their selector
+  // (DESIGN.md §12).
+  SelectorIndex::Stats selector_waiter_stats() const;
+
   // Wakes all blocked getters with kClosed and rejects future puts.
   void close();
   bool closed() const;
@@ -137,9 +144,25 @@ class Queue {
     auto operator<=>(const OrderKey&) const = default;
   };
 
+  // A blocked selector get. Each waiter has its own condition variable so
+  // a put can wake exactly the waiters whose selector matches the new
+  // message (index-probed once per put) instead of notify_all'ing every
+  // selector consumer into a futile rescan. Lives on the waiting thread's
+  // stack; registered in waiters_/waiter_index_ under mu_ for the
+  // duration of one wait.
+  struct SelectorWaiter {
+    const Selector* selector = nullptr;
+    std::condition_variable cv;
+    bool wake = false;
+  };
+
   void drop_expired_locked(util::TimeMs now_ms);
   std::optional<GotMessage> take_first_match_locked(const Selector* selector,
                                                     util::TimeMs now_ms);
+  void wake_matching_waiters_locked(const Message& msg);
+  util::Result<GotMessage> get_with_waiter_index(
+      std::unique_lock<std::mutex>& lk, util::TimeMs deadline_ms,
+      const Selector* selector);
 
   const std::string name_;
   const QueueOptions options_;
@@ -158,6 +181,12 @@ class Queue {
   std::uint64_t next_seq_ = 1;
   bool closed_ = false;
   QueueStats stats_;
+
+  // Selector-waiter registry (under mu_).
+  std::unordered_map<std::uint64_t, SelectorWaiter*> waiters_;
+  SelectorIndex waiter_index_;
+  std::uint64_t next_waiter_id_ = 1;
+  std::vector<std::uint64_t> waiter_match_scratch_;
 };
 
 }  // namespace cmx::mq

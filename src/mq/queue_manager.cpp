@@ -110,6 +110,22 @@ std::shared_ptr<Queue> QueueManager::find_queue(
   return it == shard.queues.end() ? nullptr : it->second;
 }
 
+SelectorIndex::Stats QueueManager::selector_waiter_stats() const {
+  SelectorIndex::Stats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    for (const auto& [name, queue] : shard.queues) {
+      const SelectorIndex::Stats s = queue->selector_waiter_stats();
+      total.probes += s.probes;
+      total.index_hits += s.index_hits;
+      total.index_skips += s.index_skips;
+      total.residual_evals += s.residual_evals;
+      total.fallback_evals += s.fallback_evals;
+    }
+  }
+  return total;
+}
+
 std::vector<std::string> QueueManager::queue_names() const {
   std::vector<std::string> names;
   for (const Shard& shard : shards_) {

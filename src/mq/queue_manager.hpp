@@ -124,6 +124,10 @@ class QueueManager {
   // The capability descriptor of the underlying store engine.
   StoreCaps store_caps() const { return store_->caps(); }
 
+  // Aggregate selector-waiter index counters across all queues (how many
+  // puts probed a waiter index, waiters woken vs. skipped; DESIGN.md §12).
+  SelectorIndex::Stats selector_waiter_stats() const;
+
   // Closes all queues (wakes blocked getters) and detaches the network.
   void shutdown();
 

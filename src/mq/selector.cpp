@@ -1,411 +1,18 @@
 #include "mq/selector.hpp"
 
 #include <cctype>
-#include <cmath>
 #include <cstdlib>
+#include <sstream>
 #include <utility>
-#include <variant>
 #include <vector>
+
+#include "mq/selector_ast.hpp"
 
 namespace cmx::mq {
 namespace detail {
 
 // ---------------------------------------------------------------------
-// Three-valued runtime values. Unknown arises from absent properties and
-// propagates through comparisons and arithmetic per SQL-92 rules.
-// ---------------------------------------------------------------------
-
-enum class Tri { kFalse, kTrue, kUnknown };
-
-inline Tri tri_not(Tri t) {
-  switch (t) {
-    case Tri::kTrue:
-      return Tri::kFalse;
-    case Tri::kFalse:
-      return Tri::kTrue;
-    default:
-      return Tri::kUnknown;
-  }
-}
-inline Tri tri_and(Tri a, Tri b) {
-  if (a == Tri::kFalse || b == Tri::kFalse) return Tri::kFalse;
-  if (a == Tri::kTrue && b == Tri::kTrue) return Tri::kTrue;
-  return Tri::kUnknown;
-}
-inline Tri tri_or(Tri a, Tri b) {
-  if (a == Tri::kTrue || b == Tri::kTrue) return Tri::kTrue;
-  if (a == Tri::kFalse && b == Tri::kFalse) return Tri::kFalse;
-  return Tri::kUnknown;
-}
-inline Tri tri_of(bool b) { return b ? Tri::kTrue : Tri::kFalse; }
-
-// Unknown | bool | number | string (numbers unified as double for
-// comparison; exact int64 kept for equality of large values).
-struct Value {
-  enum class Kind { kUnknown, kBool, kInt, kDouble, kString } kind =
-      Kind::kUnknown;
-  bool b = false;
-  std::int64_t i = 0;
-  double d = 0;
-  std::string s;
-
-  static Value unknown() { return Value{}; }
-  static Value of(bool v) {
-    Value x;
-    x.kind = Kind::kBool;
-    x.b = v;
-    return x;
-  }
-  static Value of(std::int64_t v) {
-    Value x;
-    x.kind = Kind::kInt;
-    x.i = v;
-    return x;
-  }
-  static Value of(double v) {
-    Value x;
-    x.kind = Kind::kDouble;
-    x.d = v;
-    return x;
-  }
-  static Value of(std::string v) {
-    Value x;
-    x.kind = Kind::kString;
-    x.s = std::move(v);
-    return x;
-  }
-
-  bool is_unknown() const { return kind == Kind::kUnknown; }
-  bool is_numeric() const {
-    return kind == Kind::kInt || kind == Kind::kDouble;
-  }
-  double as_double() const { return kind == Kind::kInt ? double(i) : d; }
-};
-
-enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
-enum class ArithOp { kAdd, kSub, kMul, kDiv, kNeg };
-
-Tri compare(const Value& a, CmpOp op, const Value& b) {
-  if (a.is_unknown() || b.is_unknown()) return Tri::kUnknown;
-  // Type-mismatched comparisons are UNKNOWN per JMS (they never match).
-  if (a.kind == Value::Kind::kBool || b.kind == Value::Kind::kBool) {
-    if (a.kind != Value::Kind::kBool || b.kind != Value::Kind::kBool) {
-      return Tri::kUnknown;
-    }
-    if (op == CmpOp::kEq) return tri_of(a.b == b.b);
-    if (op == CmpOp::kNe) return tri_of(a.b != b.b);
-    return Tri::kUnknown;  // ordering of booleans is not defined
-  }
-  if (a.kind == Value::Kind::kString || b.kind == Value::Kind::kString) {
-    if (a.kind != Value::Kind::kString || b.kind != Value::Kind::kString) {
-      return Tri::kUnknown;
-    }
-    if (op == CmpOp::kEq) return tri_of(a.s == b.s);
-    if (op == CmpOp::kNe) return tri_of(a.s != b.s);
-    return Tri::kUnknown;  // JMS: strings support only = and <>
-  }
-  // numeric vs numeric
-  if (a.kind == Value::Kind::kInt && b.kind == Value::Kind::kInt) {
-    switch (op) {
-      case CmpOp::kEq:
-        return tri_of(a.i == b.i);
-      case CmpOp::kNe:
-        return tri_of(a.i != b.i);
-      case CmpOp::kLt:
-        return tri_of(a.i < b.i);
-      case CmpOp::kLe:
-        return tri_of(a.i <= b.i);
-      case CmpOp::kGt:
-        return tri_of(a.i > b.i);
-      case CmpOp::kGe:
-        return tri_of(a.i >= b.i);
-    }
-  }
-  const double x = a.as_double();
-  const double y = b.as_double();
-  switch (op) {
-    case CmpOp::kEq:
-      return tri_of(x == y);
-    case CmpOp::kNe:
-      return tri_of(x != y);
-    case CmpOp::kLt:
-      return tri_of(x < y);
-    case CmpOp::kLe:
-      return tri_of(x <= y);
-    case CmpOp::kGt:
-      return tri_of(x > y);
-    case CmpOp::kGe:
-      return tri_of(x >= y);
-  }
-  return Tri::kUnknown;
-}
-
-// LIKE with % (any run) and _ (any one char), optional escape character.
-bool like_match(const std::string& text, const std::string& pattern,
-                char escape, std::size_t ti = 0, std::size_t pi = 0) {
-  while (pi < pattern.size()) {
-    const char pc = pattern[pi];
-    if (escape != '\0' && pc == escape && pi + 1 < pattern.size()) {
-      if (ti >= text.size() || text[ti] != pattern[pi + 1]) return false;
-      ++ti;
-      pi += 2;
-      continue;
-    }
-    if (pc == '%') {
-      // Try every possible consumption length.
-      for (std::size_t skip = 0; ti + skip <= text.size(); ++skip) {
-        if (like_match(text, pattern, escape, ti + skip, pi + 1)) return true;
-      }
-      return false;
-    }
-    if (pc == '_') {
-      if (ti >= text.size()) return false;
-      ++ti;
-      ++pi;
-      continue;
-    }
-    if (ti >= text.size() || text[ti] != pc) return false;
-    ++ti;
-    ++pi;
-  }
-  return ti == text.size();
-}
-
-// ---------------------------------------------------------------------
-// AST
-// ---------------------------------------------------------------------
-
-class SelectorNode {
- public:
-  virtual ~SelectorNode() = default;
-  virtual Value eval(const Message& m) const = 0;
-};
-
-using NodePtr = std::unique_ptr<SelectorNode>;
-
-Tri as_tri(const Value& v) {
-  if (v.kind == Value::Kind::kBool) return tri_of(v.b);
-  return Tri::kUnknown;
-}
-Value tri_value(Tri t) {
-  if (t == Tri::kUnknown) return Value::unknown();
-  return Value::of(t == Tri::kTrue);
-}
-
-class LiteralNode final : public SelectorNode {
- public:
-  explicit LiteralNode(Value v) : value_(std::move(v)) {}
-  Value eval(const Message&) const override { return value_; }
-
- private:
-  Value value_;
-};
-
-class IdentNode final : public SelectorNode {
- public:
-  explicit IdentNode(std::string name) : name_(std::move(name)) {}
-  Value eval(const Message& m) const override {
-    if (name_ == "JMSPriority") return Value::of(std::int64_t{m.priority()});
-    if (name_ == "JMSDeliveryCount") {
-      return Value::of(std::int64_t{m.delivery_count()});
-    }
-    if (name_ == "JMSCorrelationID") return Value::of(m.correlation_id());
-    if (name_ == "JMSMessageID") return Value::of(m.id());
-    const PropertyValue* v = m.properties().find(name_);
-    if (v == nullptr) return Value::unknown();
-    if (const auto* b = std::get_if<bool>(v)) return Value::of(*b);
-    if (const auto* i = std::get_if<std::int64_t>(v)) {
-      return Value::of(*i);
-    }
-    if (const auto* d = std::get_if<double>(v)) {
-      return Value::of(*d);
-    }
-    return Value::of(std::get<std::string>(*v));
-  }
-
- private:
-  std::string name_;
-};
-
-class NotNode final : public SelectorNode {
- public:
-  explicit NotNode(NodePtr child) : child_(std::move(child)) {}
-  Value eval(const Message& m) const override {
-    return tri_value(tri_not(as_tri(child_->eval(m))));
-  }
-
- private:
-  NodePtr child_;
-};
-
-class AndNode final : public SelectorNode {
- public:
-  AndNode(NodePtr l, NodePtr r) : l_(std::move(l)), r_(std::move(r)) {}
-  Value eval(const Message& m) const override {
-    const Tri left = as_tri(l_->eval(m));
-    if (left == Tri::kFalse) return Value::of(false);
-    return tri_value(tri_and(left, as_tri(r_->eval(m))));
-  }
-
- private:
-  NodePtr l_, r_;
-};
-
-class OrNode final : public SelectorNode {
- public:
-  OrNode(NodePtr l, NodePtr r) : l_(std::move(l)), r_(std::move(r)) {}
-  Value eval(const Message& m) const override {
-    const Tri left = as_tri(l_->eval(m));
-    if (left == Tri::kTrue) return Value::of(true);
-    return tri_value(tri_or(left, as_tri(r_->eval(m))));
-  }
-
- private:
-  NodePtr l_, r_;
-};
-
-class CmpNode final : public SelectorNode {
- public:
-  CmpNode(NodePtr l, CmpOp op, NodePtr r)
-      : l_(std::move(l)), op_(op), r_(std::move(r)) {}
-  Value eval(const Message& m) const override {
-    return tri_value(compare(l_->eval(m), op_, r_->eval(m)));
-  }
-
- private:
-  NodePtr l_;
-  CmpOp op_;
-  NodePtr r_;
-};
-
-class ArithNode final : public SelectorNode {
- public:
-  ArithNode(NodePtr l, ArithOp op, NodePtr r)
-      : l_(std::move(l)), op_(op), r_(std::move(r)) {}
-  Value eval(const Message& m) const override {
-    const Value a = l_->eval(m);
-    if (op_ == ArithOp::kNeg) {
-      if (a.kind == Value::Kind::kInt) return Value::of(-a.i);
-      if (a.kind == Value::Kind::kDouble) return Value::of(-a.d);
-      return Value::unknown();
-    }
-    const Value b = r_->eval(m);
-    if (!a.is_numeric() || !b.is_numeric()) return Value::unknown();
-    if (a.kind == Value::Kind::kInt && b.kind == Value::Kind::kInt &&
-        op_ != ArithOp::kDiv) {
-      switch (op_) {
-        case ArithOp::kAdd:
-          return Value::of(a.i + b.i);
-        case ArithOp::kSub:
-          return Value::of(a.i - b.i);
-        case ArithOp::kMul:
-          return Value::of(a.i * b.i);
-        default:
-          break;
-      }
-    }
-    const double x = a.as_double();
-    const double y = b.as_double();
-    switch (op_) {
-      case ArithOp::kAdd:
-        return Value::of(x + y);
-      case ArithOp::kSub:
-        return Value::of(x - y);
-      case ArithOp::kMul:
-        return Value::of(x * y);
-      case ArithOp::kDiv:
-        return y == 0 ? Value::unknown() : Value::of(x / y);
-      case ArithOp::kNeg:
-        break;
-    }
-    return Value::unknown();
-  }
-
- private:
-  NodePtr l_;
-  ArithOp op_;
-  NodePtr r_;
-};
-
-class IsNullNode final : public SelectorNode {
- public:
-  IsNullNode(NodePtr child, bool negated)
-      : child_(std::move(child)), negated_(negated) {}
-  Value eval(const Message& m) const override {
-    const bool is_null = child_->eval(m).is_unknown();
-    return Value::of(negated_ ? !is_null : is_null);
-  }
-
- private:
-  NodePtr child_;
-  bool negated_;
-};
-
-class InNode final : public SelectorNode {
- public:
-  InNode(NodePtr child, std::vector<Value> items, bool negated)
-      : child_(std::move(child)), items_(std::move(items)), negated_(negated) {}
-  Value eval(const Message& m) const override {
-    const Value v = child_->eval(m);
-    if (v.is_unknown()) return Value::unknown();
-    for (const auto& item : items_) {
-      if (compare(v, CmpOp::kEq, item) == Tri::kTrue) {
-        return Value::of(!negated_);
-      }
-    }
-    return Value::of(negated_);
-  }
-
- private:
-  NodePtr child_;
-  std::vector<Value> items_;
-  bool negated_;
-};
-
-class LikeNode final : public SelectorNode {
- public:
-  LikeNode(NodePtr child, std::string pattern, char escape, bool negated)
-      : child_(std::move(child)),
-        pattern_(std::move(pattern)),
-        escape_(escape),
-        negated_(negated) {}
-  Value eval(const Message& m) const override {
-    const Value v = child_->eval(m);
-    if (v.is_unknown()) return Value::unknown();
-    if (v.kind != Value::Kind::kString) return Value::unknown();
-    const bool hit = like_match(v.s, pattern_, escape_);
-    return Value::of(negated_ ? !hit : hit);
-  }
-
- private:
-  NodePtr child_;
-  std::string pattern_;
-  char escape_;
-  bool negated_;
-};
-
-class BetweenNode final : public SelectorNode {
- public:
-  BetweenNode(NodePtr child, NodePtr lo, NodePtr hi, bool negated)
-      : child_(std::move(child)),
-        lo_(std::move(lo)),
-        hi_(std::move(hi)),
-        negated_(negated) {}
-  Value eval(const Message& m) const override {
-    const Value v = child_->eval(m);
-    const Tri in_range = tri_and(compare(v, CmpOp::kGe, lo_->eval(m)),
-                                 compare(v, CmpOp::kLe, hi_->eval(m)));
-    const Tri result = negated_ ? tri_not(in_range) : in_range;
-    return tri_value(result);
-  }
-
- private:
-  NodePtr child_, lo_, hi_;
-  bool negated_;
-};
-
-// ---------------------------------------------------------------------
-// Tokenizer + recursive-descent parser
+// Tokenizer + recursive-descent parser (the AST lives in selector_ast.hpp)
 // ---------------------------------------------------------------------
 
 struct Token {
@@ -532,7 +139,7 @@ class Parser {
     }
     if (accept_keyword("IN")) {
       if (!accept_op("(")) return error("expected ( after IN");
-      std::vector<Value> items;
+      std::vector<OwnedValue> items;
       while (true) {
         auto lit = parse_literal_value();
         if (!lit) return lit.status();
@@ -643,31 +250,31 @@ class Parser {
     return NodePtr(std::make_unique<LiteralNode>(std::move(lit).value()));
   }
 
-  util::Result<Value> parse_literal_value() {
+  util::Result<OwnedValue> parse_literal_value() {
     switch (cur_.kind) {
       case Token::Kind::kInt: {
-        Value v = Value::of(cur_.int_val);
+        OwnedValue v = OwnedValue::of(cur_.int_val);
         advance();
         return v;
       }
       case Token::Kind::kFloat: {
-        Value v = Value::of(cur_.float_val);
+        OwnedValue v = OwnedValue::of(cur_.float_val);
         advance();
         return v;
       }
       case Token::Kind::kString: {
-        Value v = Value::of(cur_.text);
+        OwnedValue v = OwnedValue::of(cur_.text);
         advance();
         return v;
       }
       case Token::Kind::kKeyword:
         if (cur_.text == "TRUE") {
           advance();
-          return Value::of(true);
+          return OwnedValue::of(true);
         }
         if (cur_.text == "FALSE") {
           advance();
-          return Value::of(false);
+          return OwnedValue::of(false);
         }
         [[fallthrough]];
       default:
@@ -785,12 +392,6 @@ class Parser {
   Token cur_;
 };
 
-// Always-true node used for the empty selector.
-class TrueNode final : public SelectorNode {
- public:
-  Value eval(const Message&) const override { return Value::of(true); }
-};
-
 }  // namespace detail
 
 Selector::Selector(std::string expression,
@@ -822,6 +423,12 @@ util::Result<Selector> Selector::parse(const std::string& expression) {
 bool Selector::matches(const Message& message) const {
   const detail::Value v = root_->eval(message);
   return v.kind == detail::Value::Kind::kBool && v.b;
+}
+
+std::string Selector::canonical() const {
+  std::ostringstream os;
+  root_->print(os);
+  return os.str();
 }
 
 }  // namespace cmx::mq

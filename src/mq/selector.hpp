@@ -46,9 +46,23 @@ class Selector {
   static util::Result<Selector> parse(const std::string& expression);
 
   // True iff the expression evaluates to TRUE for this message.
+  // Allocation-free: evaluation borrows string storage from the message
+  // and from literal storage owned by the parsed tree.
   bool matches(const Message& message) const;
 
   const std::string& expression() const { return expression_; }
+
+  // Canonical fully-parenthesized form of the parsed tree. Re-parsing it
+  // yields an equivalent selector (used by the fuzz round-trip test and
+  // for diagnostics).
+  std::string canonical() const;
+
+  // The parsed tree, for the compiled-selector analysis pass
+  // (mq/selector_index.hpp). Shared ownership: a CompiledSelector keeps
+  // the tree alive past the Selector it came from.
+  const std::shared_ptr<const detail::SelectorNode>& root() const {
+    return root_;
+  }
 
  private:
   Selector(std::string expression,

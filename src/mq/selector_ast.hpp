@@ -1,0 +1,675 @@
+// Selector AST: the parsed form of a JMS-style message selector
+// (mq/selector.hpp documents the grammar). Split out of selector.cpp so the
+// compiled-selector analysis pass (mq/selector_index.hpp) can walk the tree
+// without re-parsing.
+//
+// Evaluation is allocation-free: `Value` carries strings as
+// std::string_view borrows — into the message's property storage (stable
+// for the duration of `eval`) or into literal storage owned by the node
+// itself (`OwnedValue`). A Value must not outlive the message/node it was
+// produced from.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "mq/message.hpp"
+
+namespace cmx::mq::detail {
+
+// ---------------------------------------------------------------------
+// Three-valued runtime values. Unknown arises from absent properties and
+// propagates through comparisons and arithmetic per SQL-92 rules.
+// ---------------------------------------------------------------------
+
+enum class Tri { kFalse, kTrue, kUnknown };
+
+inline Tri tri_not(Tri t) {
+  switch (t) {
+    case Tri::kTrue:
+      return Tri::kFalse;
+    case Tri::kFalse:
+      return Tri::kTrue;
+    default:
+      return Tri::kUnknown;
+  }
+}
+inline Tri tri_and(Tri a, Tri b) {
+  if (a == Tri::kFalse || b == Tri::kFalse) return Tri::kFalse;
+  if (a == Tri::kTrue && b == Tri::kTrue) return Tri::kTrue;
+  return Tri::kUnknown;
+}
+inline Tri tri_or(Tri a, Tri b) {
+  if (a == Tri::kTrue || b == Tri::kTrue) return Tri::kTrue;
+  if (a == Tri::kFalse && b == Tri::kFalse) return Tri::kFalse;
+  return Tri::kUnknown;
+}
+inline Tri tri_of(bool b) { return b ? Tri::kTrue : Tri::kFalse; }
+
+// Unknown | bool | number | string (numbers unified as double for
+// comparison; exact int64 kept for equality of large values). Strings are
+// borrowed views; see the header comment for lifetime rules.
+struct Value {
+  enum class Kind { kUnknown, kBool, kInt, kDouble, kString } kind =
+      Kind::kUnknown;
+  bool b = false;
+  std::int64_t i = 0;
+  double d = 0;
+  std::string_view s;
+
+  static Value unknown() { return Value{}; }
+  static Value of(bool v) {
+    Value x;
+    x.kind = Kind::kBool;
+    x.b = v;
+    return x;
+  }
+  static Value of(std::int64_t v) {
+    Value x;
+    x.kind = Kind::kInt;
+    x.i = v;
+    return x;
+  }
+  static Value of(double v) {
+    Value x;
+    x.kind = Kind::kDouble;
+    x.d = v;
+    return x;
+  }
+  static Value of(std::string_view v) {
+    Value x;
+    x.kind = Kind::kString;
+    x.s = v;
+    return x;
+  }
+
+  bool is_unknown() const { return kind == Kind::kUnknown; }
+  bool is_numeric() const {
+    return kind == Kind::kInt || kind == Kind::kDouble;
+  }
+  double as_double() const { return kind == Kind::kInt ? double(i) : d; }
+};
+
+// A literal value that owns its string storage. Nodes hold OwnedValue and
+// hand out borrowing `view()`s during evaluation.
+struct OwnedValue {
+  Value::Kind kind = Value::Kind::kUnknown;
+  bool b = false;
+  std::int64_t i = 0;
+  double d = 0;
+  std::string s;
+
+  static OwnedValue of(bool v) {
+    OwnedValue x;
+    x.kind = Value::Kind::kBool;
+    x.b = v;
+    return x;
+  }
+  static OwnedValue of(std::int64_t v) {
+    OwnedValue x;
+    x.kind = Value::Kind::kInt;
+    x.i = v;
+    return x;
+  }
+  static OwnedValue of(double v) {
+    OwnedValue x;
+    x.kind = Value::Kind::kDouble;
+    x.d = v;
+    return x;
+  }
+  static OwnedValue of(std::string v) {
+    OwnedValue x;
+    x.kind = Value::Kind::kString;
+    x.s = std::move(v);
+    return x;
+  }
+
+  // Valid while this OwnedValue is alive and its `s` is not mutated.
+  Value view() const {
+    Value v;
+    v.kind = kind;
+    v.b = b;
+    v.i = i;
+    v.d = d;
+    if (kind == Value::Kind::kString) v.s = s;
+    return v;
+  }
+};
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp { kAdd, kSub, kMul, kDiv, kNeg };
+
+inline Tri compare(const Value& a, CmpOp op, const Value& b) {
+  if (a.is_unknown() || b.is_unknown()) return Tri::kUnknown;
+  // Type-mismatched comparisons are UNKNOWN per JMS (they never match).
+  if (a.kind == Value::Kind::kBool || b.kind == Value::Kind::kBool) {
+    if (a.kind != Value::Kind::kBool || b.kind != Value::Kind::kBool) {
+      return Tri::kUnknown;
+    }
+    if (op == CmpOp::kEq) return tri_of(a.b == b.b);
+    if (op == CmpOp::kNe) return tri_of(a.b != b.b);
+    return Tri::kUnknown;  // ordering of booleans is not defined
+  }
+  if (a.kind == Value::Kind::kString || b.kind == Value::Kind::kString) {
+    if (a.kind != Value::Kind::kString || b.kind != Value::Kind::kString) {
+      return Tri::kUnknown;
+    }
+    if (op == CmpOp::kEq) return tri_of(a.s == b.s);
+    if (op == CmpOp::kNe) return tri_of(a.s != b.s);
+    return Tri::kUnknown;  // JMS: strings support only = and <>
+  }
+  // numeric vs numeric
+  if (a.kind == Value::Kind::kInt && b.kind == Value::Kind::kInt) {
+    switch (op) {
+      case CmpOp::kEq:
+        return tri_of(a.i == b.i);
+      case CmpOp::kNe:
+        return tri_of(a.i != b.i);
+      case CmpOp::kLt:
+        return tri_of(a.i < b.i);
+      case CmpOp::kLe:
+        return tri_of(a.i <= b.i);
+      case CmpOp::kGt:
+        return tri_of(a.i > b.i);
+      case CmpOp::kGe:
+        return tri_of(a.i >= b.i);
+    }
+  }
+  const double x = a.as_double();
+  const double y = b.as_double();
+  switch (op) {
+    case CmpOp::kEq:
+      return tri_of(x == y);
+    case CmpOp::kNe:
+      return tri_of(x != y);
+    case CmpOp::kLt:
+      return tri_of(x < y);
+    case CmpOp::kLe:
+      return tri_of(x <= y);
+    case CmpOp::kGt:
+      return tri_of(x > y);
+    case CmpOp::kGe:
+      return tri_of(x >= y);
+  }
+  return Tri::kUnknown;
+}
+
+// LIKE with % (any run) and _ (any one char), optional escape character.
+inline bool like_match(std::string_view text, std::string_view pattern,
+                       char escape, std::size_t ti = 0, std::size_t pi = 0) {
+  while (pi < pattern.size()) {
+    const char pc = pattern[pi];
+    if (escape != '\0' && pc == escape && pi + 1 < pattern.size()) {
+      if (ti >= text.size() || text[ti] != pattern[pi + 1]) return false;
+      ++ti;
+      pi += 2;
+      continue;
+    }
+    if (pc == '%') {
+      // Try every possible consumption length.
+      for (std::size_t skip = 0; ti + skip <= text.size(); ++skip) {
+        if (like_match(text, pattern, escape, ti + skip, pi + 1)) return true;
+      }
+      return false;
+    }
+    if (pc == '_') {
+      if (ti >= text.size()) return false;
+      ++ti;
+      ++pi;
+      continue;
+    }
+    if (ti >= text.size() || text[ti] != pc) return false;
+    ++ti;
+    ++pi;
+  }
+  return ti == text.size();
+}
+
+// Resolves an identifier against a message: JMS header fields first, then
+// the property bag. Shared by IdentNode::eval and the property-index probe
+// so both see exactly the same view of the message.
+inline Value lookup_ident(const Message& m, std::string_view name) {
+  if (name == "JMSPriority") return Value::of(std::int64_t{m.priority()});
+  if (name == "JMSDeliveryCount") {
+    return Value::of(std::int64_t{m.delivery_count()});
+  }
+  if (name == "JMSCorrelationID") {
+    return Value::of(std::string_view(m.correlation_id()));
+  }
+  if (name == "JMSMessageID") return Value::of(std::string_view(m.id()));
+  const PropertyValue* v = m.properties().find(name);
+  if (v == nullptr) return Value::unknown();
+  if (const auto* b = std::get_if<bool>(v)) return Value::of(*b);
+  if (const auto* i = std::get_if<std::int64_t>(v)) return Value::of(*i);
+  if (const auto* d = std::get_if<double>(v)) return Value::of(*d);
+  return Value::of(std::string_view(std::get<std::string>(*v)));
+}
+
+// Canonical-form literal printers. Doubles keep a decimal point (or get a
+// trailing ".0") so a re-parse preserves the numeric kind; magnitudes that
+// %.17g would print in exponent form (which the tokenizer does not accept)
+// fall back to full-digit %.1f.
+inline void print_string_literal(std::ostream& os, std::string_view s) {
+  os << '\'';
+  for (char c : s) {
+    if (c == '\'') os << "''";
+    os << c;
+  }
+  os << '\'';
+}
+
+inline void print_double_literal(std::ostream& os, double v) {
+  if (std::isinf(v)) {
+    // Not producible by the tokenizer's digit strings short of overflow;
+    // print an overflowing digit string so strtod round-trips to inf.
+    os << '1';
+    for (int k = 0; k < 400; ++k) os << '0';
+    os << ".0";
+    return;
+  }
+  char buf[1600];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  if (std::strpbrk(buf, "eE") == nullptr) {
+    os << buf;
+    if (std::strchr(buf, '.') == nullptr) os << ".0";
+    return;
+  }
+  // Exponent form is not in the selector grammar; fall back to fixed
+  // notation with enough fractional digits that strtod recovers the exact
+  // same double (tiny magnitudes may need hundreds of them).
+  for (int prec = 17; prec <= 1080; prec += 60) {
+    std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  os << buf;
+}
+
+inline void print_value(std::ostream& os, const OwnedValue& v) {
+  switch (v.kind) {
+    case Value::Kind::kBool:
+      os << (v.b ? "TRUE" : "FALSE");
+      break;
+    case Value::Kind::kInt:
+      os << v.i;
+      break;
+    case Value::Kind::kDouble:
+      print_double_literal(os, v.d);
+      break;
+    case Value::Kind::kString:
+      print_string_literal(os, v.s);
+      break;
+    case Value::Kind::kUnknown:
+      os << "NULL";  // never produced by the parser
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------
+// AST nodes. Each node knows how to evaluate itself against a message and
+// how to print itself in canonical (fully parenthesized) form that
+// re-parses to an equivalent tree.
+// ---------------------------------------------------------------------
+
+enum class NodeKind {
+  kLiteral,
+  kIdent,
+  kNot,
+  kAnd,
+  kOr,
+  kCmp,
+  kArith,
+  kIsNull,
+  kIn,
+  kLike,
+  kBetween,
+  kTrue,
+};
+
+class SelectorNode {
+ public:
+  virtual ~SelectorNode() = default;
+  virtual Value eval(const Message& m) const = 0;
+  virtual NodeKind kind() const = 0;
+  virtual void print(std::ostream& os) const = 0;
+};
+
+using NodePtr = std::unique_ptr<SelectorNode>;
+
+inline Tri as_tri(const Value& v) {
+  if (v.kind == Value::Kind::kBool) return tri_of(v.b);
+  return Tri::kUnknown;
+}
+inline Value tri_value(Tri t) {
+  if (t == Tri::kUnknown) return Value::unknown();
+  return Value::of(t == Tri::kTrue);
+}
+
+class LiteralNode final : public SelectorNode {
+ public:
+  explicit LiteralNode(OwnedValue v) : value_(std::move(v)) {}
+  Value eval(const Message&) const override { return value_.view(); }
+  NodeKind kind() const override { return NodeKind::kLiteral; }
+  void print(std::ostream& os) const override { print_value(os, value_); }
+  const OwnedValue& value() const { return value_; }
+
+ private:
+  OwnedValue value_;
+};
+
+class IdentNode final : public SelectorNode {
+ public:
+  explicit IdentNode(std::string name) : name_(std::move(name)) {}
+  Value eval(const Message& m) const override {
+    return lookup_ident(m, name_);
+  }
+  NodeKind kind() const override { return NodeKind::kIdent; }
+  void print(std::ostream& os) const override { os << name_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+class NotNode final : public SelectorNode {
+ public:
+  explicit NotNode(NodePtr child) : child_(std::move(child)) {}
+  Value eval(const Message& m) const override {
+    return tri_value(tri_not(as_tri(child_->eval(m))));
+  }
+  NodeKind kind() const override { return NodeKind::kNot; }
+  void print(std::ostream& os) const override {
+    os << "(NOT ";
+    child_->print(os);
+    os << ')';
+  }
+  const SelectorNode* child() const { return child_.get(); }
+
+ private:
+  NodePtr child_;
+};
+
+class AndNode final : public SelectorNode {
+ public:
+  AndNode(NodePtr l, NodePtr r) : l_(std::move(l)), r_(std::move(r)) {}
+  Value eval(const Message& m) const override {
+    const Tri left = as_tri(l_->eval(m));
+    if (left == Tri::kFalse) return Value::of(false);
+    return tri_value(tri_and(left, as_tri(r_->eval(m))));
+  }
+  NodeKind kind() const override { return NodeKind::kAnd; }
+  void print(std::ostream& os) const override {
+    os << '(';
+    l_->print(os);
+    os << " AND ";
+    r_->print(os);
+    os << ')';
+  }
+  const SelectorNode* left() const { return l_.get(); }
+  const SelectorNode* right() const { return r_.get(); }
+
+ private:
+  NodePtr l_, r_;
+};
+
+class OrNode final : public SelectorNode {
+ public:
+  OrNode(NodePtr l, NodePtr r) : l_(std::move(l)), r_(std::move(r)) {}
+  Value eval(const Message& m) const override {
+    const Tri left = as_tri(l_->eval(m));
+    if (left == Tri::kTrue) return Value::of(true);
+    return tri_value(tri_or(left, as_tri(r_->eval(m))));
+  }
+  NodeKind kind() const override { return NodeKind::kOr; }
+  void print(std::ostream& os) const override {
+    os << '(';
+    l_->print(os);
+    os << " OR ";
+    r_->print(os);
+    os << ')';
+  }
+  const SelectorNode* left() const { return l_.get(); }
+  const SelectorNode* right() const { return r_.get(); }
+
+ private:
+  NodePtr l_, r_;
+};
+
+class CmpNode final : public SelectorNode {
+ public:
+  CmpNode(NodePtr l, CmpOp op, NodePtr r)
+      : l_(std::move(l)), op_(op), r_(std::move(r)) {}
+  Value eval(const Message& m) const override {
+    return tri_value(compare(l_->eval(m), op_, r_->eval(m)));
+  }
+  NodeKind kind() const override { return NodeKind::kCmp; }
+  void print(std::ostream& os) const override {
+    static constexpr const char* kOpText[] = {"=", "<>", "<", "<=", ">", ">="};
+    os << '(';
+    l_->print(os);
+    os << ' ' << kOpText[int(op_)] << ' ';
+    r_->print(os);
+    os << ')';
+  }
+  CmpOp op() const { return op_; }
+  const SelectorNode* left() const { return l_.get(); }
+  const SelectorNode* right() const { return r_.get(); }
+
+ private:
+  NodePtr l_;
+  CmpOp op_;
+  NodePtr r_;
+};
+
+class ArithNode final : public SelectorNode {
+ public:
+  ArithNode(NodePtr l, ArithOp op, NodePtr r)
+      : l_(std::move(l)), op_(op), r_(std::move(r)) {}
+  Value eval(const Message& m) const override {
+    const Value a = l_->eval(m);
+    if (op_ == ArithOp::kNeg) {
+      if (a.kind == Value::Kind::kInt) return Value::of(-a.i);
+      if (a.kind == Value::Kind::kDouble) return Value::of(-a.d);
+      return Value::unknown();
+    }
+    const Value b = r_->eval(m);
+    if (!a.is_numeric() || !b.is_numeric()) return Value::unknown();
+    if (a.kind == Value::Kind::kInt && b.kind == Value::Kind::kInt &&
+        op_ != ArithOp::kDiv) {
+      switch (op_) {
+        case ArithOp::kAdd:
+          return Value::of(a.i + b.i);
+        case ArithOp::kSub:
+          return Value::of(a.i - b.i);
+        case ArithOp::kMul:
+          return Value::of(a.i * b.i);
+        default:
+          break;
+      }
+    }
+    const double x = a.as_double();
+    const double y = b.as_double();
+    switch (op_) {
+      case ArithOp::kAdd:
+        return Value::of(x + y);
+      case ArithOp::kSub:
+        return Value::of(x - y);
+      case ArithOp::kMul:
+        return Value::of(x * y);
+      case ArithOp::kDiv:
+        return y == 0 ? Value::unknown() : Value::of(x / y);
+      case ArithOp::kNeg:
+        break;
+    }
+    return Value::unknown();
+  }
+  NodeKind kind() const override { return NodeKind::kArith; }
+  void print(std::ostream& os) const override {
+    if (op_ == ArithOp::kNeg) {
+      os << "(-";
+      l_->print(os);
+      os << ')';
+      return;
+    }
+    static constexpr char kOpText[] = {'+', '-', '*', '/'};
+    os << '(';
+    l_->print(os);
+    os << ' ' << kOpText[int(op_)] << ' ';
+    r_->print(os);
+    os << ')';
+  }
+  ArithOp op() const { return op_; }
+  const SelectorNode* left() const { return l_.get(); }
+  const SelectorNode* right() const { return r_.get(); }
+
+ private:
+  NodePtr l_;
+  ArithOp op_;
+  NodePtr r_;
+};
+
+class IsNullNode final : public SelectorNode {
+ public:
+  IsNullNode(NodePtr child, bool negated)
+      : child_(std::move(child)), negated_(negated) {}
+  Value eval(const Message& m) const override {
+    const bool is_null = child_->eval(m).is_unknown();
+    return Value::of(negated_ ? !is_null : is_null);
+  }
+  NodeKind kind() const override { return NodeKind::kIsNull; }
+  void print(std::ostream& os) const override {
+    os << '(';
+    child_->print(os);
+    os << (negated_ ? " IS NOT NULL" : " IS NULL") << ')';
+  }
+  const SelectorNode* child() const { return child_.get(); }
+  bool negated() const { return negated_; }
+
+ private:
+  NodePtr child_;
+  bool negated_;
+};
+
+class InNode final : public SelectorNode {
+ public:
+  InNode(NodePtr child, std::vector<OwnedValue> items, bool negated)
+      : child_(std::move(child)), items_(std::move(items)), negated_(negated) {}
+  Value eval(const Message& m) const override {
+    const Value v = child_->eval(m);
+    if (v.is_unknown()) return Value::unknown();
+    for (const auto& item : items_) {
+      if (compare(v, CmpOp::kEq, item.view()) == Tri::kTrue) {
+        return Value::of(!negated_);
+      }
+    }
+    return Value::of(negated_);
+  }
+  NodeKind kind() const override { return NodeKind::kIn; }
+  void print(std::ostream& os) const override {
+    os << '(';
+    child_->print(os);
+    os << (negated_ ? " NOT IN (" : " IN (");
+    for (std::size_t k = 0; k < items_.size(); ++k) {
+      if (k > 0) os << ", ";
+      print_value(os, items_[k]);
+    }
+    os << "))";
+  }
+  const SelectorNode* child() const { return child_.get(); }
+  const std::vector<OwnedValue>& items() const { return items_; }
+  bool negated() const { return negated_; }
+
+ private:
+  NodePtr child_;
+  std::vector<OwnedValue> items_;
+  bool negated_;
+};
+
+class LikeNode final : public SelectorNode {
+ public:
+  LikeNode(NodePtr child, std::string pattern, char escape, bool negated)
+      : child_(std::move(child)),
+        pattern_(std::move(pattern)),
+        escape_(escape),
+        negated_(negated) {}
+  Value eval(const Message& m) const override {
+    const Value v = child_->eval(m);
+    if (v.is_unknown()) return Value::unknown();
+    if (v.kind != Value::Kind::kString) return Value::unknown();
+    const bool hit = like_match(v.s, pattern_, escape_);
+    return Value::of(negated_ ? !hit : hit);
+  }
+  NodeKind kind() const override { return NodeKind::kLike; }
+  void print(std::ostream& os) const override {
+    os << '(';
+    child_->print(os);
+    os << (negated_ ? " NOT LIKE " : " LIKE ");
+    print_string_literal(os, pattern_);
+    if (escape_ != '\0') {
+      os << " ESCAPE ";
+      print_string_literal(os, std::string_view(&escape_, 1));
+    }
+    os << ')';
+  }
+  const SelectorNode* child() const { return child_.get(); }
+  bool negated() const { return negated_; }
+
+ private:
+  NodePtr child_;
+  std::string pattern_;
+  char escape_;
+  bool negated_;
+};
+
+class BetweenNode final : public SelectorNode {
+ public:
+  BetweenNode(NodePtr child, NodePtr lo, NodePtr hi, bool negated)
+      : child_(std::move(child)),
+        lo_(std::move(lo)),
+        hi_(std::move(hi)),
+        negated_(negated) {}
+  Value eval(const Message& m) const override {
+    const Value v = child_->eval(m);
+    const Tri in_range = tri_and(compare(v, CmpOp::kGe, lo_->eval(m)),
+                                 compare(v, CmpOp::kLe, hi_->eval(m)));
+    const Tri result = negated_ ? tri_not(in_range) : in_range;
+    return tri_value(result);
+  }
+  NodeKind kind() const override { return NodeKind::kBetween; }
+  void print(std::ostream& os) const override {
+    os << '(';
+    child_->print(os);
+    os << (negated_ ? " NOT BETWEEN " : " BETWEEN ");
+    lo_->print(os);
+    os << " AND ";
+    hi_->print(os);
+    os << ')';
+  }
+  const SelectorNode* child() const { return child_.get(); }
+  const SelectorNode* lo() const { return lo_.get(); }
+  const SelectorNode* hi() const { return hi_.get(); }
+  bool negated() const { return negated_; }
+
+ private:
+  NodePtr child_, lo_, hi_;
+  bool negated_;
+};
+
+// Always-true node used for the empty selector.
+class TrueNode final : public SelectorNode {
+ public:
+  Value eval(const Message&) const override { return Value::of(true); }
+  NodeKind kind() const override { return NodeKind::kTrue; }
+  void print(std::ostream& os) const override { os << "TRUE"; }
+};
+
+}  // namespace cmx::mq::detail

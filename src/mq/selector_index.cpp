@@ -1,0 +1,494 @@
+#include "mq/selector_index.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "mq/selector_ast.hpp"
+
+namespace cmx::mq {
+
+namespace {
+
+std::atomic<bool> g_selector_index_enabled{true};
+
+// Largest magnitude at which every int64 is exactly representable as a
+// double. Integer literals at or beyond this are left to the interpretive
+// int64-exact comparison (see header comment).
+constexpr double kMaxExactInt = 9007199254740992.0;  // 2^53
+
+void flatten_and(const detail::SelectorNode* n,
+                 std::vector<const detail::SelectorNode*>& out) {
+  if (n->kind() == detail::NodeKind::kAnd) {
+    const auto* a = static_cast<const detail::AndNode*>(n);
+    flatten_and(a->left(), out);
+    flatten_and(a->right(), out);
+    return;
+  }
+  out.push_back(n);
+}
+
+struct NumLit {
+  bool is_int = false;
+  std::int64_t i = 0;
+  double d = 0;
+  double as_double() const { return is_int ? double(i) : d; }
+};
+
+// A numeric literal, possibly wrapped in unary minus ("-5" parses as
+// Neg(Literal 5)). Non-numeric literals and anything else -> nullopt.
+std::optional<NumLit> numeric_literal(const detail::SelectorNode* n) {
+  bool negate = false;
+  if (n->kind() == detail::NodeKind::kArith) {
+    const auto* a = static_cast<const detail::ArithNode*>(n);
+    if (a->op() != detail::ArithOp::kNeg) return std::nullopt;
+    negate = true;
+    n = a->left();
+  }
+  if (n->kind() != detail::NodeKind::kLiteral) return std::nullopt;
+  const detail::OwnedValue& v =
+      static_cast<const detail::LiteralNode*>(n)->value();
+  NumLit out;
+  if (v.kind == detail::Value::Kind::kInt) {
+    out.is_int = true;
+    out.i = negate ? -v.i : v.i;
+  } else if (v.kind == detail::Value::Kind::kDouble) {
+    out.d = negate ? -v.d : v.d;
+  } else {
+    return std::nullopt;
+  }
+  return out;
+}
+
+using EqValue = IndexedPredicate::EqValue;
+
+// Converts a literal to an indexable equality alternative; fails for
+// integers outside the double-exact window.
+std::optional<EqValue> eq_value(const detail::OwnedValue& v) {
+  EqValue out;
+  switch (v.kind) {
+    case detail::Value::Kind::kBool:
+      out.type = EqValue::Type::kBool;
+      out.b = v.b;
+      return out;
+    case detail::Value::Kind::kInt:
+      if (double(v.i) >= kMaxExactInt || double(v.i) <= -kMaxExactInt) {
+        return std::nullopt;
+      }
+      out.type = EqValue::Type::kNumber;
+      out.num = double(v.i);
+      return out;
+    case detail::Value::Kind::kDouble:
+      // Any double is fine: the interpretive comparison is double-valued
+      // for double literals too.
+      out.type = EqValue::Type::kNumber;
+      out.num = v.d;
+      return out;
+    case detail::Value::Kind::kString:
+      out.type = EqValue::Type::kString;
+      out.str = v.s;
+      return out;
+    default:
+      return std::nullopt;
+  }
+}
+
+bool eq_value_equal(const EqValue& a, const EqValue& b) {
+  if (a.type != b.type) return false;
+  switch (a.type) {
+    case EqValue::Type::kBool:
+      return a.b == b.b;
+    case EqValue::Type::kNumber:
+      return a.num == b.num;
+    case EqValue::Type::kString:
+      return a.str == b.str;
+  }
+  return false;
+}
+
+// A range bound from a numeric literal; integer bounds outside the
+// double-exact window are rejected (the double-keyed probe could order
+// them differently than the int64-exact interpretive comparison).
+std::optional<double> range_bound(const NumLit& lit) {
+  if (lit.is_int &&
+      (double(lit.i) >= kMaxExactInt || double(lit.i) <= -kMaxExactInt)) {
+    return std::nullopt;
+  }
+  return lit.as_double();
+}
+
+// Tries to turn one top-level conjunct into an index-backed predicate.
+std::optional<IndexedPredicate> try_extract(const detail::SelectorNode* n) {
+  using detail::NodeKind;
+  IndexedPredicate p;
+  switch (n->kind()) {
+    case NodeKind::kCmp: {
+      const auto* c = static_cast<const detail::CmpNode*>(n);
+      detail::CmpOp op = c->op();
+      const detail::SelectorNode* ident = c->left();
+      const detail::SelectorNode* lit = c->right();
+      if (ident->kind() != NodeKind::kIdent) {
+        // literal <op> ident: flip the operator around.
+        std::swap(ident, lit);
+        if (ident->kind() != NodeKind::kIdent) return std::nullopt;
+        switch (op) {
+          case detail::CmpOp::kLt:
+            op = detail::CmpOp::kGt;
+            break;
+          case detail::CmpOp::kLe:
+            op = detail::CmpOp::kGe;
+            break;
+          case detail::CmpOp::kGt:
+            op = detail::CmpOp::kLt;
+            break;
+          case detail::CmpOp::kGe:
+            op = detail::CmpOp::kLe;
+            break;
+          default:
+            break;  // = is symmetric; <> is not indexable anyway
+        }
+      }
+      p.key = static_cast<const detail::IdentNode*>(ident)->name();
+      if (op == detail::CmpOp::kEq) {
+        if (lit->kind() == NodeKind::kLiteral) {
+          auto ev = eq_value(
+              static_cast<const detail::LiteralNode*>(lit)->value());
+          if (!ev) return std::nullopt;
+          p.kind = IndexedPredicate::Kind::kEq;
+          p.values.push_back(std::move(*ev));
+          return p;
+        }
+        // "x = -5": negated numeric literal.
+        auto num = numeric_literal(lit);
+        if (!num) return std::nullopt;
+        auto bound = range_bound(*num);
+        if (!bound) return std::nullopt;
+        p.kind = IndexedPredicate::Kind::kEq;
+        EqValue ev;
+        ev.type = EqValue::Type::kNumber;
+        ev.num = *bound;
+        p.values.push_back(std::move(ev));
+        return p;
+      }
+      if (op == detail::CmpOp::kNe) return std::nullopt;
+      auto num = numeric_literal(lit);
+      if (!num) return std::nullopt;
+      auto bound = range_bound(*num);
+      if (!bound) return std::nullopt;
+      p.kind = IndexedPredicate::Kind::kRange;
+      switch (op) {
+        case detail::CmpOp::kLt:
+          p.hi = *bound;
+          p.hi_strict = true;
+          p.hi_unbounded = false;
+          break;
+        case detail::CmpOp::kLe:
+          p.hi = *bound;
+          p.hi_unbounded = false;
+          break;
+        case detail::CmpOp::kGt:
+          p.lo = *bound;
+          p.lo_strict = true;
+          p.lo_unbounded = false;
+          break;
+        case detail::CmpOp::kGe:
+          p.lo = *bound;
+          p.lo_unbounded = false;
+          break;
+        default:
+          return std::nullopt;
+      }
+      return p;
+    }
+    case NodeKind::kIn: {
+      const auto* in = static_cast<const detail::InNode*>(n);
+      if (in->negated()) return std::nullopt;
+      if (in->child()->kind() != NodeKind::kIdent) return std::nullopt;
+      p.key = static_cast<const detail::IdentNode*>(in->child())->name();
+      p.kind = IndexedPredicate::Kind::kEq;
+      for (const auto& item : in->items()) {
+        auto ev = eq_value(item);
+        if (!ev) return std::nullopt;
+        // Deduplicate within the predicate: a message value must bump the
+        // subscriber's hit counter at most once per predicate.
+        bool dup = false;
+        for (const auto& prev : p.values) {
+          if (eq_value_equal(prev, *ev)) {
+            dup = true;
+            break;
+          }
+        }
+        if (!dup) p.values.push_back(std::move(*ev));
+      }
+      return p;
+    }
+    case NodeKind::kBetween: {
+      const auto* bw = static_cast<const detail::BetweenNode*>(n);
+      if (bw->negated()) return std::nullopt;
+      if (bw->child()->kind() != NodeKind::kIdent) return std::nullopt;
+      auto lo = numeric_literal(bw->lo());
+      auto hi = numeric_literal(bw->hi());
+      if (!lo || !hi) return std::nullopt;
+      auto lo_bound = range_bound(*lo);
+      auto hi_bound = range_bound(*hi);
+      if (!lo_bound || !hi_bound) return std::nullopt;
+      p.key = static_cast<const detail::IdentNode*>(bw->child())->name();
+      p.kind = IndexedPredicate::Kind::kRange;
+      p.lo = *lo_bound;
+      p.lo_unbounded = false;
+      p.hi = *hi_bound;
+      p.hi_unbounded = false;
+      return p;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+bool selector_index_enabled() {
+  return g_selector_index_enabled.load(std::memory_order_relaxed);
+}
+void set_selector_index_enabled(bool on) {
+  g_selector_index_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// CompiledSelector
+// ---------------------------------------------------------------------
+
+CompiledSelector::CompiledSelector(
+    const Selector* selector,
+    std::vector<std::pair<std::string, std::string>> extra_eq) {
+  for (auto& [key, val] : extra_eq) {
+    IndexedPredicate p;
+    p.key = std::move(key);
+    p.kind = IndexedPredicate::Kind::kEq;
+    EqValue ev;
+    ev.type = EqValue::Type::kString;
+    ev.str = std::move(val);
+    p.values.push_back(std::move(ev));
+    indexed_.push_back(std::move(p));
+  }
+  if (selector == nullptr) return;
+  root_ = selector->root();
+  std::vector<const detail::SelectorNode*> conjuncts;
+  flatten_and(root_.get(), conjuncts);
+  for (const auto* c : conjuncts) {
+    if (auto p = try_extract(c)) {
+      indexed_.push_back(std::move(*p));
+    } else {
+      residual_.push_back(c);
+    }
+  }
+}
+
+bool CompiledSelector::residual_matches(const Message& m) const {
+  for (const auto* c : residual_) {
+    if (detail::as_tri(c->eval(m)) != detail::Tri::kTrue) return false;
+  }
+  return true;
+}
+
+bool CompiledSelector::matches(const Message& m) const {
+  if (root_ == nullptr) return true;
+  return detail::as_tri(root_->eval(m)) == detail::Tri::kTrue;
+}
+
+// ---------------------------------------------------------------------
+// SelectorIndex
+// ---------------------------------------------------------------------
+
+void SelectorIndex::add(
+    std::uint64_t id, const Selector* selector,
+    std::vector<std::pair<std::string, std::string>> extra_eq) {
+  std::uint32_t idx;
+  if (!free_slots_.empty()) {
+    idx = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    idx = std::uint32_t(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[idx];
+  s.id = id;
+  s.live = true;
+  s.hits = 0;
+  s.epoch = 0;
+  s.sel.emplace(selector, std::move(extra_eq));
+  s.needed = std::uint32_t(s.sel->indexed().size());
+  by_id_[id] = idx;
+  if (s.needed == 0) {
+    scan_.push_back(idx);
+    return;
+  }
+  ++indexed_count_;
+  for (const auto& p : s.sel->indexed()) {
+    KeyIndex& ki = keys_[p.key];
+    if (p.kind == IndexedPredicate::Kind::kEq) {
+      for (const auto& v : p.values) {
+        switch (v.type) {
+          case EqValue::Type::kBool:
+            ki.bool_eq[v.b ? 1 : 0].push_back(idx);
+            break;
+          case EqValue::Type::kNumber:
+            ki.num_eq[v.num].push_back(idx);
+            break;
+          case EqValue::Type::kString:
+            ki.str_eq[v.str].push_back(idx);
+            break;
+        }
+        ++ki.entries;
+      }
+    } else {
+      ki.ranges.push_back(RangeEntry{p.lo, p.hi, p.lo_strict, p.hi_strict,
+                                     p.lo_unbounded, p.hi_unbounded, idx});
+      ++ki.entries;
+    }
+  }
+}
+
+void SelectorIndex::unpost(std::uint32_t slot_idx,
+                           const IndexedPredicate& p) {
+  auto key_it = keys_.find(p.key);
+  if (key_it == keys_.end()) return;
+  KeyIndex& ki = key_it->second;
+  const auto erase_one = [&](std::vector<std::uint32_t>& v) {
+    auto it = std::find(v.begin(), v.end(), slot_idx);
+    if (it != v.end()) {
+      v.erase(it);
+      --ki.entries;
+    }
+  };
+  if (p.kind == IndexedPredicate::Kind::kEq) {
+    for (const auto& v : p.values) {
+      switch (v.type) {
+        case EqValue::Type::kBool:
+          erase_one(ki.bool_eq[v.b ? 1 : 0]);
+          break;
+        case EqValue::Type::kNumber: {
+          auto it = ki.num_eq.find(v.num);
+          if (it != ki.num_eq.end()) {
+            erase_one(it->second);
+            if (it->second.empty()) ki.num_eq.erase(it);
+          }
+          break;
+        }
+        case EqValue::Type::kString: {
+          auto it = ki.str_eq.find(v.str);
+          if (it != ki.str_eq.end()) {
+            erase_one(it->second);
+            if (it->second.empty()) ki.str_eq.erase(it);
+          }
+          break;
+        }
+      }
+    }
+  } else {
+    for (auto it = ki.ranges.begin(); it != ki.ranges.end(); ++it) {
+      if (it->slot == slot_idx && it->lo == p.lo && it->hi == p.hi &&
+          it->lo_strict == p.lo_strict && it->hi_strict == p.hi_strict &&
+          it->lo_unbounded == p.lo_unbounded &&
+          it->hi_unbounded == p.hi_unbounded) {
+        ki.ranges.erase(it);
+        --ki.entries;
+        break;
+      }
+    }
+  }
+  if (ki.entries == 0) keys_.erase(key_it);
+}
+
+void SelectorIndex::remove(std::uint64_t id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return;
+  const std::uint32_t idx = it->second;
+  by_id_.erase(it);
+  Slot& s = slots_[idx];
+  if (s.needed == 0) {
+    scan_.erase(std::find(scan_.begin(), scan_.end(), idx));
+  } else {
+    --indexed_count_;
+    for (const auto& p : s.sel->indexed()) unpost(idx, p);
+  }
+  s.live = false;
+  s.sel.reset();
+  free_slots_.push_back(idx);
+}
+
+void SelectorIndex::bump(std::uint32_t slot_idx) {
+  Slot& s = slots_[slot_idx];
+  if (s.epoch != epoch_) {
+    s.epoch = epoch_;
+    s.hits = 0;
+  }
+  if (++s.hits == s.needed) candidates_.push_back(slot_idx);
+}
+
+void SelectorIndex::collect_matches(const Message& m,
+                                    std::vector<std::uint64_t>& out) {
+  ++epoch_;
+  ++stats_.probes;
+  candidates_.clear();
+  for (auto& [key, ki] : keys_) {
+    const detail::Value v = detail::lookup_ident(m, key);
+    switch (v.kind) {
+      case detail::Value::Kind::kString: {
+        auto it = ki.str_eq.find(v.s);
+        if (it != ki.str_eq.end()) {
+          for (std::uint32_t slot : it->second) bump(slot);
+        }
+        break;
+      }
+      case detail::Value::Kind::kInt:
+      case detail::Value::Kind::kDouble: {
+        const double d = v.as_double();
+        if (std::isnan(d)) break;  // NaN never compares TRUE
+        auto it = ki.num_eq.find(d);
+        if (it != ki.num_eq.end()) {
+          for (std::uint32_t slot : it->second) bump(slot);
+        }
+        for (const RangeEntry& r : ki.ranges) {
+          if (!r.lo_unbounded && (r.lo_strict ? !(d > r.lo) : !(d >= r.lo))) {
+            continue;
+          }
+          if (!r.hi_unbounded && (r.hi_strict ? !(d < r.hi) : !(d <= r.hi))) {
+            continue;
+          }
+          bump(r.slot);
+        }
+        break;
+      }
+      case detail::Value::Kind::kBool: {
+        for (std::uint32_t slot : ki.bool_eq[v.b ? 1 : 0]) bump(slot);
+        break;
+      }
+      default:
+        break;  // absent property: no posting can hit (UNKNOWN != TRUE)
+    }
+  }
+  for (std::uint32_t idx : candidates_) {
+    Slot& s = slots_[idx];
+    ++stats_.residual_evals;
+    if (s.sel->residual_matches(m)) {
+      out.push_back(s.id);
+      ++stats_.index_hits;
+    }
+  }
+  stats_.index_skips += indexed_count_ - candidates_.size();
+  for (std::uint32_t idx : scan_) {
+    Slot& s = slots_[idx];
+    ++stats_.fallback_evals;
+    if (s.sel->matches(m)) out.push_back(s.id);
+  }
+}
+
+std::vector<std::string> SelectorIndex::indexed_keys() const {
+  std::vector<std::string> out;
+  out.reserve(keys_.size());
+  for (const auto& [key, ki] : keys_) out.push_back(key);
+  return out;
+}
+
+}  // namespace cmx::mq

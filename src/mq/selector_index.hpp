@@ -1,0 +1,171 @@
+// Compiled selectors and the enqueue-time property index (DESIGN.md §12).
+//
+// `CompiledSelector` analyzes a parsed selector tree and splits its
+// top-level AND chain into (a) index-backed predicates — equality and
+// numeric-range tests of one property against literals — and (b) a
+// residual of everything else, kept as pointers into the original tree.
+//
+// `SelectorIndex` registers many compiled selectors and answers "which
+// subscribers match this message?" in one pass: probe each indexed key
+// once, count posting-list hits per subscriber, and run the (cheap)
+// residual only for subscribers whose every indexed predicate hit.
+// Subscribers with no indexable predicate fall back to a full interpretive
+// evaluation, so the index is exactly as selective as `Selector::matches`
+// — never more, never less.
+//
+// Soundness (three-valued logic): only conjuncts in positive top-level AND
+// position are extracted. For such a conjunct, the whole expression can
+// only be TRUE if the conjunct is TRUE, and an indexed predicate "hits"
+// exactly when its conjunct evaluates to TRUE (absent property → UNKNOWN →
+// no posting under any key → no hit). Integer literals with |v| >= 2^53
+// are NOT indexed: postings are keyed by double, which would merge values
+// the interpretive int64-exact comparison distinguishes.
+//
+// Thread-safety: none. Callers (Queue, TopicBroker) guard the index with
+// their own mutex.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "mq/message.hpp"
+#include "mq/selector.hpp"
+
+namespace cmx::mq {
+
+namespace detail {
+class SelectorNode;
+}
+
+// Process-wide A/B toggle for index-backed selector matching (matching the
+// set_zero_copy_enabled / set_arena_enabled precedent). Default on; flip
+// only from quiescent bench/test harness code.
+bool selector_index_enabled();
+void set_selector_index_enabled(bool on);
+
+// One extractable conjunct: `key <op> literal(s)`.
+struct IndexedPredicate {
+  enum class Kind { kEq, kRange };
+  // One equality alternative (IN lists produce several per predicate).
+  struct EqValue {
+    enum class Type { kBool, kNumber, kString };
+    Type type = Type::kNumber;
+    bool b = false;
+    double num = 0;  // ints narrowed to double; guarded to |v| < 2^53
+    std::string str;
+  };
+
+  std::string key;
+  Kind kind = Kind::kEq;
+  std::vector<EqValue> values;          // kEq: deduplicated alternatives
+  double lo = 0, hi = 0;                // kRange: closed/open interval
+  bool lo_strict = false, hi_strict = false;
+  bool lo_unbounded = true, hi_unbounded = true;
+};
+
+// The analysis pass over one parsed selector. Holds shared ownership of
+// the tree, so it stays valid after the source Selector is destroyed.
+class CompiledSelector {
+ public:
+  // A null selector compiles to "matches everything" (no predicates, no
+  // residual). `extra_eq` adds synthetic required string-equality
+  // predicates not present in the expression (e.g. an exact topic).
+  explicit CompiledSelector(
+      const Selector* selector,
+      std::vector<std::pair<std::string, std::string>> extra_eq = {});
+
+  const std::vector<IndexedPredicate>& indexed() const { return indexed_; }
+  bool indexable() const { return !indexed_.empty(); }
+
+  // True iff every residual conjunct evaluates to TRUE. Combined with all
+  // indexed predicates hitting, this is equivalent to Selector::matches.
+  bool residual_matches(const Message& m) const;
+
+  // Full interpretive evaluation of the original expression plus the
+  // synthetic extras (the fallback arm for non-indexable selectors).
+  bool matches(const Message& m) const;
+
+ private:
+  std::shared_ptr<const detail::SelectorNode> root_;  // may be null
+  std::vector<IndexedPredicate> indexed_;
+  std::vector<const detail::SelectorNode*> residual_;
+  // Synthetic extras that could not be indexed never exist (extras are
+  // always string-eq, always indexable), so extras need no residual arm.
+};
+
+// Counting posting-list index over registered compiled selectors.
+class SelectorIndex {
+ public:
+  struct Stats {
+    std::uint64_t probes = 0;          // collect_matches calls
+    std::uint64_t index_hits = 0;      // indexed subscribers matched
+    std::uint64_t index_skips = 0;     // indexed subscribers ruled out
+                                       //   without evaluating anything
+    std::uint64_t residual_evals = 0;  // residual runs on index survivors
+    std::uint64_t fallback_evals = 0;  // full evals of non-indexable subs
+  };
+
+  // Registers subscriber `id` (caller-chosen, unique). The Selector, if
+  // any, is only read during this call; the compiled form is self-owned.
+  void add(std::uint64_t id, const Selector* selector,
+           std::vector<std::pair<std::string, std::string>> extra_eq = {});
+  void remove(std::uint64_t id);
+
+  // Appends the ids of every registered subscriber whose selector matches
+  // `m` (order unspecified). Exactly the set for which
+  // Selector::matches(m) is true (and all extra_eq predicates hold).
+  void collect_matches(const Message& m, std::vector<std::uint64_t>& out);
+
+  std::size_t size() const { return by_id_.size(); }
+  std::size_t indexed_subscribers() const { return indexed_count_; }
+  const Stats& stats() const { return stats_; }
+  // Registry of property keys currently backed by postings (sorted).
+  std::vector<std::string> indexed_keys() const;
+
+ private:
+  struct Slot {
+    std::uint64_t id = 0;
+    bool live = false;
+    std::uint32_t needed = 0;  // indexed predicates that must all hit
+    std::uint32_t hits = 0;    // hits in the current probe epoch
+    std::uint64_t epoch = 0;
+    std::optional<CompiledSelector> sel;
+  };
+
+  struct RangeEntry {
+    double lo, hi;
+    bool lo_strict, hi_strict, lo_unbounded, hi_unbounded;
+    std::uint32_t slot;
+  };
+
+  // Per-key postings. A message value of mismatched type simply probes
+  // nothing (type-mismatched comparisons are UNKNOWN, never TRUE).
+  struct KeyIndex {
+    std::map<std::string, std::vector<std::uint32_t>, std::less<>> str_eq;
+    std::map<double, std::vector<std::uint32_t>> num_eq;
+    std::vector<std::uint32_t> bool_eq[2];
+    std::vector<RangeEntry> ranges;
+    std::size_t entries = 0;
+  };
+
+  void bump(std::uint32_t slot_idx);
+  void unpost(std::uint32_t slot_idx, const IndexedPredicate& p);
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<std::uint64_t, std::uint32_t> by_id_;
+  std::vector<std::uint32_t> scan_;  // slots with needed == 0
+  std::map<std::string, KeyIndex, std::less<>> keys_;
+  std::size_t indexed_count_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::uint32_t> candidates_;  // scratch, reused across probes
+  Stats stats_;
+};
+
+}  // namespace cmx::mq

@@ -1,0 +1,339 @@
+// Differential test: the compiled incremental engine (CompiledEval behind
+// EvalState) must agree with the interpretive tree walker at EVERY
+// evaluation point, not just on final verdicts. Worlds here are nastier
+// than eval_oracle_test's: queues are shared between leaves (exercising
+// anonymous assignment and the first-anonymous fallback), acks include
+// named strangers and anonymous reads that match no leaf (exercising the
+// MinNr/MaxNrAnonymous windows), timestamps can be late or out of order,
+// and both values of the early-failure-detection ablation are run —
+// the ablation is where a missed deadline can legitimately be undone by a
+// late-arriving ack with an early timestamp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+
+#include "cm/condition_builder.hpp"
+#include "cm/eval_state.hpp"
+
+namespace cmx::cm {
+namespace {
+
+using mq::QueueAddress;
+
+constexpr util::TimeMs kHorizon = 1000;
+
+// RAII guard: pin the process-wide engine default and restore it.
+class EngineDefaultGuard {
+ public:
+  explicit EngineDefaultGuard(bool enabled)
+      : prev_(compiled_eval_enabled()) {
+    set_compiled_eval_enabled(enabled);
+  }
+  ~EngineDefaultGuard() { set_compiled_eval_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+class Gen {
+ public:
+  explicit Gen(unsigned seed) : rng_(seed) {}
+
+  ConditionPtr make_tree() { return make_set(2); }
+
+  // Random ack: usually aimed at some leaf's queue, sometimes from a
+  // stranger recipient or fully anonymous, occasionally for a queue no
+  // leaf uses (pure noise the engines must also agree on).
+  AckRecord make_ack(const std::vector<const Destination*>& leaves) {
+    AckRecord ack;
+    ack.cm_id = "cm";
+    if (!leaves.empty() && chance(85)) {
+      const auto* leaf = leaves[rng_() % leaves.size()];
+      ack.queue = leaf->address();
+      switch (rng_() % 4) {
+        case 0:
+          ack.recipient_id = leaf->recipient_id();  // may be ""
+          break;
+        case 1:
+          ack.recipient_id = "";  // anonymous
+          break;
+        default:
+          ack.recipient_id = "stranger" + std::to_string(rng_() % 3);
+          break;
+      }
+    } else {
+      ack.queue = QueueAddress("QM", "UNRELATED");
+      ack.recipient_id = chance(50) ? "" : "stranger0";
+    }
+    ack.read_ts = util::TimeMs(rng_() % (kHorizon + 200));
+    if (chance(40)) {
+      ack.type = AckType::kProcessing;
+      ack.commit_ts = ack.read_ts + util::TimeMs(rng_() % 300);
+    }
+    return ack;
+  }
+
+  util::TimeMs step() { return 1 + util::TimeMs(rng_() % 120); }
+  bool chance(int pct) { return int(rng_() % 100) < pct; }
+  std::mt19937& rng() { return rng_; }
+
+ private:
+  ConditionPtr make_leaf() {
+    // Small queue pool => leaves share queues, anonymous fallback fires.
+    auto builder =
+        DestBuilder(QueueAddress("QM", "Q" + std::to_string(rng_() % 4)),
+                    chance(40) ? "user" + std::to_string(rng_() % 3) : "");
+    if (chance(50)) builder.pick_up_within(duration());
+    if (chance(35)) builder.processing_within(duration());
+    return builder.build();
+  }
+
+  ConditionPtr make_set(int max_depth) {
+    SetBuilder builder;
+    const int children = 1 + int(rng_() % 3);
+    int leaf_count = 0;
+    for (int i = 0; i < children; ++i) {
+      if (max_depth > 0 && chance(30)) {
+        auto sub = make_set(max_depth - 1);
+        leaf_count += int(sub->leaves().size());
+        builder.add(std::move(sub));
+      } else {
+        builder.add(make_leaf());
+        ++leaf_count;
+      }
+    }
+    if (chance(75)) {
+      builder.pick_up_within(duration());
+      if (chance(50)) {
+        builder.min_nr_pick_up(int(rng_() % (leaf_count + 2)));
+        if (chance(30)) builder.max_nr_pick_up(int(rng_() % (leaf_count + 1)));
+      }
+      if (chance(35)) builder.min_nr_anonymous(int(rng_() % 3));
+      if (chance(25)) builder.max_nr_anonymous(int(rng_() % 3));
+    }
+    if (chance(40)) {
+      builder.processing_within(duration());
+      if (chance(60)) builder.min_nr_processing(int(rng_() % (leaf_count + 1)));
+    }
+    return builder.build();
+  }
+
+  util::TimeMs duration() { return 50 + util::TimeMs(rng_() % 900); }
+
+  std::mt19937 rng_;
+};
+
+class CompiledDifferential : public ::testing::TestWithParam<int> {};
+
+// Feed both engines the identical interleaving of acks and evaluations;
+// their verdict STATES must agree at every step (reasons may be worded
+// from a different part, so only the substring family is compared in the
+// targeted tests below).
+TEST_P(CompiledDifferential, AgreesWithInterpretiveAtEveryStep) {
+  Gen gen(static_cast<unsigned>(GetParam()));
+  for (int round = 0; round < 15; ++round) {
+    for (const bool early_failure : {true, false}) {
+      auto tree = gen.make_tree();
+      if (!tree->validate()) continue;  // generator can overshoot limits
+      const auto leaves = tree->leaves();
+
+      EvalStateOptions compiled_opts;
+      compiled_opts.early_failure_detection = early_failure;
+      compiled_opts.engine = EvalEngine::kCompiled;
+      EvalStateOptions interp_opts = compiled_opts;
+      interp_opts.engine = EvalEngine::kInterpretive;
+
+      const util::TimeMs timeout = gen.chance(30) ? kHorizon / 2 : 0;
+      EvalState compiled("cm", *tree, 0, timeout, compiled_opts);
+      EvalState interpretive("cm", *tree, 0, timeout, interp_opts);
+      ASSERT_TRUE(compiled.compiled());
+      ASSERT_FALSE(interpretive.compiled());
+
+      util::TimeMs now = 0;
+      int step = 0;
+      while (now <= kHorizon + 300) {
+        if (gen.chance(70)) {
+          const AckRecord ack = gen.make_ack(leaves);
+          compiled.add_ack(ack);
+          interpretive.add_ack(ack);
+        }
+        const auto vc = compiled.evaluate(now);
+        const auto vi = interpretive.evaluate(now);
+        ASSERT_EQ(vc.state, vi.state)
+            << "step " << step << " now=" << now
+            << " early_failure=" << early_failure
+            << "\ntree: " << tree->describe()
+            << "\ncompiled reason: " << vc.reason
+            << "\ninterpretive reason: " << vi.reason;
+        ASSERT_EQ(compiled.next_deadline(now), interpretive.next_deadline(now));
+        now += gen.step();
+        ++step;
+      }
+      // Both must have resolved by the horizon (all deadlines < kHorizon).
+      EXPECT_TRUE(compiled.decided());
+      EXPECT_TRUE(interpretive.decided());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledDifferential, ::testing::Range(1, 21));
+
+ConditionPtr two_leaf_set(util::TimeMs window) {
+  return SetBuilder()
+      .add(DestBuilder(QueueAddress("QM", "A")).pick_up_within(window).build())
+      .add(DestBuilder(QueueAddress("QM", "B")).build())
+      .pick_up_within(window)
+      .build();
+}
+
+AckRecord read_ack(const QueueAddress& queue, util::TimeMs read_ts,
+                   const std::string& recipient = "") {
+  AckRecord ack;
+  ack.cm_id = "cm";
+  ack.queue = queue;
+  ack.recipient_id = recipient;
+  ack.read_ts = read_ts;
+  return ack;
+}
+
+// Under the ablation (no early failure detection) a deadline miss is held
+// open, and a late-arriving ack carrying an early timestamp must flip the
+// verdict back — for BOTH engines. This is the case that forbids latching
+// missed parts in the compiled engine.
+TEST(CompiledEval, AblationLateAckWithEarlyTimestampUnmissesDeadline) {
+  for (const auto engine : {EvalEngine::kCompiled, EvalEngine::kInterpretive}) {
+    EvalStateOptions opts;
+    opts.early_failure_detection = false;
+    opts.engine = engine;
+    // Leaf A's own deadline (100) can be missed while the set's window
+    // (500) keeps the ablation holding the violation open.
+    auto tree =
+        SetBuilder()
+            .add(DestBuilder(QueueAddress("QM", "A")).pick_up_within(100).build())
+            .add(DestBuilder(QueueAddress("QM", "B")).build())
+            .pick_up_within(500)
+            .build();
+    EvalState state("cm", *tree, 0, /*evaluation_timeout_ms=*/1000, opts);
+
+    // Past the pick-up deadline with no acks: violated internally, held
+    // back by the ablation.
+    EXPECT_EQ(state.evaluate(150).state, TriState::kPending);
+    // Late arrivals, but timestamped inside the window: condition is met.
+    state.add_ack(read_ack(QueueAddress("QM", "A"), 40));
+    state.add_ack(read_ack(QueueAddress("QM", "B"), 60));
+    EXPECT_EQ(state.evaluate(160).state, TriState::kSatisfied)
+        << "engine " << (engine == EvalEngine::kCompiled ? "compiled"
+                                                         : "interpretive");
+  }
+}
+
+// With early failure detection (the default) the first post-deadline
+// evaluation decides and later acks cannot resurrect the message.
+TEST(CompiledEval, EarlyFailureLatchesAcrossLateAcks) {
+  for (const auto engine : {EvalEngine::kCompiled, EvalEngine::kInterpretive}) {
+    EvalStateOptions opts;
+    opts.engine = engine;
+    auto tree = two_leaf_set(100);
+    EvalState state("cm", *tree, 0, 0, opts);
+    const auto verdict = state.evaluate(150);
+    EXPECT_EQ(verdict.state, TriState::kViolated);
+    EXPECT_NE(verdict.reason.find("pick-up"), std::string::npos);
+    state.add_ack(read_ack(QueueAddress("QM", "A"), 40));
+    state.add_ack(read_ack(QueueAddress("QM", "B"), 60));
+    EXPECT_EQ(state.evaluate(160).state, TriState::kViolated);
+  }
+}
+
+// MaxNrPickUp is checked before the subset-satisfied shortcut; exceeding
+// it violates even though the minimum was reached long ago.
+TEST(CompiledEval, MaxExceededLatchesInBothEngines) {
+  for (const auto engine : {EvalEngine::kCompiled, EvalEngine::kInterpretive}) {
+    EvalStateOptions opts;
+    opts.engine = engine;
+    auto tree =
+        SetBuilder()
+            .add(DestBuilder(QueueAddress("QM", "A")).build())
+            .add(DestBuilder(QueueAddress("QM", "B")).build())
+            .add(DestBuilder(QueueAddress("QM", "C")).build())
+            .pick_up_within(100)
+            .min_nr_pick_up(1)
+            .max_nr_pick_up(1)
+            .build();
+    EvalState state("cm", *tree, 0, 0, opts);
+    state.add_ack(read_ack(QueueAddress("QM", "A"), 10));
+    EXPECT_EQ(state.evaluate(20).state, TriState::kSatisfied);
+
+    EvalState state2("cm", *tree, 0, 0, opts);
+    state2.add_ack(read_ack(QueueAddress("QM", "A"), 10));
+    state2.add_ack(read_ack(QueueAddress("QM", "B"), 12));
+    const auto verdict = state2.evaluate(20);
+    EXPECT_EQ(verdict.state, TriState::kViolated);
+    EXPECT_NE(verdict.reason.find("MaxNrPickUp"), std::string::npos);
+  }
+}
+
+// Anonymous windows: distinct named strangers count once, anonymous reads
+// count each, and only reads inside the pick-up window count at all.
+TEST(CompiledEval, AnonymousCountsAgree) {
+  for (const auto engine : {EvalEngine::kCompiled, EvalEngine::kInterpretive}) {
+    EvalStateOptions opts;
+    opts.engine = engine;
+    auto tree = SetBuilder()
+                    .add(DestBuilder(QueueAddress("QM", "A"), "alice")
+                             .pick_up_within(100)
+                             .build())
+                    .pick_up_within(100)
+                    .min_nr_anonymous(3)
+                    .build();
+    EvalState state("cm", *tree, 0, 0, opts);
+    state.add_ack(read_ack(QueueAddress("QM", "A"), 10, "alice"));
+    state.add_ack(read_ack(QueueAddress("QM", "A"), 20, "bob"));
+    state.add_ack(read_ack(QueueAddress("QM", "A"), 30, "bob"));  // dup
+    state.add_ack(read_ack(QueueAddress("QM", "A"), 200));  // outside window
+    EXPECT_EQ(state.evaluate(50).state, TriState::kPending);
+    state.add_ack(read_ack(QueueAddress("QM", "A"), 40));  // anonymous
+    state.add_ack(read_ack(QueueAddress("QM", "A"), 45));  // anonymous
+    EXPECT_EQ(state.evaluate(60).state, TriState::kSatisfied)
+        << "bob(1) + two anonymous reads must reach MinNrAnonymous=3";
+  }
+}
+
+// The process-wide toggle drives kAuto engine selection at construction.
+TEST(CompiledEval, AutoEngineFollowsProcessToggle) {
+  auto tree = two_leaf_set(100);
+  {
+    EngineDefaultGuard guard(true);
+    EvalState state("cm", *tree, 0);
+    EXPECT_TRUE(state.compiled());
+  }
+  {
+    EngineDefaultGuard guard(false);
+    EvalState state("cm", *tree, 0);
+    EXPECT_FALSE(state.compiled());
+    // Explicit engine choice overrides the toggle.
+    EvalStateOptions opts;
+    opts.engine = EvalEngine::kCompiled;
+    EvalState forced("cm", *tree, 0, 0, opts);
+    EXPECT_TRUE(forced.compiled());
+  }
+}
+
+// dump() exposes the engine and, for the compiled one, per-node residuals.
+TEST(CompiledEval, DumpShowsEngineAndResiduals) {
+  auto tree = two_leaf_set(100);
+  EvalStateOptions opts;
+  opts.engine = EvalEngine::kCompiled;
+  EvalState state("cm", *tree, 0, 0, opts);
+  state.add_ack(read_ack(QueueAddress("QM", "A"), 10));
+  std::ostringstream os;
+  state.dump(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("engine=compiled"), std::string::npos) << text;
+  EXPECT_NE(text.find("residual="), std::string::npos) << text;
+  EXPECT_NE(text.find("pick-up 1/1"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace cmx::cm

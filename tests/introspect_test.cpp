@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "cm/compiled_eval.hpp"
 #include "cm/condition_builder.hpp"
 #include "cm/introspect.hpp"
 #include "cm/receiver.hpp"
@@ -67,6 +68,54 @@ TEST(IntrospectTest, AbsentQueueReported) {
   std::ostringstream out;
   dump_queue(qm, "NO.SUCH.Q", out);
   EXPECT_NE(out.str().find("<absent>"), std::string::npos);
+}
+
+// dump_evaluation surfaces the engine default plus per-state engines and
+// (for the compiled engine) per-node residual counts.
+TEST(IntrospectTest, DumpEvaluationShowsEngineAndResiduals) {
+  util::SimClock clock;
+  mq::QueueManager qm("QM", clock);
+  qm.create_queue("APPQ").expect_ok("create");
+  ConditionalMessagingService service(qm);
+
+  auto cm_id = service.send_message(
+      "x", *SetBuilder()
+               .add(DestBuilder(mq::QueueAddress("QM", "APPQ")).build())
+               .pick_up_within(1000)
+               .build());
+  ASSERT_TRUE(cm_id.is_ok());
+
+  std::ostringstream out;
+  dump_evaluation(service.evaluation_manager(), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("condition engine default: compiled"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("eval " + cm_id.value() + ": engine=compiled"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("residual="), std::string::npos) << text;
+  EXPECT_NE(text.find("pick-up 0/1"), std::string::npos) << text;
+}
+
+// With the toggle off, newly registered states use the interpretive
+// walker and the dump says so.
+TEST(IntrospectTest, DumpEvaluationShowsInterpretiveArm) {
+  set_compiled_eval_enabled(false);
+  util::SimClock clock;
+  mq::QueueManager qm("QM", clock);
+  qm.create_queue("APPQ").expect_ok("create");
+  ConditionalMessagingService service(qm);
+  auto cm_id = service.send_message(
+      "x", *DestBuilder(mq::QueueAddress("QM", "APPQ"))
+               .pick_up_within(1000)
+               .build());
+  set_compiled_eval_enabled(true);
+  ASSERT_TRUE(cm_id.is_ok());
+  std::ostringstream out;
+  dump_evaluation(service.evaluation_manager(), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("engine=interpretive"), std::string::npos) << text;
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "cm/conditional_publisher.hpp"
 #include "cm/receiver.hpp"
 #include "cm/sender.hpp"
@@ -218,6 +220,74 @@ TEST_F(BrokerTest, MatchingSnapshot) {
   auto matched = broker_.matching("a.b");
   EXPECT_EQ(matched.size(), 2u);
   EXPECT_EQ(broker_.subscriptions().size(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Subscription index (enqueue-time matching; DESIGN.md §12)
+// ---------------------------------------------------------------------
+
+// Publish the same traffic through the index arm and the interpretive
+// arm; delivered depths must be identical. The index arm must have probed
+// and must expose the synthetic topic key plus the selector's hot key.
+TEST(BrokerIndexTest, IndexArmRoutesIdenticallyToInterpretive) {
+  auto run = [](bool index_on) {
+    set_selector_index_enabled(index_on);
+    util::SimClock clock;
+    QueueManager qm("QM", clock);
+    TopicBroker broker(qm);
+    const auto exact = broker.subscribe("news.sports").value();
+    const auto wild = broker.subscribe("news.#").value();
+    const auto sel =
+        broker.subscribe("news.*", {.selector = "grp = 'a' AND qty > 2"})
+            .value();
+    const auto other = broker.subscribe("weather.eu").value();
+    const char* const topics[] = {"news.sports", "news.politics",
+                                  "weather.eu", "news.sports.extra",
+                                  "news.tech"};
+    int i = 0;
+    for (const char* topic : topics) {
+      Message m("x");
+      m.set_property("grp", std::string(i % 2 == 0 ? "a" : "b"));
+      m.set_property("qty", std::int64_t(i + 2));
+      EXPECT_TRUE(broker.publish(topic, m));
+      ++i;
+    }
+    std::vector<std::size_t> depths;
+    for (const auto& info : {exact, wild, sel, other}) {
+      depths.push_back(qm.find_queue(info.queue)->depth());
+    }
+    if (index_on) {
+      EXPECT_GT(broker.index_stats().probes, 0u);
+      const auto keys = broker.indexed_keys();
+      EXPECT_NE(std::find(keys.begin(), keys.end(), kTopicProperty),
+                keys.end());
+      EXPECT_NE(std::find(keys.begin(), keys.end(), "grp"), keys.end());
+      EXPECT_NE(std::find(keys.begin(), keys.end(), "qty"), keys.end());
+    } else {
+      EXPECT_EQ(broker.index_stats().probes, 0u);
+    }
+    set_selector_index_enabled(true);
+    return depths;
+  };
+  const auto indexed = run(true);
+  EXPECT_EQ(indexed, run(false));
+  // Sanity on the fixed traffic: exact=1, wildcard=4, selector=1, other=1.
+  EXPECT_EQ(indexed,
+            (std::vector<std::size_t>{1, 4, 1, 1}));
+}
+
+TEST(BrokerIndexTest, UnsubscribeUnregistersIndexedKeys) {
+  util::SimClock clock;
+  QueueManager qm("QM", clock);
+  TopicBroker broker(qm);
+  const auto sub =
+      broker.subscribe("news", {.selector = "grp = 'a'"}).value();
+  EXPECT_FALSE(broker.indexed_keys().empty());
+  ASSERT_TRUE(broker.unsubscribe(sub.name));
+  EXPECT_TRUE(broker.indexed_keys().empty());
+  // Publishing after removal routes nowhere but stays healthy.
+  ASSERT_TRUE(broker.publish("news", Message("x")));
+  EXPECT_EQ(broker.stats().unmatched_publishes, 1u);
 }
 
 }  // namespace

@@ -324,5 +324,89 @@ TEST_F(QueueTest, ConcurrentPutsAndGetsBalance) {
   EXPECT_EQ(q.depth(), 0u);
 }
 
+// ---------------------------------------------------------------------
+// Selector waiter index (selective-consumer wakeups; DESIGN.md §12)
+// ---------------------------------------------------------------------
+
+Message tagged(const std::string& body, const std::string& grp) {
+  Message m(body);
+  m.set_property("grp", grp);
+  return m;
+}
+
+// Two consumers parked with disjoint selectors: each must receive exactly
+// its own message, and the waiter index must have been consulted (hits
+// never exceed probes; skipped waiters are the selective win).
+TEST_F(QueueTest, SelectorWaitersEachGetTheirOwnMessage) {
+  util::SystemClock rt;
+  Queue q("RT", QueueOptions{}, rt);
+  auto sel0 = Selector::parse("grp = 'g0'");
+  auto sel1 = Selector::parse("grp = 'g1'");
+  ASSERT_TRUE(sel0.is_ok());
+  ASSERT_TRUE(sel1.is_ok());
+  std::atomic<int> done{0};
+  std::thread t0([&] {
+    auto r = q.get(rt.now_ms() + 5000, &sel0.value());
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().msg.body(), "m0");
+    ++done;
+  });
+  std::thread t1([&] {
+    auto r = q.get(rt.now_ms() + 5000, &sel1.value());
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().msg.body(), "m1");
+    ++done;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(q.put(tagged("m0", "g0")));
+  t0.join();
+  // Only the matching waiter completed; the other still waits.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(done.load(), 1);
+  ASSERT_TRUE(q.put(tagged("m1", "g1")));
+  t1.join();
+  EXPECT_EQ(done.load(), 2);
+  const auto stats = q.selector_waiter_stats();
+  EXPECT_LE(stats.index_hits, stats.probes * 2);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+// The A/B toggle falls back to the shared-cv interpretive arm; selector
+// gets stay correct, the waiter index is simply not consulted.
+TEST_F(QueueTest, SelectorGetWorksWithIndexDisabled) {
+  set_selector_index_enabled(false);
+  util::SystemClock rt;
+  Queue q("RT", QueueOptions{}, rt);
+  auto sel = Selector::parse("grp = 'g0'");
+  ASSERT_TRUE(sel.is_ok());
+  std::thread getter([&] {
+    auto r = q.get(rt.now_ms() + 5000, &sel.value());
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().msg.body(), "hit");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(q.put(tagged("miss", "g1")));
+  ASSERT_TRUE(q.put(tagged("hit", "g0")));
+  getter.join();
+  set_selector_index_enabled(true);
+  EXPECT_EQ(q.selector_waiter_stats().probes, 0u);
+  EXPECT_EQ(q.depth(), 1u);  // "miss" remains for someone else
+}
+
+// Close must wake selector waiters parked on their private cvs.
+TEST_F(QueueTest, CloseWakesSelectorWaiters) {
+  util::SystemClock rt;
+  Queue q("RT", QueueOptions{}, rt);
+  auto sel = Selector::parse("grp = 'g0'");
+  ASSERT_TRUE(sel.is_ok());
+  std::thread getter([&] {
+    auto r = q.get(util::kNoDeadline, &sel.value());
+    EXPECT_EQ(r.code(), util::ErrorCode::kClosed);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  q.close();
+  getter.join();
+}
+
 }  // namespace
 }  // namespace cmx::mq

@@ -1,0 +1,253 @@
+// Property-based fuzz test for the selector parser, printer, evaluator,
+// and the enqueue-time selector index (DESIGN.md §12). Three properties:
+//
+//   1. Round-trip: parse(e).canonical() re-parses, its canonical form is
+//      a fixed point, and the re-parsed selector agrees with the original
+//      on every message (including three-valued UNKNOWN cases from absent
+//      properties and type mismatches).
+//   2. Index differential: routing a message through a SelectorIndex of
+//      many random selectors yields EXACTLY the selectors whose
+//      interpretive matches() returns true — the indexed equality/range
+//      predicates plus residuals must not change semantics.
+//   3. Indexability soundness around the 2^53 exact-integer boundary:
+//      selectors on huge int literals stay correct whether or not the
+//      analysis indexed them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mq/message.hpp"
+#include "mq/selector.hpp"
+#include "mq/selector_index.hpp"
+
+namespace cmx::mq {
+namespace {
+
+const char* const kKeys[] = {"region", "grp", "price", "qty", "flag", "name"};
+
+class Fuzz {
+ public:
+  explicit Fuzz(unsigned seed) : rng_(seed) {}
+
+  std::string make_expr() { return expr(3); }
+
+  // Messages draw from the same small domains the expressions use so
+  // matches are common; some keys are left absent to exercise UNKNOWN.
+  Message make_msg() {
+    Message msg;
+    for (const char* key : kKeys) {
+      switch (rng_() % 5) {
+        case 0:
+          break;  // absent -> UNKNOWN when referenced
+        case 1:
+          msg.set_property(key, small_string());
+          break;
+        case 2:
+          msg.set_property(key, std::int64_t(int(rng_() % 7) - 3));
+          break;
+        case 3:
+          msg.set_property(key, double(int(rng_() % 7) - 3) * 0.5);
+          break;
+        default:
+          msg.set_property(key, rng_() % 2 == 0);
+          break;
+      }
+    }
+    return msg;
+  }
+
+  std::mt19937& rng() { return rng_; }
+
+ private:
+  std::string key() { return kKeys[rng_() % (sizeof(kKeys) / sizeof(*kKeys))]; }
+  std::string small_string() {
+    static const char* const kStrings[] = {"a", "b", "emea", "o'brien", "x%_"};
+    return kStrings[rng_() % 5];
+  }
+
+  std::string quoted(const std::string& s) {
+    std::string out = "'";
+    for (char c : s) {
+      out += c;
+      if (c == '\'') out += '\'';
+    }
+    out += '\'';
+    return out;
+  }
+
+  std::string comparison() {
+    static const char* const kOps[] = {"=", "<>", "<", "<=", ">", ">="};
+    const int pick = int(rng_() % 10);
+    if (pick < 4) {
+      // numeric comparison, sometimes with arithmetic
+      std::string lhs = key();
+      if (rng_() % 4 == 0) {
+        lhs = "(" + lhs + (rng_() % 2 == 0 ? " + " : " * ") +
+              std::to_string(int(rng_() % 3) + 1) + ")";
+      }
+      return lhs + " " + kOps[rng_() % 6] + " " +
+             std::to_string(int(rng_() % 7) - 3);
+    }
+    if (pick < 6) {  // string equality
+      return key() + (rng_() % 2 == 0 ? " = " : " <> ") +
+             quoted(rng_() % 2 == 0 ? "a" : "emea");
+    }
+    if (pick == 6) {  // BETWEEN
+      const int lo = int(rng_() % 5) - 2;
+      return key() + (rng_() % 3 == 0 ? " NOT BETWEEN " : " BETWEEN ") +
+             std::to_string(lo) + " AND " + std::to_string(lo + int(rng_() % 4));
+    }
+    if (pick == 7) {  // IN
+      std::string out = key();
+      if (rng_() % 3 == 0) out += " NOT";
+      out += " IN ('a', 'b'";
+      if (rng_() % 2 == 0) out += ", 'emea'";
+      out += ")";
+      return out;
+    }
+    if (pick == 8) {  // LIKE
+      static const char* const kPatterns[] = {"a%", "%e_a", "x\\%\\_", "%"};
+      std::string out = key();
+      if (rng_() % 3 == 0) out += " NOT";
+      out += " LIKE " + quoted(kPatterns[rng_() % 4]);
+      if (out.find("\\%") != std::string::npos) out += " ESCAPE '\\'";
+      return out;
+    }
+    // IS [NOT] NULL
+    return key() + (rng_() % 2 == 0 ? " IS NULL" : " IS NOT NULL");
+  }
+
+  std::string expr(int depth) {
+    if (depth == 0 || rng_() % 3 == 0) return comparison();
+    switch (rng_() % 3) {
+      case 0:
+        return "(" + expr(depth - 1) + " AND " + expr(depth - 1) + ")";
+      case 1:
+        return "(" + expr(depth - 1) + " OR " + expr(depth - 1) + ")";
+      default:
+        return "NOT (" + expr(depth - 1) + ")";
+    }
+  }
+
+  std::mt19937 rng_;
+};
+
+class SelectorFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelectorFuzz, CanonicalRoundTripPreservesSemantics) {
+  Fuzz fuzz(static_cast<unsigned>(GetParam()));
+  for (int round = 0; round < 40; ++round) {
+    const std::string text = fuzz.make_expr();
+    auto parsed = Selector::parse(text);
+    ASSERT_TRUE(parsed) << text << ": " << parsed.status().to_string();
+    const std::string canonical = parsed.value().canonical();
+
+    auto reparsed = Selector::parse(canonical);
+    ASSERT_TRUE(reparsed) << "canonical form failed to parse: " << canonical
+                          << " (from " << text << ")";
+    // The canonical form is a fixed point of print ∘ parse.
+    EXPECT_EQ(reparsed.value().canonical(), canonical) << "from " << text;
+
+    for (int m = 0; m < 25; ++m) {
+      const Message msg = fuzz.make_msg();
+      EXPECT_EQ(parsed.value().matches(msg), reparsed.value().matches(msg))
+          << "expr: " << text << "\ncanonical: " << canonical;
+    }
+  }
+}
+
+TEST_P(SelectorFuzz, IndexRoutingAgreesWithInterpretiveMatches) {
+  Fuzz fuzz(static_cast<unsigned>(GetParam()) + 1000);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<Selector> selectors;
+    SelectorIndex index;
+    for (std::uint64_t id = 0; id < 24; ++id) {
+      while (true) {
+        auto parsed = Selector::parse(fuzz.make_expr());
+        if (parsed) {
+          selectors.push_back(std::move(parsed).value());
+          break;
+        }
+      }
+      index.add(id, &selectors.back());
+    }
+    // Random removals re-exercise index maintenance (posting unlink).
+    std::set<std::uint64_t> removed;
+    for (int i = 0; i < 6; ++i) {
+      const std::uint64_t id = fuzz.rng()() % selectors.size();
+      if (removed.insert(id).second) index.remove(id);
+    }
+
+    std::vector<std::uint64_t> got;
+    for (int m = 0; m < 50; ++m) {
+      const Message msg = fuzz.make_msg();
+      got.clear();
+      index.collect_matches(msg, got);
+      std::sort(got.begin(), got.end());
+      std::vector<std::uint64_t> want;
+      for (std::uint64_t id = 0; id < selectors.size(); ++id) {
+        if (removed.count(id) != 0) continue;
+        if (selectors[id].matches(msg)) want.push_back(id);
+      }
+      ASSERT_EQ(got, want) << "round " << round << " message " << m;
+    }
+    const auto stats = index.stats();
+    EXPECT_EQ(stats.probes, 50u);
+  }
+}
+
+// Selectors with integer literals around and beyond 2^53: the analysis
+// must refuse to index what a double-keyed posting map cannot represent
+// exactly, and matching must stay correct either way.
+TEST(SelectorFuzzEdge, HugeIntegerLiteralsStayExact) {
+  const std::int64_t kBig = (std::int64_t(1) << 53);  // first inexact double
+  struct Case {
+    std::int64_t message_value;
+    std::int64_t literal;
+    bool expect_match;
+  };
+  const Case cases[] = {
+      {kBig, kBig, true},
+      {kBig + 1, kBig, false},     // double(2^53+1) == double(2^53)!
+      {kBig, kBig + 1, false},
+      {kBig - 1, kBig - 1, true},  // last exact value: indexable
+      {-kBig, -kBig, true},
+      {(std::int64_t(1) << 62), (std::int64_t(1) << 62), true},
+  };
+  for (const auto& c : cases) {
+    auto selector =
+        Selector::parse("qty = " + std::to_string(c.literal));
+    ASSERT_TRUE(selector);
+    Message msg;
+    msg.set_property("qty", c.message_value);
+    EXPECT_EQ(selector.value().matches(msg), c.expect_match)
+        << c.message_value << " = " << c.literal;
+
+    // The same answer must come out of the index path.
+    SelectorIndex index;
+    index.add(1, &selector.value());
+    std::vector<std::uint64_t> got;
+    index.collect_matches(msg, got);
+    EXPECT_EQ(!got.empty(), c.expect_match)
+        << "indexed: " << c.message_value << " = " << c.literal;
+  }
+  // Values beyond the exact range are not indexable at all: the whole
+  // selector falls back to interpretive evaluation (counted as fallback).
+  auto selector = Selector::parse("qty = " + std::to_string(kBig));
+  ASSERT_TRUE(selector);
+  CompiledSelector compiled(&selector.value());
+  EXPECT_TRUE(compiled.indexed().empty());
+  auto indexable = Selector::parse("qty = " + std::to_string(kBig - 1));
+  ASSERT_TRUE(indexable);
+  CompiledSelector compiled_ok(&indexable.value());
+  EXPECT_EQ(compiled_ok.indexed().size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectorFuzz, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace cmx::mq
